@@ -1,0 +1,107 @@
+//! Ablation benches for the design choices DESIGN.md calls out: window
+//! width, DAC law, POR preset and driver shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcosc_bench::ablation;
+
+fn bench_window(c: &mut Criterion) {
+    let widths = [0.03, 0.05, 0.07, 0.10, 0.15, 0.25];
+    let runs = ablation::window_width_sweep(&widths);
+    println!("--- ablation: regulation window width ---");
+    println!(
+        "{:>8} {:>14} {:>10} {:>12}",
+        "window", "settling tick", "activity", "amp error"
+    );
+    for r in &runs {
+        println!(
+            "{:>7.0}% {:>14} {:>10.3} {:>11.2}%",
+            100.0 * r.window,
+            r.settling_tick.map(|t| t.to_string()).unwrap_or_else(|| "never".into()),
+            r.activity,
+            100.0 * r.amplitude_error
+        );
+    }
+    println!("rule (paper §4): window must exceed the 6.25 % max step or the loop hunts");
+
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("ablation_window_width", |b| {
+        b.iter(|| ablation::window_width_sweep(&widths))
+    });
+    g.finish();
+}
+
+fn bench_dac_law(c: &mut Criterion) {
+    let runs = ablation::dac_law_comparison();
+    println!("--- ablation: exponential-PWL vs linear DAC law ---");
+    println!(
+        "{:<16} {:>9} {:>14} {:>16} {:>18}",
+        "law", "op code", "step @ op", "settle from top", "settle from bottom"
+    );
+    for r in &runs {
+        println!(
+            "{:<16} {:>9} {:>13.2}% {:>16} {:>18}",
+            r.law,
+            r.operating_code,
+            100.0 * r.worst_step_near_operating,
+            r.settle_from_top.map(|t| t.to_string()).unwrap_or_else(|| "never".into()),
+            r.settle_from_bottom.map(|t| t.to_string()).unwrap_or_else(|| "never".into()),
+        );
+    }
+    println!("a linear voltage step needs an exponential current control (paper eq 5)");
+
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("ablation_dac_shape", |b| b.iter(ablation::dac_law_comparison));
+    g.finish();
+}
+
+fn bench_start_code(c: &mut Criterion) {
+    let presets = [64u8, 80, 90, 105, 120, 127];
+    let runs = ablation::start_code_sweep(&presets);
+    println!("--- ablation: POR preset code ---");
+    println!(
+        "{:>7} {:>12} {:>18} {:>14}",
+        "preset", "inrush", "starts worst tank", "settling tick"
+    );
+    for r in &runs {
+        println!(
+            "{:>7} {:>9.2} mA {:>18} {:>14}",
+            r.preset,
+            r.inrush * 1e3,
+            r.starts_worst_case_tank,
+            r.settling_tick.map(|t| t.to_string()).unwrap_or_else(|| "never".into())
+        );
+    }
+    println!("paper picks 105: ~40 % of maximum consumption, still starts every tank");
+
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("ablation_start_code", |b| {
+        b.iter(|| ablation::start_code_sweep(&presets))
+    });
+    g.finish();
+}
+
+fn bench_driver_shape(c: &mut Criterion) {
+    let runs = ablation::driver_shape_comparison();
+    println!("--- ablation: driver I-V shape ---");
+    println!("{:<18} {:>8} {:>14}", "shape", "k", "Vpp @ 1 mA");
+    for r in &runs {
+        println!("{:<18} {:>8.3} {:>13.3}V", r.shape, r.k_factor, r.amplitude_vpp);
+    }
+    println!("paper eq 3: k ≈ 0.9 for the linear approximation of Fig 2");
+
+    c.bench_function("ablation_driver_shape", |b| {
+        b.iter(ablation::driver_shape_comparison)
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_window,
+    bench_dac_law,
+    bench_start_code,
+    bench_driver_shape
+);
+criterion_main!(benches);

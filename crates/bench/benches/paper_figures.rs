@@ -1,0 +1,95 @@
+//! Reproduces and times the DAC-level figures and table:
+//! Fig 2 (driver I–V), Fig 3 (multiplication factor), Fig 4 (relative
+//! step), Table 1 (control coding), Fig 13 (measured current limitation)
+//! and Fig 14 (measured relative step).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcosc_bench::figures;
+
+fn print_series_f64(name: &str, pts: &[(u8, f64)], every: usize) {
+    println!("--- {name} ---");
+    for (code, v) in pts.iter().step_by(every) {
+        println!("{code:>4} {v:>14.6e}");
+    }
+}
+
+fn bench_fig02(c: &mut Criterion) {
+    let pts = figures::fig02_driver_iv();
+    println!("--- Fig 2: driver static I-V (V, A) ---");
+    for (v, i) in pts.iter().step_by(10) {
+        println!("{v:>7.2} {i:>12.4e}");
+    }
+    c.bench_function("fig02_driver_iv", |b| b.iter(figures::fig02_driver_iv));
+}
+
+fn bench_fig03(c: &mut Criterion) {
+    let pts = figures::fig03_transfer();
+    println!("--- Fig 3: multiplication factor Mn (code, units) ---");
+    for (code, m) in pts.iter().step_by(8) {
+        println!("{code:>4} {m:>6}");
+    }
+    println!("full scale: {} units (paper: 1984)", pts[127].1);
+    c.bench_function("fig03_dac_transfer", |b| b.iter(figures::fig03_transfer));
+}
+
+fn bench_fig04(c: &mut Criterion) {
+    let pts = figures::fig04_relative_step();
+    let band: Vec<f64> = pts
+        .iter()
+        .filter(|(code, s)| *code >= 16 && s.is_some())
+        .map(|(_, s)| s.expect("filtered"))
+        .collect();
+    let min = band.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = band.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!("--- Fig 4: relative voltage step ---");
+    println!(
+        "band above code 16: {:.2} % .. {:.2} % (paper: 3.23 % .. 6.25 %)",
+        100.0 * min,
+        100.0 * max
+    );
+    c.bench_function("fig04_relative_step", |b| b.iter(figures::fig04_relative_step));
+}
+
+fn bench_table1(c: &mut Criterion) {
+    println!("--- Table 1: control signal coding ---");
+    println!("{}", figures::table1());
+    c.bench_function("table1_control_coding", |b| b.iter(figures::table1_verify));
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let pts = figures::fig13_measured_current();
+    print_series_f64("Fig 13: measured current limitation (code, A)", &pts, 8);
+    println!(
+        "full scale {:.3} mA (paper: ~24.8 mA at 12.5 uA/LSB)",
+        pts[127].1 * 1e3
+    );
+    c.bench_function("fig13_current_limit", |b| b.iter(figures::fig13_measured_current));
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let pts = figures::fig14_measured_step();
+    println!("--- Fig 14: measured relative step (code, step) ---");
+    for (code, s) in &pts {
+        if let Some(s) = s {
+            if *s < 0.0 || code % 16 == 0 {
+                println!(
+                    "{code:>4} {:>9.4} {}",
+                    s,
+                    if *s < 0.0 { "<-- negative (non-monotonic)" } else { "" }
+                );
+            }
+        }
+    }
+    c.bench_function("fig14_measured_step", |b| b.iter(figures::fig14_measured_step));
+}
+
+criterion_group!(
+    benches,
+    bench_fig02,
+    bench_fig03,
+    bench_fig04,
+    bench_table1,
+    bench_fig13,
+    bench_fig14
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Reproduces and times the closed-loop figures: Fig 15 (regulation steps
+//! detail) and Fig 16 (oscillator startup).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcosc_bench::figures;
+
+fn bench_fig15(c: &mut Criterion) {
+    let pts = figures::fig15_regulation_steps();
+    println!("--- Fig 15: regulation steps detail (t, code, Vpp) ---");
+    for (t, code, vpp) in &pts {
+        println!("{:>9.4} ms {:>5} {:>8.3} V", t * 1e3, code, vpp);
+    }
+    let codes: Vec<u8> = pts.iter().map(|p| p.1).collect();
+    let span = codes.iter().max().expect("non-empty") - codes.iter().min().expect("non-empty");
+    println!("code span over the disturbance: {span} counts (discrete +/-1 steps)");
+
+    let mut g = c.benchmark_group("closed_loop");
+    g.sample_size(10);
+    g.bench_function("fig15_regulation_steps", |b| {
+        b.iter(figures::fig15_regulation_steps)
+    });
+    g.finish();
+}
+
+fn bench_fig16(c: &mut Criterion) {
+    let pts = figures::fig16_startup();
+    println!("--- Fig 16: oscillator startup (t, code, Vpp) ---");
+    for (t, code, vpp) in pts.iter().step_by(4) {
+        println!("{:>9.4} ms {:>5} {:>8.3} V", t * 1e3, code, vpp);
+    }
+    let last = pts.last().expect("non-empty");
+    println!(
+        "settled at {:.3} Vpp; POR preset 105 -> NVM -> regulation, as in the paper",
+        last.2
+    );
+
+    let mut g = c.benchmark_group("closed_loop");
+    g.sample_size(10);
+    g.bench_function("fig16_startup", |b| b.iter(figures::fig16_startup));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig15, bench_fig16);
+criterion_main!(benches);

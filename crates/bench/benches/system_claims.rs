@@ -1,0 +1,60 @@
+//! Reproduces and times the system-level claims of §7–§9: consumption vs
+//! quality factor (250 µA … 30 mA), the FMEA coverage, and the dual-system
+//! supply-loss comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcosc_bench::figures;
+
+fn bench_consumption(c: &mut Criterion) {
+    let pts = figures::consumption_vs_q();
+    println!("--- §9: supply current vs tank quality factor (2.7 Vpp) ---");
+    println!("{:>8} {:>14} {:>6}", "Q", "supply", "code");
+    for (q, i, code) in &pts {
+        println!("{q:>8.1} {:>11.1} µA {code:>6}", i * 1e6);
+    }
+    println!("paper: 250 µA (high-Q) .. 30 mA (poor-Q)");
+
+    let mut g = c.benchmark_group("system");
+    g.sample_size(10);
+    g.bench_function("consumption_vs_q", |b| b.iter(figures::consumption_vs_q));
+    g.finish();
+}
+
+fn bench_fmea(c: &mut Criterion) {
+    let report = figures::fmea_matrix();
+    println!("--- §7: FMEA matrix ---");
+    println!("{report}");
+
+    let mut g = c.benchmark_group("system");
+    g.sample_size(10);
+    g.bench_function("fmea_coverage", |b| b.iter(figures::fmea_matrix));
+    g.finish();
+}
+
+fn bench_dual(c: &mut Criterion) {
+    let outcomes = figures::dual_redundancy();
+    println!("--- §8: dual-system supply loss (k = 0.8) ---");
+    println!(
+        "{:<26} {:>10} {:>10} {:>12} {:>10}",
+        "partner topology", "vpp before", "vpp after", "reflected G", "influence"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<26} {:>9.3}V {:>9.3}V {:>10.2e}S {:>9.2}%",
+            o.partner_topology.to_string(),
+            o.vpp_before,
+            o.vpp_after,
+            o.reflected_conductance,
+            100.0 * o.influence()
+        );
+    }
+    println!("paper: the unsupplied (Fig 11) system does not significantly influence the other");
+
+    let mut g = c.benchmark_group("system");
+    g.sample_size(10);
+    g.bench_function("dual_redundancy", |b| b.iter(figures::dual_redundancy));
+    g.finish();
+}
+
+criterion_group!(benches, bench_consumption, bench_fmea, bench_dual);
+criterion_main!(benches);

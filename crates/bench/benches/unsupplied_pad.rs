@@ -1,0 +1,52 @@
+//! Reproduces and times Fig 17 (pin current with Vdd floating) and Fig 18
+//! (pin/rail voltages with Vdd floating), for all three pad topologies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcosc_bench::figures;
+use lcosc_pad::topology::PadTopology;
+use lcosc_pad::unsupplied::UnsuppliedBench;
+
+fn bench_fig17(c: &mut Criterion) {
+    println!("--- Fig 17: current through LC1,2 with Vdd floating ---");
+    for topology in PadTopology::ALL {
+        let pts = figures::fig17_18_unsupplied(topology);
+        let peak = UnsuppliedBench::peak_current(&pts);
+        println!("\n{topology}: peak |I| = {:.3} mA", peak * 1e3);
+        println!("{:>8} {:>12}", "V diff", "I loop");
+        for p in pts.iter().step_by(6) {
+            println!("{:>7.2}V {:>10.4e}A", p.v_diff, p.i_loop);
+        }
+    }
+    println!("\npaper (Fig 11 stage): |I| < ~0.8 mA over +/-3 V; Fig 10a loads heavily");
+
+    let mut g = c.benchmark_group("pad_dc");
+    g.sample_size(10);
+    g.bench_function("fig17_unsupplied_current", |b| {
+        b.iter(|| figures::fig17_18_unsupplied(PadTopology::BulkSwitched))
+    });
+    g.finish();
+}
+
+fn bench_fig18(c: &mut Criterion) {
+    let pts = figures::fig17_18_unsupplied(PadTopology::BulkSwitched);
+    println!("--- Fig 18: voltages on LC1, LC2 and Vdd (bulk-switched) ---");
+    println!("{:>8} {:>9} {:>9} {:>9}", "V diff", "LC1", "LC2", "Vdd");
+    for p in pts.iter().step_by(4) {
+        println!(
+            "{:>7.2}V {:>8.3}V {:>8.3}V {:>8.3}V",
+            p.v_diff, p.v_lc1, p.v_lc2, p.v_vdd
+        );
+    }
+    println!("shape check: the high pin clamps one junction above the pumped rail,");
+    println!("the low pin follows the source; Vdd rises symmetrically with |V|.");
+
+    let mut g = c.benchmark_group("pad_dc");
+    g.sample_size(10);
+    g.bench_function("fig18_unsupplied_voltage", |b| {
+        b.iter(|| figures::fig17_18_unsupplied(PadTopology::PlainCmos))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig17, bench_fig18);
+criterion_main!(benches);

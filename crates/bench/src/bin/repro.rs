@@ -1,0 +1,130 @@
+//! `repro` — regenerates every table and figure of the paper in one run
+//! and writes the series as CSV files under `target/repro/`.
+//!
+//! ```text
+//! cargo run --release -p lcosc-bench --bin repro
+//! ```
+
+use lcosc_bench::csv::write_csv;
+use lcosc_bench::{ablation, figures};
+use lcosc_pad::topology::PadTopology;
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = PathBuf::from("target/repro");
+    println!("writing figure data to {}", out.display());
+
+    // Fig 2.
+    let fig02 = figures::fig02_driver_iv();
+    write_csv(
+        &out.join("fig02_driver_iv.csv"),
+        &["v", "i"],
+        fig02.iter().map(|(v, i)| vec![*v, *i]),
+    )?;
+
+    // Fig 3 / Fig 4.
+    let fig03 = figures::fig03_transfer();
+    write_csv(
+        &out.join("fig03_transfer.csv"),
+        &["code", "units"],
+        fig03.iter().map(|(c, m)| vec![*c as f64, *m as f64]),
+    )?;
+    let fig04 = figures::fig04_relative_step();
+    write_csv(
+        &out.join("fig04_relative_step.csv"),
+        &["code", "step"],
+        fig04
+            .iter()
+            .filter_map(|(c, s)| s.map(|s| vec![*c as f64, s])),
+    )?;
+
+    // Table 1.
+    println!("\n{}", figures::table1());
+    figures::table1_verify();
+
+    // Fig 13 / Fig 14.
+    let fig13 = figures::fig13_measured_current();
+    write_csv(
+        &out.join("fig13_measured_current.csv"),
+        &["code", "amps"],
+        fig13.iter().map(|(c, i)| vec![*c as f64, *i]),
+    )?;
+    let fig14 = figures::fig14_measured_step();
+    write_csv(
+        &out.join("fig14_measured_step.csv"),
+        &["code", "step"],
+        fig14
+            .iter()
+            .filter_map(|(c, s)| s.map(|s| vec![*c as f64, s])),
+    )?;
+
+    // Fig 15 / Fig 16.
+    let fig15 = figures::fig15_regulation_steps();
+    write_csv(
+        &out.join("fig15_regulation_steps.csv"),
+        &["t", "code", "vpp"],
+        fig15.iter().map(|(t, c, v)| vec![*t, *c as f64, *v]),
+    )?;
+    let fig16 = figures::fig16_startup();
+    write_csv(
+        &out.join("fig16_startup.csv"),
+        &["t", "code", "vpp"],
+        fig16.iter().map(|(t, c, v)| vec![*t, *c as f64, *v]),
+    )?;
+
+    // Fig 17 / Fig 18, all topologies.
+    for topology in PadTopology::ALL {
+        let pts = figures::fig17_18_unsupplied(topology);
+        let name = match topology {
+            PadTopology::PlainCmos => "plain_cmos",
+            PadTopology::SeriesPmos => "series_pmos",
+            PadTopology::BulkSwitched => "bulk_switched",
+        };
+        write_csv(
+            &out.join(format!("fig17_18_{name}.csv")),
+            &["v_diff", "i_loop", "v_lc1", "v_lc2", "v_vdd"],
+            pts.iter()
+                .map(|p| vec![p.v_diff, p.i_loop, p.v_lc1, p.v_lc2, p.v_vdd]),
+        )?;
+    }
+
+    // §9 consumption, §7 FMEA, §8 dual.
+    let consumption = figures::consumption_vs_q();
+    write_csv(
+        &out.join("consumption_vs_q.csv"),
+        &["q", "supply_a", "code"],
+        consumption.iter().map(|(q, i, c)| vec![*q, *i, *c as f64]),
+    )?;
+    println!("{}", figures::fmea_matrix());
+    let dual = figures::dual_redundancy();
+    for o in &dual {
+        println!(
+            "dual {}: vpp {:.3} -> {:.3} (influence {:.2} %)",
+            o.partner_topology,
+            o.vpp_before,
+            o.vpp_after,
+            100.0 * o.influence()
+        );
+    }
+
+    // Ablations.
+    let window = ablation::window_width_sweep(&[0.03, 0.05, 0.07, 0.10, 0.15, 0.25]);
+    write_csv(
+        &out.join("ablation_window.csv"),
+        &["window", "activity", "amp_error"],
+        window
+            .iter()
+            .map(|r| vec![r.window, r.activity, r.amplitude_error]),
+    )?;
+    for r in ablation::dac_law_comparison() {
+        println!(
+            "dac law {}: operating code {}, step there {:.2} %",
+            r.law,
+            r.operating_code,
+            100.0 * r.worst_step_near_operating
+        );
+    }
+
+    println!("\nall figures regenerated; see EXPERIMENTS.md for paper-vs-measured notes");
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Tiny CSV writer for the `repro` binary's artifact output.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Writes rows of `f64` columns with a header to `path` (directories are
+/// created as needed).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(
+    path: &Path,
+    header: &[&str],
+    rows: impl IntoIterator<Item = Vec<f64>>,
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut body = String::new();
+    body.push_str(&header.join(","));
+    body.push('\n');
+    for row in rows {
+        let mut first = true;
+        for v in row {
+            if !first {
+                body.push(',');
+            }
+            let _ = write!(body, "{v:.9e}");
+            first = false;
+        }
+        body.push('\n');
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_header_and_rows() {
+        let dir = std::env::temp_dir().join("lcosc_csv_test");
+        let path = dir.join("t.csv");
+        write_csv(&path, &["a", "b"], vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert!(s.starts_with("a,b\n"));
+        assert_eq!(s.lines().count(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

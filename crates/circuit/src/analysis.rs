@@ -1,0 +1,61 @@
+//! Analyses: DC operating point, DC sweep and transient.
+
+pub mod ac;
+pub mod dc;
+pub mod sweep;
+pub mod transient;
+
+use crate::netlist::Netlist;
+use crate::stamp::{build_system, Mode};
+use crate::{CircuitError, Result};
+use lcosc_num::linalg::Matrix;
+
+/// Shared Newton–Raphson driver: iterates the companion-model linearization
+/// until the update is below tolerance.
+///
+/// Node-voltage updates are limited to `v_step_limit` per iteration
+/// (SPICE-style limiting), which keeps exponential devices stable.
+pub(crate) fn newton_solve(
+    nl: &Netlist,
+    x0: &[f64],
+    mode: &Mode<'_>,
+    max_iter: usize,
+    v_tol: f64,
+    v_step_limit: f64,
+    analysis: &'static str,
+    at: f64,
+) -> Result<Vec<f64>> {
+    let n = nl.unknown_count();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let nn = nl.node_count() - 1;
+    let mut a = Matrix::zeros(n, n);
+    let mut b = vec![0.0; n];
+    let mut x = x0.to_vec();
+
+    for _ in 0..max_iter {
+        build_system(nl, &x, mode, &mut a, &mut b);
+        let xn = match a.solve(&b) {
+            Ok(v) => v,
+            Err(_) => return Err(CircuitError::Singular { at }),
+        };
+        let mut max_delta = 0.0f64;
+        for i in 0..n {
+            let mut delta = xn[i] - x[i];
+            if i < nn {
+                // Limit node-voltage moves; branch currents are left free.
+                delta = delta.clamp(-v_step_limit, v_step_limit);
+                max_delta = max_delta.max(delta.abs());
+            }
+            x[i] += delta;
+        }
+        if !x.iter().all(|v| v.is_finite()) {
+            return Err(CircuitError::NoConvergence { analysis, at });
+        }
+        if max_delta < v_tol {
+            return Ok(x);
+        }
+    }
+    Err(CircuitError::NoConvergence { analysis, at })
+}

@@ -1,0 +1,382 @@
+//! Small-signal AC analysis: linearize every nonlinear device around the DC
+//! operating point, then solve the complex MNA system at each frequency
+//! with one independent source driven at unit amplitude.
+
+use crate::analysis::dc::{solve_dc, DcSolution};
+use crate::netlist::{Element, ElementId, Netlist, NodeId};
+use crate::{CircuitError, Result};
+use lcosc_num::fft::Complex;
+use lcosc_num::linalg::ComplexMatrix;
+
+/// One frequency point of an AC sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcPoint {
+    /// Analysis frequency in hertz.
+    pub frequency: f64,
+    node_count: usize,
+    x: Vec<Complex>,
+}
+
+impl AcPoint {
+    /// Complex node voltage (phasor) relative to the unit source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to the analyzed netlist.
+    pub fn voltage(&self, n: NodeId) -> Complex {
+        assert!(n.index() < self.node_count, "node {n} not in solution");
+        if n.is_ground() {
+            Complex::default()
+        } else {
+            self.x[n.index() - 1]
+        }
+    }
+
+    /// Voltage magnitude in dB relative to the unit source.
+    pub fn magnitude_db(&self, n: NodeId) -> f64 {
+        20.0 * self.voltage(n).abs().max(1e-300).log10()
+    }
+
+    /// Voltage phase in radians.
+    pub fn phase(&self, n: NodeId) -> f64 {
+        self.voltage(n).arg()
+    }
+}
+
+/// Runs an AC sweep: the designated independent `source` is driven with a
+/// unit AC amplitude (all other independent sources are AC-grounded), the
+/// nonlinear devices are linearized around the DC operating point, and the
+/// complex MNA system is solved at each frequency.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidInput`] when `source` is not an
+/// independent source or `freqs` is empty; propagates DC and linear-solve
+/// failures otherwise.
+pub fn ac_sweep(nl: &Netlist, source: ElementId, freqs: &[f64]) -> Result<Vec<AcPoint>> {
+    match nl.element(source) {
+        Element::VoltageSource { .. } | Element::CurrentSource { .. } => {}
+        _ => {
+            return Err(CircuitError::InvalidInput(
+                "ac source must be an independent source",
+            ))
+        }
+    }
+    if freqs.is_empty() {
+        return Err(CircuitError::InvalidInput("ac sweep needs frequencies"));
+    }
+    let op = solve_dc(nl)?;
+    freqs
+        .iter()
+        .map(|&f| solve_ac_point(nl, source, &op, f))
+        .collect()
+}
+
+fn solve_ac_point(
+    nl: &Netlist,
+    source: ElementId,
+    op: &DcSolution,
+    frequency: f64,
+) -> Result<AcPoint> {
+    if !(frequency > 0.0) {
+        return Err(CircuitError::InvalidInput("frequency must be positive"));
+    }
+    let nn = nl.node_count() - 1;
+    let n = nl.unknown_count();
+    let branch = nl.branch_indices();
+    let omega = 2.0 * std::f64::consts::PI * frequency;
+    let j = Complex::I;
+
+    let mut a = ComplexMatrix::zeros(n.max(1), n.max(1));
+    let mut b = vec![Complex::default(); n.max(1)];
+
+    let idx = |node: NodeId| -> Option<usize> { (!node.is_ground()).then(|| node.index() - 1) };
+    let real = |v: f64| Complex::new(v, 0.0);
+
+    let stamp_g = |a: &mut ComplexMatrix, na: NodeId, nb: NodeId, g: Complex| {
+        if let Some(i) = idx(na) {
+            a.add(i, i, g);
+            if let Some(jn) = idx(nb) {
+                a.add(i, jn, -g);
+            }
+        }
+        if let Some(i) = idx(nb) {
+            a.add(i, i, g);
+            if let Some(jn) = idx(na) {
+                a.add(i, jn, -g);
+            }
+        }
+    };
+
+    for (k, e) in nl.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { a: na, b: nb, ohms } => {
+                stamp_g(&mut a, *na, *nb, real(1.0 / ohms))
+            }
+            Element::Switch {
+                a: na,
+                b: nb,
+                closed,
+                r_on,
+                r_off,
+            } => {
+                let r = if *closed { *r_on } else { *r_off };
+                stamp_g(&mut a, *na, *nb, real(1.0 / r));
+            }
+            Element::Capacitor {
+                a: na,
+                b: nb,
+                farads,
+                ..
+            } => stamp_g(&mut a, *na, *nb, j * (omega * farads)),
+            Element::Inductor {
+                a: na,
+                b: nb,
+                henries,
+                ..
+            } => {
+                let jb = nn + branch[k].expect("inductor branch");
+                if let Some(i) = idx(*na) {
+                    a.add(i, jb, real(1.0));
+                    a.add(jb, i, real(1.0));
+                }
+                if let Some(i) = idx(*nb) {
+                    a.add(i, jb, real(-1.0));
+                    a.add(jb, i, real(-1.0));
+                }
+                a.add(jb, jb, -(j * (omega * henries)));
+            }
+            Element::VoltageSource { p, n: nneg, .. } => {
+                let jb = nn + branch[k].expect("vsource branch");
+                if let Some(i) = idx(*p) {
+                    a.add(i, jb, real(1.0));
+                    a.add(jb, i, real(1.0));
+                }
+                if let Some(i) = idx(*nneg) {
+                    a.add(i, jb, real(-1.0));
+                    a.add(jb, i, real(-1.0));
+                }
+                if ElementId(k) == source {
+                    b[jb] = real(1.0);
+                }
+            }
+            Element::CurrentSource { p, n: nneg, .. } => {
+                if ElementId(k) == source {
+                    if let Some(i) = idx(*p) {
+                        b[i] = b[i] + real(1.0);
+                    }
+                    if let Some(i) = idx(*nneg) {
+                        b[i] = b[i] - real(1.0);
+                    }
+                }
+            }
+            Element::Vccs {
+                out_p,
+                out_n,
+                in_p,
+                in_n,
+                gm,
+            } => {
+                for (out, sign) in [(*out_p, 1.0), (*out_n, -1.0)] {
+                    if let Some(r) = idx(out) {
+                        if let Some(c) = idx(*in_p) {
+                            a.add(r, c, real(sign * gm));
+                        }
+                        if let Some(c) = idx(*in_n) {
+                            a.add(r, c, real(-sign * gm));
+                        }
+                    }
+                }
+            }
+            Element::Diode {
+                anode,
+                cathode,
+                model,
+            } => {
+                let v = op.voltage(*anode) - op.voltage(*cathode);
+                stamp_g(&mut a, *anode, *cathode, real(model.conductance(v)));
+            }
+            Element::Mosfet {
+                d,
+                g: gate,
+                s,
+                b: bulk,
+                model,
+            } => {
+                let vb = op.voltage(*bulk);
+                let dev = model.evaluate_4t(
+                    op.voltage(*gate) - vb,
+                    op.voltage(*d) - vb,
+                    op.voltage(*s) - vb,
+                );
+                let gmb = -(dev.gm + dev.gds + dev.gms);
+                for (node, sign) in [(*d, 1.0), (*s, -1.0)] {
+                    if let Some(r) = idx(node) {
+                        if let Some(c) = idx(*gate) {
+                            a.add(r, c, real(sign * dev.gm));
+                        }
+                        if let Some(c) = idx(*d) {
+                            a.add(r, c, real(sign * dev.gds));
+                        }
+                        if let Some(c) = idx(*s) {
+                            a.add(r, c, real(sign * dev.gms));
+                        }
+                        if let Some(c) = idx(*bulk) {
+                            a.add(r, c, real(sign * gmb));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // gmin for floating nodes.
+    for i in 0..nn {
+        a.add(i, i, real(1e-12));
+    }
+
+    let x = if n == 0 {
+        Vec::new()
+    } else {
+        a.solve(&b).map_err(|_| CircuitError::Singular { at: frequency })?
+    };
+    Ok(AcPoint {
+        frequency,
+        node_count: nl.node_count(),
+        x: x.into_iter().take(nn).collect(),
+    })
+}
+
+/// Logarithmically spaced frequencies, inclusive of both ends.
+///
+/// # Panics
+///
+/// Panics unless `points >= 2` and both ends are positive with
+/// `end > start`.
+pub fn logspace(start: f64, end: f64, points: usize) -> Vec<f64> {
+    assert!(points >= 2, "need at least two points");
+    assert!(start > 0.0 && end > start, "need 0 < start < end");
+    let (l0, l1) = (start.ln(), end.ln());
+    (0..points)
+        .map(|i| (l0 + (l1 - l0) * i as f64 / (points - 1) as f64).exp())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Waveform;
+
+    #[test]
+    fn rc_lowpass_has_3db_corner() {
+        let r = 1e3;
+        let c = 1e-9;
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * r * c);
+        let mut nl = Netlist::new();
+        let vin = nl.node("vin");
+        let out = nl.node("out");
+        let src = nl.voltage_source(vin, Netlist::GROUND, Waveform::Dc(0.0));
+        nl.resistor(vin, out, r);
+        nl.capacitor(out, Netlist::GROUND, c);
+        let pts = ac_sweep(&nl, src, &[fc / 100.0, fc, fc * 100.0]).unwrap();
+        assert!((pts[0].magnitude_db(out) - 0.0).abs() < 0.01, "passband");
+        assert!((pts[1].magnitude_db(out) + 3.01).abs() < 0.05, "corner");
+        assert!((pts[2].magnitude_db(out) + 40.0).abs() < 0.2, "stopband");
+        // Phase: −45° at the corner.
+        assert!((pts[1].phase(out) + std::f64::consts::FRAC_PI_4).abs() < 1e-3);
+    }
+
+    #[test]
+    fn series_rlc_peaks_at_resonance() {
+        let l = 25e-6f64;
+        let c = 1e-9f64;
+        let rs = 10.0f64;
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt());
+        let mut nl = Netlist::new();
+        let vin = nl.node("vin");
+        let mid = nl.node("mid");
+        let out = nl.node("out");
+        let src = nl.voltage_source(vin, Netlist::GROUND, Waveform::Dc(0.0));
+        nl.resistor(vin, mid, rs);
+        nl.inductor(mid, out, l);
+        nl.capacitor(out, Netlist::GROUND, c);
+        // Voltage across the capacitor peaks near f0 with gain ~ Q.
+        let q = (l / c).sqrt() / rs;
+        let pts = ac_sweep(&nl, src, &logspace(f0 / 10.0, f0 * 10.0, 101)).unwrap();
+        let peak = pts
+            .iter()
+            .max_by(|a, b| a.voltage(out).abs().total_cmp(&b.voltage(out).abs()))
+            .expect("non-empty");
+        assert!(
+            (peak.frequency / f0 - 1.0).abs() < 0.06,
+            "peak at {} vs f0 {}",
+            peak.frequency,
+            f0
+        );
+        assert!(
+            (peak.voltage(out).abs() / q - 1.0).abs() < 0.1,
+            "gain {} vs Q {q}",
+            peak.voltage(out).abs()
+        );
+    }
+
+    #[test]
+    fn mosfet_amplifier_gain_matches_gm_rl() {
+        // Common-source stage: |A| = gm·RL at low frequency.
+        let mut nl = Netlist::new();
+        let vdd = nl.node("vdd");
+        let gate = nl.node("gate");
+        let drain = nl.node("drain");
+        nl.voltage_source(vdd, Netlist::GROUND, Waveform::Dc(3.3));
+        let vg = nl.voltage_source(gate, Netlist::GROUND, Waveform::Dc(1.2));
+        nl.resistor(vdd, drain, 2e3);
+        nl.mosfet(
+            drain,
+            gate,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            lcosc_device::mos::MosModel::nmos_035um(),
+        );
+        // Expected gain from the model's own small-signal parameters.
+        let op = solve_dc(&nl).unwrap();
+        let dev = lcosc_device::mos::MosModel::nmos_035um().evaluate(1.2, op.voltage(drain));
+        let expected = dev.gm * (1.0 / (1.0 / 2e3 + dev.gds));
+        let pts = ac_sweep(&nl, vg, &[1e3]).unwrap();
+        let gain = pts[0].voltage(drain).abs();
+        assert!((gain / expected - 1.0).abs() < 0.02, "{gain} vs {expected}");
+        // Inverting stage: phase ~ 180°.
+        assert!(pts[0].phase(drain).abs() > 3.0);
+    }
+
+    #[test]
+    fn capacitor_blocks_dc_passes_hf() {
+        let mut nl = Netlist::new();
+        let vin = nl.node("vin");
+        let out = nl.node("out");
+        let src = nl.voltage_source(vin, Netlist::GROUND, Waveform::Dc(0.0));
+        nl.capacitor(vin, out, 1e-9);
+        nl.resistor(out, Netlist::GROUND, 1e3);
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
+        let pts = ac_sweep(&nl, src, &[fc / 1000.0, fc * 1000.0]).unwrap();
+        assert!(pts[0].magnitude_db(out) < -55.0);
+        assert!(pts[1].magnitude_db(out) > -0.1);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let r = nl.resistor(a, Netlist::GROUND, 1e3);
+        let src = nl.voltage_source(a, Netlist::GROUND, Waveform::Dc(0.0));
+        assert!(ac_sweep(&nl, r, &[1e3]).is_err());
+        assert!(ac_sweep(&nl, src, &[]).is_err());
+        assert!(ac_sweep(&nl, src, &[-1.0]).is_err());
+    }
+
+    #[test]
+    fn logspace_is_geometric() {
+        let f = logspace(1.0, 1000.0, 4);
+        assert!((f[0] - 1.0).abs() < 1e-12);
+        assert!((f[3] - 1000.0).abs() < 1e-9);
+        assert!((f[1] / f[0] - f[2] / f[1]).abs() < 1e-9);
+    }
+}

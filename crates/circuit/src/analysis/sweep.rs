@@ -1,0 +1,154 @@
+//! DC sweep with solution continuation.
+//!
+//! Re-solves the operating point while stepping one independent source
+//! through a list of values, warm-starting each point from the previous one.
+//! This is how the paper's Fig 17/18 (pin I–V of the unsupplied driver) are
+//! reproduced.
+
+use crate::analysis::dc::{solve_dc_with, DcOptions, DcSolution};
+use crate::netlist::{Element, ElementId, Netlist, Waveform};
+use crate::{CircuitError, Result};
+
+/// One point of a DC sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Swept source value at this point.
+    pub value: f64,
+    /// Converged operating point.
+    pub solution: DcSolution,
+}
+
+/// Sweeps the value of an independent voltage or current source through
+/// `values`, solving the DC operating point at each step with continuation.
+///
+/// The netlist is taken by value (clone before calling to keep the
+/// original); the swept source is restored to its last value on return.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidInput`] if `source` is not an independent
+/// source or `values` is empty; otherwise propagates solver errors annotated
+/// with the failing sweep value.
+pub fn dc_sweep(
+    mut nl: Netlist,
+    source: ElementId,
+    values: &[f64],
+    opts: &DcOptions,
+) -> Result<Vec<SweepPoint>> {
+    if values.is_empty() {
+        return Err(CircuitError::InvalidInput("sweep needs at least one value"));
+    }
+    match nl.element(source) {
+        Element::VoltageSource { .. } | Element::CurrentSource { .. } => {}
+        _ => {
+            return Err(CircuitError::InvalidInput(
+                "swept element must be an independent source",
+            ))
+        }
+    }
+
+    let mut out = Vec::with_capacity(values.len());
+    let mut warm: Option<Vec<f64>> = None;
+    for &v in values {
+        match nl.element_mut(source) {
+            Element::VoltageSource { wave, .. } | Element::CurrentSource { wave, .. } => {
+                *wave = Waveform::Dc(v);
+            }
+            _ => unreachable!("validated above"),
+        }
+        let sol = solve_dc_with(&nl, opts, warm.as_deref()).map_err(|e| match e {
+            CircuitError::NoConvergence { analysis, .. } => {
+                CircuitError::NoConvergence { analysis, at: v }
+            }
+            other => other,
+        })?;
+        warm = Some(sol.raw().to_vec());
+        out.push(SweepPoint { value: v, solution: sol });
+    }
+    Ok(out)
+}
+
+/// Builds a uniformly spaced list of sweep values, inclusive of both ends.
+///
+/// # Panics
+///
+/// Panics if `points < 2`.
+pub fn linspace(start: f64, end: f64, points: usize) -> Vec<f64> {
+    assert!(points >= 2, "need at least two points");
+    (0..points)
+        .map(|i| start + (end - start) * i as f64 / (points - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Waveform;
+    use lcosc_device::diode::DiodeModel;
+
+    #[test]
+    fn linspace_endpoints_and_spacing() {
+        let v = linspace(-1.0, 1.0, 5);
+        assert_eq!(v, vec![-1.0, -0.5, 0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn resistor_sweep_is_linear() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let src = nl.voltage_source(a, Netlist::GROUND, Waveform::Dc(0.0));
+        let r = nl.resistor(a, Netlist::GROUND, 1e3);
+        let pts = dc_sweep(nl, src, &linspace(-2.0, 2.0, 9), &DcOptions::default()).unwrap();
+        assert_eq!(pts.len(), 9);
+        for p in &pts {
+            assert!((p.solution.current(r) - p.value / 1e3).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn diode_sweep_shows_knee() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let src = nl.voltage_source(a, Netlist::GROUND, Waveform::Dc(0.0));
+        let d = nl.diode(a, Netlist::GROUND, DiodeModel::default());
+        let pts = dc_sweep(nl, src, &linspace(-1.0, 0.8, 37), &DcOptions::default()).unwrap();
+        let i_rev = pts[0].solution.current(d);
+        let i_fwd = pts.last().unwrap().solution.current(d);
+        assert!(i_rev.abs() < 1e-12);
+        assert!(i_fwd > 1e-4, "forward current {i_fwd}");
+        // Currents must be monotone in the swept voltage.
+        for w in pts.windows(2) {
+            assert!(w[1].solution.current(d) >= w[0].solution.current(d) - 1e-15);
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_non_source() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let r = nl.resistor(a, Netlist::GROUND, 1e3);
+        nl.voltage_source(a, Netlist::GROUND, Waveform::Dc(1.0));
+        let e = dc_sweep(nl, r, &[1.0], &DcOptions::default()).unwrap_err();
+        assert!(matches!(e, CircuitError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn sweep_rejects_empty_values() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let src = nl.voltage_source(a, Netlist::GROUND, Waveform::Dc(0.0));
+        nl.resistor(a, Netlist::GROUND, 1e3);
+        let e = dc_sweep(nl, src, &[], &DcOptions::default()).unwrap_err();
+        assert!(matches!(e, CircuitError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn current_source_sweep() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let src = nl.current_source(a, Netlist::GROUND, Waveform::Dc(0.0));
+        nl.resistor(a, Netlist::GROUND, 2e3);
+        let pts = dc_sweep(nl, src, &[0.0, 1e-3, 2e-3], &DcOptions::default()).unwrap();
+        assert!((pts[2].solution.voltage(a) - 4.0).abs() < 1e-6);
+    }
+}

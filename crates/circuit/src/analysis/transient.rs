@@ -1,0 +1,331 @@
+//! Transient analysis: fixed-step backward-Euler or trapezoidal integration
+//! with a Newton solve at every time step.
+
+use crate::analysis::dc::{solve_dc_with, DcOptions};
+use crate::analysis::newton_solve;
+use crate::netlist::{ElementId, Netlist, NodeId};
+use crate::stamp::{element_current, History, Mode};
+use crate::Result;
+
+pub use crate::stamp::Integrator;
+
+/// Options controlling a transient run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientOptions {
+    /// Fixed time step in seconds.
+    pub dt: f64,
+    /// End time in seconds (simulation runs from 0 to `t_end`).
+    pub t_end: f64,
+    /// Integration method.
+    pub integrator: Integrator,
+    /// When `true`, start from element initial conditions instead of a DC
+    /// operating point (SPICE "UIC").
+    pub use_initial_conditions: bool,
+    /// Record every `record_stride`-th step (1 = all).
+    pub record_stride: usize,
+    /// Newton budget per step.
+    pub max_iter: usize,
+    /// Newton voltage tolerance.
+    pub v_tol: f64,
+}
+
+impl TransientOptions {
+    /// Creates options for a run to `t_end` with step `dt`, trapezoidal
+    /// integration, starting from initial conditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dt > 0` and `t_end > dt`.
+    pub fn new(dt: f64, t_end: f64) -> Self {
+        assert!(dt > 0.0, "dt must be positive");
+        assert!(t_end > dt, "t_end must exceed dt");
+        TransientOptions {
+            dt,
+            t_end,
+            integrator: Integrator::Trapezoidal,
+            use_initial_conditions: true,
+            record_stride: 1,
+            max_iter: 50,
+            v_tol: 1e-9,
+        }
+    }
+}
+
+/// Recorded transient waveforms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    node_count: usize,
+    /// `voltages[k]` is the full node-voltage vector at `times[k]`
+    /// (index 0 = node 1; ground is implicit 0).
+    voltages: Vec<Vec<f64>>,
+    /// `currents[k][e]` is the current of element `e` at `times[k]`.
+    currents: Vec<Vec<f64>>,
+}
+
+impl TransientResult {
+    /// Recorded sample times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Voltage trace of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to the simulated netlist.
+    pub fn voltage_trace(&self, n: NodeId) -> Vec<f64> {
+        assert!(n.index() < self.node_count, "node {n} not in result");
+        if n.is_ground() {
+            return vec![0.0; self.times.len()];
+        }
+        self.voltages.iter().map(|v| v[n.index() - 1]).collect()
+    }
+
+    /// Voltage of a node at sample `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range sample or foreign node.
+    pub fn voltage_at(&self, n: NodeId, k: usize) -> f64 {
+        assert!(n.index() < self.node_count, "node {n} not in result");
+        if n.is_ground() {
+            0.0
+        } else {
+            self.voltages[k][n.index() - 1]
+        }
+    }
+
+    /// Current trace of one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element does not belong to the simulated netlist.
+    pub fn current_trace(&self, e: ElementId) -> Vec<f64> {
+        self.currents.iter().map(|c| c[e.index()]).collect()
+    }
+}
+
+/// Runs a transient analysis.
+///
+/// # Errors
+///
+/// Propagates Newton convergence failures annotated with the failing time
+/// point, and DC failures when `use_initial_conditions` is `false`.
+pub fn run_transient(nl: &Netlist, opts: &TransientOptions) -> Result<TransientResult> {
+    let n = nl.unknown_count();
+    let mut history = History::from_initial_conditions(nl);
+
+    // Starting state.
+    let mut x = if opts.use_initial_conditions {
+        vec![0.0; n]
+    } else {
+        let dc = solve_dc_with(nl, &DcOptions::default(), None)?;
+        let x = dc.raw().to_vec();
+        // Absorb the DC point into the reactive-element history so the first
+        // step starts from steady state.
+        let mode = Mode::Dc {
+            gmin: 1e-12,
+            source_scale: 1.0,
+        };
+        history.absorb(nl, &x, &mode);
+        x
+    };
+
+    let steps = (opts.t_end / opts.dt).ceil() as usize;
+    let stride = opts.record_stride.max(1);
+    let mut result = TransientResult {
+        times: Vec::with_capacity(steps / stride + 2),
+        node_count: nl.node_count(),
+        voltages: Vec::with_capacity(steps / stride + 2),
+        currents: Vec::with_capacity(steps / stride + 2),
+    };
+
+    // Record t = 0.
+    let record = |result: &mut TransientResult, t: f64, x: &[f64], mode: &Mode<'_>| {
+        result.times.push(t);
+        result.voltages.push(x[..nl.node_count() - 1].to_vec());
+        result
+            .currents
+            .push((0..nl.elements().len()).map(|k| element_current(nl, k, x, mode)).collect());
+    };
+    {
+        let mode0 = Mode::Dc {
+            gmin: 1e-12,
+            source_scale: 1.0,
+        };
+        record(&mut result, 0.0, &x, &mode0);
+    }
+
+    for step in 1..=steps {
+        let t = step as f64 * opts.dt;
+        let mode = Mode::Transient {
+            t,
+            dt: opts.dt,
+            integrator: opts.integrator,
+            history: &history,
+        };
+        x = newton_solve(nl, &x, &mode, opts.max_iter, opts.v_tol, 2.0, "transient", t)?;
+        if step % stride == 0 || step == steps {
+            record(&mut result, t, &x, &mode);
+        }
+        // Update history *after* recording so recorded currents use the
+        // pre-step history (consistent companion model).
+        let mode_absorb = Mode::Transient {
+            t,
+            dt: opts.dt,
+            integrator: opts.integrator,
+            history: &history,
+        };
+        let mut new_history = history.clone();
+        new_history.absorb(nl, &x, &mode_absorb);
+        history = new_history;
+    }
+
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Waveform;
+
+    #[test]
+    fn rc_charge_curve() {
+        let mut nl = Netlist::new();
+        let vin = nl.node("vin");
+        let out = nl.node("out");
+        nl.voltage_source(vin, Netlist::GROUND, Waveform::Dc(1.0));
+        nl.resistor(vin, out, 1e3);
+        nl.capacitor(out, Netlist::GROUND, 1e-6); // tau = 1 ms
+        let opts = TransientOptions::new(1e-6, 1e-3);
+        let res = run_transient(&nl, &opts).unwrap();
+        let v_end = *res.voltage_trace(out).last().unwrap();
+        let expect = 1.0 - (-1.0f64).exp();
+        assert!((v_end - expect).abs() < 1e-3, "{v_end} vs {expect}");
+    }
+
+    #[test]
+    fn rc_from_dc_operating_point_stays_flat() {
+        let mut nl = Netlist::new();
+        let vin = nl.node("vin");
+        let out = nl.node("out");
+        nl.voltage_source(vin, Netlist::GROUND, Waveform::Dc(2.0));
+        nl.resistor(vin, out, 1e3);
+        nl.capacitor(out, Netlist::GROUND, 1e-6);
+        let mut opts = TransientOptions::new(1e-5, 5e-4);
+        opts.use_initial_conditions = false;
+        let res = run_transient(&nl, &opts).unwrap();
+        for &v in &res.voltage_trace(out) {
+            assert!((v - 2.0).abs() < 1e-6, "drifted to {v}");
+        }
+    }
+
+    #[test]
+    fn lc_tank_oscillates_at_resonance() {
+        // 1 µH with 1 µF -> f0 = 1/(2π·1µ) ≈ 159.15 kHz
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.capacitor_ic(a, Netlist::GROUND, 1e-6, 1.0);
+        nl.inductor(a, Netlist::GROUND, 1e-6);
+        let opts = TransientOptions::new(5e-9, 40e-6);
+        let res = run_transient(&nl, &opts).unwrap();
+        let trace = res.voltage_trace(a);
+        let f = lcosc_num::ode::frequency_from_crossings(0.0, 5e-9, &trace).unwrap();
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * 1e-6);
+        assert!((f / f0 - 1.0).abs() < 0.01, "f {f} vs {f0}");
+    }
+
+    #[test]
+    fn trapezoidal_preserves_lc_amplitude_better_than_be() {
+        let build = || {
+            let mut nl = Netlist::new();
+            let a = nl.node("a");
+            nl.capacitor_ic(a, Netlist::GROUND, 1e-6, 1.0);
+            nl.inductor(a, Netlist::GROUND, 1e-6);
+            (nl, a)
+        };
+        let run = |integrator| {
+            let (nl, a) = build();
+            let mut opts = TransientOptions::new(2e-8, 60e-6);
+            opts.integrator = integrator;
+            let res = run_transient(&nl, &opts).unwrap();
+            let trace = res.voltage_trace(a);
+            trace[trace.len() / 2..].iter().fold(0.0f64, |m, v| m.max(v.abs()))
+        };
+        let amp_trap = run(Integrator::Trapezoidal);
+        let amp_be = run(Integrator::BackwardEuler);
+        assert!(amp_trap > 0.95, "trapezoidal amplitude {amp_trap}");
+        assert!(amp_be < amp_trap, "BE should damp: {amp_be} vs {amp_trap}");
+    }
+
+    #[test]
+    fn sine_source_passes_through() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.voltage_source(
+            a,
+            Netlist::GROUND,
+            Waveform::Sine {
+                offset: 0.0,
+                amplitude: 1.0,
+                frequency: 1e6,
+                phase: 0.0,
+            },
+        );
+        nl.resistor(a, Netlist::GROUND, 1e3);
+        let opts = TransientOptions::new(1e-9, 2e-6);
+        let res = run_transient(&nl, &opts).unwrap();
+        let trace = res.voltage_trace(a);
+        let peak = trace.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!((peak - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn record_stride_thins_output() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.voltage_source(a, Netlist::GROUND, Waveform::Dc(1.0));
+        nl.resistor(a, Netlist::GROUND, 1.0);
+        let mut opts = TransientOptions::new(1e-6, 1e-4);
+        opts.record_stride = 10;
+        let res = run_transient(&nl, &opts).unwrap();
+        assert!(res.len() <= 12, "{} samples", res.len());
+        assert!(!res.is_empty());
+    }
+
+    #[test]
+    fn inductor_current_ramp() {
+        // V = L di/dt: 1 V across 1 mH ramps 1 A/ms.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.voltage_source(a, Netlist::GROUND, Waveform::Dc(1.0));
+        let l = nl.inductor(a, Netlist::GROUND, 1e-3);
+        let opts = TransientOptions::new(1e-6, 1e-3);
+        let res = run_transient(&nl, &opts).unwrap();
+        let i_end = *res.current_trace(l).last().unwrap();
+        assert!((i_end - 1.0).abs() < 2e-3, "i {i_end}");
+    }
+
+    #[test]
+    fn voltage_at_and_ground_queries() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.voltage_source(a, Netlist::GROUND, Waveform::Dc(1.0));
+        nl.resistor(a, Netlist::GROUND, 1.0);
+        let res = run_transient(&nl, &TransientOptions::new(1e-6, 1e-5)).unwrap();
+        assert_eq!(res.voltage_at(Netlist::GROUND, 0), 0.0);
+        assert!((res.voltage_at(a, res.len() - 1) - 1.0).abs() < 1e-9);
+        assert_eq!(res.voltage_trace(Netlist::GROUND).len(), res.len());
+    }
+}

@@ -1,0 +1,716 @@
+//! Netlist construction: nodes, elements and source waveforms.
+
+use lcosc_device::diode::DiodeModel;
+use lcosc_device::mos::MosModel;
+
+/// A circuit node. [`Netlist::GROUND`] is the reference node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Raw index (0 is ground).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Whether this is the ground/reference node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_ground() {
+            write!(f, "gnd")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+/// Handle to an element added to a [`Netlist`], used to query branch
+/// currents from solutions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ElementId(pub(crate) usize);
+
+impl ElementId {
+    /// Raw element index in insertion order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Independent-source waveform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// `offset + amplitude · sin(2π f t + phase)`.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Peak amplitude.
+        amplitude: f64,
+        /// Frequency in hertz.
+        frequency: f64,
+        /// Phase in radians.
+        phase: f64,
+    },
+    /// Single step from `v0` to `v1` at `t_step` with linear `t_rise`.
+    Step {
+        /// Initial value.
+        v0: f64,
+        /// Final value.
+        v1: f64,
+        /// Step start time in seconds.
+        t_step: f64,
+        /// Rise time in seconds.
+        t_rise: f64,
+    },
+    /// Piece-wise-linear `(time, value)` points; clamped outside the range.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Waveform {
+    /// Evaluates the waveform at time `t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Sine {
+                offset,
+                amplitude,
+                frequency,
+                phase,
+            } => offset + amplitude * (2.0 * std::f64::consts::PI * frequency * t + phase).sin(),
+            Waveform::Step {
+                v0,
+                v1,
+                t_step,
+                t_rise,
+            } => {
+                if t <= *t_step {
+                    *v0
+                } else if *t_rise > 0.0 && t < t_step + t_rise {
+                    v0 + (v1 - v0) * (t - t_step) / t_rise
+                } else {
+                    *v1
+                }
+            }
+            Waveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                if t >= points[points.len() - 1].0 {
+                    return points[points.len() - 1].1;
+                }
+                let idx = points.partition_point(|p| p.0 <= t);
+                let (t0, v0) = points[idx - 1];
+                let (t1, v1) = points[idx];
+                v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+            }
+        }
+    }
+
+    /// Value used for DC operating-point analysis (the t = 0 value).
+    pub fn dc_value(&self) -> f64 {
+        self.eval(0.0)
+    }
+}
+
+/// One netlist element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// Linear resistor between `a` and `b`.
+    Resistor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance in ohms.
+        ohms: f64,
+    },
+    /// Linear capacitor between `a` and `b`.
+    Capacitor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance in farads.
+        farads: f64,
+        /// Initial voltage `v(a) − v(b)` at t = 0.
+        v0: f64,
+    },
+    /// Linear inductor between `a` and `b` (adds a branch-current unknown).
+    Inductor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Inductance in henries.
+        henries: f64,
+        /// Initial current from `a` to `b` at t = 0.
+        i0: f64,
+    },
+    /// Independent voltage source from `p` (+) to `n` (−); adds a
+    /// branch-current unknown (current flows from `p` through the source to
+    /// `n`, i.e. a positive branch current means the source *sinks* current
+    /// at its positive terminal).
+    VoltageSource {
+        /// Positive terminal.
+        p: NodeId,
+        /// Negative terminal.
+        n: NodeId,
+        /// Source value over time.
+        wave: Waveform,
+    },
+    /// Independent current source injecting its value *into* `p` and out of
+    /// `n`.
+    CurrentSource {
+        /// Terminal receiving the current.
+        p: NodeId,
+        /// Terminal sourcing the current.
+        n: NodeId,
+        /// Source value over time.
+        wave: Waveform,
+    },
+    /// Voltage-controlled current source:
+    /// `i(out_p → out_n) = gm · (v(in_p) − v(in_n))`.
+    Vccs {
+        /// Output current leaves this terminal.
+        out_p: NodeId,
+        /// Output current enters this terminal.
+        out_n: NodeId,
+        /// Positive sense input.
+        in_p: NodeId,
+        /// Negative sense input.
+        in_n: NodeId,
+        /// Transconductance in siemens.
+        gm: f64,
+    },
+    /// Junction diode from `anode` to `cathode`.
+    Diode {
+        /// Anode.
+        anode: NodeId,
+        /// Cathode.
+        cathode: NodeId,
+        /// Device model.
+        model: DiodeModel,
+    },
+    /// Four-terminal MOSFET (drain, gate, source, bulk). Body diodes are
+    /// *not* implicit; add [`Element::Diode`]s explicitly where the topology
+    /// has them.
+    Mosfet {
+        /// Drain.
+        d: NodeId,
+        /// Gate.
+        g: NodeId,
+        /// Source.
+        s: NodeId,
+        /// Bulk (model voltages are referenced to this terminal).
+        b: NodeId,
+        /// Device model.
+        model: MosModel,
+    },
+    /// Ideal switch: `r_on` when closed, `r_off` when open.
+    Switch {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Whether the switch is conducting.
+        closed: bool,
+        /// On resistance in ohms.
+        r_on: f64,
+        /// Off resistance in ohms.
+        r_off: f64,
+    },
+}
+
+/// A circuit under construction.
+///
+/// Nodes are created with [`Netlist::node`]; elements with the dedicated
+/// add methods, each returning an [`ElementId`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Netlist {
+    node_names: Vec<String>,
+    elements: Vec<Element>,
+}
+
+impl Netlist {
+    /// The ground/reference node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Creates an empty netlist containing only the ground node.
+    pub fn new() -> Self {
+        Netlist {
+            node_names: vec!["gnd".to_string()],
+            elements: Vec::new(),
+        }
+    }
+
+    /// Creates a named node and returns its id.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        self.node_names.push(name.to_string());
+        NodeId(self.node_names.len() - 1)
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to this netlist.
+    pub fn node_name(&self, n: NodeId) -> &str {
+        &self.node_names[n.0]
+    }
+
+    /// All elements in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Element behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this netlist.
+    pub fn element(&self, id: ElementId) -> &Element {
+        &self.elements[id.0]
+    }
+
+    /// Mutable element access (e.g. toggling a [`Element::Switch`] or
+    /// re-pointing a source between analyses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this netlist.
+    pub fn element_mut(&mut self, id: ElementId) -> &mut Element {
+        &mut self.elements[id.0]
+    }
+
+    fn check_node(&self, n: NodeId) {
+        assert!(n.0 < self.node_names.len(), "node {n} not in this netlist");
+    }
+
+    fn push(&mut self, e: Element) -> ElementId {
+        self.elements.push(e);
+        ElementId(self.elements.len() - 1)
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is not positive or a node is foreign.
+    pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> ElementId {
+        assert!(ohms > 0.0, "resistance must be positive");
+        self.check_node(a);
+        self.check_node(b);
+        self.push(Element::Resistor { a, b, ohms })
+    }
+
+    /// Adds a capacitor with zero initial voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads` is not positive or a node is foreign.
+    pub fn capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) -> ElementId {
+        self.capacitor_ic(a, b, farads, 0.0)
+    }
+
+    /// Adds a capacitor with an initial voltage `v0 = v(a) − v(b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads` is not positive or a node is foreign.
+    pub fn capacitor_ic(&mut self, a: NodeId, b: NodeId, farads: f64, v0: f64) -> ElementId {
+        assert!(farads > 0.0, "capacitance must be positive");
+        self.check_node(a);
+        self.check_node(b);
+        self.push(Element::Capacitor { a, b, farads, v0 })
+    }
+
+    /// Adds an inductor with zero initial current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `henries` is not positive or a node is foreign.
+    pub fn inductor(&mut self, a: NodeId, b: NodeId, henries: f64) -> ElementId {
+        self.inductor_ic(a, b, henries, 0.0)
+    }
+
+    /// Adds an inductor with an initial current `i0` flowing `a → b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `henries` is not positive or a node is foreign.
+    pub fn inductor_ic(&mut self, a: NodeId, b: NodeId, henries: f64, i0: f64) -> ElementId {
+        assert!(henries > 0.0, "inductance must be positive");
+        self.check_node(a);
+        self.check_node(b);
+        self.push(Element::Inductor { a, b, henries, i0 })
+    }
+
+    /// Adds an independent voltage source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is foreign.
+    pub fn voltage_source(&mut self, p: NodeId, n: NodeId, wave: Waveform) -> ElementId {
+        self.check_node(p);
+        self.check_node(n);
+        self.push(Element::VoltageSource { p, n, wave })
+    }
+
+    /// Adds an independent current source injecting into `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is foreign.
+    pub fn current_source(&mut self, p: NodeId, n: NodeId, wave: Waveform) -> ElementId {
+        self.check_node(p);
+        self.check_node(n);
+        self.push(Element::CurrentSource { p, n, wave })
+    }
+
+    /// Adds a voltage-controlled current source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is foreign or `gm` is not finite.
+    pub fn vccs(
+        &mut self,
+        out_p: NodeId,
+        out_n: NodeId,
+        in_p: NodeId,
+        in_n: NodeId,
+        gm: f64,
+    ) -> ElementId {
+        assert!(gm.is_finite(), "gm must be finite");
+        for n in [out_p, out_n, in_p, in_n] {
+            self.check_node(n);
+        }
+        self.push(Element::Vccs {
+            out_p,
+            out_n,
+            in_p,
+            in_n,
+            gm,
+        })
+    }
+
+    /// Adds a diode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is foreign.
+    pub fn diode(&mut self, anode: NodeId, cathode: NodeId, model: DiodeModel) -> ElementId {
+        self.check_node(anode);
+        self.check_node(cathode);
+        self.push(Element::Diode {
+            anode,
+            cathode,
+            model,
+        })
+    }
+
+    /// Adds a four-terminal MOSFET.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is foreign.
+    pub fn mosfet(
+        &mut self,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        b: NodeId,
+        model: MosModel,
+    ) -> ElementId {
+        for n in [d, g, s, b] {
+            self.check_node(n);
+        }
+        self.push(Element::Mosfet { d, g, s, b, model })
+    }
+
+    /// Adds a switch (1 Ω on, 1 GΩ off by default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is foreign.
+    pub fn switch(&mut self, a: NodeId, b: NodeId, closed: bool) -> ElementId {
+        self.check_node(a);
+        self.check_node(b);
+        self.push(Element::Switch {
+            a,
+            b,
+            closed,
+            r_on: 1.0,
+            r_off: 1e9,
+        })
+    }
+
+    /// Opens or closes a previously added switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a switch of this netlist.
+    pub fn set_switch(&mut self, id: ElementId, closed: bool) {
+        match &mut self.elements[id.0] {
+            Element::Switch { closed: c, .. } => *c = closed,
+            other => panic!("element {id:?} is not a switch: {other:?}"),
+        }
+    }
+
+    /// Number of extra branch-current unknowns (voltage sources and
+    /// inductors), in element order.
+    pub(crate) fn branch_count(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::VoltageSource { .. } | Element::Inductor { .. }))
+            .count()
+    }
+
+    /// Maps each element to its branch-unknown index (if it has one).
+    pub(crate) fn branch_indices(&self) -> Vec<Option<usize>> {
+        let mut next = 0usize;
+        self.elements
+            .iter()
+            .map(|e| {
+                if matches!(e, Element::VoltageSource { .. } | Element::Inductor { .. }) {
+                    let idx = next;
+                    next += 1;
+                    Some(idx)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Total number of MNA unknowns: non-ground nodes plus branch currents.
+    pub(crate) fn unknown_count(&self) -> usize {
+        (self.node_count() - 1) + self.branch_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_are_sequential_and_named() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        assert_eq!(a.index(), 1);
+        assert_eq!(b.index(), 2);
+        assert_eq!(nl.node_name(a), "a");
+        assert!(Netlist::GROUND.is_ground());
+        assert!(!a.is_ground());
+        assert_eq!(nl.node_count(), 3);
+    }
+
+    #[test]
+    fn node_display() {
+        assert_eq!(Netlist::GROUND.to_string(), "gnd");
+        assert_eq!(NodeId(3).to_string(), "n3");
+    }
+
+    #[test]
+    fn waveform_dc() {
+        assert_eq!(Waveform::Dc(2.5).eval(1.0), 2.5);
+        assert_eq!(Waveform::Dc(2.5).dc_value(), 2.5);
+    }
+
+    #[test]
+    fn waveform_sine() {
+        let w = Waveform::Sine {
+            offset: 1.0,
+            amplitude: 2.0,
+            frequency: 1.0,
+            phase: 0.0,
+        };
+        assert!((w.eval(0.25) - 3.0).abs() < 1e-12);
+        assert!((w.eval(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waveform_step() {
+        let w = Waveform::Step {
+            v0: 0.0,
+            v1: 3.3,
+            t_step: 1e-6,
+            t_rise: 1e-6,
+        };
+        assert_eq!(w.eval(0.0), 0.0);
+        assert!((w.eval(1.5e-6) - 1.65).abs() < 1e-9);
+        assert_eq!(w.eval(3e-6), 3.3);
+    }
+
+    #[test]
+    fn waveform_pwl_clamps() {
+        let w = Waveform::Pwl(vec![(0.0, 0.0), (1.0, 1.0)]);
+        assert_eq!(w.eval(-1.0), 0.0);
+        assert_eq!(w.eval(0.5), 0.5);
+        assert_eq!(w.eval(2.0), 1.0);
+        assert_eq!(Waveform::Pwl(vec![]).eval(0.0), 0.0);
+    }
+
+    #[test]
+    fn branch_indices_cover_sources_and_inductors() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.resistor(a, b, 1.0);
+        nl.voltage_source(a, Netlist::GROUND, Waveform::Dc(1.0));
+        nl.inductor(a, b, 1e-6);
+        nl.capacitor(b, Netlist::GROUND, 1e-9);
+        let idx = nl.branch_indices();
+        assert_eq!(idx, vec![None, Some(0), Some(1), None]);
+        assert_eq!(nl.branch_count(), 2);
+        assert_eq!(nl.unknown_count(), 2 + 2);
+    }
+
+    #[test]
+    fn switch_toggles() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let s = nl.switch(a, Netlist::GROUND, false);
+        nl.set_switch(s, true);
+        match nl.element(s) {
+            Element::Switch { closed, .. } => assert!(closed),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a switch")]
+    fn set_switch_rejects_non_switch() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let r = nl.resistor(a, Netlist::GROUND, 1.0);
+        nl.set_switch(r, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn resistor_rejects_zero() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.resistor(a, Netlist::GROUND, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in this netlist")]
+    fn foreign_node_rejected() {
+        let mut nl = Netlist::new();
+        nl.resistor(NodeId(5), Netlist::GROUND, 1.0);
+    }
+}
+
+impl Netlist {
+    /// Renders a SPICE-like listing of the netlist (one element per line)
+    /// for debugging and reports.
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let name = |n: NodeId| self.node_name(n).to_string();
+        for (k, e) in self.elements.iter().enumerate() {
+            let _ = match e {
+                Element::Resistor { a, b, ohms } => {
+                    writeln!(out, "R{k} {} {} {ohms:.4e}", name(*a), name(*b))
+                }
+                Element::Capacitor { a, b, farads, v0 } => {
+                    writeln!(out, "C{k} {} {} {farads:.4e} ic={v0:.3}", name(*a), name(*b))
+                }
+                Element::Inductor { a, b, henries, i0 } => {
+                    writeln!(out, "L{k} {} {} {henries:.4e} ic={i0:.3}", name(*a), name(*b))
+                }
+                Element::VoltageSource { p, n, wave } => {
+                    writeln!(out, "V{k} {} {} dc={:.4e}", name(*p), name(*n), wave.dc_value())
+                }
+                Element::CurrentSource { p, n, wave } => {
+                    writeln!(out, "I{k} {} {} dc={:.4e}", name(*p), name(*n), wave.dc_value())
+                }
+                Element::Vccs {
+                    out_p,
+                    out_n,
+                    in_p,
+                    in_n,
+                    gm,
+                } => writeln!(
+                    out,
+                    "G{k} {} {} {} {} {gm:.4e}",
+                    name(*out_p),
+                    name(*out_n),
+                    name(*in_p),
+                    name(*in_n)
+                ),
+                Element::Diode { anode, cathode, .. } => {
+                    writeln!(out, "D{k} {} {}", name(*anode), name(*cathode))
+                }
+                Element::Mosfet { d, g, s, b, model } => writeln!(
+                    out,
+                    "M{k} {} {} {} {} {}",
+                    name(*d),
+                    name(*g),
+                    name(*s),
+                    name(*b),
+                    model.polarity()
+                ),
+                Element::Switch { a, b, closed, .. } => writeln!(
+                    out,
+                    "S{k} {} {} {}",
+                    name(*a),
+                    name(*b),
+                    if *closed { "on" } else { "off" }
+                ),
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod listing_tests {
+    use super::*;
+    use lcosc_device::diode::DiodeModel;
+    use lcosc_device::mos::MosModel;
+
+    #[test]
+    fn listing_covers_every_element_kind() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.resistor(a, b, 1e3);
+        nl.capacitor_ic(a, Netlist::GROUND, 1e-9, 0.5);
+        nl.inductor(a, b, 1e-6);
+        nl.voltage_source(a, Netlist::GROUND, Waveform::Dc(3.3));
+        nl.current_source(b, Netlist::GROUND, Waveform::Dc(1e-3));
+        nl.vccs(a, Netlist::GROUND, b, Netlist::GROUND, 1e-3);
+        nl.diode(a, b, DiodeModel::default());
+        nl.mosfet(a, b, Netlist::GROUND, Netlist::GROUND, MosModel::nmos_035um());
+        nl.switch(a, b, true);
+        let s = nl.listing();
+        assert_eq!(s.lines().count(), 9);
+        for prefix in ["R0", "C1", "L2", "V3", "I4", "G5", "D6", "M7 a b gnd gnd nmos", "S8 a b on"] {
+            assert!(s.contains(prefix), "missing {prefix} in:\n{s}");
+        }
+        assert!(s.contains("ic=0.500"));
+        assert!(s.contains("dc=3.3"));
+    }
+
+    #[test]
+    fn listing_of_empty_netlist_is_empty() {
+        assert!(Netlist::new().listing().is_empty());
+    }
+}

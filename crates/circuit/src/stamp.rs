@@ -1,0 +1,396 @@
+//! MNA stamping: turns a [`Netlist`] plus a linearization point into the
+//! linear system `A·x = b` solved at each Newton iteration.
+//!
+//! Unknown ordering: node voltages for nodes `1..node_count` (ground is
+//! eliminated), followed by one branch current per voltage source or
+//! inductor in element order.
+
+use crate::netlist::{Element, Netlist, NodeId};
+use lcosc_num::linalg::Matrix;
+
+/// Time-integration method for reactive elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Integrator {
+    /// Backward Euler: robust, slightly lossy (numerical damping).
+    #[default]
+    BackwardEuler,
+    /// Trapezoidal: second-order, energy-preserving for LC tanks.
+    Trapezoidal,
+}
+
+/// Per-element history carried between transient time steps.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct History {
+    /// Capacitor voltage v(a)−v(b) at the previous accepted step.
+    pub cap_v: Vec<f64>,
+    /// Capacitor current at the previous accepted step (trapezoidal only).
+    pub cap_i: Vec<f64>,
+    /// Inductor current at the previous accepted step.
+    pub ind_i: Vec<f64>,
+    /// Inductor voltage at the previous accepted step (trapezoidal only).
+    pub ind_v: Vec<f64>,
+}
+
+impl History {
+    /// Initializes history from the element initial conditions.
+    pub fn from_initial_conditions(nl: &Netlist) -> Self {
+        let n = nl.elements().len();
+        let mut h = History {
+            cap_v: vec![0.0; n],
+            cap_i: vec![0.0; n],
+            ind_i: vec![0.0; n],
+            ind_v: vec![0.0; n],
+        };
+        for (k, e) in nl.elements().iter().enumerate() {
+            match e {
+                Element::Capacitor { v0, .. } => h.cap_v[k] = *v0,
+                Element::Inductor { i0, .. } => h.ind_i[k] = *i0,
+                _ => {}
+            }
+        }
+        h
+    }
+
+    /// Updates history from a converged solution at the end of a step.
+    pub fn absorb(&mut self, nl: &Netlist, x: &[f64], mode: &Mode<'_>) {
+        let branch = nl.branch_indices();
+        let nn = nl.node_count() - 1;
+        for (k, e) in nl.elements().iter().enumerate() {
+            match e {
+                Element::Capacitor { a, b, farads, .. } => {
+                    let v = volt(x, *a) - volt(x, *b);
+                    let i = match mode {
+                        Mode::Transient {
+                            dt,
+                            integrator: Integrator::BackwardEuler,
+                            ..
+                        } => farads / dt * (v - self.cap_v[k]),
+                        Mode::Transient {
+                            dt,
+                            integrator: Integrator::Trapezoidal,
+                            ..
+                        } => 2.0 * farads / dt * (v - self.cap_v[k]) - self.cap_i[k],
+                        Mode::Dc { .. } => 0.0,
+                    };
+                    self.cap_v[k] = v;
+                    self.cap_i[k] = i;
+                }
+                Element::Inductor { a, b, .. } => {
+                    let j = branch[k].expect("inductor has a branch index");
+                    self.ind_i[k] = x[nn + j];
+                    self.ind_v[k] = volt(x, *a) - volt(x, *b);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Analysis mode passed to the stamper.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Mode<'a> {
+    /// DC operating point; `gmin` is added from every node to ground and
+    /// `source_scale` scales all independent sources (source stepping).
+    Dc { gmin: f64, source_scale: f64 },
+    /// One transient step ending at time `t` with step `dt`.
+    Transient {
+        t: f64,
+        dt: f64,
+        integrator: Integrator,
+        history: &'a History,
+    },
+}
+
+/// Voltage of a node under the MNA unknown ordering.
+pub(crate) fn volt(x: &[f64], n: NodeId) -> f64 {
+    if n.is_ground() {
+        0.0
+    } else {
+        x[n.index() - 1]
+    }
+}
+
+/// Builds the linearized MNA system `A·x_new = b` around the current
+/// iterate `x`.
+pub(crate) fn build_system(nl: &Netlist, x: &[f64], mode: &Mode<'_>, a: &mut Matrix, b: &mut [f64]) {
+    a.clear();
+    b.iter_mut().for_each(|v| *v = 0.0);
+    let nn = nl.node_count() - 1;
+    let branch = nl.branch_indices();
+
+    // Row/column index of a node (None for ground).
+    let idx = |n: NodeId| -> Option<usize> { (!n.is_ground()).then(|| n.index() - 1) };
+
+    // Conductance stamp between two nodes.
+    let stamp_g = |a: &mut Matrix, na: NodeId, nb: NodeId, g: f64| {
+        if let Some(i) = idx(na) {
+            a.add(i, i, g);
+            if let Some(j) = idx(nb) {
+                a.add(i, j, -g);
+            }
+        }
+        if let Some(i) = idx(nb) {
+            a.add(i, i, g);
+            if let Some(j) = idx(na) {
+                a.add(i, j, -g);
+            }
+        }
+    };
+    // Current injection into a node.
+    let inject = |b: &mut [f64], n: NodeId, i: f64| {
+        if let Some(k) = idx(n) {
+            b[k] += i;
+        }
+    };
+
+    let (src_scale, t_now) = match mode {
+        Mode::Dc { source_scale, .. } => (*source_scale, 0.0),
+        Mode::Transient { t, .. } => (1.0, *t),
+    };
+
+    for (k, e) in nl.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { a: na, b: nb, ohms } => stamp_g(a, *na, *nb, 1.0 / ohms),
+            Element::Switch {
+                a: na,
+                b: nb,
+                closed,
+                r_on,
+                r_off,
+            } => {
+                let r = if *closed { *r_on } else { *r_off };
+                stamp_g(a, *na, *nb, 1.0 / r);
+            }
+            Element::Capacitor {
+                a: na,
+                b: nb,
+                farads,
+                ..
+            } => match mode {
+                Mode::Dc { .. } => {} // open circuit
+                Mode::Transient {
+                    dt,
+                    integrator,
+                    history,
+                    ..
+                } => {
+                    let (g, i_hist) = match integrator {
+                        Integrator::BackwardEuler => {
+                            let g = farads / dt;
+                            (g, g * history.cap_v[k])
+                        }
+                        Integrator::Trapezoidal => {
+                            let g = 2.0 * farads / dt;
+                            (g, g * history.cap_v[k] + history.cap_i[k])
+                        }
+                    };
+                    stamp_g(a, *na, *nb, g);
+                    inject(b, *na, i_hist);
+                    inject(b, *nb, -i_hist);
+                }
+            },
+            Element::Inductor {
+                a: na,
+                b: nb,
+                henries,
+                ..
+            } => {
+                let j = nn + branch[k].expect("inductor branch");
+                // Branch current columns: current j flows a -> b.
+                if let Some(i) = idx(*na) {
+                    a.add(i, j, 1.0);
+                    a.add(j, i, 1.0);
+                }
+                if let Some(i) = idx(*nb) {
+                    a.add(i, j, -1.0);
+                    a.add(j, i, -1.0);
+                }
+                match mode {
+                    Mode::Dc { .. } => {
+                        // Short: v_a − v_b = 0, row already stamped; keep a
+                        // tiny series resistance so parallel sources cannot
+                        // make the matrix singular.
+                        a.add(j, j, -1e-9);
+                    }
+                    Mode::Transient {
+                        dt,
+                        integrator,
+                        history,
+                        ..
+                    } => match integrator {
+                        Integrator::BackwardEuler => {
+                            a.add(j, j, -henries / dt);
+                            b[j] = -henries / dt * history.ind_i[k];
+                        }
+                        Integrator::Trapezoidal => {
+                            a.add(j, j, -2.0 * henries / dt);
+                            b[j] = -2.0 * henries / dt * history.ind_i[k] - history.ind_v[k];
+                        }
+                    },
+                }
+            }
+            Element::VoltageSource { p, n, wave } => {
+                let j = nn + branch[k].expect("vsource branch");
+                if let Some(i) = idx(*p) {
+                    a.add(i, j, 1.0);
+                    a.add(j, i, 1.0);
+                }
+                if let Some(i) = idx(*n) {
+                    a.add(i, j, -1.0);
+                    a.add(j, i, -1.0);
+                }
+                b[j] = wave.eval(t_now) * src_scale;
+            }
+            Element::CurrentSource { p, n, wave } => {
+                let i = wave.eval(t_now) * src_scale;
+                inject(b, *p, i);
+                inject(b, *n, -i);
+            }
+            Element::Vccs {
+                out_p,
+                out_n,
+                in_p,
+                in_n,
+                gm,
+            } => {
+                // i(out_p -> out_n) = gm (v_inp − v_inn): KCL at out_p gains
+                // +gm·v_inp − gm·v_inn on the LHS.
+                for (out, sign) in [(out_p, 1.0), (out_n, -1.0)] {
+                    if let Some(r) = idx(*out) {
+                        if let Some(c) = idx(*in_p) {
+                            a.add(r, c, sign * gm);
+                        }
+                        if let Some(c) = idx(*in_n) {
+                            a.add(r, c, -sign * gm);
+                        }
+                    }
+                }
+            }
+            Element::Diode {
+                anode,
+                cathode,
+                model,
+            } => {
+                let v = volt(x, *anode) - volt(x, *cathode);
+                let (g, ieq) = model.companion(v);
+                stamp_g(a, *anode, *cathode, g);
+                inject(b, *anode, -ieq);
+                inject(b, *cathode, ieq);
+            }
+            Element::Mosfet {
+                d,
+                g: gate,
+                s,
+                b: bulk,
+                model,
+            } => {
+                let vb = volt(x, *bulk);
+                let vg = volt(x, *gate) - vb;
+                let vd = volt(x, *d) - vb;
+                let vs = volt(x, *s) - vb;
+                let op = model.evaluate_4t(vg, vd, vs);
+                let gmb = -(op.gm + op.gds + op.gms);
+                // id ≈ id* + gm ΔVg + gds ΔVd + gms ΔVs + gmb ΔVb (absolute
+                // node voltages).
+                let ieq = op.id
+                    - op.gm * volt(x, *gate)
+                    - op.gds * volt(x, *d)
+                    - op.gms * volt(x, *s)
+                    - gmb * vb;
+                for (node, sign) in [(*d, 1.0), (*s, -1.0)] {
+                    if let Some(r) = idx(node) {
+                        if let Some(c) = idx(*gate) {
+                            a.add(r, c, sign * op.gm);
+                        }
+                        if let Some(c) = idx(*d) {
+                            a.add(r, c, sign * op.gds);
+                        }
+                        if let Some(c) = idx(*s) {
+                            a.add(r, c, sign * op.gms);
+                        }
+                        if let Some(c) = idx(*bulk) {
+                            a.add(r, c, sign * gmb);
+                        }
+                        b[r] -= sign * ieq;
+                    }
+                }
+            }
+        }
+    }
+
+    // gmin to ground on every node (keeps floating subcircuits solvable and
+    // implements gmin stepping in DC).
+    let gmin = match mode {
+        Mode::Dc { gmin, .. } => *gmin,
+        Mode::Transient { .. } => 1e-12,
+    };
+    for i in 0..nn {
+        a.add(i, i, gmin);
+    }
+}
+
+/// Current through an element given a converged solution `x`.
+///
+/// Sign conventions: positive current flows from the first terminal to the
+/// second (for sources: from `p` through the element to `n`).
+pub(crate) fn element_current(
+    nl: &Netlist,
+    k: usize,
+    x: &[f64],
+    mode: &Mode<'_>,
+) -> f64 {
+    let nn = nl.node_count() - 1;
+    let branch = nl.branch_indices();
+    match &nl.elements()[k] {
+        Element::Resistor { a, b, ohms } => (volt(x, *a) - volt(x, *b)) / ohms,
+        Element::Switch {
+            a,
+            b,
+            closed,
+            r_on,
+            r_off,
+        } => (volt(x, *a) - volt(x, *b)) / if *closed { *r_on } else { *r_off },
+        Element::Capacitor { a, b, farads, .. } => match mode {
+            Mode::Dc { .. } => 0.0,
+            Mode::Transient {
+                dt,
+                integrator,
+                history,
+                ..
+            } => {
+                let v = volt(x, *a) - volt(x, *b);
+                match integrator {
+                    Integrator::BackwardEuler => farads / dt * (v - history.cap_v[k]),
+                    Integrator::Trapezoidal => {
+                        2.0 * farads / dt * (v - history.cap_v[k]) - history.cap_i[k]
+                    }
+                }
+            }
+        },
+        Element::Inductor { .. } | Element::VoltageSource { .. } => {
+            x[nn + branch[k].expect("branch element")]
+        }
+        Element::CurrentSource { wave, .. } => match mode {
+            Mode::Dc { source_scale, .. } => wave.dc_value() * source_scale,
+            Mode::Transient { t, .. } => wave.eval(*t),
+        },
+        Element::Vccs { in_p, in_n, gm, .. } => gm * (volt(x, *in_p) - volt(x, *in_n)),
+        Element::Diode {
+            anode,
+            cathode,
+            model,
+        } => model.current(volt(x, *anode) - volt(x, *cathode)),
+        Element::Mosfet {
+            d,
+            g,
+            s,
+            b,
+            model,
+        } => {
+            let vb = volt(x, *b);
+            model
+                .evaluate_4t(volt(x, *g) - vb, volt(x, *d) - vb, volt(x, *s) - vb)
+                .id
+        }
+    }
+}

@@ -1,0 +1,578 @@
+//! The closed regulation loop: oscillator + detector + FSM + startup,
+//! stepped together (paper Fig 16's startup and Fig 15's steady-state
+//! regulation come from this module).
+
+use crate::config::{Fidelity, OscillatorConfig};
+use crate::detector::{AmplitudeDetector, RECTIFIER_GAIN};
+use crate::envelope::EnvelopeModel;
+use crate::gm_driver::GmDriver;
+use crate::oscillator::{OscillatorModel, OscillatorState};
+use crate::regulator::RegulationFsm;
+use crate::startup::StartupSequencer;
+use crate::tank::LcTank;
+use crate::Result;
+use lcosc_dac::Code;
+use lcosc_device::comparator::WindowState;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Events logged by the simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimEvent {
+    /// NVM code applied (end of the POR-preset phase).
+    NvmLoaded {
+        /// Event time, seconds.
+        t: f64,
+        /// Loaded code.
+        code: Code,
+    },
+    /// The regulation loop changed the code.
+    CodeChanged {
+        /// Event time, seconds.
+        t: f64,
+        /// Previous code.
+        from: Code,
+        /// New code.
+        to: Code,
+    },
+    /// The loop hit the top code while still below the window (possible
+    /// component failure; feeds the low-amplitude safety detector).
+    SaturatedHigh {
+        /// Event time, seconds.
+        t: f64,
+    },
+    /// A fault was injected by the caller.
+    FaultInjected {
+        /// Event time, seconds.
+        t: f64,
+    },
+}
+
+/// Recorded per-tick history of a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimTrace {
+    /// Tick timestamps, seconds.
+    pub tick_times: Vec<f64>,
+    /// Code at the end of each tick.
+    pub codes: Vec<u8>,
+    /// Detector output `VDC1` at each tick.
+    pub vdc1: Vec<f64>,
+    /// Per-pin peak amplitude estimate at each tick.
+    pub amplitudes: Vec<f64>,
+    /// Logged events.
+    pub events: Vec<SimEvent>,
+    /// Cycle mode only: decimated differential waveform (`dt`, samples).
+    pub waveform_dt: f64,
+    /// Cycle mode only: decimated `v1 − v2` samples.
+    pub waveform_vdiff: Vec<f64>,
+}
+
+/// Result of [`ClosedLoopSim::run_until_settled`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SettleReport {
+    /// Whether the code settled (stayed within ±1 for several ticks).
+    pub settled: bool,
+    /// Ticks executed.
+    pub ticks: usize,
+    /// Final regulation code.
+    pub final_code: Code,
+    /// Final differential peak-to-peak amplitude, volts.
+    pub final_vpp: f64,
+    /// Estimated supply current at the final code, amperes.
+    pub supply_current: f64,
+}
+
+/// The closed amplitude-regulation loop.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopSim {
+    cfg: OscillatorConfig,
+    model: OscillatorModel,
+    envelope: EnvelopeModel,
+    detector: AmplitudeDetector,
+    fsm: RegulationFsm,
+    startup: StartupSequencer,
+    t: f64,
+    state: OscillatorState,
+    amp: f64,
+    nvm_applied: bool,
+    driver_dead: bool,
+    trace: SimTrace,
+    /// Cycle mode: record every n-th ODE sample into the waveform.
+    record_stride: usize,
+    scratch: Vec<f64>,
+    noise_rng: StdRng,
+}
+
+impl ClosedLoopSim {
+    /// Builds the loop from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::InvalidConfig`] when the configuration
+    /// fails validation.
+    pub fn new(cfg: OscillatorConfig) -> Result<Self> {
+        cfg.validate()?;
+        let driver = GmDriver::new(cfg.driver_shape, 0.0);
+        let model = OscillatorModel::new(cfg.tank, driver, cfg.vref).with_rails(cfg.vdd);
+        let envelope = EnvelopeModel::new(cfg.tank, driver).with_clamp(cfg.rail_clamp());
+        let det_dt = match cfg.fidelity {
+            Fidelity::Cycle => cfg.dt(),
+            Fidelity::Envelope => cfg.tick_period / cfg.envelope_substeps as f64,
+        };
+        let detector = AmplitudeDetector::new(
+            cfg.target_peak(),
+            cfg.window_rel_width,
+            cfg.detector_tau,
+            det_dt,
+            cfg.vref,
+        );
+        let fsm = RegulationFsm::new(Code::POR_PRESET, cfg.tick_period);
+        let startup = StartupSequencer::new(cfg.nvm_code, cfg.nvm_delay, cfg.tick_period);
+        let mut sim = ClosedLoopSim {
+            model,
+            envelope,
+            detector,
+            fsm,
+            startup,
+            t: 0.0,
+            state: OscillatorState::at_rest(cfg.vref),
+            amp: 0.5e-3,
+            nvm_applied: false,
+            driver_dead: false,
+            trace: SimTrace::default(),
+            record_stride: (cfg.steps_per_period / 8).max(1),
+            scratch: vec![0.0; 15],
+            noise_rng: StdRng::seed_from_u64(cfg.noise_seed),
+            cfg,
+        };
+        sim.trace.waveform_dt = sim.cfg.dt() * sim.record_stride as f64;
+        sim.apply_code(Code::POR_PRESET);
+        Ok(sim)
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &OscillatorConfig {
+        &self.cfg
+    }
+
+    /// Current simulation time, seconds.
+    pub fn time(&self) -> f64 {
+        self.t
+    }
+
+    /// Current regulation code.
+    pub fn code(&self) -> Code {
+        self.fsm.code()
+    }
+
+    /// Current per-pin peak amplitude estimate.
+    pub fn amplitude_peak(&self) -> f64 {
+        match self.cfg.fidelity {
+            Fidelity::Envelope => self.amp,
+            Fidelity::Cycle => self.detector.vdc1() / RECTIFIER_GAIN,
+        }
+    }
+
+    /// Current differential peak-to-peak amplitude estimate.
+    pub fn amplitude_vpp(&self) -> f64 {
+        4.0 * self.amplitude_peak()
+    }
+
+    /// Detector output `VDC1`.
+    pub fn vdc1(&self) -> f64 {
+        self.detector.vdc1()
+    }
+
+    /// Recorded history.
+    pub fn trace(&self) -> &SimTrace {
+        &self.trace
+    }
+
+    /// Consumes the simulation, returning the recorded history.
+    pub fn into_trace(self) -> SimTrace {
+        self.trace
+    }
+
+    /// Replaces the tank mid-run (component drift / fault injection).
+    /// Any previously injected pin leaks are reset.
+    pub fn inject_tank(&mut self, tank: LcTank) {
+        let driver = *self.model.driver();
+        self.model = OscillatorModel::new(tank, driver, self.cfg.vref).with_rails(self.cfg.vdd);
+        self.envelope =
+            EnvelopeModel::new(tank, driver).with_clamp(self.cfg.rail_clamp());
+        self.cfg.tank = tank;
+        self.trace.events.push(SimEvent::FaultInjected { t: self.t });
+    }
+
+    /// Overrides the regulation code immediately (safe-state reaction or
+    /// test stimulus); the loop keeps regulating from there.
+    pub fn force_code(&mut self, code: Code) {
+        self.fsm.set_code(code);
+        self.apply_code(code);
+    }
+
+    /// Kills both driver stages (hard internal failure).
+    pub fn inject_driver_failure(&mut self) {
+        self.driver_dead = true;
+        self.model.set_driver_enabled(false);
+        self.envelope.set_i_max(0.0);
+        self.trace.events.push(SimEvent::FaultInjected { t: self.t });
+    }
+
+    /// Adds a leak conductance at a pin (0 = LC1, 1 = LC2); cycle mode only
+    /// affects the waveform, envelope mode folds it into extra loss.
+    ///
+    /// A leak approaching `ω₀·C` overdamps the pin node entirely — the
+    /// resonant mode disappears and no driver transconductance can sustain
+    /// it; the envelope equivalent is made correspondingly extreme.
+    pub fn inject_pin_leak(&mut self, pin: usize, siemens: f64) {
+        self.model.set_pin_leak(pin, siemens);
+        // Envelope equivalent: a small pin leak g appears as g/2 of extra
+        // differential loss; fold into Rs via the critical-gm relation.
+        let tank = self.cfg.tank;
+        let quench = 0.5 * tank.omega0() * tank.c_avg().value();
+        let extra_gm = if siemens >= quench {
+            // Overdamped: no oscillation regardless of drive.
+            1e6
+        } else {
+            siemens / 2.0
+        };
+        let gm0 = tank.rs().value() * tank.c_avg().value() / tank.l().value();
+        let scale = (gm0 + extra_gm) / gm0;
+        let faulted = tank.with_rs(lcosc_num::units::Ohms(tank.rs().value() * scale));
+        let driver = *self.model.driver();
+        self.envelope =
+            EnvelopeModel::new(faulted, driver).with_clamp(self.cfg.rail_clamp());
+        self.trace.events.push(SimEvent::FaultInjected { t: self.t });
+    }
+
+    fn apply_code(&mut self, code: Code) {
+        let i_max = if self.driver_dead {
+            0.0
+        } else {
+            self.cfg.dac.current(code).value()
+        };
+        self.model.set_i_max(i_max);
+        self.envelope.set_i_max(i_max);
+        // The OscE bus also enables more parallel Gm stages at higher codes
+        // (Table 1's "Active Gm stages" column): the small-signal
+        // transconductance scales with the stage weight.
+        let weight = lcosc_dac::ControlWord::encode(code).gm_weight() as f64;
+        if let crate::gm_driver::DriverShape::LinearSaturate { gm }
+        | crate::gm_driver::DriverShape::Tanh { gm } = self.cfg.driver_shape
+        {
+            self.model.set_gm(gm * weight);
+            self.envelope.set_gm(gm * weight);
+        }
+    }
+
+    /// Runs one regulation tick (1 ms of simulated time); returns the
+    /// window state the FSM acted on.
+    pub fn tick(&mut self) -> WindowState {
+        let tick_end = self.t + self.cfg.tick_period;
+        let mut window = WindowState::Below;
+        match self.cfg.fidelity {
+            Fidelity::Envelope => {
+                let h = self.cfg.tick_period / self.cfg.envelope_substeps as f64;
+                for _ in 0..self.cfg.envelope_substeps {
+                    self.advance_startup(self.t + h);
+                    self.amp = self.envelope.step(self.amp, h);
+                    window = self.detector.update_from_amplitude(self.amp);
+                    self.t += h;
+                }
+            }
+            Fidelity::Cycle => {
+                let dt = self.cfg.dt();
+                let mut k = 0usize;
+                while self.t < tick_end {
+                    self.advance_startup(self.t + dt);
+                    self.model.step(&mut self.state, dt, &mut self.scratch);
+                    window = self.detector.update(self.state.v1, self.state.v2);
+                    self.t += dt;
+                    if k % self.record_stride == 0 {
+                        self.trace.waveform_vdiff.push(self.state.v_diff());
+                    }
+                    k += 1;
+                }
+            }
+        }
+
+        // Measurement noise perturbs the comparator decision (comparator
+        // offset drift, coupled interference); the window must absorb it.
+        if self.cfg.detector_noise_rms > 0.0 {
+            let u1: f64 = 1.0 - self.noise_rng.gen::<f64>();
+            let u2: f64 = self.noise_rng.gen();
+            let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let noisy = self.detector.vdc1() + self.cfg.detector_noise_rms * gauss;
+            window = self.detector.window().classify(noisy);
+        }
+
+        // Regulation acts from the first tick boundary onwards.
+        let before = self.fsm.code();
+        self.fsm.tick(window);
+        let after = self.fsm.code();
+        if after != before {
+            self.trace.events.push(SimEvent::CodeChanged {
+                t: self.t,
+                from: before,
+                to: after,
+            });
+            self.apply_code(after);
+        }
+        if self.fsm.saturated_high() {
+            self.trace.events.push(SimEvent::SaturatedHigh { t: self.t });
+        }
+
+        self.trace.tick_times.push(self.t);
+        self.trace.codes.push(self.fsm.code().value());
+        self.trace.vdc1.push(self.detector.vdc1());
+        self.trace.amplitudes.push(self.amplitude_peak());
+        window
+    }
+
+    /// Applies startup-forced codes when crossing the NVM-load instant.
+    fn advance_startup(&mut self, t_next: f64) {
+        if !self.nvm_applied {
+            if let Some(forced) = self.startup.forced_code(t_next) {
+                if forced != self.fsm.code() {
+                    self.fsm.set_code(forced);
+                    self.apply_code(forced);
+                    if forced == self.startup.nvm_code() {
+                        self.nvm_applied = true;
+                        self.trace.events.push(SimEvent::NvmLoaded {
+                            t: t_next,
+                            code: forced,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs `n` ticks.
+    pub fn run_ticks(&mut self, n: usize) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    /// Runs until the code settles (stays within a ±1 band for 6 ticks) or
+    /// 300 ticks elapse.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible beyond construction; returns `Ok` with
+    /// `settled = false` when the loop never stabilizes (e.g. under an
+    /// injected fault).
+    pub fn run_until_settled(&mut self) -> Result<SettleReport> {
+        const HOLD: usize = 6;
+        const MAX_TICKS: usize = 300;
+        let mut executed = 0usize;
+        let mut settled = false;
+        while executed < MAX_TICKS {
+            self.tick();
+            executed += 1;
+            let codes = &self.trace.codes;
+            if codes.len() >= HOLD + 2 {
+                let tail = &codes[codes.len() - HOLD..];
+                let lo = *tail.iter().min().expect("non-empty");
+                let hi = *tail.iter().max().expect("non-empty");
+                if hi - lo <= 1 {
+                    settled = true;
+                    break;
+                }
+            }
+        }
+        let cond = crate::condition::OscillationCondition::new(self.cfg.tank);
+        let i_max = self.cfg.dac.current(self.fsm.code()).value();
+        Ok(SettleReport {
+            settled,
+            ticks: executed,
+            final_code: self.fsm.code(),
+            final_vpp: self.amplitude_vpp(),
+            supply_current: cond
+                .supply_current(lcosc_num::units::Amps(i_max))
+                .value(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_loop_settles_near_recommended_code() {
+        let cfg = OscillatorConfig::fast_test();
+        let expected = cfg.recommended_nvm_code();
+        let mut sim = ClosedLoopSim::new(cfg).unwrap();
+        let report = sim.run_until_settled().unwrap();
+        assert!(report.settled, "did not settle: {report:?}");
+        let d = (report.final_code.value() as i32 - expected.value() as i32).abs();
+        assert!(d <= 2, "settled at {} vs expected {}", report.final_code, expected);
+    }
+
+    #[test]
+    fn settled_amplitude_is_within_window() {
+        let cfg = OscillatorConfig::fast_test();
+        let target = cfg.target_vpp;
+        let width = cfg.window_rel_width;
+        let mut sim = ClosedLoopSim::new(cfg).unwrap();
+        let report = sim.run_until_settled().unwrap();
+        assert!(
+            (report.final_vpp / target - 1.0).abs() < width,
+            "vpp {} vs target {target}",
+            report.final_vpp
+        );
+    }
+
+    #[test]
+    fn startup_sequence_events_in_order() {
+        let cfg = OscillatorConfig::fast_test();
+        let mut sim = ClosedLoopSim::new(cfg).unwrap();
+        sim.run_ticks(3);
+        let events = &sim.trace().events;
+        let nvm = events.iter().find_map(|e| match e {
+            SimEvent::NvmLoaded { t, code } => Some((*t, *code)),
+            _ => None,
+        });
+        let (t_nvm, code_nvm) = nvm.expect("nvm event logged");
+        assert!(t_nvm <= 10e-6, "nvm at {t_nvm}");
+        assert_eq!(code_nvm, sim.config().nvm_code);
+    }
+
+    #[test]
+    fn steady_state_hunting_is_bounded_by_one_code() {
+        let cfg = OscillatorConfig::fast_test();
+        let mut sim = ClosedLoopSim::new(cfg).unwrap();
+        sim.run_ticks(60);
+        let codes = &sim.trace().codes[30..];
+        let lo = *codes.iter().min().unwrap();
+        let hi = *codes.iter().max().unwrap();
+        assert!(hi - lo <= 1, "hunting range {lo}..{hi}");
+    }
+
+    #[test]
+    fn driver_failure_kills_amplitude_and_saturates_code() {
+        let cfg = OscillatorConfig::fast_test();
+        let mut sim = ClosedLoopSim::new(cfg).unwrap();
+        sim.run_until_settled().unwrap();
+        sim.inject_driver_failure();
+        sim.run_ticks(150);
+        assert!(sim.amplitude_vpp() < 0.05, "amplitude {}", sim.amplitude_vpp());
+        // The loop keeps asking for more current until it saturates high.
+        assert_eq!(sim.code(), Code::MAX);
+        assert!(sim
+            .trace()
+            .events
+            .iter()
+            .any(|e| matches!(e, SimEvent::SaturatedHigh { .. })));
+    }
+
+    #[test]
+    fn rs_drift_raises_regulated_code() {
+        let cfg = OscillatorConfig::fast_test();
+        let tank = cfg.tank;
+        let mut sim = ClosedLoopSim::new(cfg).unwrap();
+        let before = sim.run_until_settled().unwrap().final_code.value();
+        // Double the losses: the loop must roughly double the current.
+        sim.inject_tank(tank.with_rs(lcosc_num::units::Ohms(tank.rs().value() * 2.0)));
+        sim.run_ticks(120);
+        let after = sim.code().value();
+        assert!(after > before + 5, "code {before} -> {after}");
+    }
+
+    #[test]
+    fn cycle_fidelity_settles_too() {
+        let mut cfg = OscillatorConfig::fast_test();
+        cfg.fidelity = Fidelity::Cycle;
+        cfg.tick_period = 0.2e-3; // keep the debug-build test quick
+        cfg.detector_tau = 15e-6;
+        let expected = cfg.recommended_nvm_code();
+        let mut sim = ClosedLoopSim::new(cfg).unwrap();
+        sim.run_ticks(12);
+        let d = (sim.code().value() as i32 - expected.value() as i32).abs();
+        assert!(d <= 3, "cycle mode at {} vs {}", sim.code(), expected);
+        assert!(!sim.trace().waveform_vdiff.is_empty());
+    }
+
+    #[test]
+    fn cycle_and_envelope_agree_on_final_amplitude() {
+        let mut cyc_cfg = OscillatorConfig::fast_test();
+        cyc_cfg.fidelity = Fidelity::Cycle;
+        cyc_cfg.tick_period = 0.2e-3;
+        cyc_cfg.detector_tau = 15e-6;
+        let mut env_cfg = OscillatorConfig::fast_test();
+        env_cfg.tick_period = 0.2e-3;
+        env_cfg.detector_tau = 15e-6;
+        let mut cyc = ClosedLoopSim::new(cyc_cfg).unwrap();
+        let mut env = ClosedLoopSim::new(env_cfg).unwrap();
+        cyc.run_ticks(12);
+        env.run_ticks(12);
+        let (a, b) = (cyc.amplitude_vpp(), env.amplitude_vpp());
+        assert!((a / b - 1.0).abs() < 0.1, "cycle {a} vs envelope {b}");
+    }
+
+    #[test]
+    fn trace_records_every_tick() {
+        let mut sim = ClosedLoopSim::new(OscillatorConfig::fast_test()).unwrap();
+        sim.run_ticks(10);
+        let tr = sim.trace();
+        assert_eq!(tr.tick_times.len(), 10);
+        assert_eq!(tr.codes.len(), 10);
+        assert_eq!(tr.vdc1.len(), 10);
+        assert_eq!(tr.amplitudes.len(), 10);
+        // Tick times are uniform.
+        let dt = tr.tick_times[1] - tr.tick_times[0];
+        for w in tr.tick_times.windows(2) {
+            assert!((w[1] - w[0] - dt).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn noise_below_window_margin_does_not_destabilize() {
+        // Window half-width = 7.5 % of VDC1 target; noise at 1/5 of that
+        // must leave the loop settled with bounded hunting.
+        let mut cfg = OscillatorConfig::fast_test();
+        let vdc_target = crate::detector::RECTIFIER_GAIN * cfg.target_peak();
+        cfg.detector_noise_rms = 0.015 * vdc_target;
+        cfg.noise_seed = 42;
+        let mut sim = ClosedLoopSim::new(cfg).unwrap();
+        sim.run_ticks(120);
+        let codes = &sim.trace().codes[60..];
+        let lo = *codes.iter().min().unwrap();
+        let hi = *codes.iter().max().unwrap();
+        assert!(hi - lo <= 2, "noisy hunting range {lo}..{hi}");
+    }
+
+    #[test]
+    fn noise_wider_than_window_causes_hunting() {
+        let mut cfg = OscillatorConfig::fast_test();
+        let vdc_target = crate::detector::RECTIFIER_GAIN * cfg.target_peak();
+        cfg.detector_noise_rms = 0.25 * vdc_target; // swamps the ±7.5 % window
+        cfg.noise_seed = 42;
+        let mut sim = ClosedLoopSim::new(cfg).unwrap();
+        sim.run_ticks(200);
+        let activity = crate::measure::steady_state_activity(&sim.trace().codes);
+        assert!(activity > 0.3, "activity {activity}");
+    }
+
+    #[test]
+    fn noise_runs_are_reproducible() {
+        let mut cfg = OscillatorConfig::fast_test();
+        cfg.detector_noise_rms = 0.01;
+        cfg.noise_seed = 7;
+        let mut a = ClosedLoopSim::new(cfg.clone()).unwrap();
+        let mut b = ClosedLoopSim::new(cfg).unwrap();
+        a.run_ticks(50);
+        b.run_ticks(50);
+        assert_eq!(a.trace().codes, b.trace().codes);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = OscillatorConfig::fast_test();
+        cfg.window_rel_width = 0.01;
+        assert!(ClosedLoopSim::new(cfg).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Threshold-reference study (paper §6, Fig 8): the window-comparator
+//! thresholds VR3/VR4 are created by adding a *fraction of the bandgap
+//! voltage* to the filtered LC mid-point VR1. This module quantifies why —
+//! a supply-derived reference would drag the regulated amplitude around
+//! with supply tolerance and temperature, a bandgap-derived one holds it.
+
+use lcosc_device::bandgap::Bandgap;
+
+/// How the window-comparator reference voltage is generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReferenceStyle {
+    /// Fraction of the bandgap voltage (the paper's choice).
+    Bandgap(Bandgap),
+    /// Fraction of the supply rail (the cheap alternative).
+    SupplyFraction {
+        /// Actual supply voltage, volts (tolerance applies here).
+        vdd: f64,
+        /// Supply temperature coefficient, V/K (regulator drift).
+        tc: f64,
+    },
+}
+
+impl ReferenceStyle {
+    /// Reference voltage at `temp_k` kelvin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temp_k` is not positive.
+    pub fn reference(&self, temp_k: f64) -> f64 {
+        assert!(temp_k > 0.0, "temperature must be positive kelvin");
+        match self {
+            ReferenceStyle::Bandgap(bg) => bg.voltage(temp_k),
+            ReferenceStyle::SupplyFraction { vdd, tc } => vdd + tc * (temp_k - 300.0),
+        }
+    }
+
+    /// Relative drift of the regulated amplitude at `temp_k` compared to
+    /// 300 K: the loop servoes `VDC1` to the reference, so the amplitude
+    /// scales one-to-one with it.
+    pub fn amplitude_drift(&self, temp_k: f64) -> f64 {
+        self.reference(temp_k) / self.reference(300.0) - 1.0
+    }
+
+    /// Worst absolute amplitude drift over the automotive range
+    /// (−40 °C … 125 °C).
+    pub fn worst_automotive_drift(&self) -> f64 {
+        [233.15, 253.15, 273.15, 300.0, 333.15, 363.15, 398.15]
+            .iter()
+            .map(|&t| self.amplitude_drift(t).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bandgap_style() -> ReferenceStyle {
+        ReferenceStyle::Bandgap(Bandgap::default())
+    }
+
+    /// A 3.3 V automotive regulator: ±3 % initial tolerance and
+    /// ~300 ppm/K drift.
+    fn supply_style(tolerance: f64) -> ReferenceStyle {
+        ReferenceStyle::SupplyFraction {
+            vdd: 3.3 * (1.0 + tolerance),
+            tc: 3.3 * 300e-6,
+        }
+    }
+
+    #[test]
+    fn bandgap_reference_is_flat_over_temperature() {
+        let drift = bandgap_style().worst_automotive_drift();
+        assert!(drift < 0.02, "bandgap drift {drift}");
+    }
+
+    #[test]
+    fn supply_reference_drifts_more() {
+        let bg = bandgap_style().worst_automotive_drift();
+        let supply = supply_style(0.0).worst_automotive_drift();
+        assert!(
+            supply > bg,
+            "supply {supply} should beat bandgap {bg} in drift"
+        );
+    }
+
+    #[test]
+    fn supply_tolerance_shifts_amplitude_directly() {
+        // A +3 % supply makes the regulated amplitude +3 % — exactly what a
+        // precision sensor cannot afford; the bandgap is immune.
+        let nominal = supply_style(0.0);
+        let high = supply_style(0.03);
+        let shift = high.reference(300.0) / nominal.reference(300.0) - 1.0;
+        assert!((shift - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regulated_amplitude_tracks_reference_in_the_loop() {
+        // Close the loop twice with the window center scaled by the two
+        // references' 398 K drift and verify the settled amplitude moves
+        // exactly with the reference (the loop servoes to the window).
+        use crate::config::OscillatorConfig;
+        use crate::sim::ClosedLoopSim;
+
+        let run_with_target_scale = |scale: f64| {
+            let mut cfg = OscillatorConfig::fast_test();
+            cfg.target_vpp *= scale;
+            cfg.nvm_code = cfg.recommended_nvm_code();
+            let mut sim = ClosedLoopSim::new(cfg).expect("valid config");
+            sim.run_until_settled().expect("infallible").final_vpp
+        };
+
+        let base = run_with_target_scale(1.0);
+        let bg_scale = 1.0 + bandgap_style().amplitude_drift(398.15);
+        let sup_scale = 1.0 + supply_style(0.03).amplitude_drift(398.15) + 0.03;
+        let vpp_bg = run_with_target_scale(bg_scale);
+        let vpp_sup = run_with_target_scale(sup_scale);
+
+        let err_bg = (vpp_bg / base - 1.0).abs();
+        let err_sup = (vpp_sup / base - 1.0).abs();
+        assert!(err_bg < 0.05, "bandgap-referenced error {err_bg}");
+        assert!(
+            err_sup > err_bg,
+            "supply-referenced {err_sup} vs bandgap {err_bg}"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests on the oscillator core's invariants.
+
+use lcosc_core::condition::OscillationCondition;
+use lcosc_core::envelope::EnvelopeModel;
+use lcosc_core::gm_driver::{DriverShape, GmDriver};
+use lcosc_core::regulator::RegulationFsm;
+use lcosc_core::tank::LcTank;
+use lcosc_dac::Code;
+use lcosc_device::comparator::WindowState;
+use lcosc_num::units::{Amps, Farads, Henries, Volts};
+use proptest::prelude::*;
+
+fn any_tank() -> impl Strategy<Value = LcTank> {
+    (1.0f64..100.0, 0.2f64..10.0, 0.5f64..200.0).prop_map(|(l_uh, c_nf, q)| {
+        LcTank::with_q(Henries::from_micro(l_uh), Farads::from_nano(c_nf), q)
+            .expect("generated constants are valid")
+    })
+}
+
+proptest! {
+    /// Amplitude law inverts exactly: i_max_for_amplitude ∘ steady_amplitude = id.
+    #[test]
+    fn amplitude_law_inverts(tank in any_tank(), i_ma in 0.01f64..30.0) {
+        let cond = OscillationCondition::new(tank);
+        let i = Amps(i_ma * 1e-3);
+        let vpp = cond.steady_amplitude_pp(i);
+        let back = cond.i_max_for_amplitude(vpp);
+        prop_assert!((back.value() / i.value() - 1.0).abs() < 1e-9);
+    }
+
+    /// The amplitude is strictly linear in the current limit (eq 4).
+    #[test]
+    fn amplitude_linear_in_current(tank in any_tank(), i_ma in 0.01f64..10.0, k in 1.1f64..5.0) {
+        let cond = OscillationCondition::new(tank);
+        let v1 = cond.steady_amplitude_pp(Amps(i_ma * 1e-3)).value();
+        let v2 = cond.steady_amplitude_pp(Amps(k * i_ma * 1e-3)).value();
+        prop_assert!((v2 / v1 - k).abs() < 1e-9);
+    }
+
+    /// Critical gm scales inversely with Q at fixed L, C.
+    #[test]
+    fn critical_gm_inverse_in_q(q in 0.5f64..200.0, factor in 1.5f64..10.0) {
+        let t1 = LcTank::with_q(Henries::from_micro(4.7), Farads::from_nano(1.5), q)
+            .expect("valid");
+        let t2 = LcTank::with_q(Henries::from_micro(4.7), Farads::from_nano(1.5), q * factor)
+            .expect("valid");
+        let g1 = OscillationCondition::new(t1).critical_gm();
+        let g2 = OscillationCondition::new(t2).critical_gm();
+        prop_assert!((g1 / g2 / factor - 1.0).abs() < 1e-9);
+    }
+
+    /// The envelope fixed point matches the analytic steady amplitude for
+    /// deeply limited drivers, for any tank.
+    #[test]
+    fn envelope_fixed_point_matches_analytic(tank in any_tank(), i_ma in 0.05f64..5.0) {
+        let i = i_ma * 1e-3;
+        let cond = OscillationCondition::new(tank);
+        // Deeply limited: gm far above both the critical value and I/a*.
+        let gm = (cond.critical_gm() * 50.0).max(1e-3);
+        let driver = GmDriver::new(DriverShape::LinearSaturate { gm }, i);
+        let model = EnvelopeModel::new(tank, driver);
+        let analytic = cond.steady_amplitude_peak(Amps(i)).value();
+        let fp = model.steady_amplitude();
+        prop_assert!((fp / analytic - 1.0).abs() < 0.05, "{fp} vs {analytic}");
+    }
+
+    /// The envelope step never leaves the [0, clamp] interval and never
+    /// crosses the fixed point.
+    #[test]
+    fn envelope_step_invariants(
+        tank in any_tank(),
+        a0 in 1e-6f64..3.0,
+        dt_us in 0.1f64..2000.0,
+    ) {
+        let driver = GmDriver::new(DriverShape::LinearSaturate { gm: 50e-3 }, 1e-3);
+        let model = EnvelopeModel::new(tank, driver).with_clamp(1.65);
+        let a_star = model.steady_amplitude();
+        let a1 = model.step(a0, dt_us * 1e-6);
+        prop_assert!((0.0..=1.65 + 1e-12).contains(&a1));
+        if a_star > 0.0 {
+            // Monotone approach: the iterate stays on its side of a*.
+            if a0 <= a_star {
+                prop_assert!(a1 <= a_star + 1e-9, "{a0} -> {a1} crossed {a_star}");
+            } else {
+                prop_assert!(a1 >= a_star - 1e-9, "{a0} -> {a1} crossed {a_star}");
+            }
+        }
+    }
+
+    /// The regulation FSM never leaves the code range and moves by at most
+    /// one per tick, whatever the comparator sequence.
+    #[test]
+    fn fsm_step_bounded(
+        start in 0u32..=127,
+        states in proptest::collection::vec(0u8..3, 1..100),
+    ) {
+        let mut fsm = RegulationFsm::new(Code::new(start).expect("in range"), 1e-3);
+        let mut prev = fsm.code().value() as i32;
+        for s in states {
+            let w = match s {
+                0 => WindowState::Below,
+                1 => WindowState::Inside,
+                _ => WindowState::Above,
+            };
+            fsm.tick(w);
+            let now = fsm.code().value() as i32;
+            prop_assert!((now - prev).abs() <= 1);
+            prop_assert!((0..=127).contains(&now));
+            prev = now;
+        }
+    }
+
+    /// Power balance: at the analytic amplitude the driver power equals the
+    /// tank loss power for every tank (eq 2 vs eq 3/4).
+    #[test]
+    fn power_balance(tank in any_tank(), i_ma in 0.05f64..10.0) {
+        let cond = OscillationCondition::new(tank);
+        let i = i_ma * 1e-3;
+        let vpp = cond.steady_amplitude_pp(Amps(i)).value();
+        let v_rms = vpp / 2.0 / std::f64::consts::SQRT_2;
+        let k = 2.0 * std::f64::consts::SQRT_2 / std::f64::consts::PI;
+        let p_drv = k * v_rms * i;
+        let p_tank = cond.tank_power(Volts(v_rms));
+        prop_assert!((p_drv / p_tank - 1.0).abs() < 0.02, "{p_drv} vs {p_tank}");
+    }
+
+    /// Driver current shape invariants: odd, limited, monotone.
+    #[test]
+    fn driver_shape_invariants(v in -5.0f64..5.0, i_ma in 0.01f64..10.0, gm_ms in 1.0f64..50.0) {
+        for shape in [
+            DriverShape::HardLimit,
+            DriverShape::LinearSaturate { gm: gm_ms * 1e-3 },
+            DriverShape::Tanh { gm: gm_ms * 1e-3 },
+        ] {
+            let d = GmDriver::new(shape, i_ma * 1e-3);
+            let i = d.current(v);
+            prop_assert!(i.abs() <= d.i_max() + 1e-15);
+            prop_assert!((i + d.current(-v)).abs() < 1e-12);
+            // Monotone non-decreasing.
+            prop_assert!(d.current(v + 0.01) >= i - 1e-15);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Linearity analysis of ideal and measured DAC transfers: step statistics,
+//! DNL against the local design step, and monotonicity — the quantities a
+//! characterization report (or the paper's Fig 14 discussion) cares about.
+
+use crate::code::Code;
+use crate::mismatch::MismatchedDac;
+use crate::segment::Segment;
+use crate::transfer::multiplication_factor;
+
+/// Summary statistics of the relative step over a code range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepStatistics {
+    /// Smallest relative step (may be negative on real dies).
+    pub min: f64,
+    /// Largest relative step.
+    pub max: f64,
+    /// Mean relative step.
+    pub mean: f64,
+    /// Code at which the smallest step occurs (`n` of the step `n → n+1`).
+    pub argmin: u8,
+    /// Code at which the largest step occurs.
+    pub argmax: u8,
+}
+
+impl StepStatistics {
+    /// Computes step statistics for a measured die over codes
+    /// `from..=126` (step `n → n+1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` leaves fewer than one step (`from >= 126`) or if
+    /// every step in range is undefined.
+    pub fn measure(dac: &MismatchedDac, from: u8) -> Self {
+        assert!(from < 126, "need at least one step");
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        let (mut argmin, mut argmax) = (from, from);
+        for n in from..=126 {
+            let code = Code::new(n as u32).expect("code in range");
+            if let Some(s) = dac.relative_step(code) {
+                if s < min {
+                    min = s;
+                    argmin = n;
+                }
+                if s > max {
+                    max = s;
+                    argmax = n;
+                }
+                sum += s;
+                count += 1;
+            }
+        }
+        assert!(count > 0, "no defined steps in range");
+        StepStatistics {
+            min,
+            max,
+            mean: sum / count as f64,
+            argmin,
+            argmax,
+        }
+    }
+}
+
+/// Full linearity report for a die.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearityReport {
+    /// Worst DNL in local LSB (per-segment step) units.
+    pub dnl_worst: f64,
+    /// Code at which the worst DNL occurs.
+    pub dnl_worst_code: u8,
+    /// Worst INL relative to the nominal staircase, in fractions of the
+    /// nominal value (`I/I_nominal − 1`).
+    pub inl_worst_rel: f64,
+    /// Codes with a negative step (non-monotonicity), step `n → n+1`
+    /// reported as `n`.
+    pub non_monotonic: Vec<u8>,
+    /// Step statistics above code 16 (the regulated operating region).
+    pub steps_above_16: StepStatistics,
+}
+
+impl LinearityReport {
+    /// Analyzes a die.
+    pub fn analyze(dac: &MismatchedDac) -> Self {
+        let mut dnl_worst = 0.0f64;
+        let mut dnl_worst_code = 0u8;
+        let mut inl_worst_rel = 0.0f64;
+        for code in Code::all() {
+            let nominal = multiplication_factor(code) as f64;
+            let measured = dac.units(code);
+            if nominal > 0.0 {
+                let inl = measured / nominal - 1.0;
+                if inl.abs() > inl_worst_rel.abs() {
+                    inl_worst_rel = inl;
+                }
+            }
+            if code != Code::MAX {
+                // DNL in units of the local design step.
+                let local_step = Segment::of(code.increment()).step as f64;
+                let measured_step = dac.units(code.increment()) - measured;
+                let nominal_step =
+                    multiplication_factor(code.increment()) as f64 - nominal;
+                let dnl = (measured_step - nominal_step) / local_step;
+                if dnl.abs() > dnl_worst.abs() {
+                    dnl_worst = dnl;
+                    dnl_worst_code = code.value();
+                }
+            }
+        }
+        LinearityReport {
+            dnl_worst,
+            dnl_worst_code,
+            inl_worst_rel,
+            non_monotonic: dac.non_monotonic_codes(),
+            steps_above_16: StepStatistics::measure(dac, 16),
+        }
+    }
+
+    /// Whether the die satisfies the paper's regulation-loop requirement:
+    /// the largest step above code 16 must stay below the regulation window
+    /// width (so the loop can never jump across the window), while
+    /// non-monotonicity is explicitly tolerated.
+    pub fn regulation_compatible(&self, window_rel_width: f64) -> bool {
+        self.steps_above_16.max < window_rel_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mismatch::DacMismatchParams;
+
+    #[test]
+    fn ideal_die_step_statistics_match_design_band() {
+        let dac = MismatchedDac::ideal(12.5e-6);
+        let s = StepStatistics::measure(&dac, 16);
+        assert!((s.max - 0.0625).abs() < 1e-9, "max {}", s.max);
+        assert!((s.min - 1.0 / 31.0).abs() < 1e-9, "min {}", s.min);
+        assert!(s.mean > s.min && s.mean < s.max);
+    }
+
+    #[test]
+    fn ideal_die_has_zero_dnl_and_inl() {
+        let r = LinearityReport::analyze(&MismatchedDac::ideal(12.5e-6));
+        assert_eq!(r.dnl_worst, 0.0);
+        assert_eq!(r.inl_worst_rel, 0.0);
+        assert!(r.non_monotonic.is_empty());
+    }
+
+    #[test]
+    fn reference_die_report_flags_code_95_step() {
+        let r = LinearityReport::analyze(&MismatchedDac::reference_die());
+        assert_eq!(r.non_monotonic, vec![95]);
+        assert!(r.steps_above_16.min < 0.0);
+        assert_eq!(r.steps_above_16.argmin, 95);
+        // Worst DNL is at the non-monotonic boundary.
+        assert_eq!(r.dnl_worst_code, 95);
+        // Measured step is ~17 units below the nominal +16: DNL ≈ −0.54
+        // local LSB (one local LSB = 32 units in segment 6).
+        assert!(r.dnl_worst < -0.5, "dnl {}", r.dnl_worst);
+    }
+
+    #[test]
+    fn reference_die_is_regulation_compatible_with_paper_window() {
+        // Paper: window wider than the 6.25 % max step; we use 15 % total.
+        let r = LinearityReport::analyze(&MismatchedDac::reference_die());
+        assert!(r.regulation_compatible(0.15));
+        // A window narrower than the max step is not acceptable.
+        assert!(!r.regulation_compatible(0.05));
+    }
+
+    #[test]
+    fn sampled_dies_mostly_monotonic_at_default_sigma() {
+        // At 1 % prescaler sigma a negative boundary step is rare; over 20
+        // seeded dies most must be monotonic (sanity of sigma scaling).
+        let p = DacMismatchParams::default();
+        let monotone = (0..20)
+            .filter(|&s| MismatchedDac::sampled(&p, s).non_monotonic_codes().is_empty())
+            .count();
+        assert!(monotone >= 15, "only {monotone}/20 monotone");
+    }
+
+    #[test]
+    fn large_sigma_breaks_monotonicity_somewhere() {
+        let p = DacMismatchParams {
+            sigma_prescale: 0.08,
+            ..DacMismatchParams::default()
+        };
+        let any_nonmono = (0..20)
+            .any(|s| !MismatchedDac::sampled(&p, s).non_monotonic_codes().is_empty());
+        assert!(any_nonmono);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn step_statistics_reject_empty_range() {
+        let dac = MismatchedDac::ideal(12.5e-6);
+        let _ = StepStatistics::measure(&dac, 126);
+    }
+}

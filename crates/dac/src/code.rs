@@ -1,0 +1,161 @@
+//! The 7-bit DAC code.
+
+use crate::{DacError, Result};
+
+/// A validated 7-bit DAC code (`0..=127`).
+///
+/// Codes decompose into a 3-bit segment (MSBs) and a 4-bit in-segment value
+/// (LSBs) — the paper's Table 1 derives all three control buses from this
+/// split.
+///
+/// # Example
+///
+/// ```
+/// use lcosc_dac::Code;
+///
+/// # fn main() -> Result<(), lcosc_dac::DacError> {
+/// let c = Code::new(105)?;
+/// assert_eq!(c.segment_index(), 6);
+/// assert_eq!(c.lsbs(), 9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Code(u8);
+
+impl Code {
+    /// Smallest code (output current 0).
+    pub const MIN: Code = Code(0);
+    /// Largest code (output current 1984 units).
+    pub const MAX: Code = Code(127);
+    /// The paper's power-on-reset preset (§4): large enough to start any
+    /// supported tank, ~40 % of maximum current consumption.
+    pub const POR_PRESET: Code = Code(105);
+
+    /// Creates a code, validating the range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DacError::CodeOutOfRange`] for values above 127.
+    pub fn new(value: u32) -> Result<Self> {
+        if value > 127 {
+            return Err(DacError::CodeOutOfRange { value });
+        }
+        Ok(Code(value as u8))
+    }
+
+    /// Creates a code, clamping to `0..=127`.
+    pub fn saturating(value: i32) -> Self {
+        Code(value.clamp(0, 127) as u8)
+    }
+
+    /// Raw value.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Segment index (3 MSBs), `0..=7`.
+    pub fn segment_index(self) -> u8 {
+        self.0 >> 4
+    }
+
+    /// In-segment value (4 LSBs), `0..=15`.
+    pub fn lsbs(self) -> u8 {
+        self.0 & 0x0F
+    }
+
+    /// Next code up, saturating at [`Code::MAX`].
+    pub fn increment(self) -> Self {
+        Code(self.0.saturating_add(1).min(127))
+    }
+
+    /// Next code down, saturating at [`Code::MIN`].
+    pub fn decrement(self) -> Self {
+        Code(self.0.saturating_sub(1))
+    }
+
+    /// Iterator over all 128 codes in ascending order.
+    pub fn all() -> impl Iterator<Item = Code> {
+        (0..=127u8).map(Code)
+    }
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `pad` honors the caller's width/alignment flags.
+        f.pad(&self.0.to_string())
+    }
+}
+
+impl From<Code> for u8 {
+    fn from(c: Code) -> u8 {
+        c.0
+    }
+}
+
+impl TryFrom<u32> for Code {
+    type Error = DacError;
+    fn try_from(v: u32) -> Result<Self> {
+        Code::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_range() {
+        assert!(Code::new(0).is_ok());
+        assert!(Code::new(127).is_ok());
+        assert_eq!(
+            Code::new(128).unwrap_err(),
+            DacError::CodeOutOfRange { value: 128 }
+        );
+    }
+
+    #[test]
+    fn segment_and_lsb_split() {
+        let c = Code::new(0x5A).unwrap(); // 90 = segment 5, lsbs 10
+        assert_eq!(c.segment_index(), 5);
+        assert_eq!(c.lsbs(), 10);
+        assert_eq!(Code::MIN.segment_index(), 0);
+        assert_eq!(Code::MAX.segment_index(), 7);
+        assert_eq!(Code::MAX.lsbs(), 15);
+    }
+
+    #[test]
+    fn por_preset_is_105() {
+        assert_eq!(Code::POR_PRESET.value(), 105);
+        assert_eq!(Code::POR_PRESET.segment_index(), 6);
+    }
+
+    #[test]
+    fn increment_decrement_saturate() {
+        assert_eq!(Code::MAX.increment(), Code::MAX);
+        assert_eq!(Code::MIN.decrement(), Code::MIN);
+        assert_eq!(Code::new(5).unwrap().increment().value(), 6);
+        assert_eq!(Code::new(5).unwrap().decrement().value(), 4);
+    }
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(Code::saturating(-3), Code::MIN);
+        assert_eq!(Code::saturating(500), Code::MAX);
+        assert_eq!(Code::saturating(42).value(), 42);
+    }
+
+    #[test]
+    fn all_covers_128_codes_ascending() {
+        let v: Vec<Code> = Code::all().collect();
+        assert_eq!(v.len(), 128);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn conversions() {
+        let c = Code::try_from(100u32).unwrap();
+        assert_eq!(u8::from(c), 100);
+        assert_eq!(c.to_string(), "100");
+    }
+}

@@ -1,0 +1,223 @@
+//! Table 1 control-signal encoding.
+//!
+//! The 7-bit code is never applied to a single binary DAC; it is split into
+//! three buses driving the prescaler (`OscD`), the Gm/fixed-mirror enables
+//! (`OscE`) and the binary-weighted mirror bank (`OscF`). This module is the
+//! bit-exact encoder/decoder for that mapping.
+
+use crate::code::Code;
+use crate::segment::{Segment, SEGMENTS};
+use crate::{DacError, Result};
+
+/// The three control buses of the oscillator current limitation (Fig 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ControlWord {
+    /// Prescaler bus `OscD<2:0>` (thermometer: 000, 001, 011, 111).
+    pub osc_d: u8,
+    /// Gm-switching bus `OscE<3:0>` (also enables the fixed mirror legs).
+    pub osc_e: u8,
+    /// Current-mirror bus `OscF<6:0>` (binary bank input).
+    pub osc_f: u8,
+}
+
+impl ControlWord {
+    /// Encodes a DAC code into the three buses (one row of Table 1).
+    pub fn encode(code: Code) -> Self {
+        let seg = Segment::of(code);
+        ControlWord {
+            osc_d: seg.osc_d,
+            osc_e: seg.osc_e,
+            osc_f: code.lsbs() << seg.oscf_shift,
+        }
+    }
+
+    /// Prescaler multiple selected by `OscD` (1, 2, 4 or 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `osc_d` is not one of the thermometer patterns
+    /// 000/001/011/111.
+    pub fn prescale(&self) -> u32 {
+        match self.osc_d {
+            0b000 => 1,
+            0b001 => 2,
+            0b011 => 4,
+            0b111 => 8,
+            other => panic!("invalid OscD pattern {other:#05b}"),
+        }
+    }
+
+    /// Number of active Gm stages selected by `OscE`
+    /// (`1 + E0 + E1 + 2·E2 + 4·E3`; the stages are ×1, ×1, ×2, ×4 plus the
+    /// always-on base stage, Fig 7).
+    pub fn gm_weight(&self) -> u32 {
+        let e = self.osc_e as u32;
+        1 + (e & 1) + ((e >> 1) & 1) + 2 * ((e >> 2) & 1) + 4 * ((e >> 3) & 1)
+    }
+
+    /// Fixed mirror current enabled by `OscE`, in units (the 16, 16, 32 and
+    /// 64-unit legs follow the four enables).
+    pub fn fixed_units(&self) -> u32 {
+        let e = self.osc_e as u32;
+        16 * (e & 1) + 16 * ((e >> 1) & 1) + 32 * ((e >> 2) & 1) + 64 * ((e >> 3) & 1)
+    }
+
+    /// Ideal output current in units of the LSB:
+    /// `prescale · (fixed + OscF)`.
+    pub fn output_units(&self) -> u32 {
+        self.prescale() * (self.fixed_units() + self.osc_f as u32)
+    }
+
+    /// Recovers the DAC code this word was encoded from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DacError::CodeOutOfRange`] when the bus combination does not
+    /// correspond to any Table 1 row.
+    pub fn decode(&self) -> Result<Code> {
+        for seg in &SEGMENTS {
+            if seg.osc_d == self.osc_d && seg.osc_e == self.osc_e {
+                let mask_ok = self.osc_f & !(0x0F << seg.oscf_shift) == 0;
+                let lsbs = (self.osc_f >> seg.oscf_shift) & 0x0F;
+                // Two segments can share buses only through different
+                // shifts; require exact placement.
+                if mask_ok && lsbs << seg.oscf_shift == self.osc_f {
+                    let candidate = Code::new((seg.index as u32) << 4 | lsbs as u32)?;
+                    // Disambiguate segments sharing (OscD, OscE): pick the
+                    // one whose shift reproduces the word.
+                    if ControlWord::encode(candidate) == *self {
+                        return Ok(candidate);
+                    }
+                }
+            }
+        }
+        Err(DacError::CodeOutOfRange {
+            value: ((self.osc_d as u32) << 16) | ((self.osc_e as u32) << 8) | self.osc_f as u32,
+        })
+    }
+}
+
+impl std::fmt::Display for ControlWord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "OscD={:03b} OscE={:04b} OscF={:07b}",
+            self.osc_d, self.osc_e, self.osc_f
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1 printed rows for the segment start codes (range min).
+    #[test]
+    fn encode_matches_table1_segment_starts() {
+        let rows: [(u32, u8, u8, u32); 8] = [
+            (0, 0b000, 0b0000, 0),
+            (16, 0b000, 0b0001, 16),
+            (32, 0b001, 0b0001, 32),
+            (48, 0b001, 0b0011, 64),
+            (64, 0b011, 0b0011, 128),
+            (80, 0b011, 0b0111, 256),
+            (96, 0b111, 0b0111, 512),
+            (112, 0b111, 0b1111, 1024),
+        ];
+        for (code, osc_d, osc_e, units) in rows {
+            let w = ControlWord::encode(Code::new(code).unwrap());
+            assert_eq!(w.osc_d, osc_d, "code {code}");
+            assert_eq!(w.osc_e, osc_e, "code {code}");
+            assert_eq!(w.osc_f, 0, "code {code}: data bits are zero at start");
+            assert_eq!(w.output_units(), units, "code {code}");
+        }
+    }
+
+    #[test]
+    fn oscf_places_nibble_per_segment() {
+        // Table 1 "OscF<6:0>" column: nibble at bit 0 (segs 0-2), bit 1
+        // (segs 3-4), bit 2 (segs 5-6), bit 3 (seg 7).
+        let cases = [
+            (0x05u32, 0b0000101u8),  // seg 0, B=5
+            (0x15, 0b0000101),       // seg 1, B=5
+            (0x25, 0b0000101),       // seg 2, B=5
+            (0x35, 0b0001010),       // seg 3, B=5 << 1
+            (0x45, 0b0001010),       // seg 4
+            (0x55, 0b0010100),       // seg 5, B=5 << 2
+            (0x65, 0b0010100),       // seg 6
+            (0x75, 0b0101000),       // seg 7, B=5 << 3
+        ];
+        for (code, oscf) in cases {
+            let w = ControlWord::encode(Code::new(code).unwrap());
+            assert_eq!(w.osc_f, oscf, "code {code:#x}");
+        }
+    }
+
+    #[test]
+    fn output_units_match_closed_form_everywhere() {
+        for code in Code::all() {
+            let seg = Segment::of(code);
+            let expected = seg.range_min + code.lsbs() as u32 * seg.step;
+            assert_eq!(
+                ControlWord::encode(code).output_units(),
+                expected,
+                "code {code}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_scale_is_1984() {
+        assert_eq!(ControlWord::encode(Code::MAX).output_units(), 1984);
+    }
+
+    #[test]
+    fn decode_roundtrips_all_codes() {
+        for code in Code::all() {
+            let w = ControlWord::encode(code);
+            assert_eq!(w.decode().unwrap(), code, "code {code}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let bad = ControlWord {
+            osc_d: 0b101, // not a thermometer pattern
+            osc_e: 0,
+            osc_f: 0,
+        };
+        assert!(bad.decode().is_err());
+        let bad2 = ControlWord {
+            osc_d: 0b000,
+            osc_e: 0b0000,
+            osc_f: 0b1111111, // segment 0 only drives the low nibble
+        };
+        assert!(bad2.decode().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid OscD")]
+    fn prescale_rejects_invalid_pattern() {
+        let w = ControlWord {
+            osc_d: 0b010,
+            osc_e: 0,
+            osc_f: 0,
+        };
+        let _ = w.prescale();
+    }
+
+    #[test]
+    fn gm_weights_cover_table_column() {
+        // Active Gm stages column: 1,2,2,3,3,5,5,9.
+        let weights: Vec<u32> = (0..8)
+            .map(|s| ControlWord::encode(Code::new(s << 4).unwrap()).gm_weight())
+            .collect();
+        assert_eq!(weights, [1, 2, 2, 3, 3, 5, 5, 9]);
+    }
+
+    #[test]
+    fn display_formats_buses() {
+        let w = ControlWord::encode(Code::new(105).unwrap());
+        assert_eq!(w.to_string(), "OscD=111 OscE=0111 OscF=0100100");
+    }
+}

@@ -1,0 +1,104 @@
+//! # lcosc-dac — the exponential PWL current-limitation DAC
+//!
+//! Bit-exact model of the 7-bit piece-wise-linear (PWL) approximated
+//! exponential DAC that limits the oscillator driver current in
+//! *P. Horsky, "LC Oscillator Driver for Safety Critical Applications",
+//! DATE 2005* (paper §3, §5 and Table 1).
+//!
+//! The full 7-bit scale is divided into 8 segments; within each segment the
+//! output-current step is constant and the step doubles from segment to
+//! segment, so the staircase approximates `I₀·(1+δ)ⁿ` — a linear *voltage*
+//! step per code needs an exponential *current* step (paper eq 5/6). The
+//! hardware realizes this with three control buses generated from the 7-bit
+//! code (Table 1):
+//!
+//! - `OscD<2:0>` — prescaler (×1/×2/×4/×8),
+//! - `OscE<3:0>` — Gm-stage enables, which also switch the fixed mirror legs
+//!   (16, 16, 32, 64 units),
+//! - `OscF<6:0>` — the binary-weighted mirror bank, with the 4 data bits
+//!   placed at a segment-dependent position.
+//!
+//! The output current in units of the LSB (12.5 µA on the real chip) is
+//!
+//! ```text
+//! M(n) = prescale(OscD) · (16·(gm_weight(OscE) − 1) + OscF)
+//! ```
+//!
+//! spanning 0…1984 — the paper's 0:1984 dynamic range, equivalent to an
+//! 11-bit linear DAC.
+//!
+//! ## Example
+//!
+//! ```
+//! use lcosc_dac::{Code, ControlWord};
+//!
+//! # fn main() -> Result<(), lcosc_dac::DacError> {
+//! let code = Code::new(105)?;                  // the paper's POR preset
+//! let word = ControlWord::encode(code);
+//! assert_eq!(word.output_units(), 512 + 32 * 9); // segment 6, LSBs = 9 (Table 1)
+//! assert_eq!(word.output_units(), lcosc_dac::multiplication_factor(code));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod code;
+pub mod encoder;
+pub mod exponential;
+pub mod mismatch;
+pub mod segment;
+pub mod transfer;
+pub mod yield_analysis;
+
+pub use analysis::{LinearityReport, StepStatistics};
+pub use code::Code;
+pub use encoder::ControlWord;
+pub use exponential::{equivalent_delta, equivalent_linear_bits, ideal_exponential};
+pub use mismatch::{DacMismatchParams, MismatchedDac};
+pub use segment::{Segment, SEGMENTS};
+pub use transfer::{multiplication_factor, relative_step, TransferCurve};
+pub use yield_analysis::{yield_analysis, YieldReport};
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DacError {
+    /// A code outside `0..=127` was supplied.
+    CodeOutOfRange {
+        /// The offending raw value.
+        value: u32,
+    },
+}
+
+impl std::fmt::Display for DacError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DacError::CodeOutOfRange { value } => {
+                write!(f, "dac code {value} is outside 0..=127")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DacError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, DacError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = DacError::CodeOutOfRange { value: 200 };
+        assert_eq!(e.to_string(), "dac code 200 is outside 0..=127");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DacError>();
+    }
+}

@@ -1,0 +1,308 @@
+//! Mismatched ("as-fabricated") DAC model — the source of the paper's
+//! measured Fig 13/14 deviations from the ideal staircase.
+//!
+//! The current limitation is composed from three matched-device groups
+//! (Fig 5/6): a prescaler built from three cascaded ×2 stages, the fixed
+//! mirror legs (16, 16, 32, 64 units) and a 7-bit binary-weighted bank.
+//! Ratio errors *within a segment* cancel (the same legs serve every code),
+//! but *across segment boundaries* different legs take over, which is why
+//! the measured relative step (Fig 14) spikes at the boundaries and can even
+//! go negative — the paper's chip shows a negative step at code 96, where
+//! the prescaler switches from ×4 to ×8. The DAC stays usable because the
+//! regulation window is wider than the worst step (§4).
+
+use crate::code::Code;
+use crate::encoder::ControlWord;
+use lcosc_device::mirror::BinaryWeightedBank;
+use lcosc_device::mismatch::MismatchModel;
+use lcosc_num::units::Amps;
+
+/// Mismatch magnitudes for one sampled die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DacMismatchParams {
+    /// Relative sigma of each ×2 prescaler stage.
+    pub sigma_prescale: f64,
+    /// Relative sigma of a unit device in the fixed mirror legs.
+    pub sigma_fixed: f64,
+    /// Relative sigma of a unit device in the binary bank.
+    pub sigma_unit: f64,
+    /// Unit (LSB) current in amperes.
+    pub lsb_amps: f64,
+}
+
+impl Default for DacMismatchParams {
+    fn default() -> Self {
+        DacMismatchParams {
+            sigma_prescale: 0.01,
+            sigma_fixed: 0.008,
+            sigma_unit: 0.01,
+            lsb_amps: 12.5e-6,
+        }
+    }
+}
+
+/// A DAC with sampled (or explicitly set) device ratios for one die.
+///
+/// Top and bottom current mirrors are sampled independently; the effective
+/// current *limit* is the weaker of the two (the smaller mirror clips the
+/// swing first), and their imbalance is exposed as
+/// [`MismatchedDac::asymmetry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MismatchedDac {
+    /// Actual ratios of the three cascaded ×2 prescaler stages.
+    prescale_stage: [f64; 3],
+    fixed_top: [f64; 4],
+    fixed_bottom: [f64; 4],
+    bank_top: BinaryWeightedBank,
+    bank_bottom: BinaryWeightedBank,
+    lsb: f64,
+}
+
+/// Nominal fixed-leg weights in units.
+const FIXED_NOMINAL: [f64; 4] = [16.0, 16.0, 32.0, 64.0];
+
+impl MismatchedDac {
+    /// An ideal die: every ratio exactly nominal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lsb_amps` is not positive.
+    pub fn ideal(lsb_amps: f64) -> Self {
+        assert!(lsb_amps > 0.0, "lsb current must be positive");
+        MismatchedDac {
+            prescale_stage: [2.0; 3],
+            fixed_top: FIXED_NOMINAL,
+            fixed_bottom: FIXED_NOMINAL,
+            bank_top: BinaryWeightedBank::ideal(7),
+            bank_bottom: BinaryWeightedBank::ideal(7),
+            lsb: lsb_amps,
+        }
+    }
+
+    /// Samples a die from `params` with the given seed.
+    pub fn sampled(params: &DacMismatchParams, seed: u64) -> Self {
+        assert!(params.lsb_amps > 0.0, "lsb current must be positive");
+        let mut die = MismatchModel::new(1.0, seed); // unit sigma; scaled below
+        let mut stage = [0.0f64; 3];
+        for s in &mut stage {
+            *s = 2.0 * (1.0 + params.sigma_prescale * die.standard_normal());
+        }
+        let fixed = |die: &mut MismatchModel| {
+            let mut f = [0.0f64; 4];
+            for (k, nom) in FIXED_NOMINAL.iter().enumerate() {
+                // Pelgrom: error of an N-unit leg shrinks as 1/sqrt(N).
+                let sigma = params.sigma_fixed / (nom / 16.0).sqrt();
+                f[k] = nom * (1.0 + sigma * die.standard_normal());
+            }
+            f
+        };
+        let fixed_top = fixed(&mut die);
+        let fixed_bottom = fixed(&mut die);
+        let mut unit_die = MismatchModel::new(params.sigma_unit, seed.wrapping_add(1));
+        let bank_top = BinaryWeightedBank::sampled(7, &mut unit_die);
+        let bank_bottom = BinaryWeightedBank::sampled(7, &mut unit_die);
+        MismatchedDac {
+            prescale_stage: stage,
+            fixed_top,
+            fixed_bottom,
+            bank_top,
+            bank_bottom,
+            lsb: params.lsb_amps,
+        }
+    }
+
+    /// The "reference die" used throughout the benches: deterministic skews
+    /// tuned so the measured curves show the paper's signature artifacts —
+    /// visible step spikes at segment boundaries and a **negative step at
+    /// code 96** (the ×4 → ×8 prescaler hand-over), as in Fig 14.
+    pub fn reference_die() -> Self {
+        let mut dac = MismatchedDac::ideal(12.5e-6);
+        // Third ×2 stage 3.5 % low, second 1 % high: code 96 lands below
+        // code 95 while every in-segment step stays positive.
+        dac.prescale_stage = [2.0, 2.02, 1.93];
+        // Mild fixed-leg skew for boundary texture at codes 16/48/80/112.
+        dac.fixed_top = [16.10, 15.95, 32.25, 63.40];
+        dac.fixed_bottom = [16.05, 16.02, 32.10, 63.55];
+        dac
+    }
+
+    /// Unit (LSB) current in amperes.
+    pub fn lsb(&self) -> f64 {
+        self.lsb
+    }
+
+    /// Output of one mirror side in units, honoring the Table 1 mapping
+    /// with this die's actual ratios.
+    fn side_units(&self, code: Code, fixed: &[f64; 4], bank: &BinaryWeightedBank) -> f64 {
+        let w = ControlWord::encode(code);
+        let mut prescale = 1.0;
+        for (bit, ratio) in self.prescale_stage.iter().enumerate() {
+            if w.osc_d & (1 << bit) != 0 {
+                prescale *= ratio;
+            }
+        }
+        let fixed_sum: f64 = (0..4)
+            .filter(|bit| w.osc_e & (1 << bit) != 0)
+            .map(|bit| fixed[bit])
+            .sum();
+        prescale * (fixed_sum + bank.multiplication(w.osc_f as u32))
+    }
+
+    /// Top-mirror output in units.
+    pub fn top_units(&self, code: Code) -> f64 {
+        self.side_units(code, &self.fixed_top, &self.bank_top)
+    }
+
+    /// Bottom-mirror output in units.
+    pub fn bottom_units(&self, code: Code) -> f64 {
+        self.side_units(code, &self.fixed_bottom, &self.bank_bottom)
+    }
+
+    /// Effective current-limit in units: the weaker mirror clips first.
+    pub fn units(&self, code: Code) -> f64 {
+        self.top_units(code).min(self.bottom_units(code))
+    }
+
+    /// Effective current limit in amperes (Fig 13's y-axis).
+    pub fn current(&self, code: Code) -> Amps {
+        Amps(self.units(code) * self.lsb)
+    }
+
+    /// Top/bottom mirror imbalance `top/bottom − 1` (drives the output DC
+    /// shift a real part would show).
+    pub fn asymmetry(&self, code: Code) -> f64 {
+        let b = self.bottom_units(code);
+        if b == 0.0 {
+            0.0
+        } else {
+            self.top_units(code) / b - 1.0
+        }
+    }
+
+    /// Measured relative step `(I(n+1) − I(n)) / I(n)` (Fig 14's y-axis).
+    ///
+    /// Returns `None` at the last code or where `I(n)` is zero.
+    pub fn relative_step(&self, code: Code) -> Option<f64> {
+        if code == Code::MAX {
+            return None;
+        }
+        let i0 = self.units(code);
+        if i0 <= 0.0 {
+            return None;
+        }
+        Some((self.units(code.increment()) - i0) / i0)
+    }
+
+    /// Codes at which the measured transfer is non-monotonic
+    /// (`I(n+1) < I(n)`), i.e. where Fig 14 would show a negative value.
+    pub fn non_monotonic_codes(&self) -> Vec<u8> {
+        Code::all()
+            .filter(|&c| c != Code::MAX)
+            .filter(|&c| self.units(c.increment()) < self.units(c))
+            .map(|c| c.value())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::multiplication_factor;
+
+    #[test]
+    fn ideal_die_reproduces_nominal_staircase() {
+        let dac = MismatchedDac::ideal(12.5e-6);
+        for code in Code::all() {
+            assert!(
+                (dac.units(code) - multiplication_factor(code) as f64).abs() < 1e-9,
+                "code {code}"
+            );
+            assert_eq!(dac.asymmetry(code), 0.0);
+        }
+    }
+
+    #[test]
+    fn ideal_die_is_monotone() {
+        assert!(MismatchedDac::ideal(12.5e-6).non_monotonic_codes().is_empty());
+    }
+
+    #[test]
+    fn reference_die_is_non_monotonic_exactly_at_96() {
+        let dac = MismatchedDac::reference_die();
+        assert_eq!(dac.non_monotonic_codes(), vec![95], "step 95 -> 96 is negative");
+        let s = dac.relative_step(Code::new(95).unwrap()).unwrap();
+        assert!(s < 0.0, "step at 95->96 is {s}");
+    }
+
+    #[test]
+    fn reference_die_tracks_nominal_within_5_percent() {
+        let dac = MismatchedDac::reference_die();
+        for code in Code::all().skip(1) {
+            let nom = multiplication_factor(code) as f64;
+            let meas = dac.units(code);
+            assert!((meas / nom - 1.0).abs() < 0.05, "code {code}: {meas} vs {nom}");
+        }
+    }
+
+    #[test]
+    fn reference_die_full_scale_near_24_8_ma() {
+        let dac = MismatchedDac::reference_die();
+        let fs = dac.current(Code::MAX).value();
+        assert!((fs / 24.8e-3 - 1.0).abs() < 0.05, "full scale {fs}");
+    }
+
+    #[test]
+    fn sampled_die_is_reproducible() {
+        let p = DacMismatchParams::default();
+        let a = MismatchedDac::sampled(&p, 42);
+        let b = MismatchedDac::sampled(&p, 42);
+        for code in [Code::MIN, Code::new(64).unwrap(), Code::MAX] {
+            assert_eq!(a.units(code), b.units(code));
+        }
+    }
+
+    #[test]
+    fn sampled_die_close_to_nominal() {
+        let dac = MismatchedDac::sampled(&DacMismatchParams::default(), 7);
+        for code in Code::all().skip(8) {
+            let nom = multiplication_factor(code) as f64;
+            let meas = dac.units(code);
+            assert!((meas / nom - 1.0).abs() < 0.15, "code {code}: {meas} vs {nom}");
+        }
+    }
+
+    #[test]
+    fn asymmetry_is_small_but_nonzero_on_sampled_die() {
+        let dac = MismatchedDac::sampled(&DacMismatchParams::default(), 3);
+        let a = dac.asymmetry(Code::new(100).unwrap());
+        assert!(a.abs() < 0.1);
+        assert_ne!(a, 0.0);
+    }
+
+    #[test]
+    fn in_segment_steps_always_positive_on_reference_die() {
+        let dac = MismatchedDac::reference_die();
+        for code in Code::all().filter(|c| c.value() != 127) {
+            // Only boundary codes (lsbs == 15) may step backwards.
+            if code.lsbs() != 15 {
+                let s = dac.relative_step(code);
+                if let Some(s) = s {
+                    assert!(s > 0.0, "code {code}: step {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relative_step_none_at_max_and_zero() {
+        let dac = MismatchedDac::reference_die();
+        assert!(dac.relative_step(Code::MAX).is_none());
+        assert!(dac.relative_step(Code::MIN).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn ideal_rejects_zero_lsb() {
+        let _ = MismatchedDac::ideal(0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! The 8 DAC segments of Table 1.
+
+use crate::code::Code;
+
+/// Static description of one DAC segment (one row of the paper's Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Segment index, `0..=7`.
+    pub index: u8,
+    /// Prescaler output multiple of the unit current (1, 2, 4 or 8).
+    pub prescale: u32,
+    /// Number of active Gm stages (1, 2, 3, 5 or 9) — the paper's
+    /// "Active Gm stages" column; also determines the enabled fixed mirror
+    /// legs: `16·(gm_weight − 1)` units.
+    pub gm_weight: u32,
+    /// Output step per code in units.
+    pub step: u32,
+    /// Output at the first code of the segment, in units.
+    pub range_min: u32,
+    /// Output at the last code of the segment, in units.
+    pub range_max: u32,
+    /// Bit position of the 4 data bits within `OscF<6:0>`.
+    pub oscf_shift: u8,
+    /// `OscD<2:0>` bus value.
+    pub osc_d: u8,
+    /// `OscE<3:0>` bus value.
+    pub osc_e: u8,
+}
+
+/// All 8 segments, exactly as printed in the paper's Table 1.
+pub const SEGMENTS: [Segment; 8] = [
+    Segment { index: 0, prescale: 1, gm_weight: 1, step: 1, range_min: 0, range_max: 15, oscf_shift: 0, osc_d: 0b000, osc_e: 0b0000 },
+    Segment { index: 1, prescale: 1, gm_weight: 2, step: 1, range_min: 16, range_max: 31, oscf_shift: 0, osc_d: 0b000, osc_e: 0b0001 },
+    Segment { index: 2, prescale: 2, gm_weight: 2, step: 2, range_min: 32, range_max: 62, oscf_shift: 0, osc_d: 0b001, osc_e: 0b0001 },
+    Segment { index: 3, prescale: 2, gm_weight: 3, step: 4, range_min: 64, range_max: 124, oscf_shift: 1, osc_d: 0b001, osc_e: 0b0011 },
+    Segment { index: 4, prescale: 4, gm_weight: 3, step: 8, range_min: 128, range_max: 248, oscf_shift: 1, osc_d: 0b011, osc_e: 0b0011 },
+    Segment { index: 5, prescale: 4, gm_weight: 5, step: 16, range_min: 256, range_max: 496, oscf_shift: 2, osc_d: 0b011, osc_e: 0b0111 },
+    Segment { index: 6, prescale: 8, gm_weight: 5, step: 32, range_min: 512, range_max: 992, oscf_shift: 2, osc_d: 0b111, osc_e: 0b0111 },
+    Segment { index: 7, prescale: 8, gm_weight: 9, step: 64, range_min: 1024, range_max: 1984, oscf_shift: 3, osc_d: 0b111, osc_e: 0b1111 },
+];
+
+impl Segment {
+    /// Segment a code belongs to.
+    pub fn of(code: Code) -> &'static Segment {
+        &SEGMENTS[code.segment_index() as usize]
+    }
+
+    /// Fixed mirror current enabled in this segment, in units
+    /// (`16·(gm_weight − 1)`: the 16, 16, 32 and 64-unit legs follow the
+    /// `OscE` enables).
+    pub fn fixed_units(&self) -> u32 {
+        16 * (self.gm_weight - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_ranges_are_consistent() {
+        for s in &SEGMENTS {
+            // range covers exactly 16 codes of `step`.
+            assert_eq!(s.range_max, s.range_min + 15 * s.step, "segment {}", s.index);
+            // output formula reproduces range_min at lsbs = 0.
+            assert_eq!(
+                s.prescale * s.fixed_units(),
+                s.range_min,
+                "segment {}",
+                s.index
+            );
+            // prescale · step-in-bank equals the printed step: the nibble
+            // shift makes one LSB worth 2^shift bank units.
+            assert_eq!(s.prescale * (1 << s.oscf_shift), s.step, "segment {}", s.index);
+        }
+    }
+
+    #[test]
+    fn segments_tile_the_full_range_with_doubling_steps() {
+        assert_eq!(SEGMENTS[0].range_min, 0);
+        assert_eq!(SEGMENTS[7].range_max, 1984);
+        for w in SEGMENTS.windows(2) {
+            // Next segment starts one step above the previous maximum in
+            // the ideal staircase sense: min_{k+1} >= max_k.
+            assert!(w[1].range_min > w[0].range_max);
+        }
+        // Step sequence 1,1,2,4,8,16,32,64 (Fig 3 annotation).
+        let steps: Vec<u32> = SEGMENTS.iter().map(|s| s.step).collect();
+        assert_eq!(steps, [1, 1, 2, 4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn prescale_follows_oscd_thermometer() {
+        for s in &SEGMENTS {
+            let expected = 1 << s.osc_d.count_ones();
+            assert_eq!(s.prescale, expected, "segment {}", s.index);
+        }
+    }
+
+    #[test]
+    fn gm_weight_follows_osce() {
+        for s in &SEGMENTS {
+            let e = s.osc_e as u32;
+            let weight = 1 + (e & 1) + ((e >> 1) & 1) + 2 * ((e >> 2) & 1) + 4 * ((e >> 3) & 1);
+            assert_eq!(s.gm_weight, weight, "segment {}", s.index);
+        }
+    }
+
+    #[test]
+    fn of_maps_codes_to_segments() {
+        assert_eq!(Segment::of(Code::MIN).index, 0);
+        assert_eq!(Segment::of(Code::new(16).unwrap()).index, 1);
+        assert_eq!(Segment::of(Code::new(95).unwrap()).index, 5);
+        assert_eq!(Segment::of(Code::new(96).unwrap()).index, 6);
+        assert_eq!(Segment::of(Code::MAX).index, 7);
+    }
+
+    #[test]
+    fn fixed_units_match_mirror_legs() {
+        // gm weights 1,2,2,3,3,5,5,9 -> fixed 0,16,16,32,32,64,64,128.
+        let fixed: Vec<u32> = SEGMENTS.iter().map(|s| s.fixed_units()).collect();
+        assert_eq!(fixed, [0, 16, 16, 32, 32, 64, 64, 128]);
+    }
+}

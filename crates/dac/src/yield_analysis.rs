@@ -1,0 +1,140 @@
+//! Monte-Carlo yield analysis.
+//!
+//! The paper's §4 argument — "The regulation loop allows a relaxed
+//! differential non-linearity of the DAC. The maximum step must only remain
+//! below a limit given by the regulation window and the converter can even
+//! be non-monotonic" — is a *yield* argument: a conventional DAC spec
+//! (monotonicity, tight DNL) would scrap dies that regulate perfectly well.
+//! This module quantifies that by sampling many dies and scoring them
+//! against both acceptance criteria.
+
+use crate::analysis::LinearityReport;
+use crate::mismatch::{DacMismatchParams, MismatchedDac};
+
+/// Yield of a die population under two acceptance criteria.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldReport {
+    /// Dies sampled.
+    pub dies: u32,
+    /// Fraction passing a conventional spec: strictly monotonic.
+    pub monotonic_yield: f64,
+    /// Fraction usable by the regulation loop: max step below the window
+    /// (monotonicity not required).
+    pub regulation_yield: f64,
+    /// Worst |INL| observed across the population (relative).
+    pub worst_inl: f64,
+    /// Mean number of non-monotonic codes per die.
+    pub mean_non_monotonic: f64,
+}
+
+/// Samples `dies` dies with the given mismatch and scores them against a
+/// regulation window of total relative width `window_rel_width`.
+///
+/// Deterministic: die `k` uses seed `seed_base + k`.
+///
+/// # Panics
+///
+/// Panics if `dies == 0` or `window_rel_width` is not positive.
+pub fn yield_analysis(
+    params: &DacMismatchParams,
+    dies: u32,
+    seed_base: u64,
+    window_rel_width: f64,
+) -> YieldReport {
+    assert!(dies > 0, "need at least one die");
+    assert!(window_rel_width > 0.0, "window must be positive");
+    let mut monotonic = 0u32;
+    let mut regulable = 0u32;
+    let mut worst_inl = 0.0f64;
+    let mut non_monotonic_total = 0usize;
+    for k in 0..dies {
+        let die = MismatchedDac::sampled(params, seed_base + k as u64);
+        let report = LinearityReport::analyze(&die);
+        if report.non_monotonic.is_empty() {
+            monotonic += 1;
+        }
+        if report.regulation_compatible(window_rel_width) {
+            regulable += 1;
+        }
+        non_monotonic_total += report.non_monotonic.len();
+        if report.inl_worst_rel.abs() > worst_inl {
+            worst_inl = report.inl_worst_rel.abs();
+        }
+    }
+    YieldReport {
+        dies,
+        monotonic_yield: monotonic as f64 / dies as f64,
+        regulation_yield: regulable as f64 / dies as f64,
+        worst_inl,
+        mean_non_monotonic: non_monotonic_total as f64 / dies as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_process_yields_well_on_both_criteria() {
+        let r = yield_analysis(&DacMismatchParams::default(), 200, 1, 0.15);
+        assert!(r.monotonic_yield > 0.7, "monotonic {}", r.monotonic_yield);
+        assert_eq!(r.regulation_yield, 1.0, "regulation {}", r.regulation_yield);
+        assert!(r.worst_inl < 0.1, "inl {}", r.worst_inl);
+    }
+
+    #[test]
+    fn sloppy_process_still_regulates_when_monotonicity_dies() {
+        // The paper's core yield argument: push the mismatch until
+        // monotonicity yield collapses — the regulation criterion barely
+        // moves because single-step errors stay below the window.
+        let sloppy = DacMismatchParams {
+            sigma_prescale: 0.05,
+            sigma_fixed: 0.04,
+            sigma_unit: 0.05,
+            ..DacMismatchParams::default()
+        };
+        let r = yield_analysis(&sloppy, 200, 7, 0.15);
+        assert!(
+            r.monotonic_yield < 0.7,
+            "monotonicity should suffer: {}",
+            r.monotonic_yield
+        );
+        assert!(
+            r.regulation_yield > r.monotonic_yield + 0.2,
+            "regulation {} vs monotonic {}",
+            r.regulation_yield,
+            r.monotonic_yield
+        );
+    }
+
+    #[test]
+    fn narrow_window_reduces_regulation_yield() {
+        let sloppy = DacMismatchParams {
+            sigma_prescale: 0.08,
+            sigma_fixed: 0.06,
+            sigma_unit: 0.08,
+            ..DacMismatchParams::default()
+        };
+        let wide = yield_analysis(&sloppy, 150, 3, 0.20);
+        let narrow = yield_analysis(&sloppy, 150, 3, 0.08);
+        assert!(
+            wide.regulation_yield >= narrow.regulation_yield,
+            "wide {} vs narrow {}",
+            wide.regulation_yield,
+            narrow.regulation_yield
+        );
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let a = yield_analysis(&DacMismatchParams::default(), 50, 11, 0.15);
+        let b = yield_analysis(&DacMismatchParams::default(), 50, 11, 0.15);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one die")]
+    fn rejects_zero_dies() {
+        let _ = yield_analysis(&DacMismatchParams::default(), 0, 0, 0.15);
+    }
+}

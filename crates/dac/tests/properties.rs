@@ -1,0 +1,91 @@
+//! Property-based tests on the DAC's structural invariants.
+
+use lcosc_dac::{multiplication_factor, Code, ControlWord, DacMismatchParams, MismatchedDac};
+use proptest::prelude::*;
+
+fn any_code() -> impl Strategy<Value = Code> {
+    (0u32..=127).prop_map(|v| Code::new(v).expect("in range"))
+}
+
+proptest! {
+    /// Encode/decode round-trips every code.
+    #[test]
+    fn control_word_roundtrip(code in any_code()) {
+        let w = ControlWord::encode(code);
+        prop_assert_eq!(w.decode().expect("decodes"), code);
+    }
+
+    /// The encoder always produces legal bus patterns.
+    #[test]
+    fn bus_patterns_are_legal(code in any_code()) {
+        let w = ControlWord::encode(code);
+        prop_assert!(matches!(w.osc_d, 0b000 | 0b001 | 0b011 | 0b111));
+        prop_assert!(matches!(w.osc_e, 0b0000 | 0b0001 | 0b0011 | 0b0111 | 0b1111));
+        prop_assert!(w.osc_f < 128);
+        // The fixed mirror legs always match 16·(gm_weight − 1).
+        prop_assert_eq!(w.fixed_units(), 16 * (w.gm_weight() - 1));
+    }
+
+    /// The nominal staircase is strictly monotone and its output formula
+    /// matches the closed form.
+    #[test]
+    fn staircase_strictly_monotone(code in any_code()) {
+        let m = multiplication_factor(code);
+        prop_assert_eq!(ControlWord::encode(code).output_units(), m);
+        if code != Code::MAX {
+            prop_assert!(multiplication_factor(code.increment()) > m);
+        }
+    }
+
+    /// Exponential envelope: M doubles every 16 codes above 16.
+    #[test]
+    fn doubles_every_segment(code in 16u32..112) {
+        let c = Code::new(code).expect("in range");
+        let c16 = Code::new(code + 16).expect("in range");
+        prop_assert_eq!(multiplication_factor(c16), 2 * multiplication_factor(c));
+    }
+
+    /// Sampled dies are reproducible and stay near nominal at default sigma.
+    #[test]
+    fn sampled_die_reproducible_and_bounded(seed in 0u64..1_000, code in any_code()) {
+        let p = DacMismatchParams::default();
+        let a = MismatchedDac::sampled(&p, seed);
+        let b = MismatchedDac::sampled(&p, seed);
+        prop_assert_eq!(a.units(code), b.units(code));
+        let nominal = multiplication_factor(code) as f64;
+        if nominal > 0.0 {
+            prop_assert!(
+                (a.units(code) / nominal - 1.0).abs() < 0.25,
+                "code {}: {} vs {}", code, a.units(code), nominal
+            );
+        }
+    }
+
+    /// Top and bottom mirrors are independent but both near nominal, so the
+    /// asymmetry stays bounded at default sigma.
+    #[test]
+    fn asymmetry_bounded(seed in 0u64..500, code in 16u32..=127) {
+        let c = Code::new(code).expect("in range");
+        let die = MismatchedDac::sampled(&DacMismatchParams::default(), seed);
+        prop_assert!(die.asymmetry(c).abs() < 0.3, "{}", die.asymmetry(c));
+    }
+
+    /// The effective limit is never above either mirror.
+    #[test]
+    fn limit_is_weaker_mirror(seed in 0u64..500, code in any_code()) {
+        let die = MismatchedDac::sampled(&DacMismatchParams::default(), seed);
+        let u = die.units(code);
+        prop_assert!(u <= die.top_units(code) + 1e-12);
+        prop_assert!(u <= die.bottom_units(code) + 1e-12);
+    }
+
+    /// Code arithmetic saturates instead of wrapping.
+    #[test]
+    fn code_arithmetic_saturates(v in -300i32..300) {
+        let c = Code::saturating(v);
+        prop_assert!(c.value() <= 127);
+        prop_assert!(c.increment().value() <= 127);
+        prop_assert!(c.decrement() <= c);
+        prop_assert!(c.increment() >= c);
+    }
+}

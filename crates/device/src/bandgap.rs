@@ -1,0 +1,123 @@
+//! Behavioral bandgap voltage reference.
+//!
+//! The paper derives the window-comparator thresholds VR3/VR4 by adding a
+//! fraction of the bandgap voltage V_BG to the filtered LC mid-point VR1
+//! (Fig 8). This model supplies V_BG with the classic parabolic temperature
+//! curvature and an optional trim error.
+
+/// Bandgap reference with second-order temperature curvature:
+/// `V(T) = V_nom · (1 + trim) − tc2 · (T − T_peak)²`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bandgap {
+    v_nominal: f64,
+    t_peak_k: f64,
+    tc2: f64,
+    trim: f64,
+}
+
+impl Default for Bandgap {
+    fn default() -> Self {
+        Bandgap::new(1.205, 320.0, 2.0e-6)
+    }
+}
+
+impl Bandgap {
+    /// Creates a reference with nominal voltage `v_nominal` (volts), flat
+    /// point at `t_peak_k` (kelvin) and curvature `tc2` (V/K²).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `v_nominal > 0`, `t_peak_k > 0` and `tc2 >= 0`.
+    pub fn new(v_nominal: f64, t_peak_k: f64, tc2: f64) -> Self {
+        assert!(v_nominal > 0.0, "nominal voltage must be positive");
+        assert!(t_peak_k > 0.0, "peak temperature must be positive");
+        assert!(tc2 >= 0.0, "curvature must be non-negative");
+        Bandgap {
+            v_nominal,
+            t_peak_k,
+            tc2,
+            trim: 0.0,
+        }
+    }
+
+    /// Returns a copy with a relative trim error (e.g. `0.002` for +0.2 %).
+    pub fn with_trim_error(mut self, trim: f64) -> Self {
+        self.trim = trim;
+        self
+    }
+
+    /// Output voltage at temperature `temp_k` kelvin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temp_k` is not positive.
+    pub fn voltage(&self, temp_k: f64) -> f64 {
+        assert!(temp_k > 0.0, "temperature must be positive kelvin");
+        let dt = temp_k - self.t_peak_k;
+        self.v_nominal * (1.0 + self.trim) - self.tc2 * dt * dt
+    }
+
+    /// Output voltage at the reference temperature 300 K.
+    pub fn voltage_300k(&self) -> f64 {
+        self.voltage(300.0)
+    }
+
+    /// Nominal (trim-free, curvature-free) voltage.
+    pub fn v_nominal(&self) -> f64 {
+        self.v_nominal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_near_1v2() {
+        let bg = Bandgap::default();
+        let v = bg.voltage_300k();
+        assert!((1.19..1.21).contains(&v), "bandgap {v}");
+    }
+
+    #[test]
+    fn flat_at_peak_temperature() {
+        let bg = Bandgap::default();
+        let v_peak = bg.voltage(320.0);
+        assert!(v_peak >= bg.voltage(300.0));
+        assert!(v_peak >= bg.voltage(340.0));
+        assert_eq!(v_peak, bg.v_nominal());
+    }
+
+    #[test]
+    fn curvature_symmetric_around_peak() {
+        let bg = Bandgap::default();
+        let lo = bg.voltage(320.0 - 50.0);
+        let hi = bg.voltage(320.0 + 50.0);
+        assert!((lo - hi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn automotive_range_drift_is_small() {
+        // -40 C .. 125 C automotive range.
+        let bg = Bandgap::default();
+        let vs: Vec<f64> = [233.15, 273.15, 300.0, 358.15, 398.15]
+            .iter()
+            .map(|&t| bg.voltage(t))
+            .collect();
+        let span = vs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - vs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(span / bg.v_nominal() < 0.02, "drift {span}");
+    }
+
+    #[test]
+    fn trim_error_shifts_output() {
+        let bg = Bandgap::default().with_trim_error(0.01);
+        assert!((bg.voltage(320.0) / 1.205 - 1.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_temperature() {
+        let _ = Bandgap::default().voltage(0.0);
+    }
+}

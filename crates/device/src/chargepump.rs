@@ -1,0 +1,132 @@
+//! Behavioral negative charge pump.
+//!
+//! Fig 11 of the paper biases the bulk-switch node `Nbulk` below ground with
+//! a negative charge pump so the output NMOS stays off while the pin swings
+//! negative. This behavioral model captures the pieces that matter to the
+//! pad analysis: target voltage, output impedance, ripple and the fact that
+//! the pump only works while the chip is supplied.
+
+/// Behavioral negative charge pump.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NegativeChargePump {
+    v_target: f64,
+    r_out: f64,
+    ripple_pp: f64,
+    clock_hz: f64,
+    enabled: bool,
+}
+
+impl NegativeChargePump {
+    /// Creates a pump regulating to `v_target` volts (must be negative) with
+    /// output resistance `r_out` ohms, peak-to-peak `ripple_pp` volts at
+    /// pump clock `clock_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `v_target < 0`, `r_out > 0`, `ripple_pp >= 0` and
+    /// `clock_hz > 0`.
+    pub fn new(v_target: f64, r_out: f64, ripple_pp: f64, clock_hz: f64) -> Self {
+        assert!(v_target < 0.0, "negative pump target must be negative");
+        assert!(r_out > 0.0, "output resistance must be positive");
+        assert!(ripple_pp >= 0.0, "ripple must be non-negative");
+        assert!(clock_hz > 0.0, "clock must be positive");
+        NegativeChargePump {
+            v_target,
+            r_out,
+            ripple_pp,
+            clock_hz,
+            enabled: true,
+        }
+    }
+
+    /// A typical on-chip pump: −1.5 V target, 50 kΩ output, 20 mV ripple at
+    /// 10 MHz.
+    pub fn typical() -> Self {
+        NegativeChargePump::new(-1.5, 50e3, 0.02, 10e6)
+    }
+
+    /// Enables or disables the pump (disabled when the supply is lost).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether the pump is running.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Regulation target in volts.
+    pub fn v_target(&self) -> f64 {
+        self.v_target
+    }
+
+    /// Output voltage at time `t` while sourcing `i_load` amperes
+    /// (conventional current *out of* the pump node, i.e. a positive load
+    /// pulls the node up).
+    ///
+    /// When disabled the pump presents a high-impedance node that floats to
+    /// 0 V (its reservoir discharges); callers model any residual charge
+    /// themselves.
+    pub fn voltage(&self, t: f64, i_load: f64) -> f64 {
+        if !self.enabled {
+            return 0.0;
+        }
+        let ripple = 0.5
+            * self.ripple_pp
+            * (2.0 * std::f64::consts::PI * self.clock_hz * t).sin();
+        self.v_target + self.r_out * i_load + ripple
+    }
+}
+
+impl Default for NegativeChargePump {
+    fn default() -> Self {
+        NegativeChargePump::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unloaded_pump_sits_at_target() {
+        let p = NegativeChargePump::typical();
+        let v = p.voltage(0.0, 0.0);
+        assert!((v - (-1.5)).abs() < 0.011); // within half ripple
+    }
+
+    #[test]
+    fn load_current_droops_voltage_toward_zero() {
+        let p = NegativeChargePump::typical();
+        let v = p.voltage(0.0, 10e-6);
+        assert!(v > -1.5 && v < 0.0, "drooped to {v}");
+        assert!((v - (-1.0)).abs() < 0.011); // -1.5 + 50k * 10u = -1.0
+    }
+
+    #[test]
+    fn ripple_bounded_by_spec() {
+        let p = NegativeChargePump::typical();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..1000 {
+            let v = p.voltage(i as f64 * 1e-9, 0.0);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!((hi - lo) <= 0.02 + 1e-12, "ripple {}", hi - lo);
+    }
+
+    #[test]
+    fn disabled_pump_floats_to_zero() {
+        let mut p = NegativeChargePump::typical();
+        p.set_enabled(false);
+        assert!(!p.is_enabled());
+        assert_eq!(p.voltage(1.0, 5e-6), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be negative")]
+    fn rejects_positive_target() {
+        let _ = NegativeChargePump::new(1.0, 1e3, 0.0, 1e6);
+    }
+}

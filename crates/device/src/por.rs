@@ -1,0 +1,126 @@
+//! Power-on reset.
+//!
+//! The paper's startup sequence (§4): POR asserts while the supply is below
+//! threshold; on release the regulation code is preset to 105, and a few
+//! microseconds later the NVM-stored code takes over. This block models the
+//! POR itself: a supply comparator with hysteresis plus a release delay.
+
+/// Behavioral power-on-reset block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerOnReset {
+    v_release: f64,
+    v_assert: f64,
+    release_delay: f64,
+    above_since: Option<f64>,
+    in_reset: bool,
+}
+
+impl PowerOnReset {
+    /// Creates a POR that releases `release_delay` seconds after the supply
+    /// rises above `v_release`, and re-asserts immediately when the supply
+    /// falls below `v_assert`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `v_release > v_assert > 0` and `release_delay >= 0`.
+    pub fn new(v_release: f64, v_assert: f64, release_delay: f64) -> Self {
+        assert!(v_assert > 0.0, "assert threshold must be positive");
+        assert!(v_release > v_assert, "release threshold must exceed assert");
+        assert!(release_delay >= 0.0, "delay must be non-negative");
+        PowerOnReset {
+            v_release,
+            v_assert,
+            release_delay,
+            above_since: None,
+            in_reset: true,
+        }
+    }
+
+    /// Typical 3.3 V-supply POR: release at 2.6 V, assert at 2.2 V, 5 µs
+    /// delay.
+    pub fn typical_3v3() -> Self {
+        PowerOnReset::new(2.6, 2.2, 5e-6)
+    }
+
+    /// Whether reset is currently asserted.
+    pub fn in_reset(&self) -> bool {
+        self.in_reset
+    }
+
+    /// Advances the POR with the supply voltage at absolute time `t`
+    /// seconds; returns `true` while reset is asserted.
+    pub fn update(&mut self, t: f64, vdd: f64) -> bool {
+        if vdd < self.v_assert {
+            self.in_reset = true;
+            self.above_since = None;
+        } else if vdd > self.v_release {
+            let t0 = *self.above_since.get_or_insert(t);
+            if t - t0 >= self.release_delay {
+                self.in_reset = false;
+            }
+        }
+        // Between the thresholds: hold state (hysteresis).
+        self.in_reset
+    }
+}
+
+impl Default for PowerOnReset {
+    fn default() -> Self {
+        PowerOnReset::typical_3v3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_in_reset() {
+        let p = PowerOnReset::typical_3v3();
+        assert!(p.in_reset());
+    }
+
+    #[test]
+    fn releases_after_delay() {
+        let mut p = PowerOnReset::new(2.6, 2.2, 5e-6);
+        assert!(p.update(0.0, 3.3));
+        assert!(p.update(3e-6, 3.3));
+        assert!(!p.update(6e-6, 3.3));
+    }
+
+    #[test]
+    fn brownout_reasserts_immediately() {
+        let mut p = PowerOnReset::new(2.6, 2.2, 0.0);
+        p.update(0.0, 3.3);
+        assert!(!p.update(1e-6, 3.3));
+        assert!(p.update(2e-6, 2.0));
+    }
+
+    #[test]
+    fn hysteresis_band_holds_state() {
+        let mut p = PowerOnReset::new(2.6, 2.2, 0.0);
+        p.update(0.0, 3.3);
+        assert!(!p.in_reset());
+        // 2.4 V is between assert and release: no change.
+        assert!(!p.update(1e-6, 2.4));
+        // Drop below assert, rise into band: stays reset.
+        assert!(p.update(2e-6, 2.0));
+        assert!(p.update(3e-6, 2.4));
+    }
+
+    #[test]
+    fn supply_dip_restarts_delay() {
+        let mut p = PowerOnReset::new(2.6, 2.2, 5e-6);
+        p.update(0.0, 3.3);
+        p.update(4e-6, 2.0); // dip resets the timer
+        p.update(5e-6, 3.3);
+        assert!(p.update(8e-6, 3.3)); // only 3 µs since re-rise
+        assert!(!p.update(11e-6, 3.3));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed assert")]
+    fn rejects_inverted_thresholds() {
+        let _ = PowerOnReset::new(2.0, 2.6, 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests on the device models.
+
+use lcosc_device::comparator::{WindowComparator, WindowState};
+use lcosc_device::diode::DiodeModel;
+use lcosc_device::mirror::BinaryWeightedBank;
+use lcosc_device::mismatch::MismatchModel;
+use lcosc_device::mos::MosModel;
+use proptest::prelude::*;
+
+proptest! {
+    /// Diode current is monotone in bias and finite everywhere.
+    #[test]
+    fn diode_monotone_and_finite(v1 in -10.0f64..10.0, v2 in -10.0f64..10.0) {
+        let d = DiodeModel::default();
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        let (ilo, ihi) = (d.current(lo), d.current(hi));
+        prop_assert!(ilo.is_finite() && ihi.is_finite());
+        prop_assert!(ihi >= ilo);
+        prop_assert!(d.conductance(v1) >= 0.0);
+    }
+
+    /// The diode companion model reconstructs the current at the expansion
+    /// point for any bias.
+    #[test]
+    fn diode_companion_consistent(v in -5.0f64..2.0) {
+        let d = DiodeModel::bulk_junction_035um();
+        let (g, ieq) = d.companion(v);
+        prop_assert!((g * v + ieq - d.current(v)).abs() < 1e-9 * d.current(v).abs().max(1.0));
+    }
+
+    /// NMOS drain current is antisymmetric under drain/source exchange
+    /// (without channel-length modulation the EKV model is exact here).
+    #[test]
+    fn mos_source_drain_antisymmetry(
+        vg in -1.0f64..3.5,
+        vd in -1.0f64..3.5,
+        vs in -1.0f64..3.5,
+    ) {
+        let m = MosModel::nmos_035um().with_lambda(0.0);
+        let fwd = m.evaluate_4t(vg, vd, vs).id;
+        let rev = m.evaluate_4t(vg, vs, vd).id;
+        prop_assert!((fwd + rev).abs() <= 1e-9 * fwd.abs().max(1e-12), "{fwd} vs {rev}");
+    }
+
+    /// The analytic gm matches a numeric derivative everywhere sampled.
+    #[test]
+    fn mos_gm_matches_numeric(vg in 0.0f64..3.0, vd in 0.0f64..3.0) {
+        let m = MosModel::nmos_035um();
+        let h = 1e-6;
+        let op = m.evaluate(vg, vd);
+        let num = (m.evaluate(vg + h, vd).id - m.evaluate(vg - h, vd).id) / (2.0 * h);
+        prop_assert!((op.gm - num).abs() <= 1e-4 * num.abs().max(1e-12));
+    }
+
+    /// MOS current never exceeds the square-law ceiling with margin.
+    #[test]
+    fn mos_current_bounded(vg in 0.0f64..3.3, vd in 0.0f64..3.3) {
+        let m = MosModel::nmos_035um();
+        let id = m.evaluate(vg, vd).id;
+        // Square-law worst case (triode peak) with generous margin.
+        let ceiling = 2.0 * m.kp() * (vg + 1.0) * (vg + 1.0);
+        prop_assert!(id >= -1e-9 && id <= ceiling, "id {id}, ceiling {ceiling}");
+    }
+
+    /// Binary bank multiplication is within mismatch bounds of the code.
+    #[test]
+    fn bank_multiplication_near_code(seed in 0u64..1000, code in 0u32..128) {
+        let mut die = MismatchModel::new(0.01, seed);
+        let bank = BinaryWeightedBank::sampled(7, &mut die);
+        let m = bank.multiplication(code);
+        if code > 0 {
+            prop_assert!((m / code as f64 - 1.0).abs() < 0.2, "code {code}: {m}");
+        } else {
+            prop_assert_eq!(m, 0.0);
+        }
+    }
+
+    /// Window comparator classification is consistent with its thresholds.
+    #[test]
+    fn window_classification_consistent(
+        center in 0.1f64..10.0,
+        width in 0.01f64..0.5,
+        v in -1.0f64..12.0,
+    ) {
+        let w = WindowComparator::centered(center, width);
+        let state = w.classify(v);
+        match state {
+            WindowState::Below => prop_assert!(v < w.low()),
+            WindowState::Above => prop_assert!(v > w.high()),
+            WindowState::Inside => prop_assert!(v >= w.low() && v <= w.high()),
+        }
+    }
+
+    /// Mismatch ratios are always positive and reproducible per seed.
+    #[test]
+    fn mismatch_ratio_positive(seed in 0u64..1000, nominal in 0.5f64..64.0) {
+        let mut a = MismatchModel::new(0.05, seed);
+        let mut b = MismatchModel::new(0.05, seed);
+        let ra = a.ratio(nominal);
+        prop_assert!(ra > 0.0);
+        prop_assert_eq!(ra, b.ratio(nominal));
+    }
+}

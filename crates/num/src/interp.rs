@@ -1,0 +1,192 @@
+//! Piece-wise-linear tables.
+//!
+//! The paper's exponential DAC is a PWL approximation of `(1+δ)ⁿ`
+//! (its Fig 3); this module supplies the generic PWL machinery used to
+//! compare the implemented staircase against the ideal exponential.
+
+use crate::{NumError, Result};
+
+/// A piece-wise-linear function defined by sorted `(x, y)` breakpoints.
+///
+/// Evaluation clamps outside the table range (flat extrapolation), matching
+/// how a saturating DAC behaves at its code extremes.
+///
+/// # Example
+///
+/// ```
+/// use lcosc_num::interp::PwlTable;
+///
+/// # fn main() -> Result<(), lcosc_num::NumError> {
+/// let t = PwlTable::new(vec![(0.0, 0.0), (1.0, 10.0), (2.0, 40.0)])?;
+/// assert_eq!(t.eval(0.5), 5.0);
+/// assert_eq!(t.eval(1.5), 25.0);
+/// assert_eq!(t.eval(-1.0), 0.0);   // clamped
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PwlTable {
+    points: Vec<(f64, f64)>,
+}
+
+impl PwlTable {
+    /// Creates a table from breakpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] if fewer than two points are given,
+    /// the x values are not strictly increasing, or any value is non-finite.
+    pub fn new(points: Vec<(f64, f64)>) -> Result<Self> {
+        if points.len() < 2 {
+            return Err(NumError::InvalidInput("pwl table needs >= 2 points"));
+        }
+        for w in points.windows(2) {
+            if !(w[1].0 > w[0].0) {
+                return Err(NumError::InvalidInput("pwl x values must strictly increase"));
+            }
+        }
+        if points.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {
+            return Err(NumError::InvalidInput("pwl points must be finite"));
+        }
+        Ok(PwlTable { points })
+    }
+
+    /// The breakpoints of this table.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Evaluates the PWL function at `x`, clamping outside the range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        // Binary search for the segment.
+        let idx = pts.partition_point(|p| p.0 <= x);
+        let (x0, y0) = pts[idx - 1];
+        let (x1, y1) = pts[idx];
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Returns `true` if the y values are non-decreasing.
+    pub fn is_monotone_nondecreasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].1 >= w[0].1)
+    }
+
+    /// Maximum absolute deviation from `f` sampled at `samples` evenly spaced
+    /// points over the table's x range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples < 2`.
+    pub fn max_abs_error<F: Fn(f64) -> f64>(&self, f: F, samples: usize) -> f64 {
+        assert!(samples >= 2, "need at least two samples");
+        let x0 = self.points[0].0;
+        let x1 = self.points[self.points.len() - 1].0;
+        (0..samples)
+            .map(|i| {
+                let x = x0 + (x1 - x0) * i as f64 / (samples - 1) as f64;
+                (self.eval(x) - f(x)).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum relative deviation `|pwl/f - 1|` over the table range,
+    /// skipping points where `|f| < eps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples < 2`.
+    pub fn max_rel_error<F: Fn(f64) -> f64>(&self, f: F, samples: usize, eps: f64) -> f64 {
+        assert!(samples >= 2, "need at least two samples");
+        let x0 = self.points[0].0;
+        let x1 = self.points[self.points.len() - 1].0;
+        (0..samples)
+            .filter_map(|i| {
+                let x = x0 + (x1 - x0) * i as f64 / (samples - 1) as f64;
+                let fx = f(x);
+                (fx.abs() > eps).then(|| (self.eval(x) / fx - 1.0).abs())
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PwlTable {
+        PwlTable::new(vec![(0.0, 0.0), (1.0, 10.0), (2.0, 40.0)]).unwrap()
+    }
+
+    #[test]
+    fn eval_interpolates_within_segments() {
+        let t = table();
+        assert_eq!(t.eval(0.25), 2.5);
+        assert_eq!(t.eval(1.0), 10.0);
+        assert_eq!(t.eval(1.75), 32.5);
+    }
+
+    #[test]
+    fn eval_clamps_outside_range() {
+        let t = table();
+        assert_eq!(t.eval(-5.0), 0.0);
+        assert_eq!(t.eval(99.0), 40.0);
+    }
+
+    #[test]
+    fn eval_exact_breakpoints() {
+        let t = table();
+        for &(x, y) in t.points() {
+            assert_eq!(t.eval(x), y);
+        }
+    }
+
+    #[test]
+    fn rejects_too_few_points() {
+        assert!(PwlTable::new(vec![(0.0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_increasing_x() {
+        assert!(PwlTable::new(vec![(0.0, 0.0), (0.0, 1.0)]).is_err());
+        assert!(PwlTable::new(vec![(1.0, 0.0), (0.0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn rejects_nan() {
+        assert!(PwlTable::new(vec![(0.0, f64::NAN), (1.0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        assert!(table().is_monotone_nondecreasing());
+        let dip = PwlTable::new(vec![(0.0, 0.0), (1.0, 5.0), (2.0, 4.0)]).unwrap();
+        assert!(!dip.is_monotone_nondecreasing());
+    }
+
+    #[test]
+    fn pwl_approximates_exponential_within_segment_error() {
+        // chord of exp on [0, ln2] has max error exp(x)-(1+x/ln2) ~ 0.06
+        let t = PwlTable::new(vec![
+            (0.0, 1.0),
+            (std::f64::consts::LN_2, 2.0),
+            (2.0 * std::f64::consts::LN_2, 4.0),
+        ])
+        .unwrap();
+        let err = t.max_rel_error(|x| x.exp(), 1000, 1e-12);
+        assert!(err < 0.07, "relative error {err}");
+        assert!(err > 0.01, "chord error should be visible, got {err}");
+    }
+
+    #[test]
+    fn max_abs_error_of_self_is_zero() {
+        let t = table();
+        let e = t.max_abs_error(|x| t.eval(x), 100);
+        assert_eq!(e, 0.0);
+    }
+}

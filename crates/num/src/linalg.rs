@@ -1,0 +1,626 @@
+//! Dense linear algebra: a small row-major [`Matrix`] with LU factorization
+//! and linear solves.
+//!
+//! The circuit simulator's MNA systems are small (tens of unknowns), so a
+//! straightforward dense LU with partial pivoting is both adequate and easy
+//! to validate.
+
+use crate::{NumError, Result};
+
+/// A dense, row-major `f64` matrix.
+///
+/// # Example
+///
+/// ```
+/// use lcosc_num::linalg::Matrix;
+///
+/// # fn main() -> Result<(), lcosc_num::NumError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let x = a.solve(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled `rows x cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] if `rows` is empty or the rows have
+    /// inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        let nrows = rows.len();
+        if nrows == 0 {
+            return Err(NumError::InvalidInput("matrix needs at least one row"));
+        }
+        let ncols = rows[0].len();
+        if ncols == 0 {
+            return Err(NumError::InvalidInput("matrix needs at least one column"));
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            if r.len() != ncols {
+                return Err(NumError::InvalidInput("rows have inconsistent lengths"));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Sets every entry to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Adds `value` to entry `(row, col)` — the fundamental MNA "stamp"
+    /// operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        self[(row, col)] += value;
+    }
+
+    /// Matrix-vector product `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Infinity norm (maximum absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| {
+                self.data[i * self.cols..(i + 1) * self.cols]
+                    .iter()
+                    .map(|v| v.abs())
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// LU factorization with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] for non-square matrices and
+    /// [`NumError::SingularMatrix`] when a pivot underflows.
+    pub fn lu(&self) -> Result<LuFactors> {
+        if !self.is_square() {
+            return Err(NumError::InvalidInput("lu requires a square matrix"));
+        }
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0f64;
+
+        for k in 0..n {
+            // Find pivot.
+            let mut p = k;
+            let mut pmax = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax < f64::MIN_POSITIVE * 1e4 || !pmax.is_finite() {
+                return Err(NumError::SingularMatrix { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let factor = lu[i * n + k] / pivot;
+                lu[i * n + k] = factor;
+                for j in (k + 1)..n {
+                    lu[i * n + j] -= factor * lu[k * n + j];
+                }
+            }
+        }
+        Ok(LuFactors {
+            n,
+            lu,
+            perm,
+            sign,
+        })
+    }
+
+    /// Solves `self * x = b` via LU factorization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Matrix::lu`]; also fails if `b.len()` does not
+    /// match the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.rows {
+            return Err(NumError::InvalidInput("rhs length mismatch"));
+        }
+        self.lu()?.solve(b)
+    }
+
+    /// Determinant via LU factorization. Returns `0.0` for singular matrices.
+    pub fn det(&self) -> f64 {
+        match self.lu() {
+            Ok(f) => f.det(),
+            Err(_) => 0.0,
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl std::fmt::Display for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// LU factorization produced by [`Matrix::lu`], reusable for several
+/// right-hand sides.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl LuFactors {
+    /// Dimension of the factorized system.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` for the factorized `A`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] on an `b` length mismatch.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.n {
+            return Err(NumError::InvalidInput("rhs length mismatch"));
+        }
+        let n = self.n;
+        // Apply permutation: y = P b.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution (L has unit diagonal).
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = s;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = s / self.lu[i * n + i];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.n {
+            d *= self.lu[i * self.n + i];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solves_to_rhs() {
+        let a = Matrix::identity(4);
+        let b = [1.0, -2.0, 3.5, 0.25];
+        let x = a.solve(&b).unwrap();
+        assert_eq!(x, b.to_vec());
+    }
+
+    #[test]
+    fn solve_known_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.solve(&[7.0, 9.0]).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        match a.solve(&[1.0, 2.0]) {
+            Err(NumError::SingularMatrix { .. }) => {}
+            other => panic!("expected SingularMatrix, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn determinant_matches_cofactor_expansion() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]])
+            .unwrap();
+        // det = 1*(50-48) - 2*(40-42) + 3*(32-35) = 2 + 4 - 9 = -3
+        assert!((a.det() + 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn residual_of_random_like_system_is_tiny() {
+        // Fixed pseudo-random matrix (deterministic, no rng dependency).
+        let n = 8;
+        let mut a = Matrix::zeros(n, n);
+        let mut seed = 1u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += 4.0; // diagonally dominant => well conditioned
+        }
+        let xtrue: Vec<f64> = (0..n).map(|i| (i as f64) - 3.5).collect();
+        let b = a.mul_vec(&xtrue);
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&xtrue) {
+            assert!((xi - ti).abs() < 1e-10, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn lu_factors_reusable_for_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let f = a.lu().unwrap();
+        let x1 = f.solve(&[4.0, 3.0]).unwrap();
+        let x2 = f.solve(&[1.0, 0.0]).unwrap();
+        assert!((x1[0] - 1.0).abs() < 1e-12 && (x1[1] - 1.0).abs() < 1e-12);
+        assert!((x2[0] - 0.4).abs() < 1e-12 && (x2[1] + 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let e = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert!(matches!(e, NumError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn from_rows_rejects_empty() {
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn norm_inf_max_row_sum() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(a.norm_inf(), 7.0);
+    }
+
+    #[test]
+    fn clear_zeroes_everything() {
+        let mut a = Matrix::identity(3);
+        a.clear();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(a[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn stamp_accumulates() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add(0, 0, 1.5);
+        a.add(0, 0, 2.5);
+        assert_eq!(a[(0, 0)], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let a = Matrix::zeros(2, 2);
+        let _ = a[(2, 0)];
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = Matrix::identity(2);
+        assert!(!format!("{a}").is_empty());
+    }
+}
+
+/// A dense, row-major complex matrix with LU solve — used by the circuit
+/// simulator's AC (small-signal, frequency-domain) analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<crate::fft::Complex>,
+}
+
+impl ComplexMatrix {
+    /// Creates a zero-filled `rows x cols` complex matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        ComplexMatrix {
+            rows,
+            cols,
+            data: vec![crate::fft::Complex::default(); rows * cols],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Sets every entry to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = crate::fft::Complex::default());
+    }
+
+    /// Adds `value` to entry `(row, col)` (the MNA stamp operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, value: crate::fft::Complex) {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        let cur = self.data[row * self.cols + col];
+        self.data[row * self.cols + col] = cur + value;
+    }
+
+    /// Solves `self · x = b` via LU with partial (magnitude) pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] for non-square systems or a
+    /// mismatched rhs, and [`NumError::SingularMatrix`] when a pivot
+    /// underflows.
+    pub fn solve(&self, b: &[crate::fft::Complex]) -> Result<Vec<crate::fft::Complex>> {
+        use crate::fft::Complex;
+        if self.rows != self.cols {
+            return Err(NumError::InvalidInput("solve requires a square matrix"));
+        }
+        if b.len() != self.rows {
+            return Err(NumError::InvalidInput("rhs length mismatch"));
+        }
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut x: Vec<Complex> = b.to_vec();
+
+        for k in 0..n {
+            // Pivot by magnitude.
+            let mut p = k;
+            let mut pmax = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax < f64::MIN_POSITIVE * 1e4 || !pmax.is_finite() {
+                return Err(NumError::SingularMatrix { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+                x.swap(k, p);
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let factor = lu[i * n + k] / pivot;
+                lu[i * n + k] = factor;
+                for j in (k + 1)..n {
+                    let sub = factor * lu[k * n + j];
+                    let cur = lu[i * n + j];
+                    lu[i * n + j] = cur - sub;
+                }
+                let sub = factor * x[k];
+                let cur = x[i];
+                x[i] = cur - sub;
+            }
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s = s - lu[i * n + j] * x[j];
+            }
+            x[i] = s / lu[i * n + i];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod complex_tests {
+    use super::*;
+    use crate::fft::Complex;
+
+    #[test]
+    fn complex_identity_solve() {
+        let mut a = ComplexMatrix::zeros(2, 2);
+        a.add(0, 0, Complex::new(1.0, 0.0));
+        a.add(1, 1, Complex::new(1.0, 0.0));
+        let b = [Complex::new(2.0, 1.0), Complex::new(-3.0, 0.5)];
+        let x = a.solve(&b).unwrap();
+        assert_eq!(x, b.to_vec());
+    }
+
+    #[test]
+    fn complex_known_system() {
+        // (1 + j)·x = 2 -> x = 1 − j.
+        let mut a = ComplexMatrix::zeros(1, 1);
+        a.add(0, 0, Complex::new(1.0, 1.0));
+        let x = a.solve(&[Complex::new(2.0, 0.0)]).unwrap();
+        assert!((x[0].re - 1.0).abs() < 1e-12 && (x[0].im + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_pivoting_works() {
+        let mut a = ComplexMatrix::zeros(2, 2);
+        a.add(0, 1, Complex::new(0.0, 1.0)); // j in the corner
+        a.add(1, 0, Complex::new(2.0, 0.0));
+        let x = a
+            .solve(&[Complex::new(0.0, 2.0), Complex::new(4.0, 0.0)])
+            .unwrap();
+        // Row0: j·x1 = 2j -> x1 = 2. Row1: 2 x0 = 4 -> x0 = 2.
+        assert!((x[0].re - 2.0).abs() < 1e-12);
+        assert!((x[1].re - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_singular_detected() {
+        let a = ComplexMatrix::zeros(2, 2);
+        assert!(matches!(
+            a.solve(&[Complex::default(), Complex::default()]),
+            Err(NumError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn complex_residual_small() {
+        let n = 5;
+        let mut a = ComplexMatrix::zeros(n, n);
+        let mut seed = 7u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut dense = vec![Complex::default(); n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let v = Complex::new(next(), next());
+                dense[i * n + j] = v;
+                a.add(i, j, v);
+            }
+            a.add(i, i, Complex::new(5.0, 0.0));
+            dense[i * n + i] = dense[i * n + i] + Complex::new(5.0, 0.0);
+        }
+        let xt: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let b: Vec<Complex> = (0..n)
+            .map(|i| {
+                let mut s = Complex::default();
+                for j in 0..n {
+                    s = s + dense[i * n + j] * xt[j];
+                }
+                s
+            })
+            .collect();
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&xt) {
+            assert!((*xi - *ti).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! ODE integration for behavioral circuit models.
+//!
+//! Provides a classic fixed-step RK4 ([`rk4_step`]), an adaptive
+//! Runge–Kutta–Fehlberg 4(5) driver ([`rkf45_adaptive`]) and a zero-crossing
+//! event scanner used for oscillation frequency measurement.
+
+use crate::{NumError, Result};
+
+/// A first-order ODE system `x' = f(t, x)`.
+///
+/// Implementors describe only the dynamics; integration state is owned by
+/// the caller so the same system can be integrated from many initial
+/// conditions.
+pub trait OdeSystem {
+    /// Number of state variables.
+    fn dim(&self) -> usize;
+
+    /// Writes `f(t, x)` into `dx`. `dx.len() == x.len() == self.dim()`.
+    fn derivatives(&self, t: f64, x: &[f64], dx: &mut [f64]);
+}
+
+/// Performs one classic fourth-order Runge–Kutta step of size `dt` in place.
+///
+/// `scratch` must have length `5 * sys.dim()` and is used to avoid per-step
+/// allocation in hot loops.
+///
+/// # Panics
+///
+/// Panics if `x.len() != sys.dim()` or `scratch` is too small.
+pub fn rk4_step<S: OdeSystem + ?Sized>(sys: &S, t: f64, dt: f64, x: &mut [f64], scratch: &mut [f64]) {
+    let n = sys.dim();
+    assert_eq!(x.len(), n, "state length mismatch");
+    assert!(scratch.len() >= 5 * n, "scratch must hold 5*dim values");
+    let (k1, rest) = scratch.split_at_mut(n);
+    let (k2, rest) = rest.split_at_mut(n);
+    let (k3, rest) = rest.split_at_mut(n);
+    let (k4, xt) = rest.split_at_mut(n);
+    let xt = &mut xt[..n];
+
+    sys.derivatives(t, x, k1);
+    for i in 0..n {
+        xt[i] = x[i] + 0.5 * dt * k1[i];
+    }
+    sys.derivatives(t + 0.5 * dt, xt, k2);
+    for i in 0..n {
+        xt[i] = x[i] + 0.5 * dt * k2[i];
+    }
+    sys.derivatives(t + 0.5 * dt, xt, k3);
+    for i in 0..n {
+        xt[i] = x[i] + dt * k3[i];
+    }
+    sys.derivatives(t + dt, xt, k4);
+    for i in 0..n {
+        x[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+}
+
+/// Result of an adaptive integration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveRun {
+    /// Final time reached (equals the requested end time on success).
+    pub t_end: f64,
+    /// Final state.
+    pub x: Vec<f64>,
+    /// Number of accepted steps.
+    pub accepted: usize,
+    /// Number of rejected (re-tried) steps.
+    pub rejected: usize,
+}
+
+/// Integrates `sys` from `t0` to `t1` with the Runge–Kutta–Fehlberg 4(5)
+/// embedded pair and proportional step-size control.
+///
+/// `tol` is the per-step absolute error tolerance (infinity norm).
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] if `t1 <= t0` or tolerances are not
+/// positive, and [`NumError::NoConvergence`] if the step size underflows
+/// (stiff or discontinuous system).
+pub fn rkf45_adaptive<S: OdeSystem + ?Sized>(
+    sys: &S,
+    t0: f64,
+    t1: f64,
+    x0: &[f64],
+    tol: f64,
+) -> Result<AdaptiveRun> {
+    if !(t1 > t0) {
+        return Err(NumError::InvalidInput("t1 must exceed t0"));
+    }
+    if !(tol > 0.0) {
+        return Err(NumError::InvalidInput("tolerance must be positive"));
+    }
+    let n = sys.dim();
+    if x0.len() != n {
+        return Err(NumError::InvalidInput("state length mismatch"));
+    }
+
+    // Fehlberg coefficients.
+    const A: [[f64; 5]; 5] = [
+        [1.0 / 4.0, 0.0, 0.0, 0.0, 0.0],
+        [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
+        [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
+        [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
+        [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+    ];
+    const C: [f64; 6] = [0.0, 0.25, 3.0 / 8.0, 12.0 / 13.0, 1.0, 0.5];
+    const B4: [f64; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -1.0 / 5.0, 0.0];
+    const B5: [f64; 6] = [
+        16.0 / 135.0,
+        0.0,
+        6656.0 / 12825.0,
+        28561.0 / 56430.0,
+        -9.0 / 50.0,
+        2.0 / 55.0,
+    ];
+
+    let mut x = x0.to_vec();
+    let mut t = t0;
+    let mut h = (t1 - t0) / 100.0;
+    let h_min = (t1 - t0) * 1e-14;
+    let mut k = vec![vec![0.0; n]; 6];
+    let mut xt = vec![0.0; n];
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+
+    while t < t1 {
+        if h < h_min {
+            return Err(NumError::NoConvergence {
+                iterations: accepted + rejected,
+                residual: h,
+            });
+        }
+        if t + h > t1 {
+            h = t1 - t;
+        }
+        // Stage evaluations.
+        sys.derivatives(t, &x, &mut k[0]);
+        for s in 1..6 {
+            for i in 0..n {
+                let mut acc = 0.0;
+                for (j, kj) in k.iter().enumerate().take(s) {
+                    acc += A[s - 1][j] * kj[i];
+                }
+                xt[i] = x[i] + h * acc;
+            }
+            let (head, tail) = k.split_at_mut(s);
+            let _ = head;
+            sys.derivatives(t + C[s] * h, &xt, &mut tail[0]);
+        }
+        // Error estimate: |x5 - x4|.
+        let mut err = 0.0f64;
+        for i in 0..n {
+            let mut d4 = 0.0;
+            let mut d5 = 0.0;
+            for (s, ks) in k.iter().enumerate() {
+                d4 += B4[s] * ks[i];
+                d5 += B5[s] * ks[i];
+            }
+            err = err.max((h * (d5 - d4)).abs());
+        }
+        if err <= tol || h <= h_min * 2.0 {
+            // Accept with the 5th-order solution.
+            for i in 0..n {
+                let mut d5 = 0.0;
+                for (s, ks) in k.iter().enumerate() {
+                    d5 += B5[s] * ks[i];
+                }
+                x[i] += h * d5;
+            }
+            t += h;
+            accepted += 1;
+        } else {
+            rejected += 1;
+        }
+        // Step-size update (clamped).
+        let scale = if err > 0.0 {
+            0.9 * (tol / err).powf(0.2)
+        } else {
+            4.0
+        };
+        h *= scale.clamp(0.2, 4.0);
+    }
+
+    Ok(AdaptiveRun {
+        t_end: t,
+        x,
+        accepted,
+        rejected,
+    })
+}
+
+/// A detected zero crossing of a sampled signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZeroCrossing {
+    /// Linearly interpolated crossing time.
+    pub t: f64,
+    /// `true` when the signal crosses from negative to positive.
+    pub rising: bool,
+}
+
+/// Scans a uniformly sampled signal for zero crossings with linear
+/// interpolation of the crossing time.
+///
+/// Samples exactly at zero are treated as part of the following half-wave.
+/// Returns crossings in time order.
+pub fn zero_crossings(t0: f64, dt: f64, samples: &[f64]) -> Vec<ZeroCrossing> {
+    let mut out = Vec::new();
+    for w in 1..samples.len() {
+        let (a, b) = (samples[w - 1], samples[w]);
+        if (a < 0.0 && b >= 0.0) || (a > 0.0 && b <= 0.0) {
+            let frac = a / (a - b);
+            out.push(ZeroCrossing {
+                t: t0 + dt * ((w - 1) as f64 + frac),
+                rising: a < 0.0,
+            });
+        }
+    }
+    out
+}
+
+/// Estimates the fundamental frequency of a sampled signal from the mean
+/// period between same-direction zero crossings.
+///
+/// Returns `None` when fewer than two rising crossings are present.
+pub fn frequency_from_crossings(t0: f64, dt: f64, samples: &[f64]) -> Option<f64> {
+    let rising: Vec<f64> = zero_crossings(t0, dt, samples)
+        .into_iter()
+        .filter(|z| z.rising)
+        .map(|z| z.t)
+        .collect();
+    if rising.len() < 2 {
+        return None;
+    }
+    let span = rising.last().unwrap() - rising.first().unwrap();
+    Some((rising.len() - 1) as f64 / span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Decay;
+    impl OdeSystem for Decay {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn derivatives(&self, _t: f64, x: &[f64], dx: &mut [f64]) {
+            dx[0] = -x[0];
+        }
+    }
+
+    /// Undamped harmonic oscillator with unit angular frequency.
+    struct Harmonic;
+    impl OdeSystem for Harmonic {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn derivatives(&self, _t: f64, x: &[f64], dx: &mut [f64]) {
+            dx[0] = x[1];
+            dx[1] = -x[0];
+        }
+    }
+
+    #[test]
+    fn rk4_matches_exponential_decay() {
+        let sys = Decay;
+        let mut x = [1.0];
+        let mut scratch = vec![0.0; 5];
+        let dt = 1e-2;
+        for s in 0..100 {
+            rk4_step(&sys, s as f64 * dt, dt, &mut x, &mut scratch);
+        }
+        assert!((x[0] - (-1.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rk4_conserves_harmonic_energy_to_fourth_order() {
+        let sys = Harmonic;
+        let mut x = [1.0, 0.0];
+        let mut scratch = vec![0.0; 10];
+        let dt = 1e-3;
+        for s in 0..10_000 {
+            rk4_step(&sys, s as f64 * dt, dt, &mut x, &mut scratch);
+        }
+        let energy = x[0] * x[0] + x[1] * x[1];
+        assert!((energy - 1.0).abs() < 1e-9, "energy drift {energy}");
+    }
+
+    #[test]
+    fn rkf45_hits_tolerance_on_decay() {
+        let run = rkf45_adaptive(&Decay, 0.0, 5.0, &[1.0], 1e-10).unwrap();
+        assert!((run.x[0] - (-5.0f64).exp()).abs() < 1e-7);
+        assert!(run.accepted > 0);
+        assert_eq!(run.t_end, 5.0);
+    }
+
+    #[test]
+    fn rkf45_adapts_step_count_to_tolerance() {
+        let loose = rkf45_adaptive(&Harmonic, 0.0, 20.0, &[1.0, 0.0], 1e-4).unwrap();
+        let tight = rkf45_adaptive(&Harmonic, 0.0, 20.0, &[1.0, 0.0], 1e-10).unwrap();
+        assert!(
+            tight.accepted > loose.accepted,
+            "tight {} vs loose {}",
+            tight.accepted,
+            loose.accepted
+        );
+    }
+
+    #[test]
+    fn rkf45_rejects_bad_time_span() {
+        assert!(matches!(
+            rkf45_adaptive(&Decay, 1.0, 1.0, &[1.0], 1e-6),
+            Err(NumError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn rkf45_rejects_bad_tolerance() {
+        assert!(rkf45_adaptive(&Decay, 0.0, 1.0, &[1.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn zero_crossings_of_sine_alternate() {
+        let n = 1000;
+        let dt = 2.0 * std::f64::consts::PI / n as f64;
+        // 1.1 periods: crossings at pi (falling) and 2*pi (rising); the t=0
+        // start sample is exactly zero and belongs to the first half-wave.
+        let samples: Vec<f64> = (0..=(11 * n / 10)).map(|i| (i as f64 * dt).sin()).collect();
+        let zc = zero_crossings(0.0, dt, &samples);
+        assert_eq!(zc.len(), 2);
+        assert!(!zc[0].rising);
+        assert!((zc[0].t - std::f64::consts::PI).abs() < 1e-4);
+        assert!(zc[1].rising);
+        assert!((zc[1].t - 2.0 * std::f64::consts::PI).abs() < 1e-4);
+    }
+
+    #[test]
+    fn frequency_estimate_matches_sine() {
+        let f = 3.0;
+        let fs = 1000.0;
+        let samples: Vec<f64> = (0..4000)
+            .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin())
+            .collect();
+        let est = frequency_from_crossings(0.0, 1.0 / fs, &samples).unwrap();
+        assert!((est - f).abs() < 1e-3, "estimated {est}");
+    }
+
+    #[test]
+    fn frequency_needs_two_rising_crossings() {
+        let samples = [1.0, 0.5, 0.25];
+        assert!(frequency_from_crossings(0.0, 1.0, &samples).is_none());
+    }
+}
+
+/// One fixed-size implicit-trapezoidal step solved by fixed-point
+/// (functional) iteration:
+/// `x₁ = x₀ + dt/2·(f(t₀, x₀) + f(t₁, x₁))`.
+///
+/// A-stable: useful for mildly stiff systems where RK4 would need tiny
+/// steps. Functional iteration converges for `dt·L < 2` (L = Lipschitz
+/// constant); the iteration runs until the update is below `tol` or 50
+/// sweeps elapse.
+///
+/// `scratch` must hold at least `3 * sys.dim()` values.
+///
+/// # Panics
+///
+/// Panics if `x.len() != sys.dim()` or `scratch` is too small.
+pub fn trapezoidal_step<S: OdeSystem + ?Sized>(
+    sys: &S,
+    t: f64,
+    dt: f64,
+    x: &mut [f64],
+    tol: f64,
+    scratch: &mut [f64],
+) {
+    let n = sys.dim();
+    assert_eq!(x.len(), n, "state length mismatch");
+    assert!(scratch.len() >= 3 * n, "scratch must hold 3*dim values");
+    let (f0, rest) = scratch.split_at_mut(n);
+    let (f1, xn) = rest.split_at_mut(n);
+    let xn = &mut xn[..n];
+
+    sys.derivatives(t, x, f0);
+    // Predictor: explicit Euler.
+    for i in 0..n {
+        xn[i] = x[i] + dt * f0[i];
+    }
+    // Corrector sweeps.
+    for _ in 0..50 {
+        sys.derivatives(t + dt, xn, f1);
+        let mut delta = 0.0f64;
+        for i in 0..n {
+            let next = x[i] + 0.5 * dt * (f0[i] + f1[i]);
+            delta = delta.max((next - xn[i]).abs());
+            xn[i] = next;
+        }
+        if delta < tol {
+            break;
+        }
+    }
+    x.copy_from_slice(xn);
+}
+
+#[cfg(test)]
+mod trapezoidal_tests {
+    use super::*;
+
+    struct Decay;
+    impl OdeSystem for Decay {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn derivatives(&self, _t: f64, x: &[f64], dx: &mut [f64]) {
+            dx[0] = -x[0];
+        }
+    }
+
+    struct Harmonic;
+    impl OdeSystem for Harmonic {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn derivatives(&self, _t: f64, x: &[f64], dx: &mut [f64]) {
+            dx[0] = x[1];
+            dx[1] = -x[0];
+        }
+    }
+
+    #[test]
+    fn trapezoidal_matches_decay() {
+        let mut x = [1.0];
+        let mut scratch = vec![0.0; 3];
+        let dt = 1e-2;
+        for s in 0..100 {
+            trapezoidal_step(&Decay, s as f64 * dt, dt, &mut x, 1e-14, &mut scratch);
+        }
+        assert!((x[0] - (-1.0f64).exp()).abs() < 1e-5, "{}", x[0]);
+    }
+
+    #[test]
+    fn trapezoidal_conserves_harmonic_energy() {
+        // The trapezoidal rule is symplectic-adjacent for linear
+        // oscillators: energy stays bounded (no secular drift).
+        let mut x = [1.0, 0.0];
+        let mut scratch = vec![0.0; 6];
+        let dt = 0.05;
+        for s in 0..20_000 {
+            trapezoidal_step(&Harmonic, s as f64 * dt, dt, &mut x, 1e-13, &mut scratch);
+        }
+        let energy = x[0] * x[0] + x[1] * x[1];
+        assert!((energy - 1.0).abs() < 1e-6, "energy {energy}");
+    }
+
+    #[test]
+    fn trapezoidal_is_second_order() {
+        let run = |dt: f64| {
+            let mut x = [1.0];
+            let mut scratch = vec![0.0; 3];
+            let steps = (1.0 / dt) as usize;
+            for s in 0..steps {
+                trapezoidal_step(&Decay, s as f64 * dt, dt, &mut x, 1e-15, &mut scratch);
+            }
+            (x[0] - (-1.0f64).exp()).abs()
+        };
+        let e1 = run(1e-2);
+        let e2 = run(5e-3);
+        let order = (e1 / e2).log2();
+        assert!((order - 2.0).abs() < 0.2, "observed order {order}");
+    }
+}

@@ -1,0 +1,282 @@
+//! Scalar root finding: bisection, Brent's method and a damped Newton
+//! iteration.
+//!
+//! Used for solving implicit device equations (diode operating points) and
+//! inverting monotone transfer curves.
+
+use crate::{NumError, Result};
+
+/// Default iteration budget for the bracketing methods.
+const MAX_ITER: usize = 200;
+
+/// Finds a root of `f` in `[a, b]` by bisection.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] when the bracket is invalid or does not
+/// straddle a sign change, and [`NumError::NoConvergence`] if the interval
+/// fails to shrink below `tol` within the iteration budget.
+pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Result<f64> {
+    if !(b > a) || !tol.is_finite() || tol <= 0.0 {
+        return Err(NumError::InvalidInput("bisect needs a < b and tol > 0"));
+    }
+    let (mut lo, mut hi) = (a, b);
+    let (mut flo, fhi) = (f(lo), f(hi));
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(NumError::InvalidInput("bracket does not straddle a root"));
+    }
+    for _ in 0..MAX_ITER {
+        let mid = 0.5 * (lo + hi);
+        let fm = f(mid);
+        if fm == 0.0 || (hi - lo) < tol {
+            return Ok(mid);
+        }
+        if fm.signum() == flo.signum() {
+            lo = mid;
+            flo = fm;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(NumError::NoConvergence {
+        iterations: MAX_ITER,
+        residual: hi - lo,
+    })
+}
+
+/// Finds a root of `f` in `[a, b]` with Brent's method (inverse quadratic
+/// interpolation with bisection fallback).
+///
+/// # Errors
+///
+/// Same contract as [`bisect`], but typically converges in far fewer
+/// function evaluations.
+pub fn brent<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Result<f64> {
+    if !(b > a) || !tol.is_finite() || tol <= 0.0 {
+        return Err(NumError::InvalidInput("brent needs a < b and tol > 0"));
+    }
+    let (mut xa, mut xb) = (a, b);
+    let (mut fa, mut fb) = (f(xa), f(xb));
+    if fa == 0.0 {
+        return Ok(xa);
+    }
+    if fb == 0.0 {
+        return Ok(xb);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumError::InvalidInput("bracket does not straddle a root"));
+    }
+    let (mut xc, mut fc) = (xa, fa);
+    let mut d = xb - xa;
+    let mut e = d;
+    for _ in 0..MAX_ITER {
+        if fb.abs() > fc.abs() {
+            // Ensure b is the best iterate.
+            xa = xb;
+            xb = xc;
+            xc = xa;
+            fa = fb;
+            fb = fc;
+            fc = fa;
+        }
+        let tol1 = 2.0 * f64::EPSILON * xb.abs() + 0.5 * tol;
+        let xm = 0.5 * (xc - xb);
+        if xm.abs() <= tol1 || fb == 0.0 {
+            return Ok(xb);
+        }
+        if e.abs() >= tol1 && fa.abs() > fb.abs() {
+            // Attempt inverse quadratic interpolation.
+            let s = fb / fa;
+            let (mut p, mut q);
+            if xa == xc {
+                p = 2.0 * xm * s;
+                q = 1.0 - s;
+            } else {
+                let qq = fa / fc;
+                let r = fb / fc;
+                p = s * (2.0 * xm * qq * (qq - r) - (xb - xa) * (r - 1.0));
+                q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+            }
+            if p > 0.0 {
+                q = -q;
+            }
+            p = p.abs();
+            if 2.0 * p < (3.0 * xm * q - (tol1 * q).abs()).min((e * q).abs()) {
+                e = d;
+                d = p / q;
+            } else {
+                d = xm;
+                e = d;
+            }
+        } else {
+            d = xm;
+            e = d;
+        }
+        xa = xb;
+        fa = fb;
+        xb += if d.abs() > tol1 {
+            d
+        } else {
+            tol1.copysign(xm)
+        };
+        fb = f(xb);
+        if (fb > 0.0) == (fc > 0.0) {
+            xc = xa;
+            fc = fa;
+            d = xb - xa;
+            e = d;
+        }
+    }
+    Err(NumError::NoConvergence {
+        iterations: MAX_ITER,
+        residual: fb.abs(),
+    })
+}
+
+/// Damped Newton iteration for `f(x) = 0` given the derivative `df`.
+///
+/// Halves the step up to 20 times whenever a full step fails to reduce
+/// `|f|`, which keeps exponential device equations (diodes) from diverging.
+///
+/// # Errors
+///
+/// Returns [`NumError::NoConvergence`] when `|f|` does not fall below `tol`
+/// within `max_iter` iterations, and [`NumError::InvalidInput`] for a
+/// non-finite starting point or a vanishing derivative.
+pub fn newton<F, D>(mut f: F, mut df: D, x0: f64, tol: f64, max_iter: usize) -> Result<f64>
+where
+    F: FnMut(f64) -> f64,
+    D: FnMut(f64) -> f64,
+{
+    if !x0.is_finite() {
+        return Err(NumError::InvalidInput("starting point must be finite"));
+    }
+    let mut x = x0;
+    let mut fx = f(x);
+    for _ in 0..max_iter {
+        if fx.abs() < tol {
+            return Ok(x);
+        }
+        let d = df(x);
+        if d == 0.0 || !d.is_finite() {
+            return Err(NumError::InvalidInput("derivative vanished"));
+        }
+        let mut step = fx / d;
+        // Damping: backtrack until |f| decreases. Non-finite trial values
+        // (exponential overflow) shrink the step much harder than a plain
+        // halving so diode-style equations recover from huge first steps.
+        let mut xn = x - step;
+        let mut fn_ = f(xn);
+        let mut reductions = 0;
+        while (!fn_.is_finite() || fn_.abs() > fx.abs()) && reductions < 200 {
+            step *= if fn_.is_finite() { 0.5 } else { 1e-3 };
+            xn = x - step;
+            fn_ = f(xn);
+            reductions += 1;
+        }
+        x = xn;
+        fx = fn_;
+    }
+    if fx.abs() < tol {
+        Ok(x)
+    } else {
+        Err(NumError::NoConvergence {
+            iterations: max_iter,
+            residual: fx.abs(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_sqrt_two() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_exact_endpoint_root() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        assert!(bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9).is_err());
+        assert!(bisect(|x| x, 1.0, 0.0, 1e-9).is_err());
+    }
+
+    #[test]
+    fn brent_sqrt_two() {
+        let r = brent(|x| x * x - 2.0, 0.0, 2.0, 1e-14).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_beats_bisect_on_evaluations() {
+        let mut nb = 0usize;
+        let _ = brent(
+            |x| {
+                nb += 1;
+                x.exp() - 3.0
+            },
+            0.0,
+            2.0,
+            1e-12,
+        )
+        .unwrap();
+        let mut ni = 0usize;
+        let _ = bisect(
+            |x| {
+                ni += 1;
+                x.exp() - 3.0
+            },
+            0.0,
+            2.0,
+            1e-12,
+        )
+        .unwrap();
+        assert!(nb < ni, "brent {nb} vs bisect {ni}");
+    }
+
+    #[test]
+    fn brent_cubic_with_flat_region() {
+        let r = brent(|x| (x - 1.0).powi(3), 0.0, 3.0, 1e-12).unwrap();
+        assert!((r - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn newton_converges_quadratically() {
+        let r = newton(|x| x * x - 2.0, |x| 2.0 * x, 1.0, 1e-14, 50).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn newton_damping_tames_exponential() {
+        // f(x) = exp(20 x) - 1, start far away: raw Newton from x=2 is fine,
+        // but from the flat side x=-5 the first step is enormous.
+        let r = newton(|x| (20.0 * x).exp() - 1.0, |x| 20.0 * (20.0 * x).exp(), -5.0, 1e-12, 200);
+        let r = r.unwrap();
+        assert!(r.abs() < 1e-6, "root {r}");
+    }
+
+    #[test]
+    fn newton_reports_vanishing_derivative() {
+        let e = newton(|_| 1.0, |_| 0.0, 0.0, 1e-9, 10).unwrap_err();
+        assert!(matches!(e, NumError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn newton_no_convergence_reports_budget() {
+        let e = newton(|x| x * x + 1.0, |x| 2.0 * x, 3.0, 1e-12, 5).unwrap_err();
+        assert!(matches!(e, NumError::NoConvergence { iterations: 5, .. }));
+    }
+}

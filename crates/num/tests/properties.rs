@@ -1,0 +1,134 @@
+//! Property-based tests for the numerical substrate.
+
+use lcosc_num::filter::{EnvelopeFollower, MovingRms, OnePoleLowPass};
+use lcosc_num::interp::PwlTable;
+use lcosc_num::linalg::Matrix;
+use lcosc_num::roots::{bisect, brent};
+use lcosc_num::stats::{mean, percentile, rms};
+use proptest::prelude::*;
+
+proptest! {
+    /// LU solve of a diagonally dominant system reproduces the solution.
+    #[test]
+    fn lu_solves_diagonally_dominant(
+        vals in proptest::collection::vec(-1.0f64..1.0, 16),
+        x_true in proptest::collection::vec(-10.0f64..10.0, 4),
+    ) {
+        let n = 4;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = vals[i * n + j];
+            }
+            a[(i, i)] += 4.0; // dominance -> invertible
+        }
+        let b = a.mul_vec(&x_true);
+        let x = a.solve(&b).expect("well conditioned");
+        for (xi, ti) in x.iter().zip(&x_true) {
+            prop_assert!((xi - ti).abs() < 1e-8, "{xi} vs {ti}");
+        }
+    }
+
+    /// Determinant is multiplicative under row scaling.
+    #[test]
+    fn det_scales_linearly_with_row(scale in 0.1f64..10.0) {
+        let mut a = Matrix::identity(3);
+        a[(0, 1)] = 0.5;
+        a[(2, 0)] = -0.25;
+        let d0 = a.det();
+        for j in 0..3 {
+            a[(1, j)] *= scale;
+        }
+        prop_assert!((a.det() / (d0 * scale) - 1.0).abs() < 1e-10);
+    }
+
+    /// One-pole low-pass output never overshoots a monotone input's range.
+    #[test]
+    fn lowpass_stays_in_input_hull(
+        xs in proptest::collection::vec(-5.0f64..5.0, 1..200),
+        tau_us in 1.0f64..100.0,
+    ) {
+        let mut f = OnePoleLowPass::new(tau_us * 1e-6, 1e-6);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min).min(0.0);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max).max(0.0);
+        for &x in &xs {
+            let y = f.update(x);
+            prop_assert!(y >= lo - 1e-12 && y <= hi + 1e-12, "y {y} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Moving RMS is bounded by the max |x| in the window and non-negative.
+    #[test]
+    fn moving_rms_bounded(
+        xs in proptest::collection::vec(-100.0f64..100.0, 1..100),
+        len in 1usize..32,
+    ) {
+        let mut r = MovingRms::new(len);
+        let mut peak = 0.0f64;
+        for &x in &xs {
+            peak = peak.max(x.abs());
+            let y = r.update(x);
+            prop_assert!((0.0..=peak + 1e-9).contains(&y));
+        }
+    }
+
+    /// Envelope follower upper-bounds the rectified signal up to one
+    /// release factor (a sample just below the held peak still decays).
+    #[test]
+    fn envelope_dominates_signal(xs in proptest::collection::vec(-10.0f64..10.0, 1..200)) {
+        let mut e = EnvelopeFollower::new(1e-3, 1e-6);
+        let release = (-1e-6f64 / 1e-3).exp();
+        for &x in &xs {
+            let y = e.update(x);
+            prop_assert!(y >= x.abs() * release - 1e-12);
+        }
+    }
+
+    /// PWL evaluation is within the y hull and exact at the breakpoints.
+    #[test]
+    fn pwl_within_hull(
+        ys in proptest::collection::vec(-10.0f64..10.0, 2..20),
+        t in 0.0f64..1.0,
+    ) {
+        let points: Vec<(f64, f64)> =
+            ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect();
+        let table = PwlTable::new(points.clone()).expect("strictly increasing x");
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let x = t * (ys.len() - 1) as f64;
+        let y = table.eval(x);
+        prop_assert!((lo - 1e-9..=hi + 1e-9).contains(&y));
+        for (bx, by) in points {
+            prop_assert_eq!(table.eval(bx), by);
+        }
+    }
+
+    /// Bisect and Brent find the same root of a monotone cubic.
+    #[test]
+    fn bisect_and_brent_agree(c in -5.0f64..5.0) {
+        let f = |x: f64| x * x * x + x - c; // strictly increasing
+        let a = bisect(f, -10.0, 10.0, 1e-12).expect("bracketed");
+        let b = brent(f, -10.0, 10.0, 1e-12).expect("bracketed");
+        prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        prop_assert!(f(a).abs() < 1e-6);
+    }
+
+    /// RMS >= |mean| (Cauchy–Schwarz) and percentile stays within range.
+    #[test]
+    fn rms_dominates_mean(xs in proptest::collection::vec(-50.0f64..50.0, 1..100), p in 0.0f64..100.0) {
+        let m = mean(&xs).expect("non-empty");
+        let r = rms(&xs).expect("non-empty");
+        prop_assert!(r >= m.abs() - 1e-9);
+        let q = percentile(&xs, p).expect("valid");
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((lo..=hi).contains(&q));
+    }
+
+    /// Engineering formatting round-trips the order of magnitude.
+    #[test]
+    fn engineering_format_never_empty(v in -1e12f64..1e12) {
+        let s = lcosc_num::units::format_engineering(v);
+        prop_assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! Powered-mode behavior of the Fig 11 bulk switch.
+//!
+//! When the chip is supplied, MP6 is on and MN6 shorts `Nbulk` to ground
+//! (or the negative charge pump pulls it below ground), so the output NMOS
+//! behaves like a normal grounded-bulk device and the driver keeps its full
+//! voltage range — the property Fig 10b gives up. This module provides a
+//! behavioral check of that mode.
+
+use lcosc_circuit::analysis::dc::solve_dc;
+use lcosc_circuit::netlist::{Netlist, Waveform};
+use lcosc_circuit::Result;
+use lcosc_device::chargepump::NegativeChargePump;
+use lcosc_device::diode::DiodeModel;
+use lcosc_device::mos::MosModel;
+
+/// Powered bulk-switch bench: the Fig 11 output stage with Vdd supplied
+/// and `Nbulk` held by MN6 (optionally assisted by the negative charge
+/// pump).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoweredGuardBench {
+    /// Supply voltage.
+    pub vdd: f64,
+    /// Negative charge pump on `Nbulk` (None = plain MN6 ground switch).
+    pub pump: Option<NegativeChargePump>,
+}
+
+/// Result of a powered-mode operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardOperatingPoint {
+    /// Voltage on the `Nbulk` node.
+    pub v_nbulk: f64,
+    /// Current drawn from the pin source.
+    pub i_pin: f64,
+    /// Pin voltage.
+    pub v_lcx: f64,
+}
+
+impl PoweredGuardBench {
+    /// A 3.3 V bench with the typical negative charge pump.
+    pub fn chip_default() -> Self {
+        PoweredGuardBench {
+            vdd: 3.3,
+            pump: Some(NegativeChargePump::typical()),
+        }
+    }
+
+    /// Solves the powered operating point with the pin forced to `v_pin`
+    /// through 50 Ω and the output NMOS gate driven to `v_gate`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC solver failures.
+    pub fn operating_point(&self, v_pin: f64, v_gate: f64) -> Result<GuardOperatingPoint> {
+        let mut nl = Netlist::new();
+        let gnd = Netlist::GROUND;
+        let lcx = nl.node("lcx");
+        let vdd = nl.node("vdd");
+        let nbulk = nl.node("nbulk");
+        let ng1 = nl.node("ng1");
+        let force = nl.node("force");
+
+        nl.voltage_source(vdd, gnd, Waveform::Dc(self.vdd));
+        nl.voltage_source(ng1, gnd, Waveform::Dc(v_gate));
+        let src = nl.voltage_source(force, gnd, Waveform::Dc(v_pin));
+        let rs = nl.resistor(force, lcx, 50.0);
+        let _ = rs;
+
+        let nmos_big = MosModel::nmos_035um().scaled(20.0);
+        let small_n = MosModel::nmos_035um();
+        let junction = DiodeModel::bulk_junction_035um();
+
+        // MN1 with switched bulk.
+        nl.mosfet(lcx, ng1, gnd, nbulk, nmos_big);
+        nl.diode(nbulk, lcx, junction);
+        nl.diode(nbulk, gnd, junction);
+        // MN5 still present (connects nbulk to the pin when it dives).
+        nl.mosfet(nbulk, gnd, lcx, nbulk, small_n);
+
+        // Nbulk bias: either MN6 shorts it to ground (plain powered mode)
+        // or the negative charge pump holds it below ground — the enable
+        // logic selects one, they never fight.
+        match &self.pump {
+            Some(pump) if pump.is_enabled() => {
+                let pump_node = nl.node("pump");
+                nl.voltage_source(pump_node, gnd, Waveform::Dc(pump.v_target()));
+                nl.resistor(pump_node, nbulk, 50e3);
+            }
+            _ => {
+                // MN6: powered, gate at vdd — shorts nbulk to ground.
+                nl.mosfet(nbulk, vdd, gnd, gnd, small_n.scaled(4.0));
+            }
+        }
+
+        let s = solve_dc(&nl)?;
+        Ok(GuardOperatingPoint {
+            v_nbulk: s.voltage(nbulk),
+            i_pin: -s.current(src),
+            v_lcx: s.voltage(lcx),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn powered_nbulk_is_held_near_or_below_ground() {
+        let op = PoweredGuardBench::chip_default()
+            .operating_point(1.65, 0.0)
+            .unwrap();
+        assert!(op.v_nbulk < 0.05, "nbulk {}", op.v_nbulk);
+    }
+
+    #[test]
+    fn output_nmos_pulls_pin_down_when_gated_on() {
+        let op = PoweredGuardBench::chip_default()
+            .operating_point(3.3, 3.3)
+            .unwrap();
+        // Wide device against 50 Ω: pin pulled well below the force level.
+        assert!(op.v_lcx < 1.0, "lcx {}", op.v_lcx);
+        assert!(op.i_pin > 10e-3, "pin current {}", op.i_pin);
+    }
+
+    #[test]
+    fn output_nmos_off_leaves_pin_at_force_level() {
+        let op = PoweredGuardBench::chip_default()
+            .operating_point(2.0, 0.0)
+            .unwrap();
+        assert!((op.v_lcx - 2.0).abs() < 0.05, "lcx {}", op.v_lcx);
+        assert!(op.i_pin.abs() < 1e-3);
+    }
+
+    #[test]
+    fn mild_negative_swing_keeps_bulk_diode_off_with_pump() {
+        // With the pump holding nbulk below ground, a pin swing to −0.3 V
+        // (within the powered operating range) draws no junction current.
+        let bench = PoweredGuardBench::chip_default();
+        let op = bench.operating_point(-0.3, 0.0).unwrap();
+        assert!(op.v_nbulk < -0.2, "nbulk {}", op.v_nbulk);
+        assert!(op.i_pin.abs() < 1e-4, "pin current {}", op.i_pin);
+    }
+
+    #[test]
+    fn without_pump_bulk_diode_clamps_deeper_swings() {
+        let no_pump = PoweredGuardBench {
+            vdd: 3.3,
+            pump: None,
+        };
+        let with_pump = PoweredGuardBench::chip_default();
+        let i_no = no_pump.operating_point(-0.9, 0.0).unwrap().i_pin;
+        let i_with = with_pump.operating_point(-0.9, 0.0).unwrap().i_pin;
+        // The grounded-bulk diode (anode gnd) forward-biases at −0.9 V;
+        // the pumped bulk keeps it much quieter.
+        assert!(i_no.abs() > 3.0 * i_with.abs(), "{i_no} vs {i_with}");
+    }
+}
+
+/// Powered output-range comparison: the paper rejects Fig 10b because "the
+/// voltage range of the driver is limited (due to voltage needed to open
+/// MP1d)", while Fig 11 keeps the full range. Returns the lowest pin
+/// voltage each powered topology can drive through 500 Ω to the 3.3 V rail.
+///
+/// # Errors
+///
+/// Propagates DC solver failures.
+pub fn powered_low_level(topology: crate::topology::PadTopology) -> Result<f64> {
+    use crate::topology::PadTopology;
+    let mut nl = Netlist::new();
+    let gnd = Netlist::GROUND;
+    let vdd = nl.node("vdd");
+    let lcx = nl.node("lcx");
+    let pull = nl.node("pull");
+    nl.voltage_source(vdd, gnd, Waveform::Dc(3.3));
+    nl.voltage_source(pull, gnd, Waveform::Dc(3.3));
+    nl.resistor(pull, lcx, 500.0);
+
+    let nmos = MosModel::nmos_035um().scaled(20.0);
+    let pmos = MosModel::pmos_035um().scaled(50.0);
+    match topology {
+        PadTopology::PlainCmos | PadTopology::BulkSwitched => {
+            // Output NMOS on, pulling the pin low directly (Fig 11's bulk
+            // switch grounds nbulk when powered, so it behaves like the
+            // plain stage here).
+            nl.mosfet(lcx, vdd, gnd, gnd, nmos);
+        }
+        PadTopology::SeriesPmos => {
+            // The pull-down path goes through MP1d: NMOS to the internal
+            // node, the series PMOS (gate grounded) to the pin — the pin
+            // cannot go below the PMOS's conduction limit.
+            let out = nl.node("out");
+            nl.mosfet(out, vdd, gnd, gnd, nmos);
+            nl.mosfet(lcx, gnd, out, out, pmos); // MP1d, gate at 0
+        }
+    }
+    let s = solve_dc(&nl)?;
+    Ok(s.voltage(lcx))
+}
+
+#[cfg(test)]
+mod range_tests {
+    use super::*;
+    use crate::topology::PadTopology;
+
+    #[test]
+    fn series_pmos_cannot_pull_the_pin_low() {
+        // Paper §8: Fig 10b's range is limited by the voltage needed to
+        // open MP1d — the low level stalls around a PMOS threshold.
+        let plain = powered_low_level(PadTopology::PlainCmos).unwrap();
+        let series = powered_low_level(PadTopology::SeriesPmos).unwrap();
+        let bulk = powered_low_level(PadTopology::BulkSwitched).unwrap();
+        assert!(plain < 0.15, "plain low level {plain}");
+        assert!(bulk < 0.15, "bulk-switched low level {bulk}");
+        assert!(series > 0.4, "series low level {series}");
+        assert!(series > plain + 0.3, "series {series} vs plain {plain}");
+    }
+}

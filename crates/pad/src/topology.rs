@@ -1,0 +1,305 @@
+//! Netlist construction for the three pad driver topologies.
+//!
+//! MOSFET channels conduct whenever *either* end sits a threshold below
+//! (NMOS) or above (PMOS) the gate — when the pin is driven beyond the
+//! rails of an unpowered chip, drains turn into sources. The topologies
+//! differ exactly in which of those parasitic channels and junctions reach
+//! the pin:
+//!
+//! - **Fig 10a**: the NMOS (gate ≈ 0) turns on hard for any pin voltage a
+//!   threshold below ground, and its substrate diode clamps in parallel;
+//!   positive overdrive pumps the rail through the PMOS well diode and the
+//!   PMOS channel.
+//! - **Fig 10b**: a series PMOS in an isolated well sits between the
+//!   inverter and the pin. Negative overdrive leaves its higher terminal
+//!   (the internal node) at 0, so its channel stays off and the pin floats
+//!   — at the cost of output range when powered.
+//! - **Fig 11**: the NMOS gate *and* bulk follow the pin when it dives
+//!   (MN3/MN5), keeping `Vgs = 0`; MN6's gate is referenced so it stays off
+//!   without supply; the PMOS gate is lifted to the (pumped) rail.
+
+use lcosc_circuit::netlist::{Netlist, NodeId};
+use lcosc_device::diode::DiodeModel;
+use lcosc_device::mos::MosModel;
+use lcosc_device::process::ProcessParams;
+
+/// The three compared output-stage topologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PadTopology {
+    /// Fig 10a: plain CMOS inverter output with intrinsic bulk diodes.
+    PlainCmos,
+    /// Fig 10b: additional series PMOS in an isolated well.
+    SeriesPmos,
+    /// Fig 11: bulk-switched NMOS + gate lift, PMOS gate tied to the rail.
+    BulkSwitched,
+}
+
+impl PadTopology {
+    /// All three topologies, for comparison sweeps.
+    pub const ALL: [PadTopology; 3] = [
+        PadTopology::PlainCmos,
+        PadTopology::SeriesPmos,
+        PadTopology::BulkSwitched,
+    ];
+}
+
+impl std::fmt::Display for PadTopology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PadTopology::PlainCmos => write!(f, "plain-cmos (Fig 10a)"),
+            PadTopology::SeriesPmos => write!(f, "series-pmos (Fig 10b)"),
+            PadTopology::BulkSwitched => write!(f, "bulk-switched (Fig 11)"),
+        }
+    }
+}
+
+/// Handles to the internal nodes of one built pad driver (for probing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PadDriver {
+    /// The driven pin.
+    pub lcx: NodeId,
+    /// Shared supply rail (floating in the unsupplied analysis).
+    pub vdd: NodeId,
+    /// NMOS bulk node (== ground node for the unswitched topologies).
+    pub nbulk: NodeId,
+    /// NMOS gate node.
+    pub ng1: NodeId,
+    /// PMOS gate node.
+    pub pg1: NodeId,
+}
+
+/// Resistance of the dead (unpowered) gate-driver logic tying gates to
+/// their idle rail.
+const R_GATE_LEAK: f64 = 100e3;
+/// High-value bias resistors of the Fig 11 protection network (R1–R3).
+const R_GUARD: f64 = 1e6;
+
+impl PadDriver {
+    /// Builds one *unpowered* pad driver of the given topology onto `nl`,
+    /// driving `lcx` and sharing the floating `vdd` rail.
+    ///
+    /// Device sizing follows the paper's output stage: wide transistors
+    /// (W/L ≈ 200 for the NMOS, ≈ 500 for the PMOS to balance mobility)
+    /// so the on-resistance is a few ohms — pad drivers must deliver tens
+    /// of milliamps.
+    pub fn build_unpowered(
+        nl: &mut Netlist,
+        label: &str,
+        lcx: NodeId,
+        vdd: NodeId,
+        topology: PadTopology,
+    ) -> PadDriver {
+        PadDriver::build_unpowered_at(nl, label, lcx, vdd, topology, &ProcessParams::nominal())
+    }
+
+    /// Like [`PadDriver::build_unpowered`], but with device parameters
+    /// skewed to a process corner and temperature — the paper's automotive
+    /// qualification requires the §8 isolation to hold across all of them.
+    pub fn build_unpowered_at(
+        nl: &mut Netlist,
+        label: &str,
+        lcx: NodeId,
+        vdd: NodeId,
+        topology: PadTopology,
+        process: &ProcessParams,
+    ) -> PadDriver {
+        let gnd = Netlist::GROUND;
+        let nmos = process.apply(&MosModel::nmos_035um()).scaled(20.0); // W/L = 200
+        let pmos = process.apply(&MosModel::pmos_035um()).scaled(50.0); // W/L = 500
+        let junction = DiodeModel::bulk_junction_035um();
+
+        let ng1 = nl.node(&format!("{label}_ng1"));
+        let pg1 = nl.node(&format!("{label}_pg1"));
+
+        match topology {
+            PadTopology::PlainCmos => {
+                // Output devices.
+                nl.mosfet(lcx, ng1, gnd, gnd, nmos);
+                nl.mosfet(lcx, pg1, vdd, vdd, pmos);
+                // Intrinsic junctions: NMOS drain-bulk (substrate at gnd)
+                // and PMOS drain-well (well at vdd).
+                nl.diode(gnd, lcx, junction);
+                nl.diode(lcx, vdd, junction);
+                // Dead logic: the NMOS gate leaks to the substrate
+                // (ground); the PMOS gate leaks to its well rail through
+                // the predriver's junctions, so it follows the pumped vdd.
+                nl.resistor(ng1, gnd, R_GATE_LEAK);
+                nl.resistor(pg1, vdd, R_GATE_LEAK);
+                PadDriver {
+                    lcx,
+                    vdd,
+                    nbulk: gnd,
+                    ng1,
+                    pg1,
+                }
+            }
+            PadTopology::SeriesPmos => {
+                // Fig 10b: MP1d (isolated well tied to the internal node)
+                // sits between the inverter output `out` and the pin, so
+                // the NMOS channel and substrate diode no longer reach the
+                // pin. Negative overdrive: MP1d's higher terminal stays at
+                // `out` ≈ 0 with its gate at 0 → off, the pin floats.
+                let out = nl.node(&format!("{label}_out"));
+                nl.mosfet(out, ng1, gnd, gnd, nmos); // MN1
+                nl.mosfet(out, pg1, vdd, vdd, pmos); // MP1
+                nl.mosfet(lcx, pg1, out, out, pmos); // MP1d
+                nl.diode(gnd, out, junction); // MN1 drain-bulk (internal)
+                nl.diode(out, vdd, junction); // MP1 drain-well
+                nl.diode(lcx, out, junction); // MP1d drain-well
+                nl.resistor(ng1, gnd, R_GATE_LEAK);
+                nl.resistor(pg1, vdd, R_GATE_LEAK);
+                PadDriver {
+                    lcx,
+                    vdd,
+                    nbulk: gnd,
+                    ng1,
+                    pg1,
+                }
+            }
+            PadTopology::BulkSwitched => {
+                // Fig 11: nbulk and ng1 follow the pin when it goes
+                // negative (MN5, MN3 with gates at ground); MN6's gate is
+                // referenced to nbulk through the guard network so it is
+                // off without supply even when nbulk dives. The PMOS gate
+                // is lifted to the rail (MP3's role), cancelling the
+                // channel path that kills Fig 10a.
+                let nbulk = nl.node(&format!("{label}_nbulk"));
+                let mg6 = nl.node(&format!("{label}_mg6"));
+                let small_n = process.apply(&MosModel::nmos_035um());
+                nl.mosfet(lcx, ng1, gnd, nbulk, nmos); // MN1
+                nl.mosfet(lcx, pg1, vdd, vdd, pmos); // MP1
+                nl.mosfet(nbulk, gnd, lcx, nbulk, small_n); // MN5
+                nl.mosfet(ng1, gnd, lcx, nbulk, small_n); // MN3
+                nl.mosfet(nbulk, mg6, gnd, nbulk, small_n); // MN6
+                // MN6 gate: pulled to nbulk without supply (MP6 off), so
+                // Vgs stays 0 however deep the pin swings.
+                nl.resistor(mg6, nbulk, R_GUARD);
+                // Junctions: MN1 drain-bulk and source-bulk reference the
+                // switched p-well; PMOS drain-well unchanged.
+                nl.diode(nbulk, lcx, junction);
+                nl.diode(nbulk, gnd, junction);
+                nl.diode(lcx, vdd, junction);
+                // Gate ties: NMOS gate bias through the high-value guard
+                // resistor, PMOS gate to the rail (MP3 behavior).
+                nl.resistor(ng1, gnd, R_GUARD);
+                nl.resistor(pg1, vdd, R_GATE_LEAK);
+                PadDriver {
+                    lcx,
+                    vdd,
+                    nbulk,
+                    ng1,
+                    pg1,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcosc_circuit::analysis::dc::solve_dc;
+    use lcosc_circuit::netlist::Waveform;
+
+    /// Builds a single unpowered driver with the pin forced to `v` through
+    /// 50 Ω and an internal 2.2 kΩ load on the floating rail; returns
+    /// (pin current, vdd voltage).
+    fn probe(topology: PadTopology, v: f64) -> (f64, f64) {
+        let mut nl = Netlist::new();
+        let lcx = nl.node("lcx");
+        let vdd = nl.node("vdd");
+        let force = nl.node("force");
+        nl.voltage_source(force, Netlist::GROUND, Waveform::Dc(v));
+        let rsrc = nl.resistor(force, lcx, 50.0);
+        nl.resistor(vdd, Netlist::GROUND, 2.2e3);
+        PadDriver::build_unpowered(&mut nl, "p", lcx, vdd, topology);
+        let s = solve_dc(&nl).unwrap();
+        (s.current(rsrc), s.voltage(vdd))
+    }
+
+    #[test]
+    fn plain_cmos_conducts_heavily_positive() {
+        let (i, vdd) = probe(PadTopology::PlainCmos, 2.0);
+        // Diode into the rail + the load: milliamp-level current.
+        assert!(i > 1e-4, "current {i}");
+        assert!(vdd > 0.5, "rail pumped to {vdd}");
+    }
+
+    #[test]
+    fn plain_cmos_clamps_negative_hard() {
+        // Substrate diode plus the NMOS channel (Vgs = +2 with the pin as
+        // source) short the pin: tens of milliamps through the 50 Ω source.
+        let (i, _) = probe(PadTopology::PlainCmos, -2.0);
+        assert!(i < -10e-3, "current {i}");
+    }
+
+    #[test]
+    fn series_pmos_floats_negative() {
+        let (i, _) = probe(PadTopology::SeriesPmos, -2.0);
+        assert!(i.abs() < 1e-4, "current {i}");
+    }
+
+    #[test]
+    fn series_pmos_still_pumps_positive() {
+        // Positive overdrive still reaches the rail (the paper's remaining
+        // objection is range, not positive isolation).
+        let (i, vdd) = probe(PadTopology::SeriesPmos, 2.5);
+        assert!(i > 1e-4, "current {i}");
+        assert!(vdd > 0.3, "vdd {vdd}");
+    }
+
+    #[test]
+    fn bulk_switched_blocks_negative() {
+        let (i, _) = probe(PadTopology::BulkSwitched, -2.5);
+        assert!(i.abs() < 1e-5, "leakage {i}");
+    }
+
+    #[test]
+    fn bulk_switched_pin_current_small_positive() {
+        let (i, vdd) = probe(PadTopology::BulkSwitched, 2.0);
+        // Only the rail-pump rectification flows: sub-mA.
+        assert!(i < 1.0e-3, "current {i}");
+        assert!(i > 0.0);
+        assert!(vdd > 0.4, "rail pumped to {vdd}");
+    }
+
+    #[test]
+    fn bulk_switched_blocks_orders_of_magnitude_better_negative() {
+        let (i_plain, _) = probe(PadTopology::PlainCmos, -2.5);
+        let (i_bulk, _) = probe(PadTopology::BulkSwitched, -2.5);
+        assert!(
+            i_bulk.abs() * 100.0 < i_plain.abs(),
+            "{i_bulk} vs {i_plain}"
+        );
+    }
+
+    #[test]
+    fn bulk_switch_nodes_follow_pin_when_negative() {
+        let mut nl = Netlist::new();
+        let lcx = nl.node("lcx");
+        let vdd = nl.node("vdd");
+        nl.voltage_source(lcx, Netlist::GROUND, Waveform::Dc(-2.0));
+        nl.resistor(vdd, Netlist::GROUND, 2.2e3);
+        let pad = PadDriver::build_unpowered(&mut nl, "p", lcx, vdd, PadTopology::BulkSwitched);
+        let s = solve_dc(&nl).unwrap();
+        // Nbulk and Ng1 ride within a threshold of the pin.
+        assert!(
+            (s.voltage(pad.nbulk) - (-2.0)).abs() < 0.7,
+            "nbulk {}",
+            s.voltage(pad.nbulk)
+        );
+        assert!(s.voltage(pad.ng1) < -1.0, "ng1 {}", s.voltage(pad.ng1));
+    }
+
+    #[test]
+    fn all_topologies_leak_little_in_band() {
+        // Within ±0.4 V (inside the powered operating range) no topology
+        // conducts meaningfully.
+        for t in PadTopology::ALL {
+            for v in [-0.4, 0.4] {
+                let (i, _) = probe(t, v);
+                assert!(i.abs() < 5e-5, "{t} at {v}: {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The paper's Fig 17/18 experiment: DC characteristics of the driver pins
+//! when the supply is missing.
+//!
+//! Test bench (documented in `EXPERIMENTS.md`): the live partner system
+//! drives the unsupplied chip's pins differentially through the coupled
+//! coil, modeled as two ground-referenced sources (+v/2 into LC1, −v/2
+//! into LC2) with a small source resistance each. The chip's Vdd rail
+//! floats; the unpowered core presents an equivalent load `r_internal` to
+//! ground, which carries the rectified pump current. Reported current is
+//! the differential loop current `(i(LC1) − i(LC2))/2` — odd-symmetric in
+//! the forcing voltage like the paper's Fig 17.
+
+use crate::topology::{PadDriver, PadTopology};
+use lcosc_circuit::analysis::dc::{solve_dc_with, DcOptions};
+use lcosc_circuit::analysis::sweep::linspace;
+use lcosc_circuit::netlist::{ElementId, Netlist, Waveform};
+use lcosc_circuit::Result;
+
+/// One point of the unsupplied-pin sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnsuppliedPoint {
+    /// Differential forcing voltage `v(LC1) − v(LC2)` at the source, volts.
+    pub v_diff: f64,
+    /// Differential loop current, amperes (Fig 17's y-axis).
+    pub i_loop: f64,
+    /// Voltage on the LC1 pin (Fig 18).
+    pub v_lc1: f64,
+    /// Voltage on the LC2 pin (Fig 18).
+    pub v_lc2: f64,
+    /// Voltage on the floating Vdd rail (Fig 18).
+    pub v_vdd: f64,
+}
+
+/// The unsupplied-driver DC bench.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnsuppliedBench {
+    /// Pad topology under test.
+    pub topology: PadTopology,
+    /// Source resistance per pin (the coupled coil), ohms.
+    pub r_couple: f64,
+    /// Equivalent load of the unpowered core on the pumped rail, ohms.
+    pub r_internal: f64,
+}
+
+impl UnsuppliedBench {
+    /// Bench with the values used for the paper reproduction: 50 Ω
+    /// coupling, 2.2 kΩ internal rail load.
+    pub fn new(topology: PadTopology) -> Self {
+        UnsuppliedBench {
+            topology,
+            r_couple: 50.0,
+            r_internal: 2.2e3,
+        }
+    }
+
+    /// Runs the differential sweep over `v_diff` values (the paper sweeps
+    /// −3 V … +3 V).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC solver failures annotated with the failing value.
+    pub fn sweep(&self, v_values: &[f64]) -> Result<Vec<UnsuppliedPoint>> {
+        let (mut nl, src1, src2, nodes) = self.build();
+        let opts = DcOptions::default();
+        let mut out = Vec::with_capacity(v_values.len());
+        let mut warm: Option<Vec<f64>> = None;
+        for &v in v_values {
+            if let lcosc_circuit::netlist::Element::VoltageSource { wave, .. } =
+                nl.element_mut(src1)
+            {
+                *wave = Waveform::Dc(0.5 * v);
+            }
+            if let lcosc_circuit::netlist::Element::VoltageSource { wave, .. } =
+                nl.element_mut(src2)
+            {
+                *wave = Waveform::Dc(-0.5 * v);
+            }
+            let sol = solve_dc_with(&nl, &opts, warm.as_deref())?;
+            warm = Some(sol.raw().to_vec());
+            // Source branch current is p→n through the source, so the
+            // current delivered *into* the circuit is its negative.
+            let i_lc1 = -sol.current(src1);
+            let i_lc2 = -sol.current(src2);
+            out.push(UnsuppliedPoint {
+                v_diff: v,
+                i_loop: 0.5 * (i_lc1 - i_lc2),
+                v_lc1: sol.voltage(nodes.0),
+                v_lc2: sol.voltage(nodes.1),
+                v_vdd: sol.voltage(nodes.2),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Convenience: the paper's −3…+3 V sweep with `points` samples.
+    ///
+    /// # Errors
+    ///
+    /// See [`UnsuppliedBench::sweep`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    pub fn sweep_paper_range(&self, points: usize) -> Result<Vec<UnsuppliedPoint>> {
+        self.sweep(&linspace(-3.0, 3.0, points))
+    }
+
+    /// Maximum loop-current magnitude over a sweep.
+    pub fn peak_current(points: &[UnsuppliedPoint]) -> f64 {
+        points.iter().fold(0.0f64, |m, p| m.max(p.i_loop.abs()))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn build(
+        &self,
+    ) -> (
+        Netlist,
+        ElementId,
+        ElementId,
+        (
+            lcosc_circuit::netlist::NodeId,
+            lcosc_circuit::netlist::NodeId,
+            lcosc_circuit::netlist::NodeId,
+        ),
+    ) {
+        let mut nl = Netlist::new();
+        let lc1 = nl.node("lc1");
+        let lc2 = nl.node("lc2");
+        let vdd = nl.node("vdd");
+        let f1 = nl.node("force1");
+        let f2 = nl.node("force2");
+        let src1 = nl.voltage_source(f1, Netlist::GROUND, Waveform::Dc(0.0));
+        let src2 = nl.voltage_source(f2, Netlist::GROUND, Waveform::Dc(0.0));
+        nl.resistor(f1, lc1, self.r_couple);
+        nl.resistor(f2, lc2, self.r_couple);
+        nl.resistor(vdd, Netlist::GROUND, self.r_internal);
+        PadDriver::build_unpowered(&mut nl, "d1", lc1, vdd, self.topology);
+        PadDriver::build_unpowered(&mut nl, "d2", lc2, vdd, self.topology);
+        (nl, src1, src2, (lc1, lc2, vdd))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(topology: PadTopology) -> Vec<UnsuppliedPoint> {
+        UnsuppliedBench::new(topology).sweep_paper_range(61).unwrap()
+    }
+
+    #[test]
+    fn bulk_switched_peak_current_below_milliamp() {
+        // Paper Fig 17: |I| stays below ~0.8 mA over ±3 V.
+        let pts = run(PadTopology::BulkSwitched);
+        let peak = UnsuppliedBench::peak_current(&pts);
+        assert!(peak < 1.2e-3, "peak {peak}");
+        assert!(peak > 1e-5, "pump current should be visible: {peak}");
+    }
+
+    #[test]
+    fn plain_cmos_loads_the_partner_heavily() {
+        let plain = UnsuppliedBench::peak_current(&run(PadTopology::PlainCmos));
+        let bulk = UnsuppliedBench::peak_current(&run(PadTopology::BulkSwitched));
+        // Fig 10a vs Fig 11: orders of magnitude.
+        assert!(plain > 10.0 * bulk, "plain {plain} vs bulk {bulk}");
+        assert!(plain > 5e-3, "plain {plain}");
+    }
+
+    #[test]
+    fn current_is_odd_symmetric() {
+        let pts = run(PadTopology::BulkSwitched);
+        let n = pts.len();
+        for k in 0..n / 2 {
+            let a = pts[k].i_loop;
+            let b = pts[n - 1 - k].i_loop;
+            assert!(
+                (a + b).abs() < 0.1 * a.abs().max(b.abs()).max(1e-6),
+                "not odd at {}: {a} vs {b}",
+                pts[k].v_diff
+            );
+        }
+    }
+
+    #[test]
+    fn dead_zone_around_origin() {
+        // Below one junction drop per side nothing conducts.
+        let pts = UnsuppliedBench::new(PadTopology::BulkSwitched)
+            .sweep(&[-0.8, -0.4, 0.0, 0.4, 0.8])
+            .unwrap();
+        for p in &pts {
+            assert!(p.i_loop.abs() < 2e-5, "at {}: {}", p.v_diff, p.i_loop);
+        }
+    }
+
+    #[test]
+    fn vdd_is_pumped_symmetrically() {
+        // Fig 18: the floating rail rises whichever pin goes high.
+        let pts = run(PadTopology::BulkSwitched);
+        let at = |v: f64| {
+            pts.iter()
+                .min_by(|a, b| {
+                    (a.v_diff - v).abs().total_cmp(&(b.v_diff - v).abs())
+                })
+                .unwrap()
+                .v_vdd
+        };
+        assert!(at(3.0) > 0.4, "vdd at +3: {}", at(3.0));
+        assert!(at(-3.0) > 0.4, "vdd at -3: {}", at(-3.0));
+        assert!(at(0.0).abs() < 0.05, "vdd at 0: {}", at(0.0));
+        assert!((at(3.0) - at(-3.0)).abs() < 0.1 * at(3.0));
+    }
+
+    #[test]
+    fn high_pin_clamps_low_pin_swings_free() {
+        // Fig 18: LC1 saturates one diode above the pumped rail for
+        // positive forcing but follows the source linearly when negative.
+        let pts = run(PadTopology::BulkSwitched);
+        let last = pts.last().unwrap(); // v = +3
+        assert!(last.v_lc1 < 1.9, "lc1 clamped: {}", last.v_lc1);
+        assert!(last.v_lc1 > 0.6);
+        assert!((last.v_lc2 - (-1.5)).abs() < 0.1, "lc2 free: {}", last.v_lc2);
+        let first = pts.first().unwrap(); // v = −3
+        assert!((first.v_lc1 - (-1.5)).abs() < 0.1, "lc1 free: {}", first.v_lc1);
+    }
+
+    #[test]
+    fn paper_operating_amplitude_is_safe() {
+        // Paper: "For maximum operating amplitude, which is 2.7 Vpp, the
+        // unsupplied system does not significantly influence the other".
+        let pts = UnsuppliedBench::new(PadTopology::BulkSwitched)
+            .sweep(&[-1.35, 1.35])
+            .unwrap();
+        for p in &pts {
+            assert!(p.i_loop.abs() < 2e-4, "at {}: {}", p.v_diff, p.i_loop);
+        }
+    }
+
+    #[test]
+    fn series_pmos_fixes_negative_but_not_range() {
+        // Fig 10b isolates the pin from the NMOS clamp (its peak unsupplied
+        // current collapses to pump levels, like Fig 11) — the paper rejects
+        // it for its *powered* range limitation, not for leakage.
+        let plain = UnsuppliedBench::peak_current(&run(PadTopology::PlainCmos));
+        let series = UnsuppliedBench::peak_current(&run(PadTopology::SeriesPmos));
+        assert!(series < 0.1 * plain, "series {series} vs plain {plain}");
+        assert!(series < 2e-3, "series {series}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Fault injection scenarios: apply one [`Fault`] to a settled closed-loop
+//! simulation and evaluate which on-chip detectors fire.
+
+use crate::detectors::{
+    AsymmetryDetector, DetectorKind, LowAmplitudeDetector, MissingClockDetector,
+};
+use crate::fault::Fault;
+use lcosc_core::config::{Fidelity, OscillatorConfig};
+use lcosc_core::sim::{ClosedLoopSim, SimEvent};
+use lcosc_core::Result;
+
+/// Conductance of a hard pin short (≈50 Ω solder bridge).
+const SHORT_CONDUCTANCE: f64 = 0.02;
+
+/// Outcome of one injected-fault scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// The injected fault.
+    pub fault: Fault,
+    /// Detectors that fired after the fault.
+    pub triggered: Vec<DetectorKind>,
+    /// Whether at least one detector fired.
+    pub detected: bool,
+    /// Whether the regulation code was pinned at maximum after the fault.
+    pub code_saturated: bool,
+    /// Differential amplitude after the fault settled, volts.
+    pub final_vpp: f64,
+    /// Amplitude before the fault, volts.
+    pub vpp_before: f64,
+}
+
+impl ScenarioResult {
+    /// The safety verdict: a fault scenario is *safe* when it was detected
+    /// (the system can then force its outputs to safe values). Undetected
+    /// faults that still regulate to the correct amplitude are also safe —
+    /// but the paper's FMEA demands detection for every external fault, so
+    /// [`crate::fmea::FmeaReport`] tracks detection separately.
+    pub fn is_safe(&self) -> bool {
+        self.detected || (self.final_vpp / self.vpp_before - 1.0).abs() < 0.2
+    }
+}
+
+/// Runs one fault scenario on the given base configuration (envelope
+/// fidelity is forced for speed; the waveform-level detector variants are
+/// validated separately in cycle-fidelity integration tests).
+///
+/// # Errors
+///
+/// Propagates configuration errors from the simulation setup.
+pub fn run_scenario(fault: Fault, base: &OscillatorConfig) -> Result<ScenarioResult> {
+    let mut cfg = base.clone();
+    cfg.fidelity = Fidelity::Envelope;
+    let mut sim = ClosedLoopSim::new(cfg.clone())?;
+
+    // Settle at the healthy operating point.
+    let healthy = sim.run_until_settled()?;
+    let vpp_before = healthy.final_vpp;
+    let t_fault = sim.time();
+
+    // Inject.
+    match fault {
+        Fault::OpenCoil | Fault::SupplyLoss | Fault::DriverDead => {
+            // No resonance path / no supply / no stages: the driver cannot
+            // deliver energy and the clock disappears.
+            sim.inject_driver_failure();
+        }
+        Fault::PinShortToGround { pin } | Fault::PinShortToSupply { pin } => {
+            sim.inject_pin_leak(pin, SHORT_CONDUCTANCE);
+        }
+        Fault::CoilShort | Fault::MissingCapacitor { .. } | Fault::RsDrift { .. } => {
+            let tank = fault
+                .faulted_tank(&cfg.tank)
+                .expect("tank fault provides a faulted tank");
+            sim.inject_tank(tank);
+        }
+    }
+
+    // Let the loop react (the missing-clock time-out is ~100 µs, the
+    // regulation saturation takes tens of ticks).
+    sim.run_ticks(150);
+
+    // Evaluate the three on-chip detectors on the post-fault state.
+    let vpp = sim.amplitude_vpp();
+    let elapsed = sim.time() - t_fault;
+
+    let mut clock = MissingClockDetector::chip_default();
+    let clock_tripped = clock.update(vpp / 2.0, elapsed);
+
+    let code_saturated = sim
+        .trace()
+        .events
+        .iter()
+        .any(|e| matches!(e, SimEvent::SaturatedHigh { t } if *t >= t_fault));
+    let low = LowAmplitudeDetector::chip_default(cfg.target_vpp).evaluate(vpp, code_saturated);
+
+    // Per-pin amplitudes from the capacitor ratio (charge balance through
+    // the series loop: a1·C1 = a2·C2).
+    let tank = sim.config().tank;
+    let (c1, c2) = (tank.c1().value(), tank.c2().value());
+    let a = sim.amplitude_peak();
+    let a1 = 2.0 * a * c2 / (c1 + c2);
+    let a2 = 2.0 * a * c1 / (c1 + c2);
+    let asym = AsymmetryDetector::new(cfg.vref, 20e-6, 1e-8, 0.05).evaluate_amplitudes(a1, a2);
+
+    let mut triggered = Vec::new();
+    if clock_tripped {
+        triggered.push(DetectorKind::MissingOscillation);
+    }
+    if low {
+        triggered.push(DetectorKind::LowAmplitude);
+    }
+    if asym {
+        triggered.push(DetectorKind::Asymmetry);
+    }
+
+    Ok(ScenarioResult {
+        fault,
+        detected: !triggered.is_empty(),
+        triggered,
+        code_saturated,
+        final_vpp: vpp,
+        vpp_before,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> OscillatorConfig {
+        OscillatorConfig::fast_test()
+    }
+
+    #[test]
+    fn open_coil_detected_as_missing_oscillation() {
+        let r = run_scenario(Fault::OpenCoil, &base()).unwrap();
+        assert!(r.triggered.contains(&DetectorKind::MissingOscillation), "{r:?}");
+        assert!(r.detected);
+        assert!(r.final_vpp < 0.05);
+    }
+
+    #[test]
+    fn driver_failure_detected() {
+        let r = run_scenario(Fault::DriverDead, &base()).unwrap();
+        assert!(r.detected);
+        assert!(r.code_saturated, "loop should hit the top code");
+    }
+
+    #[test]
+    fn pin_short_kills_oscillation_and_is_detected() {
+        for pin in 0..2 {
+            let r = run_scenario(Fault::PinShortToGround { pin }, &base()).unwrap();
+            assert!(r.detected, "pin {pin}: {r:?}");
+            assert!(
+                r.triggered.contains(&DetectorKind::MissingOscillation)
+                    || r.triggered.contains(&DetectorKind::LowAmplitude),
+                "pin {pin}: {:?}",
+                r.triggered
+            );
+        }
+    }
+
+    #[test]
+    fn missing_cap_detected_as_asymmetry() {
+        let r = run_scenario(Fault::MissingCapacitor { pin: 1 }, &base()).unwrap();
+        assert!(r.triggered.contains(&DetectorKind::Asymmetry), "{r:?}");
+    }
+
+    #[test]
+    fn rs_drift_is_compensated_or_detected() {
+        // A 4x loss drift on the fast-test tank can still be regulated
+        // (code rises); that is a safe outcome. A detection is also
+        // acceptable if the code saturates.
+        let r = run_scenario(Fault::RsDrift { factor: 4.0 }, &base()).unwrap();
+        assert!(r.is_safe(), "{r:?}");
+    }
+
+    #[test]
+    fn coil_short_detected() {
+        let r = run_scenario(Fault::CoilShort, &base()).unwrap();
+        // Collapsed inductance multiplies the critical gm ~12x: the loop
+        // saturates and/or amplitude falls.
+        assert!(r.detected, "{r:?}");
+    }
+
+    #[test]
+    fn healthy_system_triggers_nothing() {
+        // Sanity: run the scenario machinery with a null fault (Rs x1).
+        let r = run_scenario(Fault::RsDrift { factor: 1.0 }, &base()).unwrap();
+        assert!(!r.detected, "{r:?}");
+        assert!(r.is_safe());
+        assert!((r.final_vpp / r.vpp_before - 1.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Receiving-side diagnostics (paper §7, last paragraph): *"On complete
+//! system level other detections are also performed, e.g. ... detection of
+//! a short between the oscillator coil and receiving coils (monitoring if
+//! dc level on receiving coils can be easy changed)"*.
+//!
+//! Two checks are modeled:
+//!
+//! - **DC-level monitor** — a receiving coil is a floating winding whose DC
+//!   level is set by a weak bias; the diagnostic injects a small test
+//!   current and verifies the DC level *can* be moved. A short to the
+//!   (strongly driven) excitation coil pins the level, which is exactly
+//!   what the paper monitors.
+//! - **Magnitude monitor** — an open receiving coil (or broken receiver)
+//!   collapses the demodulated vector magnitude; a short to the excitation
+//!   coil blows it far above nominal.
+
+/// Receiving-coil fault classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReceiverFault {
+    /// Receiving coil shorted to the excitation coil.
+    ShortToExcitation,
+    /// Receiving coil open / receiver chain dead.
+    OpenCoil,
+    /// Signal magnitude outside the validity window (either direction).
+    MagnitudeOutOfRange,
+}
+
+impl std::fmt::Display for ReceiverFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReceiverFault::ShortToExcitation => write!(f, "short to excitation coil"),
+            ReceiverFault::OpenCoil => write!(f, "open receiving coil"),
+            ReceiverFault::MagnitudeOutOfRange => write!(f, "signal magnitude out of range"),
+        }
+    }
+}
+
+/// Receiving-side diagnostic block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReceiverDiagnostics {
+    /// Bias network output impedance, ohms (the test current works against
+    /// this).
+    pub r_bias: f64,
+    /// Injected test current, amps.
+    pub i_test: f64,
+    /// Minimum DC shift the test must achieve, volts.
+    pub dv_min: f64,
+    /// Nominal demodulated vector magnitude.
+    pub magnitude_nominal: f64,
+    /// Relative magnitude tolerance.
+    pub magnitude_tolerance: f64,
+}
+
+impl ReceiverDiagnostics {
+    /// Chip-like defaults: 100 kΩ bias, 5 µA test current (0.5 V expected
+    /// shift), 100 mV minimum, magnitude window ±30 %.
+    pub fn chip_default(magnitude_nominal: f64) -> Self {
+        ReceiverDiagnostics {
+            r_bias: 100e3,
+            i_test: 5e-6,
+            dv_min: 0.1,
+            magnitude_nominal,
+            magnitude_tolerance: 0.3,
+        }
+    }
+
+    /// Evaluates the DC-level check: `r_to_excitation` is the resistance of
+    /// any fault path from the receiving coil to the (low-impedance)
+    /// excitation coil — `f64::INFINITY` when healthy.
+    ///
+    /// Returns `true` when the DC level moves as expected (healthy).
+    pub fn dc_level_movable(&self, r_to_excitation: f64) -> bool {
+        // The test current sees r_bias in parallel with the fault path.
+        let r_eff = if r_to_excitation.is_finite() {
+            self.r_bias * r_to_excitation / (self.r_bias + r_to_excitation)
+        } else {
+            self.r_bias
+        };
+        self.i_test * r_eff >= self.dv_min
+    }
+
+    /// Full evaluation: demodulated magnitude plus the DC-level check.
+    pub fn evaluate(&self, magnitude: f64, r_to_excitation: f64) -> Vec<ReceiverFault> {
+        let mut faults = Vec::new();
+        if !self.dc_level_movable(r_to_excitation) {
+            faults.push(ReceiverFault::ShortToExcitation);
+        }
+        if magnitude < 0.05 * self.magnitude_nominal {
+            faults.push(ReceiverFault::OpenCoil);
+        } else if (magnitude / self.magnitude_nominal - 1.0).abs() > self.magnitude_tolerance {
+            faults.push(ReceiverFault::MagnitudeOutOfRange);
+        }
+        faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> ReceiverDiagnostics {
+        ReceiverDiagnostics::chip_default(0.25)
+    }
+
+    #[test]
+    fn healthy_coil_dc_level_moves() {
+        assert!(diag().dc_level_movable(f64::INFINITY));
+        // A weak leakage (1 MΩ) still leaves the level movable.
+        assert!(diag().dc_level_movable(1e6));
+    }
+
+    #[test]
+    fn short_to_excitation_pins_dc_level() {
+        // A hard short (or even a few kΩ) pins the DC level: 5 µA into
+        // ≤ 20 kΩ cannot reach the 100 mV threshold.
+        assert!(!diag().dc_level_movable(100.0));
+        assert!(!diag().dc_level_movable(10e3));
+    }
+
+    #[test]
+    fn healthy_magnitude_reports_clean() {
+        assert!(diag().evaluate(0.25, f64::INFINITY).is_empty());
+        assert!(diag().evaluate(0.20, f64::INFINITY).is_empty());
+    }
+
+    #[test]
+    fn open_coil_detected() {
+        let faults = diag().evaluate(0.001, f64::INFINITY);
+        assert_eq!(faults, vec![ReceiverFault::OpenCoil]);
+    }
+
+    #[test]
+    fn short_detected_by_both_checks() {
+        // A short couples the full excitation amplitude in: magnitude blows
+        // up AND the DC level is pinned.
+        let faults = diag().evaluate(1.3, 100.0);
+        assert!(faults.contains(&ReceiverFault::ShortToExcitation));
+        assert!(faults.contains(&ReceiverFault::MagnitudeOutOfRange));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(
+            ReceiverFault::ShortToExcitation.to_string(),
+            "short to excitation coil"
+        );
+        assert_eq!(ReceiverFault::OpenCoil.to_string(), "open receiving coil");
+    }
+}

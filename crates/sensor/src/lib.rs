@@ -1,0 +1,84 @@
+//! # lcosc-sensor — the inductive position sensor application
+//!
+//! The paper's introduction motivates the oscillator driver with a sensor:
+//! the regulated harmonic current in the excitation coil couples into
+//! receiving coils whose coupling varies with rotor position; *"the
+//! amplitudes of the received signals are compared and then used to
+//! determine position of the sensor."*
+//!
+//! This crate builds that application layer on top of the regulated
+//! oscillator:
+//!
+//! - [`coupling::RotorCoupling`] — signed quadrature coupling factors as a
+//!   function of rotor angle (a classic inductive resolver profile),
+//! - [`receiver::SynchronousDemodulator`] — the receive chain: gain,
+//!   offset, multiplication by the excitation reference and low-pass
+//!   filtering (coherent detection rejects uncorrelated interference),
+//! - [`decoder::PositionDecoder`] — ratiometric `atan2` angle decode with a
+//!   signal-magnitude quality metric,
+//! - [`diagnostics`] — the paper's §7 *system-level* checks on the
+//!   receiving side: DC-level monitoring that catches a short between the
+//!   oscillator coil and a receiving coil, and open/weak receiving coils,
+//! - [`system::PositionSensor`] — everything wired to a
+//!   [`lcosc_core::ClosedLoopSim`].
+
+#![warn(missing_docs)]
+
+pub mod coupling;
+pub mod decoder;
+pub mod diagnostics;
+pub mod receiver;
+pub mod system;
+
+pub use coupling::RotorCoupling;
+pub use decoder::{DecodedPosition, PositionDecoder};
+pub use diagnostics::{ReceiverDiagnostics, ReceiverFault};
+pub use receiver::SynchronousDemodulator;
+pub use system::{PositionMeasurement, PositionSensor};
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SensorError {
+    /// Invalid configuration value.
+    InvalidConfig(&'static str),
+    /// Error from the underlying oscillator simulation.
+    Core(lcosc_core::CoreError),
+}
+
+impl std::fmt::Display for SensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SensorError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SensorError::Core(e) => write!(f, "oscillator simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SensorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SensorError::InvalidConfig(_) => None,
+            SensorError::Core(e) => Some(e),
+        }
+    }
+}
+
+impl From<lcosc_core::CoreError> for SensorError {
+    fn from(e: lcosc_core::CoreError) -> Self {
+        SensorError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        let e = SensorError::from(lcosc_core::CoreError::InvalidConfig("x"));
+        assert!(e.to_string().contains("x"));
+        assert!(e.source().is_some());
+        assert!(SensorError::InvalidConfig("y").source().is_none());
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for the sensor application layer.
+
+use lcosc_sensor::coupling::RotorCoupling;
+use lcosc_sensor::decoder::{angle_difference, PositionDecoder};
+use lcosc_sensor::diagnostics::ReceiverDiagnostics;
+use lcosc_sensor::receiver::SynchronousDemodulator;
+use proptest::prelude::*;
+
+proptest! {
+    /// Decode is exact for any angle and any positive channel scaling
+    /// (ratiometric: independent of excitation amplitude).
+    #[test]
+    fn decode_roundtrip_any_angle(theta in -3.14f64..3.14, scale in 0.01f64..10.0) {
+        let d = PositionDecoder::new(1.0, 0.5);
+        let p = d.decode(scale * theta.sin(), scale * theta.cos());
+        prop_assert!(angle_difference(p.angle, theta).abs() < 1e-9);
+        prop_assert!((p.magnitude - scale).abs() < 1e-9 * scale);
+    }
+
+    /// Coupling magnitude is invariant in angle; electrical angle wraps to
+    /// (−π, π].
+    #[test]
+    fn coupling_invariants(theta in -100.0f64..100.0, k in 0.01f64..1.0, pp in 1u32..8) {
+        let c = RotorCoupling::new(k, pp);
+        let (s, cc) = c.at(theta);
+        prop_assert!((s.hypot(cc) - k).abs() < 1e-9);
+        let e = c.electrical_angle(theta);
+        prop_assert!((-std::f64::consts::PI..=std::f64::consts::PI).contains(&e));
+    }
+
+    /// Demodulator output is linear in the coupling factor.
+    #[test]
+    fn demodulator_linear_in_coupling(k in 0.01f64..0.3) {
+        let dt = 1e-8;
+        let f = 1e6;
+        let run = |k: f64| {
+            let mut d = SynchronousDemodulator::typical(dt);
+            for i in 0..30_000 {
+                let ph = 2.0 * std::f64::consts::PI * f * i as f64 * dt;
+                d.update(k * ph.sin(), ph.sin());
+            }
+            d.output()
+        };
+        let one = run(k);
+        let two = run(2.0 * k);
+        prop_assert!((two / one - 2.0).abs() < 0.01, "{one} vs {two}");
+    }
+
+    /// Angle difference is antisymmetric and bounded by π.
+    #[test]
+    fn angle_difference_properties(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+        let d = angle_difference(a, b);
+        prop_assert!(d > -std::f64::consts::PI - 1e-12);
+        prop_assert!(d <= std::f64::consts::PI + 1e-12);
+        let r = angle_difference(b, a);
+        // Antisymmetric up to the ±π boundary case.
+        if d.abs() < std::f64::consts::PI - 1e-9 {
+            prop_assert!((d + r).abs() < 1e-9, "{d} vs {r}");
+        }
+    }
+
+    /// The DC-level diagnostic is monotone in the fault resistance: a
+    /// harder short is never *less* detectable.
+    #[test]
+    fn dc_level_check_monotone(r1 in 10.0f64..1e7, r2 in 10.0f64..1e7) {
+        let diag = ReceiverDiagnostics::chip_default(0.25);
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        if diag.dc_level_movable(lo) {
+            prop_assert!(diag.dc_level_movable(hi));
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Explore the exponential PWL DAC: Table 1 control coding, the transfer
+//! staircase (Fig 3), relative steps (Fig 4) and the reference die's
+//! measured-style linearity (Fig 13/14).
+//!
+//! ```text
+//! cargo run --release --example dac_explorer
+//! ```
+
+use lcosc::dac::{
+    equivalent_delta, equivalent_linear_bits, multiplication_factor, relative_step, Code,
+    ControlWord, LinearityReport, MismatchedDac, SEGMENTS,
+};
+
+fn main() {
+    println!("== Table 1: control signal coding ==");
+    println!(
+        "{:>7} {:>9} {:>8} {:>6} {:>9} {:>9}  {:>7} {:>7} {:>9}",
+        "segment", "prescale", "gm", "step", "min", "max", "OscD", "OscE", "OscF shift"
+    );
+    for s in &SEGMENTS {
+        println!(
+            "{:>7} {:>9} {:>8} {:>6} {:>9} {:>9}  {:>7} {:>7} {:>9}",
+            s.index,
+            s.prescale,
+            s.gm_weight,
+            s.step,
+            s.range_min,
+            s.range_max,
+            format!("{:03b}", s.osc_d),
+            format!("{:04b}", s.osc_e),
+            s.oscf_shift
+        );
+    }
+
+    println!("\n== Fig 3: multiplication factor (every 8th code) ==");
+    for code in Code::all().step_by(8) {
+        let m = multiplication_factor(code);
+        let bar = "#".repeat((m as f64 / 32.0).ceil() as usize);
+        println!("{:>4} {:>6} {}", code, m, bar);
+    }
+    println!(
+        "full scale {} units = {} equivalent linear bits, per-code delta {:.2} %",
+        multiplication_factor(Code::MAX),
+        equivalent_linear_bits(),
+        100.0 * equivalent_delta()
+    );
+
+    println!("\n== Fig 4: relative step band above code 16 ==");
+    let steps: Vec<f64> = (16..127u32)
+        .filter_map(|n| relative_step(Code::new(n).expect("in range")))
+        .collect();
+    let min = steps.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = steps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!("step range: {:.2} % .. {:.2} % (paper: 3.23 % .. 6.25 %)", 100.0 * min, 100.0 * max);
+
+    println!("\n== Fig 13/14: reference die (measured-style) ==");
+    let die = MismatchedDac::reference_die();
+    let report = LinearityReport::analyze(&die);
+    println!(
+        "full scale {:.3} mA (1 LSB = {:.1} µA)",
+        die.current(Code::MAX).value() * 1e3,
+        die.lsb() * 1e6
+    );
+    println!(
+        "worst DNL {:.2} local LSB at code {}",
+        report.dnl_worst, report.dnl_worst_code
+    );
+    println!(
+        "worst INL {:+.2} % of nominal",
+        100.0 * report.inl_worst_rel
+    );
+    println!("non-monotonic steps at codes: {:?}", report.non_monotonic);
+    println!(
+        "steps above code 16: {:.2} % .. {:.2} % (argmin at {})",
+        100.0 * report.steps_above_16.min,
+        100.0 * report.steps_above_16.max,
+        report.steps_above_16.argmin
+    );
+    println!(
+        "regulation compatible with the 15 % window: {}",
+        report.regulation_compatible(0.15)
+    );
+
+    println!("\n== control word for the POR preset ==");
+    let w = ControlWord::encode(Code::POR_PRESET);
+    println!(
+        "code 105 -> {w} -> {} units ({:.0} % of full scale)",
+        w.output_units(),
+        100.0 * w.output_units() as f64 / multiplication_factor(Code::MAX) as f64
+    );
+}

@@ -1,0 +1,47 @@
+//! Redundant dual system (paper §8, Fig 9): two coupled oscillators, one
+//! loses its supply — compare the three pad topologies of Fig 10/11.
+//!
+//! ```text
+//! cargo run --release --example dual_redundant
+//! ```
+
+use lcosc::core::OscillatorConfig;
+use lcosc::pad::PadTopology;
+use lcosc::safety::DualSystem;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = OscillatorConfig::datasheet_3mhz();
+    config.target_vpp = 2.7; // the paper's maximum operating amplitude
+    config.nvm_code = config.recommended_nvm_code();
+
+    println!("partner loses its supply while coupled with k = 0.8\n");
+    println!(
+        "{:<26} {:>10} {:>10} {:>8} {:>8} {:>12} {:>9}",
+        "partner pad topology", "vpp before", "vpp after", "code", "code'", "reflected G", "verdict"
+    );
+
+    for topology in PadTopology::ALL {
+        let mut dual = DualSystem::new(config.clone(), topology, 0.8)?;
+        let o = dual.run_supply_loss()?;
+        let verdict = if o.survivor_settled && o.influence() < 0.1 {
+            "OK"
+        } else {
+            "DISTURBED"
+        };
+        println!(
+            "{:<26} {:>9.3}V {:>9.3}V {:>8} {:>8} {:>10.2e}S {:>9}",
+            topology.to_string(),
+            o.vpp_before,
+            o.vpp_after,
+            o.code_before,
+            o.code_after,
+            o.reflected_conductance,
+            verdict
+        );
+    }
+
+    println!();
+    println!("the Fig 11 bulk-switched stage keeps the survivor inside its window;");
+    println!("the plain CMOS stage of Fig 10a reflects orders of magnitude more load.");
+    Ok(())
+}

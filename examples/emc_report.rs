@@ -1,0 +1,48 @@
+//! EMC emission report (the abstract's "low EMC emissions" claim): the LC
+//! tank filters the clipped driver current into a clean pin voltage, and
+//! the window comparator freezes steady-state code changes.
+//!
+//! ```text
+//! cargo run --release --example emc_report
+//! ```
+
+use lcosc::core::emc::analyze_emissions;
+use lcosc::core::gm_driver::{DriverShape, GmDriver};
+use lcosc::core::measure::steady_state_activity;
+use lcosc::core::tank::LcTank;
+use lcosc::core::{ClosedLoopSim, OscillatorConfig};
+use lcosc::num::units::{Farads, Henries};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== harmonic content vs tank quality ==");
+    println!(
+        "{:>6} {:>13} {:>13} {:>10}",
+        "Q", "current THD", "voltage THD", "cleanup"
+    );
+    for q in [5.0, 15.0, 50.0] {
+        let tank = LcTank::with_q(Henries::from_micro(4.7), Farads::from_nano(1.5), q)?;
+        let r = analyze_emissions(
+            tank,
+            GmDriver::new(DriverShape::LinearSaturate { gm: 10e-3 }, 0.5e-3),
+            1.65,
+        );
+        println!(
+            "{q:>6.0} {:>12.1}% {:>12.2}% {:>9.0}x",
+            100.0 * r.current_thd,
+            100.0 * r.voltage_thd,
+            r.filtering_gain
+        );
+    }
+    println!("\nthe cable only sees the pin voltage: its harmonics stay ~100x below");
+    println!("the internal clipped drive — the tank is the EMC filter.");
+
+    println!("\n== steady-state current-limitation activity ==");
+    let mut sim = ClosedLoopSim::new(OscillatorConfig::datasheet_3mhz())?;
+    sim.run_ticks(100);
+    let activity = steady_state_activity(&sim.trace().codes);
+    println!("code changes per tick in steady state: {activity:.3}");
+    println!("(the window comparator holds the code, avoiding periodic amplitude");
+    println!("steps that would spread spectral skirts — paper §4)");
+    assert!(activity < 0.05);
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! Quickstart: regulate the paper's nominal sensor tank to 2.7 Vpp.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lcosc::core::{ClosedLoopSim, OscillatorConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's nominal operating point: 4.7 µH excitation coil with
+    // 1.5 nF on each pin (f0 ≈ 2.7 MHz), quality factor 50.
+    let config = OscillatorConfig::datasheet_3mhz();
+    println!("tank:            {}", config.tank);
+    println!("target:          {:.2} Vpp differential", config.target_vpp);
+    println!("nvm preset code: {}", config.nvm_code);
+
+    let mut sim = ClosedLoopSim::new(config)?;
+    let report = sim.run_until_settled()?;
+
+    println!();
+    println!("settled:         {}", report.settled);
+    println!("ticks (1 ms):    {}", report.ticks);
+    println!("final code:      {}", report.final_code);
+    println!("amplitude:       {:.3} Vpp", report.final_vpp);
+    println!(
+        "supply current:  {:.1} µA",
+        report.supply_current * 1e6
+    );
+
+    // The regulated code must stay above 16 — the paper's design guarantee
+    // that keeps the relative amplitude step inside the 3.23–6.25 % band.
+    assert!(report.settled);
+    assert!(report.final_code.value() > 16);
+    println!("\nregulation code is above 16, inside the fine-step region — OK");
+    Ok(())
+}

@@ -1,0 +1,154 @@
+//! Cross-crate validation: the analytic oscillation condition (paper §2),
+//! the averaged envelope model and the cycle-accurate ODE must agree.
+
+use lcosc::core::condition::OscillationCondition;
+use lcosc::core::config::{Fidelity, OscillatorConfig};
+use lcosc::core::envelope::EnvelopeModel;
+use lcosc::core::gm_driver::{DriverShape, GmDriver};
+use lcosc::core::measure::frequency_of;
+use lcosc::core::oscillator::{OscillatorModel, OscillatorState};
+use lcosc::core::sim::ClosedLoopSim;
+use lcosc::core::tank::LcTank;
+use lcosc::num::units::{Amps, Farads, Henries};
+
+fn test_tank() -> LcTank {
+    LcTank::with_q(Henries::from_micro(25.0), Farads::from_nano(2.0), 10.0)
+        .expect("tank constants are valid")
+}
+
+#[test]
+fn eq1_eq4_analytic_vs_ode_amplitude() {
+    // Paper eq 4: steady amplitude proportional to the current limit; our
+    // derived constant (DESIGN.md §8) must match the full ODE within the
+    // describing-function accuracy.
+    let tank = test_tank();
+    let driver = GmDriver::new(DriverShape::LinearSaturate { gm: 10e-3 }, 0.8e-3);
+    let model = OscillatorModel::new(tank, driver, 1.65);
+    let dt = 1.0 / tank.f0().value() / 80.0;
+    let wf = model.run(
+        OscillatorState::at_rest(1.65),
+        250.0 / tank.f0().value(),
+        dt,
+        1,
+    );
+    let vd = wf.v_diff();
+    let measured_peak = vd[4 * vd.len() / 5..]
+        .iter()
+        .fold(0.0f64, |m, v| m.max(v.abs()));
+    let predicted_pp = OscillationCondition::new(tank)
+        .steady_amplitude_pp(Amps(0.8e-3))
+        .value();
+    assert!(
+        (2.0 * measured_peak / predicted_pp - 1.0).abs() < 0.15,
+        "ode {} vs analytic {}",
+        2.0 * measured_peak,
+        predicted_pp
+    );
+}
+
+#[test]
+fn envelope_model_tracks_ode_transient() {
+    // The averaged model must reproduce the ODE's growth envelope, not just
+    // its fixed point.
+    let tank = test_tank();
+    let driver = GmDriver::new(DriverShape::LinearSaturate { gm: 3e-3 }, 1e-3);
+    let model = OscillatorModel::new(tank, driver, 1.65);
+    let envelope = EnvelopeModel::new(tank, driver);
+
+    let dt = 1.0 / tank.f0().value() / 80.0;
+    let span = 120.0 / tank.f0().value();
+    let wf = model.run(OscillatorState::at_rest(1.65), span, dt, 1);
+    let vd = wf.v_diff();
+
+    // Compare per-pin envelope at two checkpoints (1/2 and end of run).
+    let mut a_env = 0.5e-3;
+    let half_steps = vd.len() / 2;
+    a_env = envelope.advance(a_env, half_steps as f64 * dt, half_steps.max(1));
+    let ode_half = vd[half_steps.saturating_sub(200)..half_steps]
+        .iter()
+        .fold(0.0f64, |m, v| m.max(v.abs()))
+        / 2.0;
+    assert!(
+        (a_env / ode_half - 1.0).abs() < 0.25,
+        "halfway: envelope {a_env} vs ode {ode_half}"
+    );
+}
+
+#[test]
+fn oscillation_frequency_stays_at_tank_resonance() {
+    let tank = test_tank();
+    let driver = GmDriver::new(DriverShape::LinearSaturate { gm: 10e-3 }, 1e-3);
+    let model = OscillatorModel::new(tank, driver, 1.65);
+    let dt = 1.0 / tank.f0().value() / 80.0;
+    let wf = model.run(
+        OscillatorState::at_rest(1.65),
+        200.0 / tank.f0().value(),
+        dt,
+        1,
+    );
+    let f = frequency_of(&wf.v_diff(), dt).expect("oscillation present");
+    assert!(
+        (f / tank.f0().value() - 1.0).abs() < 0.02,
+        "f {} vs f0 {}",
+        f,
+        tank.f0().value()
+    );
+}
+
+#[test]
+fn spectral_purity_of_regulated_oscillation() {
+    // The tank filters the limited driver current: THD of the pin voltage
+    // must be low even though the drive is a clipped waveform.
+    let tank = test_tank();
+    let driver = GmDriver::new(DriverShape::LinearSaturate { gm: 10e-3 }, 1e-3);
+    let model = OscillatorModel::new(tank, driver, 1.65);
+    let dt = 1.0 / tank.f0().value() / 80.0;
+    let wf = model.run(
+        OscillatorState::at_rest(1.65),
+        300.0 / tank.f0().value(),
+        dt,
+        1,
+    );
+    let vd = wf.v_diff();
+    let tail = &vd[vd.len() / 2..];
+    let fs = 1.0 / dt;
+    let thd = lcosc::num::fft::thd(tail, fs, 5).expect("fundamental found");
+    assert!(thd < 0.05, "thd {thd}");
+}
+
+#[test]
+fn both_fidelities_settle_to_same_code() {
+    let mut env_cfg = OscillatorConfig::fast_test();
+    env_cfg.tick_period = 0.2e-3;
+    env_cfg.detector_tau = 15e-6;
+    let mut cyc_cfg = env_cfg.clone();
+    cyc_cfg.fidelity = Fidelity::Cycle;
+
+    let mut env = ClosedLoopSim::new(env_cfg).expect("valid config");
+    let mut cyc = ClosedLoopSim::new(cyc_cfg).expect("valid config");
+    env.run_ticks(15);
+    cyc.run_ticks(15);
+    let d = (env.code().value() as i32 - cyc.code().value() as i32).abs();
+    assert!(d <= 2, "envelope {} vs cycle {}", env.code(), cyc.code());
+}
+
+#[test]
+fn regulated_amplitude_holds_across_q_spread() {
+    // The same loop regulates tanks a decade apart in quality factor to the
+    // same amplitude — the paper's core wide-range claim.
+    for q in [3.0, 10.0, 60.0] {
+        let tank = LcTank::with_q(Henries::from_micro(25.0), Farads::from_nano(2.0), q)
+            .expect("tank constants are valid");
+        let mut cfg = OscillatorConfig::for_tank(tank);
+        cfg.target_vpp = 2.0;
+        cfg.nvm_code = cfg.recommended_nvm_code();
+        let mut sim = ClosedLoopSim::new(cfg).expect("valid config");
+        let report = sim.run_until_settled().expect("infallible");
+        assert!(report.settled, "q {q} never settled");
+        assert!(
+            (report.final_vpp / 2.0 - 1.0).abs() < 0.15,
+            "q {q}: vpp {}",
+            report.final_vpp
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Configuration-matrix test: the regulation loop must settle across the
+//! cross product of driver shapes, DAC dies and tanks — one flaky
+//! combination is a design bug, not bad luck.
+
+use lcosc::core::config::OscillatorConfig;
+use lcosc::core::gm_driver::DriverShape;
+use lcosc::core::sim::ClosedLoopSim;
+use lcosc::core::tank::LcTank;
+use lcosc::dac::{DacMismatchParams, MismatchedDac};
+use lcosc::num::units::{Farads, Henries};
+
+fn tanks() -> Vec<LcTank> {
+    vec![
+        LcTank::with_q(Henries::from_micro(25.0), Farads::from_nano(2.0), 10.0)
+            .expect("tank constants are valid"),
+        LcTank::with_q(Henries::from_micro(10.0), Farads::from_nano(1.0), 30.0)
+            .expect("tank constants are valid"),
+    ]
+}
+
+fn dies() -> Vec<(&'static str, MismatchedDac)> {
+    vec![
+        ("ideal", MismatchedDac::ideal(12.5e-6)),
+        ("reference", MismatchedDac::reference_die()),
+        (
+            "sampled#9",
+            MismatchedDac::sampled(&DacMismatchParams::default(), 9),
+        ),
+    ]
+}
+
+fn shapes() -> Vec<(&'static str, DriverShape)> {
+    vec![
+        ("hard-limit", DriverShape::HardLimit),
+        ("linear", DriverShape::LinearSaturate { gm: 10e-3 }),
+        ("tanh", DriverShape::Tanh { gm: 10e-3 }),
+    ]
+}
+
+#[test]
+fn loop_settles_across_the_full_matrix() {
+    for tank in tanks() {
+        for (die_name, die) in dies() {
+            for (shape_name, shape) in shapes() {
+                let mut cfg = OscillatorConfig::for_tank(tank);
+                cfg.target_vpp = 2.0;
+                cfg.driver_shape = shape;
+                cfg.dac = die.clone();
+                cfg.nvm_code = cfg.recommended_nvm_code();
+                let mut sim = ClosedLoopSim::new(cfg).expect("valid config");
+                let report = sim.run_until_settled().expect("infallible");
+                assert!(
+                    report.settled,
+                    "never settled: tank {tank}, die {die_name}, shape {shape_name}"
+                );
+                assert!(
+                    (report.final_vpp / 2.0 - 1.0).abs() < 0.2,
+                    "vpp {} off target: tank {tank}, die {die_name}, shape {shape_name}",
+                    report.final_vpp
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn steady_state_is_quiet_across_the_matrix() {
+    use lcosc::core::measure::steady_state_activity;
+    for tank in tanks() {
+        for (die_name, die) in dies() {
+            let mut cfg = OscillatorConfig::for_tank(tank);
+            cfg.target_vpp = 2.0;
+            cfg.dac = die.clone();
+            cfg.nvm_code = cfg.recommended_nvm_code();
+            let mut sim = ClosedLoopSim::new(cfg).expect("valid config");
+            sim.run_ticks(80);
+            let activity = steady_state_activity(&sim.trace().codes);
+            assert!(
+                activity < 0.1,
+                "hunting on tank {tank}, die {die_name}: activity {activity}"
+            );
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The paper's headline numeric claims, checked end-to-end against the
+//! reproduction (see EXPERIMENTS.md for the full paper-vs-measured table).
+
+use lcosc::core::condition::OscillationCondition;
+use lcosc::core::config::OscillatorConfig;
+use lcosc::core::sim::ClosedLoopSim;
+use lcosc::core::tank::LcTank;
+use lcosc::dac::{
+    equivalent_linear_bits, multiplication_factor, relative_step, Code, MismatchedDac,
+};
+use lcosc::num::units::{Farads, Henries, Volts};
+
+#[test]
+fn abstract_claim_two_decades_of_quality_factor() {
+    // "Quality factor of the external LC network can vary two decades":
+    // both ends must be regulable by the chip's code/gm range. The usable
+    // code span 16..=127 covers a 124:1 current ratio — two decades — and
+    // the required current scales as 1/Q, so a single coil supports
+    // Q ≈ 0.65 … 65 at full amplitude.
+    let lo = LcTank::with_q(Henries::from_micro(4.7), Farads::from_nano(1.5), 0.65)
+        .expect("tank constants are valid");
+    let hi = LcTank::with_q(Henries::from_micro(4.7), Farads::from_nano(1.5), 65.0)
+        .expect("tank constants are valid");
+    assert!((hi.q() / lo.q() - 100.0).abs() < 1e-9);
+
+    for tank in [lo, hi] {
+        // Startable: nine Gm stages of 10 mS each.
+        let crit = OscillationCondition::new(tank).critical_gm();
+        assert!(crit < 9.0 * 10e-3, "q {}: critical gm {crit}", tank.q());
+        // Regulable: the needed current fits the DAC range and the code
+        // stays above 16 (the fine-step region).
+        let i = OscillationCondition::new(tank)
+            .i_max_for_amplitude(Volts(2.7))
+            .value();
+        let units = i / 12.5e-6;
+        assert!(units <= 1984.0, "q {}: needs {units} units", tank.q());
+        let code = Code::all()
+            .find(|&c| multiplication_factor(c) as f64 >= units)
+            .expect("within range");
+        assert!(code.value() > 16, "q {}: code {code}", tank.q());
+    }
+}
+
+#[test]
+fn section9_consumption_250ua_to_30ma() {
+    let hi_q = LcTank::with_q(Henries::from_micro(4.7), Farads::from_nano(1.5), 65.0)
+        .expect("tank constants are valid");
+    let lo_q = LcTank::with_q(Henries::from_micro(4.7), Farads::from_nano(1.5), 0.65)
+        .expect("tank constants are valid");
+    let i_min = OscillationCondition::new(hi_q)
+        .supply_current(OscillationCondition::new(hi_q).i_max_for_amplitude(Volts(2.7)))
+        .value();
+    let i_max = OscillationCondition::new(lo_q)
+        .supply_current(OscillationCondition::new(lo_q).i_max_for_amplitude(Volts(2.7)))
+        .value();
+    // Shape: two orders of magnitude between best and worst case, in the
+    // paper's 250 µA .. 30 mA ballpark.
+    assert!((100e-6..600e-6).contains(&i_min), "min {i_min}");
+    assert!((5e-3..40e-3).contains(&i_max), "max {i_max}");
+    assert!(i_max / i_min > 30.0, "span {}", i_max / i_min);
+}
+
+#[test]
+fn section3_dac_is_11_bit_linear_equivalent() {
+    assert_eq!(equivalent_linear_bits(), 11);
+    assert_eq!(multiplication_factor(Code::MAX), 1984);
+}
+
+#[test]
+fn section3_step_band_3_23_to_6_25_percent() {
+    let steps: Vec<f64> = (16..127u32)
+        .filter_map(|n| relative_step(Code::new(n).expect("in range")))
+        .collect();
+    let min = steps.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = steps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!((min - 0.0323).abs() < 5e-4, "min {min}");
+    assert!((max - 0.0625).abs() < 1e-9, "max {max}");
+}
+
+#[test]
+fn section4_window_wider_than_max_step_prevents_jumping() {
+    // With the 15 % window and 6.25 % max step, a single regulation step
+    // can never jump across the window: stepping from just below the low
+    // threshold lands below the high threshold.
+    let cfg = OscillatorConfig::datasheet_3mhz();
+    let max_step = 0.0625;
+    assert!(cfg.window_rel_width > max_step);
+    let low = 1.0 - cfg.window_rel_width / 2.0;
+    let high = 1.0 + cfg.window_rel_width / 2.0;
+    assert!(low * (1.0 + max_step) < high, "step jumps the window");
+}
+
+#[test]
+fn section4_por_preset_is_40_percent_of_max() {
+    let ratio = multiplication_factor(Code::POR_PRESET) as f64
+        / multiplication_factor(Code::MAX) as f64;
+    assert!((ratio - 0.40).abs() < 0.05, "ratio {ratio}");
+}
+
+#[test]
+fn section5_dynamic_range_0_to_1984() {
+    assert_eq!(multiplication_factor(Code::MIN), 0);
+    assert_eq!(multiplication_factor(Code::MAX), 1984);
+    // Fig 13: 1 LSB = 12.5 µA → full scale 24.8 mA.
+    let die = MismatchedDac::ideal(12.5e-6);
+    assert!((die.current(Code::MAX).value() - 24.8e-3).abs() < 1e-9);
+}
+
+#[test]
+fn section9_frequency_band_2_to_5_mhz() {
+    // The datasheet tank sits inside the paper's operating band.
+    let f = OscillatorConfig::datasheet_3mhz().tank.f0().value();
+    assert!((2e6..5e6).contains(&f), "f0 {f}");
+}
+
+#[test]
+fn section9_non_monotonic_dac_is_harmless() {
+    // The reference die is non-monotonic at code 96 (like the measured
+    // chip), yet the regulation loop settles normally.
+    let mut cfg = OscillatorConfig::datasheet_3mhz();
+    cfg.dac = MismatchedDac::reference_die();
+    cfg.nvm_code = cfg.recommended_nvm_code();
+    let mut sim = ClosedLoopSim::new(cfg).expect("valid config");
+    let report = sim.run_until_settled().expect("infallible");
+    assert!(report.settled);
+    assert!(
+        (report.final_vpp / 2.7 - 1.0).abs() < 0.15,
+        "vpp {}",
+        report.final_vpp
+    );
+}
+
+#[test]
+fn regulated_code_stays_above_16_on_supported_tanks() {
+    // Paper §3: "the amplitude regulation code remains above code 16".
+    for cfg in [OscillatorConfig::datasheet_3mhz(), OscillatorConfig::low_q()] {
+        let mut sim = ClosedLoopSim::new(cfg).expect("valid config");
+        let report = sim.run_until_settled().expect("infallible");
+        assert!(report.settled);
+        assert!(
+            report.final_code.value() > 16,
+            "code {}",
+            report.final_code
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Whole-system property tests: the closed loop must behave for *any*
+//! supported tank/target combination, not just the presets.
+
+use lcosc::core::condition::OscillationCondition;
+use lcosc::core::config::OscillatorConfig;
+use lcosc::core::sim::ClosedLoopSim;
+use lcosc::core::tank::LcTank;
+use lcosc::num::units::{Farads, Henries, Volts};
+use proptest::prelude::*;
+
+fn supported_tank() -> impl Strategy<Value = LcTank> {
+    // L and C around the datasheet values, Q within the supported band
+    // (codes stay in 17..=127 for a 2.7 Vpp target — see EXPERIMENTS.md).
+    (2.0f64..50.0, 0.5f64..5.0, 1.0f64..50.0).prop_map(|(l_uh, c_nf, q)| {
+        LcTank::with_q(Henries::from_micro(l_uh), Farads::from_nano(c_nf), q)
+            .expect("generated constants are valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any supported tank the loop settles inside the window at a code
+    /// above 16, and the amplitude holds the target within the window.
+    #[test]
+    fn loop_settles_for_any_supported_tank(tank in supported_tank()) {
+        let needed = OscillationCondition::new(tank)
+            .i_max_for_amplitude(Volts(2.0))
+            .value();
+        // Only test combinations the DAC can serve with margin.
+        prop_assume!(needed < 0.8 * 1984.0 * 12.5e-6);
+        prop_assume!(needed > 17.0 * 12.5e-6);
+
+        let mut cfg = OscillatorConfig::for_tank(tank);
+        cfg.target_vpp = 2.0;
+        cfg.nvm_code = cfg.recommended_nvm_code();
+        let mut sim = ClosedLoopSim::new(cfg.clone()).expect("valid config");
+        let report = sim.run_until_settled().expect("infallible");
+        prop_assert!(report.settled, "never settled on {tank}");
+        prop_assert!(report.final_code.value() > 16, "code {}", report.final_code);
+        prop_assert!(
+            (report.final_vpp / 2.0 - 1.0).abs() < cfg.window_rel_width,
+            "vpp {} on {tank}",
+            report.final_vpp
+        );
+    }
+
+    /// The settled code matches the analytic prediction within ±2 counts
+    /// for any supported tank — the amplitude law and the DAC staircase
+    /// compose correctly.
+    #[test]
+    fn settled_code_matches_analytic_prediction(tank in supported_tank()) {
+        let needed = OscillationCondition::new(tank)
+            .i_max_for_amplitude(Volts(2.0))
+            .value();
+        prop_assume!(needed < 0.8 * 1984.0 * 12.5e-6);
+        prop_assume!(needed > 17.0 * 12.5e-6);
+
+        let mut cfg = OscillatorConfig::for_tank(tank);
+        cfg.target_vpp = 2.0;
+        cfg.nvm_code = cfg.recommended_nvm_code();
+        let predicted = cfg.recommended_nvm_code().value() as i32;
+        let mut sim = ClosedLoopSim::new(cfg).expect("valid config");
+        let report = sim.run_until_settled().expect("infallible");
+        let got = report.final_code.value() as i32;
+        prop_assert!((got - predicted).abs() <= 2, "code {got} vs predicted {predicted}");
+    }
+
+    /// Doubling the series loss raises the settled code, never lowers it
+    /// (monotone compensation).
+    #[test]
+    fn loss_increase_never_lowers_code(tank in supported_tank(), factor in 1.3f64..2.5) {
+        let needed_hi = OscillationCondition::new(tank)
+            .i_max_for_amplitude(Volts(2.0))
+            .value() * factor;
+        prop_assume!(needed_hi < 0.8 * 1984.0 * 12.5e-6);
+        prop_assume!(needed_hi > 17.0 * 12.5e-6 * factor);
+
+        let settle = |t: LcTank| {
+            let mut cfg = OscillatorConfig::for_tank(t);
+            cfg.target_vpp = 2.0;
+            cfg.nvm_code = cfg.recommended_nvm_code();
+            let mut sim = ClosedLoopSim::new(cfg).expect("valid config");
+            sim.run_until_settled().expect("infallible").final_code.value()
+        };
+        let base = settle(tank);
+        let lossy = settle(tank.with_rs(lcosc::num::units::Ohms(
+            tank.rs().value() * factor,
+        )));
+        prop_assert!(lossy >= base, "{base} -> {lossy}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Cross-substrate validation: the MNA circuit simulator and the behavioral
+//! oscillator core are independent implementations — where they overlap
+//! they must agree.
+
+use lcosc::circuit::analysis::ac::{ac_sweep, logspace};
+use lcosc::circuit::analysis::transient::{run_transient, Integrator, TransientOptions};
+use lcosc::circuit::netlist::{Netlist, Waveform};
+use lcosc::core::condition::OscillationCondition;
+use lcosc::core::tank::LcTank;
+use lcosc::num::units::{Farads, Henries, Ohms};
+
+fn tank() -> LcTank {
+    LcTank::new(
+        Henries::from_micro(25.0),
+        Farads::from_nano(2.0),
+        Farads::from_nano(2.0),
+        Ohms(15.0),
+    )
+    .expect("tank constants are valid")
+}
+
+/// Builds the paper's Fig 1 passive network as a netlist: C1 and C2 to
+/// ground, L in series with Rs between the pins.
+fn tank_netlist(t: &LcTank) -> (Netlist, lcosc::circuit::netlist::NodeId, lcosc::circuit::netlist::ElementId) {
+    let mut nl = Netlist::new();
+    let lc1 = nl.node("lc1");
+    let lc2 = nl.node("lc2");
+    let mid = nl.node("mid");
+    // Drive LC1 differentially through a large resistor (current-source-ish)
+    // so the tank's own impedance shapes the response.
+    let drv = nl.node("drv");
+    let src = nl.voltage_source(drv, Netlist::GROUND, Waveform::Dc(0.0));
+    nl.resistor(drv, lc1, 100e3);
+    nl.capacitor(lc1, Netlist::GROUND, t.c1().value());
+    nl.capacitor(lc2, Netlist::GROUND, t.c2().value());
+    nl.inductor(lc1, mid, t.l().value());
+    nl.resistor(mid, lc2, t.rs().value());
+    (nl, lc1, src)
+}
+
+#[test]
+fn mna_ac_resonance_matches_analytic_f0() {
+    let t = tank();
+    let (nl, lc1, src) = tank_netlist(&t);
+    let f0 = t.f0().value();
+    let pts = ac_sweep(&nl, src, &logspace(f0 / 3.0, f0 * 3.0, 301)).expect("ac converges");
+    let peak = pts
+        .iter()
+        .max_by(|a, b| a.voltage(lc1).abs().total_cmp(&b.voltage(lc1).abs()))
+        .expect("non-empty");
+    assert!(
+        (peak.frequency / f0 - 1.0).abs() < 0.02,
+        "mna peak {} vs analytic f0 {}",
+        peak.frequency,
+        f0
+    );
+}
+
+#[test]
+fn mna_ac_bandwidth_matches_analytic_q() {
+    let t = tank();
+    let (nl, lc1, src) = tank_netlist(&t);
+    let f0 = t.f0().value();
+    let pts = ac_sweep(&nl, src, &logspace(f0 * 0.5, f0 * 2.0, 2001)).expect("ac converges");
+    let mags: Vec<(f64, f64)> = pts
+        .iter()
+        .map(|p| (p.frequency, p.voltage(lc1).abs()))
+        .collect();
+    let (f_peak, m_peak) = mags
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty");
+    // −3 dB points around the peak.
+    let half = m_peak / std::f64::consts::SQRT_2;
+    let lo = mags
+        .iter()
+        .filter(|(f, m)| *f < f_peak && *m >= half)
+        .map(|(f, _)| *f)
+        .fold(f64::INFINITY, f64::min);
+    let hi = mags
+        .iter()
+        .filter(|(f, m)| *f > f_peak && *m >= half)
+        .map(|(f, _)| *f)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let q_measured = f_peak / (hi - lo);
+    assert!(
+        (q_measured / t.q() - 1.0).abs() < 0.1,
+        "mna q {} vs analytic {}",
+        q_measured,
+        t.q()
+    );
+}
+
+#[test]
+fn mna_transient_ringdown_matches_q_envelope() {
+    // Kick the passive tank in the MNA simulator and compare the ring-down
+    // envelope decay with the analytic exp(−π f t / Q).
+    let t = tank();
+    let mut nl = Netlist::new();
+    let lc1 = nl.node("lc1");
+    let lc2 = nl.node("lc2");
+    let mid = nl.node("mid");
+    nl.capacitor_ic(lc1, Netlist::GROUND, t.c1().value(), 1.0);
+    nl.capacitor_ic(lc2, Netlist::GROUND, t.c2().value(), -1.0);
+    nl.inductor(lc1, mid, t.l().value());
+    nl.resistor(mid, lc2, t.rs().value());
+    let f0 = t.f0().value();
+    let cycles = 30.0;
+    let mut opts = TransientOptions::new(1.0 / (f0 * 200.0), cycles / f0);
+    opts.integrator = Integrator::Trapezoidal;
+    let res = run_transient(&nl, &opts).expect("transient converges");
+    let v1 = res.voltage_trace(lc1);
+    let v2 = res.voltage_trace(lc2);
+    let vd: Vec<f64> = v1.iter().zip(&v2).map(|(a, b)| a - b).collect();
+    let peak_end = vd[vd.len() - vd.len() / 10..]
+        .iter()
+        .fold(0.0f64, |m, v| m.max(v.abs()));
+    // The peak of the decaying tail sits at the start of the window
+    // (~90 % through the run): compare against the analytic envelope there.
+    let expect = 2.0 * (-std::f64::consts::PI * (0.9 * cycles) / t.q()).exp();
+    assert!(
+        (peak_end / expect - 1.0).abs() < 0.25,
+        "mna ringdown {} vs analytic {}",
+        peak_end,
+        expect
+    );
+}
+
+#[test]
+fn vccs_pair_in_mna_reproduces_negative_resistance_startup() {
+    // Build the oscillator linearly in the MNA simulator: two cross-coupled
+    // VCCS stages with gm above critical make the poles unstable — the
+    // transient grows (linear model: no limiting).
+    let t = tank();
+    let gm_crit = OscillationCondition::new(t).critical_gm();
+    let build = |gm: f64| {
+        let mut nl = Netlist::new();
+        let lc1 = nl.node("lc1");
+        let lc2 = nl.node("lc2");
+        let mid = nl.node("mid");
+        nl.capacitor_ic(lc1, Netlist::GROUND, t.c1().value(), 1e-3);
+        nl.capacitor_ic(lc2, Netlist::GROUND, t.c2().value(), -1e-3);
+        nl.inductor(lc1, mid, t.l().value());
+        nl.resistor(mid, lc2, t.rs().value());
+        // Inverting cross-coupled stages: i(out) = −gm·v(other).
+        nl.vccs(lc1, Netlist::GROUND, lc2, Netlist::GROUND, gm);
+        nl.vccs(lc2, Netlist::GROUND, lc1, Netlist::GROUND, gm);
+        let f0 = t.f0().value();
+        let mut opts = TransientOptions::new(1.0 / (f0 * 200.0), 20.0 / f0);
+        opts.integrator = Integrator::Trapezoidal;
+        let res = run_transient(&nl, &opts).expect("transient converges");
+        let v1 = res.voltage_trace(lc1);
+        let v2 = res.voltage_trace(lc2);
+        let vd: Vec<f64> = v1.iter().zip(&v2).map(|(a, b)| a - b).collect();
+        vd[vd.len() - 200..].iter().fold(0.0f64, |m, v| m.max(v.abs()))
+    };
+    let growing = build(3.0 * gm_crit);
+    let decaying = build(0.3 * gm_crit);
+    assert!(
+        growing > 20.0 * decaying,
+        "supercritical {growing} vs subcritical {decaying}"
+    );
+    assert!(growing > 2e-3, "supercritical should grow: {growing}");
+}
