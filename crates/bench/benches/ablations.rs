@@ -16,7 +16,9 @@ fn bench_window(c: &mut Criterion) {
         println!(
             "{:>7.0}% {:>14} {:>10.3} {:>11.2}%",
             100.0 * r.window,
-            r.settling_tick.map(|t| t.to_string()).unwrap_or_else(|| "never".into()),
+            r.settling_tick
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "never".into()),
             r.activity,
             100.0 * r.amplitude_error
         );
@@ -44,15 +46,21 @@ fn bench_dac_law(c: &mut Criterion) {
             r.law,
             r.operating_code,
             100.0 * r.worst_step_near_operating,
-            r.settle_from_top.map(|t| t.to_string()).unwrap_or_else(|| "never".into()),
-            r.settle_from_bottom.map(|t| t.to_string()).unwrap_or_else(|| "never".into()),
+            r.settle_from_top
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "never".into()),
+            r.settle_from_bottom
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "never".into()),
         );
     }
     println!("a linear voltage step needs an exponential current control (paper eq 5)");
 
     let mut g = c.benchmark_group("ablation");
     g.sample_size(10);
-    g.bench_function("ablation_dac_shape", |b| b.iter(ablation::dac_law_comparison));
+    g.bench_function("ablation_dac_shape", |b| {
+        b.iter(ablation::dac_law_comparison)
+    });
     g.finish();
 }
 
@@ -70,7 +78,9 @@ fn bench_start_code(c: &mut Criterion) {
             r.preset,
             r.inrush * 1e3,
             r.starts_worst_case_tank,
-            r.settling_tick.map(|t| t.to_string()).unwrap_or_else(|| "never".into())
+            r.settling_tick
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "never".into())
         );
     }
     println!("paper picks 105: ~40 % of maximum consumption, still starts every tank");
@@ -88,7 +98,10 @@ fn bench_driver_shape(c: &mut Criterion) {
     println!("--- ablation: driver I-V shape ---");
     println!("{:<18} {:>8} {:>14}", "shape", "k", "Vpp @ 1 mA");
     for r in &runs {
-        println!("{:<18} {:>8.3} {:>13.3}V", r.shape, r.k_factor, r.amplitude_vpp);
+        println!(
+            "{:<18} {:>8.3} {:>13.3}V",
+            r.shape, r.k_factor, r.amplitude_vpp
+        );
     }
     println!("paper eq 3: k ≈ 0.9 for the linear approximation of Fig 2");
 

@@ -70,7 +70,10 @@ fn bench_corners(c: &mut Criterion) {
 fn bench_emc(c: &mut Criterion) {
     println!("--- extension: EMC harmonic analysis ---");
     let cfg = OscillatorConfig::datasheet_3mhz();
-    println!("{:>18} {:>13} {:>13} {:>10}", "driver shape", "current THD", "voltage THD", "cleanup");
+    println!(
+        "{:>18} {:>13} {:>13} {:>10}",
+        "driver shape", "current THD", "voltage THD", "cleanup"
+    );
     for (name, shape) in [
         ("hard-limit", DriverShape::HardLimit),
         ("linear-saturate", DriverShape::LinearSaturate { gm: 10e-3 }),

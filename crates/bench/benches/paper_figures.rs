@@ -47,7 +47,9 @@ fn bench_fig04(c: &mut Criterion) {
         100.0 * min,
         100.0 * max
     );
-    c.bench_function("fig04_relative_step", |b| b.iter(figures::fig04_relative_step));
+    c.bench_function("fig04_relative_step", |b| {
+        b.iter(figures::fig04_relative_step)
+    });
 }
 
 fn bench_table1(c: &mut Criterion) {
@@ -63,7 +65,9 @@ fn bench_fig13(c: &mut Criterion) {
         "full scale {:.3} mA (paper: ~24.8 mA at 12.5 uA/LSB)",
         pts[127].1 * 1e3
     );
-    c.bench_function("fig13_current_limit", |b| b.iter(figures::fig13_measured_current));
+    c.bench_function("fig13_current_limit", |b| {
+        b.iter(figures::fig13_measured_current)
+    });
 }
 
 fn bench_fig14(c: &mut Criterion) {
@@ -75,12 +79,18 @@ fn bench_fig14(c: &mut Criterion) {
                 println!(
                     "{code:>4} {:>9.4} {}",
                     s,
-                    if *s < 0.0 { "<-- negative (non-monotonic)" } else { "" }
+                    if *s < 0.0 {
+                        "<-- negative (non-monotonic)"
+                    } else {
+                        ""
+                    }
                 );
             }
         }
     }
-    c.bench_function("fig14_measured_step", |b| b.iter(figures::fig14_measured_step));
+    c.bench_function("fig14_measured_step", |b| {
+        b.iter(figures::fig14_measured_step)
+    });
 }
 
 criterion_group!(

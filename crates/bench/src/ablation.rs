@@ -40,19 +40,15 @@ pub fn window_width_sweep(widths: &[f64]) -> Vec<WindowAblation> {
             let cfg = OscillatorConfig::datasheet_3mhz();
             let target_peak = cfg.target_peak();
             let comparator = WindowComparator::centered(target_peak, window);
-            let mut envelope = EnvelopeModel::new(
-                cfg.tank,
-                GmDriver::new(cfg.driver_shape, 0.0),
-            )
-            .with_clamp(cfg.rail_clamp());
+            let mut envelope = EnvelopeModel::new(cfg.tank, GmDriver::new(cfg.driver_shape, 0.0))
+                .with_clamp(cfg.rail_clamp());
             let mut fsm = RegulationFsm::new(cfg.nvm_code, cfg.tick_period);
             let mut amp = 1e-3;
             let mut codes = Vec::with_capacity(160);
             for _ in 0..160 {
                 let i_max = cfg.dac.current(fsm.code()).value();
                 envelope.set_i_max(i_max);
-                let weight =
-                    lcosc_dac::ControlWord::encode(fsm.code()).gm_weight() as f64;
+                let weight = lcosc_dac::ControlWord::encode(fsm.code()).gm_weight() as f64;
                 if let DriverShape::LinearSaturate { gm } | DriverShape::Tanh { gm } =
                     cfg.driver_shape
                 {
@@ -137,9 +133,8 @@ fn run_dac_law(law: &'static str, units_of: impl Fn(Code) -> f64) -> DacLawAblat
         .fold(0.0f64, f64::max);
 
     let settle_from = |start: Code| {
-        let mut envelope =
-            EnvelopeModel::new(cfg.tank, GmDriver::new(cfg.driver_shape, 0.0))
-                .with_clamp(cfg.rail_clamp());
+        let mut envelope = EnvelopeModel::new(cfg.tank, GmDriver::new(cfg.driver_shape, 0.0))
+            .with_clamp(cfg.rail_clamp());
         let mut fsm = RegulationFsm::new(start, cfg.tick_period);
         let mut amp = 1e-3;
         let mut codes = Vec::with_capacity(200);
@@ -296,7 +291,11 @@ mod tests {
         assert!(!at(64).starts_worst_case_tank);
         // Everything settles on the nominal tank.
         for r in &runs {
-            assert!(r.settling_tick.is_some(), "preset {} never settled", r.preset);
+            assert!(
+                r.settling_tick.is_some(),
+                "preset {} never settled",
+                r.preset
+            );
         }
     }
 
@@ -304,7 +303,12 @@ mod tests {
     fn k_factor_near_0_9_for_limited_shapes() {
         let shapes = driver_shape_comparison();
         for s in &shapes {
-            assert!((s.k_factor - 0.9).abs() < 0.05, "{}: k = {}", s.shape, s.k_factor);
+            assert!(
+                (s.k_factor - 0.9).abs() < 0.05,
+                "{}: k = {}",
+                s.shape,
+                s.k_factor
+            );
             assert!(s.amplitude_vpp > 0.0);
         }
         // Hard limiter delivers the most fundamental current -> largest

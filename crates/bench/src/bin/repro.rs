@@ -7,10 +7,32 @@
 
 use lcosc_bench::csv::write_csv;
 use lcosc_bench::{ablation, figures};
+use lcosc_core::OscillatorConfig;
 use lcosc_pad::topology::PadTopology;
+use lcosc_safety::scenario::check_scenario;
 use std::path::PathBuf;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Lint every preset the figures are built on before spending minutes
+    // computing them (skippable with --unchecked for fault studies).
+    if !std::env::args().any(|a| a == "--unchecked") {
+        for (name, cfg) in [
+            ("datasheet_3mhz", OscillatorConfig::datasheet_3mhz()),
+            ("low_q", OscillatorConfig::low_q()),
+            ("fast_test", OscillatorConfig::fast_test()),
+        ] {
+            let report = check_scenario(&cfg);
+            if report.has_errors() {
+                eprintln!(
+                    "preset {name} fails the static check:\n{}",
+                    report.render_human()
+                );
+                std::process::exit(1);
+            }
+        }
+        println!("static check: all presets clean");
+    }
+
     let out = PathBuf::from("target/repro");
     println!("writing figure data to {}", out.display());
 

@@ -28,9 +28,7 @@ pub fn fig03_transfer() -> Vec<(u8, u32)> {
 
 /// Fig 4 — relative voltage step per code (`None` where undefined).
 pub fn fig04_relative_step() -> Vec<(u8, Option<f64>)> {
-    Code::all()
-        .map(|c| (c.value(), relative_step(c)))
-        .collect()
+    Code::all().map(|c| (c.value(), relative_step(c))).collect()
 }
 
 /// Table 1 — one row per segment (the control coding), formatted.
@@ -146,9 +144,8 @@ pub fn consumption_vs_q() -> Vec<(f64, f64, u8)> {
     let qs = [0.65, 1.5, 3.0, 6.5, 15.0, 30.0, 65.0];
     qs.iter()
         .map(|&q| {
-            let tank =
-                LcTank::with_q(Henries::from_micro(4.7), Farads::from_nano(1.5), q)
-                    .expect("tank is valid");
+            let tank = LcTank::with_q(Henries::from_micro(4.7), Farads::from_nano(1.5), q)
+                .expect("tank is valid");
             let mut cfg = OscillatorConfig::for_tank(tank);
             cfg.target_vpp = 2.7;
             cfg.nvm_code = cfg.recommended_nvm_code();
@@ -244,7 +241,11 @@ mod tests {
         // The first recorded tick already runs on the NVM code (the POR
         // preset only lasts the first 5 µs); regulation converges from it.
         let nvm = OscillatorConfig::datasheet_3mhz().nvm_code.value();
-        assert!((pts[0].1 as i32 - nvm as i32).abs() <= 1, "first code {}", pts[0].1);
+        assert!(
+            (pts[0].1 as i32 - nvm as i32).abs() <= 1,
+            "first code {}",
+            pts[0].1
+        );
     }
 
     #[test]

@@ -1,0 +1,660 @@
+//! Configuration and safety-invariant checks (the `C0xx` and `S0xx`
+//! families).
+//!
+//! The rules operate on plain-data *facts* structs rather than on
+//! `lcosc-core`'s `OscillatorConfig` directly, so that this crate stays at
+//! the bottom of the dependency graph: `lcosc-core` (and `lcosc-safety`)
+//! build the facts from their own types and feed them down.
+
+use crate::diag::{Provenance, Report};
+use lcosc_dac::{multiplication_factor, Code, ControlWord, SEGMENTS};
+
+/// Plain-data snapshot of an oscillator configuration, as needed by the
+/// `C0xx` rules. Built by `OscillatorConfig::facts()` in `lcosc-core`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigFacts {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Pin DC operating point, volts.
+    pub vref: f64,
+    /// Regulation target (differential peak-to-peak), volts.
+    pub target_vpp: f64,
+    /// Maximum per-pin amplitude the rails allow, volts.
+    pub rail_clamp: f64,
+    /// Window width relative to the target (total).
+    pub window_rel_width: f64,
+    /// Detector low-pass time constant, seconds.
+    pub detector_tau: f64,
+    /// Regulation tick period, seconds.
+    pub tick_period: f64,
+    /// POR-to-NVM-load delay, seconds.
+    pub nvm_delay: f64,
+    /// Cycle-mode ODE steps per oscillation period.
+    pub steps_per_period: usize,
+    /// Envelope-mode integrator substeps per tick.
+    pub envelope_substeps: usize,
+    /// RMS measurement noise on the detector output, volts.
+    pub detector_noise_rms: f64,
+    /// NVM startup code as a raw integer (pre-validation).
+    pub nvm_code: u32,
+}
+
+/// Plain-data snapshot of the safety-detector parameters, as needed by the
+/// `S0xx` rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SafetyFacts {
+    /// Window width relative to the regulation target (total).
+    pub window_rel_width: f64,
+    /// Largest relative DAC step in the regulated region (codes above 16).
+    pub max_rel_step: f64,
+    /// Lower window-comparator threshold on `VDC1`, volts.
+    pub window_low: f64,
+    /// Upper window-comparator threshold on `VDC1`, volts.
+    pub window_high: f64,
+    /// Missing-clock detector time-out, seconds.
+    pub missing_clock_timeout: f64,
+    /// Expected LC oscillation period, seconds.
+    pub lc_period: f64,
+    /// Low-amplitude detector threshold as a fraction of the target.
+    pub low_amplitude_fraction: f64,
+    /// Asymmetry detector trip threshold, volts.
+    pub asymmetry_threshold: f64,
+    /// RMS measurement noise on the detector output, volts.
+    pub detector_noise_rms: f64,
+}
+
+fn field(name: &'static str) -> Option<Provenance> {
+    Some(Provenance::Field(name))
+}
+
+/// Checks the `C0xx` rules on a configuration snapshot, including the
+/// Table 1 bus encoding of the NVM code.
+pub fn check_config_facts(f: &ConfigFacts) -> Report {
+    let mut report = Report::new();
+    if !(f.target_vpp > 0.0 && f.target_vpp.is_finite()) {
+        report.error(
+            "C001",
+            format!("target_vpp = {} must be positive and finite", f.target_vpp),
+            field("target_vpp"),
+        );
+    }
+    if !(f.vdd > 0.0 && f.vref > 0.0 && f.vref < f.vdd) {
+        report.error(
+            "C002",
+            format!(
+                "vref = {} must sit strictly between 0 and vdd = {}",
+                f.vref, f.vdd
+            ),
+            field("vref"),
+        );
+    }
+    if f.target_vpp.is_finite() && !(f.target_vpp < 4.0 * f.rail_clamp) {
+        report.error(
+            "C003",
+            format!(
+                "target_vpp = {} exceeds the 4×rail_clamp = {} swing the rails allow",
+                f.target_vpp,
+                4.0 * f.rail_clamp
+            ),
+            field("target_vpp"),
+        );
+    }
+    if !(f.detector_tau > 0.0 && f.detector_tau.is_finite()) {
+        report.error(
+            "C004",
+            format!("detector_tau = {} must be positive", f.detector_tau),
+            field("detector_tau"),
+        );
+    }
+    if !(f.tick_period > 10.0 * f.detector_tau) {
+        report.error(
+            "C005",
+            format!(
+                "tick_period = {} must exceed 10×detector_tau = {} (the detector must settle within a tick)",
+                f.tick_period,
+                10.0 * f.detector_tau
+            ),
+            field("tick_period"),
+        );
+    }
+    if !(f.nvm_delay > 0.0 && f.nvm_delay < f.tick_period) {
+        report.error(
+            "C006",
+            format!(
+                "nvm_delay = {} must fall inside the first tick (0, {})",
+                f.nvm_delay, f.tick_period
+            ),
+            field("nvm_delay"),
+        );
+    }
+    if f.steps_per_period < 20 {
+        report.error(
+            "C007",
+            format!(
+                "steps_per_period = {} is below the minimum of 20",
+                f.steps_per_period
+            ),
+            field("steps_per_period"),
+        );
+    }
+    if f.envelope_substeps == 0 {
+        report.error(
+            "C008",
+            "envelope_substeps must be at least 1".into(),
+            field("envelope_substeps"),
+        );
+    }
+    if !(f.detector_noise_rms >= 0.0 && f.detector_noise_rms.is_finite()) {
+        report.error(
+            "C009",
+            format!(
+                "detector_noise_rms = {} must be finite and non-negative",
+                f.detector_noise_rms
+            ),
+            field("detector_noise_rms"),
+        );
+    }
+    if !(f.window_rel_width > 0.0625) {
+        report.error(
+            "S001",
+            format!(
+                "window_rel_width = {} must exceed the 6.25 % maximum relative DAC step (paper §3)",
+                f.window_rel_width
+            ),
+            field("window_rel_width"),
+        );
+    }
+    match Code::new(f.nvm_code) {
+        Err(_) => {
+            report.error(
+                "C010",
+                format!(
+                    "nvm_code = {} is outside the 7-bit range 0..=127",
+                    f.nvm_code
+                ),
+                field("nvm_code"),
+            );
+        }
+        Ok(code) => {
+            report.merge(check_control_word(&ControlWord::encode(code)));
+            if code.value() < 16 {
+                report.info(
+                    "C010",
+                    format!(
+                        "nvm_code = {} sits in segment 0 where the relative DAC step exceeds 6.25 % (paper §3 keeps the regulated code above 16)",
+                        code.value()
+                    ),
+                    field("nvm_code"),
+                );
+            }
+        }
+    }
+    report.merge(check_segment_table());
+    report.merge(check_dac_monotonicity());
+    report
+}
+
+/// C011: a [`ControlWord`] must be one of Table 1's rows — thermometer
+/// `OscD`, ascending-enable `OscE`, and `OscF` data bits confined to the
+/// segment's nibble position.
+pub fn check_control_word(w: &ControlWord) -> Report {
+    let mut report = Report::new();
+    const OSC_D_VALID: [u8; 4] = [0b000, 0b001, 0b011, 0b111];
+    const OSC_E_VALID: [u8; 5] = [0b0000, 0b0001, 0b0011, 0b0111, 0b1111];
+    if !OSC_D_VALID.contains(&w.osc_d) {
+        report.error(
+            "C011",
+            format!(
+                "OscD = {:03b} is not a thermometer pattern (000/001/011/111)",
+                w.osc_d
+            ),
+            field("osc_d"),
+        );
+    }
+    if !OSC_E_VALID.contains(&w.osc_e) {
+        report.error(
+            "C011",
+            format!(
+                "OscE = {:04b} is not an ascending enable pattern (0000/0001/0011/0111/1111)",
+                w.osc_e
+            ),
+            field("osc_e"),
+        );
+    }
+    if w.osc_f > 0x7F {
+        report.error(
+            "C011",
+            format!("OscF = {:#04x} does not fit the 7-bit bus", w.osc_f),
+            field("osc_f"),
+        );
+    }
+    // Only flag placement when the buses themselves were valid.
+    if !report.has_errors() && w.decode().is_err() {
+        report.error(
+            "C011",
+            format!("{w} does not correspond to any Table 1 row"),
+            field("osc_f"),
+        );
+    }
+    report
+}
+
+/// C012: structural invariants of the 8-segment PWL table — ranges tile
+/// `0..=1984` seamlessly, steps double from segment 2 on, and each segment's
+/// `prescale`/`OscF` shift reproduces its step and fixed offset.
+pub fn check_segment_table() -> Report {
+    let mut report = Report::new();
+    let mut prev: Option<(u32, u32)> = None;
+    for seg in &SEGMENTS {
+        let p = Provenance::Field("dac segment table");
+        if seg.range_max != seg.range_min + 15 * seg.step {
+            report.error(
+                "C012",
+                format!(
+                    "segment {}: range {}..{} does not span 15 steps of {}",
+                    seg.index, seg.range_min, seg.range_max, seg.step
+                ),
+                Some(p.clone()),
+            );
+        }
+        if seg.prescale * (1 << seg.oscf_shift) != seg.step {
+            report.error(
+                "C012",
+                format!(
+                    "segment {}: prescale {} × 2^{} does not reproduce the step {}",
+                    seg.index, seg.prescale, seg.oscf_shift, seg.step
+                ),
+                Some(p.clone()),
+            );
+        }
+        if seg.prescale * seg.fixed_units() != seg.range_min {
+            report.error(
+                "C012",
+                format!(
+                    "segment {}: prescale {} × fixed {} does not reproduce the range start {}",
+                    seg.index,
+                    seg.prescale,
+                    seg.fixed_units(),
+                    seg.range_min
+                ),
+                Some(p.clone()),
+            );
+        }
+        if let Some((pm, ps)) = prev {
+            if seg.range_min != pm + ps {
+                report.error(
+                    "C012",
+                    format!(
+                        "segment {}: range start {} does not continue the previous segment (expected {})",
+                        seg.index,
+                        seg.range_min,
+                        pm + ps
+                    ),
+                    Some(p),
+                );
+            }
+        }
+        prev = Some((seg.range_max, seg.step));
+    }
+    report
+}
+
+/// C013: the ideal code-to-units transfer must be strictly increasing —
+/// a non-monotonic staircase makes the ±1 regulation loop hunt.
+pub fn check_dac_monotonicity() -> Report {
+    let mut report = Report::new();
+    let mut prev: Option<(Code, u32)> = None;
+    for code in Code::all() {
+        let units = multiplication_factor(code);
+        if let Some((pc, pu)) = prev {
+            if units <= pu && code.value() > 0 {
+                report.warning(
+                    "C013",
+                    format!(
+                        "transfer is not increasing: M({}) = {} but M({}) = {}",
+                        pc, pu, code, units
+                    ),
+                    field("dac transfer"),
+                );
+            }
+        }
+        prev = Some((code, units));
+    }
+    report
+}
+
+/// Checks the `S0xx` safety-invariant rules on a detector snapshot.
+pub fn check_safety_facts(f: &SafetyFacts) -> Report {
+    let mut report = Report::new();
+    if !(f.window_rel_width > f.max_rel_step) {
+        report.error(
+            "S001",
+            format!(
+                "window_rel_width = {} must exceed the maximum relative DAC step {} (paper §4: otherwise no code lands inside the window and the loop hunts forever)",
+                f.window_rel_width, f.max_rel_step
+            ),
+            field("window_rel_width"),
+        );
+    }
+    if !(f.window_low < f.window_high) {
+        report.error(
+            "S002",
+            format!(
+                "window thresholds are not ordered: low = {} must be below high = {}",
+                f.window_low, f.window_high
+            ),
+            field("window_low"),
+        );
+    }
+    if !(f.missing_clock_timeout > 0.0) || f.missing_clock_timeout < 4.0 * f.lc_period {
+        report.error(
+            "S003",
+            format!(
+                "missing-clock timeout = {} is shorter than 4 LC periods ({}): the detector would trip on a healthy clock",
+                f.missing_clock_timeout,
+                4.0 * f.lc_period
+            ),
+            field("missing_clock_timeout"),
+        );
+    } else if f.missing_clock_timeout > 1e5 * f.lc_period {
+        report.warning(
+            "S004",
+            format!(
+                "missing-clock timeout = {} spans more than 1e5 LC periods: fault detection may be too slow for the fault-tolerant time interval",
+                f.missing_clock_timeout
+            ),
+            field("missing_clock_timeout"),
+        );
+    }
+    if !(f.low_amplitude_fraction > 0.0 && f.low_amplitude_fraction < 1.0) {
+        report.error(
+            "S005",
+            format!(
+                "low_amplitude_fraction = {} must lie strictly inside (0, 1)",
+                f.low_amplitude_fraction
+            ),
+            field("low_amplitude_fraction"),
+        );
+    }
+    if !(f.asymmetry_threshold > 0.0 && f.asymmetry_threshold.is_finite()) {
+        report.error(
+            "S006",
+            format!(
+                "asymmetry_threshold = {} must be positive and finite",
+                f.asymmetry_threshold
+            ),
+            field("asymmetry_threshold"),
+        );
+    }
+    let half_window = 0.5 * (f.window_high - f.window_low);
+    if half_window > 0.0 && f.detector_noise_rms > 0.5 * half_window {
+        report.warning(
+            "S007",
+            format!(
+                "detector_noise_rms = {} exceeds half the window half-width {}: the comparator decision will chatter",
+                f.detector_noise_rms, half_window
+            ),
+            field("detector_noise_rms"),
+        );
+    }
+    report
+}
+
+/// The largest relative step of the ideal DAC transfer over the regulated
+/// region (codes above 16, paper §3's 6.25 % bound).
+pub fn ideal_max_rel_step_above_16() -> f64 {
+    let mut max_rel = 0.0f64;
+    for code in Code::all().filter(|c| c.value() >= 16) {
+        let here = multiplication_factor(code) as f64;
+        let next = code.increment();
+        if next == code {
+            break;
+        }
+        let there = multiplication_factor(next) as f64;
+        if here > 0.0 {
+            max_rel = max_rel.max((there - here) / here);
+        }
+    }
+    max_rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good_config() -> ConfigFacts {
+        ConfigFacts {
+            vdd: 3.3,
+            vref: 1.65,
+            target_vpp: 2.7,
+            rail_clamp: 1.65,
+            window_rel_width: 0.15,
+            detector_tau: 30e-6,
+            tick_period: 1e-3,
+            nvm_delay: 5e-6,
+            steps_per_period: 60,
+            envelope_substeps: 256,
+            detector_noise_rms: 0.0,
+            nvm_code: 105,
+        }
+    }
+
+    fn good_safety() -> SafetyFacts {
+        SafetyFacts {
+            window_rel_width: 0.15,
+            max_rel_step: 0.0625,
+            window_low: 0.397,
+            window_high: 0.462,
+            missing_clock_timeout: 100e-6,
+            lc_period: 0.37e-6,
+            low_amplitude_fraction: 0.6,
+            asymmetry_threshold: 0.05,
+            detector_noise_rms: 0.0,
+        }
+    }
+
+    #[test]
+    fn nominal_facts_are_clean() {
+        let r = check_config_facts(&good_config());
+        assert!(r.is_clean(), "{}", r.render_human());
+        let r = check_safety_facts(&good_safety());
+        assert!(r.is_clean(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn c001_bad_target() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let mut f = good_config();
+            f.target_vpp = bad;
+            let r = check_config_facts(&f);
+            assert!(r.contains("C001"), "target {bad}: {}", r.render_human());
+            assert!(r.has_errors());
+        }
+    }
+
+    #[test]
+    fn c002_vref_outside_rails() {
+        let mut f = good_config();
+        f.vref = 3.4;
+        assert!(check_config_facts(&f).contains("C002"));
+        f.vref = -0.1;
+        assert!(check_config_facts(&f).contains("C002"));
+    }
+
+    #[test]
+    fn c003_target_beyond_rails() {
+        let mut f = good_config();
+        f.target_vpp = 7.0; // > 4 × 1.65
+        let r = check_config_facts(&f);
+        assert!(r.contains("C003"), "{}", r.render_human());
+    }
+
+    #[test]
+    fn c004_c005_detector_timing() {
+        let mut f = good_config();
+        f.detector_tau = 0.0;
+        let r = check_config_facts(&f);
+        assert!(r.contains("C004"));
+        let mut f = good_config();
+        f.detector_tau = f.tick_period; // slower than the loop
+        assert!(check_config_facts(&f).contains("C005"));
+    }
+
+    #[test]
+    fn c006_nvm_delay() {
+        let mut f = good_config();
+        f.nvm_delay = 2e-3;
+        assert!(check_config_facts(&f).contains("C006"));
+        f.nvm_delay = 0.0;
+        assert!(check_config_facts(&f).contains("C006"));
+    }
+
+    #[test]
+    fn c007_c008_discretization() {
+        let mut f = good_config();
+        f.steps_per_period = 5;
+        assert!(check_config_facts(&f).contains("C007"));
+        let mut f = good_config();
+        f.envelope_substeps = 0;
+        assert!(check_config_facts(&f).contains("C008"));
+    }
+
+    #[test]
+    fn c009_noise() {
+        let mut f = good_config();
+        f.detector_noise_rms = -1.0;
+        assert!(check_config_facts(&f).contains("C009"));
+        f.detector_noise_rms = f64::NAN;
+        assert!(check_config_facts(&f).contains("C009"));
+    }
+
+    #[test]
+    fn c010_code_out_of_range() {
+        let mut f = good_config();
+        f.nvm_code = 200;
+        let r = check_config_facts(&f);
+        assert!(r.contains("C010"), "{}", r.render_human());
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn c010_low_code_is_informational() {
+        let mut f = good_config();
+        f.nvm_code = 5;
+        let r = check_config_facts(&f);
+        assert!(r.contains("C010"));
+        assert!(!r.has_errors(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn c011_bad_bus_patterns() {
+        let w = ControlWord {
+            osc_d: 0b010,
+            osc_e: 0b0101,
+            osc_f: 0,
+        };
+        let r = check_control_word(&w);
+        assert!(r.contains("C011"));
+        assert_eq!(r.error_count(), 2, "{}", r.render_human());
+    }
+
+    #[test]
+    fn c011_stray_oscf_bits() {
+        // Valid buses for segment 7 but data bits below the shift position.
+        let w = ControlWord {
+            osc_d: 0b111,
+            osc_e: 0b1111,
+            osc_f: 0b0000101,
+        };
+        let r = check_control_word(&w);
+        assert!(r.contains("C011"), "{}", r.render_human());
+    }
+
+    #[test]
+    fn every_table1_row_is_accepted() {
+        for code in Code::all() {
+            let r = check_control_word(&ControlWord::encode(code));
+            assert!(r.is_clean(), "code {code}: {}", r.render_human());
+        }
+    }
+
+    #[test]
+    fn segment_table_and_monotonicity_hold() {
+        assert!(check_segment_table().is_clean());
+        assert!(check_dac_monotonicity().is_clean());
+    }
+
+    #[test]
+    fn s001_fires_from_the_config_pass_too() {
+        let mut f = good_config();
+        f.window_rel_width = 0.05;
+        let r = check_config_facts(&f);
+        assert!(r.contains("S001"), "{}", r.render_human());
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn s001_narrow_window() {
+        let mut f = good_safety();
+        f.window_rel_width = 0.05;
+        let r = check_safety_facts(&f);
+        assert!(r.contains("S001"), "{}", r.render_human());
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn s002_inverted_thresholds() {
+        let mut f = good_safety();
+        f.window_low = f.window_high + 0.1;
+        assert!(check_safety_facts(&f).contains("S002"));
+    }
+
+    #[test]
+    fn s003_timeout_too_short() {
+        let mut f = good_safety();
+        f.missing_clock_timeout = f.lc_period; // one period: trips on healthy clock
+        let r = check_safety_facts(&f);
+        assert!(r.contains("S003"), "{}", r.render_human());
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn s004_timeout_too_long_warns() {
+        let mut f = good_safety();
+        f.missing_clock_timeout = 1.0; // 1 s at MHz clocks
+        let r = check_safety_facts(&f);
+        assert!(r.contains("S004"));
+        assert!(!r.has_errors(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn s005_fraction_bounds() {
+        for bad in [0.0, 1.0, -0.5, 1.5] {
+            let mut f = good_safety();
+            f.low_amplitude_fraction = bad;
+            assert!(check_safety_facts(&f).contains("S005"), "fraction {bad}");
+        }
+    }
+
+    #[test]
+    fn s006_asymmetry_threshold() {
+        let mut f = good_safety();
+        f.asymmetry_threshold = 0.0;
+        assert!(check_safety_facts(&f).contains("S006"));
+    }
+
+    #[test]
+    fn s007_noise_chatter_warns() {
+        let mut f = good_safety();
+        f.detector_noise_rms = 0.03; // vs half-window ≈ 0.0325
+        let r = check_safety_facts(&f);
+        assert!(r.contains("S007"));
+        assert!(!r.has_errors(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn ideal_max_rel_step_is_one_sixteenth() {
+        let m = ideal_max_rel_step_above_16();
+        assert!((m - 0.0625).abs() < 1e-12, "max rel step {m}");
+    }
+}

@@ -1,0 +1,420 @@
+//! The diagnostics engine: severities, stable codes, provenance and the
+//! [`Report`] collection with human-readable and JSON rendering.
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational note; never fails a check.
+    Info,
+    /// Suspicious but not necessarily wrong; does not fail a check.
+    Warning,
+    /// A rule violation; the checked artifact must be rejected.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Where a diagnostic points: the netlist element, node or configuration
+/// field that violated the rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Provenance {
+    /// A netlist element, by insertion index and kind (`"resistor"`, ...),
+    /// optionally narrowing to one field (`"ohms"`, ...).
+    Element {
+        /// Element index in insertion order.
+        index: usize,
+        /// Element kind name.
+        kind: &'static str,
+        /// Offending field, empty when the whole element is meant.
+        field: &'static str,
+    },
+    /// A netlist node, by index and name.
+    Node {
+        /// Node index (0 is ground).
+        index: usize,
+        /// Node name.
+        name: String,
+    },
+    /// A configuration field, by name.
+    Field(&'static str),
+}
+
+impl std::fmt::Display for Provenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Provenance::Element { index, kind, field } => {
+                if field.is_empty() {
+                    write!(f, "element #{index} ({kind})")
+                } else {
+                    write!(f, "element #{index} ({kind}.{field})")
+                }
+            }
+            Provenance::Node { index, name } => write!(f, "node #{index} ({name})"),
+            Provenance::Field(name) => write!(f, "config field {name}"),
+        }
+    }
+}
+
+/// One finding of the static verification pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code (`E0xx` netlist, `C0xx` config, `S0xx` safety).
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// What the diagnostic points at, when known.
+    pub provenance: Option<Provenance>,
+}
+
+/// The collected outcome of a verification pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty (clean) report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    /// Appends an error with provenance.
+    pub fn error(&mut self, code: &'static str, message: String, provenance: Option<Provenance>) {
+        self.push(Diagnostic {
+            code,
+            severity: Severity::Error,
+            message,
+            provenance,
+        });
+    }
+
+    /// Appends a warning with provenance.
+    pub fn warning(&mut self, code: &'static str, message: String, provenance: Option<Provenance>) {
+        self.push(Diagnostic {
+            code,
+            severity: Severity::Warning,
+            message,
+            provenance,
+        });
+    }
+
+    /// Appends an informational note.
+    pub fn info(&mut self, code: &'static str, message: String, provenance: Option<Provenance>) {
+        self.push(Diagnostic {
+            code,
+            severity: Severity::Info,
+            message,
+            provenance,
+        });
+    }
+
+    /// Moves every diagnostic of `other` into this report.
+    pub fn merge(&mut self, other: Report) {
+        self.diags.extend(other.diags);
+    }
+
+    /// All diagnostics in emission order.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether any error-severity diagnostic was emitted.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Whether the report is entirely empty.
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Whether a diagnostic with the given code is present.
+    pub fn contains(&self, code: &str) -> bool {
+        self.diags.iter().any(|d| d.code == code)
+    }
+
+    /// Distinct codes present, in first-emission order.
+    pub fn codes(&self) -> Vec<&'static str> {
+        let mut seen = Vec::new();
+        for d in &self.diags {
+            if !seen.contains(&d.code) {
+                seen.push(d.code);
+            }
+        }
+        seen
+    }
+
+    /// Renders the report for terminals: one `severity[code] message @
+    /// provenance` line per diagnostic plus a summary line.
+    pub fn render_human(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.diags {
+            let _ = write!(out, "{}[{}] {}", d.severity, d.code, d.message);
+            if let Some(p) = &d.provenance {
+                let _ = write!(out, " @ {p}");
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "check: {} error(s), {} warning(s), {} diagnostic(s)",
+            self.error_count(),
+            self.warning_count(),
+            self.diags.len()
+        );
+        out
+    }
+
+    /// Renders the report as a JSON object
+    /// `{"errors": N, "warnings": N, "diagnostics": [...]}` (hand-rolled;
+    /// the workspace builds offline without serde).
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+            self.error_count(),
+            self.warning_count()
+        );
+        for (k, d) in self.diags.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"",
+                d.code,
+                d.severity,
+                escape_json(&d.message)
+            );
+            if let Some(p) = &d.provenance {
+                let _ = write!(out, ",\"provenance\":\"{}\"", escape_json(&p.to_string()));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The full diagnostic-code registry: `(code, one-line description)`.
+///
+/// Codes are stable: tests, documentation and downstream tooling key on
+/// them, so entries are append-only.
+pub const ALL_CODES: &[(&str, &str)] = &[
+    ("E001", "node is not connected to any element"),
+    ("E002", "node dangles from a single element terminal"),
+    ("E003", "node has no DC conduction path to ground"),
+    ("E004", "loop of voltage sources and/or inductors"),
+    ("E005", "element value is zero or negative"),
+    ("E006", "element value is not a finite number"),
+    (
+        "E007",
+        "element value is outside the physically plausible range",
+    ),
+    ("E008", "element connects both terminals to the same node"),
+    ("E009", "MNA matrix is structurally singular without gmin"),
+    ("E010", "netlist contains no elements"),
+    ("C001", "target amplitude must be positive and finite"),
+    ("C002", "vref must sit strictly between the supply rails"),
+    ("C003", "target amplitude exceeds what the rails can swing"),
+    ("C004", "detector time constant must be positive"),
+    (
+        "C005",
+        "tick period must dominate the detector time constant",
+    ),
+    ("C006", "NVM load delay must fall within the first tick"),
+    (
+        "C007",
+        "cycle fidelity needs at least 20 ODE steps per period",
+    ),
+    (
+        "C008",
+        "envelope fidelity needs at least one substep per tick",
+    ),
+    ("C009", "detector noise RMS must be finite and non-negative"),
+    ("C010", "NVM code is outside the 7-bit DAC range"),
+    ("C011", "control-bus encoding is not a Table 1 row"),
+    (
+        "C012",
+        "DAC segment table violates its structural invariants",
+    ),
+    (
+        "C013",
+        "DAC transfer is not monotonic above the first segments",
+    ),
+    (
+        "S001",
+        "comparator window is narrower than the maximum DAC step",
+    ),
+    ("S002", "window thresholds are not ordered (low < high)"),
+    (
+        "S003",
+        "missing-clock timeout is shorter than a few LC periods",
+    ),
+    (
+        "S004",
+        "missing-clock timeout is excessively long for detection",
+    ),
+    ("S005", "low-amplitude threshold fraction must be in (0, 1)"),
+    (
+        "S006",
+        "asymmetry detector threshold must be positive and finite",
+    ),
+    (
+        "S007",
+        "detector noise is large compared to the window width",
+    ),
+];
+
+/// One-line description of a diagnostic code, if registered.
+pub fn describe(code: &str) -> Option<&'static str> {
+    ALL_CODES.iter().find(|(c, _)| *c == code).map(|(_, d)| *d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new();
+        r.error(
+            "E005",
+            "resistance is -1".into(),
+            Some(Provenance::Element {
+                index: 3,
+                kind: "resistor",
+                field: "ohms",
+            }),
+        );
+        r.warning(
+            "E002",
+            "dangling \"node\"".into(),
+            Some(Provenance::Node {
+                index: 2,
+                name: "out".into(),
+            }),
+        );
+        r.info("E010", "empty".into(), None);
+        r
+    }
+
+    #[test]
+    fn counting_and_queries() {
+        let r = sample();
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r.has_errors());
+        assert!(!r.is_clean());
+        assert!(r.contains("E005"));
+        assert!(!r.contains("E001"));
+        assert_eq!(r.codes(), vec!["E005", "E002", "E010"]);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = sample();
+        a.merge(sample());
+        assert_eq!(a.diagnostics().len(), 6);
+        assert_eq!(a.error_count(), 2);
+    }
+
+    #[test]
+    fn human_rendering_lists_every_line() {
+        let text = sample().render_human();
+        assert!(text.contains("error[E005] resistance is -1 @ element #3 (resistor.ohms)"));
+        assert!(text.contains("warning[E002]"));
+        assert!(text.contains("node #2 (out)"));
+        assert!(text.contains("1 error(s), 1 warning(s), 3 diagnostic(s)"));
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let json = sample().render_json();
+        assert!(json.starts_with("{\"errors\":1,\"warnings\":1,"));
+        assert!(json.contains("\\\"node\\\""), "quotes escaped: {json}");
+        assert!(json.ends_with("]}"));
+        // Balanced braces/brackets (cheap structural sanity check).
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        assert_eq!(escape_json("a\tb\nc\"d\\e"), "a\\tb\\nc\\\"d\\\\e");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn registry_is_unique_and_described() {
+        let mut codes: Vec<&str> = ALL_CODES.iter().map(|(c, _)| *c).collect();
+        let n = codes.len();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), n, "duplicate code in registry");
+        assert_eq!(
+            describe("E003"),
+            Some("node has no DC conduction path to ground")
+        );
+        assert_eq!(describe("Z999"), None);
+    }
+
+    #[test]
+    fn severity_ordering_puts_error_on_top() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+}

@@ -1,0 +1,43 @@
+//! `lcosc-check` — static ERC/DRC verification pass for the lcosc
+//! workspace.
+//!
+//! The crate lints the three artifact classes the simulator consumes
+//! *before* any matrix is factored or any transient step is taken, in the
+//! spirit of a SPICE electrical-rule check:
+//!
+//! - **Netlists** ([`check_netlist`], codes `E0xx`): floating and dangling
+//!   nodes, nodes with no DC conduction path to ground, voltage-source and
+//!   inductor loops, zero/negative/non-finite/implausible element values,
+//!   self-loops, and structural singularity of the MNA matrix (a
+//!   bipartite-matching test on the DC stamp pattern, deliberately
+//!   excluding the solver's `gmin` crutches).
+//! - **Configurations** ([`check_config_facts`], codes `C0xx`): the
+//!   oscillator-driver configuration invariants, the Table 1 control-bus
+//!   encodings ([`check_control_word`]), the 8-segment PWL DAC table
+//!   ([`check_segment_table`]) and transfer monotonicity
+//!   ([`check_dac_monotonicity`]).
+//! - **Safety parameters** ([`check_safety_facts`], codes `S0xx`): the
+//!   paper's window-wider-than-DAC-step invariant (§3/§4), window
+//!   threshold ordering, missing-clock timeout versus the LC period, and
+//!   detector threshold sanity.
+//!
+//! Findings come back as a [`Report`] of [`Diagnostic`]s with stable codes
+//! (registered append-only in [`ALL_CODES`]), a [`Severity`], provenance
+//! down to the element/field, and both human-readable and JSON rendering.
+//! The crate sits at the bottom of the workspace dependency graph —
+//! `lcosc-core` and `lcosc-safety` call into it at their entry points and
+//! surface failures as typed errors, and the `lcosc-check` CLI binary
+//! lints decks ([`parse_deck`]) and presets from the command line.
+
+pub mod config;
+pub mod diag;
+pub mod netlist;
+pub mod parse;
+
+pub use config::{
+    check_config_facts, check_control_word, check_dac_monotonicity, check_safety_facts,
+    check_segment_table, ideal_max_rel_step_above_16, ConfigFacts, SafetyFacts,
+};
+pub use diag::{describe, Diagnostic, Provenance, Report, Severity, ALL_CODES};
+pub use netlist::check_netlist;
+pub use parse::{parse_deck, ParseError};

@@ -1,0 +1,525 @@
+//! Netlist electrical-rule checks (the `E0xx` family).
+//!
+//! Mirrors classic SPICE ERC/lint passes: connectivity (floating and
+//! dangling nodes, no DC path to ground), degenerate topology (voltage
+//! source/inductor loops, self-loop elements), value sanity (zero,
+//! negative, non-finite, implausible) and a structural-singularity
+//! pre-check of the MNA stamp pattern.
+
+use crate::diag::{Provenance, Report};
+use lcosc_circuit::netlist::{element_terminals, Element, Netlist, NodeId, Waveform};
+use lcosc_circuit::stamp::dc_stamp_pattern;
+
+/// Short kind name of an element, used for provenance.
+fn kind(e: &Element) -> &'static str {
+    match e {
+        Element::Resistor { .. } => "resistor",
+        Element::Capacitor { .. } => "capacitor",
+        Element::Inductor { .. } => "inductor",
+        Element::VoltageSource { .. } => "vsource",
+        Element::CurrentSource { .. } => "isource",
+        Element::Vccs { .. } => "vccs",
+        Element::Diode { .. } => "diode",
+        Element::Mosfet { .. } => "mosfet",
+        Element::Switch { .. } => "switch",
+    }
+}
+
+fn elem(index: usize, e: &Element, field: &'static str) -> Option<Provenance> {
+    Some(Provenance::Element {
+        index,
+        kind: kind(e),
+        field,
+    })
+}
+
+fn node(nl: &Netlist, n: NodeId) -> Option<Provenance> {
+    Some(Provenance::Node {
+        index: n.index(),
+        name: nl.node_name(n).to_string(),
+    })
+}
+
+/// Runs every netlist rule and returns the collected report.
+pub fn check_netlist(nl: &Netlist) -> Report {
+    let mut report = Report::new();
+    check_values(nl, &mut report);
+    check_self_loops(nl, &mut report);
+    check_connectivity(nl, &mut report);
+    check_source_loops(nl, &mut report);
+    check_structure(nl, &mut report);
+    if nl.elements().is_empty() {
+        report.warning("E010", "netlist contains no elements".into(), None);
+    }
+    report
+}
+
+/// E005/E006/E007: component-value sanity.
+fn check_values(nl: &Netlist, report: &mut Report) {
+    for (k, e) in nl.elements().iter().enumerate() {
+        // (value, field, plausible range) triples for positive-definite values.
+        let positive: &[(f64, &'static str, f64, f64)] = match e {
+            Element::Resistor { ohms, .. } => &[(*ohms, "ohms", 1e-3, 1e12)],
+            Element::Capacitor { farads, .. } => &[(*farads, "farads", 1e-18, 1.0)],
+            Element::Inductor { henries, .. } => &[(*henries, "henries", 1e-12, 1e3)],
+            Element::Switch { r_on, r_off, .. } => {
+                &[(*r_on, "r_on", 1e-3, 1e12), (*r_off, "r_off", 1e-3, 1e12)]
+            }
+            _ => &[],
+        };
+        for &(v, field, lo, hi) in positive {
+            if !v.is_finite() {
+                report.error(
+                    "E006",
+                    format!("{} {field} = {v} is not finite", kind(e)),
+                    elem(k, e, field),
+                );
+            } else if v <= 0.0 {
+                report.error(
+                    "E005",
+                    format!("{} {field} = {v:e} must be positive", kind(e)),
+                    elem(k, e, field),
+                );
+            } else if v < lo || v > hi {
+                report.warning(
+                    "E007",
+                    format!(
+                        "{} {field} = {v:e} is outside the plausible range [{lo:e}, {hi:e}]",
+                        kind(e)
+                    ),
+                    elem(k, e, field),
+                );
+            }
+        }
+        // Signed values only need to be finite (and plausibly bounded).
+        let signed: &[(f64, &'static str, f64)] = match e {
+            Element::Capacitor { v0, .. } => &[(*v0, "v0", 1e3)],
+            Element::Inductor { i0, .. } => &[(*i0, "i0", 1e3)],
+            Element::Vccs { gm, .. } => &[(*gm, "gm", 1e3)],
+            Element::VoltageSource { wave, .. } => &[(wave.dc_value(), "wave", 1e6)],
+            Element::CurrentSource { wave, .. } => &[(wave.dc_value(), "wave", 1e6)],
+            _ => &[],
+        };
+        for &(v, field, bound) in signed {
+            if !v.is_finite() {
+                report.error(
+                    "E006",
+                    format!("{} {field} = {v} is not finite", kind(e)),
+                    elem(k, e, field),
+                );
+            } else if v.abs() > bound {
+                report.warning(
+                    "E007",
+                    format!(
+                        "{} {field} = {v:e} exceeds the plausible magnitude {bound:e}",
+                        kind(e)
+                    ),
+                    elem(k, e, field),
+                );
+            }
+        }
+        // PWL waveforms must have finite, time-ordered points.
+        if let Element::VoltageSource {
+            wave: Waveform::Pwl(pts),
+            ..
+        }
+        | Element::CurrentSource {
+            wave: Waveform::Pwl(pts),
+            ..
+        } = e
+        {
+            if pts.iter().any(|(t, v)| !t.is_finite() || !v.is_finite()) {
+                report.error(
+                    "E006",
+                    format!("{} pwl contains a non-finite point", kind(e)),
+                    elem(k, e, "wave"),
+                );
+            }
+        }
+    }
+}
+
+/// E008: both terminals on the same node.
+fn check_self_loops(nl: &Netlist, report: &mut Report) {
+    for (k, e) in nl.elements().iter().enumerate() {
+        let degenerate = match e {
+            Element::Resistor { a, b, .. }
+            | Element::Capacitor { a, b, .. }
+            | Element::Inductor { a, b, .. }
+            | Element::Switch { a, b, .. } => a == b,
+            Element::VoltageSource { p, n, .. } | Element::CurrentSource { p, n, .. } => p == n,
+            Element::Vccs { out_p, out_n, .. } => out_p == out_n,
+            Element::Diode { anode, cathode, .. } => anode == cathode,
+            Element::Mosfet { .. } => false, // shared terminals are legal (diode-connected etc.)
+        };
+        if degenerate {
+            // A shorted voltage source demands 0 = wave: contradictory for
+            // any non-zero value and singular either way.
+            if matches!(e, Element::VoltageSource { .. }) {
+                report.error(
+                    "E008",
+                    "voltage source shorts its own terminals".into(),
+                    elem(k, e, ""),
+                );
+            } else {
+                report.warning(
+                    "E008",
+                    format!(
+                        "{} connects both terminals to the same node (no effect)",
+                        kind(e)
+                    ),
+                    elem(k, e, ""),
+                );
+            }
+        }
+    }
+}
+
+/// Whether an element conducts DC between two of its terminals, and which
+/// node pair it bridges (for the ground-path search).
+fn dc_conducting_pair(e: &Element) -> Option<(NodeId, NodeId)> {
+    match e {
+        Element::Resistor { a, b, .. }
+        | Element::Inductor { a, b, .. }
+        | Element::Switch { a, b, .. } => Some((*a, *b)),
+        Element::VoltageSource { p, n, .. } => Some((*p, *n)),
+        Element::Diode { anode, cathode, .. } => Some((*anode, *cathode)),
+        // The channel conducts drain<->source; gate and bulk are insulated
+        // in this behavioral model.
+        Element::Mosfet { d, s, .. } => Some((*d, *s)),
+        // Capacitors are DC-open; current sources force a current but
+        // provide no conduction path; a VCCS output is likewise a source.
+        Element::Capacitor { .. } | Element::CurrentSource { .. } | Element::Vccs { .. } => None,
+    }
+}
+
+/// E001/E002/E003: connectivity rules.
+fn check_connectivity(nl: &Netlist, report: &mut Report) {
+    let n_nodes = nl.node_count();
+    let mut degree = vec![0usize; n_nodes];
+    for e in nl.elements() {
+        for t in element_terminals(e) {
+            degree[t.index()] += 1;
+        }
+    }
+    for id in nl.nodes().filter(|n| !n.is_ground()) {
+        match degree[id.index()] {
+            0 => report.error(
+                "E001",
+                format!(
+                    "node '{}' is not connected to any element",
+                    nl.node_name(id)
+                ),
+                node(nl, id),
+            ),
+            1 => report.warning(
+                "E002",
+                format!(
+                    "node '{}' dangles from a single element terminal",
+                    nl.node_name(id)
+                ),
+                node(nl, id),
+            ),
+            _ => {}
+        }
+    }
+
+    // Union-find over DC-conducting element edges; every used node must end
+    // up in ground's component.
+    let mut uf = UnionFind::new(n_nodes);
+    for e in nl.elements() {
+        if let Some((a, b)) = dc_conducting_pair(e) {
+            uf.union(a.index(), b.index());
+        }
+    }
+    let ground_root = uf.find(0);
+    for id in nl.nodes().filter(|n| !n.is_ground()) {
+        if degree[id.index()] > 0 && uf.find(id.index()) != ground_root {
+            report.error(
+                "E003",
+                format!(
+                    "node '{}' has no DC conduction path to ground",
+                    nl.node_name(id)
+                ),
+                node(nl, id),
+            );
+        }
+    }
+}
+
+/// E004: loops made purely of DC shorts (voltage sources and inductors).
+fn check_source_loops(nl: &Netlist, report: &mut Report) {
+    let mut uf = UnionFind::new(nl.node_count());
+    for (k, e) in nl.elements().iter().enumerate() {
+        let short = match e {
+            Element::VoltageSource { p, n, .. } => Some((*p, *n)),
+            Element::Inductor { a, b, .. } => Some((*a, *b)),
+            _ => None,
+        };
+        if let Some((a, b)) = short {
+            if a != b && !uf.union(a.index(), b.index()) {
+                report.error(
+                    "E004",
+                    format!(
+                        "{} closes a loop of voltage sources/inductors between '{}' and '{}'",
+                        kind(e),
+                        nl.node_name(a),
+                        nl.node_name(b)
+                    ),
+                    elem(k, e, ""),
+                );
+            }
+        }
+    }
+}
+
+/// E009: structural-singularity pre-check on the DC stamp pattern.
+fn check_structure(nl: &Netlist, report: &mut Report) {
+    if nl.elements().is_empty() {
+        return;
+    }
+    let pattern = dc_stamp_pattern(nl);
+    let empty_rows = pattern.empty_rows();
+    let empty_cols = pattern.empty_columns();
+    if !empty_rows.is_empty() || !empty_cols.is_empty() {
+        report.error(
+            "E009",
+            format!(
+                "MNA matrix has {} empty row(s) and {} empty column(s): the system is singular without gmin",
+                empty_rows.len(),
+                empty_cols.len()
+            ),
+            None,
+        );
+    } else if !pattern.has_perfect_matching() {
+        report.error(
+            "E009",
+            "MNA stamp pattern admits no perfect matching: the matrix is structurally singular for every element value".into(),
+            None,
+        );
+    }
+}
+
+/// Minimal union-find with path halving; `union` returns `false` when the
+/// two items were already in the same set (i.e. the edge closes a cycle).
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra] = rb;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcosc_circuit::netlist::Waveform;
+
+    /// Clean voltage divider plus its interesting node ids.
+    fn divider() -> (Netlist, NodeId, NodeId) {
+        let mut nl = Netlist::new();
+        let vin = nl.node("vin");
+        let out = nl.node("out");
+        nl.voltage_source(vin, Netlist::GROUND, Waveform::Dc(10.0));
+        nl.resistor(vin, out, 1e3);
+        nl.resistor(out, Netlist::GROUND, 1e3);
+        (nl, vin, out)
+    }
+
+    #[test]
+    fn clean_divider_produces_no_diagnostics() {
+        assert!(check_netlist(&divider().0).is_clean());
+    }
+
+    #[test]
+    fn e001_unused_node() {
+        let (mut nl, _, _) = divider();
+        nl.node("orphan");
+        let r = check_netlist(&nl);
+        assert!(r.contains("E001"), "{}", r.render_human());
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn e002_dangling_node() {
+        let (mut nl, _, out) = divider();
+        let d = nl.node("dangling");
+        nl.capacitor(out, d, 1e-9);
+        let r = check_netlist(&nl);
+        assert!(r.contains("E002"), "{}", r.render_human());
+        // Dangling is a warning; the cap-only node also has no DC path.
+        assert!(r.contains("E003"));
+    }
+
+    #[test]
+    fn e003_no_dc_path_through_capacitor() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        let c = nl.node("c");
+        nl.voltage_source(a, Netlist::GROUND, Waveform::Dc(1.0));
+        nl.capacitor(a, b, 1e-9);
+        nl.resistor(b, c, 1e3);
+        nl.capacitor(c, Netlist::GROUND, 1e-9);
+        let r = check_netlist(&nl);
+        assert!(r.contains("E003"), "{}", r.render_human());
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn e004_voltage_source_loop() {
+        let (mut nl, vin, _) = divider();
+        nl.voltage_source(vin, Netlist::GROUND, Waveform::Dc(10.0));
+        let r = check_netlist(&nl);
+        assert!(r.contains("E004"), "{}", r.render_human());
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn e004_inductor_across_voltage_source() {
+        let (mut nl, vin, _) = divider();
+        nl.inductor(vin, Netlist::GROUND, 1e-6);
+        let r = check_netlist(&nl);
+        assert!(r.contains("E004"), "{}", r.render_human());
+    }
+
+    #[test]
+    fn e005_negative_resistance() {
+        let (mut nl, vin, _) = divider();
+        nl.push_element(Element::Resistor {
+            a: vin,
+            b: Netlist::GROUND,
+            ohms: -50.0,
+        });
+        let r = check_netlist(&nl);
+        assert!(r.contains("E005"), "{}", r.render_human());
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn e006_nan_capacitance() {
+        let (mut nl, vin, _) = divider();
+        nl.push_element(Element::Capacitor {
+            a: vin,
+            b: Netlist::GROUND,
+            farads: f64::NAN,
+            v0: 0.0,
+        });
+        let r = check_netlist(&nl);
+        assert!(r.contains("E006"), "{}", r.render_human());
+    }
+
+    #[test]
+    fn e006_infinite_source() {
+        let (mut nl, vin, _) = divider();
+        nl.push_element(Element::VoltageSource {
+            p: vin,
+            n: Netlist::GROUND,
+            wave: Waveform::Dc(f64::INFINITY),
+        });
+        let r = check_netlist(&nl);
+        assert!(r.contains("E006"), "{}", r.render_human());
+    }
+
+    #[test]
+    fn e007_implausible_values_warn() {
+        let (mut nl, vin, _) = divider();
+        nl.resistor(vin, Netlist::GROUND, 1e15); // > 1 TΩ
+        let r = check_netlist(&nl);
+        assert!(r.contains("E007"), "{}", r.render_human());
+        assert!(!r.has_errors(), "E007 is a warning");
+    }
+
+    #[test]
+    fn e008_shorted_voltage_source_is_an_error() {
+        let (mut nl, vin, _) = divider();
+        nl.push_element(Element::VoltageSource {
+            p: vin,
+            n: vin,
+            wave: Waveform::Dc(5.0),
+        });
+        let r = check_netlist(&nl);
+        assert!(r.contains("E008"), "{}", r.render_human());
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn e008_self_loop_resistor_is_a_warning() {
+        let (mut nl, vin, _) = divider();
+        nl.resistor(vin, vin, 1e3);
+        let r = check_netlist(&nl);
+        assert!(r.contains("E008"));
+        assert!(!r.has_errors(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn e009_structural_singularity() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.current_source(a, Netlist::GROUND, Waveform::Dc(1e-3));
+        nl.capacitor(a, Netlist::GROUND, 1e-9);
+        let r = check_netlist(&nl);
+        assert!(r.contains("E009"), "{}", r.render_human());
+        assert!(r.contains("E003"), "also flagged as no-DC-path");
+    }
+
+    #[test]
+    fn e010_empty_netlist() {
+        let r = check_netlist(&Netlist::new());
+        assert!(r.contains("E010"));
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn pwl_with_nan_point_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.push_element(Element::VoltageSource {
+            p: a,
+            n: Netlist::GROUND,
+            wave: Waveform::Pwl(vec![(0.0, 0.0), (f64::NAN, 1.0)]),
+        });
+        nl.resistor(a, Netlist::GROUND, 1e3);
+        let r = check_netlist(&nl);
+        assert!(r.contains("E006"), "{}", r.render_human());
+    }
+
+    #[test]
+    fn mosfet_gate_needs_its_own_dc_path() {
+        let mut nl = Netlist::new();
+        let d = nl.node("d");
+        let g = nl.node("g");
+        nl.voltage_source(d, Netlist::GROUND, Waveform::Dc(3.3));
+        nl.mosfet(
+            d,
+            g,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            lcosc_device::mos::MosModel::nmos_035um(),
+        );
+        let r = check_netlist(&nl);
+        // The gate floats: channel conducts d<->s, but nothing biases g.
+        assert!(r.contains("E003"), "{}", r.render_human());
+    }
+}

@@ -1,0 +1,335 @@
+//! A small SPICE-style deck parser for the lint CLI.
+//!
+//! The grammar is the round-trip of [`Netlist::listing`]: one element per
+//! line, `*`/`;`/`#` comments, `gnd` or `0` for ground, and engineering
+//! suffixes (`k`, `meg`, `u`, `n`, ...) on numbers. Parsing deliberately
+//! does **not** validate component values — a deck with a negative
+//! resistance parses fine and is then rejected by
+//! [`check_netlist`](crate::netlist::check_netlist) with a stable code, so
+//! the linter can report *all* problems instead of dying on the first.
+
+use lcosc_circuit::{Element, Netlist, NodeId, Waveform};
+use lcosc_device::{DiodeModel, MosModel};
+
+/// A syntax error in a deck, pointing at its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a deck in the [`Netlist::listing`] dialect into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on the first syntactically malformed line.
+/// Semantic problems (bad values, floating nodes, ...) are *not* errors
+/// here; run the result through `check_netlist` for those.
+pub fn parse_deck(text: &str) -> Result<Netlist, ParseError> {
+    let mut nl = Netlist::new();
+    let mut names: std::collections::HashMap<String, NodeId> = std::collections::HashMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let err = |message: String| ParseError {
+            line: line_no,
+            message,
+        };
+        // Normalise punctuation so `pwl(0 0, 1u 3.3)` tokenises cleanly.
+        let cleaned: String = raw
+            .chars()
+            .map(|c| {
+                if c == '(' || c == ')' || c == ',' || c == '=' {
+                    ' '
+                } else {
+                    c
+                }
+            })
+            .collect();
+        let mut tokens = cleaned.split_whitespace();
+        let Some(head) = tokens.next() else { continue };
+        if head.starts_with('*') || head.starts_with(';') || head.starts_with('#') {
+            continue;
+        }
+        if head.starts_with('.') {
+            // SPICE directives (.end, .title, ...) carry no elements.
+            continue;
+        }
+        let rest: Vec<&str> = tokens.collect();
+        let kind = head
+            .chars()
+            .next()
+            .map(|c| c.to_ascii_uppercase())
+            .ok_or_else(|| err("empty element name".into()))?;
+        let mut node = |name: &str| -> NodeId {
+            if name.eq_ignore_ascii_case("gnd") || name == "0" {
+                return Netlist::GROUND;
+            }
+            *names
+                .entry(name.to_string())
+                .or_insert_with(|| nl.node(name))
+        };
+        let want = |n: usize| -> Result<(), ParseError> {
+            if rest.len() < n {
+                Err(err(format!(
+                    "{head}: expected at least {n} fields, got {}",
+                    rest.len()
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        let element = match kind {
+            'R' => {
+                want(3)?;
+                let (a, b) = (node(rest[0]), node(rest[1]));
+                Element::Resistor {
+                    a,
+                    b,
+                    ohms: value(rest[2], line_no)?,
+                }
+            }
+            'C' => {
+                want(3)?;
+                let (a, b) = (node(rest[0]), node(rest[1]));
+                let farads = value(rest[2], line_no)?;
+                let v0 = keyed(&rest[3..], "ic", line_no)?.unwrap_or(0.0);
+                Element::Capacitor { a, b, farads, v0 }
+            }
+            'L' => {
+                want(3)?;
+                let (a, b) = (node(rest[0]), node(rest[1]));
+                let henries = value(rest[2], line_no)?;
+                let i0 = keyed(&rest[3..], "ic", line_no)?.unwrap_or(0.0);
+                Element::Inductor { a, b, henries, i0 }
+            }
+            'V' | 'I' => {
+                want(3)?;
+                let (p, n) = (node(rest[0]), node(rest[1]));
+                let wave = waveform(&rest[2..], line_no)?;
+                if kind == 'V' {
+                    Element::VoltageSource { p, n, wave }
+                } else {
+                    Element::CurrentSource { p, n, wave }
+                }
+            }
+            'G' => {
+                want(5)?;
+                let (out_p, out_n) = (node(rest[0]), node(rest[1]));
+                let (in_p, in_n) = (node(rest[2]), node(rest[3]));
+                Element::Vccs {
+                    out_p,
+                    out_n,
+                    in_p,
+                    in_n,
+                    gm: value(rest[4], line_no)?,
+                }
+            }
+            'D' => {
+                want(2)?;
+                let (anode, cathode) = (node(rest[0]), node(rest[1]));
+                Element::Diode {
+                    anode,
+                    cathode,
+                    model: DiodeModel::default(),
+                }
+            }
+            'M' => {
+                want(5)?;
+                let (d, g) = (node(rest[0]), node(rest[1]));
+                let (s, b) = (node(rest[2]), node(rest[3]));
+                let model = match rest[4].to_ascii_lowercase().as_str() {
+                    "nmos" => MosModel::nmos_035um(),
+                    "pmos" => MosModel::pmos_035um(),
+                    other => return Err(err(format!("unknown MOS model {other:?} (nmos/pmos)"))),
+                };
+                Element::Mosfet { d, g, s, b, model }
+            }
+            'S' => {
+                want(3)?;
+                let (a, b) = (node(rest[0]), node(rest[1]));
+                let closed = match rest[2].to_ascii_lowercase().as_str() {
+                    "on" | "1" | "closed" => true,
+                    "off" | "0" | "open" => false,
+                    other => return Err(err(format!("switch state {other:?} is not on/off"))),
+                };
+                let r_on = keyed(&rest[3..], "ron", line_no)?.unwrap_or(1.0);
+                let r_off = keyed(&rest[3..], "roff", line_no)?.unwrap_or(1e9);
+                Element::Switch {
+                    a,
+                    b,
+                    closed,
+                    r_on,
+                    r_off,
+                }
+            }
+            other => return Err(err(format!("unknown element letter {other:?}"))),
+        };
+        nl.push_element(element);
+    }
+    Ok(nl)
+}
+
+/// Parses a source specification: `dc <x>`, a bare number, or
+/// `pwl <t0> <v0> <t1> <v1> ...`.
+fn waveform(fields: &[&str], line: usize) -> Result<Waveform, ParseError> {
+    let first = fields[0].to_ascii_lowercase();
+    match first.as_str() {
+        "dc" => {
+            let v = fields.get(1).ok_or_else(|| ParseError {
+                line,
+                message: "dc needs a value".into(),
+            })?;
+            Ok(Waveform::Dc(value(v, line)?))
+        }
+        "pwl" => {
+            let nums: Vec<f64> = fields[1..]
+                .iter()
+                .map(|t| value(t, line))
+                .collect::<Result<_, _>>()?;
+            if nums.is_empty() || !nums.len().is_multiple_of(2) {
+                return Err(ParseError {
+                    line,
+                    message: format!("pwl needs time/value pairs, got {} numbers", nums.len()),
+                });
+            }
+            Ok(Waveform::Pwl(
+                nums.chunks(2).map(|p| (p[0], p[1])).collect(),
+            ))
+        }
+        _ => Ok(Waveform::Dc(value(fields[0], line)?)),
+    }
+}
+
+/// Finds `key <value>` in a tail of tokens (the `=` was already split away).
+fn keyed(fields: &[&str], key: &str, line: usize) -> Result<Option<f64>, ParseError> {
+    let mut it = fields.iter();
+    while let Some(tok) = it.next() {
+        if tok.eq_ignore_ascii_case(key) {
+            let Some(v) = it.next() else {
+                return Err(ParseError {
+                    line,
+                    message: format!("{key}= needs a value"),
+                });
+            };
+            return value(v, line).map(Some);
+        }
+    }
+    Ok(None)
+}
+
+/// Parses a number with optional engineering suffix (`k`, `meg`, `m`, `u`,
+/// `n`, `p`, `f`, `g`, `t`).
+fn value(token: &str, line: usize) -> Result<f64, ParseError> {
+    let t = token.to_ascii_lowercase();
+    if let Ok(v) = t.parse::<f64>() {
+        return Ok(v);
+    }
+    let suffixes: [(&str, f64); 9] = [
+        ("meg", 1e6),
+        ("t", 1e12),
+        ("g", 1e9),
+        ("k", 1e3),
+        ("m", 1e-3),
+        ("u", 1e-6),
+        ("n", 1e-9),
+        ("p", 1e-12),
+        ("f", 1e-15),
+    ];
+    for (suffix, scale) in suffixes {
+        if let Some(mantissa) = t.strip_suffix(suffix) {
+            if let Ok(v) = mantissa.parse::<f64>() {
+                return Ok(v * scale);
+            }
+        }
+    }
+    Err(ParseError {
+        line,
+        message: format!("{token:?} is not a number"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::check_netlist;
+
+    #[test]
+    fn parses_every_element_kind() {
+        let deck = "\
+* a comment
+R0 a b 1k
+C1 a gnd 1n ic=0.5
+L2 a b 1u ic=0.001
+V3 a gnd dc=3.3
+I4 b gnd 1m
+G5 b gnd a gnd 2meg
+D6 a b
+M7 a b gnd gnd nmos
+S8 a b on ron=2 roff=1g
+.end
+";
+        let nl = parse_deck(deck).expect("deck parses");
+        assert_eq!(nl.elements().len(), 9);
+        assert_eq!(nl.node_count(), 3); // gnd, a, b
+    }
+
+    #[test]
+    fn round_trips_a_listing() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.voltage_source(a, Netlist::GROUND, Waveform::Dc(3.3));
+        nl.resistor(a, Netlist::GROUND, 1e3);
+        let reparsed = parse_deck(&nl.listing()).expect("listing reparses");
+        assert_eq!(reparsed.elements().len(), 2);
+        assert_eq!(reparsed.listing(), nl.listing());
+    }
+
+    #[test]
+    fn ground_aliases() {
+        let nl = parse_deck("R0 a 0 1k\nR1 a gnd 2k\n").expect("parses");
+        assert_eq!(nl.node_count(), 2); // only gnd and a
+    }
+
+    #[test]
+    fn engineering_suffixes() {
+        assert_eq!(value("1k", 1).expect("1k"), 1e3);
+        assert_eq!(value("2meg", 1).expect("2meg"), 2e6);
+        assert_eq!(value("1.5u", 1).expect("1.5u"), 1.5e-6);
+        assert_eq!(value("3m", 1).expect("3m"), 3e-3);
+        assert!(value("1x", 1).is_err());
+    }
+
+    #[test]
+    fn pwl_sources_parse() {
+        let nl = parse_deck("V0 a gnd pwl(0 0, 1u 3.3)\nR0 a gnd 1k\n").expect("parses");
+        assert_eq!(nl.elements().len(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_report_their_number() {
+        let e = parse_deck("R0 a b 1k\nQ1 a b c\n").expect_err("unknown letter");
+        assert_eq!(e.line, 2);
+        let e = parse_deck("R0 a b\n").expect_err("missing value");
+        assert_eq!(e.line, 1);
+        let e = parse_deck("M0 a b gnd gnd bjt\n").expect_err("bad model");
+        assert!(e.to_string().contains("bjt"));
+    }
+
+    #[test]
+    fn bad_values_parse_then_lint() {
+        // The parser accepts a negative resistor; the checker rejects it.
+        let nl = parse_deck("V0 a gnd dc=1\nR0 a gnd -5\n").expect("parses");
+        let report = check_netlist(&nl);
+        assert!(report.contains("E005"), "{}", report.render_human());
+    }
+}

@@ -15,6 +15,7 @@ use lcosc_num::linalg::Matrix;
 ///
 /// Node-voltage updates are limited to `v_step_limit` per iteration
 /// (SPICE-style limiting), which keeps exponential devices stable.
+#[allow(clippy::too_many_arguments)] // internal driver shared by dc/sweep/transient
 pub(crate) fn newton_solve(
     nl: &Netlist,
     x0: &[f64],
@@ -36,9 +37,8 @@ pub(crate) fn newton_solve(
 
     for _ in 0..max_iter {
         build_system(nl, &x, mode, &mut a, &mut b);
-        let xn = match a.solve(&b) {
-            Ok(v) => v,
-            Err(_) => return Err(CircuitError::Singular { at }),
+        let Ok(xn) = a.solve(&b) else {
+            return Err(CircuitError::Singular { at });
         };
         let mut max_delta = 0.0f64;
         for i in 0..n {

@@ -111,7 +111,7 @@ fn solve_ac_point(
     for (k, e) in nl.elements().iter().enumerate() {
         match e {
             Element::Resistor { a: na, b: nb, ohms } => {
-                stamp_g(&mut a, *na, *nb, real(1.0 / ohms))
+                stamp_g(&mut a, *na, *nb, real(1.0 / ohms));
             }
             Element::Switch {
                 a: na,
@@ -237,7 +237,8 @@ fn solve_ac_point(
     let x = if n == 0 {
         Vec::new()
     } else {
-        a.solve(&b).map_err(|_| CircuitError::Singular { at: frequency })?
+        a.solve(&b)
+            .map_err(|_| CircuitError::Singular { at: frequency })?
     };
     Ok(AcPoint {
         frequency,

@@ -260,9 +260,19 @@ mod tests {
         nl.voltage_source(vdd, Netlist::GROUND, Waveform::Dc(3.3));
         nl.voltage_source(gate, Netlist::GROUND, Waveform::Dc(3.3));
         nl.resistor(vdd, drain, 10e3);
-        nl.mosfet(drain, gate, Netlist::GROUND, Netlist::GROUND, MosModel::nmos_035um());
+        nl.mosfet(
+            drain,
+            gate,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            MosModel::nmos_035um(),
+        );
         let s = solve_dc(&nl).unwrap();
-        assert!(s.voltage(drain) < 0.3, "on transistor should pull low: {}", s.voltage(drain));
+        assert!(
+            s.voltage(drain) < 0.3,
+            "on transistor should pull low: {}",
+            s.voltage(drain)
+        );
     }
 
     #[test]
@@ -272,7 +282,13 @@ mod tests {
         let drain = nl.node("drain");
         nl.voltage_source(vdd, Netlist::GROUND, Waveform::Dc(3.3));
         nl.resistor(vdd, drain, 10e3);
-        nl.mosfet(drain, Netlist::GROUND, Netlist::GROUND, Netlist::GROUND, MosModel::nmos_035um());
+        nl.mosfet(
+            drain,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            MosModel::nmos_035um(),
+        );
         let s = solve_dc(&nl).unwrap();
         assert!(s.voltage(drain) > 3.2);
     }
@@ -286,16 +302,30 @@ mod tests {
             let out = nl.node("out");
             nl.voltage_source(vdd, Netlist::GROUND, Waveform::Dc(3.3));
             nl.voltage_source(inp, Netlist::GROUND, Waveform::Dc(vin));
-            nl.mosfet(out, inp, Netlist::GROUND, Netlist::GROUND, MosModel::nmos_035um());
+            nl.mosfet(
+                out,
+                inp,
+                Netlist::GROUND,
+                Netlist::GROUND,
+                MosModel::nmos_035um(),
+            );
             nl.mosfet(out, inp, vdd, vdd, MosModel::pmos_035um());
             (nl, out)
         };
         let (nl, out) = build(0.0);
         let s = solve_dc(&nl).unwrap();
-        assert!(s.voltage(out) > 3.25, "low in -> high out: {}", s.voltage(out));
+        assert!(
+            s.voltage(out) > 3.25,
+            "low in -> high out: {}",
+            s.voltage(out)
+        );
         let (nl, out) = build(3.3);
         let s = solve_dc(&nl).unwrap();
-        assert!(s.voltage(out) < 0.05, "high in -> low out: {}", s.voltage(out));
+        assert!(
+            s.voltage(out) < 0.05,
+            "high in -> low out: {}",
+            s.voltage(out)
+        );
     }
 
     #[test]

@@ -63,7 +63,10 @@ pub fn dc_sweep(
             other => other,
         })?;
         warm = Some(sol.raw().to_vec());
-        out.push(SweepPoint { value: v, solution: sol });
+        out.push(SweepPoint {
+            value: v,
+            solution: sol,
+        });
     }
     Ok(out)
 }

@@ -155,9 +155,11 @@ pub fn run_transient(nl: &Netlist, opts: &TransientOptions) -> Result<TransientR
     let record = |result: &mut TransientResult, t: f64, x: &[f64], mode: &Mode<'_>| {
         result.times.push(t);
         result.voltages.push(x[..nl.node_count() - 1].to_vec());
-        result
-            .currents
-            .push((0..nl.elements().len()).map(|k| element_current(nl, k, x, mode)).collect());
+        result.currents.push(
+            (0..nl.elements().len())
+                .map(|k| element_current(nl, k, x, mode))
+                .collect(),
+        );
     };
     {
         let mode0 = Mode::Dc {
@@ -175,7 +177,16 @@ pub fn run_transient(nl: &Netlist, opts: &TransientOptions) -> Result<TransientR
             integrator: opts.integrator,
             history: &history,
         };
-        x = newton_solve(nl, &x, &mode, opts.max_iter, opts.v_tol, 2.0, "transient", t)?;
+        x = newton_solve(
+            nl,
+            &x,
+            &mode,
+            opts.max_iter,
+            opts.v_tol,
+            2.0,
+            "transient",
+            t,
+        )?;
         if step % stride == 0 || step == steps {
             record(&mut result, t, &x, &mode);
         }
@@ -261,7 +272,9 @@ mod tests {
             opts.integrator = integrator;
             let res = run_transient(&nl, &opts).unwrap();
             let trace = res.voltage_trace(a);
-            trace[trace.len() / 2..].iter().fold(0.0f64, |m, v| m.max(v.abs()))
+            trace[trace.len() / 2..]
+                .iter()
+                .fold(0.0f64, |m, v| m.max(v.abs()))
         };
         let amp_trap = run(Integrator::Trapezoidal);
         let amp_be = run(Integrator::BackwardEuler);

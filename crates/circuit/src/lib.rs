@@ -44,7 +44,8 @@ pub use analysis::ac::{ac_sweep, logspace, AcPoint};
 pub use analysis::dc::{solve_dc, solve_dc_with, DcOptions, DcSolution};
 pub use analysis::sweep::{dc_sweep, SweepPoint};
 pub use analysis::transient::{run_transient, Integrator, TransientOptions, TransientResult};
-pub use netlist::{ElementId, Netlist, NodeId, Waveform};
+pub use netlist::{element_terminals, Element, ElementId, Netlist, NodeId, Waveform};
+pub use stamp::{dc_stamp_pattern, StampPattern};
 
 /// Errors produced by the circuit simulator.
 #[derive(Debug, Clone, PartialEq)]

@@ -263,6 +263,16 @@ impl Netlist {
         self.node_names.len()
     }
 
+    /// The node with the given raw index, if it belongs to this netlist.
+    pub fn node_id(&self, index: usize) -> Option<NodeId> {
+        (index < self.node_names.len()).then_some(NodeId(index))
+    }
+
+    /// Iterator over every node id including ground, in index order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_names.len()).map(NodeId)
+    }
+
     /// Name of a node.
     ///
     /// # Panics
@@ -458,6 +468,25 @@ impl Netlist {
         })
     }
 
+    /// Adds an element without validating its component values (only node
+    /// membership is checked).
+    ///
+    /// The dedicated builders reject non-positive resistances, capacitances
+    /// and inductances at construction time. Deck loaders and static-analysis
+    /// tests need to represent such malformed elements so that
+    /// `lcosc-check` can diagnose them with a proper error code instead of a
+    /// panic; this is the entry point for those paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any terminal node does not belong to this netlist.
+    pub fn push_element(&mut self, e: Element) -> ElementId {
+        for n in element_terminals(&e) {
+            self.check_node(n);
+        }
+        self.push(e)
+    }
+
     /// Opens or closes a previously added switch.
     ///
     /// # Panics
@@ -499,6 +528,30 @@ impl Netlist {
     /// Total number of MNA unknowns: non-ground nodes plus branch currents.
     pub(crate) fn unknown_count(&self) -> usize {
         (self.node_count() - 1) + self.branch_count()
+    }
+}
+
+/// Terminal nodes of an element, in declaration order.
+///
+/// MOSFETs list drain, gate, source, bulk; VCCS lists the output pair then
+/// the sense pair. Used by connectivity rules (and [`Netlist::push_element`])
+/// that must treat every attachment point uniformly.
+pub fn element_terminals(e: &Element) -> Vec<NodeId> {
+    match e {
+        Element::Resistor { a, b, .. }
+        | Element::Capacitor { a, b, .. }
+        | Element::Inductor { a, b, .. }
+        | Element::Switch { a, b, .. } => vec![*a, *b],
+        Element::VoltageSource { p, n, .. } | Element::CurrentSource { p, n, .. } => vec![*p, *n],
+        Element::Vccs {
+            out_p,
+            out_n,
+            in_p,
+            in_n,
+            ..
+        } => vec![*out_p, *out_n, *in_p, *in_n],
+        Element::Diode { anode, cathode, .. } => vec![*anode, *cathode],
+        Element::Mosfet { d, g, s, b, .. } => vec![*d, *g, *s, *b],
     }
 }
 
@@ -615,6 +668,47 @@ mod tests {
         let mut nl = Netlist::new();
         nl.resistor(NodeId(5), Netlist::GROUND, 1.0);
     }
+
+    #[test]
+    fn push_element_accepts_invalid_values() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let id = nl.push_element(Element::Resistor {
+            a,
+            b: Netlist::GROUND,
+            ohms: -1.0,
+        });
+        assert!(matches!(nl.element(id), Element::Resistor { ohms, .. } if *ohms == -1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in this netlist")]
+    fn push_element_still_rejects_foreign_nodes() {
+        let mut nl = Netlist::new();
+        nl.push_element(Element::Resistor {
+            a: NodeId(9),
+            b: Netlist::GROUND,
+            ohms: 1.0,
+        });
+    }
+
+    #[test]
+    fn element_terminals_cover_every_kind() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.resistor(a, b, 1.0);
+        nl.capacitor(a, b, 1e-9);
+        nl.inductor(a, b, 1e-6);
+        nl.voltage_source(a, Netlist::GROUND, Waveform::Dc(1.0));
+        nl.current_source(a, Netlist::GROUND, Waveform::Dc(1.0));
+        nl.vccs(a, b, b, Netlist::GROUND, 1e-3);
+        nl.switch(a, b, true);
+        for e in nl.elements() {
+            let t = element_terminals(e);
+            assert!(t.len() == 2 || t.len() == 4, "{e:?} -> {t:?}");
+        }
+    }
 }
 
 impl Netlist {
@@ -630,16 +724,38 @@ impl Netlist {
                     writeln!(out, "R{k} {} {} {ohms:.4e}", name(*a), name(*b))
                 }
                 Element::Capacitor { a, b, farads, v0 } => {
-                    writeln!(out, "C{k} {} {} {farads:.4e} ic={v0:.3}", name(*a), name(*b))
+                    writeln!(
+                        out,
+                        "C{k} {} {} {farads:.4e} ic={v0:.3}",
+                        name(*a),
+                        name(*b)
+                    )
                 }
                 Element::Inductor { a, b, henries, i0 } => {
-                    writeln!(out, "L{k} {} {} {henries:.4e} ic={i0:.3}", name(*a), name(*b))
+                    writeln!(
+                        out,
+                        "L{k} {} {} {henries:.4e} ic={i0:.3}",
+                        name(*a),
+                        name(*b)
+                    )
                 }
                 Element::VoltageSource { p, n, wave } => {
-                    writeln!(out, "V{k} {} {} dc={:.4e}", name(*p), name(*n), wave.dc_value())
+                    writeln!(
+                        out,
+                        "V{k} {} {} dc={:.4e}",
+                        name(*p),
+                        name(*n),
+                        wave.dc_value()
+                    )
                 }
                 Element::CurrentSource { p, n, wave } => {
-                    writeln!(out, "I{k} {} {} dc={:.4e}", name(*p), name(*n), wave.dc_value())
+                    writeln!(
+                        out,
+                        "I{k} {} {} dc={:.4e}",
+                        name(*p),
+                        name(*n),
+                        wave.dc_value()
+                    )
                 }
                 Element::Vccs {
                     out_p,
@@ -698,11 +814,27 @@ mod listing_tests {
         nl.current_source(b, Netlist::GROUND, Waveform::Dc(1e-3));
         nl.vccs(a, Netlist::GROUND, b, Netlist::GROUND, 1e-3);
         nl.diode(a, b, DiodeModel::default());
-        nl.mosfet(a, b, Netlist::GROUND, Netlist::GROUND, MosModel::nmos_035um());
+        nl.mosfet(
+            a,
+            b,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            MosModel::nmos_035um(),
+        );
         nl.switch(a, b, true);
         let s = nl.listing();
         assert_eq!(s.lines().count(), 9);
-        for prefix in ["R0", "C1", "L2", "V3", "I4", "G5", "D6", "M7 a b gnd gnd nmos", "S8 a b on"] {
+        for prefix in [
+            "R0",
+            "C1",
+            "L2",
+            "V3",
+            "I4",
+            "G5",
+            "D6",
+            "M7 a b gnd gnd nmos",
+            "S8 a b on",
+        ] {
             assert!(s.contains(prefix), "missing {prefix} in:\n{s}");
         }
         assert!(s.contains("ic=0.500"));

@@ -112,7 +112,13 @@ pub(crate) fn volt(x: &[f64], n: NodeId) -> f64 {
 
 /// Builds the linearized MNA system `A·x_new = b` around the current
 /// iterate `x`.
-pub(crate) fn build_system(nl: &Netlist, x: &[f64], mode: &Mode<'_>, a: &mut Matrix, b: &mut [f64]) {
+pub(crate) fn build_system(
+    nl: &Netlist,
+    x: &[f64],
+    mode: &Mode<'_>,
+    a: &mut Matrix,
+    b: &mut [f64],
+) {
     a.clear();
     b.iter_mut().for_each(|v| *v = 0.0);
     let nn = nl.node_count() - 1;
@@ -329,16 +335,175 @@ pub(crate) fn build_system(nl: &Netlist, x: &[f64], mode: &Mode<'_>, a: &mut Mat
     }
 }
 
+/// Structural occupancy of the DC MNA matrix: which `(row, column)` slots
+/// receive a stamp, ignoring numeric values and the two numerical crutches
+/// (the per-node `gmin` to ground and the tiny series resistance on DC
+/// inductor branches).
+///
+/// A pattern without a perfect row/column matching is *structurally
+/// singular*: no set of element values makes the matrix invertible, so the
+/// solve can only succeed by leaning on `gmin`. `lcosc-check` uses this to
+/// flag such netlists before any analysis runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StampPattern {
+    size: usize,
+    rows: Vec<Vec<usize>>,
+}
+
+impl StampPattern {
+    /// Number of MNA unknowns (rows and columns).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Occupied column indices of one row, sorted and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= size()`.
+    pub fn row(&self, row: usize) -> &[usize] {
+        &self.rows[row]
+    }
+
+    /// Rows with no stamped entry at all (unknowns no equation touches).
+    pub fn empty_rows(&self) -> Vec<usize> {
+        (0..self.size)
+            .filter(|&r| self.rows[r].is_empty())
+            .collect()
+    }
+
+    /// Columns with no stamped entry at all (unknowns appearing nowhere).
+    pub fn empty_columns(&self) -> Vec<usize> {
+        let mut used = vec![false; self.size];
+        for row in &self.rows {
+            for &c in row {
+                used[c] = true;
+            }
+        }
+        (0..self.size).filter(|&c| !used[c]).collect()
+    }
+
+    /// Whether a perfect matching between rows and columns exists
+    /// (Hall's condition via augmenting paths). `false` means the matrix is
+    /// structurally singular for *every* assignment of element values.
+    pub fn has_perfect_matching(&self) -> bool {
+        let n = self.size;
+        let mut col_of = vec![usize::MAX; n];
+        // Augmenting path search from `row`; `seen` is per-outer-iteration.
+        fn try_assign(
+            rows: &[Vec<usize>],
+            row: usize,
+            seen: &mut [bool],
+            col_of: &mut [usize],
+        ) -> bool {
+            for &c in &rows[row] {
+                if !seen[c] {
+                    seen[c] = true;
+                    if col_of[c] == usize::MAX || try_assign(rows, col_of[c], seen, col_of) {
+                        col_of[c] = row;
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        for r in 0..n {
+            let mut seen = vec![false; n];
+            if !try_assign(&self.rows, r, &mut seen, &mut col_of) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Computes the [`StampPattern`] of a netlist's DC MNA system.
+///
+/// The pattern mirrors `build_system`'s DC mode exactly, except that the
+/// numerical regularization terms (node `gmin`, the inductor branch's tiny
+/// series resistance) are excluded — the whole point is to detect matrices
+/// that are only invertible thanks to them.
+pub fn dc_stamp_pattern(nl: &Netlist) -> StampPattern {
+    let nn = nl.node_count() - 1;
+    let size = nl.unknown_count();
+    let branch = nl.branch_indices();
+    let mut rows: Vec<Vec<usize>> = vec![Vec::new(); size];
+    let idx = |n: NodeId| -> Option<usize> { (!n.is_ground()).then(|| n.index() - 1) };
+    // Conductance-shaped two-terminal pattern.
+    let pattern_g = |rows: &mut Vec<Vec<usize>>, na: NodeId, nb: NodeId| {
+        if let Some(i) = idx(na) {
+            rows[i].push(i);
+            if let Some(j) = idx(nb) {
+                rows[i].push(j);
+            }
+        }
+        if let Some(i) = idx(nb) {
+            rows[i].push(i);
+            if let Some(j) = idx(na) {
+                rows[i].push(j);
+            }
+        }
+    };
+    for (k, e) in nl.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { a, b, .. } | Element::Switch { a, b, .. } => {
+                pattern_g(&mut rows, *a, *b);
+            }
+            Element::Capacitor { .. } | Element::CurrentSource { .. } => {} // no DC matrix entry
+            Element::Inductor { a, b, .. } | Element::VoltageSource { p: a, n: b, .. } => {
+                let j = nn + branch[k].expect("branch element has an index");
+                if let Some(i) = idx(*a) {
+                    rows[i].push(j);
+                    rows[j].push(i);
+                }
+                if let Some(i) = idx(*b) {
+                    rows[i].push(j);
+                    rows[j].push(i);
+                }
+            }
+            Element::Vccs {
+                out_p,
+                out_n,
+                in_p,
+                in_n,
+                ..
+            } => {
+                for out in [*out_p, *out_n] {
+                    if let Some(r) = idx(out) {
+                        for inp in [*in_p, *in_n] {
+                            if let Some(c) = idx(inp) {
+                                rows[r].push(c);
+                            }
+                        }
+                    }
+                }
+            }
+            Element::Diode { anode, cathode, .. } => pattern_g(&mut rows, *anode, *cathode),
+            Element::Mosfet { d, g, s, b, .. } => {
+                for node in [*d, *s] {
+                    if let Some(r) = idx(node) {
+                        for c_node in [*g, *d, *s, *b] {
+                            if let Some(c) = idx(c_node) {
+                                rows[r].push(c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for row in &mut rows {
+        row.sort_unstable();
+        row.dedup();
+    }
+    StampPattern { size, rows }
+}
+
 /// Current through an element given a converged solution `x`.
 ///
 /// Sign conventions: positive current flows from the first terminal to the
 /// second (for sources: from `p` through the element to `n`).
-pub(crate) fn element_current(
-    nl: &Netlist,
-    k: usize,
-    x: &[f64],
-    mode: &Mode<'_>,
-) -> f64 {
+pub(crate) fn element_current(nl: &Netlist, k: usize, x: &[f64], mode: &Mode<'_>) -> f64 {
     let nn = nl.node_count() - 1;
     let branch = nl.branch_indices();
     match &nl.elements()[k] {
@@ -380,17 +545,104 @@ pub(crate) fn element_current(
             cathode,
             model,
         } => model.current(volt(x, *anode) - volt(x, *cathode)),
-        Element::Mosfet {
-            d,
-            g,
-            s,
-            b,
-            model,
-        } => {
+        Element::Mosfet { d, g, s, b, model } => {
             let vb = volt(x, *b);
             model
                 .evaluate_4t(volt(x, *g) - vb, volt(x, *d) - vb, volt(x, *s) - vb)
                 .id
         }
+    }
+}
+
+#[cfg(test)]
+mod pattern_tests {
+    use super::*;
+    use crate::netlist::Waveform;
+
+    #[test]
+    fn divider_pattern_is_structurally_regular() {
+        let mut nl = Netlist::new();
+        let vin = nl.node("vin");
+        let out = nl.node("out");
+        nl.voltage_source(vin, Netlist::GROUND, Waveform::Dc(1.0));
+        nl.resistor(vin, out, 1e3);
+        nl.resistor(out, Netlist::GROUND, 1e3);
+        let p = dc_stamp_pattern(&nl);
+        assert_eq!(p.size(), 3); // 2 node voltages + 1 branch current
+        assert!(p.empty_rows().is_empty());
+        assert!(p.empty_columns().is_empty());
+        assert!(p.has_perfect_matching());
+    }
+
+    #[test]
+    fn capacitor_only_node_gives_empty_row() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.capacitor(a, Netlist::GROUND, 1e-9);
+        let p = dc_stamp_pattern(&nl);
+        assert_eq!(p.empty_rows(), vec![0]);
+        assert_eq!(p.empty_columns(), vec![0]);
+        assert!(!p.has_perfect_matching());
+    }
+
+    #[test]
+    fn current_source_into_capacitor_is_structurally_singular() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.current_source(a, Netlist::GROUND, Waveform::Dc(1e-3));
+        nl.capacitor(a, Netlist::GROUND, 1e-9);
+        let p = dc_stamp_pattern(&nl);
+        assert!(!p.has_perfect_matching());
+    }
+
+    #[test]
+    fn vccs_sense_only_node_breaks_matching() {
+        // The sense node appears as a column (through the VCCS) but no
+        // equation row touches it.
+        let mut nl = Netlist::new();
+        let out = nl.node("out");
+        let sense = nl.node("sense");
+        nl.resistor(out, Netlist::GROUND, 1e3);
+        nl.vccs(out, Netlist::GROUND, sense, Netlist::GROUND, 1e-3);
+        let p = dc_stamp_pattern(&nl);
+        assert_eq!(p.empty_rows(), vec![1]);
+        assert!(!p.has_perfect_matching());
+    }
+
+    #[test]
+    fn voltage_inductor_loop_is_structurally_singular() {
+        // Both branch equations only touch the single node column: without
+        // the solver's tiny series resistance the matrix cannot be regular.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.voltage_source(a, Netlist::GROUND, Waveform::Dc(0.0));
+        nl.inductor(a, Netlist::GROUND, 1e-6);
+        let p = dc_stamp_pattern(&nl);
+        assert_eq!(p.size(), 3);
+        assert!(!p.has_perfect_matching());
+    }
+
+    #[test]
+    fn inductor_with_load_keeps_matching() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        let b = nl.node("b");
+        nl.voltage_source(a, Netlist::GROUND, Waveform::Dc(1.0));
+        nl.inductor(a, b, 1e-6);
+        nl.resistor(b, Netlist::GROUND, 1e3);
+        let p = dc_stamp_pattern(&nl);
+        assert_eq!(p.size(), 4);
+        assert!(p.has_perfect_matching());
+        assert!(p.empty_rows().is_empty());
+    }
+
+    #[test]
+    fn row_accessor_is_sorted_and_deduped() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.resistor(a, Netlist::GROUND, 1.0);
+        nl.resistor(a, Netlist::GROUND, 2.0);
+        let p = dc_stamp_pattern(&nl);
+        assert_eq!(p.row(0), &[0]);
     }
 }

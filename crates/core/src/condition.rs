@@ -168,8 +168,12 @@ mod tests {
         // Paper §9: consumption varies from 250 µA to 30 mA.
         let hi_q = datasheet();
         let lo_q = OscillationCondition::new(LcTank::poor_q());
-        let i_min = hi_q.supply_current(hi_q.i_max_for_amplitude(Volts(2.7))).value();
-        let i_max = lo_q.supply_current(lo_q.i_max_for_amplitude(Volts(2.7))).value();
+        let i_min = hi_q
+            .supply_current(hi_q.i_max_for_amplitude(Volts(2.7)))
+            .value();
+        let i_max = lo_q
+            .supply_current(lo_q.i_max_for_amplitude(Volts(2.7)))
+            .value();
         assert!((150e-6..500e-6).contains(&i_min), "min {i_min}");
         assert!((20e-3..40e-3).contains(&i_max), "max {i_max}");
     }
@@ -179,7 +183,9 @@ mod tests {
         let c = datasheet();
         let strong = GmDriver::new(DriverShape::LinearSaturate { gm: 10e-3 }, 1e-3);
         let weak = GmDriver::new(
-            DriverShape::LinearSaturate { gm: c.critical_gm() * 0.5 },
+            DriverShape::LinearSaturate {
+                gm: c.critical_gm() * 0.5,
+            },
             1e-3,
         );
         let dead = GmDriver::new(DriverShape::HardLimit, 0.0);

@@ -136,6 +136,34 @@ impl OscillatorConfig {
         self.vref.min(self.vdd - self.vref)
     }
 
+    /// Snapshot of this configuration for the static verification pass
+    /// (`lcosc-check`'s `C0xx` rules).
+    pub fn facts(&self) -> lcosc_check::ConfigFacts {
+        lcosc_check::ConfigFacts {
+            vdd: self.vdd,
+            vref: self.vref,
+            target_vpp: self.target_vpp,
+            rail_clamp: self.rail_clamp(),
+            window_rel_width: self.window_rel_width,
+            detector_tau: self.detector_tau,
+            tick_period: self.tick_period,
+            nvm_delay: self.nvm_delay,
+            steps_per_period: self.steps_per_period,
+            envelope_substeps: self.envelope_substeps,
+            detector_noise_rms: self.detector_noise_rms,
+            nvm_code: u32::from(self.nvm_code.value()),
+        }
+    }
+
+    /// Runs the full static verification pass on this configuration and
+    /// returns every diagnostic (errors, warnings and notes).
+    ///
+    /// [`validate`](Self::validate) stops at the first violation with a
+    /// terse message; this pass reports them all, with stable codes.
+    pub fn check(&self) -> lcosc_check::Report {
+        lcosc_check::check_config_facts(&self.facts())
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -144,7 +172,9 @@ impl OscillatorConfig {
     /// constraint.
     pub fn validate(&self) -> Result<()> {
         if !(self.target_vpp > 0.0) {
-            return Err(CoreError::InvalidConfig("target amplitude must be positive"));
+            return Err(CoreError::InvalidConfig(
+                "target amplitude must be positive",
+            ));
         }
         if !(self.vdd > 0.0 && self.vref > 0.0 && self.vref < self.vdd) {
             return Err(CoreError::InvalidConfig("vref must sit between the rails"));
@@ -178,7 +208,9 @@ impl OscillatorConfig {
             ));
         }
         if self.envelope_substeps == 0 {
-            return Err(CoreError::InvalidConfig("envelope substeps must be non-zero"));
+            return Err(CoreError::InvalidConfig(
+                "envelope substeps must be non-zero",
+            ));
         }
         if !(self.detector_noise_rms >= 0.0 && self.detector_noise_rms.is_finite()) {
             return Err(CoreError::InvalidConfig(

@@ -36,13 +36,7 @@ impl AmplitudeDetector {
     ///
     /// Panics unless `target_peak`, `window_rel_width`, `tau` and `dt` are
     /// positive.
-    pub fn new(
-        target_peak: f64,
-        window_rel_width: f64,
-        tau: f64,
-        dt: f64,
-        vref0: f64,
-    ) -> Self {
+    pub fn new(target_peak: f64, window_rel_width: f64, tau: f64, dt: f64, vref0: f64) -> Self {
         assert!(target_peak > 0.0, "target amplitude must be positive");
         let target_vdc = RECTIFIER_GAIN * target_peak;
         let mut midpoint_lpf = OnePoleLowPass::new(tau, dt);
@@ -68,7 +62,9 @@ impl AmplitudeDetector {
     /// Feeds a known amplitude directly (envelope-mode simulation):
     /// `peak` is the current per-pin amplitude.
     pub fn update_from_amplitude(&mut self, peak: f64) -> WindowState {
-        let vdc1 = self.amplitude_lpf.update(RECTIFIER_GAIN * peak * RECT_TO_PEAK);
+        let vdc1 = self
+            .amplitude_lpf
+            .update(RECTIFIER_GAIN * peak * RECT_TO_PEAK);
         self.window.classify(vdc1)
     }
 
@@ -121,7 +117,11 @@ mod tests {
         let s = feed_sine(&mut det, 0.5, 1.65, 200);
         assert_eq!(s, WindowState::Inside);
         // VDC1 should be (2/π)·0.5 ≈ 0.318.
-        assert!((det.vdc1() - RECTIFIER_GAIN * 0.5).abs() < 0.02, "vdc1 {}", det.vdc1());
+        assert!(
+            (det.vdc1() - RECTIFIER_GAIN * 0.5).abs() < 0.02,
+            "vdc1 {}",
+            det.vdc1()
+        );
     }
 
     #[test]

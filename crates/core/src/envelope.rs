@@ -94,8 +94,7 @@ impl EnvelopeModel {
         if a <= 0.0 {
             return 0.0;
         }
-        (self.driver.describing_function(a) - self.gm_crit)
-            / (2.0 * self.tank.c_avg().value())
+        (self.driver.describing_function(a) - self.gm_crit) / (2.0 * self.tank.c_avg().value())
     }
 
     /// Advances the amplitude by `dt` seconds.
@@ -259,7 +258,10 @@ mod tests {
         let a_star = m.steady_amplitude();
         for a0 in [0.01 * a_star, 3.0 * a_star] {
             let a = m.advance(a0, 200e-6, 20_000);
-            assert!((a / a_star - 1.0).abs() < 0.01, "from {a0}: {a} vs {a_star}");
+            assert!(
+                (a / a_star - 1.0).abs() < 0.01,
+                "from {a0}: {a} vs {a_star}"
+            );
         }
     }
 

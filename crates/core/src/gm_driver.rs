@@ -48,7 +48,10 @@ impl GmDriver {
     ///
     /// Panics if `i_max` is negative, or a shape `gm` is not positive.
     pub fn new(shape: DriverShape, i_max: f64) -> Self {
-        assert!(i_max >= 0.0 && i_max.is_finite(), "i_max must be non-negative");
+        assert!(
+            i_max >= 0.0 && i_max.is_finite(),
+            "i_max must be non-negative"
+        );
         match shape {
             DriverShape::LinearSaturate { gm } | DriverShape::Tanh { gm } => {
                 assert!(gm > 0.0, "gm must be positive");
@@ -80,7 +83,10 @@ impl GmDriver {
     ///
     /// Panics if `i_max` is negative or non-finite.
     pub fn set_i_max(&mut self, i_max: f64) {
-        assert!(i_max >= 0.0 && i_max.is_finite(), "i_max must be non-negative");
+        assert!(
+            i_max >= 0.0 && i_max.is_finite(),
+            "i_max must be non-negative"
+        );
         self.i_max = i_max;
     }
 
@@ -213,7 +219,10 @@ mod tests {
             let d = GmDriver::new(shape, 1e-3);
             for v in [-10.0, -0.5, -0.01, 0.01, 0.5, 10.0] {
                 let i = d.current(v);
-                assert!((i + d.current(-v)).abs() < 1e-15, "{shape:?} not odd at {v}");
+                assert!(
+                    (i + d.current(-v)).abs() < 1e-15,
+                    "{shape:?} not odd at {v}"
+                );
                 assert!(i.abs() <= 1e-3 + 1e-15, "{shape:?} exceeds limit at {v}");
             }
             assert_eq!(d.current(0.0), 0.0);

@@ -65,6 +65,8 @@ pub use thresholds::ReferenceStyle;
 pub enum CoreError {
     /// A configuration value failed validation.
     InvalidConfig(&'static str),
+    /// The static verification pass (`lcosc-check`) found errors.
+    CheckFailed(lcosc_check::Report),
     /// The oscillator never started within the allotted simulation time.
     NoOscillation {
         /// Time simulated before giving up, seconds.
@@ -76,6 +78,9 @@ impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::CheckFailed(report) => {
+                write!(f, "static check failed:\n{}", report.render_human())
+            }
             CoreError::NoOscillation { simulated } => {
                 write!(f, "no oscillation detected after {simulated:.3e} s")
             }
@@ -94,7 +99,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(CoreError::InvalidConfig("bad q").to_string().contains("bad q"));
+        assert!(CoreError::InvalidConfig("bad q")
+            .to_string()
+            .contains("bad q"));
         assert!(CoreError::NoOscillation { simulated: 1e-3 }
             .to_string()
             .contains("no oscillation"));

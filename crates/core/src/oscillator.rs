@@ -304,12 +304,19 @@ mod tests {
         let model = OscillatorModel::new(tank, test_driver(1e-3), 1.65);
         let dt = dt_for(&tank);
         // ~200 cycles.
-        let wf = model.run(OscillatorState::at_rest(1.65), 200.0 / tank.f0().value(), dt, 1);
+        let wf = model.run(
+            OscillatorState::at_rest(1.65),
+            200.0 / tank.f0().value(),
+            dt,
+            1,
+        );
         let vd = wf.v_diff();
         // Early window: the first oscillation cycle (amplitude saturates
         // within a few microseconds at this gain margin).
         let early = vd[..80].iter().fold(0.0f64, |m, v| m.max(v.abs()));
-        let late = vd[9 * vd.len() / 10..].iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let late = vd[9 * vd.len() / 10..]
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()));
         assert!(late > 50.0 * early, "no growth: early {early}, late {late}");
         // Saturated amplitude close to the describing-function prediction.
         let predict = OscillationCondition::new(tank)
@@ -327,7 +334,12 @@ mod tests {
         let tank = test_tank();
         let model = OscillatorModel::new(tank, test_driver(1e-3), 1.65);
         let dt = dt_for(&tank);
-        let wf = model.run(OscillatorState::at_rest(1.65), 150.0 / tank.f0().value(), dt, 1);
+        let wf = model.run(
+            OscillatorState::at_rest(1.65),
+            150.0 / tank.f0().value(),
+            dt,
+            1,
+        );
         let vd = wf.v_diff();
         // Measure over the saturated tail.
         let tail = &vd[vd.len() / 2..];
@@ -346,9 +358,16 @@ mod tests {
         let run_amp = |i_max: f64| {
             let model = OscillatorModel::new(tank, test_driver(i_max), 1.65);
             let dt = dt_for(&tank);
-            let wf = model.run(OscillatorState::at_rest(1.65), 250.0 / tank.f0().value(), dt, 1);
+            let wf = model.run(
+                OscillatorState::at_rest(1.65),
+                250.0 / tank.f0().value(),
+                dt,
+                1,
+            );
             let vd = wf.v_diff();
-            vd[4 * vd.len() / 5..].iter().fold(0.0f64, |m, v| m.max(v.abs()))
+            vd[4 * vd.len() / 5..]
+                .iter()
+                .fold(0.0f64, |m, v| m.max(v.abs()))
         };
         let a1 = run_amp(0.5e-3);
         let a2 = run_amp(1.0e-3);
@@ -367,8 +386,12 @@ mod tests {
         state.v2 -= 0.1;
         let wf = model.run(state, 100.0 / tank.f0().value(), dt, 1);
         let vd = wf.v_diff();
-        let early = vd[..vd.len() / 5].iter().fold(0.0f64, |m, v| m.max(v.abs()));
-        let late = vd[4 * vd.len() / 5..].iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let early = vd[..vd.len() / 5]
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()));
+        let late = vd[4 * vd.len() / 5..]
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()));
         assert!(late < 0.5 * early, "should decay: {early} -> {late}");
     }
 
@@ -383,7 +406,9 @@ mod tests {
         state.v2 -= 0.5;
         let wf = model.run(state, 60.0 / tank.f0().value(), dt, 1);
         let vd = wf.v_diff();
-        let late = vd[4 * vd.len() / 5..].iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let late = vd[4 * vd.len() / 5..]
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()));
         // Q = 10: envelope decays as exp(−π f t / Q): 60 cycles ≈ 6·10⁻⁹·...
         // 60 cycles -> exp(−π·60/10) ≈ 6·10⁻⁹ of the initial 1.0.
         assert!(late < 1e-3, "ring-down amplitude {late}");
@@ -394,14 +419,22 @@ mod tests {
         let tank = test_tank();
         let model = OscillatorModel::new(tank, test_driver(1e-3), 1.65);
         let dt = dt_for(&tank);
-        let wf = model.run(OscillatorState::at_rest(1.65), 150.0 / tank.f0().value(), dt, 1);
+        let wf = model.run(
+            OscillatorState::at_rest(1.65),
+            150.0 / tank.f0().value(),
+            dt,
+            1,
+        );
         let cm_late: f64 = wf.v1[wf.len() - 100..]
             .iter()
             .zip(&wf.v2[wf.len() - 100..])
             .map(|(a, b)| 0.5 * (a + b))
             .sum::<f64>()
             / 100.0;
-        assert!((cm_late - 1.65).abs() < 0.05, "common mode drifted to {cm_late}");
+        assert!(
+            (cm_late - 1.65).abs() < 0.05,
+            "common mode drifted to {cm_late}"
+        );
     }
 
     #[test]
@@ -411,13 +444,23 @@ mod tests {
         let amp = |leak: f64| {
             let mut model = OscillatorModel::new(tank, test_driver(1e-3), 1.65);
             model.set_pin_leak(0, leak);
-            let wf = model.run(OscillatorState::at_rest(1.65), 250.0 / tank.f0().value(), dt, 1);
+            let wf = model.run(
+                OscillatorState::at_rest(1.65),
+                250.0 / tank.f0().value(),
+                dt,
+                1,
+            );
             let vd = wf.v_diff();
-            vd[4 * vd.len() / 5..].iter().fold(0.0f64, |m, v| m.max(v.abs()))
+            vd[4 * vd.len() / 5..]
+                .iter()
+                .fold(0.0f64, |m, v| m.max(v.abs()))
         };
         let clean = amp(0.0);
         let leaky = amp(2e-3); // 500 Ω to ground on LC1
-        assert!(leaky < 0.8 * clean, "leak should reduce amplitude: {clean} -> {leaky}");
+        assert!(
+            leaky < 0.8 * clean,
+            "leak should reduce amplitude: {clean} -> {leaky}"
+        );
     }
 
     #[test]

@@ -104,13 +104,31 @@ pub struct ClosedLoopSim {
 }
 
 impl ClosedLoopSim {
-    /// Builds the loop from a configuration.
+    /// Builds the loop from a configuration, running the full static
+    /// verification pass first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::CheckFailed`] with the complete
+    /// diagnostic report when the `lcosc-check` pass finds errors, or
+    /// [`crate::CoreError::InvalidConfig`] when plain validation fails.
+    pub fn new(cfg: OscillatorConfig) -> Result<Self> {
+        let report = cfg.check();
+        if report.has_errors() {
+            return Err(crate::CoreError::CheckFailed(report));
+        }
+        Self::new_unchecked(cfg)
+    }
+
+    /// Builds the loop without the static verification pass (escape hatch
+    /// for fault-injection studies that construct deliberately out-of-spec
+    /// configurations). Basic validation still applies.
     ///
     /// # Errors
     ///
     /// Returns [`crate::CoreError::InvalidConfig`] when the configuration
     /// fails validation.
-    pub fn new(cfg: OscillatorConfig) -> Result<Self> {
+    pub fn new_unchecked(cfg: OscillatorConfig) -> Result<Self> {
         cfg.validate()?;
         let driver = GmDriver::new(cfg.driver_shape, 0.0);
         let model = OscillatorModel::new(cfg.tank, driver, cfg.vref).with_rails(cfg.vdd);
@@ -198,10 +216,11 @@ impl ClosedLoopSim {
     pub fn inject_tank(&mut self, tank: LcTank) {
         let driver = *self.model.driver();
         self.model = OscillatorModel::new(tank, driver, self.cfg.vref).with_rails(self.cfg.vdd);
-        self.envelope =
-            EnvelopeModel::new(tank, driver).with_clamp(self.cfg.rail_clamp());
+        self.envelope = EnvelopeModel::new(tank, driver).with_clamp(self.cfg.rail_clamp());
         self.cfg.tank = tank;
-        self.trace.events.push(SimEvent::FaultInjected { t: self.t });
+        self.trace
+            .events
+            .push(SimEvent::FaultInjected { t: self.t });
     }
 
     /// Overrides the regulation code immediately (safe-state reaction or
@@ -216,7 +235,9 @@ impl ClosedLoopSim {
         self.driver_dead = true;
         self.model.set_driver_enabled(false);
         self.envelope.set_i_max(0.0);
-        self.trace.events.push(SimEvent::FaultInjected { t: self.t });
+        self.trace
+            .events
+            .push(SimEvent::FaultInjected { t: self.t });
     }
 
     /// Adds a leak conductance at a pin (0 = LC1, 1 = LC2); cycle mode only
@@ -241,9 +262,10 @@ impl ClosedLoopSim {
         let scale = (gm0 + extra_gm) / gm0;
         let faulted = tank.with_rs(lcosc_num::units::Ohms(tank.rs().value() * scale));
         let driver = *self.model.driver();
-        self.envelope =
-            EnvelopeModel::new(faulted, driver).with_clamp(self.cfg.rail_clamp());
-        self.trace.events.push(SimEvent::FaultInjected { t: self.t });
+        self.envelope = EnvelopeModel::new(faulted, driver).with_clamp(self.cfg.rail_clamp());
+        self.trace
+            .events
+            .push(SimEvent::FaultInjected { t: self.t });
     }
 
     fn apply_code(&mut self, code: Code) {
@@ -289,7 +311,7 @@ impl ClosedLoopSim {
                     self.model.step(&mut self.state, dt, &mut self.scratch);
                     window = self.detector.update(self.state.v1, self.state.v2);
                     self.t += dt;
-                    if k % self.record_stride == 0 {
+                    if k.is_multiple_of(self.record_stride) {
                         self.trace.waveform_vdiff.push(self.state.v_diff());
                     }
                     k += 1;
@@ -320,7 +342,9 @@ impl ClosedLoopSim {
             self.apply_code(after);
         }
         if self.fsm.saturated_high() {
-            self.trace.events.push(SimEvent::SaturatedHigh { t: self.t });
+            self.trace
+                .events
+                .push(SimEvent::SaturatedHigh { t: self.t });
         }
 
         self.trace.tick_times.push(self.t);
@@ -375,11 +399,11 @@ impl ClosedLoopSim {
             let codes = &self.trace.codes;
             if codes.len() >= HOLD + 2 {
                 let tail = &codes[codes.len() - HOLD..];
-                let lo = *tail.iter().min().expect("non-empty");
-                let hi = *tail.iter().max().expect("non-empty");
-                if hi - lo <= 1 {
-                    settled = true;
-                    break;
+                if let (Some(&lo), Some(&hi)) = (tail.iter().min(), tail.iter().max()) {
+                    if hi - lo <= 1 {
+                        settled = true;
+                        break;
+                    }
                 }
             }
         }
@@ -390,9 +414,7 @@ impl ClosedLoopSim {
             ticks: executed,
             final_code: self.fsm.code(),
             final_vpp: self.amplitude_vpp(),
-            supply_current: cond
-                .supply_current(lcosc_num::units::Amps(i_max))
-                .value(),
+            supply_current: cond.supply_current(lcosc_num::units::Amps(i_max)).value(),
         })
     }
 }
@@ -409,7 +431,12 @@ mod tests {
         let report = sim.run_until_settled().unwrap();
         assert!(report.settled, "did not settle: {report:?}");
         let d = (report.final_code.value() as i32 - expected.value() as i32).abs();
-        assert!(d <= 2, "settled at {} vs expected {}", report.final_code, expected);
+        assert!(
+            d <= 2,
+            "settled at {} vs expected {}",
+            report.final_code,
+            expected
+        );
     }
 
     #[test]
@@ -459,7 +486,11 @@ mod tests {
         sim.run_until_settled().unwrap();
         sim.inject_driver_failure();
         sim.run_ticks(150);
-        assert!(sim.amplitude_vpp() < 0.05, "amplitude {}", sim.amplitude_vpp());
+        assert!(
+            sim.amplitude_vpp() < 0.05,
+            "amplitude {}",
+            sim.amplitude_vpp()
+        );
         // The loop keeps asking for more current until it saturates high.
         assert_eq!(sim.code(), Code::MAX);
         assert!(sim
@@ -574,5 +605,27 @@ mod tests {
         let mut cfg = OscillatorConfig::fast_test();
         cfg.window_rel_width = 0.01;
         assert!(ClosedLoopSim::new(cfg).is_err());
+    }
+
+    #[test]
+    fn check_failure_carries_the_full_report() {
+        let mut cfg = OscillatorConfig::fast_test();
+        cfg.window_rel_width = 0.01;
+        match ClosedLoopSim::new(cfg.clone()) {
+            Err(crate::CoreError::CheckFailed(report)) => {
+                assert!(report.contains("S001"), "{}", report.render_human());
+            }
+            other => panic!("expected CheckFailed, got {other:?}"),
+        }
+        // The escape hatch skips the static pass but still validates.
+        assert!(matches!(
+            ClosedLoopSim::new_unchecked(cfg),
+            Err(crate::CoreError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn unchecked_constructor_accepts_valid_configs() {
+        assert!(ClosedLoopSim::new_unchecked(OscillatorConfig::fast_test()).is_ok());
     }
 }

@@ -33,7 +33,9 @@ impl LcTank {
             return Err(CoreError::InvalidConfig("capacitances must be positive"));
         }
         if !(rs > 0.0 && rs.is_finite()) {
-            return Err(CoreError::InvalidConfig("series resistance must be positive"));
+            return Err(CoreError::InvalidConfig(
+                "series resistance must be positive",
+            ));
         }
         Ok(LcTank { l, c1, c2, rs })
     }

@@ -99,8 +99,7 @@ impl LinearityReport {
                 // DNL in units of the local design step.
                 let local_step = Segment::of(code.increment()).step as f64;
                 let measured_step = dac.units(code.increment()) - measured;
-                let nominal_step =
-                    multiplication_factor(code.increment()) as f64 - nominal;
+                let nominal_step = multiplication_factor(code.increment()) as f64 - nominal;
                 let dnl = (measured_step - nominal_step) / local_step;
                 if dnl.abs() > dnl_worst.abs() {
                     dnl_worst = dnl;
@@ -176,7 +175,11 @@ mod tests {
         // seeded dies most must be monotonic (sanity of sigma scaling).
         let p = DacMismatchParams::default();
         let monotone = (0..20)
-            .filter(|&s| MismatchedDac::sampled(&p, s).non_monotonic_codes().is_empty())
+            .filter(|&s| {
+                MismatchedDac::sampled(&p, s)
+                    .non_monotonic_codes()
+                    .is_empty()
+            })
             .count();
         assert!(monotone >= 15, "only {monotone}/20 monotone");
     }
@@ -187,8 +190,11 @@ mod tests {
             sigma_prescale: 0.08,
             ..DacMismatchParams::default()
         };
-        let any_nonmono = (0..20)
-            .any(|s| !MismatchedDac::sampled(&p, s).non_monotonic_codes().is_empty());
+        let any_nonmono = (0..20).any(|s| {
+            !MismatchedDac::sampled(&p, s)
+                .non_monotonic_codes()
+                .is_empty()
+        });
         assert!(any_nonmono);
     }
 

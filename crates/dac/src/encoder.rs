@@ -138,14 +138,14 @@ mod tests {
         // Table 1 "OscF<6:0>" column: nibble at bit 0 (segs 0-2), bit 1
         // (segs 3-4), bit 2 (segs 5-6), bit 3 (seg 7).
         let cases = [
-            (0x05u32, 0b0000101u8),  // seg 0, B=5
-            (0x15, 0b0000101),       // seg 1, B=5
-            (0x25, 0b0000101),       // seg 2, B=5
-            (0x35, 0b0001010),       // seg 3, B=5 << 1
-            (0x45, 0b0001010),       // seg 4
-            (0x55, 0b0010100),       // seg 5, B=5 << 2
-            (0x65, 0b0010100),       // seg 6
-            (0x75, 0b0101000),       // seg 7, B=5 << 3
+            (0x05u32, 0b0000101u8), // seg 0, B=5
+            (0x15, 0b0000101),      // seg 1, B=5
+            (0x25, 0b0000101),      // seg 2, B=5
+            (0x35, 0b0001010),      // seg 3, B=5 << 1
+            (0x45, 0b0001010),      // seg 4
+            (0x55, 0b0010100),      // seg 5, B=5 << 2
+            (0x65, 0b0010100),      // seg 6
+            (0x75, 0b0101000),      // seg 7, B=5 << 3
         ];
         for (code, oscf) in cases {
             let w = ControlWord::encode(Code::new(code).unwrap());

@@ -31,7 +31,7 @@ pub fn ideal_exponential(code: Code) -> f64 {
 /// returns 11 — the paper's "corresponding to an 11-bit linear DAC".
 pub fn equivalent_linear_bits() -> u32 {
     let full_scale = multiplication_factor(Code::MAX);
-    32 - (full_scale as u32).leading_zeros()
+    32 - full_scale.leading_zeros()
 }
 
 /// Worst-case relative error of the PWL staircase against the matched ideal

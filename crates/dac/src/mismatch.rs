@@ -199,7 +199,7 @@ impl MismatchedDac {
         Code::all()
             .filter(|&c| c != Code::MAX)
             .filter(|&c| self.units(c.increment()) < self.units(c))
-            .map(|c| c.value())
+            .map(Code::value)
             .collect()
     }
 }
@@ -223,13 +223,19 @@ mod tests {
 
     #[test]
     fn ideal_die_is_monotone() {
-        assert!(MismatchedDac::ideal(12.5e-6).non_monotonic_codes().is_empty());
+        assert!(MismatchedDac::ideal(12.5e-6)
+            .non_monotonic_codes()
+            .is_empty());
     }
 
     #[test]
     fn reference_die_is_non_monotonic_exactly_at_96() {
         let dac = MismatchedDac::reference_die();
-        assert_eq!(dac.non_monotonic_codes(), vec![95], "step 95 -> 96 is negative");
+        assert_eq!(
+            dac.non_monotonic_codes(),
+            vec![95],
+            "step 95 -> 96 is negative"
+        );
         let s = dac.relative_step(Code::new(95).unwrap()).unwrap();
         assert!(s < 0.0, "step at 95->96 is {s}");
     }
@@ -240,7 +246,10 @@ mod tests {
         for code in Code::all().skip(1) {
             let nom = multiplication_factor(code) as f64;
             let meas = dac.units(code);
-            assert!((meas / nom - 1.0).abs() < 0.05, "code {code}: {meas} vs {nom}");
+            assert!(
+                (meas / nom - 1.0).abs() < 0.05,
+                "code {code}: {meas} vs {nom}"
+            );
         }
     }
 
@@ -267,7 +276,10 @@ mod tests {
         for code in Code::all().skip(8) {
             let nom = multiplication_factor(code) as f64;
             let meas = dac.units(code);
-            assert!((meas / nom - 1.0).abs() < 0.15, "code {code}: {meas} vs {nom}");
+            assert!(
+                (meas / nom - 1.0).abs() < 0.15,
+                "code {code}: {meas} vs {nom}"
+            );
         }
     }
 

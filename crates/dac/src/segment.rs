@@ -29,14 +29,94 @@ pub struct Segment {
 
 /// All 8 segments, exactly as printed in the paper's Table 1.
 pub const SEGMENTS: [Segment; 8] = [
-    Segment { index: 0, prescale: 1, gm_weight: 1, step: 1, range_min: 0, range_max: 15, oscf_shift: 0, osc_d: 0b000, osc_e: 0b0000 },
-    Segment { index: 1, prescale: 1, gm_weight: 2, step: 1, range_min: 16, range_max: 31, oscf_shift: 0, osc_d: 0b000, osc_e: 0b0001 },
-    Segment { index: 2, prescale: 2, gm_weight: 2, step: 2, range_min: 32, range_max: 62, oscf_shift: 0, osc_d: 0b001, osc_e: 0b0001 },
-    Segment { index: 3, prescale: 2, gm_weight: 3, step: 4, range_min: 64, range_max: 124, oscf_shift: 1, osc_d: 0b001, osc_e: 0b0011 },
-    Segment { index: 4, prescale: 4, gm_weight: 3, step: 8, range_min: 128, range_max: 248, oscf_shift: 1, osc_d: 0b011, osc_e: 0b0011 },
-    Segment { index: 5, prescale: 4, gm_weight: 5, step: 16, range_min: 256, range_max: 496, oscf_shift: 2, osc_d: 0b011, osc_e: 0b0111 },
-    Segment { index: 6, prescale: 8, gm_weight: 5, step: 32, range_min: 512, range_max: 992, oscf_shift: 2, osc_d: 0b111, osc_e: 0b0111 },
-    Segment { index: 7, prescale: 8, gm_weight: 9, step: 64, range_min: 1024, range_max: 1984, oscf_shift: 3, osc_d: 0b111, osc_e: 0b1111 },
+    Segment {
+        index: 0,
+        prescale: 1,
+        gm_weight: 1,
+        step: 1,
+        range_min: 0,
+        range_max: 15,
+        oscf_shift: 0,
+        osc_d: 0b000,
+        osc_e: 0b0000,
+    },
+    Segment {
+        index: 1,
+        prescale: 1,
+        gm_weight: 2,
+        step: 1,
+        range_min: 16,
+        range_max: 31,
+        oscf_shift: 0,
+        osc_d: 0b000,
+        osc_e: 0b0001,
+    },
+    Segment {
+        index: 2,
+        prescale: 2,
+        gm_weight: 2,
+        step: 2,
+        range_min: 32,
+        range_max: 62,
+        oscf_shift: 0,
+        osc_d: 0b001,
+        osc_e: 0b0001,
+    },
+    Segment {
+        index: 3,
+        prescale: 2,
+        gm_weight: 3,
+        step: 4,
+        range_min: 64,
+        range_max: 124,
+        oscf_shift: 1,
+        osc_d: 0b001,
+        osc_e: 0b0011,
+    },
+    Segment {
+        index: 4,
+        prescale: 4,
+        gm_weight: 3,
+        step: 8,
+        range_min: 128,
+        range_max: 248,
+        oscf_shift: 1,
+        osc_d: 0b011,
+        osc_e: 0b0011,
+    },
+    Segment {
+        index: 5,
+        prescale: 4,
+        gm_weight: 5,
+        step: 16,
+        range_min: 256,
+        range_max: 496,
+        oscf_shift: 2,
+        osc_d: 0b011,
+        osc_e: 0b0111,
+    },
+    Segment {
+        index: 6,
+        prescale: 8,
+        gm_weight: 5,
+        step: 32,
+        range_min: 512,
+        range_max: 992,
+        oscf_shift: 2,
+        osc_d: 0b111,
+        osc_e: 0b0111,
+    },
+    Segment {
+        index: 7,
+        prescale: 8,
+        gm_weight: 9,
+        step: 64,
+        range_min: 1024,
+        range_max: 1984,
+        oscf_shift: 3,
+        osc_d: 0b111,
+        osc_e: 0b1111,
+    },
 ];
 
 impl Segment {
@@ -61,7 +141,12 @@ mod tests {
     fn table1_ranges_are_consistent() {
         for s in &SEGMENTS {
             // range covers exactly 16 codes of `step`.
-            assert_eq!(s.range_max, s.range_min + 15 * s.step, "segment {}", s.index);
+            assert_eq!(
+                s.range_max,
+                s.range_min + 15 * s.step,
+                "segment {}",
+                s.index
+            );
             // output formula reproduces range_min at lsbs = 0.
             assert_eq!(
                 s.prescale * s.fixed_units(),
@@ -71,7 +156,12 @@ mod tests {
             );
             // prescale · step-in-bank equals the printed step: the nibble
             // shift makes one LSB worth 2^shift bank units.
-            assert_eq!(s.prescale * (1 << s.oscf_shift), s.step, "segment {}", s.index);
+            assert_eq!(
+                s.prescale * (1 << s.oscf_shift),
+                s.step,
+                "segment {}",
+                s.index
+            );
         }
     }
 

@@ -86,7 +86,9 @@ impl TransferCurve {
 
     /// All 128 `(code, units)` points (Fig 3's staircase).
     pub fn points(&self) -> Vec<(u8, u32)> {
-        Code::all().map(|c| (c.value(), multiplication_factor(c))).collect()
+        Code::all()
+            .map(|c| (c.value(), multiplication_factor(c)))
+            .collect()
     }
 
     /// Smallest code whose output current reaches at least `target`.

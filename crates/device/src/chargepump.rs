@@ -71,9 +71,7 @@ impl NegativeChargePump {
         if !self.enabled {
             return 0.0;
         }
-        let ripple = 0.5
-            * self.ripple_pp
-            * (2.0 * std::f64::consts::PI * self.clock_hz * t).sin();
+        let ripple = 0.5 * self.ripple_pp * (2.0 * std::f64::consts::PI * self.clock_hz * t).sin();
         self.v_target + self.r_out * i_load + ripple
     }
 }

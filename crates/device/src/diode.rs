@@ -34,11 +34,7 @@ impl DiodeModel {
     pub fn new(is: f64, n: f64, temp_k: f64) -> Self {
         assert!(is > 0.0, "saturation current must be positive");
         assert!(n > 0.0, "emission coefficient must be positive");
-        DiodeModel {
-            is,
-            n,
-            temp_k,
-        }
+        DiodeModel { is, n, temp_k }
     }
 
     /// Typical bulk junction of the 0.35 µm process used by the paper.

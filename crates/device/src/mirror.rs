@@ -103,7 +103,9 @@ impl BinaryWeightedBank {
     pub fn ideal(bits: u32) -> Self {
         assert!(bits > 0 && bits <= 16, "bits must be in 1..=16");
         BinaryWeightedBank {
-            legs: (0..bits).map(|k| CurrentMirror::ideal((1u32 << k) as f64)).collect(),
+            legs: (0..bits)
+                .map(|k| CurrentMirror::ideal((1u32 << k) as f64))
+                .collect(),
         }
     }
 

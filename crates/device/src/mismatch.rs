@@ -140,7 +140,9 @@ mod tests {
         // Empirical sigma of ratio/nominal should scale ~ 1/sqrt(nominal).
         let spread = |nominal: f64| {
             let mut m = MismatchModel::new(0.05, 1234);
-            let xs: Vec<f64> = (0..5000).map(|_| m.ratio(nominal) / nominal - 1.0).collect();
+            let xs: Vec<f64> = (0..5000)
+                .map(|_| m.ratio(nominal) / nominal - 1.0)
+                .collect();
             (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
         };
         let s1 = spread(1.0);

@@ -198,7 +198,14 @@ impl MosModel {
         let di0_dvd = ispec * fp_d / vt;
         let di0_dvs = -ispec * fp_s / vt;
         // Partials of m (sign of vds; flat at exactly zero).
-        let dm = self.lambda * if vds > 0.0 { 1.0 } else if vds < 0.0 { -1.0 } else { 0.0 };
+        let dm = self.lambda
+            * if vds > 0.0 {
+                1.0
+            } else if vds < 0.0 {
+                -1.0
+            } else {
+                0.0
+            };
 
         MosOperatingPoint {
             id,
@@ -284,7 +291,10 @@ mod tests {
         // Swapping drain and source negates the current.
         let fwd = m.evaluate_4t(2.0, 1.0, 0.2).id;
         let rev = m.evaluate_4t(2.0, 0.2, 1.0).id;
-        assert!((fwd + rev).abs() < 1e-15 * fwd.abs().max(1.0), "{fwd} vs {rev}");
+        assert!(
+            (fwd + rev).abs() < 1e-15 * fwd.abs().max(1.0),
+            "{fwd} vs {rev}"
+        );
     }
 
     #[test]
@@ -292,7 +302,11 @@ mod tests {
         let m = MosModel::pmos_035um();
         // Source at bulk (= Vdd in a real circuit), gate pulled low.
         let op = m.evaluate_4t(-1.5, -1.0, 0.0);
-        assert!(op.id < -1e-5, "pmos drain current should be negative: {}", op.id);
+        assert!(
+            op.id < -1e-5,
+            "pmos drain current should be negative: {}",
+            op.id
+        );
     }
 
     #[test]

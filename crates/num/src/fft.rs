@@ -101,7 +101,10 @@ impl Complex {
 /// Panics unless `data.len()` is a power of two (and non-zero).
 pub fn fft_in_place(data: &mut [Complex]) {
     let n = data.len();
-    assert!(n.is_power_of_two() && n > 0, "fft length must be a power of two");
+    assert!(
+        n.is_power_of_two() && n > 0,
+        "fft length must be a power of two"
+    );
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {

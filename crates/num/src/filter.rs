@@ -101,7 +101,10 @@ impl Biquad {
     ///
     /// Panics unless `0 < f_cut < fs / 2`.
     pub fn butterworth_lowpass(f_cut: f64, fs: f64) -> Self {
-        assert!(f_cut > 0.0 && f_cut < fs / 2.0, "cutoff must be in (0, fs/2)");
+        assert!(
+            f_cut > 0.0 && f_cut < fs / 2.0,
+            "cutoff must be in (0, fs/2)"
+        );
         let k = (std::f64::consts::PI * f_cut / fs).tan();
         let q = std::f64::consts::FRAC_1_SQRT_2;
         let norm = 1.0 / (1.0 + k / q + k * k);

@@ -42,7 +42,9 @@ impl PwlTable {
         }
         for w in points.windows(2) {
             if !(w[1].0 > w[0].0) {
-                return Err(NumError::InvalidInput("pwl x values must strictly increase"));
+                return Err(NumError::InvalidInput(
+                    "pwl x values must strictly increase",
+                ));
             }
         }
         if points.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {

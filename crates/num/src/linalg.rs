@@ -120,9 +120,9 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         y
     }
@@ -184,12 +184,7 @@ impl Matrix {
                 }
             }
         }
-        Ok(LuFactors {
-            n,
-            lu,
-            perm,
-            sign,
-        })
+        Ok(LuFactors { n, lu, perm, sign })
     }
 
     /// Solves `self * x = b` via LU factorization.
@@ -272,16 +267,16 @@ impl LuFactors {
         // Forward substitution (L has unit diagonal).
         for i in 1..n {
             let mut s = x[i];
-            for j in 0..i {
-                s -= self.lu[i * n + j] * x[j];
+            for (j, xj) in x.iter().enumerate().take(i) {
+                s -= self.lu[i * n + j] * xj;
             }
             x[i] = s;
         }
         // Back substitution.
         for i in (0..n).rev() {
             let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.lu[i * n + j] * x[j];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                s -= self.lu[i * n + j] * xj;
             }
             x[i] = s / self.lu[i * n + i];
         }
@@ -338,8 +333,8 @@ mod tests {
 
     #[test]
     fn determinant_matches_cofactor_expansion() {
-        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]]).unwrap();
         // det = 1*(50-48) - 2*(40-42) + 3*(32-35) = 2 + 4 - 9 = -3
         assert!((a.det() + 3.0).abs() < 1e-10);
     }
@@ -351,7 +346,9 @@ mod tests {
         let mut a = Matrix::zeros(n, n);
         let mut seed = 1u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for i in 0..n {
@@ -464,7 +461,9 @@ impl ComplexMatrix {
 
     /// Sets every entry to zero, keeping the allocation.
     pub fn clear(&mut self) {
-        self.data.iter_mut().for_each(|v| *v = crate::fft::Complex::default());
+        self.data
+            .iter_mut()
+            .for_each(|v| *v = crate::fft::Complex::default());
     }
 
     /// Adds `value` to entry `(row, col)` (the MNA stamp operation).
@@ -473,7 +472,10 @@ impl ComplexMatrix {
     ///
     /// Panics if the indices are out of bounds.
     pub fn add(&mut self, row: usize, col: usize, value: crate::fft::Complex) {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         let cur = self.data[row * self.cols + col];
         self.data[row * self.cols + col] = cur + value;
     }
@@ -608,7 +610,9 @@ mod complex_tests {
             a.add(i, i, Complex::new(5.0, 0.0));
             dense[i * n + i] = dense[i * n + i] + Complex::new(5.0, 0.0);
         }
-        let xt: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let xt: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
         let b: Vec<Complex> = (0..n)
             .map(|i| {
                 let mut s = Complex::default();

@@ -27,7 +27,13 @@ pub trait OdeSystem {
 /// # Panics
 ///
 /// Panics if `x.len() != sys.dim()` or `scratch` is too small.
-pub fn rk4_step<S: OdeSystem + ?Sized>(sys: &S, t: f64, dt: f64, x: &mut [f64], scratch: &mut [f64]) {
+pub fn rk4_step<S: OdeSystem + ?Sized>(
+    sys: &S,
+    t: f64,
+    dt: f64,
+    x: &mut [f64],
+    scratch: &mut [f64],
+) {
     let n = sys.dim();
     assert_eq!(x.len(), n, "state length mismatch");
     assert!(scratch.len() >= 5 * n, "scratch must hold 5*dim values");
@@ -102,10 +108,23 @@ pub fn rkf45_adaptive<S: OdeSystem + ?Sized>(
         [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
         [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
         [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
-        [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+        [
+            -8.0 / 27.0,
+            2.0,
+            -3544.0 / 2565.0,
+            1859.0 / 4104.0,
+            -11.0 / 40.0,
+        ],
     ];
     const C: [f64; 6] = [0.0, 0.25, 3.0 / 8.0, 12.0 / 13.0, 1.0, 0.5];
-    const B4: [f64; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -1.0 / 5.0, 0.0];
+    const B4: [f64; 6] = [
+        25.0 / 216.0,
+        0.0,
+        1408.0 / 2565.0,
+        2197.0 / 4104.0,
+        -1.0 / 5.0,
+        0.0,
+    ];
     const B5: [f64; 6] = [
         16.0 / 135.0,
         0.0,
@@ -229,10 +248,11 @@ pub fn frequency_from_crossings(t0: f64, dt: f64, samples: &[f64]) -> Option<f64
         .filter(|z| z.rising)
         .map(|z| z.t)
         .collect();
+    let (first, last) = (rising.first()?, rising.last()?);
     if rising.len() < 2 {
         return None;
     }
-    let span = rising.last().unwrap() - rising.first().unwrap();
+    let span = last - first;
     Some((rising.len() - 1) as f64 / span)
 }
 

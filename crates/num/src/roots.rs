@@ -120,11 +120,7 @@ pub fn brent<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Result
         }
         xa = xb;
         fa = fb;
-        xb += if d.abs() > tol1 {
-            d
-        } else {
-            tol1.copysign(xm)
-        };
+        xb += if d.abs() > tol1 { d } else { tol1.copysign(xm) };
         fb = f(xb);
         if (fb > 0.0) == (fc > 0.0) {
             xc = xa;
@@ -263,7 +259,13 @@ mod tests {
     fn newton_damping_tames_exponential() {
         // f(x) = exp(20 x) - 1, start far away: raw Newton from x=2 is fine,
         // but from the flat side x=-5 the first step is enormous.
-        let r = newton(|x| (20.0 * x).exp() - 1.0, |x| 20.0 * (20.0 * x).exp(), -5.0, 1e-12, 200);
+        let r = newton(
+            |x| (20.0 * x).exp() - 1.0,
+            |x| 20.0 * (20.0 * x).exp(),
+            -5.0,
+            1e-12,
+            200,
+        );
         let r = r.unwrap();
         assert!(r.abs() < 1e-6, "root {r}");
     }

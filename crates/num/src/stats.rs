@@ -65,7 +65,7 @@ pub fn percentile(xs: &[f64], p: f64) -> Result<f64> {
         return Err(NumError::InvalidInput("percentile must be in [0, 100]"));
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -108,7 +108,11 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> Result<LineFit> {
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Ok(LineFit {
         slope,
         intercept,

@@ -171,8 +171,8 @@ impl PadDriver {
                 nl.mosfet(nbulk, gnd, lcx, nbulk, small_n); // MN5
                 nl.mosfet(ng1, gnd, lcx, nbulk, small_n); // MN3
                 nl.mosfet(nbulk, mg6, gnd, nbulk, small_n); // MN6
-                // MN6 gate: pulled to nbulk without supply (MP6 off), so
-                // Vgs stays 0 however deep the pin swings.
+                                                            // MN6 gate: pulled to nbulk without supply (MP6 off), so
+                                                            // Vgs stays 0 however deep the pin swings.
                 nl.resistor(mg6, nbulk, R_GUARD);
                 // Junctions: MN1 drain-bulk and source-bulk reference the
                 // switched p-well; PMOS drain-well unchanged.

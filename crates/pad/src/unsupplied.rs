@@ -145,7 +145,9 @@ mod tests {
     use super::*;
 
     fn run(topology: PadTopology) -> Vec<UnsuppliedPoint> {
-        UnsuppliedBench::new(topology).sweep_paper_range(61).unwrap()
+        UnsuppliedBench::new(topology)
+            .sweep_paper_range(61)
+            .unwrap()
     }
 
     #[test]
@@ -198,9 +200,7 @@ mod tests {
         let pts = run(PadTopology::BulkSwitched);
         let at = |v: f64| {
             pts.iter()
-                .min_by(|a, b| {
-                    (a.v_diff - v).abs().total_cmp(&(b.v_diff - v).abs())
-                })
+                .min_by(|a, b| (a.v_diff - v).abs().total_cmp(&(b.v_diff - v).abs()))
                 .unwrap()
                 .v_vdd
         };
@@ -218,9 +218,17 @@ mod tests {
         let last = pts.last().unwrap(); // v = +3
         assert!(last.v_lc1 < 1.9, "lc1 clamped: {}", last.v_lc1);
         assert!(last.v_lc1 > 0.6);
-        assert!((last.v_lc2 - (-1.5)).abs() < 0.1, "lc2 free: {}", last.v_lc2);
+        assert!(
+            (last.v_lc2 - (-1.5)).abs() < 0.1,
+            "lc2 free: {}",
+            last.v_lc2
+        );
         let first = pts.first().unwrap(); // v = −3
-        assert!((first.v_lc1 - (-1.5)).abs() < 0.1, "lc1 free: {}", first.v_lc1);
+        assert!(
+            (first.v_lc1 - (-1.5)).abs() < 0.1,
+            "lc1 free: {}",
+            first.v_lc1
+        );
     }
 
     #[test]

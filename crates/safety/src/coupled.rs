@@ -228,7 +228,10 @@ mod tests {
         let mut compensated = CoupledOscillators::new(tank(), tank(), 0.5, driver(1.5e-3), 1.65);
         compensated.kill_supply_b(UnsuppliedLoad::Isolated);
         let recovered = compensated.survivor_amplitude(span, dt());
-        assert!(recovered > 0.95 * solo, "recovered {recovered} vs solo {solo}");
+        assert!(
+            recovered > 0.95 * solo,
+            "recovered {recovered} vs solo {solo}"
+        );
     }
 
     #[test]
@@ -264,7 +267,10 @@ mod tests {
 
     #[test]
     fn load_current_shape() {
-        let clamp = UnsuppliedLoad::DiodeClamp { v_knee: 0.6, g: 0.02 };
+        let clamp = UnsuppliedLoad::DiodeClamp {
+            v_knee: 0.6,
+            g: 0.02,
+        };
         assert_eq!(clamp.current(0.3), 0.0);
         assert_eq!(clamp.current(-0.3), 0.0);
         assert!((clamp.current(1.6) - 0.02).abs() < 1e-12);

@@ -2,6 +2,16 @@
 
 use lcosc_num::filter::OnePoleLowPass;
 
+/// Chip-default missing-clock comparator sensitivity, volts.
+pub const CHIP_CLOCK_SENSITIVITY: f64 = 0.05;
+/// Chip-default missing-clock time-out, seconds (hundreds of missing
+/// cycles at 2–5 MHz).
+pub const CHIP_MISSING_CLOCK_TIMEOUT: f64 = 100e-6;
+/// Chip-default low-amplitude threshold as a fraction of the target.
+pub const CHIP_LOW_AMPLITUDE_FRACTION: f64 = 0.6;
+/// Chip-default asymmetry trip threshold, volts.
+pub const CHIP_ASYMMETRY_THRESHOLD: f64 = 0.05;
+
 /// Which detector fired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DetectorKind {
@@ -61,7 +71,7 @@ impl MissingClockDetector {
     /// Chip-like defaults: 50 mV comparator sensitivity, 100 µs time-out
     /// (hundreds of missing cycles at 2–5 MHz).
     pub fn chip_default() -> Self {
-        MissingClockDetector::new(0.05, 100e-6)
+        MissingClockDetector::new(CHIP_CLOCK_SENSITIVITY, CHIP_MISSING_CLOCK_TIMEOUT)
     }
 
     /// Advances by `dt` with the present differential amplitude.
@@ -116,7 +126,7 @@ impl LowAmplitudeDetector {
 
     /// Chip-like default: flag below 60 % of the target amplitude.
     pub fn chip_default(target_vpp: f64) -> Self {
-        LowAmplitudeDetector::new(0.6, target_vpp)
+        LowAmplitudeDetector::new(CHIP_LOW_AMPLITUDE_FRACTION, target_vpp)
     }
 
     /// Evaluates the detector: `vpp` is the present amplitude and

@@ -89,9 +89,7 @@ impl Fault {
                 };
                 Some(LcTank::new(nominal.l(), c1, c2, nominal.rs()).expect("tank is valid"))
             }
-            Fault::RsDrift { factor } => {
-                Some(nominal.with_rs(Ohms(nominal.rs().value() * factor)))
-            }
+            Fault::RsDrift { factor } => Some(nominal.with_rs(Ohms(nominal.rs().value() * factor))),
             _ => None,
         }
     }
@@ -152,7 +150,9 @@ mod tests {
     #[test]
     fn rs_drift_scales_rs_only() {
         let nominal = LcTank::datasheet_3mhz();
-        let faulted = Fault::RsDrift { factor: 4.0 }.faulted_tank(&nominal).unwrap();
+        let faulted = Fault::RsDrift { factor: 4.0 }
+            .faulted_tank(&nominal)
+            .unwrap();
         assert!((faulted.rs().value() / nominal.rs().value() - 4.0).abs() < 1e-12);
         assert_eq!(faulted.l(), nominal.l());
     }

@@ -97,7 +97,7 @@ impl std::fmt::Display for FmeaReport {
         )?;
         for e in &self.entries {
             let detectors: Vec<String> =
-                e.result.triggered.iter().map(|d| d.to_string()).collect();
+                e.result.triggered.iter().map(ToString::to_string).collect();
             writeln!(
                 f,
                 "{:<28} {:>8.3}V {:>9} {:>10}  {}",

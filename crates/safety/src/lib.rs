@@ -40,7 +40,9 @@ pub use dual::{DualOutcome, DualSystem};
 pub use fault::Fault;
 pub use fmea::{FmeaEntry, FmeaReport};
 pub use safe_state::{SafeStateController, SystemOutputs};
-pub use scenario::{run_scenario, ScenarioResult};
+pub use scenario::{
+    check_scenario, run_scenario, run_scenario_unchecked, safety_facts, ScenarioResult,
+};
 
 /// Errors produced by this crate — wraps the oscillator-core and
 /// circuit-simulator errors the analyses are built on.

@@ -119,7 +119,10 @@ mod tests {
     fn first_detector_wins_the_latch() {
         let mut ctl = SafeStateController::new();
         let mut s = sim();
-        ctl.react(&[DetectorKind::Asymmetry, DetectorKind::LowAmplitude], &mut s);
+        ctl.react(
+            &[DetectorKind::Asymmetry, DetectorKind::LowAmplitude],
+            &mut s,
+        );
         assert_eq!(ctl.latched(), Some(DetectorKind::Asymmetry));
         ctl.react(&[DetectorKind::MissingOscillation], &mut s);
         assert_eq!(ctl.latched(), Some(DetectorKind::Asymmetry));

@@ -3,9 +3,11 @@
 
 use crate::detectors::{
     AsymmetryDetector, DetectorKind, LowAmplitudeDetector, MissingClockDetector,
+    CHIP_ASYMMETRY_THRESHOLD, CHIP_LOW_AMPLITUDE_FRACTION, CHIP_MISSING_CLOCK_TIMEOUT,
 };
 use crate::fault::Fault;
 use lcosc_core::config::{Fidelity, OscillatorConfig};
+use lcosc_core::detector::RECTIFIER_GAIN;
 use lcosc_core::sim::{ClosedLoopSim, SimEvent};
 use lcosc_core::Result;
 
@@ -40,17 +42,60 @@ impl ScenarioResult {
     }
 }
 
+/// Builds the `S0xx` facts snapshot for a configuration paired with the
+/// chip-default detectors this module injects faults against.
+pub fn safety_facts(cfg: &OscillatorConfig) -> lcosc_check::SafetyFacts {
+    let vdc_target = RECTIFIER_GAIN * cfg.target_peak();
+    lcosc_check::SafetyFacts {
+        window_rel_width: cfg.window_rel_width,
+        max_rel_step: lcosc_check::ideal_max_rel_step_above_16(),
+        window_low: vdc_target * (1.0 - cfg.window_rel_width / 2.0),
+        window_high: vdc_target * (1.0 + cfg.window_rel_width / 2.0),
+        missing_clock_timeout: CHIP_MISSING_CLOCK_TIMEOUT,
+        lc_period: 1.0 / cfg.tank.f0().value(),
+        low_amplitude_fraction: CHIP_LOW_AMPLITUDE_FRACTION,
+        asymmetry_threshold: CHIP_ASYMMETRY_THRESHOLD,
+        detector_noise_rms: cfg.detector_noise_rms,
+    }
+}
+
+/// Runs the full static verification pass a scenario depends on: the
+/// configuration's `C0xx` rules plus the `S0xx` safety invariants of the
+/// chip-default detectors.
+pub fn check_scenario(cfg: &OscillatorConfig) -> lcosc_check::Report {
+    let mut report = cfg.check();
+    report.merge(lcosc_check::check_safety_facts(&safety_facts(cfg)));
+    report
+}
+
 /// Runs one fault scenario on the given base configuration (envelope
 /// fidelity is forced for speed; the waveform-level detector variants are
-/// validated separately in cycle-fidelity integration tests).
+/// validated separately in cycle-fidelity integration tests), after
+/// pre-checking the configuration and safety invariants.
+///
+/// # Errors
+///
+/// Returns [`lcosc_core::CoreError::CheckFailed`] when the static pass
+/// rejects the configuration, and propagates simulation-setup errors.
+pub fn run_scenario(fault: Fault, base: &OscillatorConfig) -> Result<ScenarioResult> {
+    let report = check_scenario(base);
+    if report.has_errors() {
+        return Err(lcosc_core::CoreError::CheckFailed(report));
+    }
+    run_scenario_unchecked(fault, base)
+}
+
+/// [`run_scenario`] without the static verification pass — the escape
+/// hatch for FMEA studies that intentionally inject out-of-spec
+/// parameters. Basic configuration validation still applies.
 ///
 /// # Errors
 ///
 /// Propagates configuration errors from the simulation setup.
-pub fn run_scenario(fault: Fault, base: &OscillatorConfig) -> Result<ScenarioResult> {
+pub fn run_scenario_unchecked(fault: Fault, base: &OscillatorConfig) -> Result<ScenarioResult> {
     let mut cfg = base.clone();
     cfg.fidelity = Fidelity::Envelope;
-    let mut sim = ClosedLoopSim::new(cfg.clone())?;
+    let mut sim = ClosedLoopSim::new_unchecked(cfg.clone())?;
 
     // Settle at the healthy operating point.
     let healthy = sim.run_until_settled()?;
@@ -100,7 +145,8 @@ pub fn run_scenario(fault: Fault, base: &OscillatorConfig) -> Result<ScenarioRes
     let a = sim.amplitude_peak();
     let a1 = 2.0 * a * c2 / (c1 + c2);
     let a2 = 2.0 * a * c1 / (c1 + c2);
-    let asym = AsymmetryDetector::new(cfg.vref, 20e-6, 1e-8, 0.05).evaluate_amplitudes(a1, a2);
+    let asym = AsymmetryDetector::new(cfg.vref, 20e-6, 1e-8, CHIP_ASYMMETRY_THRESHOLD)
+        .evaluate_amplitudes(a1, a2);
 
     let mut triggered = Vec::new();
     if clock_tripped {
@@ -134,7 +180,10 @@ mod tests {
     #[test]
     fn open_coil_detected_as_missing_oscillation() {
         let r = run_scenario(Fault::OpenCoil, &base()).unwrap();
-        assert!(r.triggered.contains(&DetectorKind::MissingOscillation), "{r:?}");
+        assert!(
+            r.triggered.contains(&DetectorKind::MissingOscillation),
+            "{r:?}"
+        );
         assert!(r.detected);
         assert!(r.final_vpp < 0.05);
     }
@@ -181,6 +230,39 @@ mod tests {
         // Collapsed inductance multiplies the critical gm ~12x: the loop
         // saturates and/or amplitude falls.
         assert!(r.detected, "{r:?}");
+    }
+
+    #[test]
+    fn scenario_precheck_is_clean_for_presets() {
+        for cfg in [
+            OscillatorConfig::fast_test(),
+            OscillatorConfig::datasheet_3mhz(),
+            OscillatorConfig::low_q(),
+        ] {
+            let r = check_scenario(&cfg);
+            assert!(!r.has_errors(), "{}", r.render_human());
+        }
+    }
+
+    #[test]
+    fn slow_tank_fails_the_safety_precheck() {
+        use lcosc_core::tank::LcTank;
+        use lcosc_num::units::{Farads, Henries};
+        // A ~1 kHz tank: the 100 µs missing-clock time-out spans a fraction
+        // of one LC period, so the detector would trip on a healthy clock.
+        let tank = LcTank::with_q(
+            Henries::from_micro(25_000.0),
+            Farads::from_nano(2_000.0),
+            10.0,
+        )
+        .expect("constants are valid");
+        let cfg = OscillatorConfig::for_tank(tank);
+        let report = check_scenario(&cfg);
+        assert!(report.contains("S003"), "{}", report.render_human());
+        match run_scenario(Fault::OpenCoil, &cfg) {
+            Err(lcosc_core::CoreError::CheckFailed(r)) => assert!(r.contains("S003")),
+            other => panic!("expected CheckFailed, got {other:?}"),
+        }
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl PositionDecoder {
     ///
     /// Panics unless both parameters are positive.
     pub fn new(magnitude_nominal: f64, tolerance: f64) -> Self {
-        assert!(magnitude_nominal > 0.0, "nominal magnitude must be positive");
+        assert!(
+            magnitude_nominal > 0.0,
+            "nominal magnitude must be positive"
+        );
         assert!(tolerance > 0.0, "tolerance must be positive");
         PositionDecoder {
             magnitude_nominal,
@@ -90,7 +93,10 @@ mod tests {
         let theta = 1.234f64;
         for scale in [0.5, 1.0, 3.0] {
             let p = d.decode(scale * theta.sin(), scale * theta.cos());
-            assert!(angle_difference(p.angle, theta).abs() < 1e-12, "scale {scale}");
+            assert!(
+                angle_difference(p.angle, theta).abs() < 1e-12,
+                "scale {scale}"
+            );
         }
     }
 

@@ -96,7 +96,11 @@ mod tests {
             // reference normalized to unit amplitude: out = k·A/2·... with
             // ref = carrier/A: out -> k·A/2.
             let expect = k * 1.35 / 2.0;
-            assert!((d.output() - expect).abs() < 0.01, "k {k}: {} vs {expect}", d.output());
+            assert!(
+                (d.output() - expect).abs() < 0.01,
+                "k {k}: {} vs {expect}",
+                d.output()
+            );
         }
     }
 

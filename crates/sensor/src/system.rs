@@ -169,7 +169,11 @@ mod tests {
         s.inject_short_to_excitation(100.0);
         let m = s.measure(0.3, 150);
         assert!(!m.valid);
-        assert!(m.faults.contains(&ReceiverFault::ShortToExcitation), "{:?}", m.faults);
+        assert!(
+            m.faults.contains(&ReceiverFault::ShortToExcitation),
+            "{:?}",
+            m.faults
+        );
     }
 
     #[test]

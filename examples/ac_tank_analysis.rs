@@ -42,7 +42,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             peak = (p.frequency, p.voltage(lc1).abs());
         }
         let bar = "#".repeat(((mag + 75.0).max(0.0) / 2.0) as usize);
-        println!("{:>12.0} {:>9.2} {:>9.1}°  {}", p.frequency, mag, p.phase(lc1).to_degrees(), bar);
+        println!(
+            "{:>12.0} {:>9.2} {:>9.1}°  {}",
+            p.frequency,
+            mag,
+            p.phase(lc1).to_degrees(),
+            bar
+        );
     }
 
     println!(
@@ -66,10 +72,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|p| p.frequency)
         .collect();
     let bw = in_band.last().unwrap_or(&f0) - in_band.first().unwrap_or(&f0);
-    println!(
-        "MNA Q = {:.1} vs analytic Q = {:.1}",
-        peak.0 / bw,
-        tank.q()
-    );
+    println!("MNA Q = {:.1} vs analytic Q = {:.1}", peak.0 / bw, tank.q());
     Ok(())
 }

@@ -51,7 +51,11 @@ fn main() {
         .collect();
     let min = steps.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = steps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    println!("step range: {:.2} % .. {:.2} % (paper: 3.23 % .. 6.25 %)", 100.0 * min, 100.0 * max);
+    println!(
+        "step range: {:.2} % .. {:.2} % (paper: 3.23 % .. 6.25 %)",
+        100.0 * min,
+        100.0 * max
+    );
 
     println!("\n== Fig 13/14: reference die (measured-style) ==");
     let die = MismatchedDac::reference_die();

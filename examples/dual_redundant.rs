@@ -17,7 +17,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("partner loses its supply while coupled with k = 0.8\n");
     println!(
         "{:<26} {:>10} {:>10} {:>8} {:>8} {:>12} {:>9}",
-        "partner pad topology", "vpp before", "vpp after", "code", "code'", "reflected G", "verdict"
+        "partner pad topology",
+        "vpp before",
+        "vpp after",
+        "code",
+        "code'",
+        "reflected G",
+        "verdict"
     );
 
     for topology in PadTopology::ALL {

@@ -22,10 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("ticks (1 ms):    {}", report.ticks);
     println!("final code:      {}", report.final_code);
     println!("amplitude:       {:.3} Vpp", report.final_vpp);
-    println!(
-        "supply current:  {:.1} µA",
-        report.supply_current * 1e6
-    );
+    println!("supply current:  {:.1} µA", report.supply_current * 1e6);
 
     // The regulated code must stay above 16 — the paper's design guarantee
     // that keeps the relative amplitude step inside the 3.23–6.25 % band.

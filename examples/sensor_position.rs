@@ -13,10 +13,8 @@ use lcosc::sensor::decoder::angle_difference;
 use lcosc::sensor::{PositionSensor, RotorCoupling};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut sensor = PositionSensor::new(
-        OscillatorConfig::datasheet_3mhz(),
-        RotorCoupling::typical(),
-    )?;
+    let mut sensor =
+        PositionSensor::new(OscillatorConfig::datasheet_3mhz(), RotorCoupling::typical())?;
     println!(
         "excitation settled at {:.3} Vpp (code {})\n",
         sensor.excitation().amplitude_vpp(),
@@ -50,22 +48,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Receiving-side diagnostics (paper §7: "detection of a short between
     // the oscillator coil and receiving coils").
     println!("\n== injected receiving-coil faults ==");
-    let mut open = PositionSensor::new(
-        OscillatorConfig::datasheet_3mhz(),
-        RotorCoupling::typical(),
-    )?;
+    let mut open =
+        PositionSensor::new(OscillatorConfig::datasheet_3mhz(), RotorCoupling::typical())?;
     open.inject_open_coil(0);
     let m = open.measure(0.8, 300);
-    println!("open sine coil   -> valid: {:>5}, faults: {:?}", m.valid, m.faults);
+    println!(
+        "open sine coil   -> valid: {:>5}, faults: {:?}",
+        m.valid, m.faults
+    );
     assert!(!m.valid);
 
-    let mut shorted = PositionSensor::new(
-        OscillatorConfig::datasheet_3mhz(),
-        RotorCoupling::typical(),
-    )?;
+    let mut shorted =
+        PositionSensor::new(OscillatorConfig::datasheet_3mhz(), RotorCoupling::typical())?;
     shorted.inject_short_to_excitation(100.0);
     let m = shorted.measure(0.3, 300);
-    println!("short to excite  -> valid: {:>5}, faults: {:?}", m.valid, m.faults);
+    println!(
+        "short to excite  -> valid: {:>5}, faults: {:?}",
+        m.valid, m.faults
+    );
     assert!(!m.valid);
 
     println!("\nboth faults are caught before a wrong position can be reported");

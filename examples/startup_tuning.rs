@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("ideal nvm code for this tank: {ideal}\n");
 
     println!("== NVM preset sweep (window 15 %) ==");
-    println!("{:>9} {:>14} {:>12}", "nvm code", "settling tick", "final code");
+    println!(
+        "{:>9} {:>14} {:>12}",
+        "nvm code", "settling tick", "final code"
+    );
     for offset in [-40i32, -20, -5, 0, 5, 20, 40] {
         let mut cfg = base.clone();
         cfg.nvm_code = Code::saturating(ideal.value() as i32 + offset);
@@ -25,7 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let settle = settling_tick(codes)
             .map(|t| t.to_string())
             .unwrap_or_else(|| "never".to_string());
-        println!("{:>9} {:>14} {:>12}", sim.config().nvm_code, settle, sim.code());
+        println!(
+            "{:>9} {:>14} {:>12}",
+            sim.config().nvm_code,
+            settle,
+            sim.code()
+        );
     }
     println!("a preset near the operating point settles almost immediately —");
     println!("the reason the chip reads the NVM a few µs after startup.\n");

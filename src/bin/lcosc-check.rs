@@ -1,0 +1,106 @@
+//! `lcosc-check` — command-line linter for netlists and oscillator
+//! configurations.
+//!
+//! ```text
+//! lcosc-check [--json] netlist <deck.cir>   lint a SPICE-style deck
+//! lcosc-check [--json] config <preset>      lint a configuration preset
+//! lcosc-check list-codes                    print the diagnostic registry
+//! lcosc-check explain <CODE>                describe one diagnostic code
+//! ```
+//!
+//! Exit status: 0 when clean (warnings allowed), 1 when any error-severity
+//! diagnostic was found, 2 on usage or parse failures.
+
+use lcosc::check::{describe, parse_deck, Report, ALL_CODES};
+use lcosc::core::OscillatorConfig;
+use lcosc::safety::scenario::check_scenario;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: lcosc-check [--json] netlist <deck.cir>
+       lcosc-check [--json] config <datasheet_3mhz|low_q|fast_test>
+       lcosc-check list-codes
+       lcosc-check explain <CODE>";
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = if let Some(pos) = args.iter().position(|a| a == "--json") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+
+    match args.first().map(String::as_str) {
+        Some("list-codes") => {
+            for (code, text) in ALL_CODES {
+                println!("{code}  {text}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("explain") => match args.get(1).map(|c| (c, describe(c))) {
+            Some((code, Some(text))) => {
+                println!("{code}: {text}");
+                ExitCode::SUCCESS
+            }
+            Some((code, None)) => {
+                eprintln!("unknown diagnostic code {code:?} (see lcosc-check list-codes)");
+                ExitCode::from(2)
+            }
+            None => usage(),
+        },
+        Some("netlist") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match parse_deck(&text) {
+                Ok(nl) => finish(&lcosc::check::check_netlist(&nl), json),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("config") => {
+            let Some(preset) = args.get(1) else {
+                return usage();
+            };
+            let cfg = match preset.as_str() {
+                "datasheet_3mhz" | "datasheet" => OscillatorConfig::datasheet_3mhz(),
+                "low_q" => OscillatorConfig::low_q(),
+                "fast_test" => OscillatorConfig::fast_test(),
+                other => {
+                    eprintln!("unknown preset {other:?} (datasheet_3mhz, low_q, fast_test)");
+                    return ExitCode::from(2);
+                }
+            };
+            finish(&check_scenario(&cfg), json)
+        }
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn finish(report: &Report, json: bool) -> ExitCode {
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

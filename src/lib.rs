@@ -15,6 +15,8 @@
 //!
 //! - [`num`] — numerical substrate (linear algebra, ODE, filters, FFT).
 //! - [`circuit`] — netlist MNA simulator (DC, sweep, transient).
+//! - [`check`] — static ERC/DRC verification pass (netlist, config and
+//!   safety-invariant lints with stable diagnostic codes).
 //! - [`device`] — behavioral device models (MOSFET, diode, mirrors, ...).
 //! - [`dac`] — the exponential PWL current-limitation DAC (Table 1).
 //! - [`core`] — LC tank, limited Gm driver, amplitude regulation loop.
@@ -38,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub use lcosc_check as check;
 pub use lcosc_circuit as circuit;
 pub use lcosc_core as core;
 pub use lcosc_dac as dac;

@@ -92,8 +92,8 @@ fn section4_window_wider_than_max_step_prevents_jumping() {
 
 #[test]
 fn section4_por_preset_is_40_percent_of_max() {
-    let ratio = multiplication_factor(Code::POR_PRESET) as f64
-        / multiplication_factor(Code::MAX) as f64;
+    let ratio =
+        multiplication_factor(Code::POR_PRESET) as f64 / multiplication_factor(Code::MAX) as f64;
     assert!((ratio - 0.40).abs() < 0.05, "ratio {ratio}");
 }
 
@@ -133,14 +133,13 @@ fn section9_non_monotonic_dac_is_harmless() {
 #[test]
 fn regulated_code_stays_above_16_on_supported_tanks() {
     // Paper §3: "the amplitude regulation code remains above code 16".
-    for cfg in [OscillatorConfig::datasheet_3mhz(), OscillatorConfig::low_q()] {
+    for cfg in [
+        OscillatorConfig::datasheet_3mhz(),
+        OscillatorConfig::low_q(),
+    ] {
         let mut sim = ClosedLoopSim::new(cfg).expect("valid config");
         let report = sim.run_until_settled().expect("infallible");
         assert!(report.settled);
-        assert!(
-            report.final_code.value() > 16,
-            "code {}",
-            report.final_code
-        );
+        assert!(report.final_code.value() > 16, "code {}", report.final_code);
     }
 }

@@ -21,7 +21,13 @@ fn tank() -> LcTank {
 
 /// Builds the paper's Fig 1 passive network as a netlist: C1 and C2 to
 /// ground, L in series with Rs between the pins.
-fn tank_netlist(t: &LcTank) -> (Netlist, lcosc::circuit::netlist::NodeId, lcosc::circuit::netlist::ElementId) {
+fn tank_netlist(
+    t: &LcTank,
+) -> (
+    Netlist,
+    lcosc::circuit::netlist::NodeId,
+    lcosc::circuit::netlist::ElementId,
+) {
     let mut nl = Netlist::new();
     let lc1 = nl.node("lc1");
     let lc2 = nl.node("lc2");
@@ -153,7 +159,9 @@ fn vccs_pair_in_mna_reproduces_negative_resistance_startup() {
         let v1 = res.voltage_trace(lc1);
         let v2 = res.voltage_trace(lc2);
         let vd: Vec<f64> = v1.iter().zip(&v2).map(|(a, b)| a - b).collect();
-        vd[vd.len() - 200..].iter().fold(0.0f64, |m, v| m.max(v.abs()))
+        vd[vd.len() - 200..]
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
     };
     let growing = build(3.0 * gm_crit);
     let decaying = build(0.3 * gm_crit);
