@@ -34,9 +34,16 @@ pub struct WindowAblation {
 /// Narrow windows are run through a *raw* loop (FSM + envelope + exact
 /// comparator) because [`OscillatorConfig::validate`] rightly refuses them.
 pub fn window_width_sweep(widths: &[f64]) -> Vec<WindowAblation> {
-    widths
-        .iter()
-        .map(|&window| {
+    window_width_sweep_threads(widths, 1)
+}
+
+/// [`window_width_sweep`] fanned out over `threads` campaign workers
+/// (`1` = serial, `0` = all cores); sweep points are independent jobs and
+/// the result order is the input order regardless of scheduling.
+pub fn window_width_sweep_threads(widths: &[f64], threads: usize) -> Vec<WindowAblation> {
+    lcosc_campaign::Campaign::new("ablation-window", widths.to_vec())
+        .threads(threads)
+        .run(|_ctx, &window| {
             let cfg = OscillatorConfig::datasheet_3mhz();
             let target_peak = cfg.target_peak();
             let comparator = WindowComparator::centered(target_peak, window);
@@ -65,7 +72,7 @@ pub fn window_width_sweep(widths: &[f64]) -> Vec<WindowAblation> {
                 amplitude_error: (amp / target_peak - 1.0).abs(),
             }
         })
-        .collect()
+        .results
 }
 
 /// Outcome of one DAC-law run.
@@ -174,13 +181,19 @@ pub struct StartCodeAblation {
 /// maximum consumption, yet enough drive (5 Gm stages, 800 units) to start
 /// the poorest supported tank.
 pub fn start_code_sweep(presets: &[u8]) -> Vec<StartCodeAblation> {
+    start_code_sweep_threads(presets, 1)
+}
+
+/// [`start_code_sweep`] fanned out over `threads` campaign workers
+/// (`1` = serial, `0` = all cores).
+pub fn start_code_sweep_threads(presets: &[u8], threads: usize) -> Vec<StartCodeAblation> {
     use lcosc_core::condition::OscillationCondition;
     let worst_tank = OscillatorConfig::low_q().tank;
     let worst_crit = OscillationCondition::new(worst_tank).critical_gm();
 
-    presets
-        .iter()
-        .map(|&preset| {
+    lcosc_campaign::Campaign::new("ablation-start-code", presets.to_vec())
+        .threads(threads)
+        .run(|_ctx, &preset| {
             let code = Code::new(preset as u32).expect("preset in range");
             let inrush = lcosc_dac::multiplication_factor(code) as f64 * 12.5e-6;
             let gm = 10e-3 * lcosc_dac::ControlWord::encode(code).gm_weight() as f64;
@@ -199,7 +212,7 @@ pub fn start_code_sweep(presets: &[u8]) -> Vec<StartCodeAblation> {
                 settling_tick: settling_tick(&sim.trace().codes),
             }
         })
-        .collect()
+        .results
 }
 
 /// Outcome of one driver-shape run.

@@ -1,21 +1,161 @@
 //! `repro` — regenerates every table and figure of the paper in one run
-//! and writes the series as CSV files under `target/repro/`.
+//! and writes the series as CSV files under `target/repro/`, plus the
+//! campaign JSON reports the regression harness tracks.
 //!
 //! ```text
-//! cargo run --release -p lcosc-bench --bin repro
+//! cargo run --release -p lcosc-bench --bin repro -- [--threads N] \
+//!     [--campaigns-only] [--results-out PATH] [--unchecked]
 //! ```
+//!
+//! - `--threads N` fans the FMEA / Monte-Carlo / sweep campaigns out over
+//!   `N` worker threads (`0` = all cores, default `1` = serial). Campaign
+//!   *results* are bit-identical for every `N`; only wall-clock changes.
+//! - `--campaigns-only` skips the figure CSVs and runs just the campaigns
+//!   (the CI equivalence smoke test uses this).
+//! - `--results-out PATH` writes the deterministic campaign results JSON
+//!   (no timing) to `PATH`, default `target/repro/campaign_results.json`.
+//!   Timing statistics go to `target/repro/campaigns.json` separately, so
+//!   the results file can be byte-compared across thread counts.
 
 use lcosc_bench::csv::write_csv;
 use lcosc_bench::{ablation, figures};
+use lcosc_campaign::{CampaignStats, Json};
 use lcosc_core::OscillatorConfig;
+use lcosc_dac::{multiplication_factor, relative_step, Code, DacMismatchParams};
 use lcosc_pad::topology::PadTopology;
 use lcosc_safety::scenario::check_scenario;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Monte-Carlo population tracked by the yield campaign report.
+const YIELD_DIES: u32 = 200;
+/// Seed base of the tracked yield campaign (same as the unit tests).
+const YIELD_SEED: u64 = 1;
+/// Regulation window of the tracked yield campaign.
+const YIELD_WINDOW: f64 = 0.15;
+
+struct Args {
+    threads: usize,
+    campaigns_only: bool,
+    unchecked: bool,
+    results_out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        threads: 1,
+        campaigns_only: false,
+        unchecked: false,
+        results_out: PathBuf::from("target/repro/campaign_results.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--unchecked" => args.unchecked = true,
+            "--campaigns-only" => args.campaigns_only = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+            }
+            "--results-out" => {
+                args.results_out = PathBuf::from(it.next().ok_or("--results-out needs a path")?);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// One tracked campaign: its timing stats and, when the run was parallel,
+/// the serial wall-clock measured for the speedup figure.
+struct TrackedCampaign {
+    stats: CampaignStats,
+    serial_wall: Option<Duration>,
+}
+
+impl TrackedCampaign {
+    fn to_json(&self) -> Json {
+        let speedup = self.serial_wall.map(|serial| {
+            let par = self.stats.wall.as_secs_f64();
+            if par > 0.0 {
+                serial.as_secs_f64() / par
+            } else {
+                1.0
+            }
+        });
+        Json::obj([
+            ("name", Json::from(self.stats.name.clone())),
+            ("jobs", Json::from(self.stats.jobs)),
+            ("threads", Json::from(self.stats.threads)),
+            ("wall_s", Json::from(self.stats.wall.as_secs_f64())),
+            (
+                "serial_wall_s",
+                self.serial_wall
+                    .map_or(Json::Null, |w| Json::from(w.as_secs_f64())),
+            ),
+            ("speedup_vs_serial", speedup.map_or(Json::Null, Json::from)),
+        ])
+    }
+}
+
+/// Runs the tracked campaigns (FMEA matrix + DAC yield): deterministic
+/// results plus timing. With `threads > 1` each campaign is first run
+/// serially to measure the speedup the JSON report tracks.
+fn run_campaigns(threads: usize) -> (Json, Vec<TrackedCampaign>) {
+    let mut tracked = Vec::new();
+
+    // §7 FMEA fault×detector matrix.
+    let fmea_serial_wall = (threads > 1).then(|| figures::fmea_matrix_threads(1).stats.wall);
+    let fmea = figures::fmea_matrix_threads(threads);
+    tracked.push(TrackedCampaign {
+        stats: fmea.stats.clone(),
+        serial_wall: fmea_serial_wall,
+    });
+
+    // §3/Fig 8 Monte-Carlo DAC yield.
+    let params = DacMismatchParams::default();
+    let yield_serial_wall = (threads > 1).then(|| {
+        lcosc_dac::yield_analysis_campaign(&params, YIELD_DIES, YIELD_SEED, YIELD_WINDOW, 1)
+            .stats
+            .wall
+    });
+    let yld =
+        lcosc_dac::yield_analysis_campaign(&params, YIELD_DIES, YIELD_SEED, YIELD_WINDOW, threads);
+    tracked.push(TrackedCampaign {
+        stats: yld.stats.clone(),
+        serial_wall: yield_serial_wall,
+    });
+
+    // Fig 3/Fig 4 + Table 1 DAC transfer, serialized with the campaign
+    // results so the golden layer can track the full staircase.
+    let transfer: Vec<Json> = Code::all()
+        .map(|c| {
+            Json::obj([
+                ("code", Json::from(c.value())),
+                ("units", Json::from(multiplication_factor(c))),
+                ("relative_step", Json::from(relative_step(c))),
+            ])
+        })
+        .collect();
+
+    let results = Json::obj([
+        ("fmea", fmea.report.to_json()),
+        ("dac_yield", yld.report.to_json()),
+        ("dac_transfer", Json::Array(transfer)),
+    ]);
+    (results, tracked)
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(|e| {
+        format!(
+            "{e}\nusage: repro [--threads N] [--campaigns-only] [--results-out PATH] [--unchecked]"
+        )
+    })?;
+
     // Lint every preset the figures are built on before spending minutes
     // computing them (skippable with --unchecked for fault studies).
-    if !std::env::args().any(|a| a == "--unchecked") {
+    if !args.unchecked {
         for (name, cfg) in [
             ("datasheet_3mhz", OscillatorConfig::datasheet_3mhz()),
             ("low_q", OscillatorConfig::low_q()),
@@ -34,6 +174,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let out = PathBuf::from("target/repro");
+    std::fs::create_dir_all(&out)?;
+
+    // The tracked campaigns always run: their JSON reports are the
+    // regression surface BENCH_*.json tracks.
+    let (results, tracked) = run_campaigns(args.threads);
+    write_text(&args.results_out, &results.render_pretty(2))?;
+    let stats = Json::obj([
+        ("threads_requested", Json::from(args.threads)),
+        (
+            "campaigns",
+            Json::Array(tracked.iter().map(TrackedCampaign::to_json).collect()),
+        ),
+    ]);
+    write_text(&out.join("campaigns.json"), &stats.render_pretty(2))?;
+    println!(
+        "campaign results -> {} (deterministic), stats -> {}",
+        args.results_out.display(),
+        out.join("campaigns.json").display()
+    );
+    for t in &tracked {
+        let speedup = t
+            .serial_wall
+            .map(|s| {
+                format!(
+                    ", speedup {:.2}x",
+                    s.as_secs_f64() / t.stats.wall.as_secs_f64()
+                )
+            })
+            .unwrap_or_default();
+        println!(
+            "campaign {}: {} jobs on {} thread(s) in {:.1} ms{speedup}",
+            t.stats.name,
+            t.stats.jobs,
+            t.stats.threads,
+            t.stats.wall.as_secs_f64() * 1e3,
+        );
+    }
+    if args.campaigns_only {
+        return Ok(());
+    }
+
     println!("writing figure data to {}", out.display());
 
     // Fig 2.
@@ -111,14 +292,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // §9 consumption, §7 FMEA, §8 dual.
-    let consumption = figures::consumption_vs_q();
+    let consumption = figures::consumption_vs_q_threads(args.threads);
     write_csv(
         &out.join("consumption_vs_q.csv"),
         &["q", "supply_a", "code"],
         consumption.iter().map(|(q, i, c)| vec![*q, *i, *c as f64]),
     )?;
-    println!("{}", figures::fmea_matrix());
-    let dual = figures::dual_redundancy();
+    println!("{}", figures::fmea_matrix_threads(args.threads).report);
+    let dual = figures::dual_redundancy_threads(args.threads);
     for o in &dual {
         println!(
             "dual {}: vpp {:.3} -> {:.3} (influence {:.2} %)",
@@ -130,7 +311,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Ablations.
-    let window = ablation::window_width_sweep(&[0.03, 0.05, 0.07, 0.10, 0.15, 0.25]);
+    let window =
+        ablation::window_width_sweep_threads(&[0.03, 0.05, 0.07, 0.10, 0.15, 0.25], args.threads);
     write_csv(
         &out.join("ablation_window.csv"),
         &["window", "activity", "amp_error"],
@@ -149,4 +331,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nall figures regenerated; see EXPERIMENTS.md for paper-vs-measured notes");
     Ok(())
+}
+
+fn write_text(path: &Path, text: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, text)
 }

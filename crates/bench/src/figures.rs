@@ -137,13 +137,20 @@ pub fn fig17_18_unsupplied(topology: PadTopology) -> Vec<UnsuppliedPoint> {
 /// §9 — supply current vs tank quality factor at the 2.7 Vpp operating
 /// amplitude (the paper's 250 µA … 30 mA consumption claim).
 pub fn consumption_vs_q() -> Vec<(f64, f64, u8)> {
+    consumption_vs_q_threads(1)
+}
+
+/// [`consumption_vs_q`] fanned out over `threads` campaign workers
+/// (`1` = serial, `0` = all cores); each Q point is one independent job.
+pub fn consumption_vs_q_threads(threads: usize) -> Vec<(f64, f64, u8)> {
     use lcosc_core::tank::LcTank;
     use lcosc_num::units::{Farads, Henries};
     // The supported two-decade band for the datasheet coil (see
     // tests/paper_claims.rs for the derivation).
-    let qs = [0.65, 1.5, 3.0, 6.5, 15.0, 30.0, 65.0];
-    qs.iter()
-        .map(|&q| {
+    let qs = vec![0.65, 1.5, 3.0, 6.5, 15.0, 30.0, 65.0];
+    lcosc_campaign::Campaign::new("consumption-vs-q", qs)
+        .threads(threads)
+        .run(|_ctx, &q| {
             let tank = LcTank::with_q(Henries::from_micro(4.7), Farads::from_nano(1.5), q)
                 .expect("tank is valid");
             let mut cfg = OscillatorConfig::for_tank(tank);
@@ -153,7 +160,7 @@ pub fn consumption_vs_q() -> Vec<(f64, f64, u8)> {
             let r = sim.run_until_settled().expect("infallible");
             (q, r.supply_current, r.final_code.value())
         })
-        .collect()
+        .results
 }
 
 /// §7 — the FMEA matrix on the datasheet operating point.
@@ -161,20 +168,33 @@ pub fn fmea_matrix() -> FmeaReport {
     FmeaReport::run(&OscillatorConfig::datasheet_3mhz()).expect("config is valid")
 }
 
+/// [`fmea_matrix`] as a parallel campaign: returns the matrix plus the
+/// campaign's wall-clock/job-count statistics.
+pub fn fmea_matrix_threads(threads: usize) -> lcosc_safety::FmeaRun {
+    FmeaReport::run_with_threads(&OscillatorConfig::datasheet_3mhz(), threads)
+        .expect("config is valid")
+}
+
 /// §8 — dual-system supply-loss outcomes for all three pad topologies.
 pub fn dual_redundancy() -> Vec<DualOutcome> {
+    dual_redundancy_threads(1)
+}
+
+/// [`dual_redundancy`] fanned out over `threads` campaign workers; one job
+/// per pad topology.
+pub fn dual_redundancy_threads(threads: usize) -> Vec<DualOutcome> {
     let mut cfg = OscillatorConfig::datasheet_3mhz();
     cfg.target_vpp = 2.7;
     cfg.nvm_code = cfg.recommended_nvm_code();
-    PadTopology::ALL
-        .iter()
-        .map(|&topology| {
+    lcosc_campaign::Campaign::new("dual-redundancy", PadTopology::ALL.to_vec())
+        .threads(threads)
+        .run(|_ctx, &topology| {
             DualSystem::new(cfg.clone(), topology, 0.8)
                 .expect("coupling is valid")
                 .run_supply_loss()
                 .expect("analysis converges")
         })
-        .collect()
+        .results
 }
 
 #[cfg(test)]

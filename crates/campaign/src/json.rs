@@ -1,0 +1,239 @@
+//! A minimal, byte-stable JSON value tree and renderer.
+//!
+//! The golden-file regression layer compares serialized campaign results
+//! *byte for byte* between runs and between thread counts, so the writer
+//! must be deterministic down to the last character:
+//!
+//! - objects keep their insertion order (no hash-map reordering),
+//! - floats render with Rust's shortest-round-trip formatting (`{:?}`),
+//!   which is a pure function of the bit pattern,
+//! - non-finite floats render as `null` (JSON has no NaN/Infinity),
+//! - no locale, no platform-dependent whitespace.
+
+use std::fmt::Write as _;
+
+/// An ordered JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer (rendered without a decimal point).
+    Int(i64),
+    /// Float (shortest-round-trip decimal; non-finite renders as `null`).
+    Float(f64),
+    /// String (escaped per RFC 8259).
+    Str(String),
+    /// Array.
+    Array(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, keeping their order.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Renders compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders with newlines and `indent`-space indentation — the format
+    /// used for golden fixtures, where reviewable diffs matter.
+    pub fn render_pretty(&self, indent: usize) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(indent), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let pad = |out: &mut String, level: usize| {
+            if let Some(w) = indent {
+                out.push('\n');
+                for _ in 0..w * level {
+                    out.push(' ');
+                }
+            }
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Json::Array(items) => {
+                out.push('[');
+                for (k, item) in items.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    pad(out, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                if !items.is_empty() {
+                    pad(out, depth);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (k, (key, value)) in pairs.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    pad(out, depth + 1);
+                    out.push('"');
+                    out.push_str(&escape(key));
+                    out.push_str(if indent.is_some() { "\": " } else { "\":" });
+                    value.write(out, indent, depth + 1);
+                }
+                if !pairs.is_empty() {
+                    pad(out, depth);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::Int(i64::from(v))
+    }
+}
+impl From<u8> for Json {
+    fn from(v: u8) -> Json {
+        Json::Int(i64::from(v))
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+
+/// Escapes a string per RFC 8259.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering_matches_expectation() {
+        let v = Json::obj([
+            ("a", Json::Int(1)),
+            ("b", Json::Array(vec![Json::Float(0.5), Json::Null])),
+            ("c", Json::from("x\"y")),
+        ]);
+        assert_eq!(v.render(), r#"{"a":1,"b":[0.5,null],"c":"x\"y"}"#);
+    }
+
+    #[test]
+    fn floats_render_shortest_roundtrip() {
+        assert_eq!(Json::Float(1.0).render(), "1.0");
+        assert_eq!(Json::Float(0.1).render(), "0.1");
+        assert_eq!(Json::Float(-0.0).render(), "-0.0");
+        assert_eq!(Json::Float(1e-9).render(), "1e-9");
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn pretty_rendering_is_stable_and_parsable_shape() {
+        let v = Json::obj([("k", Json::Array(vec![Json::Int(1), Json::Int(2)]))]);
+        let pretty = v.render_pretty(2);
+        assert_eq!(pretty, "{\n  \"k\": [\n    1,\n    2\n  ]\n}\n");
+    }
+
+    #[test]
+    fn empty_containers_render_tight() {
+        assert_eq!(Json::Array(vec![]).render_pretty(2), "[]\n");
+        assert_eq!(Json::Object(vec![]).render(), "{}");
+    }
+
+    #[test]
+    fn control_characters_escape() {
+        assert_eq!(Json::from("a\u{1}b\tc").render(), "\"a\\u0001b\\tc\"");
+    }
+
+    #[test]
+    fn object_order_is_insertion_order() {
+        let v = Json::obj([("z", Json::Int(1)), ("a", Json::Int(2))]);
+        assert_eq!(v.render(), r#"{"z":1,"a":2}"#);
+    }
+}

@@ -59,7 +59,7 @@ pub use exponential::{equivalent_delta, equivalent_linear_bits, ideal_exponentia
 pub use mismatch::{DacMismatchParams, MismatchedDac};
 pub use segment::{Segment, SEGMENTS};
 pub use transfer::{multiplication_factor, relative_step, TransferCurve};
-pub use yield_analysis::{yield_analysis, YieldReport};
+pub use yield_analysis::{yield_analysis, yield_analysis_campaign, YieldReport, YieldRun};
 
 /// Errors produced by this crate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -10,6 +10,7 @@
 
 use crate::analysis::LinearityReport;
 use crate::mismatch::{DacMismatchParams, MismatchedDac};
+use lcosc_campaign::{Campaign, CampaignStats, Json};
 
 /// Yield of a die population under two acceptance criteria.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,6 +28,39 @@ pub struct YieldReport {
     pub mean_non_monotonic: f64,
 }
 
+impl YieldReport {
+    /// Serializes the summary as an ordered [`Json`] tree with byte-stable
+    /// float formatting (golden-file and `repro` report payload).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("dies", Json::from(self.dies)),
+            ("monotonic_yield", Json::from(self.monotonic_yield)),
+            ("regulation_yield", Json::from(self.regulation_yield)),
+            ("worst_inl", Json::from(self.worst_inl)),
+            ("mean_non_monotonic", Json::from(self.mean_non_monotonic)),
+        ])
+    }
+}
+
+/// A yield report paired with the execution statistics of the Monte-Carlo
+/// campaign that produced it. Only [`CampaignStats::wall`] is
+/// machine-dependent; the report is thread-count invariant.
+#[derive(Debug, Clone)]
+pub struct YieldRun {
+    /// The population summary.
+    pub report: YieldReport,
+    /// Wall-clock / job-count statistics.
+    pub stats: CampaignStats,
+}
+
+/// Per-die metrics produced by one Monte-Carlo job.
+struct DieOutcome {
+    monotonic: bool,
+    regulable: bool,
+    non_monotonic: usize,
+    inl_abs: f64,
+}
+
 /// Samples `dies` dies with the given mismatch and scores them against a
 /// regulation window of total relative width `window_rel_width`.
 ///
@@ -41,32 +75,67 @@ pub fn yield_analysis(
     seed_base: u64,
     window_rel_width: f64,
 ) -> YieldReport {
+    yield_analysis_campaign(params, dies, seed_base, window_rel_width, 1).report
+}
+
+/// [`yield_analysis`] as an explicit parallel campaign: die draws fan out
+/// over `threads` worker threads (`1` = serial, `0` = all cores).
+///
+/// Die `k` keeps the seed `seed_base + k` of the serial implementation and
+/// the population metrics are folded in die order, so the returned
+/// [`YieldReport`] is bit-identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if `dies == 0` or `window_rel_width` is not positive.
+pub fn yield_analysis_campaign(
+    params: &DacMismatchParams,
+    dies: u32,
+    seed_base: u64,
+    window_rel_width: f64,
+    threads: usize,
+) -> YieldRun {
     assert!(dies > 0, "need at least one die");
     assert!(window_rel_width > 0.0, "window must be positive");
-    let mut monotonic = 0u32;
-    let mut regulable = 0u32;
-    let mut worst_inl = 0.0f64;
-    let mut non_monotonic_total = 0usize;
-    for k in 0..dies {
-        let die = MismatchedDac::sampled(params, seed_base + k as u64);
-        let report = LinearityReport::analyze(&die);
-        if report.non_monotonic.is_empty() {
-            monotonic += 1;
-        }
-        if report.regulation_compatible(window_rel_width) {
-            regulable += 1;
-        }
-        non_monotonic_total += report.non_monotonic.len();
-        if report.inl_worst_rel.abs() > worst_inl {
-            worst_inl = report.inl_worst_rel.abs();
-        }
-    }
-    YieldReport {
-        dies,
-        monotonic_yield: monotonic as f64 / dies as f64,
-        regulation_yield: regulable as f64 / dies as f64,
-        worst_inl,
-        mean_non_monotonic: non_monotonic_total as f64 / dies as f64,
+    let ((monotonic, regulable, non_monotonic_total, worst_inl), stats) =
+        Campaign::new("dac-yield", (0..dies).collect::<Vec<u32>>())
+            .seed(seed_base)
+            .threads(threads)
+            .run_reduce(
+                |_ctx, &k| {
+                    let die = MismatchedDac::sampled(params, seed_base + u64::from(k));
+                    let report = LinearityReport::analyze(&die);
+                    DieOutcome {
+                        monotonic: report.non_monotonic.is_empty(),
+                        regulable: report.regulation_compatible(window_rel_width),
+                        non_monotonic: report.non_monotonic.len(),
+                        inl_abs: report.inl_worst_rel.abs(),
+                    }
+                },
+                (0u32, 0u32, 0usize, 0.0f64),
+                |(mut mono, mut reg, mut nm, mut worst), die| {
+                    if die.monotonic {
+                        mono += 1;
+                    }
+                    if die.regulable {
+                        reg += 1;
+                    }
+                    nm += die.non_monotonic;
+                    if die.inl_abs > worst {
+                        worst = die.inl_abs;
+                    }
+                    (mono, reg, nm, worst)
+                },
+            );
+    YieldRun {
+        report: YieldReport {
+            dies,
+            monotonic_yield: f64::from(monotonic) / f64::from(dies),
+            regulation_yield: f64::from(regulable) / f64::from(dies),
+            worst_inl,
+            mean_non_monotonic: non_monotonic_total as f64 / f64::from(dies),
+        },
+        stats,
     }
 }
 
@@ -130,6 +199,31 @@ mod tests {
         let a = yield_analysis(&DacMismatchParams::default(), 50, 11, 0.15);
         let b = yield_analysis(&DacMismatchParams::default(), 50, 11, 0.15);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_campaign_is_bit_identical_to_serial() {
+        let params = DacMismatchParams::default();
+        let serial = yield_analysis(&params, 120, 11, 0.15);
+        for threads in [2, 8] {
+            let par = yield_analysis_campaign(&params, 120, 11, 0.15, threads);
+            assert_eq!(par.report, serial, "threads = {threads}");
+            assert_eq!(
+                par.report.to_json().render(),
+                serial.to_json().render(),
+                "threads = {threads}"
+            );
+            assert_eq!(par.stats.jobs, 120);
+        }
+    }
+
+    #[test]
+    fn json_summary_is_ordered_and_complete() {
+        let j = yield_analysis(&DacMismatchParams::default(), 10, 3, 0.15)
+            .to_json()
+            .render();
+        assert!(j.starts_with("{\"dies\":10,\"monotonic_yield\":"), "{j}");
+        assert!(j.contains("\"worst_inl\":"));
     }
 
     #[test]

@@ -143,11 +143,18 @@ impl Matrix {
     ///
     /// # Errors
     ///
-    /// Returns [`NumError::InvalidInput`] for non-square matrices and
-    /// [`NumError::SingularMatrix`] when a pivot underflows.
+    /// Returns [`NumError::InvalidInput`] for non-square matrices or
+    /// non-finite entries, and [`NumError::SingularMatrix`] when a pivot
+    /// underflows.
     pub fn lu(&self) -> Result<LuFactors> {
         if !self.is_square() {
             return Err(NumError::InvalidInput("lu requires a square matrix"));
+        }
+        // The pivot search only inspects one column per elimination step: a
+        // NaN elsewhere would silently poison the factors instead of
+        // surfacing as an error.
+        if self.data.iter().any(|v| !v.is_finite()) {
+            return Err(NumError::InvalidInput("matrix has non-finite entries"));
         }
         let n = self.rows;
         let mut lu = self.data.clone();
@@ -332,6 +339,20 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_entries_are_rejected_not_propagated() {
+        // NaN off the pivot column used to factor "successfully" and poison
+        // every solve result.
+        let a = Matrix::from_rows(&[&[1.0, f64::NAN], &[0.0, 1.0]]).unwrap();
+        assert!(matches!(
+            a.solve(&[1.0, 1.0]),
+            Err(NumError::InvalidInput(_))
+        ));
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[f64::INFINITY, 1.0]]).unwrap();
+        assert!(b.lu().is_err());
+        assert_eq!(b.det(), 0.0);
+    }
+
+    #[test]
     fn determinant_matches_cofactor_expansion() {
         let a =
             Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 10.0]]).unwrap();
@@ -484,9 +505,9 @@ impl ComplexMatrix {
     ///
     /// # Errors
     ///
-    /// Returns [`NumError::InvalidInput`] for non-square systems or a
-    /// mismatched rhs, and [`NumError::SingularMatrix`] when a pivot
-    /// underflows.
+    /// Returns [`NumError::InvalidInput`] for non-square systems, a
+    /// mismatched rhs or non-finite entries, and
+    /// [`NumError::SingularMatrix`] when a pivot underflows.
     pub fn solve(&self, b: &[crate::fft::Complex]) -> Result<Vec<crate::fft::Complex>> {
         use crate::fft::Complex;
         if self.rows != self.cols {
@@ -494,6 +515,13 @@ impl ComplexMatrix {
         }
         if b.len() != self.rows {
             return Err(NumError::InvalidInput("rhs length mismatch"));
+        }
+        if self
+            .data
+            .iter()
+            .any(|v| !v.re.is_finite() || !v.im.is_finite())
+        {
+            return Err(NumError::InvalidInput("matrix has non-finite entries"));
         }
         let n = self.rows;
         let mut lu = self.data.clone();
@@ -580,6 +608,18 @@ mod complex_tests {
         // Row0: j·x1 = 2j -> x1 = 2. Row1: 2 x0 = 4 -> x0 = 2.
         assert!((x[0].re - 2.0).abs() < 1e-12);
         assert!((x[1].re - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_non_finite_entries_rejected() {
+        let mut a = ComplexMatrix::zeros(2, 2);
+        a.add(0, 0, Complex::new(1.0, 0.0));
+        a.add(0, 1, Complex::new(0.0, f64::NAN));
+        a.add(1, 1, Complex::new(1.0, 0.0));
+        assert!(matches!(
+            a.solve(&[Complex::default(), Complex::default()]),
+            Err(NumError::InvalidInput(_))
+        ));
     }
 
     #[test]

@@ -81,9 +81,10 @@ pub struct AdaptiveRun {
 ///
 /// # Errors
 ///
-/// Returns [`NumError::InvalidInput`] if `t1 <= t0` or tolerances are not
-/// positive, and [`NumError::NoConvergence`] if the step size underflows
-/// (stiff or discontinuous system).
+/// Returns [`NumError::InvalidInput`] if the time span, tolerance or initial
+/// state is degenerate (non-finite, `t1 <= t0`, `tol <= 0`), and
+/// [`NumError::NoConvergence`] if the step size underflows (stiff or
+/// discontinuous system, or derivatives that turn non-finite mid-run).
 pub fn rkf45_adaptive<S: OdeSystem + ?Sized>(
     sys: &S,
     t0: f64,
@@ -91,15 +92,21 @@ pub fn rkf45_adaptive<S: OdeSystem + ?Sized>(
     x0: &[f64],
     tol: f64,
 ) -> Result<AdaptiveRun> {
+    if !t0.is_finite() || !t1.is_finite() {
+        return Err(NumError::InvalidInput("time span must be finite"));
+    }
     if !(t1 > t0) {
         return Err(NumError::InvalidInput("t1 must exceed t0"));
     }
-    if !(tol > 0.0) {
+    if !(tol > 0.0) || !tol.is_finite() {
         return Err(NumError::InvalidInput("tolerance must be positive"));
     }
     let n = sys.dim();
     if x0.len() != n {
         return Err(NumError::InvalidInput("state length mismatch"));
+    }
+    if x0.iter().any(|v| !v.is_finite()) {
+        return Err(NumError::InvalidInput("initial state must be finite"));
     }
 
     // Fehlberg coefficients.
@@ -178,6 +185,14 @@ pub fn rkf45_adaptive<S: OdeSystem + ?Sized>(
             }
             err = err.max((h * (d5 - d4)).abs());
         }
+        // A non-finite error estimate (NaN/Inf derivatives) must count as a
+        // rejection with a shrinking step; the old `err > 0.0` branch would
+        // otherwise *grow* the step forever and never terminate.
+        if !err.is_finite() {
+            rejected += 1;
+            h *= 0.2;
+            continue;
+        }
         if err <= tol || h <= h_min * 2.0 {
             // Accept with the 5th-order solution.
             for i in 0..n {
@@ -241,7 +256,9 @@ pub fn zero_crossings(t0: f64, dt: f64, samples: &[f64]) -> Vec<ZeroCrossing> {
 /// Estimates the fundamental frequency of a sampled signal from the mean
 /// period between same-direction zero crossings.
 ///
-/// Returns `None` when fewer than two rising crossings are present.
+/// Returns `None` when fewer than two rising crossings are present, or when
+/// the crossings do not span a positive time interval (degenerate `dt = 0`
+/// sampling or NaN-polluted signals would otherwise divide by zero here).
 pub fn frequency_from_crossings(t0: f64, dt: f64, samples: &[f64]) -> Option<f64> {
     let rising: Vec<f64> = zero_crossings(t0, dt, samples)
         .into_iter()
@@ -253,6 +270,9 @@ pub fn frequency_from_crossings(t0: f64, dt: f64, samples: &[f64]) -> Option<f64
         return None;
     }
     let span = last - first;
+    if !(span > 0.0) || !span.is_finite() {
+        return None;
+    }
     Some((rising.len() - 1) as f64 / span)
 }
 
@@ -341,6 +361,42 @@ mod tests {
     }
 
     #[test]
+    fn rkf45_rejects_non_finite_inputs() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                rkf45_adaptive(&Decay, 0.0, 1.0, &[bad], 1e-6),
+                Err(NumError::InvalidInput(_))
+            ));
+            assert!(rkf45_adaptive(&Decay, bad, 1.0, &[1.0], 1e-6).is_err());
+            assert!(rkf45_adaptive(&Decay, 0.0, bad, &[1.0], 1e-6).is_err());
+        }
+        assert!(rkf45_adaptive(&Decay, 0.0, 1.0, &[1.0], f64::NAN).is_err());
+    }
+
+    /// Dynamics that blow up to NaN in finite time (x' = x², pole at t=1).
+    struct FiniteTimeBlowup;
+    impl OdeSystem for FiniteTimeBlowup {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn derivatives(&self, _t: f64, x: &[f64], dx: &mut [f64]) {
+            dx[0] = x[0] * x[0];
+        }
+    }
+
+    #[test]
+    fn rkf45_terminates_with_error_when_derivatives_blow_up() {
+        // Used to loop forever: a NaN error estimate fell into the
+        // `err > 0.0 == false` branch, *growing* the step instead of
+        // shrinking it toward the h_min bail-out.
+        let r = rkf45_adaptive(&FiniteTimeBlowup, 0.0, 2.0, &[1.0], 1e-9);
+        assert!(
+            matches!(r, Err(NumError::NoConvergence { .. })),
+            "expected NoConvergence, got {r:?}"
+        );
+    }
+
+    #[test]
     fn zero_crossings_of_sine_alternate() {
         let n = 1000;
         let dt = 2.0 * std::f64::consts::PI / n as f64;
@@ -370,6 +426,15 @@ mod tests {
     fn frequency_needs_two_rising_crossings() {
         let samples = [1.0, 0.5, 0.25];
         assert!(frequency_from_crossings(0.0, 1.0, &samples).is_none());
+    }
+
+    #[test]
+    fn frequency_rejects_zero_span_instead_of_dividing_by_zero() {
+        // dt = 0 collapses every crossing onto t0: used to return Some(inf).
+        let samples = [-1.0, 1.0, -1.0, 1.0, -1.0, 1.0];
+        assert!(frequency_from_crossings(0.0, 0.0, &samples).is_none());
+        // NaN sampling period must not leak a NaN frequency either.
+        assert!(frequency_from_crossings(0.0, f64::NAN, &samples).is_none());
     }
 }
 

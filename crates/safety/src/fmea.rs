@@ -5,6 +5,7 @@
 use crate::detectors::DetectorKind;
 use crate::fault::Fault;
 use crate::scenario::{run_scenario, ScenarioResult};
+use lcosc_campaign::{Campaign, CampaignStats, Json};
 use lcosc_core::config::OscillatorConfig;
 use lcosc_core::Result;
 
@@ -24,23 +25,54 @@ pub struct FmeaReport {
     entries: Vec<FmeaEntry>,
 }
 
+/// An FMEA matrix paired with the execution statistics of the campaign
+/// that produced it. The report itself is deterministic; only
+/// [`CampaignStats::wall`] depends on the machine and thread count.
+#[derive(Debug, Clone)]
+pub struct FmeaRun {
+    /// The (thread-count-invariant) fault × detector matrix.
+    pub report: FmeaReport,
+    /// Wall-clock / job-count statistics of the campaign run.
+    pub stats: CampaignStats,
+}
+
 impl FmeaReport {
-    /// Runs every cataloged fault against the base configuration.
+    /// Runs every cataloged fault against the base configuration, serially
+    /// (equivalent to [`FmeaReport::run_with_threads`] with 1 thread).
     ///
     /// # Errors
     ///
     /// Propagates simulation setup errors.
     pub fn run(base: &OscillatorConfig) -> Result<Self> {
-        let entries = Fault::catalog()
-            .into_iter()
-            .map(|fault| {
+        Self::run_with_threads(base, 1).map(|run| run.report)
+    }
+
+    /// Runs the full fault catalog as a parallel campaign on `threads`
+    /// worker threads (`1` = serial in-line execution, `0` = all cores).
+    ///
+    /// Each fault scenario is one independent job; the assembled matrix is
+    /// bit-identical for every thread count because the campaign engine
+    /// collects results in catalog order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the simulation setup error of the lowest-indexed failing
+    /// scenario.
+    pub fn run_with_threads(base: &OscillatorConfig, threads: usize) -> Result<FmeaRun> {
+        let outcome = Campaign::new("fmea", Fault::catalog())
+            .threads(threads)
+            .try_run(|_ctx, &fault| {
                 run_scenario(fault, base).map(|result| FmeaEntry {
                     safe: result.is_safe(),
                     result,
                 })
-            })
-            .collect::<Result<Vec<_>>>()?;
-        Ok(FmeaReport { entries })
+            })?;
+        Ok(FmeaRun {
+            report: FmeaReport {
+                entries: outcome.results,
+            },
+            stats: outcome.stats,
+        })
     }
 
     /// All rows.
@@ -85,6 +117,42 @@ impl FmeaReport {
             .filter(|e| e.result.triggered.contains(&kind))
             .map(|e| e.result.fault)
             .collect()
+    }
+
+    /// Serializes the matrix as an ordered [`Json`] tree with byte-stable
+    /// float formatting — the payload of the golden-file regression tests
+    /// and of the `repro` campaign report.
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .entries
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    ("fault", Json::from(e.result.fault.to_string())),
+                    (
+                        "detectors",
+                        Json::Array(
+                            e.result
+                                .triggered
+                                .iter()
+                                .map(|k| Json::from(k.to_string()))
+                                .collect(),
+                        ),
+                    ),
+                    ("detected", Json::from(e.result.detected)),
+                    ("code_saturated", Json::from(e.result.code_saturated)),
+                    ("vpp_before", Json::from(e.result.vpp_before)),
+                    ("final_vpp", Json::from(e.result.final_vpp)),
+                    ("safe", Json::from(e.safe)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("faults", Json::from(self.entries.len())),
+            ("safety_coverage", Json::from(self.safety_coverage())),
+            ("detection_coverage", Json::from(self.detection_coverage())),
+            ("entries", Json::Array(rows)),
+        ])
     }
 }
 
@@ -176,6 +244,32 @@ mod tests {
     fn report_covers_full_catalog() {
         let r = report();
         assert_eq!(r.entries().len(), Fault::catalog().len());
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_exactly() {
+        let base = OscillatorConfig::fast_test();
+        let serial = FmeaReport::run(&base).unwrap();
+        for threads in [2, 8] {
+            let par = FmeaReport::run_with_threads(&base, threads).unwrap();
+            assert_eq!(par.report, serial, "threads = {threads}");
+            assert_eq!(par.stats.jobs, Fault::catalog().len());
+            // JSON payloads must be byte-identical, not just structurally
+            // equal — the golden regression layer compares bytes.
+            assert_eq!(
+                par.report.to_json().render(),
+                serial.to_json().render(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_has_summary_and_all_rows() {
+        let j = report().to_json().render();
+        assert!(j.contains("\"safety_coverage\":1.0"), "{j}");
+        assert!(j.contains("open coil connection"));
+        assert_eq!(j.matches("\"fault\":").count(), Fault::catalog().len());
     }
 
     #[test]

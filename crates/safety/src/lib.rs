@@ -38,7 +38,7 @@ pub use coupled::{CoupledOscillators, UnsuppliedLoad};
 pub use detectors::{AsymmetryDetector, DetectorKind, LowAmplitudeDetector, MissingClockDetector};
 pub use dual::{DualOutcome, DualSystem};
 pub use fault::Fault;
-pub use fmea::{FmeaEntry, FmeaReport};
+pub use fmea::{FmeaEntry, FmeaReport, FmeaRun};
 pub use safe_state::{SafeStateController, SystemOutputs};
 pub use scenario::{
     check_scenario, run_scenario, run_scenario_unchecked, safety_facts, ScenarioResult,

@@ -14,6 +14,8 @@
 //! This crate simply re-exports each member crate under a stable path:
 //!
 //! - [`num`] — numerical substrate (linear algebra, ODE, filters, FFT).
+//! - [`campaign`] — deterministic parallel campaign engine (seeded job
+//!   fan-out, order-stable reduction, byte-stable JSON reports).
 //! - [`circuit`] — netlist MNA simulator (DC, sweep, transient).
 //! - [`check`] — static ERC/DRC verification pass (netlist, config and
 //!   safety-invariant lints with stable diagnostic codes).
@@ -40,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub use lcosc_campaign as campaign;
 pub use lcosc_check as check;
 pub use lcosc_circuit as circuit;
 pub use lcosc_core as core;

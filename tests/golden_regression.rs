@@ -1,0 +1,85 @@
+//! Golden-file regression harness: key reports are rendered to byte-stable
+//! JSON and compared against fixtures under `tests/golden/`. Regenerate a
+//! fixture after an intentional model change with
+//!
+//! ```text
+//! LCOSC_BLESS=1 cargo test -q --test golden_regression
+//! ```
+//!
+//! and review the fixture diff like any other code change. Byte stability
+//! comes from the [`lcosc::campaign::Json`] renderer: ordered keys and
+//! shortest-roundtrip float formatting, so any byte difference is a real
+//! behavioural difference.
+
+use lcosc::campaign::Json;
+use lcosc::core::config::OscillatorConfig;
+use lcosc::dac::{multiplication_factor, relative_step, Code, DacMismatchParams};
+use lcosc::safety::FmeaReport;
+use std::path::PathBuf;
+
+/// Compares `rendered` against `tests/golden/<name>`, or rewrites the
+/// fixture when `LCOSC_BLESS=1` is set.
+fn golden(name: &str, rendered: &str) {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "golden", name]
+        .iter()
+        .collect();
+    if std::env::var_os("LCOSC_BLESS").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir golden");
+        std::fs::write(&path, rendered).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read fixture {}: {e}\n(regenerate with LCOSC_BLESS=1 cargo test --test golden_regression)",
+            path.display()
+        )
+    });
+    if expected != rendered {
+        // Point at the first differing line to keep the failure readable.
+        let diff_line = expected
+            .lines()
+            .zip(rendered.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| expected.lines().count().min(rendered.lines().count()));
+        panic!(
+            "golden mismatch for {name} at line {}:\n  expected: {}\n  actual:   {}\n\
+             (regenerate with LCOSC_BLESS=1 if the change is intentional)",
+            diff_line + 1,
+            expected.lines().nth(diff_line).unwrap_or("<eof>"),
+            rendered.lines().nth(diff_line).unwrap_or("<eof>"),
+        );
+    }
+}
+
+#[test]
+fn fmea_fast_test_matrix_is_stable() {
+    let report =
+        FmeaReport::run(&OscillatorConfig::fast_test()).expect("fast_test preset is valid");
+    golden("fmea_fast_test.json", &report.to_json().render_pretty(2));
+}
+
+#[test]
+fn yield_analysis_summary_is_stable() {
+    // Same campaign the repro binary tracks: 200 dies, seed 1, ±15 % window.
+    let run = lcosc::dac::yield_analysis_campaign(&DacMismatchParams::default(), 200, 1, 0.15, 1);
+    golden("yield_default.json", &run.report.to_json().render_pretty(2));
+}
+
+#[test]
+fn dac_transfer_staircase_is_stable() {
+    // Fig 3/Fig 4 + Table 1: the full 128-code staircase with relative
+    // steps (null where the step is undefined).
+    let rows: Vec<Json> = Code::all()
+        .map(|c| {
+            Json::obj([
+                ("code", Json::from(c.value())),
+                ("units", Json::from(multiplication_factor(c))),
+                ("relative_step", Json::from(relative_step(c))),
+            ])
+        })
+        .collect();
+    golden(
+        "dac_transfer.json",
+        &Json::obj([("codes", Json::Array(rows))]).render_pretty(2),
+    );
+}

@@ -6,6 +6,8 @@ use lcosc::circuit::analysis::ac::{ac_sweep, logspace};
 use lcosc::circuit::analysis::transient::{run_transient, Integrator, TransientOptions};
 use lcosc::circuit::netlist::{Netlist, Waveform};
 use lcosc::core::condition::OscillationCondition;
+use lcosc::core::envelope::EnvelopeModel;
+use lcosc::core::gm_driver::{DriverShape, GmDriver};
 use lcosc::core::tank::LcTank;
 use lcosc::num::units::{Farads, Henries, Ohms};
 
@@ -130,6 +132,76 @@ fn mna_transient_ringdown_matches_q_envelope() {
         "mna ringdown {} vs analytic {}",
         peak_end,
         expect
+    );
+}
+
+#[test]
+fn envelope_model_decay_matches_mna_transient_within_1_percent() {
+    // Differential test: the behavioral envelope model and the MNA
+    // transient integrator are independent implementations of the same
+    // ring-down physics. With a dead driver (I_M = 0) the envelope model
+    // predicts a pure exponential decay λ = −Gm₀/(2·C_avg); the MNA
+    // simulator integrates the raw RLC equations. The amplitude decay over
+    // 10 cycles must agree within 1 %.
+    let t = tank();
+    let driver = GmDriver::new(DriverShape::LinearSaturate { gm: 10e-3 }, 0.0);
+    let lambda_env = EnvelopeModel::new(t, driver).lambda(1.0);
+    assert!(lambda_env < 0.0, "dead driver must decay: {lambda_env}");
+
+    // Kicked passive tank in the MNA simulator, trapezoidal rule (no
+    // numerical damping on oscillatory modes at this step size).
+    let mut nl = Netlist::new();
+    let lc1 = nl.node("lc1");
+    let lc2 = nl.node("lc2");
+    let mid = nl.node("mid");
+    nl.capacitor_ic(lc1, Netlist::GROUND, t.c1().value(), 1.0);
+    nl.capacitor_ic(lc2, Netlist::GROUND, t.c2().value(), -1.0);
+    let ind = nl.inductor(lc1, mid, t.l().value());
+    nl.resistor(mid, lc2, t.rs().value());
+    let f0 = t.f0().value();
+    let mut opts = TransientOptions::new(1.0 / (f0 * 500.0), 14.0 / f0);
+    opts.integrator = Integrator::Trapezoidal;
+    let res = run_transient(&nl, &opts).expect("transient converges");
+
+    // The instantaneous amplitude is ripple-free through the total stored
+    // energy: a(t) ∝ √E(t) with E = ½C₁v₁² + ½C₂v₂² + ½L·i_L².
+    let v1 = res.voltage_trace(lc1);
+    let v2 = res.voltage_trace(lc2);
+    let il = res.current_trace(ind);
+    let energy = |k: usize| {
+        0.5 * t.c1().value() * v1[k] * v1[k]
+            + 0.5 * t.c2().value() * v2[k] * v2[k]
+            + 0.5 * t.l().value() * il[k] * il[k]
+    };
+    // Fit λ over exactly 10 cycles, skipping the first 2 (start-up
+    // transient of the discretized initial condition): least-squares slope
+    // of ln a(t) = ½·ln E(t) averages out the 2·f₀ energy ripple.
+    let times = res.times();
+    let (t_a, t_b) = (2.0 / f0, 12.0 / f0);
+    let pts: Vec<(f64, f64)> = times
+        .iter()
+        .enumerate()
+        .filter(|(_, &tt)| (t_a..=t_b).contains(&tt))
+        .map(|(k, &tt)| (tt, 0.5 * energy(k).ln()))
+        .collect();
+    let n = pts.len() as f64;
+    let (sx, sy) = pts.iter().fold((0.0, 0.0), |(a, b), p| (a + p.0, b + p.1));
+    let (sxx, sxy) = pts
+        .iter()
+        .fold((0.0, 0.0), |(a, b), p| (a + p.0 * p.0, b + p.0 * p.1));
+    let lambda_mna = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+
+    // Decay *rates* agree…
+    assert!(
+        (lambda_mna / lambda_env - 1.0).abs() < 0.01,
+        "mna λ {lambda_mna} vs envelope λ {lambda_env}"
+    );
+    // …so the amplitude decay factors over the 10 cycles do too.
+    let decay_env = (lambda_env * 10.0 / f0).exp();
+    let decay_mna = (lambda_mna * 10.0 / f0).exp();
+    assert!(
+        (decay_mna / decay_env - 1.0).abs() < 0.01,
+        "mna decay {decay_mna} vs envelope {decay_env} over 10 cycles"
     );
 }
 
