@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo run --release -p lcosc-bench --bin repro -- [--threads N] \
-//!     [--campaigns-only] [--results-out PATH] [--unchecked]
+//!     [--campaigns-only] [--results-out PATH] [--unchecked] \
+//!     [--trace-out PATH] [--trace-level off|metrics|events]
 //! ```
 //!
 //! - `--threads N` fans the FMEA / Monte-Carlo / sweep campaigns out over
@@ -16,15 +17,29 @@
 //!   (no timing) to `PATH`, default `target/repro/campaign_results.json`.
 //!   Timing statistics go to `target/repro/campaigns.json` separately, so
 //!   the results file can be byte-compared across thread counts.
+//! - `--trace-out PATH` records a structured trace of a fully-instrumented
+//!   demonstration scenario (regulation per-tick stream, fault injection,
+//!   detector trips, safe-state reaction) plus the FMEA campaign's job
+//!   events. At `--trace-level events` (the default) `PATH` receives the
+//!   **golden** JSONL event stream — byte-identical for every `--threads`
+//!   value — with machine-dependent job timing quarantined in
+//!   `PATH.timing.jsonl` and aggregate metrics in `PATH.metrics.json`. At
+//!   `--trace-level metrics` `PATH` receives only the (golden) metrics
+//!   JSON, timing in `PATH.timing.json`.
 
 use lcosc_bench::csv::write_csv;
 use lcosc_bench::{ablation, figures};
 use lcosc_campaign::{CampaignStats, Json};
-use lcosc_core::OscillatorConfig;
+use lcosc_core::{ClosedLoopSim, OscillatorConfig};
 use lcosc_dac::{multiplication_factor, relative_step, Code, DacMismatchParams};
 use lcosc_pad::topology::PadTopology;
 use lcosc_safety::scenario::check_scenario;
+use lcosc_safety::{run_scenario_with_trace, Fault, SafeStateController};
+use lcosc_trace::{
+    render_jsonl, FanoutSink, MemorySink, MetricsSink, Trace, TraceEvent, TraceLevel,
+};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Monte-Carlo population tracked by the yield campaign report.
@@ -39,6 +54,8 @@ struct Args {
     campaigns_only: bool,
     unchecked: bool,
     results_out: PathBuf,
+    trace_out: Option<PathBuf>,
+    trace_level: TraceLevel,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +64,8 @@ fn parse_args() -> Result<Args, String> {
         campaigns_only: false,
         unchecked: false,
         results_out: PathBuf::from("target/repro/campaign_results.json"),
+        trace_out: None,
+        trace_level: TraceLevel::Events,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -60,10 +79,100 @@ fn parse_args() -> Result<Args, String> {
             "--results-out" => {
                 args.results_out = PathBuf::from(it.next().ok_or("--results-out needs a path")?);
             }
+            "--trace-out" => {
+                args.trace_out = Some(PathBuf::from(it.next().ok_or("--trace-out needs a path")?));
+            }
+            "--trace-level" => {
+                let v = it.next().ok_or("--trace-level needs a value")?;
+                args.trace_level = TraceLevel::parse(&v)
+                    .ok_or(format!("bad trace level {v:?} (off|metrics|events)"))?;
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
     Ok(args)
+}
+
+/// The recording half of the trace plumbing: the sinks we need to read
+/// back at end of run, behind one fanned-out [`Trace`] handle.
+struct TraceCapture {
+    events: Arc<MemorySink>,
+    metrics: Arc<MetricsSink>,
+    tracer: Trace,
+}
+
+impl TraceCapture {
+    /// Builds the capture for the requested level; `None` when tracing is
+    /// disabled (no `--trace-out`, or `--trace-level off`).
+    fn from_args(args: &Args) -> Option<TraceCapture> {
+        if args.trace_out.is_none() || args.trace_level == TraceLevel::Off {
+            return None;
+        }
+        let events = Arc::new(MemorySink::new());
+        let metrics = Arc::new(MetricsSink::new());
+        let tracer = Trace::new(Arc::new(FanoutSink::new(vec![
+            events.clone() as Arc<dyn lcosc_trace::TraceSink>,
+            metrics.clone(),
+        ])));
+        Some(TraceCapture {
+            events,
+            metrics,
+            tracer,
+        })
+    }
+
+    /// Writes the recorded streams. The file at `path` is a pure function
+    /// of the event sequence (golden); wall-clock data goes to sibling
+    /// files only.
+    fn write(&self, path: &Path, level: TraceLevel) -> std::io::Result<()> {
+        let events = self.events.snapshot();
+        let metrics = self.metrics.snapshot();
+        match level {
+            TraceLevel::Off => {}
+            TraceLevel::Events => {
+                write_text(path, &render_jsonl(&events, TraceEvent::is_golden))?;
+                write_text(
+                    &sibling(path, ".timing.jsonl"),
+                    &render_jsonl(&events, |e| !e.is_golden()),
+                )?;
+                write_text(&sibling(path, ".metrics.json"), &metrics.render_json())?;
+            }
+            TraceLevel::Metrics => {
+                write_text(path, &metrics.render_json())?;
+                write_text(
+                    &sibling(path, ".timing.json"),
+                    &metrics.render_timing_json(),
+                )?;
+            }
+        }
+        println!(
+            "trace -> {} ({} events recorded, golden stream is thread-count invariant)",
+            path.display(),
+            events.len()
+        );
+        Ok(())
+    }
+}
+
+/// `path` with `suffix` appended to its file name (`trace.jsonl` +
+/// `.timing.jsonl` → `trace.jsonl.timing.jsonl`).
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(suffix);
+    path.with_file_name(name)
+}
+
+/// The fully-instrumented serial demonstration the trace file captures:
+/// one hard-fault scenario (per-tick regulation stream, fault injection,
+/// detector trips) and the safe-state reaction to its detections. Serial
+/// by construction, so the emitted events are deterministic.
+fn traced_demo(tracer: &Trace) -> Result<(), Box<dyn std::error::Error>> {
+    let base = OscillatorConfig::fast_test();
+    let outcome = run_scenario_with_trace(Fault::DriverDead, &base, tracer)?;
+    let mut sim = ClosedLoopSim::new(base)?.with_trace(tracer.clone());
+    sim.run_until_settled()?;
+    SafeStateController::new().react_traced(&outcome.triggered, &mut sim, tracer);
+    Ok(())
 }
 
 /// One tracked campaign: its timing stats and, when the run was parallel,
@@ -100,13 +209,15 @@ impl TrackedCampaign {
 
 /// Runs the tracked campaigns (FMEA matrix + DAC yield): deterministic
 /// results plus timing. With `threads > 1` each campaign is first run
-/// serially to measure the speedup the JSON report tracks.
-fn run_campaigns(threads: usize) -> (Json, Vec<TrackedCampaign>) {
+/// serially to measure the speedup the JSON report tracks (that
+/// measurement run is never traced — its job events would duplicate the
+/// tracked run's).
+fn run_campaigns(threads: usize, tracer: &Trace) -> (Json, Vec<TrackedCampaign>) {
     let mut tracked = Vec::new();
 
     // §7 FMEA fault×detector matrix.
     let fmea_serial_wall = (threads > 1).then(|| figures::fmea_matrix_threads(1).stats.wall);
-    let fmea = figures::fmea_matrix_threads(threads);
+    let fmea = figures::fmea_matrix_threads_traced(threads, tracer);
     tracked.push(TrackedCampaign {
         stats: fmea.stats.clone(),
         serial_wall: fmea_serial_wall,
@@ -149,9 +260,13 @@ fn run_campaigns(threads: usize) -> (Json, Vec<TrackedCampaign>) {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args().map_err(|e| {
         format!(
-            "{e}\nusage: repro [--threads N] [--campaigns-only] [--results-out PATH] [--unchecked]"
+            "{e}\nusage: repro [--threads N] [--campaigns-only] [--results-out PATH] [--unchecked] [--trace-out PATH] [--trace-level off|metrics|events]"
         )
     })?;
+    let capture = TraceCapture::from_args(&args);
+    let tracer = capture
+        .as_ref()
+        .map_or_else(Trace::off, |c| c.tracer.clone());
 
     // Lint every preset the figures are built on before spending minutes
     // computing them (skippable with --unchecked for fault studies).
@@ -176,9 +291,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = PathBuf::from("target/repro");
     std::fs::create_dir_all(&out)?;
 
+    // The instrumented demonstration scenario runs first (serially) so the
+    // trace leads with the per-tick regulation story before the campaign
+    // job events.
+    if tracer.is_enabled() {
+        traced_demo(&tracer)?;
+    }
+
     // The tracked campaigns always run: their JSON reports are the
     // regression surface BENCH_*.json tracks.
-    let (results, tracked) = run_campaigns(args.threads);
+    let (results, tracked) = run_campaigns(args.threads, &tracer);
     write_text(&args.results_out, &results.render_pretty(2))?;
     let stats = Json::obj([
         ("threads_requested", Json::from(args.threads)),
@@ -211,6 +333,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             t.stats.wall.as_secs_f64() * 1e3,
         );
     }
+    if let (Some(capture), Some(path)) = (&capture, &args.trace_out) {
+        capture.write(path, args.trace_level)?;
+    }
+
     if args.campaigns_only {
         return Ok(());
     }

@@ -171,7 +171,16 @@ pub fn fmea_matrix() -> FmeaReport {
 /// [`fmea_matrix`] as a parallel campaign: returns the matrix plus the
 /// campaign's wall-clock/job-count statistics.
 pub fn fmea_matrix_threads(threads: usize) -> lcosc_safety::FmeaRun {
-    FmeaReport::run_with_threads(&OscillatorConfig::datasheet_3mhz(), threads)
+    fmea_matrix_threads_traced(threads, &lcosc_trace::Trace::off())
+}
+
+/// [`fmea_matrix_threads`] with campaign-level trace events (job index,
+/// seed, wall-clock) emitted into `tracer` in catalog order.
+pub fn fmea_matrix_threads_traced(
+    threads: usize,
+    tracer: &lcosc_trace::Trace,
+) -> lcosc_safety::FmeaRun {
+    FmeaReport::run_with_threads_traced(&OscillatorConfig::datasheet_3mhz(), threads, tracer)
         .expect("config is valid")
 }
 

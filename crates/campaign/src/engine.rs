@@ -17,8 +17,17 @@
 //!   same order the serial path produces.
 //!
 //! Only the wall-clock in [`CampaignStats`] depends on the machine.
+//!
+//! The same split governs tracing: when a [`lcosc_trace::Trace`] is
+//! attached via [`Campaign::trace`], the engine emits one
+//! [`TraceEvent::CampaignJob`] (index + seed — deterministic) and one
+//! [`TraceEvent::CampaignJobTiming`] (wall-clock — machine-dependent) per
+//! job, always **from the coordinator thread in job-index order** after
+//! the results are assembled, so the golden event stream is identical for
+//! every thread count.
 
 use crate::seed::job_seed;
+use lcosc_trace::{Trace, TraceEvent};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
@@ -81,18 +90,29 @@ pub struct Campaign<J> {
     jobs: Vec<J>,
     threads: usize,
     seed: u64,
+    trace: Trace,
 }
 
 impl<J: Sync> Campaign<J> {
     /// Creates a campaign named `name` over `jobs`. Defaults: 1 thread
-    /// (serial), seed 0.
+    /// (serial), seed 0, tracing off.
     pub fn new(name: impl Into<String>, jobs: Vec<J>) -> Self {
         Campaign {
             name: name.into(),
             jobs,
             threads: 1,
             seed: 0,
+            trace: Trace::off(),
         }
+    }
+
+    /// Attaches a trace handle. Per-job [`TraceEvent::CampaignJob`] and
+    /// [`TraceEvent::CampaignJobTiming`] events are emitted in job-index
+    /// order from the coordinator thread once the run completes.
+    #[must_use]
+    pub fn trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Sets the worker-thread count. `0` means "all available cores";
@@ -136,25 +156,41 @@ impl<J: Sync> Campaign<J> {
         let start = Instant::now();
         let n = self.jobs.len();
         let threads = self.threads.min(n.max(1));
-        let results = if threads <= 1 {
+        let (results, walls) = if threads <= 1 {
             // Serial fast path: no pool, no channel — identical to a plain
             // loop (and to what the workspace did before this crate).
-            self.jobs
+            let mut walls = Vec::with_capacity(n);
+            let results = self
+                .jobs
                 .iter()
                 .enumerate()
                 .map(|(i, job)| {
-                    worker(
+                    let t0 = Instant::now();
+                    let r = worker(
                         JobCtx {
                             index: i,
                             seed: job_seed(self.seed, i as u64),
                         },
                         job,
-                    )
+                    );
+                    walls.push(t0.elapsed().as_nanos());
+                    r
                 })
-                .collect()
+                .collect();
+            (results, walls)
         } else {
             run_pool(&self.jobs, self.seed, threads, &worker)
         };
+        // Trace emission happens here, on the coordinator thread, after
+        // every slot is filled — index order by construction, regardless
+        // of which worker finished when.
+        for (i, wall_ns) in walls.into_iter().enumerate() {
+            let index = i as u64;
+            let seed = job_seed(self.seed, index);
+            self.trace.emit(|| TraceEvent::CampaignJob { index, seed });
+            self.trace
+                .emit(|| TraceEvent::CampaignJobTiming { index, wall_ns });
+        }
         CampaignOutcome {
             results,
             stats: CampaignStats {
@@ -210,9 +246,10 @@ impl<J: Sync> Campaign<J> {
 }
 
 /// The parallel path: `threads` scoped workers drain an atomic job counter
-/// and send `(index, result)` pairs back over a channel; the calling thread
-/// stores each into its slot.
-fn run_pool<J, R, F>(jobs: &[J], seed: u64, threads: usize, worker: &F) -> Vec<R>
+/// and send `(index, wall_ns, result)` triples back over a channel; the
+/// calling thread stores each into its slot. Returns results and per-job
+/// wall-clock durations, both in job-index order.
+fn run_pool<J, R, F>(jobs: &[J], seed: u64, threads: usize, worker: &F) -> (Vec<R>, Vec<u128>)
 where
     J: Sync,
     R: Send,
@@ -220,8 +257,8 @@ where
 {
     let n = jobs.len();
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<(R, u128)>> = (0..n).map(|_| None).collect();
+    let (tx, rx) = mpsc::channel::<(usize, u128, R)>();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
@@ -239,22 +276,27 @@ where
                         index: i,
                         seed: job_seed(seed, i as u64),
                     };
+                    let t0 = Instant::now();
                     let result = worker(ctx, &jobs[i]);
-                    if tx.send((i, result)).is_err() {
+                    if tx.send((i, t0.elapsed().as_nanos(), result)).is_err() {
                         break; // receiver gone: abandon quietly
                     }
                 }
             });
         }
         drop(tx);
-        for (i, result) in rx {
-            slots[i] = Some(result);
+        for (i, wall_ns, result) in rx {
+            slots[i] = Some((result, wall_ns));
         }
     });
-    slots
-        .into_iter()
-        .map(|s| s.expect("pool delivered every job result"))
-        .collect()
+    let mut results = Vec::with_capacity(n);
+    let mut walls = Vec::with_capacity(n);
+    for s in slots {
+        let (r, w) = s.expect("pool delivered every job result");
+        results.push(r);
+        walls.push(w);
+    }
+    (results, walls)
 }
 
 #[cfg(test)]
@@ -303,6 +345,29 @@ mod tests {
             .threads(4)
             .try_run(|ctx, &j| if j % 30 == 7 { Err(ctx.index) } else { Ok(j) });
         assert_eq!(res.err(), Some(7));
+    }
+
+    #[test]
+    fn traced_campaign_golden_events_are_thread_invariant() {
+        use lcosc_trace::MemorySink;
+        use std::sync::Arc;
+        let run = |threads: usize| {
+            let sink = Arc::new(MemorySink::new());
+            Campaign::new("t", (0u64..33).collect())
+                .seed(5)
+                .threads(threads)
+                .trace(Trace::new(sink.clone()))
+                .run(|ctx, &j| ctx.seed ^ j);
+            sink.snapshot()
+        };
+        let serial: Vec<TraceEvent> = run(1).into_iter().filter(TraceEvent::is_golden).collect();
+        assert_eq!(serial.len(), 33, "one golden CampaignJob event per job");
+        for threads in [2, 8] {
+            let all = run(threads);
+            assert_eq!(all.len(), 66, "job + timing event per job");
+            let golden: Vec<TraceEvent> = all.into_iter().filter(TraceEvent::is_golden).collect();
+            assert_eq!(golden, serial, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -53,8 +53,12 @@ impl RegulationFsm {
     }
 
     /// Overrides the code (POR preset / NVM load / safe-state reaction).
+    /// Any latched saturation indication is cleared: it described the
+    /// regulation trajectory that the override just discarded.
     pub fn set_code(&mut self, code: Code) {
         self.code = code;
+        self.saturated_low = false;
+        self.saturated_high = false;
     }
 
     /// Tick period in seconds.
@@ -70,23 +74,45 @@ impl RegulationFsm {
     /// Whether the code has hit the top of the range while still asking for
     /// more amplitude (a symptom of a poor tank or failing components —
     /// feeds the low-amplitude safety detector).
+    ///
+    /// The indication **latches**: it stays set through `Inside`/hold
+    /// ticks and clears only when the window direction reverses (an
+    /// `Above` tick — the loop is demonstrably no longer pinned against
+    /// the top stop) or the code is overridden via
+    /// [`RegulationFsm::set_code`]. A safety path that samples the flag
+    /// once per reaction period therefore cannot miss a saturation that a
+    /// single intervening hold tick would otherwise have erased.
     pub fn saturated_high(&self) -> bool {
         self.saturated_high
     }
 
-    /// Whether the code has hit zero while still asking for less amplitude.
+    /// Whether the code has hit zero while still asking for less
+    /// amplitude. Latches like [`RegulationFsm::saturated_high`], clearing
+    /// on a `Below` tick or a code override.
     pub fn saturated_low(&self) -> bool {
         self.saturated_low
+    }
+
+    /// Reads and clears both saturation latches in one step — for safety
+    /// paths that want edge (per-sample) rather than level semantics.
+    /// Returns `(saturated_low, saturated_high)`.
+    pub fn take_saturation(&mut self) -> (bool, bool) {
+        let out = (self.saturated_low, self.saturated_high);
+        self.saturated_low = false;
+        self.saturated_high = false;
+        out
     }
 
     /// Executes one 1 ms tick given the window comparator state; returns
     /// the action taken.
     pub fn tick(&mut self, window: WindowState) -> RegulationAction {
         self.ticks += 1;
-        self.saturated_low = false;
-        self.saturated_high = false;
         match window {
             WindowState::Below => {
+                // Asking for more amplitude: any low-side saturation story
+                // is over, but a latched high-side saturation must survive
+                // hold ticks until the direction truly reverses.
+                self.saturated_low = false;
                 if self.code == Code::MAX {
                     self.saturated_high = true;
                     RegulationAction::Hold
@@ -96,6 +122,7 @@ impl RegulationFsm {
                 }
             }
             WindowState::Above => {
+                self.saturated_high = false;
                 if self.code == Code::MIN {
                     self.saturated_low = true;
                     RegulationAction::Hold
@@ -142,9 +169,31 @@ mod tests {
         assert_eq!(fsm.code(), Code::MAX);
         assert!(fsm.saturated_high());
         assert!(!fsm.saturated_low());
-        // Flag clears once the comparator recovers.
+        // The latch survives hold ticks and clears only when the window
+        // direction reverses.
         fsm.tick(WindowState::Inside);
+        assert!(fsm.saturated_high(), "Inside must not erase the latch");
+        fsm.tick(WindowState::Above);
         assert!(!fsm.saturated_high());
+    }
+
+    #[test]
+    fn saturation_survives_hold_until_sampled() {
+        // Regression for the low-amplitude safety path: the detector
+        // samples saturation once per reaction period; a single Inside
+        // tick between the saturation and the sample used to erase the
+        // indication entirely.
+        let mut fsm = RegulationFsm::new(Code::MAX, 1e-3);
+        fsm.tick(WindowState::Below); // pinned at the top
+        fsm.tick(WindowState::Inside); // brief comparator flicker
+        fsm.tick(WindowState::Inside);
+        assert!(
+            fsm.saturated_high(),
+            "sample-after-hold must still see the saturation"
+        );
+        // Edge semantics via the take-and-clear accessor.
+        assert_eq!(fsm.take_saturation(), (false, true));
+        assert!(!fsm.saturated_high(), "take_saturation clears the latch");
     }
 
     #[test]
@@ -153,6 +202,20 @@ mod tests {
         assert_eq!(fsm.tick(WindowState::Above), RegulationAction::Hold);
         assert_eq!(fsm.code(), Code::MIN);
         assert!(fsm.saturated_low());
+        // Latched through holds; cleared by a direction reversal.
+        fsm.tick(WindowState::Inside);
+        assert!(fsm.saturated_low());
+        fsm.tick(WindowState::Below);
+        assert!(!fsm.saturated_low());
+    }
+
+    #[test]
+    fn set_code_clears_saturation_latches() {
+        let mut fsm = RegulationFsm::new(Code::MAX, 1e-3);
+        fsm.tick(WindowState::Below);
+        assert!(fsm.saturated_high());
+        fsm.set_code(Code::POR_PRESET);
+        assert!(!fsm.saturated_high(), "override discards the trajectory");
     }
 
     #[test]

@@ -7,14 +7,33 @@ use crate::detector::{AmplitudeDetector, RECTIFIER_GAIN};
 use crate::envelope::EnvelopeModel;
 use crate::gm_driver::GmDriver;
 use crate::oscillator::{OscillatorModel, OscillatorState};
-use crate::regulator::RegulationFsm;
+use crate::regulator::{RegulationAction, RegulationFsm};
 use crate::startup::StartupSequencer;
 use crate::tank::LcTank;
 use crate::Result;
 use lcosc_dac::Code;
 use lcosc_device::comparator::WindowState;
+use lcosc_trace::{PhaseId, StepAction, Trace, TraceEvent, WindowClass};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Maps the comparator state onto the trace vocabulary.
+fn window_class(w: WindowState) -> WindowClass {
+    match w {
+        WindowState::Below => WindowClass::Below,
+        WindowState::Inside => WindowClass::Inside,
+        WindowState::Above => WindowClass::Above,
+    }
+}
+
+/// Maps the regulation decision onto the trace vocabulary.
+fn step_action(a: RegulationAction) -> StepAction {
+    match a {
+        RegulationAction::Increment => StepAction::Increment,
+        RegulationAction::Decrement => StepAction::Decrement,
+        RegulationAction::Hold => StepAction::Hold,
+    }
+}
 
 /// Events logged by the simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,7 +80,11 @@ pub struct SimTrace {
     pub amplitudes: Vec<f64>,
     /// Logged events.
     pub events: Vec<SimEvent>,
-    /// Cycle mode only: decimated differential waveform (`dt`, samples).
+    /// Cycle mode only: time step between decimated waveform samples.
+    /// Kept in lock-step with the ODE step (a function of the tank) and
+    /// the record stride — refreshed by [`ClosedLoopSim::inject_tank`] and
+    /// [`ClosedLoopSim::set_record_stride`], so samples recorded after a
+    /// mid-run change carry the correct timestamps.
     pub waveform_dt: f64,
     /// Cycle mode only: decimated `v1 − v2` samples.
     pub waveform_vdiff: Vec<f64>,
@@ -101,6 +124,8 @@ pub struct ClosedLoopSim {
     record_stride: usize,
     scratch: Vec<f64>,
     noise_rng: StdRng,
+    tracer: Trace,
+    regulating_logged: bool,
 }
 
 impl ClosedLoopSim {
@@ -161,11 +186,58 @@ impl ClosedLoopSim {
             record_stride: (cfg.steps_per_period / 8).max(1),
             scratch: vec![0.0; 15],
             noise_rng: StdRng::seed_from_u64(cfg.noise_seed),
+            tracer: Trace::off(),
+            regulating_logged: false,
             cfg,
         };
-        sim.trace.waveform_dt = sim.cfg.dt() * sim.record_stride as f64;
+        sim.refresh_waveform_dt();
         sim.apply_code(Code::POR_PRESET);
         Ok(sim)
+    }
+
+    /// Attaches a structured-event trace; pass [`Trace::off`] to detach.
+    /// When attached before the first tick, the POR-preset startup phase
+    /// is logged retroactively so the stream starts at phase zero.
+    pub fn set_trace(&mut self, tracer: Trace) {
+        self.tracer = tracer;
+        if self.trace.tick_times.is_empty() && !self.nvm_applied {
+            self.tracer.emit(|| TraceEvent::StartupPhase {
+                tick: 0,
+                phase: PhaseId::PorPreset,
+                code: Code::POR_PRESET.value(),
+            });
+        }
+    }
+
+    /// Builder-style [`ClosedLoopSim::set_trace`].
+    #[must_use]
+    pub fn with_trace(mut self, tracer: Trace) -> Self {
+        self.set_trace(tracer);
+        self
+    }
+
+    /// Keeps the waveform decimation metadata in lock-step with the ODE
+    /// step and the record stride. The ODE step is a function of the tank
+    /// (`f0`), so a mid-run tank swap changes it too.
+    fn refresh_waveform_dt(&mut self) {
+        self.trace.waveform_dt = self.cfg.dt() * self.record_stride as f64;
+    }
+
+    /// Sets the cycle-mode waveform decimation (record every `stride`-th
+    /// ODE sample) and updates the trace's `waveform_dt` to match.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `stride` is zero.
+    pub fn set_record_stride(&mut self, stride: usize) {
+        assert!(stride > 0, "record stride must be positive");
+        self.record_stride = stride;
+        self.refresh_waveform_dt();
+    }
+
+    /// Cycle-mode waveform decimation stride.
+    pub fn record_stride(&self) -> usize {
+        self.record_stride
     }
 
     /// The configuration.
@@ -181,6 +253,25 @@ impl ClosedLoopSim {
     /// Current regulation code.
     pub fn code(&self) -> Code {
         self.fsm.code()
+    }
+
+    /// Number of regulation ticks executed — the discrete clock trace
+    /// events are stamped with.
+    pub fn ticks(&self) -> u64 {
+        self.fsm.ticks()
+    }
+
+    /// Whether the regulation loop is (latched) saturated at the top code
+    /// while still below the window — the condition the low-amplitude
+    /// safety detector samples. See [`RegulationFsm::saturated_high`].
+    pub fn saturated_high(&self) -> bool {
+        self.fsm.saturated_high()
+    }
+
+    /// Whether the regulation loop is (latched) saturated at the bottom
+    /// code while still above the window.
+    pub fn saturated_low(&self) -> bool {
+        self.fsm.saturated_low()
     }
 
     /// Current per-pin peak amplitude estimate.
@@ -218,9 +309,14 @@ impl ClosedLoopSim {
         self.model = OscillatorModel::new(tank, driver, self.cfg.vref).with_rails(self.cfg.vdd);
         self.envelope = EnvelopeModel::new(tank, driver).with_clamp(self.cfg.rail_clamp());
         self.cfg.tank = tank;
+        // The ODE step follows the tank's resonance frequency; the
+        // decimation metadata must follow or cycle-mode waveform
+        // timestamps recorded after the swap are wrong.
+        self.refresh_waveform_dt();
         self.trace
             .events
             .push(SimEvent::FaultInjected { t: self.t });
+        self.emit_fault_injected();
     }
 
     /// Overrides the regulation code immediately (safe-state reaction or
@@ -238,6 +334,12 @@ impl ClosedLoopSim {
         self.trace
             .events
             .push(SimEvent::FaultInjected { t: self.t });
+        self.emit_fault_injected();
+    }
+
+    fn emit_fault_injected(&mut self) {
+        let tick = self.fsm.ticks();
+        self.tracer.emit(|| TraceEvent::FaultInjected { tick });
     }
 
     /// Adds a leak conductance at a pin (0 = LC1, 1 = LC2); cycle mode only
@@ -266,6 +368,7 @@ impl ClosedLoopSim {
         self.trace
             .events
             .push(SimEvent::FaultInjected { t: self.t });
+        self.emit_fault_injected();
     }
 
     fn apply_code(&mut self, code: Code) {
@@ -331,8 +434,25 @@ impl ClosedLoopSim {
 
         // Regulation acts from the first tick boundary onwards.
         let before = self.fsm.code();
-        self.fsm.tick(window);
+        let sat_before = (self.fsm.saturated_low(), self.fsm.saturated_high());
+        let action = self.fsm.tick(window);
         let after = self.fsm.code();
+        let tick = self.fsm.ticks();
+        if !self.regulating_logged {
+            self.regulating_logged = true;
+            self.tracer.emit(|| TraceEvent::StartupPhase {
+                tick,
+                phase: PhaseId::Regulating,
+                code: before.value(),
+            });
+        }
+        self.tracer.emit(|| TraceEvent::CodeStep {
+            tick,
+            old: before.value(),
+            new: after.value(),
+            action: step_action(action),
+            window: window_class(window),
+        });
         if after != before {
             self.trace.events.push(SimEvent::CodeChanged {
                 t: self.t,
@@ -341,10 +461,21 @@ impl ClosedLoopSim {
             });
             self.apply_code(after);
         }
-        if self.fsm.saturated_high() {
+        // The SimEvent stream keeps its historical cadence (one event per
+        // tick actively pinned at the top stop); the latched FSM flag is
+        // what the safety path samples.
+        if window == WindowState::Below && after == Code::MAX {
             self.trace
                 .events
                 .push(SimEvent::SaturatedHigh { t: self.t });
+        }
+        if self.fsm.saturated_high() && !sat_before.1 {
+            self.tracer
+                .emit(|| TraceEvent::Saturated { tick, high: true });
+        }
+        if self.fsm.saturated_low() && !sat_before.0 {
+            self.tracer
+                .emit(|| TraceEvent::Saturated { tick, high: false });
         }
 
         self.trace.tick_times.push(self.t);
@@ -366,6 +497,12 @@ impl ClosedLoopSim {
                         self.trace.events.push(SimEvent::NvmLoaded {
                             t: t_next,
                             code: forced,
+                        });
+                        let tick = self.fsm.ticks();
+                        self.tracer.emit(|| TraceEvent::StartupPhase {
+                            tick,
+                            phase: PhaseId::NvmLoaded,
+                            code: forced.value(),
                         });
                     }
                 }
@@ -627,5 +764,106 @@ mod tests {
     #[test]
     fn unchecked_constructor_accepts_valid_configs() {
         assert!(ClosedLoopSim::new_unchecked(OscillatorConfig::fast_test()).is_ok());
+    }
+
+    fn cycle_cfg() -> OscillatorConfig {
+        let mut cfg = OscillatorConfig::fast_test();
+        cfg.fidelity = Fidelity::Cycle;
+        cfg.tick_period = 0.2e-3;
+        cfg.detector_tau = 15e-6;
+        cfg
+    }
+
+    #[test]
+    fn waveform_dt_follows_tank_swap() {
+        // Regression: waveform_dt used to be computed once at construction;
+        // a mid-run tank swap changes the ODE step (dt tracks f0) and left
+        // the decimation metadata stale.
+        let mut sim = ClosedLoopSim::new(cycle_cfg()).unwrap();
+        let stride = sim.record_stride() as f64;
+        assert!((sim.trace().waveform_dt / (sim.config().dt() * stride) - 1.0).abs() < 1e-12);
+        // 4x the inductance halves f0 and doubles dt.
+        let tank = LcTank::with_q(
+            lcosc_num::units::Henries::from_micro(100.0),
+            lcosc_num::units::Farads::from_nano(2.0),
+            10.0,
+        )
+        .unwrap();
+        sim.inject_tank(tank);
+        assert!(
+            (sim.trace().waveform_dt / (sim.config().dt() * stride) - 1.0).abs() < 1e-12,
+            "stale waveform_dt {} vs dt*stride {}",
+            sim.trace().waveform_dt,
+            sim.config().dt() * stride
+        );
+    }
+
+    #[test]
+    fn waveform_dt_follows_stride_change() {
+        let mut sim = ClosedLoopSim::new(cycle_cfg()).unwrap();
+        let dt = sim.config().dt();
+        sim.set_record_stride(3);
+        assert_eq!(sim.record_stride(), 3);
+        assert!((sim.trace().waveform_dt / (dt * 3.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_stride_is_rejected() {
+        let mut sim = ClosedLoopSim::new(cycle_cfg()).unwrap();
+        sim.set_record_stride(0);
+    }
+
+    #[test]
+    fn trace_stream_has_one_code_step_per_tick_and_ordered_phases() {
+        use lcosc_trace::{MemorySink, PhaseId, TraceEvent};
+        use std::sync::Arc;
+
+        let sink = Arc::new(MemorySink::new());
+        let mut sim = ClosedLoopSim::new(OscillatorConfig::fast_test())
+            .unwrap()
+            .with_trace(lcosc_trace::Trace::new(sink.clone()));
+        sim.run_ticks(10);
+        let events = sink.snapshot();
+        let steps: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::CodeStep { .. }))
+            .collect();
+        assert_eq!(steps.len(), 10, "one CodeStep per tick, holds included");
+        let phases: Vec<PhaseId> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::StartupPhase { phase, .. } => Some(*phase),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            phases,
+            vec![PhaseId::PorPreset, PhaseId::NvmLoaded, PhaseId::Regulating]
+        );
+        // The stream mirrors the recorded per-tick code history.
+        let final_code = events
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                TraceEvent::CodeStep { new, .. } => Some(*new),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(final_code, sim.code().value());
+    }
+
+    #[test]
+    fn disabled_trace_changes_nothing() {
+        let cfg = OscillatorConfig::fast_test();
+        let mut plain = ClosedLoopSim::new(cfg.clone()).unwrap();
+        let sink = std::sync::Arc::new(lcosc_trace::MemorySink::new());
+        let mut traced = ClosedLoopSim::new(cfg)
+            .unwrap()
+            .with_trace(lcosc_trace::Trace::new(sink));
+        plain.run_ticks(40);
+        traced.run_ticks(40);
+        assert_eq!(plain.trace().codes, traced.trace().codes);
+        assert_eq!(plain.trace().vdc1, traced.trace().vdc1);
     }
 }

@@ -1,0 +1,144 @@
+//! Trace-driven regulation-loop invariant tests: the recorded
+//! [`TraceEvent::CodeStep`] stream is replayed against the paper's loop
+//! guarantees (§4) — the code moves at most ±1 per tick, the decision
+//! direction always matches the window classification, and both hold even
+//! against a deliberately non-monotonic DAC die.
+
+use lcosc_core::{ClosedLoopSim, OscillatorConfig};
+use lcosc_dac::{DacMismatchParams, MismatchedDac};
+use lcosc_trace::{MemorySink, StepAction, Trace, TraceEvent, WindowClass};
+use std::sync::Arc;
+
+/// Runs `sim` for `ticks` regulation ticks and returns the recorded
+/// `CodeStep` stream, asserting it has exactly one entry per tick.
+fn record_steps(mut sim: ClosedLoopSim, ticks: usize) -> Vec<TraceEvent> {
+    let sink = Arc::new(MemorySink::new());
+    sim.set_trace(Trace::new(sink.clone()));
+    sim.run_ticks(ticks);
+    let steps: Vec<TraceEvent> = sink
+        .snapshot()
+        .into_iter()
+        .filter(|e| matches!(e, TraceEvent::CodeStep { .. }))
+        .collect();
+    assert_eq!(steps.len(), ticks, "one CodeStep per tick, holds included");
+    steps
+}
+
+/// The §4 loop invariants, checked over a recorded `CodeStep` stream.
+fn assert_loop_invariants(steps: &[TraceEvent]) {
+    let mut prev_tick = None;
+    let mut prev_new = None;
+    for ev in steps {
+        let TraceEvent::CodeStep {
+            tick,
+            old,
+            new,
+            action,
+            window,
+        } = *ev
+        else {
+            panic!("stream must contain only CodeStep events, got {ev:?}");
+        };
+        // The discrete clock never skips or repeats a tick.
+        if let Some(p) = prev_tick {
+            assert_eq!(tick, p + 1, "tick counter must advance by exactly one");
+        }
+        prev_tick = Some(tick);
+        // Steps chain: this tick starts where the previous one ended
+        // (no out-of-band code changes slipped between ticks).
+        if let Some(p) = prev_new {
+            assert_eq!(old, p, "tick {tick}: steps must chain");
+        }
+        prev_new = Some(new);
+        // Never more than one LSB of movement per tick.
+        assert!(
+            i16::from(new).abs_diff(i16::from(old)) <= 1,
+            "tick {tick}: code jumped {old} -> {new}"
+        );
+        // The action label tells the truth about the code delta.
+        match action {
+            StepAction::Increment => assert_eq!(i16::from(new), i16::from(old) + 1),
+            StepAction::Decrement => assert_eq!(i16::from(new), i16::from(old) - 1),
+            StepAction::Hold => assert_eq!(new, old),
+        }
+        // The decision direction matches the window classification — a
+        // Below tick can never lower the code (which would cross the
+        // window from the wrong side), an Above tick can never raise it,
+        // an Inside tick never moves it.
+        match window {
+            WindowClass::Below => assert_ne!(
+                action,
+                StepAction::Decrement,
+                "tick {tick}: decrement while below the window"
+            ),
+            WindowClass::Above => assert_ne!(
+                action,
+                StepAction::Increment,
+                "tick {tick}: increment while above the window"
+            ),
+            WindowClass::Inside => assert_eq!(
+                action,
+                StepAction::Hold,
+                "tick {tick}: code moved inside the window"
+            ),
+        }
+    }
+}
+
+#[test]
+fn recorded_steps_satisfy_loop_invariants() {
+    let sim = ClosedLoopSim::new(OscillatorConfig::fast_test()).unwrap();
+    assert_loop_invariants(&record_steps(sim, 250));
+}
+
+#[test]
+fn invariants_hold_through_a_hard_fault() {
+    let sink = Arc::new(MemorySink::new());
+    let mut sim = ClosedLoopSim::new(OscillatorConfig::fast_test())
+        .unwrap()
+        .with_trace(Trace::new(sink.clone()));
+    sim.run_until_settled().unwrap();
+    sim.inject_driver_failure();
+    sim.run_ticks(200);
+    let steps: Vec<TraceEvent> = sink
+        .snapshot()
+        .into_iter()
+        .filter(|e| matches!(e, TraceEvent::CodeStep { .. }))
+        .collect();
+    assert_loop_invariants(&steps);
+    // The dead driver drags the loop to the top stop: the tail of the
+    // stream must be saturated holds, still one LSB at a time on the way.
+    let TraceEvent::CodeStep { action, window, .. } = steps[steps.len() - 1] else {
+        unreachable!();
+    };
+    assert_eq!(action, StepAction::Hold);
+    assert_eq!(window, WindowClass::Below);
+}
+
+/// A die whose measured transfer is non-monotonic somewhere (Fig 14's
+/// pathological case: `I(n+1) < I(n)`). The paper's claim under test: the
+/// window comparator plus ±1 stepping tolerate this without hunting.
+fn non_monotonic_die() -> MismatchedDac {
+    let params = DacMismatchParams {
+        // Inflated unit mismatch makes non-monotonic majors likely.
+        sigma_unit: 0.06,
+        sigma_fixed: 0.04,
+        ..DacMismatchParams::default()
+    };
+    (0..500)
+        .map(|seed| MismatchedDac::sampled(&params, seed))
+        .find(|die| !die.non_monotonic_codes().is_empty())
+        .expect("inflated sigmas must yield a non-monotonic die in 500 draws")
+}
+
+#[test]
+fn invariants_hold_with_non_monotonic_dac() {
+    let die = non_monotonic_die();
+    assert!(!die.non_monotonic_codes().is_empty());
+    let mut cfg = OscillatorConfig::fast_test();
+    cfg.dac = die;
+    // The deliberately out-of-spec die is exactly what the static check
+    // pass exists to flag; bypass it the same way the FMEA studies do.
+    let sim = ClosedLoopSim::new_unchecked(cfg).unwrap();
+    assert_loop_invariants(&record_steps(sim, 300));
+}

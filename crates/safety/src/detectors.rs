@@ -74,15 +74,36 @@ impl MissingClockDetector {
         MissingClockDetector::new(CHIP_CLOCK_SENSITIVITY, CHIP_MISSING_CLOCK_TIMEOUT)
     }
 
+    /// Relative tolerance for the time-out comparison. Repeated
+    /// `quiet_time += dt` accumulates rounding error: e.g. eleven steps of
+    /// `timeout / 11` sum to `9.999999999999998e-5 < 1e-4`, so an exact
+    /// `>=` misses a trip that mathematically lands on the boundary. One
+    /// part in 10⁹ is orders of magnitude above f64 accumulation error for
+    /// any realistic step count and far below any physical margin.
+    const TIMEOUT_REL_TOL: f64 = 1e-9;
+
     /// Advances by `dt` with the present differential amplitude.
     /// Returns `true` while the time-out is tripped.
+    ///
+    /// Boundary semantics (pinned by tests):
+    ///
+    /// - the detector trips on the update where the accumulated quiet time
+    ///   **reaches** the time-out (within [`Self::TIMEOUT_REL_TOL`] relative
+    ///   tolerance, absorbing float accumulation error) — not one step
+    ///   later;
+    /// - a single coarse step with `dt > timeout` (the envelope fidelity's
+    ///   `det_dt = tick_period / envelope_substeps` can exceed a short
+    ///   time-out) trips immediately;
+    /// - an edge **clears before** the time-out check: an update carrying
+    ///   amplitude above the sensitivity never trips, no matter how much
+    ///   quiet time had accumulated.
     pub fn update(&mut self, v_diff_amplitude: f64, dt: f64) -> bool {
         if v_diff_amplitude.abs() >= self.sensitivity {
             self.quiet_time = 0.0;
             self.tripped = false;
         } else {
             self.quiet_time += dt;
-            if self.quiet_time >= self.timeout {
+            if self.quiet_time >= self.timeout * (1.0 - Self::TIMEOUT_REL_TOL) {
                 self.tripped = true;
             }
         }
@@ -212,6 +233,82 @@ mod tests {
         d.update(0.0, 200e-6);
         assert!(d.tripped());
         assert!(!d.update(1.0, 1e-6), "edge clears the timeout");
+    }
+
+    #[test]
+    fn missing_clock_trips_exactly_at_accumulated_timeout() {
+        // Regression: N steps of `timeout / N` can sum *below* the
+        // mathematical time-out in f64 (eleven steps of 1e-4/11 give
+        // 9.999999999999998e-5), so the old exact `>=` comparison missed
+        // a trip landing precisely on the boundary.
+        for divisor in [7u32, 11, 13] {
+            let timeout = CHIP_MISSING_CLOCK_TIMEOUT;
+            let dt = timeout / f64::from(divisor);
+            let mut d = MissingClockDetector::new(0.05, timeout);
+            for step in 1..divisor {
+                assert!(
+                    !d.update(0.0, dt),
+                    "divisor {divisor}: step {step} is before the time-out"
+                );
+            }
+            assert!(
+                d.update(0.0, dt),
+                "divisor {divisor}: final step lands exactly on the time-out"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_clock_boundary_in_both_fidelity_step_sizes() {
+        // The two simulation fidelities drive the detector with very
+        // different step sizes: envelope mode uses the coarse
+        // `det_dt = tick_period / envelope_substeps`, cycle mode the fine
+        // ODE step `cfg.dt()`. In both, the trip must land on the first
+        // update whose accumulated quiet time reaches the time-out.
+        let cfg = lcosc_core::config::OscillatorConfig::fast_test();
+        let timeout = CHIP_MISSING_CLOCK_TIMEOUT;
+        let envelope_dt = cfg.tick_period / cfg.envelope_substeps as f64;
+        let cycle_dt = cfg.dt();
+        for (fidelity, dt) in [("envelope", envelope_dt), ("cycle", cycle_dt)] {
+            assert!(dt < timeout, "{fidelity}: step must subdivide the time-out");
+            let expected = (timeout / dt - 1e-6).ceil() as u32;
+            let mut d = MissingClockDetector::new(0.05, timeout);
+            let mut step = 0u32;
+            loop {
+                step += 1;
+                if d.update(0.0, dt) {
+                    break;
+                }
+                assert!(
+                    step < expected,
+                    "{fidelity}: no trip after {step} steps of {dt}"
+                );
+            }
+            assert_eq!(
+                step, expected,
+                "{fidelity}: tripped at step {step}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_clock_coarse_step_exceeding_timeout_trips_immediately() {
+        // Envelope fidelity with a short time-out can present a single
+        // step larger than the whole time-out — that must trip at once,
+        // not wait for a second quiet update.
+        let mut d = MissingClockDetector::new(0.05, 50e-6);
+        assert!(d.update(0.0, 200e-6), "single dt > timeout must trip");
+    }
+
+    #[test]
+    fn missing_clock_edge_clears_before_timeout_check() {
+        let mut d = MissingClockDetector::new(0.05, 100e-6);
+        d.update(0.0, 99e-6);
+        // The edge arrives together with a dt that would cross the
+        // time-out: the clear happens before the comparison, so a live
+        // clock can never be reported missing.
+        assert!(!d.update(1.0, 500e-6));
+        assert!(!d.tripped());
     }
 
     #[test]

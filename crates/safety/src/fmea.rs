@@ -59,8 +59,32 @@ impl FmeaReport {
     /// Propagates the simulation setup error of the lowest-indexed failing
     /// scenario.
     pub fn run_with_threads(base: &OscillatorConfig, threads: usize) -> Result<FmeaRun> {
+        Self::run_with_threads_traced(base, threads, &lcosc_trace::Trace::off())
+    }
+
+    /// [`FmeaReport::run_with_threads`] with campaign-level observability:
+    /// the engine emits one `CampaignJob` (golden) and one
+    /// `CampaignJobTiming` (machine-dependent) event per fault scenario,
+    /// always in catalog order from the coordinator thread.
+    ///
+    /// The per-tick simulation streams of the worker scenarios are *not*
+    /// attached to `tracer` here: workers run concurrently, and their
+    /// interleaved events would break the golden stream's thread-count
+    /// invariance. Use [`crate::scenario::run_scenario_with_trace`]
+    /// serially for full per-scenario detail.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the simulation setup error of the lowest-indexed failing
+    /// scenario.
+    pub fn run_with_threads_traced(
+        base: &OscillatorConfig,
+        threads: usize,
+        tracer: &lcosc_trace::Trace,
+    ) -> Result<FmeaRun> {
         let outcome = Campaign::new("fmea", Fault::catalog())
             .threads(threads)
+            .trace(tracer.clone())
             .try_run(|_ctx, &fault| {
                 run_scenario(fault, base).map(|result| FmeaEntry {
                     safe: result.is_safe(),

@@ -4,8 +4,10 @@
 //! values").
 
 use crate::detectors::DetectorKind;
+use crate::scenario::detector_id;
 use lcosc_core::sim::ClosedLoopSim;
 use lcosc_dac::Code;
+use lcosc_trace::{Trace, TraceEvent};
 
 /// System-level outputs after the reaction policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,10 +59,28 @@ impl SafeStateController {
     /// oscillation for diagnosis) and put the outputs in safe mode. The
     /// state latches until [`SafeStateController::reset`].
     pub fn react(&mut self, triggered: &[DetectorKind], sim: &mut ClosedLoopSim) -> SystemOutputs {
+        self.react_traced(triggered, sim, &Trace::off())
+    }
+
+    /// [`SafeStateController::react`] with observability: the tick the
+    /// latch closes emits one [`TraceEvent::SafeStateEntry`] naming the
+    /// winning detector. Repeated calls while latched emit nothing — the
+    /// event marks the entry edge, mirroring the latch semantics.
+    pub fn react_traced(
+        &mut self,
+        triggered: &[DetectorKind],
+        sim: &mut ClosedLoopSim,
+        tracer: &Trace,
+    ) -> SystemOutputs {
         if self.latched.is_none() {
             if let Some(&first) = triggered.first() {
                 self.latched = Some(first);
                 sim.force_code(Code::MAX);
+                let tick = sim.ticks();
+                tracer.emit(|| TraceEvent::SafeStateEntry {
+                    tick,
+                    detector: detector_id(first),
+                });
             }
         }
         if self.latched.is_some() {
@@ -126,6 +146,32 @@ mod tests {
         assert_eq!(ctl.latched(), Some(DetectorKind::Asymmetry));
         ctl.react(&[DetectorKind::MissingOscillation], &mut s);
         assert_eq!(ctl.latched(), Some(DetectorKind::Asymmetry));
+    }
+
+    #[test]
+    fn traced_reaction_emits_entry_edge_once() {
+        use lcosc_trace::{MemorySink, TraceEvent};
+        use std::sync::Arc;
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Trace::new(sink.clone());
+        let mut ctl = SafeStateController::new();
+        let mut s = sim();
+        ctl.react_traced(&[DetectorKind::LowAmplitude], &mut s, &tracer);
+        ctl.react_traced(&[DetectorKind::LowAmplitude], &mut s, &tracer);
+        ctl.react_traced(&[], &mut s, &tracer);
+        let entries: Vec<_> = sink
+            .snapshot()
+            .into_iter()
+            .filter(|e| matches!(e, TraceEvent::SafeStateEntry { .. }))
+            .collect();
+        assert_eq!(entries.len(), 1, "entry edge, not level: {entries:?}");
+        assert!(matches!(
+            entries[0],
+            TraceEvent::SafeStateEntry {
+                detector: lcosc_trace::DetectorId::LowAmplitude,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -10,6 +10,17 @@ use lcosc_core::config::{Fidelity, OscillatorConfig};
 use lcosc_core::detector::RECTIFIER_GAIN;
 use lcosc_core::sim::{ClosedLoopSim, SimEvent};
 use lcosc_core::Result;
+use lcosc_trace::{DetectorId, Trace, TraceEvent};
+
+/// Maps the safety crate's detector enumeration onto the trace layer's
+/// stable identifiers.
+pub fn detector_id(kind: DetectorKind) -> DetectorId {
+    match kind {
+        DetectorKind::MissingOscillation => DetectorId::MissingOscillation,
+        DetectorKind::LowAmplitude => DetectorId::LowAmplitude,
+        DetectorKind::Asymmetry => DetectorId::Asymmetry,
+    }
+}
 
 /// Conductance of a hard pin short (≈50 Ω solder bridge).
 const SHORT_CONDUCTANCE: f64 = 0.02;
@@ -93,14 +104,32 @@ pub fn run_scenario(fault: Fault, base: &OscillatorConfig) -> Result<ScenarioRes
 ///
 /// Propagates configuration errors from the simulation setup.
 pub fn run_scenario_unchecked(fault: Fault, base: &OscillatorConfig) -> Result<ScenarioResult> {
+    run_scenario_with_trace(fault, base, &Trace::off())
+}
+
+/// [`run_scenario_unchecked`] with full observability: the simulation's
+/// regulation loop emits its per-tick event stream into `tracer`, and each
+/// detector that fires adds a [`TraceEvent::DetectorTrip`] whose
+/// `latency_ticks` counts regulation ticks from the fault injection to the
+/// evaluation. All emitted events are deterministic (golden stream).
+///
+/// # Errors
+///
+/// Propagates configuration errors from the simulation setup.
+pub fn run_scenario_with_trace(
+    fault: Fault,
+    base: &OscillatorConfig,
+    tracer: &Trace,
+) -> Result<ScenarioResult> {
     let mut cfg = base.clone();
     cfg.fidelity = Fidelity::Envelope;
-    let mut sim = ClosedLoopSim::new_unchecked(cfg.clone())?;
+    let mut sim = ClosedLoopSim::new_unchecked(cfg.clone())?.with_trace(tracer.clone());
 
     // Settle at the healthy operating point.
     let healthy = sim.run_until_settled()?;
     let vpp_before = healthy.final_vpp;
     let t_fault = sim.time();
+    let tick_fault = sim.ticks();
 
     // Inject.
     match fault {
@@ -157,6 +186,19 @@ pub fn run_scenario_unchecked(fault: Fault, base: &OscillatorConfig) -> Result<S
     }
     if asym {
         triggered.push(DetectorKind::Asymmetry);
+    }
+
+    // Detector trips, stamped in the regulation loop's discrete time: the
+    // scenario evaluates detectors once after the post-fault window, so
+    // the latency is the injection-to-evaluation distance in ticks.
+    let tick = sim.ticks();
+    let latency_ticks = tick - tick_fault;
+    for &kind in &triggered {
+        tracer.emit(|| TraceEvent::DetectorTrip {
+            tick,
+            detector: detector_id(kind),
+            latency_ticks,
+        });
     }
 
     Ok(ScenarioResult {
@@ -263,6 +305,55 @@ mod tests {
             Err(lcosc_core::CoreError::CheckFailed(r)) => assert!(r.contains("S003")),
             other => panic!("expected CheckFailed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn traced_scenario_emits_fault_and_detector_events() {
+        use lcosc_trace::MemorySink;
+        use std::sync::Arc;
+        let sink = Arc::new(MemorySink::new());
+        let r =
+            run_scenario_with_trace(Fault::DriverDead, &base(), &Trace::new(sink.clone())).unwrap();
+        assert!(r.detected);
+        let evs = sink.snapshot();
+        let fault_tick = evs
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::FaultInjected { tick } => Some(*tick),
+                _ => None,
+            })
+            .expect("fault injection is traced");
+        let trips: Vec<(u64, u64)> = evs
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::DetectorTrip {
+                    tick,
+                    latency_ticks,
+                    ..
+                } => Some((*tick, *latency_ticks)),
+                _ => None,
+            })
+            .collect();
+        assert!(!trips.is_empty(), "detected scenario must record trips");
+        for (tick, latency) in trips {
+            assert_eq!(tick - latency, fault_tick, "latency anchored at the fault");
+        }
+        // The regulation loop's per-tick stream rides along, and nothing
+        // in a scenario trace is machine-dependent.
+        assert!(evs.iter().any(|e| matches!(e, TraceEvent::CodeStep { .. })));
+        assert!(evs.iter().all(TraceEvent::is_golden));
+    }
+
+    #[test]
+    fn traced_scenario_matches_untraced_result() {
+        use lcosc_trace::MemorySink;
+        use std::sync::Arc;
+        // Observability must not perturb the physics: the traced run's
+        // outcome is identical to the plain one.
+        let plain = run_scenario_unchecked(Fault::CoilShort, &base()).unwrap();
+        let sink = Arc::new(MemorySink::new());
+        let traced = run_scenario_with_trace(Fault::CoilShort, &base(), &Trace::new(sink)).unwrap();
+        assert_eq!(plain, traced);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! This crate simply re-exports each member crate under a stable path:
 //!
 //! - [`num`] — numerical substrate (linear algebra, ODE, filters, FFT).
+//! - [`trace`] — deterministic observability layer (typed events,
+//!   counters/histograms, ring-buffer and byte-stable JSONL sinks).
 //! - [`campaign`] — deterministic parallel campaign engine (seeded job
 //!   fan-out, order-stable reduction, byte-stable JSON reports).
 //! - [`circuit`] — netlist MNA simulator (DC, sweep, transient).
@@ -52,3 +54,4 @@ pub use lcosc_num as num;
 pub use lcosc_pad as pad;
 pub use lcosc_safety as safety;
 pub use lcosc_sensor as sensor;
+pub use lcosc_trace as trace;
