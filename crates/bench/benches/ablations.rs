@@ -28,7 +28,7 @@ fn bench_window(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation");
     g.sample_size(10);
     g.bench_function("ablation_window_width", |b| {
-        b.iter(|| ablation::window_width_sweep(&widths))
+        b.iter(|| ablation::window_width_sweep(&widths));
     });
     g.finish();
 }
@@ -59,7 +59,7 @@ fn bench_dac_law(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation");
     g.sample_size(10);
     g.bench_function("ablation_dac_shape", |b| {
-        b.iter(ablation::dac_law_comparison)
+        b.iter(ablation::dac_law_comparison);
     });
     g.finish();
 }
@@ -88,7 +88,7 @@ fn bench_start_code(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation");
     g.sample_size(10);
     g.bench_function("ablation_start_code", |b| {
-        b.iter(|| ablation::start_code_sweep(&presets))
+        b.iter(|| ablation::start_code_sweep(&presets));
     });
     g.finish();
 }
@@ -106,7 +106,7 @@ fn bench_driver_shape(c: &mut Criterion) {
     println!("paper eq 3: k ≈ 0.9 for the linear approximation of Fig 2");
 
     c.bench_function("ablation_driver_shape", |b| {
-        b.iter(ablation::driver_shape_comparison)
+        b.iter(ablation::driver_shape_comparison);
     });
 }
 

@@ -40,7 +40,7 @@ fn bench_yield(c: &mut Criterion) {
     let mut g = c.benchmark_group("extension");
     g.sample_size(10);
     g.bench_function("dac_yield_200_dies", |b| {
-        b.iter(|| yield_analysis(&DacMismatchParams::default(), 200, 1, 0.15))
+        b.iter(|| yield_analysis(&DacMismatchParams::default(), 200, 1, 0.15));
     });
     g.finish();
 }
@@ -62,7 +62,7 @@ fn bench_corners(c: &mut Criterion) {
     let mut g = c.benchmark_group("extension");
     g.sample_size(10);
     g.bench_function("corner_qualification", |b| {
-        b.iter(|| qualify(PadTopology::BulkSwitched).expect("converges"))
+        b.iter(|| qualify(PadTopology::BulkSwitched).expect("converges"));
     });
     g.finish();
 }
@@ -99,7 +99,7 @@ fn bench_emc(c: &mut Criterion) {
                 GmDriver::new(DriverShape::LinearSaturate { gm: 10e-3 }, 0.5e-3),
                 cfg.vref,
             )
-        })
+        });
     });
     g.finish();
 }

@@ -48,7 +48,7 @@ fn bench_fig04(c: &mut Criterion) {
         100.0 * max
     );
     c.bench_function("fig04_relative_step", |b| {
-        b.iter(figures::fig04_relative_step)
+        b.iter(figures::fig04_relative_step);
     });
 }
 
@@ -66,7 +66,7 @@ fn bench_fig13(c: &mut Criterion) {
         pts[127].1 * 1e3
     );
     c.bench_function("fig13_current_limit", |b| {
-        b.iter(figures::fig13_measured_current)
+        b.iter(figures::fig13_measured_current);
     });
 }
 
@@ -89,7 +89,7 @@ fn bench_fig14(c: &mut Criterion) {
         }
     }
     c.bench_function("fig14_measured_step", |b| {
-        b.iter(figures::fig14_measured_step)
+        b.iter(figures::fig14_measured_step);
     });
 }
 

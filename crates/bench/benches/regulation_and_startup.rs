@@ -17,7 +17,7 @@ fn bench_fig15(c: &mut Criterion) {
     let mut g = c.benchmark_group("closed_loop");
     g.sample_size(10);
     g.bench_function("fig15_regulation_steps", |b| {
-        b.iter(figures::fig15_regulation_steps)
+        b.iter(figures::fig15_regulation_steps);
     });
     g.finish();
 }

@@ -25,7 +25,7 @@ fn bench_ode_throughput(c: &mut Criterion) {
                 model.step(&mut state, dt, &mut scratch);
             }
             black_box(state.v_diff())
-        })
+        });
     });
     g.finish();
 }
@@ -46,7 +46,7 @@ fn bench_dc_solve(c: &mut Criterion) {
             nl.resistor(vdd, Netlist::GROUND, 2.2e3);
             PadDriver::build_unpowered(&mut nl, "p", lcx, vdd, PadTopology::BulkSwitched);
             black_box(solve_dc(&nl).expect("converges"))
-        })
+        });
     });
 }
 
@@ -55,7 +55,7 @@ fn bench_envelope_tick(c: &mut Criterion) {
     let driver = GmDriver::new(DriverShape::LinearSaturate { gm: 10e-3 }, 1e-3);
     let model = EnvelopeModel::new(cfg.tank, driver).with_clamp(cfg.rail_clamp());
     c.bench_function("envelope_1ms_tick", |b| {
-        b.iter(|| black_box(model.step(black_box(0.1), 1e-3)))
+        b.iter(|| black_box(model.step(black_box(0.1), 1e-3)));
     });
 }
 
@@ -69,7 +69,7 @@ fn bench_dac_encode(c: &mut Criterion) {
                 acc += ControlWord::encode(code).output_units();
             }
             black_box(acc)
-        })
+        });
     });
     g.finish();
 }

@@ -22,7 +22,7 @@ fn bench_fig17(c: &mut Criterion) {
     let mut g = c.benchmark_group("pad_dc");
     g.sample_size(10);
     g.bench_function("fig17_unsupplied_current", |b| {
-        b.iter(|| figures::fig17_18_unsupplied(PadTopology::BulkSwitched))
+        b.iter(|| figures::fig17_18_unsupplied(PadTopology::BulkSwitched));
     });
     g.finish();
 }
@@ -43,7 +43,7 @@ fn bench_fig18(c: &mut Criterion) {
     let mut g = c.benchmark_group("pad_dc");
     g.sample_size(10);
     g.bench_function("fig18_unsupplied_voltage", |b| {
-        b.iter(|| figures::fig17_18_unsupplied(PadTopology::PlainCmos))
+        b.iter(|| figures::fig17_18_unsupplied(PadTopology::PlainCmos));
     });
     g.finish();
 }

@@ -5,7 +5,8 @@
 //! ```text
 //! cargo run --release -p lcosc-bench --bin repro -- [--threads N] \
 //!     [--campaigns-only] [--results-out PATH] [--unchecked] \
-//!     [--trace-out PATH] [--trace-level off|metrics|events]
+//!     [--trace-out PATH] [--trace-level off|metrics|events] \
+//!     [--bench-out PATH]
 //! ```
 //!
 //! - `--threads N` fans the FMEA / Monte-Carlo / sweep campaigns out over
@@ -26,6 +27,10 @@
 //!   `PATH.timing.jsonl` and aggregate metrics in `PATH.metrics.json`. At
 //!   `--trace-level metrics` `PATH` receives only the (golden) metrics
 //!   JSON, timing in `PATH.timing.json`.
+//! - `--bench-out PATH` runs the deterministic transient-solver benchmark
+//!   (fast path vs. `LCOSC_SOLVER=reference` path, bit-identity enforced)
+//!   and writes the wall-clock/speedup/solver-counter report to `PATH`
+//!   (e.g. `BENCH_PR4.json` — the perf regression trajectory).
 
 use lcosc_bench::csv::write_csv;
 use lcosc_bench::{ablation, figures};
@@ -56,6 +61,7 @@ struct Args {
     results_out: PathBuf,
     trace_out: Option<PathBuf>,
     trace_level: TraceLevel,
+    bench_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -66,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
         results_out: PathBuf::from("target/repro/campaign_results.json"),
         trace_out: None,
         trace_level: TraceLevel::Events,
+        bench_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -86,6 +93,9 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--trace-level needs a value")?;
                 args.trace_level = TraceLevel::parse(&v)
                     .ok_or(format!("bad trace level {v:?} (off|metrics|events)"))?;
+            }
+            "--bench-out" => {
+                args.bench_out = Some(PathBuf::from(it.next().ok_or("--bench-out needs a path")?));
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -260,7 +270,7 @@ fn run_campaigns(threads: usize, tracer: &Trace) -> (Json, Vec<TrackedCampaign>)
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args().map_err(|e| {
         format!(
-            "{e}\nusage: repro [--threads N] [--campaigns-only] [--results-out PATH] [--unchecked] [--trace-out PATH] [--trace-level off|metrics|events]"
+            "{e}\nusage: repro [--threads N] [--campaigns-only] [--results-out PATH] [--unchecked] [--trace-out PATH] [--trace-level off|metrics|events] [--bench-out PATH]"
         )
     })?;
     let capture = TraceCapture::from_args(&args);
@@ -333,6 +343,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             t.stats.wall.as_secs_f64() * 1e3,
         );
     }
+    // Solver benchmark: fast vs. reference path, bit-identity enforced.
+    if let Some(bench_out) = &args.bench_out {
+        let report = lcosc_bench::solver_bench::run_solver_bench(&tracer)?;
+        let campaigns: Vec<(String, Option<f64>)> = tracked
+            .iter()
+            .map(|t| {
+                let speedup = t.serial_wall.map(|serial| {
+                    let par = t.stats.wall.as_secs_f64();
+                    if par > 0.0 {
+                        serial.as_secs_f64() / par
+                    } else {
+                        1.0
+                    }
+                });
+                (t.stats.name.clone(), speedup)
+            })
+            .collect();
+        write_text(bench_out, &report.to_json(&campaigns).render_pretty(2))?;
+        println!("solver bench -> {}", bench_out.display());
+        for c in &report.cases {
+            println!(
+                "bench {}: {:.1} ms fast vs {:.1} ms reference ({:.2}x, {} unknowns, {} factorization(s), {} reuse(s)){}",
+                c.name,
+                c.fast_wall.as_secs_f64() * 1e3,
+                c.reference_wall.as_secs_f64() * 1e3,
+                c.speedup(),
+                c.unknowns,
+                c.fast_stats.factorizations,
+                c.fast_stats.factor_reuses,
+                if c.headline { "  [headline]" } else { "" },
+            );
+        }
+        println!(
+            "cycle-fidelity speedup: {:.2}x",
+            report.cycle_fidelity_speedup()
+        );
+    }
+
     if let (Some(capture), Some(path)) = (&capture, &args.trace_out) {
         capture.write(path, args.trace_level)?;
     }

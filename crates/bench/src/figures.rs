@@ -230,7 +230,7 @@ mod tests {
     #[test]
     fn fig04_band_above_16() {
         for (code, step) in fig04_relative_step() {
-            if code >= 16 && code < 127 {
+            if (16..127).contains(&code) {
                 let s = step.expect("defined above 16");
                 assert!((0.0322..=0.0626).contains(&s), "code {code}: {s}");
             }

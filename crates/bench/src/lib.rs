@@ -9,5 +9,6 @@
 pub mod ablation;
 pub mod csv;
 pub mod figures;
+pub mod solver_bench;
 
 pub use figures::*;

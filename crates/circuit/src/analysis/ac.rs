@@ -66,10 +66,28 @@ pub fn ac_sweep(nl: &Netlist, source: ElementId, freqs: &[f64]) -> Result<Vec<Ac
         return Err(CircuitError::InvalidInput("ac sweep needs frequencies"));
     }
     let op = solve_dc(nl)?;
+    // One set of scratch buffers serves the whole sweep: the matrix and RHS
+    // are restamped per frequency, and `ComplexMatrix::solve_into` reuses
+    // the factorization/solution vectors instead of allocating per point.
+    let n = nl.unknown_count();
+    let mut scratch = AcScratch {
+        a: ComplexMatrix::zeros(n.max(1), n.max(1)),
+        b: vec![Complex::default(); n.max(1)],
+        lu: Vec::new(),
+        x: Vec::new(),
+    };
     freqs
         .iter()
-        .map(|&f| solve_ac_point(nl, source, &op, f))
+        .map(|&f| solve_ac_point(nl, source, &op, f, &mut scratch))
         .collect()
+}
+
+/// Sweep-lifetime scratch storage for [`solve_ac_point`].
+struct AcScratch {
+    a: ComplexMatrix,
+    b: Vec<Complex>,
+    lu: Vec<Complex>,
+    x: Vec<Complex>,
 }
 
 fn solve_ac_point(
@@ -77,6 +95,7 @@ fn solve_ac_point(
     source: ElementId,
     op: &DcSolution,
     frequency: f64,
+    scratch: &mut AcScratch,
 ) -> Result<AcPoint> {
     if !(frequency > 0.0) {
         return Err(CircuitError::InvalidInput("frequency must be positive"));
@@ -87,8 +106,9 @@ fn solve_ac_point(
     let omega = 2.0 * std::f64::consts::PI * frequency;
     let j = Complex::I;
 
-    let mut a = ComplexMatrix::zeros(n.max(1), n.max(1));
-    let mut b = vec![Complex::default(); n.max(1)];
+    let AcScratch { a, b, lu, x } = scratch;
+    a.clear();
+    b.iter_mut().for_each(|v| *v = Complex::default());
 
     let idx = |node: NodeId| -> Option<usize> { (!node.is_ground()).then(|| node.index() - 1) };
     let real = |v: f64| Complex::new(v, 0.0);
@@ -111,7 +131,7 @@ fn solve_ac_point(
     for (k, e) in nl.elements().iter().enumerate() {
         match e {
             Element::Resistor { a: na, b: nb, ohms } => {
-                stamp_g(&mut a, *na, *nb, real(1.0 / ohms));
+                stamp_g(a, *na, *nb, real(1.0 / ohms));
             }
             Element::Switch {
                 a: na,
@@ -121,14 +141,14 @@ fn solve_ac_point(
                 r_off,
             } => {
                 let r = if *closed { *r_on } else { *r_off };
-                stamp_g(&mut a, *na, *nb, real(1.0 / r));
+                stamp_g(a, *na, *nb, real(1.0 / r));
             }
             Element::Capacitor {
                 a: na,
                 b: nb,
                 farads,
                 ..
-            } => stamp_g(&mut a, *na, *nb, j * (omega * farads)),
+            } => stamp_g(a, *na, *nb, j * (omega * farads)),
             Element::Inductor {
                 a: na,
                 b: nb,
@@ -194,7 +214,7 @@ fn solve_ac_point(
                 model,
             } => {
                 let v = op.voltage(*anode) - op.voltage(*cathode);
-                stamp_g(&mut a, *anode, *cathode, real(model.conductance(v)));
+                stamp_g(a, *anode, *cathode, real(model.conductance(v)));
             }
             Element::Mosfet {
                 d,
@@ -234,16 +254,16 @@ fn solve_ac_point(
         a.add(i, i, real(1e-12));
     }
 
-    let x = if n == 0 {
-        Vec::new()
+    if n == 0 {
+        x.clear();
     } else {
-        a.solve(&b)
-            .map_err(|_| CircuitError::Singular { at: frequency })?
-    };
+        a.solve_into(b, lu, x)
+            .map_err(|_| CircuitError::Singular { at: frequency })?;
+    }
     Ok(AcPoint {
         frequency,
         node_count: nl.node_count(),
-        x: x.into_iter().take(nn).collect(),
+        x: x.iter().take(nn).copied().collect(),
     })
 }
 

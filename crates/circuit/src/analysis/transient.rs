@@ -1,13 +1,43 @@
 //! Transient analysis: fixed-step backward-Euler or trapezoidal integration
 //! with a Newton solve at every time step.
+//!
+//! Two solver paths produce bit-identical results:
+//!
+//! - the **fast path** ([`SolverPath::Auto`], the default) reuses one
+//!   Newton workspace (matrix, RHS, LU factors) for the whole run, and on
+//!   fully linear decks
+//!   ([`Netlist::is_linear`]) stamps and LU-factors the MNA matrix exactly
+//!   once, forward/back-substituting per step;
+//! - the **reference path** ([`SolverPath::Reference`], also selectable via
+//!   the environment variable `LCOSC_SOLVER=reference`) runs the
+//!   straightforward allocating Newton solve on every step.
+//!
+//! Bit-identity is by construction, not by tolerance — see `DESIGN.md` §9
+//! and the differential suite in `crates/circuit/tests/solver_differential.rs`.
 
 use crate::analysis::dc::{solve_dc_with, DcOptions};
-use crate::analysis::newton_solve;
+use crate::analysis::{newton_solve_in, NewtonWorkspace};
 use crate::netlist::{ElementId, Netlist, NodeId};
-use crate::stamp::{element_current, History, Mode};
-use crate::Result;
+use crate::stamp::{
+    element_current, stamp_linear_matrix, stamp_linear_rhs, AbsorbRule, History, Mode,
+};
+use crate::{CircuitError, Result};
 
 pub use crate::stamp::Integrator;
+
+/// Which transient solver implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverPath {
+    /// Pick the fastest correct path: cached-factorization stepping for
+    /// linear decks, workspace-reusing Newton otherwise. Overridden to
+    /// [`SolverPath::Reference`] when the environment variable
+    /// `LCOSC_SOLVER` is set to `reference`.
+    #[default]
+    Auto,
+    /// The straightforward per-step Newton solve with per-step allocations.
+    /// Kept as the differential-testing oracle; bit-identical to `Auto`.
+    Reference,
+}
 
 /// Options controlling a transient run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,12 +51,14 @@ pub struct TransientOptions {
     /// When `true`, start from element initial conditions instead of a DC
     /// operating point (SPICE "UIC").
     pub use_initial_conditions: bool,
-    /// Record every `record_stride`-th step (1 = all).
+    /// Record every `record_stride`-th step (must be nonzero).
     pub record_stride: usize,
     /// Newton budget per step.
     pub max_iter: usize,
     /// Newton voltage tolerance.
     pub v_tol: f64,
+    /// Solver implementation to use.
+    pub solver: SolverPath,
 }
 
 impl TransientOptions {
@@ -47,20 +79,123 @@ impl TransientOptions {
             record_stride: 1,
             max_iter: 50,
             v_tol: 1e-9,
+            solver: SolverPath::Auto,
         }
+    }
+
+    /// Checks the options for values that would panic or loop forever
+    /// downstream (non-finite or non-positive `dt`/`t_end`, a zero
+    /// `record_stride` or `max_iter`, a useless `v_tol`).
+    ///
+    /// Called by [`run_transient`]; exposed so callers constructing options
+    /// field-by-field can fail early.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidInput`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if !self.dt.is_finite() || self.dt <= 0.0 {
+            return Err(CircuitError::InvalidInput(
+                "transient dt must be finite and positive",
+            ));
+        }
+        if !self.t_end.is_finite() || self.t_end <= 0.0 {
+            return Err(CircuitError::InvalidInput(
+                "transient t_end must be finite and positive",
+            ));
+        }
+        if self.record_stride == 0 {
+            return Err(CircuitError::InvalidInput(
+                "transient record_stride must be nonzero",
+            ));
+        }
+        if self.max_iter == 0 {
+            return Err(CircuitError::InvalidInput(
+                "transient max_iter must be nonzero",
+            ));
+        }
+        if !self.v_tol.is_finite() || self.v_tol <= 0.0 {
+            return Err(CircuitError::InvalidInput(
+                "transient v_tol must be finite and positive",
+            ));
+        }
+        Ok(())
     }
 }
 
-/// Recorded transient waveforms.
+/// Counters describing the work a transient solve performed. Deterministic
+/// (no wall-clock): two runs of the same deck and options produce the same
+/// stats, so they are safe to assert on in tests and to emit as trace
+/// counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverStats {
+    /// Time steps integrated (excluding the recorded `t = 0` state).
+    pub steps: u64,
+    /// Total Newton iterations across all steps (for the linear fast path:
+    /// update-replay iterations, which mirror what the reference Newton
+    /// loop would have counted).
+    pub newton_iterations: u64,
+    /// LU factorizations performed.
+    pub factorizations: u64,
+    /// Steps solved by reusing a previously computed factorization.
+    pub factor_reuses: u64,
+    /// Heap allocations attributable to the stepping machinery (workspace
+    /// buffers, result storage, per-step scratch), counted at their
+    /// allocation sites.
+    pub allocations: u64,
+    /// The subset of [`SolverStats::allocations`] performed after the first
+    /// time step completed. Zero on the fast path — the acceptance gate for
+    /// "allocation-free stepping".
+    pub post_warmup_allocations: u64,
+    /// Whether the run used the cached-factorization linear fast path.
+    pub used_linear_fast_path: bool,
+}
+
+/// Allocation bookkeeping for [`SolverStats`]: counts allocations at their
+/// sites and splits them into warm-up vs. steady-state.
+struct AllocCounter {
+    warm: bool,
+    total: u64,
+    post_warmup: u64,
+}
+
+impl AllocCounter {
+    fn new() -> Self {
+        AllocCounter {
+            warm: false,
+            total: 0,
+            post_warmup: 0,
+        }
+    }
+
+    /// Records `n` allocations just performed.
+    fn note(&mut self, n: u64) {
+        self.total += n;
+        if self.warm {
+            self.post_warmup += n;
+        }
+    }
+
+    /// Marks the end of warm-up (first step complete).
+    fn finish_warmup(&mut self) {
+        self.warm = true;
+    }
+}
+
+/// Recorded transient waveforms in contiguous row-major storage: sample `k`
+/// occupies `voltages[k·(node_count−1) ..]` and `currents[k·element_count ..]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransientResult {
     times: Vec<f64>,
     node_count: usize,
-    /// `voltages[k]` is the full node-voltage vector at `times[k]`
-    /// (index 0 = node 1; ground is implicit 0).
-    voltages: Vec<Vec<f64>>,
-    /// `currents[k][e]` is the current of element `e` at `times[k]`.
-    currents: Vec<Vec<f64>>,
+    element_count: usize,
+    /// Row-major node voltages; row `k` is the full node-voltage vector at
+    /// `times[k]` (column 0 = node 1; ground is implicit 0).
+    voltages: Vec<f64>,
+    /// Row-major element currents; row `k` column `e` is element `e`'s
+    /// current at `times[k]`.
+    currents: Vec<f64>,
+    stats: SolverStats,
 }
 
 impl TransientResult {
@@ -79,6 +214,43 @@ impl TransientResult {
         self.times.is_empty()
     }
 
+    /// Work counters of the solve that produced this result.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// The full node-voltage row of sample `k` (index 0 = node 1; ground is
+    /// not stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range sample.
+    pub fn voltages_at(&self, k: usize) -> &[f64] {
+        let nn = self.node_count - 1;
+        &self.voltages[k * nn..(k + 1) * nn]
+    }
+
+    /// The full element-current row of sample `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range sample.
+    pub fn currents_at(&self, k: usize) -> &[f64] {
+        let ec = self.element_count;
+        &self.currents[k * ec..(k + 1) * ec]
+    }
+
+    /// The entire row-major voltage storage (all samples back to back) —
+    /// handy for bitwise comparisons between runs.
+    pub fn voltages_flat(&self) -> &[f64] {
+        &self.voltages
+    }
+
+    /// The entire row-major current storage (all samples back to back).
+    pub fn currents_flat(&self) -> &[f64] {
+        &self.currents
+    }
+
     /// Voltage trace of one node.
     ///
     /// # Panics
@@ -89,7 +261,13 @@ impl TransientResult {
         if n.is_ground() {
             return vec![0.0; self.times.len()];
         }
-        self.voltages.iter().map(|v| v[n.index() - 1]).collect()
+        let nn = self.node_count - 1;
+        self.voltages
+            .iter()
+            .skip(n.index() - 1)
+            .step_by(nn.max(1))
+            .copied()
+            .collect()
     }
 
     /// Voltage of a node at sample `k`.
@@ -99,10 +277,11 @@ impl TransientResult {
     /// Panics on an out-of-range sample or foreign node.
     pub fn voltage_at(&self, n: NodeId, k: usize) -> f64 {
         assert!(n.index() < self.node_count, "node {n} not in result");
+        assert!(k < self.times.len(), "sample {k} out of range");
         if n.is_ground() {
             0.0
         } else {
-            self.voltages[k][n.index() - 1]
+            self.voltages[k * (self.node_count - 1) + n.index() - 1]
         }
     }
 
@@ -112,8 +291,29 @@ impl TransientResult {
     ///
     /// Panics if the element does not belong to the simulated netlist.
     pub fn current_trace(&self, e: ElementId) -> Vec<f64> {
-        self.currents.iter().map(|c| c[e.index()]).collect()
+        assert!(e.index() < self.element_count, "element not in result");
+        self.currents
+            .iter()
+            .skip(e.index())
+            .step_by(self.element_count.max(1))
+            .copied()
+            .collect()
     }
+
+    /// Appends one sample row.
+    fn push_sample(&mut self, nl: &Netlist, t: f64, x: &[f64], mode: &Mode<'_>) {
+        self.times.push(t);
+        self.voltages.extend_from_slice(&x[..self.node_count - 1]);
+        for k in 0..self.element_count {
+            self.currents.push(element_current(nl, k, x, mode));
+        }
+    }
+}
+
+/// Number of samples `run_transient` records: `t = 0`, every `stride`-th
+/// step, and the final step.
+fn sample_count(steps: usize, stride: usize) -> usize {
+    1 + steps / stride + usize::from(!steps.is_multiple_of(stride) && steps > 0)
 }
 
 /// Runs a transient analysis.
@@ -121,10 +321,21 @@ impl TransientResult {
 /// # Errors
 ///
 /// Propagates Newton convergence failures annotated with the failing time
-/// point, and DC failures when `use_initial_conditions` is `false`.
+/// point, DC failures when `use_initial_conditions` is `false`, and
+/// [`CircuitError::InvalidInput`] for options rejected by
+/// [`TransientOptions::validate`].
 pub fn run_transient(nl: &Netlist, opts: &TransientOptions) -> Result<TransientResult> {
+    opts.validate()?;
+    let reference = opts.solver == SolverPath::Reference || reference_path_forced();
     let n = nl.unknown_count();
+    // `n > 0` keeps the degenerate empty deck off the factorization path
+    // (nothing to factor; Newton's early return handles it).
+    let linear_fast = !reference && n > 0 && nl.is_linear();
+    let nn = nl.node_count() - 1;
+    let mut alloc = AllocCounter::new();
+
     let mut history = History::from_initial_conditions(nl);
+    alloc.note(4); // the four history vectors
 
     // Starting state.
     let mut x = if opts.use_initial_conditions {
@@ -134,40 +345,45 @@ pub fn run_transient(nl: &Netlist, opts: &TransientOptions) -> Result<TransientR
         let x = dc.raw().to_vec();
         // Absorb the DC point into the reactive-element history so the first
         // step starts from steady state.
-        let mode = Mode::Dc {
-            gmin: 1e-12,
-            source_scale: 1.0,
-        };
-        history.absorb(nl, &x, &mode);
+        history.absorb(nl, &x, AbsorbRule::Dc);
         x
     };
+    alloc.note(1);
 
     let steps = (opts.t_end / opts.dt).ceil() as usize;
-    let stride = opts.record_stride.max(1);
+    let stride = opts.record_stride;
+    let samples = sample_count(steps, stride);
     let mut result = TransientResult {
-        times: Vec::with_capacity(steps / stride + 2),
+        times: Vec::with_capacity(samples),
         node_count: nl.node_count(),
-        voltages: Vec::with_capacity(steps / stride + 2),
-        currents: Vec::with_capacity(steps / stride + 2),
+        element_count: nl.elements().len(),
+        voltages: Vec::with_capacity(samples * nn),
+        currents: Vec::with_capacity(samples * nl.elements().len()),
+        stats: SolverStats {
+            used_linear_fast_path: linear_fast,
+            ..SolverStats::default()
+        },
     };
+    alloc.note(3); // times / voltages / currents storage
 
-    // Record t = 0.
-    let record = |result: &mut TransientResult, t: f64, x: &[f64], mode: &Mode<'_>| {
-        result.times.push(t);
-        result.voltages.push(x[..nl.node_count() - 1].to_vec());
-        result.currents.push(
-            (0..nl.elements().len())
-                .map(|k| element_current(nl, k, x, mode))
-                .collect(),
-        );
-    };
+    // Record t = 0 under DC conventions (reactive currents are zero).
     {
         let mode0 = Mode::Dc {
             gmin: 1e-12,
             source_scale: 1.0,
         };
-        record(&mut result, 0.0, &x, &mode0);
+        result.push_sample(nl, 0.0, &x, &mode0);
     }
+
+    // Persistent workspace for the fast paths. The reference path ignores it
+    // and allocates per step, like the historical solver did.
+    let mut ws = if reference {
+        None
+    } else {
+        alloc.note(4); // matrix + rhs + solution + LU storage
+        Some(NewtonWorkspace::new(n))
+    };
+    let mut factored = false;
 
     for step in 1..=steps {
         let t = step as f64 * opts.dt;
@@ -177,33 +393,133 @@ pub fn run_transient(nl: &Netlist, opts: &TransientOptions) -> Result<TransientR
             integrator: opts.integrator,
             history: &history,
         };
-        x = newton_solve(
-            nl,
-            &x,
-            &mode,
-            opts.max_iter,
-            opts.v_tol,
-            2.0,
-            "transient",
-            t,
-        )?;
+        result.stats.steps += 1;
+
+        match &mut ws {
+            None => {
+                // Reference: fresh buffers every step, full Newton.
+                let mut step_ws = NewtonWorkspace::new(n);
+                alloc.note(4);
+                let iters = newton_solve_in(
+                    nl,
+                    &mut x,
+                    &mode,
+                    opts.max_iter,
+                    opts.v_tol,
+                    2.0,
+                    "transient",
+                    t,
+                    &mut step_ws,
+                )?;
+                result.stats.newton_iterations += iters;
+                result.stats.factorizations += iters;
+            }
+            Some(ws) if linear_fast => {
+                // Linear deck: the MNA matrix depends only on (deck, dt,
+                // integrator), so stamp + factor exactly once and reuse the
+                // factorization for every step's substitution.
+                if !factored {
+                    stamp_linear_matrix(nl, &mode, &mut ws.a);
+                    if ws.lu.factor_into(&ws.a).is_err() {
+                        return Err(CircuitError::Singular { at: t });
+                    }
+                    factored = true;
+                    result.stats.factorizations += 1;
+                } else {
+                    result.stats.factor_reuses += 1;
+                }
+                stamp_linear_rhs(nl, &mode, &mut ws.b);
+                if ws.lu.solve_into(&ws.b, &mut ws.xn).is_err() {
+                    return Err(CircuitError::Singular { at: t });
+                }
+                result.stats.newton_iterations += apply_linear_update(&mut x, &ws.xn, nn, opts, t)?;
+            }
+            Some(ws) => {
+                // Nonlinear deck: full Newton, but on persistent buffers.
+                let iters = newton_solve_in(
+                    nl,
+                    &mut x,
+                    &mode,
+                    opts.max_iter,
+                    opts.v_tol,
+                    2.0,
+                    "transient",
+                    t,
+                    ws,
+                )?;
+                result.stats.newton_iterations += iters;
+                result.stats.factorizations += iters;
+            }
+        }
+
         if step % stride == 0 || step == steps {
-            record(&mut result, t, &x, &mode);
+            result.push_sample(nl, t, &x, &mode);
         }
         // Update history *after* recording so recorded currents use the
         // pre-step history (consistent companion model).
-        let mode_absorb = Mode::Transient {
-            t,
-            dt: opts.dt,
-            integrator: opts.integrator,
-            history: &history,
-        };
-        let mut new_history = history.clone();
-        new_history.absorb(nl, &x, &mode_absorb);
-        history = new_history;
+        history.absorb(
+            nl,
+            &x,
+            AbsorbRule::Transient {
+                dt: opts.dt,
+                integrator: opts.integrator,
+            },
+        );
+        alloc.finish_warmup();
     }
 
+    debug_assert_eq!(result.times.len(), samples, "sample_count mismatch");
+    result.stats.allocations = alloc.total;
+    result.stats.post_warmup_allocations = alloc.post_warmup;
     Ok(result)
+}
+
+/// Whether the `LCOSC_SOLVER=reference` escape hatch is active.
+fn reference_path_forced() -> bool {
+    std::env::var_os("LCOSC_SOLVER").is_some_and(|v| v == "reference")
+}
+
+/// Replays the reference Newton update loop against the (iterate-
+/// independent) linear solution `xn`, returning the iteration count.
+///
+/// On a linear deck the stamped system never reads `x`, so every reference
+/// Newton iteration solves the identical system and obtains the identical
+/// `xn`; only the clamped update `x[i] += clamp(xn[i] − x[i])` evolves.
+/// Repeating exactly that update against the single cached solution
+/// therefore reproduces the reference iterates — including their final
+/// rounding — bit for bit.
+fn apply_linear_update(
+    x: &mut [f64],
+    xn: &[f64],
+    nn: usize,
+    opts: &TransientOptions,
+    t: f64,
+) -> Result<u64> {
+    for iter in 1..=opts.max_iter {
+        let mut max_delta = 0.0f64;
+        for i in 0..x.len() {
+            let mut delta = xn[i] - x[i];
+            if i < nn {
+                // Limit node-voltage moves; branch currents are left free.
+                delta = delta.clamp(-2.0, 2.0);
+                max_delta = max_delta.max(delta.abs());
+            }
+            x[i] += delta;
+        }
+        if !x.iter().all(|v| v.is_finite()) {
+            return Err(CircuitError::NoConvergence {
+                analysis: "transient",
+                at: t,
+            });
+        }
+        if max_delta < opts.v_tol {
+            return Ok(iter as u64);
+        }
+    }
+    Err(CircuitError::NoConvergence {
+        analysis: "transient",
+        at: t,
+    })
 }
 
 #[cfg(test)]
@@ -340,5 +656,147 @@ mod tests {
         assert_eq!(res.voltage_at(Netlist::GROUND, 0), 0.0);
         assert!((res.voltage_at(a, res.len() - 1) - 1.0).abs() < 1e-9);
         assert_eq!(res.voltage_trace(Netlist::GROUND).len(), res.len());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_options() {
+        let base = TransientOptions::new(1e-6, 1e-3);
+        assert!(base.validate().is_ok());
+        for bad in [
+            TransientOptions { dt: 0.0, ..base },
+            TransientOptions {
+                dt: f64::NAN,
+                ..base
+            },
+            TransientOptions {
+                dt: f64::INFINITY,
+                ..base
+            },
+            TransientOptions {
+                t_end: -1.0,
+                ..base
+            },
+            TransientOptions {
+                t_end: f64::NAN,
+                ..base
+            },
+            TransientOptions {
+                record_stride: 0,
+                ..base
+            },
+            TransientOptions {
+                max_iter: 0,
+                ..base
+            },
+            TransientOptions { v_tol: 0.0, ..base },
+            TransientOptions {
+                v_tol: f64::NAN,
+                ..base
+            },
+        ] {
+            let err = bad.validate().expect_err("should reject");
+            assert!(matches!(err, CircuitError::InvalidInput(_)), "{err}");
+            // run_transient surfaces the same typed error.
+            let mut nl = Netlist::new();
+            let a = nl.node("a");
+            nl.resistor(a, Netlist::GROUND, 1.0);
+            assert_eq!(run_transient(&nl, &bad).expect_err("reject"), err);
+        }
+    }
+
+    #[test]
+    fn linear_fast_path_stats_show_single_factorization() {
+        if reference_path_forced() {
+            return; // hatch disables the path under test
+        }
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.capacitor_ic(a, Netlist::GROUND, 1e-6, 1.0);
+        nl.inductor(a, Netlist::GROUND, 1e-6);
+        let opts = TransientOptions::new(5e-9, 5e-6);
+        let res = run_transient(&nl, &opts).unwrap();
+        let s = res.stats();
+        assert!(s.used_linear_fast_path);
+        assert_eq!(s.factorizations, 1);
+        assert_eq!(s.factor_reuses, s.steps - 1);
+        assert_eq!(s.post_warmup_allocations, 0, "stepping must not allocate");
+        assert!(s.newton_iterations >= s.steps);
+    }
+
+    #[test]
+    fn reference_path_stats_show_per_step_factorization() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.capacitor_ic(a, Netlist::GROUND, 1e-6, 1.0);
+        nl.inductor(a, Netlist::GROUND, 1e-6);
+        let mut opts = TransientOptions::new(5e-9, 5e-6);
+        opts.solver = SolverPath::Reference;
+        let res = run_transient(&nl, &opts).unwrap();
+        let s = res.stats();
+        assert!(!s.used_linear_fast_path);
+        assert_eq!(s.factorizations, s.newton_iterations);
+        assert_eq!(s.factor_reuses, 0);
+        assert!(s.post_warmup_allocations > 0, "reference path allocates");
+    }
+
+    #[test]
+    fn nonlinear_deck_uses_workspace_newton_without_allocating() {
+        if reference_path_forced() {
+            return; // hatch disables the path under test
+        }
+        let mut nl = Netlist::new();
+        let vin = nl.node("vin");
+        let out = nl.node("out");
+        nl.voltage_source(vin, Netlist::GROUND, Waveform::Dc(1.0));
+        nl.resistor(vin, out, 1e3);
+        nl.diode(
+            out,
+            Netlist::GROUND,
+            lcosc_device::diode::DiodeModel::default(),
+        );
+        nl.capacitor(out, Netlist::GROUND, 1e-9);
+        let opts = TransientOptions::new(1e-8, 1e-6);
+        let res = run_transient(&nl, &opts).unwrap();
+        let s = res.stats();
+        assert!(!s.used_linear_fast_path);
+        assert_eq!(s.factorizations, s.newton_iterations);
+        assert_eq!(s.post_warmup_allocations, 0, "workspace must be reused");
+    }
+
+    #[test]
+    fn flat_row_accessors_agree_with_traces() {
+        let mut nl = Netlist::new();
+        let vin = nl.node("vin");
+        let out = nl.node("out");
+        nl.voltage_source(vin, Netlist::GROUND, Waveform::Dc(1.0));
+        nl.resistor(vin, out, 1e3);
+        nl.capacitor(out, Netlist::GROUND, 1e-6);
+        let res = run_transient(&nl, &TransientOptions::new(1e-6, 1e-4)).unwrap();
+        let trace = res.voltage_trace(out);
+        for (k, &traced) in trace.iter().enumerate() {
+            assert_eq!(res.voltages_at(k)[out.index() - 1], traced);
+            assert_eq!(res.voltages_at(k).len(), 2);
+            assert_eq!(res.currents_at(k).len(), 3);
+        }
+        assert_eq!(trace.len(), res.len());
+        assert_eq!(res.voltages_flat().len(), res.len() * 2);
+        assert_eq!(res.currents_flat().len(), res.len() * 3);
+    }
+
+    #[test]
+    fn sample_count_matches_recording_rule() {
+        for steps in 0..40usize {
+            for stride in 1..7usize {
+                let expect = (1..=steps)
+                    .filter(|s| s % stride == 0 || *s == steps)
+                    .count()
+                    + 1;
+                assert_eq!(
+                    sample_count(steps, stride),
+                    expect,
+                    "steps {steps} stride {stride}"
+                );
+            }
+        }
     }
 }

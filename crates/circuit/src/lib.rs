@@ -43,7 +43,9 @@ pub mod stamp;
 pub use analysis::ac::{ac_sweep, logspace, AcPoint};
 pub use analysis::dc::{solve_dc, solve_dc_with, DcOptions, DcSolution};
 pub use analysis::sweep::{dc_sweep, SweepPoint};
-pub use analysis::transient::{run_transient, Integrator, TransientOptions, TransientResult};
+pub use analysis::transient::{
+    run_transient, Integrator, SolverPath, SolverStats, TransientOptions, TransientResult,
+};
 pub use netlist::{element_terminals, Element, ElementId, Netlist, NodeId, Waveform};
 pub use stamp::{dc_stamp_pattern, StampPattern};
 

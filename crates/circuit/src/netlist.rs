@@ -499,6 +499,20 @@ impl Netlist {
         }
     }
 
+    /// Whether every element is linear — no diode and no MOSFET.
+    ///
+    /// Switches count as linear: their conductance depends on the stored
+    /// state, not on the solution, so at a fixed netlist the stamped system
+    /// is linear in the unknowns. A linear deck's transient Jacobian is
+    /// constant at fixed `dt`, which is what lets the transient solver
+    /// factor the MNA matrix once and reuse it for every time step.
+    pub fn is_linear(&self) -> bool {
+        !self
+            .elements
+            .iter()
+            .any(|e| matches!(e, Element::Diode { .. } | Element::Mosfet { .. }))
+    }
+
     /// Number of extra branch-current unknowns (voltage sources and
     /// inductors), in element order.
     pub(crate) fn branch_count(&self) -> usize {
@@ -526,7 +540,7 @@ impl Netlist {
     }
 
     /// Total number of MNA unknowns: non-ground nodes plus branch currents.
-    pub(crate) fn unknown_count(&self) -> usize {
+    pub fn unknown_count(&self) -> usize {
         (self.node_count() - 1) + self.branch_count()
     }
 }

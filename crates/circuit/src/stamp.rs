@@ -52,25 +52,28 @@ impl History {
     }
 
     /// Updates history from a converged solution at the end of a step.
-    pub fn absorb(&mut self, nl: &Netlist, x: &[f64], mode: &Mode<'_>) {
+    ///
+    /// Takes an [`AbsorbRule`] rather than a [`Mode`] so the update can run
+    /// in place on the same history the step's `Mode` borrowed (a `Mode`
+    /// holds `&History`, which would otherwise force a defensive clone of
+    /// all four history vectors on every time step).
+    pub fn absorb(&mut self, nl: &Netlist, x: &[f64], rule: AbsorbRule) {
         let branch = nl.branch_indices();
         let nn = nl.node_count() - 1;
         for (k, e) in nl.elements().iter().enumerate() {
             match e {
                 Element::Capacitor { a, b, farads, .. } => {
                     let v = volt(x, *a) - volt(x, *b);
-                    let i = match mode {
-                        Mode::Transient {
+                    let i = match rule {
+                        AbsorbRule::Transient {
                             dt,
                             integrator: Integrator::BackwardEuler,
-                            ..
                         } => farads / dt * (v - self.cap_v[k]),
-                        Mode::Transient {
+                        AbsorbRule::Transient {
                             dt,
                             integrator: Integrator::Trapezoidal,
-                            ..
                         } => 2.0 * farads / dt * (v - self.cap_v[k]) - self.cap_i[k],
-                        Mode::Dc { .. } => 0.0,
+                        AbsorbRule::Dc => 0.0,
                     };
                     self.cap_v[k] = v;
                     self.cap_i[k] = i;
@@ -84,6 +87,22 @@ impl History {
             }
         }
     }
+}
+
+/// The history-update rule for one accepted solution. Unlike [`Mode`] it
+/// carries no borrow of the history, so [`History::absorb`] can mutate the
+/// history in place.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum AbsorbRule {
+    /// DC solution: reactive-element currents are zero.
+    Dc,
+    /// End of a transient step with the given companion model.
+    Transient {
+        /// Fixed step size in seconds.
+        dt: f64,
+        /// Integration method the step used.
+        integrator: Integrator,
+    },
 }
 
 /// Analysis mode passed to the stamper.
@@ -332,6 +351,224 @@ pub(crate) fn build_system(
     };
     for i in 0..nn {
         a.add(i, i, gmin);
+    }
+}
+
+/// Stamps the matrix half of a **fully linear** netlist (every element's
+/// `A` entries plus the trailing per-node gmin), without touching the RHS.
+///
+/// For a deck where [`Netlist::is_linear`] holds, this walks the elements
+/// in the same order as [`build_system`] and performs the same stamps into
+/// each matrix cell, so the produced matrix is bit-identical to the one
+/// `build_system` would build — splitting per destination (matrix here,
+/// RHS in [`stamp_linear_rhs`]) cannot change any single cell's
+/// floating-point accumulation order. That equivalence is exactly what
+/// breaks when nonlinear elements interleave with linear ones (their
+/// companion stamps would land in a different order relative to the linear
+/// stamps), which is why the transient fast path only caches this matrix
+/// for linear decks.
+///
+/// The matrix does not depend on `t` or the history, only on the element
+/// values and, through the companion conductances, on `(dt, integrator)` —
+/// so one stamp+factorization serves a whole fixed-step transient.
+///
+/// # Panics
+///
+/// Debug-asserts that the netlist is linear.
+pub(crate) fn stamp_linear_matrix(nl: &Netlist, mode: &Mode<'_>, a: &mut Matrix) {
+    debug_assert!(nl.is_linear(), "linear stamp on a nonlinear deck");
+    a.clear();
+    let nn = nl.node_count() - 1;
+    let branch = nl.branch_indices();
+    let idx = |n: NodeId| -> Option<usize> { (!n.is_ground()).then(|| n.index() - 1) };
+    let stamp_g = |a: &mut Matrix, na: NodeId, nb: NodeId, g: f64| {
+        if let Some(i) = idx(na) {
+            a.add(i, i, g);
+            if let Some(j) = idx(nb) {
+                a.add(i, j, -g);
+            }
+        }
+        if let Some(i) = idx(nb) {
+            a.add(i, i, g);
+            if let Some(j) = idx(na) {
+                a.add(i, j, -g);
+            }
+        }
+    };
+
+    for (k, e) in nl.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { a: na, b: nb, ohms } => stamp_g(a, *na, *nb, 1.0 / ohms),
+            Element::Switch {
+                a: na,
+                b: nb,
+                closed,
+                r_on,
+                r_off,
+            } => {
+                let r = if *closed { *r_on } else { *r_off };
+                stamp_g(a, *na, *nb, 1.0 / r);
+            }
+            Element::Capacitor {
+                a: na,
+                b: nb,
+                farads,
+                ..
+            } => match mode {
+                Mode::Dc { .. } => {}
+                Mode::Transient { dt, integrator, .. } => {
+                    let g = match integrator {
+                        Integrator::BackwardEuler => farads / dt,
+                        Integrator::Trapezoidal => 2.0 * farads / dt,
+                    };
+                    stamp_g(a, *na, *nb, g);
+                }
+            },
+            Element::Inductor {
+                a: na,
+                b: nb,
+                henries,
+                ..
+            } => {
+                let j = nn + branch[k].expect("inductor branch");
+                if let Some(i) = idx(*na) {
+                    a.add(i, j, 1.0);
+                    a.add(j, i, 1.0);
+                }
+                if let Some(i) = idx(*nb) {
+                    a.add(i, j, -1.0);
+                    a.add(j, i, -1.0);
+                }
+                match mode {
+                    Mode::Dc { .. } => a.add(j, j, -1e-9),
+                    Mode::Transient { dt, integrator, .. } => match integrator {
+                        Integrator::BackwardEuler => a.add(j, j, -henries / dt),
+                        Integrator::Trapezoidal => a.add(j, j, -2.0 * henries / dt),
+                    },
+                }
+            }
+            Element::VoltageSource { p, n, .. } => {
+                let j = nn + branch[k].expect("vsource branch");
+                if let Some(i) = idx(*p) {
+                    a.add(i, j, 1.0);
+                    a.add(j, i, 1.0);
+                }
+                if let Some(i) = idx(*n) {
+                    a.add(i, j, -1.0);
+                    a.add(j, i, -1.0);
+                }
+            }
+            Element::CurrentSource { .. } => {}
+            Element::Vccs {
+                out_p,
+                out_n,
+                in_p,
+                in_n,
+                gm,
+            } => {
+                for (out, sign) in [(out_p, 1.0), (out_n, -1.0)] {
+                    if let Some(r) = idx(*out) {
+                        if let Some(c) = idx(*in_p) {
+                            a.add(r, c, sign * gm);
+                        }
+                        if let Some(c) = idx(*in_n) {
+                            a.add(r, c, -sign * gm);
+                        }
+                    }
+                }
+            }
+            Element::Diode { .. } | Element::Mosfet { .. } => {
+                debug_assert!(false, "nonlinear element in linear stamp");
+            }
+        }
+    }
+
+    let gmin = match mode {
+        Mode::Dc { gmin, .. } => *gmin,
+        Mode::Transient { .. } => 1e-12,
+    };
+    for i in 0..nn {
+        a.add(i, i, gmin);
+    }
+}
+
+/// Stamps the RHS half of a **fully linear** netlist: source values at the
+/// step's time point and the reactive-element history currents. The
+/// companion to [`stamp_linear_matrix`]; together they reproduce
+/// [`build_system`] bit-for-bit on linear decks. Unlike the matrix, the RHS
+/// changes every step (it carries `t` and the history), so the fast path
+/// restamps it per step while reusing the cached factorization.
+pub(crate) fn stamp_linear_rhs(nl: &Netlist, mode: &Mode<'_>, b: &mut [f64]) {
+    b.iter_mut().for_each(|v| *v = 0.0);
+    let nn = nl.node_count() - 1;
+    let branch = nl.branch_indices();
+    let idx = |n: NodeId| -> Option<usize> { (!n.is_ground()).then(|| n.index() - 1) };
+    let inject = |b: &mut [f64], n: NodeId, i: f64| {
+        if let Some(k) = idx(n) {
+            b[k] += i;
+        }
+    };
+    let (src_scale, t_now) = match mode {
+        Mode::Dc { source_scale, .. } => (*source_scale, 0.0),
+        Mode::Transient { t, .. } => (1.0, *t),
+    };
+
+    for (k, e) in nl.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { .. } | Element::Switch { .. } | Element::Vccs { .. } => {}
+            Element::Capacitor {
+                a: na,
+                b: nb,
+                farads,
+                ..
+            } => {
+                if let Mode::Transient {
+                    dt,
+                    integrator,
+                    history,
+                    ..
+                } = mode
+                {
+                    let i_hist = match integrator {
+                        Integrator::BackwardEuler => farads / dt * history.cap_v[k],
+                        Integrator::Trapezoidal => {
+                            2.0 * farads / dt * history.cap_v[k] + history.cap_i[k]
+                        }
+                    };
+                    inject(b, *na, i_hist);
+                    inject(b, *nb, -i_hist);
+                }
+            }
+            Element::Inductor { henries, .. } => {
+                if let Mode::Transient {
+                    dt,
+                    integrator,
+                    history,
+                    ..
+                } = mode
+                {
+                    let j = nn + branch[k].expect("inductor branch");
+                    b[j] = match integrator {
+                        Integrator::BackwardEuler => -henries / dt * history.ind_i[k],
+                        Integrator::Trapezoidal => {
+                            -2.0 * henries / dt * history.ind_i[k] - history.ind_v[k]
+                        }
+                    };
+                }
+            }
+            Element::VoltageSource { wave, .. } => {
+                let j = nn + branch[k].expect("vsource branch");
+                b[j] = wave.eval(t_now) * src_scale;
+            }
+            Element::CurrentSource { p, n, wave } => {
+                let i = wave.eval(t_now) * src_scale;
+                inject(b, *p, i);
+                inject(b, *n, -i);
+            }
+            Element::Diode { .. } | Element::Mosfet { .. } => {
+                debug_assert!(false, "nonlinear element in linear stamp");
+            }
+        }
     }
 }
 

@@ -1,0 +1,53 @@
+//! `LCOSC_SOLVER=reference` escape-hatch coverage.
+//!
+//! Lives in its own integration-test binary (= its own process) because it
+//! mutates the process environment; sharing a binary with the fast-path
+//! stats tests would race under the parallel test runner.
+
+use lcosc_circuit::{run_transient, Netlist, SolverPath, TransientOptions};
+
+fn tank() -> Netlist {
+    let mut nl = Netlist::new();
+    let lc1 = nl.node("lc1");
+    let lc2 = nl.node("lc2");
+    let mid = nl.node("mid");
+    nl.capacitor_ic(lc1, Netlist::GROUND, 2e-9, 1.0);
+    nl.capacitor_ic(lc2, Netlist::GROUND, 2e-9, -1.0);
+    nl.inductor(lc1, mid, 25e-6);
+    nl.resistor(mid, lc2, 15.0);
+    nl
+}
+
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[test]
+fn env_hatch_forces_reference_path_with_identical_results() {
+    let nl = tank();
+    let opts = TransientOptions::new(5e-9, 5e-6);
+    assert_eq!(opts.solver, SolverPath::Auto);
+
+    // Baseline with the hatch open: linear deck takes the fast path.
+    std::env::remove_var("LCOSC_SOLVER");
+    let fast = run_transient(&nl, &opts).expect("fast run");
+    assert!(fast.stats().used_linear_fast_path);
+
+    // Unrecognised values leave Auto selection alone.
+    std::env::set_var("LCOSC_SOLVER", "turbo");
+    let still_fast = run_transient(&nl, &opts).expect("unrecognised value run");
+    assert!(still_fast.stats().used_linear_fast_path);
+
+    // The hatch itself: force the reference path without touching code.
+    std::env::set_var("LCOSC_SOLVER", "reference");
+    let forced = run_transient(&nl, &opts).expect("forced reference run");
+    assert!(!forced.stats().used_linear_fast_path);
+    assert_eq!(forced.stats().factor_reuses, 0);
+
+    // Forced-reference output is bit-identical to the fast path.
+    assert!(bits_equal(fast.times(), forced.times()));
+    assert!(bits_equal(fast.voltages_flat(), forced.voltages_flat()));
+    assert!(bits_equal(fast.currents_flat(), forced.currents_flat()));
+
+    std::env::remove_var("LCOSC_SOLVER");
+}

@@ -408,6 +408,14 @@ impl ClosedLoopSim {
             }
             Fidelity::Cycle => {
                 let dt = self.cfg.dt();
+                // Reserve the tick's recorded samples up front so the push
+                // below never reallocates mid-loop (the transient stepping
+                // machinery is allocation-free after warm-up; keep the
+                // waveform recording that way too).
+                let steps = ((tick_end - self.t) / dt).ceil().max(0.0) as usize;
+                self.trace
+                    .waveform_vdiff
+                    .reserve(steps / self.record_stride.max(1) + 1);
                 let mut k = 0usize;
                 while self.t < tick_end {
                     self.advance_startup(self.t + dt);

@@ -208,7 +208,7 @@ mod tests {
     #[test]
     fn fixed_units_match_mirror_legs() {
         // gm weights 1,2,2,3,3,5,5,9 -> fixed 0,16,16,32,32,64,64,128.
-        let fixed: Vec<u32> = SEGMENTS.iter().map(|s| s.fixed_units()).collect();
+        let fixed: Vec<u32> = SEGMENTS.iter().map(Segment::fixed_units).collect();
         assert_eq!(fixed, [0, 16, 16, 32, 32, 64, 64, 128]);
     }
 }

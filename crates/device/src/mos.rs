@@ -397,7 +397,7 @@ mod tests {
         assert!((f - 2500.0).abs() / 2500.0 < 1e-9);
         // Very negative x: F -> e^(x/2) (vanishing), weak inversion.
         let (f, fp) = ekv_f(-100.0);
-        assert!(f >= 0.0 && f < 1e-21);
+        assert!((0.0..1e-21).contains(&f));
         assert!(fp >= 0.0);
     }
 

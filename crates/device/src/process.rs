@@ -163,7 +163,7 @@ mod tests {
     #[test]
     fn all_corners_iterates_five() {
         assert_eq!(Corner::ALL.len(), 5);
-        let labels: Vec<String> = Corner::ALL.iter().map(|c| c.to_string()).collect();
+        let labels: Vec<String> = Corner::ALL.iter().map(Corner::to_string).collect();
         assert_eq!(labels, ["TT", "FF", "SS", "FS", "SF"]);
     }
 

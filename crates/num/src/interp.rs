@@ -180,7 +180,7 @@ mod tests {
             (2.0 * std::f64::consts::LN_2, 4.0),
         ])
         .unwrap();
-        let err = t.max_rel_error(|x| x.exp(), 1000, 1e-12);
+        let err = t.max_rel_error(f64::exp, 1000, 1e-12);
         assert!(err < 0.07, "relative error {err}");
         assert!(err > 0.01, "chord error should be visible, got {err}");
     }

@@ -147,51 +147,9 @@ impl Matrix {
     /// non-finite entries, and [`NumError::SingularMatrix`] when a pivot
     /// underflows.
     pub fn lu(&self) -> Result<LuFactors> {
-        if !self.is_square() {
-            return Err(NumError::InvalidInput("lu requires a square matrix"));
-        }
-        // The pivot search only inspects one column per elimination step: a
-        // NaN elsewhere would silently poison the factors instead of
-        // surfacing as an error.
-        if self.data.iter().any(|v| !v.is_finite()) {
-            return Err(NumError::InvalidInput("matrix has non-finite entries"));
-        }
-        let n = self.rows;
-        let mut lu = self.data.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1.0f64;
-
-        for k in 0..n {
-            // Find pivot.
-            let mut p = k;
-            let mut pmax = lu[k * n + k].abs();
-            for i in (k + 1)..n {
-                let v = lu[i * n + k].abs();
-                if v > pmax {
-                    pmax = v;
-                    p = i;
-                }
-            }
-            if pmax < f64::MIN_POSITIVE * 1e4 || !pmax.is_finite() {
-                return Err(NumError::SingularMatrix { pivot: k });
-            }
-            if p != k {
-                for j in 0..n {
-                    lu.swap(k * n + j, p * n + j);
-                }
-                perm.swap(k, p);
-                sign = -sign;
-            }
-            let pivot = lu[k * n + k];
-            for i in (k + 1)..n {
-                let factor = lu[i * n + k] / pivot;
-                lu[i * n + k] = factor;
-                for j in (k + 1)..n {
-                    lu[i * n + j] -= factor * lu[k * n + j];
-                }
-            }
-        }
-        Ok(LuFactors { n, lu, perm, sign })
+        let mut f = LuFactors::with_dim(self.rows);
+        f.factor_into(self)?;
+        Ok(f)
     }
 
     /// Solves `self * x = b` via LU factorization.
@@ -254,9 +212,88 @@ pub struct LuFactors {
 }
 
 impl LuFactors {
+    /// Creates empty factorization storage pre-sized for an `n × n` system.
+    ///
+    /// The value is not usable for solves until [`LuFactors::factor_into`]
+    /// has succeeded at least once; this constructor only reserves the
+    /// buffers so the first factorization is the last allocation.
+    pub fn with_dim(n: usize) -> Self {
+        LuFactors {
+            n,
+            lu: vec![0.0; n * n],
+            perm: (0..n).collect(),
+            sign: 1.0,
+        }
+    }
+
     /// Dimension of the factorized system.
     pub fn dim(&self) -> usize {
         self.n
+    }
+
+    /// Re-factorizes `a` into this storage, reusing the existing buffers.
+    ///
+    /// No heap allocation happens when the dimension matches the storage
+    /// (the steady-state path of the transient solver); the arithmetic is
+    /// identical to [`Matrix::lu`], so the factors — and every subsequent
+    /// solve — are bit-for-bit the same.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] for non-square matrices or
+    /// non-finite entries, and [`NumError::SingularMatrix`] when a pivot
+    /// underflows. On error the previous factors are destroyed.
+    pub fn factor_into(&mut self, a: &Matrix) -> Result<()> {
+        if !a.is_square() {
+            return Err(NumError::InvalidInput("lu requires a square matrix"));
+        }
+        // The pivot search only inspects one column per elimination step: a
+        // NaN elsewhere would silently poison the factors instead of
+        // surfacing as an error.
+        if a.data.iter().any(|v| !v.is_finite()) {
+            return Err(NumError::InvalidInput("matrix has non-finite entries"));
+        }
+        let n = a.rows;
+        self.n = n;
+        self.lu.clear();
+        self.lu.extend_from_slice(&a.data);
+        self.perm.clear();
+        self.perm.extend(0..n);
+        self.sign = 1.0;
+        let lu = &mut self.lu;
+        let perm = &mut self.perm;
+
+        for k in 0..n {
+            // Find pivot.
+            let mut p = k;
+            let mut pmax = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax < f64::MIN_POSITIVE * 1e4 || !pmax.is_finite() {
+                return Err(NumError::SingularMatrix { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+                perm.swap(k, p);
+                self.sign = -self.sign;
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let factor = lu[i * n + k] / pivot;
+                lu[i * n + k] = factor;
+                for j in (k + 1)..n {
+                    lu[i * n + j] -= factor * lu[k * n + j];
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Solves `A x = b` for the factorized `A`.
@@ -265,29 +302,49 @@ impl LuFactors {
     ///
     /// Returns [`NumError::InvalidInput`] on an `b` length mismatch.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
-        if b.len() != self.n {
+        let mut x = vec![0.0; self.n];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` into the caller's buffer, with no heap allocation.
+    ///
+    /// The arithmetic (permutation apply, forward and back substitution in
+    /// ascending column order) is identical to [`LuFactors::solve`], so the
+    /// result is bit-for-bit the same.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] when `b` or `x` does not match the
+    /// factorized dimension.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<()> {
+        if b.len() != self.n || x.len() != self.n {
             return Err(NumError::InvalidInput("rhs length mismatch"));
         }
         let n = self.n;
         // Apply permutation: y = P b.
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for (xi, &p) in x.iter_mut().zip(&self.perm) {
+            *xi = b[p];
+        }
         // Forward substitution (L has unit diagonal).
         for i in 1..n {
-            let mut s = x[i];
-            for (j, xj) in x.iter().enumerate().take(i) {
+            let (done, rest) = x.split_at_mut(i);
+            let mut s = rest[0];
+            for (j, xj) in done.iter().enumerate() {
                 s -= self.lu[i * n + j] * xj;
             }
-            x[i] = s;
+            rest[0] = s;
         }
         // Back substitution.
         for i in (0..n).rev() {
-            let mut s = x[i];
-            for (j, xj) in x.iter().enumerate().skip(i + 1) {
-                s -= self.lu[i * n + j] * xj;
+            let (head, tail) = x.split_at_mut(i + 1);
+            let mut s = head[i];
+            for (j, xj) in tail.iter().enumerate() {
+                s -= self.lu[i * n + (i + 1 + j)] * xj;
             }
-            x[i] = s / self.lu[i * n + i];
+            head[i] = s / self.lu[i * n + i];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Determinant of the factorized matrix.
@@ -444,6 +501,87 @@ mod tests {
         let a = Matrix::identity(2);
         assert!(!format!("{a}").is_empty());
     }
+
+    fn pseudo_random_matrix(n: usize, mut seed: u64) -> Matrix {
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += 3.0;
+        }
+        a
+    }
+
+    #[test]
+    fn factor_into_is_bit_identical_to_lu_and_reuses_storage() {
+        let a = pseudo_random_matrix(7, 11);
+        let b = pseudo_random_matrix(7, 99);
+        let fa = a.lu().unwrap();
+        let mut reused = LuFactors::with_dim(7);
+        reused.factor_into(&a).unwrap();
+        let rhs: Vec<f64> = (0..7).map(|i| i as f64 - 2.5).collect();
+        let xa = fa.solve(&rhs).unwrap();
+        let xr = reused.solve(&rhs).unwrap();
+        for (p, q) in xa.iter().zip(&xr) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        // Refactor different data into the same storage.
+        reused.factor_into(&b).unwrap();
+        let xb = b.lu().unwrap().solve(&rhs).unwrap();
+        let xr = reused.solve(&rhs).unwrap();
+        for (p, q) in xb.iter().zip(&xr) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn solve_into_matches_solve_bitwise() {
+        let a = pseudo_random_matrix(6, 5);
+        let f = a.lu().unwrap();
+        let rhs: Vec<f64> = (0..6).map(|i| (i as f64).sin()).collect();
+        let x = f.solve(&rhs).unwrap();
+        let mut xi = vec![0.0; 6];
+        f.solve_into(&rhs, &mut xi).unwrap();
+        for (p, q) in x.iter().zip(&xi) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn factor_into_rejects_bad_input_like_lu() {
+        let mut f = LuFactors::with_dim(2);
+        let rect = Matrix::zeros(2, 3);
+        assert!(matches!(
+            f.factor_into(&rect),
+            Err(NumError::InvalidInput(_))
+        ));
+        let nan = Matrix::from_rows(&[&[1.0, f64::NAN], &[0.0, 1.0]]).unwrap();
+        assert!(matches!(
+            f.factor_into(&nan),
+            Err(NumError::InvalidInput(_))
+        ));
+        let sing = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            f.factor_into(&sing),
+            Err(NumError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_into_rejects_length_mismatch() {
+        let f = Matrix::identity(3).lu().unwrap();
+        let mut x = vec![0.0; 2];
+        assert!(f.solve_into(&[1.0, 2.0, 3.0], &mut x).is_err());
+        let mut x3 = vec![0.0; 3];
+        assert!(f.solve_into(&[1.0, 2.0], &mut x3).is_err());
+    }
 }
 
 /// A dense, row-major complex matrix with LU solve — used by the circuit
@@ -509,7 +647,27 @@ impl ComplexMatrix {
     /// mismatched rhs or non-finite entries, and
     /// [`NumError::SingularMatrix`] when a pivot underflows.
     pub fn solve(&self, b: &[crate::fft::Complex]) -> Result<Vec<crate::fft::Complex>> {
-        use crate::fft::Complex;
+        let mut lu = Vec::new();
+        let mut x = Vec::new();
+        self.solve_into(b, &mut lu, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `self · x = b` like [`ComplexMatrix::solve`], but into
+    /// caller-provided buffers: `lu` is factorization scratch and `x`
+    /// receives the solution. Both are cleared and refilled, so after the
+    /// first call no reallocation happens when the dimensions are stable —
+    /// an AC sweep reuses one pair of buffers across every frequency point.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ComplexMatrix::solve`] (the results are bit-identical).
+    pub fn solve_into(
+        &self,
+        b: &[crate::fft::Complex],
+        lu: &mut Vec<crate::fft::Complex>,
+        x: &mut Vec<crate::fft::Complex>,
+    ) -> Result<()> {
         if self.rows != self.cols {
             return Err(NumError::InvalidInput("solve requires a square matrix"));
         }
@@ -524,8 +682,10 @@ impl ComplexMatrix {
             return Err(NumError::InvalidInput("matrix has non-finite entries"));
         }
         let n = self.rows;
-        let mut lu = self.data.clone();
-        let mut x: Vec<Complex> = b.to_vec();
+        lu.clear();
+        lu.extend_from_slice(&self.data);
+        x.clear();
+        x.extend_from_slice(b);
 
         for k in 0..n {
             // Pivot by magnitude.
@@ -569,7 +729,7 @@ impl ComplexMatrix {
             }
             x[i] = s / lu[i * n + i];
         }
-        Ok(x)
+        Ok(())
     }
 }
 
@@ -629,6 +789,36 @@ mod complex_tests {
             a.solve(&[Complex::default(), Complex::default()]),
             Err(NumError::SingularMatrix { .. })
         ));
+    }
+
+    #[test]
+    fn complex_solve_into_matches_solve_bitwise_and_reuses_buffers() {
+        let n = 4;
+        let mut a = ComplexMatrix::zeros(n, n);
+        let mut seed = 3u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a.add(i, j, Complex::new(next(), next()));
+            }
+            a.add(i, i, Complex::new(4.0, 0.0));
+        }
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 1.0)).collect();
+        let x = a.solve(&b).unwrap();
+        let mut lu = Vec::new();
+        let mut xi = Vec::new();
+        a.solve_into(&b, &mut lu, &mut xi).unwrap();
+        for (p, q) in x.iter().zip(&xi) {
+            assert_eq!(p.re.to_bits(), q.re.to_bits());
+            assert_eq!(p.im.to_bits(), q.im.to_bits());
+        }
+        // A second solve must not grow the scratch buffers.
+        let cap = (lu.capacity(), xi.capacity());
+        a.solve_into(&b, &mut lu, &mut xi).unwrap();
+        assert_eq!((lu.capacity(), xi.capacity()), cap);
     }
 
     #[test]

@@ -172,7 +172,7 @@ mod tests {
 
     #[test]
     fn display_names_are_distinct() {
-        let names: Vec<String> = Fault::catalog().iter().map(|f| f.to_string()).collect();
+        let names: Vec<String> = Fault::catalog().iter().map(Fault::to_string).collect();
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();

@@ -171,6 +171,21 @@ pub enum TraceEvent {
         /// Wall-clock duration of the job, nanoseconds.
         wall_ns: u128,
     },
+    /// Work counters of one transient solve (PR 4 solver fast path).
+    /// Deterministic: pure function of deck, options and solver path.
+    SolverStats {
+        /// Time steps integrated.
+        steps: u64,
+        /// Total Newton iterations across all steps.
+        newton_iterations: u64,
+        /// LU factorizations performed.
+        factorizations: u64,
+        /// Steps that reused a cached factorization.
+        factor_reuses: u64,
+        /// Stepping-machinery heap allocations performed after the first
+        /// time step (0 on the fast path).
+        post_warmup_allocations: u64,
+    },
 }
 
 impl TraceEvent {
@@ -245,6 +260,18 @@ impl TraceEvent {
                     r#"{{"ev":"campaign_job_timing","index":{index},"wall_ns":{wall_ns}}}"#
                 );
             }
+            TraceEvent::SolverStats {
+                steps,
+                newton_iterations,
+                factorizations,
+                factor_reuses,
+                post_warmup_allocations,
+            } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"solver_stats","steps":{steps},"newton_iterations":{newton_iterations},"factorizations":{factorizations},"factor_reuses":{factor_reuses},"post_warmup_allocations":{post_warmup_allocations}}}"#
+                );
+            }
         }
         s
     }
@@ -310,6 +337,13 @@ mod tests {
                 detector: DetectorId::Asymmetry,
             },
             TraceEvent::CampaignJob { index: 0, seed: 9 },
+            TraceEvent::SolverStats {
+                steps: 10,
+                newton_iterations: 11,
+                factorizations: 1,
+                factor_reuses: 9,
+                post_warmup_allocations: 0,
+            },
         ];
         for ev in golden {
             assert!(ev.is_golden(), "{ev:?}");

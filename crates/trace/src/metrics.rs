@@ -113,6 +113,19 @@ pub struct TraceMetrics {
     pub faults_injected: u64,
     /// Campaign jobs completed.
     pub campaign_jobs: u64,
+    /// Transient solves reported via [`TraceEvent::SolverStats`].
+    pub solver_runs: u64,
+    /// Time steps integrated across all reported solves.
+    pub solver_steps: u64,
+    /// Newton iterations across all reported solves.
+    pub solver_newton_iterations: u64,
+    /// LU factorizations across all reported solves.
+    pub solver_factorizations: u64,
+    /// Cached-factorization reuses across all reported solves.
+    pub solver_factor_reuses: u64,
+    /// Post-warm-up allocations across all reported solves (0 when every
+    /// solve took the fast path).
+    pub solver_post_warmup_allocations: u64,
     /// Per-job wall-clock, nanoseconds (**machine-dependent** — reported
     /// by [`TraceMetrics::render_timing_json`], never the golden stream).
     pub job_wall_ns: Histogram,
@@ -161,6 +174,20 @@ impl TraceMetrics {
                 self.job_wall_ns
                     .record(u64::try_from(*wall_ns).unwrap_or(u64::MAX));
             }
+            TraceEvent::SolverStats {
+                steps,
+                newton_iterations,
+                factorizations,
+                factor_reuses,
+                post_warmup_allocations,
+            } => {
+                self.solver_runs += 1;
+                self.solver_steps += steps;
+                self.solver_newton_iterations += newton_iterations;
+                self.solver_factorizations += factorizations;
+                self.solver_factor_reuses += factor_reuses;
+                self.solver_post_warmup_allocations += post_warmup_allocations;
+            }
         }
     }
 
@@ -204,6 +231,16 @@ impl TraceMetrics {
             self.startup_phases,
             self.faults_injected,
             self.campaign_jobs
+        );
+        let _ = write!(
+            s,
+            r#","solver":{{"runs":{},"steps":{},"newton_iterations":{},"factorizations":{},"factor_reuses":{},"post_warmup_allocations":{}}}"#,
+            self.solver_runs,
+            self.solver_steps,
+            self.solver_newton_iterations,
+            self.solver_factorizations,
+            self.solver_factor_reuses,
+            self.solver_post_warmup_allocations
         );
         s.push('}');
         s
@@ -332,5 +369,28 @@ mod tests {
         assert!(!m.render_json().contains("wall"));
         assert!(m.render_timing_json().contains("job_wall_ns"));
         assert_eq!(m.job_wall_ns.count(), 1);
+    }
+
+    #[test]
+    fn solver_stats_fold_into_counters() {
+        let mut m = TraceMetrics::default();
+        for _ in 0..2 {
+            m.fold(&TraceEvent::SolverStats {
+                steps: 100,
+                newton_iterations: 110,
+                factorizations: 1,
+                factor_reuses: 99,
+                post_warmup_allocations: 0,
+            });
+        }
+        assert_eq!(m.solver_runs, 2);
+        assert_eq!(m.solver_steps, 200);
+        assert_eq!(m.solver_newton_iterations, 220);
+        assert_eq!(m.solver_factorizations, 2);
+        assert_eq!(m.solver_factor_reuses, 198);
+        assert_eq!(m.solver_post_warmup_allocations, 0);
+        assert!(m.render_json().contains(
+            r#""solver":{"runs":2,"steps":200,"newton_iterations":220,"factorizations":2,"factor_reuses":198,"post_warmup_allocations":0}"#
+        ));
     }
 }

@@ -12,6 +12,7 @@
 //! behavioural difference.
 
 use lcosc::campaign::Json;
+use lcosc::circuit::{run_transient, Netlist, TransientOptions};
 use lcosc::core::config::OscillatorConfig;
 use lcosc::dac::{multiplication_factor, relative_step, Code, DacMismatchParams};
 use lcosc::safety::FmeaReport;
@@ -63,6 +64,47 @@ fn yield_analysis_summary_is_stable() {
     // Same campaign the repro binary tracks: 200 dies, seed 1, ±15 % window.
     let run = lcosc::dac::yield_analysis_campaign(&DacMismatchParams::default(), 200, 1, 0.15, 1);
     golden("yield_default.json", &run.report.to_json().render_pretty(2));
+}
+
+#[test]
+fn tank_ring_down_waveform_is_stable() {
+    // Cycle-fidelity fixture for the paper's series tank (L = 25 µH,
+    // C1 = C2 = 2 nF, Rs = 15 Ω, f0 ≈ 1.007 MHz): ten ring-down cycles at
+    // 64 points/cycle, sampled every 8th step. The waveform is pinned
+    // bit-for-bit, so it holds under both `SolverPath`s (which are
+    // required to be bit-identical) and trips on any arithmetic change
+    // in stamping, integration, or the linear solver.
+    let mut nl = Netlist::new();
+    let lc1 = nl.node("lc1");
+    let lc2 = nl.node("lc2");
+    let mid = nl.node("mid");
+    nl.capacitor_ic(lc1, Netlist::GROUND, 2e-9, 1.0);
+    nl.capacitor_ic(lc2, Netlist::GROUND, 2e-9, -1.0);
+    nl.inductor(lc1, mid, 25e-6);
+    nl.resistor(mid, lc2, 15.0);
+
+    let f0 = 1.0 / (2.0 * std::f64::consts::PI * (25e-6_f64 * 1e-9).sqrt());
+    let mut opts = TransientOptions::new(1.0 / (f0 * 64.0), 10.0 / f0);
+    opts.record_stride = 8;
+    let res = run_transient(&nl, &opts).expect("ring-down converges");
+
+    let vdiff: Vec<Json> = (0..res.len())
+        .map(|k| {
+            let v = res.voltages_at(k);
+            Json::from(v[lc1.index() - 1] - v[lc2.index() - 1])
+        })
+        .collect();
+    let times: Vec<Json> = res.times().iter().map(|&t| Json::from(t)).collect();
+    golden(
+        "tank_ring_down.json",
+        &Json::obj([
+            ("f0_hz", Json::from(f0)),
+            ("samples", Json::from(res.len())),
+            ("times", Json::Array(times)),
+            ("vdiff", Json::Array(vdiff)),
+        ])
+        .render_pretty(2),
+    );
 }
 
 #[test]
