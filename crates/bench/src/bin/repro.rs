@@ -6,8 +6,11 @@
 //! cargo run --release -p lcosc-bench --bin repro -- [--threads N] \
 //!     [--campaigns-only] [--results-out PATH] [--unchecked] \
 //!     [--trace-out PATH] [--trace-level off|metrics|events] \
-//!     [--bench-out PATH]
+//!     [--bench-out PATH] [--serve-bench] [--serve-bench-out PATH]
 //! ```
+//!
+//! Run `repro --help` for the full flag reference (parsing lives in
+//! [`lcosc_bench::cli`] where it is unit-tested).
 //!
 //! - `--threads N` fans the FMEA / Monte-Carlo / sweep campaigns out over
 //!   `N` worker threads (`0` = all cores, default `1` = serial). Campaign
@@ -31,9 +34,14 @@
 //!   (fast path vs. `LCOSC_SOLVER=reference` path, bit-identity enforced)
 //!   and writes the wall-clock/speedup/solver-counter report to `PATH`
 //!   (e.g. `BENCH_PR4.json` — the perf regression trajectory).
+//! - `--serve-bench` runs the `lcosc-serve` loopback load driver (64 mixed
+//!   requests, 1-thread vs 4-thread servers byte-compared, cold vs warmed
+//!   cache) and writes the report to `--serve-bench-out` (default
+//!   `BENCH_PR5.json`).
 
+use lcosc_bench::cli::{parse_args, Args, Cli, HELP};
 use lcosc_bench::csv::write_csv;
-use lcosc_bench::{ablation, figures};
+use lcosc_bench::{ablation, figures, serve_bench};
 use lcosc_campaign::{CampaignStats, Json};
 use lcosc_core::{ClosedLoopSim, OscillatorConfig};
 use lcosc_dac::{multiplication_factor, relative_step, Code, DacMismatchParams};
@@ -53,55 +61,6 @@ const YIELD_DIES: u32 = 200;
 const YIELD_SEED: u64 = 1;
 /// Regulation window of the tracked yield campaign.
 const YIELD_WINDOW: f64 = 0.15;
-
-struct Args {
-    threads: usize,
-    campaigns_only: bool,
-    unchecked: bool,
-    results_out: PathBuf,
-    trace_out: Option<PathBuf>,
-    trace_level: TraceLevel,
-    bench_out: Option<PathBuf>,
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        threads: 1,
-        campaigns_only: false,
-        unchecked: false,
-        results_out: PathBuf::from("target/repro/campaign_results.json"),
-        trace_out: None,
-        trace_level: TraceLevel::Events,
-        bench_out: None,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--unchecked" => args.unchecked = true,
-            "--campaigns-only" => args.campaigns_only = true,
-            "--threads" => {
-                let v = it.next().ok_or("--threads needs a value")?;
-                args.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
-            }
-            "--results-out" => {
-                args.results_out = PathBuf::from(it.next().ok_or("--results-out needs a path")?);
-            }
-            "--trace-out" => {
-                args.trace_out = Some(PathBuf::from(it.next().ok_or("--trace-out needs a path")?));
-            }
-            "--trace-level" => {
-                let v = it.next().ok_or("--trace-level needs a value")?;
-                args.trace_level = TraceLevel::parse(&v)
-                    .ok_or(format!("bad trace level {v:?} (off|metrics|events)"))?;
-            }
-            "--bench-out" => {
-                args.bench_out = Some(PathBuf::from(it.next().ok_or("--bench-out needs a path")?));
-            }
-            other => return Err(format!("unknown argument {other:?}")),
-        }
-    }
-    Ok(args)
-}
 
 /// The recording half of the trace plumbing: the sinks we need to read
 /// back at end of run, behind one fanned-out [`Trace`] handle.
@@ -268,11 +227,18 @@ fn run_campaigns(threads: usize, tracer: &Trace) -> (Json, Vec<TrackedCampaign>)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = parse_args().map_err(|e| {
-        format!(
-            "{e}\nusage: repro [--threads N] [--campaigns-only] [--results-out PATH] [--unchecked] [--trace-out PATH] [--trace-level off|metrics|events] [--bench-out PATH]"
-        )
-    })?;
+    let cli = parse_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        // Display, not the Debug form Box<dyn Error> would print.
+        eprintln!("repro: {e}");
+        std::process::exit(2);
+    });
+    let args = match cli {
+        Cli::Help => {
+            print!("{HELP}");
+            return Ok(());
+        }
+        Cli::Run(args) => args,
+    };
     let capture = TraceCapture::from_args(&args);
     let tracer = capture
         .as_ref()
@@ -379,6 +345,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "cycle-fidelity speedup: {:.2}x",
             report.cycle_fidelity_speedup()
         );
+    }
+
+    // Serving-layer load driver: loopback servers at 1 and 4 worker
+    // threads, byte-compared; cold vs warmed-cache throughput tracked.
+    if args.serve_bench {
+        let report = serve_bench::run_serve_bench()?;
+        write_text(&args.serve_bench_out, &report.to_json().render_pretty(2))?;
+        println!("serve bench -> {}", args.serve_bench_out.display());
+        for s in &report.servers {
+            println!(
+                "serve {} thread(s): cold {:.0} req/s (p50 {:.2} ms, p99 {:.2} ms), cached {:.0} req/s ({:.1}x, hit rate {:.0} %)",
+                s.threads,
+                s.cold.rps,
+                s.cold.p50.as_secs_f64() * 1e3,
+                s.cold.p99.as_secs_f64() * 1e3,
+                s.warm.rps,
+                s.warm_speedup(),
+                100.0 * s.cache_hit_rate,
+            );
+        }
     }
 
     if let (Some(capture), Some(path)) = (&capture, &args.trace_out) {

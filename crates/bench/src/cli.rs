@@ -1,0 +1,272 @@
+//! Command-line parsing for the `repro` binary.
+//!
+//! Pure: [`parse_args`] consumes any `String` iterator, so the whole flag
+//! surface is unit-testable without spawning the binary, and failures are
+//! a typed [`CliError`] rather than a stringly error.
+
+use lcosc_trace::TraceLevel;
+use std::fmt;
+use std::path::PathBuf;
+
+/// The `repro --help` text. Every accepted flag is listed here; the unit
+/// tests enforce that parser and help stay in sync.
+pub const HELP: &str = "repro: regenerate the paper's tables, figures and tracked campaign reports
+
+USAGE:
+    repro [OPTIONS]
+
+OPTIONS:
+    --threads N          fan campaigns out over N worker threads
+                         (0 = all cores; default 1 = serial; results are
+                         bit-identical for every N)
+    --campaigns-only     run only the tracked campaigns, skip figure CSVs
+    --unchecked          skip the static preset checks (fault studies)
+    --results-out PATH   deterministic campaign results JSON
+                         (default target/repro/campaign_results.json)
+    --trace-out PATH     record the instrumented demo + campaign trace here
+    --trace-level LEVEL  off | metrics | events (default events)
+    --bench-out PATH     run the transient-solver benchmark, write report
+    --serve-bench        run the lcosc-serve loopback load driver
+                         (cold vs cached throughput, determinism check)
+    --serve-bench-out PATH
+                         serve benchmark report path (default BENCH_PR5.json)
+    --help               print this help
+";
+
+/// Parsed `repro` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// Campaign worker threads (0 = all cores).
+    pub threads: usize,
+    /// Skip figure CSVs, run only the tracked campaigns.
+    pub campaigns_only: bool,
+    /// Skip the static preset checks.
+    pub unchecked: bool,
+    /// Deterministic campaign results JSON path.
+    pub results_out: PathBuf,
+    /// Structured trace output path, when tracing is requested.
+    pub trace_out: Option<PathBuf>,
+    /// Trace verbosity.
+    pub trace_level: TraceLevel,
+    /// Solver benchmark report path, when the benchmark is requested.
+    pub bench_out: Option<PathBuf>,
+    /// Run the serving-layer load driver.
+    pub serve_bench: bool,
+    /// Serve benchmark report path.
+    pub serve_bench_out: PathBuf,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            threads: 1,
+            campaigns_only: false,
+            unchecked: false,
+            results_out: PathBuf::from("target/repro/campaign_results.json"),
+            trace_out: None,
+            trace_level: TraceLevel::Events,
+            bench_out: None,
+            serve_bench: false,
+            serve_bench_out: PathBuf::from("BENCH_PR5.json"),
+        }
+    }
+}
+
+/// Parse outcome: either run with [`Args`] or print help and exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cli {
+    /// `--help` was requested.
+    Help,
+    /// Normal run.
+    Run(Args),
+}
+
+/// A typed command-line error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// A flag the parser does not know.
+    UnknownFlag(String),
+    /// A flag that takes a value appeared last.
+    MissingValue(&'static str),
+    /// A flag value that failed to parse.
+    BadValue {
+        /// The flag the value belonged to.
+        flag: &'static str,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownFlag(flag) => {
+                write!(
+                    f,
+                    "unknown flag {flag:?} (run with --help for the flag list)"
+                )
+            }
+            CliError::MissingValue(flag) => write!(f, "{flag} requires a value"),
+            CliError::BadValue { flag, message } => write!(f, "{flag}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] naming the offending flag or value.
+pub fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, CliError> {
+    let mut parsed = Args::default();
+    let mut args = args;
+    fn next_value(
+        args: &mut dyn Iterator<Item = String>,
+        flag: &'static str,
+    ) -> Result<String, CliError> {
+        args.next().ok_or(CliError::MissingValue(flag))
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(Cli::Help),
+            "--campaigns-only" => parsed.campaigns_only = true,
+            "--unchecked" => parsed.unchecked = true,
+            "--serve-bench" => parsed.serve_bench = true,
+            "--threads" => {
+                let v = next_value(&mut args, "--threads")?;
+                parsed.threads = v.parse().map_err(|_| CliError::BadValue {
+                    flag: "--threads",
+                    message: format!("bad thread count {v:?}"),
+                })?;
+            }
+            "--results-out" => {
+                parsed.results_out = PathBuf::from(next_value(&mut args, "--results-out")?);
+            }
+            "--trace-out" => {
+                parsed.trace_out = Some(PathBuf::from(next_value(&mut args, "--trace-out")?));
+            }
+            "--trace-level" => {
+                let v = next_value(&mut args, "--trace-level")?;
+                parsed.trace_level = TraceLevel::parse(&v).ok_or(CliError::BadValue {
+                    flag: "--trace-level",
+                    message: format!("bad trace level {v:?} (off|metrics|events)"),
+                })?;
+            }
+            "--bench-out" => {
+                parsed.bench_out = Some(PathBuf::from(next_value(&mut args, "--bench-out")?));
+            }
+            "--serve-bench-out" => {
+                parsed.serve_bench_out = PathBuf::from(next_value(&mut args, "--serve-bench-out")?);
+            }
+            other => return Err(CliError::UnknownFlag(other.to_string())),
+        }
+    }
+    Ok(Cli::Run(parsed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, CliError> {
+        parse_args(args.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn empty_argv_yields_defaults() {
+        assert_eq!(parse(&[]), Ok(Cli::Run(Args::default())));
+    }
+
+    #[test]
+    fn unknown_flag_is_a_typed_error() {
+        assert_eq!(
+            parse(&["--warp-speed"]),
+            Err(CliError::UnknownFlag("--warp-speed".to_string()))
+        );
+        let rendered = CliError::UnknownFlag("--warp-speed".to_string()).to_string();
+        assert!(rendered.contains("--warp-speed"), "{rendered}");
+        assert!(rendered.contains("--help"), "{rendered}");
+    }
+
+    #[test]
+    fn missing_and_malformed_values_are_typed_errors() {
+        assert_eq!(
+            parse(&["--threads"]),
+            Err(CliError::MissingValue("--threads"))
+        );
+        assert!(matches!(
+            parse(&["--threads", "many"]),
+            Err(CliError::BadValue {
+                flag: "--threads",
+                ..
+            })
+        ));
+        assert!(matches!(
+            parse(&["--trace-level", "loud"]),
+            Err(CliError::BadValue {
+                flag: "--trace-level",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn all_flags_parse_together() {
+        let cli = parse(&[
+            "--threads",
+            "4",
+            "--campaigns-only",
+            "--unchecked",
+            "--results-out",
+            "r.json",
+            "--trace-out",
+            "t.jsonl",
+            "--trace-level",
+            "metrics",
+            "--bench-out",
+            "b.json",
+            "--serve-bench",
+            "--serve-bench-out",
+            "s.json",
+        ])
+        .expect("all flags are valid");
+        let Cli::Run(args) = cli else {
+            panic!("expected a run, got {cli:?}");
+        };
+        assert_eq!(args.threads, 4);
+        assert!(args.campaigns_only && args.unchecked && args.serve_bench);
+        assert_eq!(args.results_out, PathBuf::from("r.json"));
+        assert_eq!(args.trace_out, Some(PathBuf::from("t.jsonl")));
+        assert_eq!(args.trace_level, TraceLevel::Metrics);
+        assert_eq!(args.bench_out, Some(PathBuf::from("b.json")));
+        assert_eq!(args.serve_bench_out, PathBuf::from("s.json"));
+    }
+
+    #[test]
+    fn help_flag_short_circuits() {
+        assert_eq!(parse(&["--help"]), Ok(Cli::Help));
+        assert_eq!(parse(&["-h", "--warp-speed"]), Ok(Cli::Help));
+    }
+
+    #[test]
+    fn help_text_names_every_accepted_flag() {
+        // Parser and help text must not drift apart: every value-less and
+        // valued flag the parser matches appears in HELP.
+        for flag in [
+            "--threads",
+            "--campaigns-only",
+            "--unchecked",
+            "--results-out",
+            "--trace-out",
+            "--trace-level",
+            "--bench-out",
+            "--serve-bench",
+            "--serve-bench-out",
+            "--help",
+        ] {
+            assert!(HELP.contains(flag), "help text is missing {flag}");
+        }
+    }
+}

@@ -7,8 +7,10 @@
 //! computation (the benchmark).
 
 pub mod ablation;
+pub mod cli;
 pub mod csv;
 pub mod figures;
+pub mod serve_bench;
 pub mod solver_bench;
 
 pub use figures::*;

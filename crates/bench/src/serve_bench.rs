@@ -1,0 +1,383 @@
+//! Loopback load driver for the `lcosc-serve` batch simulation service.
+//!
+//! Starts a real TCP server on `127.0.0.1:0`, drives a fixed batch of 64
+//! mixed requests from concurrent closed-loop clients, and measures the
+//! cold pass (every request computes) against the warmed pass (every
+//! request replays from the content-addressed cache). The run doubles as
+//! the serving layer's determinism regression: response sets must be
+//! byte-identical across 1-thread and 4-thread servers and across
+//! cold/warm passes, and the warmed cache must be reported non-empty —
+//! hard errors, not log lines, when violated.
+
+use lcosc_campaign::Json;
+use lcosc_serve::{serve_tcp, ServeConfig, ServeEngine};
+use lcosc_trace::Trace;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Requests in the benchmark batch.
+pub const BATCH: usize = 64;
+/// Concurrent closed-loop client connections.
+pub const CLIENTS: usize = 8;
+/// Warmed-over-cold throughput the serving layer must deliver.
+pub const MIN_WARM_SPEEDUP: f64 = 5.0;
+
+/// Latency/throughput summary of one pass over the batch.
+#[derive(Debug, Clone, Copy)]
+pub struct PassStats {
+    /// Wall-clock of the whole pass.
+    pub wall: Duration,
+    /// Requests per second.
+    pub rps: f64,
+    /// Median request latency.
+    pub p50: Duration,
+    /// 99th-percentile request latency.
+    pub p99: Duration,
+}
+
+impl PassStats {
+    fn from_latencies(wall: Duration, latencies: &mut [Duration]) -> PassStats {
+        latencies.sort_unstable();
+        let pick = |q: f64| {
+            if latencies.is_empty() {
+                Duration::ZERO
+            } else {
+                // Nearest-rank: the smallest sample with at least q of the
+                // population at or below it.
+                let rank = (latencies.len() as f64 * q).ceil() as usize;
+                latencies[rank.clamp(1, latencies.len()) - 1]
+            }
+        };
+        PassStats {
+            wall,
+            rps: latencies.len() as f64 / wall.as_secs_f64().max(1e-9),
+            p50: pick(0.50),
+            p99: pick(0.99),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("wall_s", Json::from(self.wall.as_secs_f64())),
+            ("requests_per_s", Json::from(self.rps)),
+            ("p50_ms", Json::from(self.p50.as_secs_f64() * 1e3)),
+            ("p99_ms", Json::from(self.p99.as_secs_f64() * 1e3)),
+        ])
+    }
+}
+
+/// Result of benchmarking one server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerRun {
+    /// Worker threads the server ran with.
+    pub threads: usize,
+    /// Cold pass (empty cache).
+    pub cold: PassStats,
+    /// Warmed pass (every request already cached).
+    pub warm: PassStats,
+    /// Cache hits the server reported after both passes.
+    pub cache_hits: u64,
+    /// Cache hit rate over both passes.
+    pub cache_hit_rate: f64,
+    /// Sorted cold-pass response lines (the determinism surface).
+    pub responses: Vec<String>,
+}
+
+impl ServerRun {
+    /// Warmed-over-cold throughput ratio.
+    pub fn warm_speedup(&self) -> f64 {
+        self.warm.rps / self.cold.rps.max(1e-9)
+    }
+}
+
+/// The full serve benchmark report.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// One run per server thread count (1 and 4).
+    pub servers: Vec<ServerRun>,
+}
+
+impl ServeBenchReport {
+    /// Renders the `BENCH_PR5.json` payload.
+    pub fn to_json(&self) -> Json {
+        let servers: Vec<Json> = self
+            .servers
+            .iter()
+            .map(|s| {
+                Json::obj([
+                    ("threads", Json::from(s.threads)),
+                    ("cold", s.cold.to_json()),
+                    ("warm", s.warm.to_json()),
+                    ("warm_over_cold", Json::from(s.warm_speedup())),
+                    ("cache_hits", Json::from(s.cache_hits as i64)),
+                    ("cache_hit_rate", Json::from(s.cache_hit_rate)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("bench", Json::from("lcosc-serve loopback load driver")),
+            ("requests", Json::from(BATCH)),
+            ("clients", Json::from(CLIENTS)),
+            ("min_warm_speedup_required", Json::from(MIN_WARM_SPEEDUP)),
+            ("servers", Json::Array(servers)),
+            (
+                "responses_byte_identical_across_thread_counts",
+                Json::from(true),
+            ),
+        ])
+    }
+}
+
+/// The 64-request mixed batch: the full fault catalog as scenarios,
+/// seeded yield campaigns, and RC/RLC transient decks.
+pub fn mixed_requests() -> Vec<String> {
+    let mut lines = Vec::with_capacity(BATCH);
+    let faults = [
+        r#""fault":"open_coil""#,
+        r#""fault":"coil_short""#,
+        r#""fault":"pin_short_gnd","pin":0"#,
+        r#""fault":"pin_short_gnd","pin":1"#,
+        r#""fault":"pin_short_vdd","pin":0"#,
+        r#""fault":"pin_short_vdd","pin":1"#,
+        r#""fault":"missing_cap","pin":0"#,
+        r#""fault":"missing_cap","pin":1"#,
+        r#""fault":"rs_drift","factor":4.0"#,
+        r#""fault":"supply_loss""#,
+        r#""fault":"driver_dead""#,
+    ];
+    // 44 scenario requests: the 11-fault catalog, 4 distinct ids each
+    // (distinct ids, same cache slot — the cache is content-addressed).
+    for round in 0..4 {
+        for (i, fault) in faults.iter().enumerate() {
+            lines.push(format!(
+                r#"{{"id":{},"kind":"scenario",{fault}}}"#,
+                100 * round + i
+            ));
+        }
+    }
+    // 10 yield campaigns over distinct seeds.
+    for seed in 0..10 {
+        lines.push(format!(
+            r#"{{"id":{},"kind":"campaign","campaign":"yield","dies":24,"seed":{seed},"window":0.1}}"#,
+            1000 + seed
+        ));
+    }
+    // 10 RC transients over distinct resistances.
+    for k in 0..10 {
+        let ohms = 500.0 + 250.0 * f64::from(k);
+        lines.push(format!(
+            concat!(
+                r#"{{"id":{},"kind":"transient","deck":{{"elements":["#,
+                r#"{{"kind":"vsource","p":"in","n":"gnd","wave":{{"type":"dc","value":1.0}}}},"#,
+                r#"{{"kind":"resistor","a":"in","b":"out","ohms":{}}},"#,
+                r#"{{"kind":"capacitor","a":"out","b":"gnd","farads":1e-6}}"#,
+                r#"]}},"dt":1e-5,"t_end":2e-3,"record_stride":10}}"#
+            ),
+            2000 + k,
+            ohms
+        ));
+    }
+    assert_eq!(lines.len(), BATCH);
+    lines
+}
+
+/// Sends `lines` through one connection in closed-loop (send, await
+/// response, repeat), returning `(response, latency)` per request.
+fn drive_connection(
+    addr: std::net::SocketAddr,
+    lines: &[String],
+) -> Result<Vec<(String, Duration)>, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    // Nagle + delayed ACK stall small closed-loop writes by ~40 ms on
+    // loopback; disable it so latency measures the server, not the stack.
+    stream
+        .set_nodelay(true)
+        .map_err(|e| format!("nodelay: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("clone stream: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut out = Vec::with_capacity(lines.len());
+    let mut framed = String::new();
+    for line in lines {
+        framed.clear();
+        framed.push_str(line);
+        framed.push('\n');
+        let start = Instant::now();
+        writer
+            .write_all(framed.as_bytes())
+            .map_err(|e| format!("write: {e}"))?;
+        let mut response = String::new();
+        reader
+            .read_line(&mut response)
+            .map_err(|e| format!("read: {e}"))?;
+        let latency = start.elapsed();
+        let response = response.trim_end().to_string();
+        if response.is_empty() {
+            return Err("server closed the connection mid-batch".to_string());
+        }
+        out.push((response, latency));
+    }
+    Ok(out)
+}
+
+/// Runs one pass of the batch over `CLIENTS` concurrent connections.
+fn run_pass(
+    addr: std::net::SocketAddr,
+    lines: &[String],
+) -> Result<(PassStats, Vec<String>), String> {
+    let per_client = lines.len().div_ceil(CLIENTS);
+    let start = Instant::now();
+    let results: Vec<Result<Vec<(String, Duration)>, String>> = thread::scope(|scope| {
+        let handles: Vec<_> = lines
+            .chunks(per_client)
+            .map(|chunk| scope.spawn(move || drive_connection(addr, chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("client thread panicked".to_string()))
+            })
+            .collect()
+    });
+    let wall = start.elapsed();
+    let mut responses = Vec::with_capacity(lines.len());
+    let mut latencies = Vec::with_capacity(lines.len());
+    for r in results {
+        for (response, latency) in r? {
+            responses.push(response);
+            latencies.push(latency);
+        }
+    }
+    responses.sort();
+    Ok((PassStats::from_latencies(wall, &mut latencies), responses))
+}
+
+/// A one-off request on a fresh connection (stats / shutdown plumbing).
+fn one_request(addr: std::net::SocketAddr, line: &str) -> Result<String, String> {
+    Ok(drive_connection(addr, &[line.to_string()])?.remove(0).0)
+}
+
+/// Benchmarks a server with `threads` workers: cold pass, warm pass,
+/// cache statistics, clean shutdown.
+fn bench_server(threads: usize, lines: &[String]) -> Result<ServerRun, String> {
+    let engine = ServeEngine::start(&ServeConfig {
+        threads,
+        queue_depth: 2 * BATCH,
+        cache_entries: 2 * BATCH,
+        deadline: Duration::from_secs(120),
+        trace: Trace::off(),
+    });
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?;
+    let accept_engine = Arc::clone(&engine);
+    let accept = thread::spawn(move || serve_tcp(&accept_engine, &listener));
+
+    let (cold, cold_responses) = run_pass(addr, lines)?;
+    let (warm, warm_responses) = run_pass(addr, lines)?;
+    if cold_responses != warm_responses {
+        return Err(format!(
+            "determinism violation: warmed-cache responses differ from cold ({threads} threads)"
+        ));
+    }
+    for r in &cold_responses {
+        if !r.contains("\"status\":\"ok\"") {
+            return Err(format!("non-ok response in benchmark batch: {r}"));
+        }
+    }
+    let stats_line = one_request(addr, r#"{"id":"stats","kind":"stats"}"#)?;
+    let stats = Json::parse(&stats_line).map_err(|e| format!("stats response is not JSON: {e}"))?;
+    let cache = stats
+        .get("result")
+        .and_then(|r| r.get("cache"))
+        .cloned()
+        .ok_or("stats response lacks cache counters")?;
+    let hits = cache.get("hits").and_then(Json::as_int).unwrap_or(0);
+    let misses = cache.get("misses").and_then(Json::as_int).unwrap_or(0);
+    if hits <= 0 {
+        return Err(format!(
+            "cache hit-rate is zero after the warmed pass: {stats_line}"
+        ));
+    }
+    let _ = one_request(addr, r#"{"id":"bye","kind":"shutdown"}"#)?;
+    accept
+        .join()
+        .map_err(|_| "accept loop panicked".to_string())
+        .and_then(|r| r.map_err(|e| format!("accept loop: {e}")))?;
+    engine.shutdown();
+
+    let run = ServerRun {
+        threads,
+        cold,
+        warm,
+        cache_hits: hits.max(0) as u64,
+        cache_hit_rate: hits as f64 / ((hits + misses) as f64).max(1.0),
+        responses: cold_responses,
+    };
+    if run.warm_speedup() < MIN_WARM_SPEEDUP {
+        return Err(format!(
+            "cached throughput only {:.2}x cold at {threads} thread(s) (need >= {MIN_WARM_SPEEDUP}x)",
+            run.warm_speedup()
+        ));
+    }
+    Ok(run)
+}
+
+/// Runs the full benchmark: 1-thread and 4-thread servers over the same
+/// batch, with the cross-server byte-compare.
+///
+/// # Errors
+///
+/// Any determinism violation, non-ok response, zero cache hit-rate or
+/// below-threshold cached speedup is an error (CI fails on it).
+pub fn run_serve_bench() -> Result<ServeBenchReport, String> {
+    let lines = mixed_requests();
+    let mut servers = Vec::new();
+    for threads in [1usize, 4] {
+        servers.push(bench_server(threads, &lines)?);
+    }
+    let (a, b) = (&servers[0], &servers[1]);
+    if a.responses != b.responses {
+        let diverging = a
+            .responses
+            .iter()
+            .zip(&b.responses)
+            .find(|(x, y)| x != y)
+            .map(|(x, y)| format!("\n  1-thread: {x}\n  4-thread: {y}"))
+            .unwrap_or_default();
+        return Err(format!(
+            "determinism violation: response sets differ between 1 and 4 worker threads{diverging}"
+        ));
+    }
+    Ok(ServeBenchReport { servers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_is_full_sized_and_parses() {
+        let lines = mixed_requests();
+        assert_eq!(lines.len(), BATCH);
+        for line in &lines {
+            let v = Json::parse(line).expect(line);
+            lcosc_serve::parse_request(&v).expect(line);
+        }
+    }
+
+    #[test]
+    fn pass_stats_quantiles_are_ordered() {
+        let mut lat: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let stats = PassStats::from_latencies(Duration::from_secs(1), &mut lat);
+        assert_eq!(stats.p50, Duration::from_millis(50));
+        assert_eq!(stats.p99, Duration::from_millis(99));
+        assert!((stats.rps - 100.0).abs() < 1e-9);
+    }
+}

@@ -50,5 +50,5 @@ pub mod json;
 pub mod seed;
 
 pub use engine::{Campaign, CampaignOutcome, CampaignStats, JobCtx};
-pub use json::Json;
-pub use seed::job_seed;
+pub use json::{Json, JsonParseError};
+pub use seed::{digest_bytes, job_seed};

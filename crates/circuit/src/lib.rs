@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod deck;
 pub mod netlist;
 pub mod stamp;
 
@@ -46,6 +47,7 @@ pub use analysis::sweep::{dc_sweep, SweepPoint};
 pub use analysis::transient::{
     run_transient, Integrator, SolverPath, SolverStats, TransientOptions, TransientResult,
 };
+pub use deck::{netlist_from_json, netlist_to_json, DeckError};
 pub use netlist::{element_terminals, Element, ElementId, Netlist, NodeId, Waveform};
 pub use stamp::{dc_stamp_pattern, StampPattern};
 

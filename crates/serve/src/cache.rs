@@ -1,0 +1,138 @@
+//! Content-addressed result cache.
+//!
+//! The cache maps `digest_bytes(canonical_request)` — see
+//! [`crate::protocol::canonical_key`] — to the **rendered result payload**
+//! of a successful response. Storing the payload (rather than the full
+//! response line) is what keeps responses byte-identical whether they are
+//! computed or replayed: the `"id"` differs per request, so the line is
+//! re-assembled around the stored bytes on every hit.
+//!
+//! Collision safety: entries store the canonical preimage alongside the
+//! payload, and a lookup whose preimage differs from the stored one is a
+//! miss, never a wrong answer. Eviction is FIFO at a fixed capacity, so
+//! the memory footprint is bounded by configuration.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Fixed-capacity FIFO content-addressed store.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    map: HashMap<u64, (String, String)>,
+    order: VecDeque<u64>,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` entries. Capacity 0
+    /// disables caching (every lookup misses, every insert is dropped).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1024)),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up the stored payload for `digest`, verifying the canonical
+    /// preimage to rule out digest collisions.
+    pub fn get(&self, digest: u64, canonical: &str) -> Option<&str> {
+        self.map
+            .get(&digest)
+            .filter(|(key, _)| key == canonical)
+            .map(|(_, payload)| payload.as_str())
+    }
+
+    /// Stores `payload` under `digest`, evicting the oldest entry when the
+    /// cache is full. Re-inserting an existing digest refreshes the
+    /// payload without growing the FIFO.
+    pub fn insert(&mut self, digest: u64, canonical: &str, payload: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self
+            .map
+            .insert(digest, (canonical.to_string(), payload))
+            .is_some()
+        {
+            return;
+        }
+        self.order.push_back(digest);
+        while self.map.len() > self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcosc_campaign::digest_bytes;
+
+    #[test]
+    fn hit_requires_matching_preimage() {
+        let mut c = ResultCache::new(4);
+        let key = r#"{"kind":"stats"}"#;
+        c.insert(digest_bytes(key.as_bytes()), key, "{\"x\":1}".to_string());
+        assert_eq!(c.get(digest_bytes(key.as_bytes()), key), Some("{\"x\":1}"));
+        // Same digest, different preimage (simulated collision) must miss.
+        assert_eq!(
+            c.get(digest_bytes(key.as_bytes()), "{\"other\":true}"),
+            None
+        );
+        // Different digest misses outright.
+        assert_eq!(c.get(1, key), None);
+    }
+
+    #[test]
+    fn eviction_is_fifo_at_capacity() {
+        let mut c = ResultCache::new(2);
+        for (i, key) in ["a", "b", "c"].iter().enumerate() {
+            c.insert(digest_bytes(key.as_bytes()), key, format!("p{i}"));
+        }
+        assert_eq!(c.len(), 2);
+        // "a" (oldest) evicted; "b" and "c" remain.
+        assert_eq!(c.get(digest_bytes(b"a"), "a"), None);
+        assert_eq!(c.get(digest_bytes(b"b"), "b"), Some("p1"));
+        assert_eq!(c.get(digest_bytes(b"c"), "c"), Some("p2"));
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_duplicating() {
+        let mut c = ResultCache::new(2);
+        c.insert(digest_bytes(b"k"), "k", "v1".to_string());
+        c.insert(digest_bytes(b"k"), "k", "v2".to_string());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(digest_bytes(b"k"), "k"), Some("v2"));
+        // The FIFO still has room for one more before evicting.
+        c.insert(digest_bytes(b"m"), "m", "v3".to_string());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.insert(digest_bytes(b"k"), "k", "v".to_string());
+        assert!(c.is_empty());
+        assert_eq!(c.get(digest_bytes(b"k"), "k"), None);
+    }
+}

@@ -1,0 +1,660 @@
+//! The bounded worker pool behind the service.
+//!
+//! The engine owns the admission path (parse → cache probe → bounded
+//! queue), the worker threads that execute simulation requests under a
+//! per-request deadline, the content-addressed result cache, and the
+//! server-level counters the `stats` request reports.
+//!
+//! Determinism contract: the response **line** for a request is a pure
+//! function of the request object. Cache hits replay the stored payload
+//! bytes, misses recompute them through the same renderer, and the
+//! `"id"` is re-attached at assembly time — so cold/warm and 1-thread/
+//! N-thread runs produce byte-identical payloads. Only the *order* in
+//! which concurrent responses complete (and therefore the trace
+//! completion indices) is scheduling-dependent.
+
+use crate::cache::ResultCache;
+use crate::protocol::{canonical_key, parse_request, request_id, response_line, Body, Request};
+use crate::work::execute;
+use lcosc_campaign::{digest_bytes, Json};
+use lcosc_trace::{ServeKind, ServeStatus, Trace, TraceEvent};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing simulation requests.
+    pub threads: usize,
+    /// Bounded queue depth; a full queue rejects with `overloaded`.
+    pub queue_depth: usize,
+    /// Content-addressed cache capacity in entries (0 disables).
+    pub cache_entries: usize,
+    /// Per-request compute deadline.
+    pub deadline: Duration,
+    /// Trace handle receiving per-request events.
+    pub trace: Trace,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 2,
+            queue_depth: 64,
+            cache_entries: 256,
+            deadline: Duration::from_secs(30),
+            trace: Trace::off(),
+        }
+    }
+}
+
+/// Per-status request counters plus cache statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeCounters {
+    /// Completed requests by [`ServeStatus`] index (ok, bad_request,
+    /// timeout, overloaded, shutting_down, error).
+    pub by_status: [u64; 6],
+    /// Requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Cacheable requests that had to compute.
+    pub cache_misses: u64,
+}
+
+impl ServeCounters {
+    /// Total requests answered.
+    pub fn total(&self) -> u64 {
+        self.by_status.iter().sum()
+    }
+}
+
+fn status_index(s: ServeStatus) -> usize {
+    match s {
+        ServeStatus::Ok => 0,
+        ServeStatus::BadRequest => 1,
+        ServeStatus::Timeout => 2,
+        ServeStatus::Overloaded => 3,
+        ServeStatus::ShuttingDown => 4,
+        ServeStatus::Error => 5,
+    }
+}
+
+struct Shared {
+    cache: Mutex<ResultCache>,
+    counters: Mutex<ServeCounters>,
+    completion_index: AtomicU64,
+    queued: AtomicU64,
+    draining: AtomicBool,
+    deadline: Duration,
+    trace: Trace,
+    threads: usize,
+    queue_depth: usize,
+}
+
+impl Shared {
+    /// Records a finished request: bumps counters, assigns the completion
+    /// index, and emits the golden + timing trace events. The counter
+    /// lock spans the emission so the golden stream's event order matches
+    /// its completion indices.
+    fn finish(
+        &self,
+        kind: ServeKind,
+        digest: u64,
+        status: ServeStatus,
+        wall: Duration,
+        queue_depth: u64,
+    ) {
+        let mut c = self
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        c.by_status[status_index(status)] += 1;
+        let index = self.completion_index.fetch_add(1, Ordering::Relaxed);
+        self.trace.emit(|| TraceEvent::ServeRequest {
+            index,
+            kind,
+            digest,
+            status,
+        });
+        self.trace.emit(|| TraceEvent::ServeRequestTiming {
+            index,
+            wall_ns: wall.as_nanos(),
+            queue_depth,
+        });
+    }
+
+    fn count_cache(&self, hit: bool) {
+        let mut c = self
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if hit {
+            c.cache_hits += 1;
+        } else {
+            c.cache_misses += 1;
+        }
+    }
+}
+
+struct Job {
+    request: Request,
+    id: Json,
+    digest: u64,
+    canonical: String,
+    queue_depth: u64,
+    admitted: Instant,
+    reply: SyncSender<String>,
+}
+
+/// A response that is either already available or still computing.
+///
+/// [`Response::wait`] resolves it; for pending responses this blocks until
+/// the worker delivers the line.
+#[derive(Debug)]
+pub enum Response {
+    /// Answered at admission time (cache hit, rejection, stats, ...).
+    Immediate(String),
+    /// In flight on the worker pool.
+    Pending(Receiver<String>),
+}
+
+impl Response {
+    /// Blocks until the response line is available.
+    pub fn wait(self) -> String {
+        match self {
+            Response::Immediate(line) => line,
+            Response::Pending(rx) => rx.recv().unwrap_or_else(|_| {
+                // The worker pool died before replying; report it as a
+                // server-side error rather than panicking the connection.
+                response_line(
+                    &Json::Null,
+                    ServeStatus::Error,
+                    &Body::Error("worker pool terminated".to_string()),
+                )
+            }),
+        }
+    }
+}
+
+/// The batch simulation service engine.
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    tx: Mutex<Option<SyncSender<Job>>>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl ServeEngine {
+    /// Starts the worker pool.
+    pub fn start(config: &ServeConfig) -> Arc<ServeEngine> {
+        let threads = config.threads.max(1);
+        let queue_depth = config.queue_depth.max(1);
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(ResultCache::new(config.cache_entries)),
+            counters: Mutex::new(ServeCounters::default()),
+            completion_index: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            deadline: config.deadline,
+            trace: config.trace.clone(),
+            threads,
+            queue_depth,
+        });
+        let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            let handle = thread::Builder::new()
+                .name(format!("lcosc-serve-{worker}"))
+                .spawn(move || worker_loop(&rx, &shared));
+            match handle {
+                Ok(h) => workers.push(h),
+                Err(e) => {
+                    // Degraded but functional: the pool runs with the
+                    // workers that did spawn (at least attempt 0 usually
+                    // succeeds; if none did, submissions time out at the
+                    // queue and the caller sees overloaded).
+                    eprintln!("lcosc-serve: failed to spawn worker {worker}: {e}");
+                }
+            }
+        }
+        Arc::new(ServeEngine {
+            shared,
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Whether the engine is draining (refusing new simulation work).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of the request/cache counters.
+    pub fn counters(&self) -> ServeCounters {
+        *self
+            .shared
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Begins a graceful drain: already-admitted jobs keep running, every
+    /// subsequent simulation request is refused with `shutting_down`.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Dropping the sender lets workers exit once the queue empties.
+        let mut tx = self
+            .tx
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *tx = None;
+    }
+
+    /// Drains and joins the worker pool, blocking until every in-flight
+    /// job has delivered its response.
+    pub fn shutdown(&self) {
+        self.begin_drain();
+        let handles: Vec<_> = {
+            let mut workers = self
+                .workers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            workers.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Submits one raw request line. Always returns a [`Response`] — the
+    /// protocol maps every failure (parse error, overload, drain) to a
+    /// response line rather than dropping the request.
+    pub fn submit_line(&self, line: &str) -> Response {
+        let started = Instant::now();
+        let decoded = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                return self.reject(
+                    &Json::Null,
+                    ServeKind::Invalid,
+                    0,
+                    ServeStatus::BadRequest,
+                    &format!("invalid JSON: {e}"),
+                    started,
+                );
+            }
+        };
+        let id = request_id(&decoded);
+        let request = match parse_request(&decoded) {
+            Ok(r) => r,
+            Err(e) => {
+                return self.reject(
+                    &id,
+                    ServeKind::Invalid,
+                    0,
+                    ServeStatus::BadRequest,
+                    &e,
+                    started,
+                );
+            }
+        };
+        let kind = request.kind();
+        match request {
+            Request::Shutdown => {
+                self.begin_drain();
+                let line = response_line(
+                    &id,
+                    ServeStatus::Ok,
+                    &Body::Payload("{\"draining\":true}".to_string()),
+                );
+                self.shared
+                    .finish(kind, 0, ServeStatus::Ok, started.elapsed(), self.depth());
+                Response::Immediate(line)
+            }
+            Request::Stats => {
+                let line =
+                    response_line(&id, ServeStatus::Ok, &Body::Payload(self.stats_payload()));
+                self.shared
+                    .finish(kind, 0, ServeStatus::Ok, started.elapsed(), self.depth());
+                Response::Immediate(line)
+            }
+            simulation => self.submit_simulation(simulation, &decoded, id, started),
+        }
+    }
+
+    fn submit_simulation(
+        &self,
+        request: Request,
+        decoded: &Json,
+        id: Json,
+        started: Instant,
+    ) -> Response {
+        let kind = request.kind();
+        let canonical = canonical_key(decoded);
+        let digest = digest_bytes(canonical.as_bytes());
+        // Cache probe happens at admission, before the queue: replayed
+        // responses never occupy a worker slot, which is what makes the
+        // warmed-cache throughput independent of simulation cost.
+        let hit = {
+            let cache = self
+                .shared
+                .cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            cache.get(digest, &canonical).map(str::to_string)
+        };
+        if let Some(payload) = hit {
+            self.shared.count_cache(true);
+            let line = response_line(&id, ServeStatus::Ok, &Body::Payload(payload));
+            self.shared.finish(
+                kind,
+                digest,
+                ServeStatus::Ok,
+                started.elapsed(),
+                self.depth(),
+            );
+            return Response::Immediate(line);
+        }
+        if self.is_draining() {
+            return self.reject(
+                &id,
+                kind,
+                digest,
+                ServeStatus::ShuttingDown,
+                "server is draining",
+                started,
+            );
+        }
+        self.shared.count_cache(false);
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let job = Job {
+            request,
+            id,
+            digest,
+            canonical,
+            queue_depth: self.depth(),
+            admitted: started,
+            reply: reply_tx,
+        };
+        let tx = self
+            .tx
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let Some(sender) = tx.as_ref() else {
+            let id = job.id.clone();
+            return self.reject(
+                &id,
+                kind,
+                digest,
+                ServeStatus::ShuttingDown,
+                "server is draining",
+                started,
+            );
+        };
+        match sender.try_send(job) {
+            Ok(()) => {
+                self.shared.queued.fetch_add(1, Ordering::SeqCst);
+                Response::Pending(reply_rx)
+            }
+            Err(TrySendError::Full(job)) => {
+                let id = job.id.clone();
+                self.reject(
+                    &id,
+                    kind,
+                    digest,
+                    ServeStatus::Overloaded,
+                    "queue full",
+                    started,
+                )
+            }
+            Err(TrySendError::Disconnected(job)) => {
+                let id = job.id.clone();
+                self.reject(
+                    &id,
+                    kind,
+                    digest,
+                    ServeStatus::ShuttingDown,
+                    "server is draining",
+                    started,
+                )
+            }
+        }
+    }
+
+    fn reject(
+        &self,
+        id: &Json,
+        kind: ServeKind,
+        digest: u64,
+        status: ServeStatus,
+        message: &str,
+        started: Instant,
+    ) -> Response {
+        let line = response_line(id, status, &Body::Error(message.to_string()));
+        self.shared
+            .finish(kind, digest, status, started.elapsed(), self.depth());
+        Response::Immediate(line)
+    }
+
+    fn depth(&self) -> u64 {
+        self.shared.queued.load(Ordering::SeqCst)
+    }
+
+    /// The `stats` result payload: counters and fixed configuration, as a
+    /// compact JSON document with a fixed key order.
+    fn stats_payload(&self) -> String {
+        let c = self.counters();
+        let cache_len = self
+            .shared
+            .cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len();
+        Json::obj([
+            (
+                "requests",
+                Json::obj([
+                    ("ok", Json::from(c.by_status[0] as i64)),
+                    ("bad_request", Json::from(c.by_status[1] as i64)),
+                    ("timeout", Json::from(c.by_status[2] as i64)),
+                    ("overloaded", Json::from(c.by_status[3] as i64)),
+                    ("shutting_down", Json::from(c.by_status[4] as i64)),
+                    ("error", Json::from(c.by_status[5] as i64)),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj([
+                    ("hits", Json::from(c.cache_hits as i64)),
+                    ("misses", Json::from(c.cache_misses as i64)),
+                    ("entries", Json::from(cache_len)),
+                    (
+                        "capacity",
+                        Json::from(
+                            self.shared
+                                .cache
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .capacity(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "config",
+                Json::obj([
+                    ("threads", Json::from(self.shared.threads)),
+                    ("queue_depth", Json::from(self.shared.queue_depth)),
+                    (
+                        "deadline_ms",
+                        Json::from(self.shared.deadline.as_millis() as i64),
+                    ),
+                    ("draining", Json::from(self.is_draining())),
+                ]),
+            ),
+        ])
+        .render()
+    }
+}
+
+/// One worker: pull a job, execute it under the deadline, reply, repeat
+/// until the queue closes.
+fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<Job>>>, shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.recv()
+        };
+        let Ok(job) = job else {
+            return;
+        };
+        shared.queued.fetch_sub(1, Ordering::SeqCst);
+        run_job(&job, shared);
+    }
+}
+
+fn run_job(job: &Job, shared: &Arc<Shared>) {
+    let kind = job.request.kind();
+    // The compute runs on a disposable thread so a deadline overrun frees
+    // this worker slot immediately; the abandoned thread's late result is
+    // sent into a dropped receiver and discarded.
+    let (done_tx, done_rx) = mpsc::sync_channel(1);
+    let request = job.request.clone();
+    let spawned = thread::Builder::new()
+        .name("lcosc-serve-job".to_string())
+        .spawn(move || {
+            let _ = done_tx.send(execute(&request));
+        });
+    let outcome = match spawned {
+        Ok(_) => done_rx.recv_timeout(shared.deadline),
+        Err(e) => Ok(Err(format!("failed to spawn compute thread: {e}"))),
+    };
+    let (status, body) = match outcome {
+        Ok(Ok(payload)) => {
+            let rendered = payload.render();
+            let mut cache = shared
+                .cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            cache.insert(job.digest, &job.canonical, rendered.clone());
+            (ServeStatus::Ok, Body::Payload(rendered))
+        }
+        Ok(Err(message)) => (ServeStatus::Error, Body::Error(message)),
+        Err(_) => (
+            ServeStatus::Timeout,
+            Body::Error("deadline exceeded".to_string()),
+        ),
+    };
+    let line = response_line(&job.id, status, &body);
+    shared.finish(
+        kind,
+        job.digest,
+        status,
+        job.admitted.elapsed(),
+        job.queue_depth,
+    );
+    // The client may have hung up; a dead reply channel is not an error.
+    let _ = job.reply.send(line);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(threads: usize) -> Arc<ServeEngine> {
+        ServeEngine::start(&ServeConfig {
+            threads,
+            queue_depth: 8,
+            cache_entries: 32,
+            deadline: Duration::from_secs(10),
+            trace: Trace::off(),
+        })
+    }
+
+    #[test]
+    fn scenario_round_trip_hits_cache_on_repeat() {
+        let e = engine(2);
+        let line = r#"{"id":1,"kind":"scenario","fault":"open_coil","preset":"fast_test"}"#;
+        let cold = e.submit_line(line).wait();
+        assert!(cold.contains("\"status\":\"ok\""), "{cold}");
+        let warm = e.submit_line(line).wait();
+        assert_eq!(cold, warm);
+        let c = e.counters();
+        assert_eq!(c.cache_hits, 1);
+        assert_eq!(c.cache_misses, 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn responses_differing_only_in_id_share_the_cache_slot() {
+        let e = engine(1);
+        let a = e
+            .submit_line(r#"{"id":"a","kind":"scenario","fault":"driver_dead"}"#)
+            .wait();
+        let b = e
+            .submit_line(r#"{"id":"b","kind":"scenario","fault":"driver_dead"}"#)
+            .wait();
+        assert_eq!(e.counters().cache_hits, 1);
+        // Identical apart from the echoed id.
+        assert_eq!(a.replace("\"id\":\"a\"", "\"id\":\"b\""), b);
+        e.shutdown();
+    }
+
+    #[test]
+    fn bad_lines_answer_immediately_without_touching_workers() {
+        let e = engine(1);
+        let garbage = e.submit_line("{not json").wait();
+        assert!(garbage.contains("\"status\":\"bad_request\""), "{garbage}");
+        let unknown = e.submit_line(r#"{"id":9,"kind":"warp"}"#).wait();
+        assert!(unknown.contains("\"id\":9"), "{unknown}");
+        assert!(unknown.contains("\"status\":\"bad_request\""), "{unknown}");
+        assert_eq!(e.counters().by_status[1], 2);
+        e.shutdown();
+    }
+
+    #[test]
+    fn stats_reports_counters_and_config() {
+        let e = engine(1);
+        let _ = e
+            .submit_line(r#"{"kind":"scenario","fault":"open_coil"}"#)
+            .wait();
+        let stats = e.submit_line(r#"{"id":0,"kind":"stats"}"#).wait();
+        assert!(stats.contains("\"requests\":{\"ok\":1"), "{stats}");
+        assert!(
+            stats.contains("\"cache\":{\"hits\":0,\"misses\":1,\"entries\":1"),
+            "{stats}"
+        );
+        assert!(stats.contains("\"threads\":1"), "{stats}");
+        e.shutdown();
+    }
+
+    #[test]
+    fn drain_refuses_new_work_but_finishes_nothing_in_flight_breaks() {
+        let e = engine(1);
+        let ok = e.submit_line(r#"{"kind":"scenario","fault":"open_coil"}"#);
+        e.begin_drain();
+        let refused = e
+            .submit_line(r#"{"kind":"scenario","fault":"coil_short"}"#)
+            .wait();
+        assert!(
+            refused.contains("\"status\":\"shutting_down\""),
+            "{refused}"
+        );
+        // The job admitted before the drain still completes.
+        assert!(ok.wait().contains("\"status\":\"ok\""));
+        e.shutdown();
+    }
+
+    #[test]
+    fn shutdown_request_drains_via_protocol() {
+        let e = engine(1);
+        let resp = e.submit_line(r#"{"id":5,"kind":"shutdown"}"#).wait();
+        assert_eq!(resp, r#"{"id":5,"status":"ok","result":{"draining":true}}"#);
+        assert!(e.is_draining());
+        e.shutdown();
+    }
+}

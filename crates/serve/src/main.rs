@@ -1,0 +1,118 @@
+//! `lcosc-serve` — the deterministic batch simulation service binary.
+//!
+//! ```text
+//! lcosc-serve [--threads N] [--queue-depth M] [--cache-entries K]
+//!             [--deadline-ms D] (--addr 127.0.0.1:PORT | --stdio)
+//! ```
+//!
+//! One JSON request per line in, one JSON response per line out; see
+//! `DESIGN.md` §10 for the protocol grammar.
+
+use lcosc_serve::{serve_stdio, serve_tcp, ServeConfig, ServeEngine};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const HELP: &str = "lcosc-serve: deterministic batch simulation service
+
+USAGE:
+    lcosc-serve [OPTIONS] (--addr HOST:PORT | --stdio)
+
+OPTIONS:
+    --threads N        worker threads (default 2)
+    --queue-depth M    bounded queue depth; full queue => overloaded (default 64)
+    --cache-entries K  content-addressed result cache capacity (default 256)
+    --deadline-ms D    per-request compute deadline in ms (default 30000)
+    --addr HOST:PORT   serve the NDJSON protocol over TCP (loopback use)
+    --stdio            serve stdin -> stdout instead of TCP
+    --help             print this help
+";
+
+struct Options {
+    config: ServeConfig,
+    addr: Option<String>,
+    stdio: bool,
+}
+
+fn parse_options(args: impl Iterator<Item = String>) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        config: ServeConfig::default(),
+        addr: None,
+        stdio: false,
+    };
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--threads" => {
+                opts.config.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--queue-depth" => {
+                opts.config.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?;
+            }
+            "--cache-entries" => {
+                opts.config.cache_entries = value("--cache-entries")?
+                    .parse()
+                    .map_err(|e| format!("--cache-entries: {e}"))?;
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+                opts.config.deadline = Duration::from_millis(ms);
+            }
+            "--addr" => opts.addr = Some(value("--addr")?),
+            "--stdio" => opts.stdio = true,
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    if opts.stdio == opts.addr.is_some() {
+        return Err("exactly one of --stdio or --addr must be given".to_string());
+    }
+    Ok(Some(opts))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_options(std::env::args().skip(1)) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            print!("{HELP}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("lcosc-serve: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let engine = ServeEngine::start(&opts.config);
+    if opts.stdio {
+        serve_stdio(&engine);
+        return ExitCode::SUCCESS;
+    }
+    let addr = opts.addr.unwrap_or_default();
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("lcosc-serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        Ok(local) => println!("lcosc-serve: listening on {local}"),
+        Err(_) => println!("lcosc-serve: listening on {addr}"),
+    }
+    if let Err(e) = serve_tcp(&engine, &listener) {
+        eprintln!("lcosc-serve: accept loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    engine.shutdown();
+    ExitCode::SUCCESS
+}

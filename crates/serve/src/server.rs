@@ -1,0 +1,103 @@
+//! Transport front-ends: TCP loopback and stdin/stdout pipe mode.
+//!
+//! Both speak the same newline-delimited protocol and share one
+//! [`ServeEngine`]. Per connection, a reader thread admits request lines
+//! (so the engine can pipeline them across workers) and hands the
+//! per-request [`Response`] handles to a writer in admission order —
+//! responses on a connection therefore come back **in request order**
+//! even when later requests finish first.
+
+use crate::engine::{Response, ServeEngine};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Serves one established byte stream (the shared TCP / stdio core).
+///
+/// Reads request lines from `input` until EOF, writes one response line
+/// per request to `output` in request order, then flushes and returns.
+/// Empty lines are ignored (a convenience for hand-driven `nc` sessions).
+pub fn serve_stream(engine: &Arc<ServeEngine>, input: impl Read, output: impl Write + Send) {
+    let (handle_tx, handle_rx) = mpsc::channel::<Response>();
+    thread::scope(|scope| {
+        scope.spawn(move || {
+            let mut out = BufWriter::new(output);
+            for response in handle_rx {
+                let line = response.wait();
+                if out.write_all(line.as_bytes()).is_err() || out.write_all(b"\n").is_err() {
+                    return;
+                }
+                // Flush per line: clients block on complete responses.
+                if out.flush().is_err() {
+                    return;
+                }
+            }
+        });
+        let reader = BufReader::new(input);
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if handle_tx.send(engine.submit_line(&line)).is_err() {
+                break;
+            }
+        }
+        drop(handle_tx);
+    });
+}
+
+/// Accept loop for a TCP listener. Each connection gets its own serving
+/// thread; the loop polls the engine's drain flag between accepts and
+/// returns once a drain begins (existing connections finish naturally).
+///
+/// # Errors
+///
+/// Propagates the error of switching the listener to non-blocking mode
+/// (needed to observe the drain flag while idle).
+pub fn serve_tcp(engine: &Arc<ServeEngine>, listener: &TcpListener) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    loop {
+        if engine.is_draining() {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let engine = Arc::clone(engine);
+                let spawned = thread::Builder::new()
+                    .name("lcosc-serve-conn".to_string())
+                    .spawn(move || serve_connection(&engine, stream));
+                if let Err(e) = spawned {
+                    eprintln!("lcosc-serve: failed to spawn connection thread: {e}");
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn serve_connection(engine: &Arc<ServeEngine>, stream: TcpStream) {
+    // The accept loop is non-blocking; the connection itself must block.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    // Small request/response lines + Nagle + delayed ACK cost ~40 ms per
+    // round trip on loopback; this is a latency-bound line protocol.
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    serve_stream(engine, stream, write_half);
+}
+
+/// Pipe mode: serve stdin → stdout until EOF, then drain the engine.
+pub fn serve_stdio(engine: &Arc<ServeEngine>) {
+    serve_stream(engine, std::io::stdin(), std::io::stdout());
+    engine.shutdown();
+}

@@ -1,0 +1,141 @@
+//! The service's determinism contract: response payloads are
+//! byte-identical across worker thread counts, cache states and
+//! submission orders.
+
+use lcosc_serve::{ServeConfig, ServeEngine};
+use lcosc_trace::{MemorySink, Trace, TraceEvent};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn engine(threads: usize, cache_entries: usize) -> Arc<ServeEngine> {
+    ServeEngine::start(&ServeConfig {
+        threads,
+        queue_depth: 64,
+        cache_entries,
+        deadline: Duration::from_secs(60),
+        trace: Trace::off(),
+    })
+}
+
+/// A mixed request batch covering every cacheable kind.
+fn request_batch() -> Vec<String> {
+    let mut lines: Vec<String> = [
+        r#"{"id":0,"kind":"scenario","fault":"open_coil"}"#,
+        r#"{"id":1,"kind":"scenario","fault":"coil_short"}"#,
+        r#"{"id":2,"kind":"scenario","fault":"pin_short_gnd","pin":0}"#,
+        r#"{"id":3,"kind":"scenario","fault":"pin_short_vdd","pin":1}"#,
+        r#"{"id":4,"kind":"scenario","fault":"missing_cap","pin":0}"#,
+        r#"{"id":5,"kind":"scenario","fault":"rs_drift","factor":4.0}"#,
+        r#"{"id":6,"kind":"scenario","fault":"supply_loss"}"#,
+        r#"{"id":7,"kind":"scenario","fault":"driver_dead"}"#,
+        r#"{"id":8,"kind":"campaign","campaign":"yield","dies":32,"seed":11,"window":0.1}"#,
+        r#"{"id":9,"kind":"campaign","campaign":"yield","dies":32,"seed":12,"window":0.1}"#,
+    ]
+    .iter()
+    .map(|s| (*s).to_string())
+    .collect();
+    lines.push(
+        r#"{"id":10,"kind":"transient","deck":{"elements":[
+            {"kind":"vsource","p":"in","n":"gnd","wave":{"type":"dc","value":1.0}},
+            {"kind":"resistor","a":"in","b":"out","ohms":1000.0},
+            {"kind":"capacitor","a":"out","b":"gnd","farads":1e-6}
+        ]},"dt":1e-5,"t_end":5e-3}"#
+            .replace('\n', ""),
+    );
+    lines
+}
+
+fn run_batch(engine: &Arc<ServeEngine>, lines: &[String]) -> Vec<String> {
+    // Submit everything first (pipelined across the pool), then resolve.
+    let handles: Vec<_> = lines.iter().map(|l| engine.submit_line(l)).collect();
+    handles
+        .into_iter()
+        .map(lcosc_serve::Response::wait)
+        .collect()
+}
+
+#[test]
+fn responses_are_byte_identical_across_thread_counts() {
+    let lines = request_batch();
+    let serial = engine(1, 256);
+    let parallel = engine(4, 256);
+    let a = run_batch(&serial, &lines);
+    let b = run_batch(&parallel, &lines);
+    for (line, (ra, rb)) in lines.iter().zip(a.iter().zip(&b)) {
+        assert_eq!(ra, rb, "thread-count divergence for {line}");
+        assert!(ra.contains("\"status\":\"ok\""), "{ra}");
+    }
+    serial.shutdown();
+    parallel.shutdown();
+}
+
+#[test]
+fn cold_and_warmed_cache_produce_identical_bytes() {
+    let lines = request_batch();
+    let warm = engine(2, 256);
+    let cold = engine(2, 0); // cache disabled: every request computes
+    let first = run_batch(&warm, &lines);
+    let replay = run_batch(&warm, &lines); // all hits
+    let uncached = run_batch(&cold, &lines);
+    assert_eq!(first, replay, "cache replay changed bytes");
+    assert_eq!(first, uncached, "cache path changed bytes");
+    assert_eq!(warm.counters().cache_hits, lines.len() as u64);
+    assert_eq!(cold.counters().cache_hits, 0);
+    warm.shutdown();
+    cold.shutdown();
+}
+
+#[test]
+fn submission_order_does_not_change_any_response() {
+    let lines = request_batch();
+    let reversed: Vec<String> = lines.iter().rev().cloned().collect();
+    let forward = engine(3, 256);
+    let backward = engine(3, 256);
+    let mut a = run_batch(&forward, &lines);
+    let mut b = run_batch(&backward, &reversed);
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "arrival order changed a response");
+    forward.shutdown();
+    backward.shutdown();
+}
+
+#[test]
+fn golden_trace_events_carry_completion_indices_in_stream_order() {
+    let sink = Arc::new(MemorySink::new());
+    let engine = ServeEngine::start(&ServeConfig {
+        threads: 1,
+        queue_depth: 16,
+        cache_entries: 16,
+        deadline: Duration::from_secs(60),
+        trace: Trace::new(sink.clone()),
+    });
+    let lines = [
+        r#"{"id":0,"kind":"scenario","fault":"open_coil"}"#,
+        r#"{"id":1,"kind":"scenario","fault":"open_coil"}"#,
+        r#"{"id":2,"kind":"stats"}"#,
+    ];
+    for line in lines {
+        let response = engine.submit_line(line).wait();
+        assert!(response.contains("\"status\":\"ok\""), "{response}");
+    }
+    let events = sink.snapshot();
+    let golden: Vec<&TraceEvent> = events.iter().filter(|e| e.is_golden()).collect();
+    let timing: Vec<&TraceEvent> = events.iter().filter(|e| !e.is_golden()).collect();
+    assert_eq!(golden.len(), 3);
+    assert_eq!(timing.len(), 3);
+    let mut digests = Vec::new();
+    for (expect, ev) in golden.iter().enumerate() {
+        let TraceEvent::ServeRequest { index, digest, .. } = ev else {
+            panic!("unexpected golden event {ev:?}");
+        };
+        assert_eq!(*index, expect as u64, "completion indices in stream order");
+        digests.push(*digest);
+    }
+    // Requests 0 and 1 differ only in id: same content digest (the second
+    // was the cache hit); the stats request digests as 0 (not cacheable).
+    assert_eq!(digests[0], digests[1]);
+    assert_eq!(digests[2], 0);
+    assert_eq!(engine.counters().cache_hits, 1);
+    engine.shutdown();
+}

@@ -1,0 +1,164 @@
+//! Edge-path behavior of the service: deadline overruns, malformed input,
+//! admission-control rejections and graceful shutdown.
+
+use lcosc_serve::{serve_tcp, ServeConfig, ServeEngine};
+use lcosc_trace::Trace;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn engine_with(threads: usize, queue_depth: usize, deadline: Duration) -> Arc<ServeEngine> {
+    ServeEngine::start(&ServeConfig {
+        threads,
+        queue_depth,
+        cache_entries: 64,
+        deadline,
+        trace: Trace::off(),
+    })
+}
+
+/// A transient request that needs far more compute than any test deadline:
+/// two million nonlinear (diode) time steps.
+fn slow_request(id: u32) -> String {
+    format!(
+        r#"{{"id":{id},"kind":"transient","deck":{{"elements":[
+            {{"kind":"vsource","p":"in","n":"gnd","wave":{{"type":"sine","amplitude":1.0,"frequency":1e6}}}},
+            {{"kind":"resistor","a":"in","b":"out","ohms":100.0}},
+            {{"kind":"diode","anode":"out","cathode":"gnd"}}
+        ]}},"dt":1e-9,"t_end":2e-3,"record_stride":1000000}}"#
+    )
+    .replace('\n', "")
+}
+
+#[test]
+fn deadline_overrun_times_out_and_frees_the_worker_slot() {
+    let engine = engine_with(1, 8, Duration::from_millis(50));
+    let slow = engine.submit_line(&slow_request(1)).wait();
+    assert!(slow.contains("\"status\":\"timeout\""), "{slow}");
+    assert!(slow.contains("deadline exceeded"), "{slow}");
+    // The single worker slot must be free again: a quick request completes.
+    let quick = engine
+        .submit_line(r#"{"id":2,"kind":"scenario","fault":"open_coil"}"#)
+        .wait();
+    assert!(quick.contains("\"status\":\"ok\""), "{quick}");
+    let counters = engine.counters();
+    assert_eq!(counters.by_status[0], 1, "ok count");
+    assert_eq!(counters.by_status[2], 1, "timeout count");
+    engine.begin_drain();
+}
+
+#[test]
+fn full_queue_rejects_with_overloaded_instead_of_buffering() {
+    // One worker stuck on a slow job (generous deadline so it stays put),
+    // a queue of depth 1: the first extra request queues, further ones
+    // must be rejected immediately.
+    let engine = engine_with(1, 1, Duration::from_secs(60));
+    let _stuck = engine.submit_line(&slow_request(1));
+    // Wait until the worker has dequeued the slow job, so queue occupancy
+    // is deterministic for the assertions below.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let queued = engine.submit_line(&slow_request(2));
+        let probe = engine.submit_line(&slow_request(3)).wait();
+        if probe.contains("\"status\":\"overloaded\"") {
+            assert!(probe.contains("\"id\":3"), "{probe}");
+            drop(queued);
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "queue never saturated: {probe}"
+        );
+    }
+    assert!(engine.counters().by_status[3] >= 1, "overloaded count");
+    // Don't wait for the 60 s job: begin_drain refuses new work but the
+    // abandoned compute threads die with the process.
+    engine.begin_drain();
+}
+
+#[test]
+fn malformed_line_answers_bad_request_and_keeps_the_connection_alive() {
+    let engine = engine_with(2, 8, Duration::from_secs(30));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let accept_engine = Arc::clone(&engine);
+    let accept = std::thread::spawn(move || serve_tcp(&accept_engine, &listener));
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    // Garbage first: the server must answer and keep reading.
+    writer.write_all(b"this is not json\n").expect("write");
+    reader.read_line(&mut line).expect("read");
+    assert!(line.contains("\"status\":\"bad_request\""), "{line}");
+    assert!(line.contains("invalid JSON"), "{line}");
+
+    // Same connection still works for a valid request.
+    line.clear();
+    writer
+        .write_all(b"{\"id\":7,\"kind\":\"scenario\",\"fault\":\"driver_dead\"}\n")
+        .expect("write");
+    reader.read_line(&mut line).expect("read");
+    assert!(line.starts_with("{\"id\":7,\"status\":\"ok\""), "{line}");
+
+    // Shutdown via protocol stops the accept loop and drains the engine.
+    line.clear();
+    writer
+        .write_all(b"{\"id\":8,\"kind\":\"shutdown\"}\n")
+        .expect("write");
+    reader.read_line(&mut line).expect("read");
+    assert!(line.contains("\"draining\":true"), "{line}");
+    drop(writer);
+    accept.join().expect("accept loop").expect("clean exit");
+    engine.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_work_and_refuses_new_requests() {
+    let engine = engine_with(2, 8, Duration::from_secs(30));
+    // Admit a batch of real jobs, then immediately begin draining.
+    let in_flight: Vec<_> = [
+        r#"{"id":0,"kind":"scenario","fault":"open_coil"}"#,
+        r#"{"id":1,"kind":"scenario","fault":"coil_short"}"#,
+        r#"{"id":2,"kind":"scenario","fault":"supply_loss"}"#,
+    ]
+    .iter()
+    .map(|line| engine.submit_line(line))
+    .collect();
+    engine.begin_drain();
+
+    let refused = engine
+        .submit_line(r#"{"id":9,"kind":"scenario","fault":"driver_dead"}"#)
+        .wait();
+    assert!(
+        refused.contains("\"status\":\"shutting_down\""),
+        "{refused}"
+    );
+
+    // Every admitted job still delivers a real result.
+    for (i, handle) in in_flight.into_iter().enumerate() {
+        let response = handle.wait();
+        assert!(
+            response.starts_with(&format!("{{\"id\":{i},\"status\":\"ok\"")),
+            "{response}"
+        );
+    }
+    engine.shutdown();
+    // Shutdown is idempotent; post-shutdown submissions are refused unless
+    // they can be replayed from the cache (replay needs no worker).
+    engine.shutdown();
+    let uncached = engine
+        .submit_line(r#"{"kind":"scenario","fault":"rs_drift","factor":2.0}"#)
+        .wait();
+    assert!(
+        uncached.contains("\"status\":\"shutting_down\""),
+        "{uncached}"
+    );
+    let replayed = engine
+        .submit_line(r#"{"kind":"scenario","fault":"open_coil"}"#)
+        .wait();
+    assert!(replayed.contains("\"status\":\"ok\""), "{replayed}");
+}

@@ -98,6 +98,69 @@ impl PhaseId {
     }
 }
 
+/// Request kind handled by the batch simulation service (`lcosc-serve`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServeKind {
+    /// Circuit-deck transient analysis.
+    Transient,
+    /// Fault-injection scenario.
+    Scenario,
+    /// FMEA / yield campaign.
+    Campaign,
+    /// Server counter dump.
+    Stats,
+    /// Graceful-drain trigger.
+    Shutdown,
+    /// Unparseable or unrecognized request.
+    Invalid,
+}
+
+impl ServeKind {
+    /// Stable lower-case label used in the JSONL stream.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeKind::Transient => "transient",
+            ServeKind::Scenario => "scenario",
+            ServeKind::Campaign => "campaign",
+            ServeKind::Stats => "stats",
+            ServeKind::Shutdown => "shutdown",
+            ServeKind::Invalid => "invalid",
+        }
+    }
+}
+
+/// Terminal status of one served request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServeStatus {
+    /// Request completed and a result was returned.
+    Ok,
+    /// The request line was malformed or semantically invalid.
+    BadRequest,
+    /// The request exceeded its compute deadline.
+    Timeout,
+    /// The bounded queue was full; the request was not admitted.
+    Overloaded,
+    /// The server was draining and refused the request.
+    ShuttingDown,
+    /// The simulation itself returned an error.
+    Error,
+}
+
+impl ServeStatus {
+    /// Stable lower-case label used in the JSONL stream (and as the
+    /// `"status"` field of protocol responses).
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeStatus::Ok => "ok",
+            ServeStatus::BadRequest => "bad_request",
+            ServeStatus::Timeout => "timeout",
+            ServeStatus::Overloaded => "overloaded",
+            ServeStatus::ShuttingDown => "shutting_down",
+            ServeStatus::Error => "error",
+        }
+    }
+}
+
 /// A structured trace event.
 ///
 /// `tick` is the regulation-tick counter of the emitting simulation (0
@@ -186,14 +249,41 @@ pub enum TraceEvent {
         /// time step (0 on the fast path).
         post_warmup_allocations: u64,
     },
+    /// One request served by the batch simulation service, recorded in
+    /// completion-index order. Deterministic: the payload is the request's
+    /// content digest and its terminal status, never wall-clock data.
+    ServeRequest {
+        /// Completion index (0-based order in which responses finished).
+        index: u64,
+        /// Request kind.
+        kind: ServeKind,
+        /// Content digest of the canonical request (cache key).
+        digest: u64,
+        /// Terminal status.
+        status: ServeStatus,
+    },
+    /// Wall-clock and load data of one served request.
+    /// **Machine-dependent** — never part of the golden stream.
+    ServeRequestTiming {
+        /// Completion index (matches the paired [`TraceEvent::ServeRequest`]).
+        index: u64,
+        /// End-to-end wall-clock latency of the request, nanoseconds.
+        wall_ns: u128,
+        /// Queue depth observed at admission time.
+        queue_depth: u64,
+    },
 }
 
 impl TraceEvent {
     /// Whether the event is deterministic (bit-identical for every thread
     /// count and machine) and therefore belongs in the golden stream.
-    /// Only [`TraceEvent::CampaignJobTiming`] carries wall-clock data.
+    /// Only [`TraceEvent::CampaignJobTiming`] and
+    /// [`TraceEvent::ServeRequestTiming`] carry wall-clock data.
     pub fn is_golden(&self) -> bool {
-        !matches!(self, TraceEvent::CampaignJobTiming { .. })
+        !matches!(
+            self,
+            TraceEvent::CampaignJobTiming { .. } | TraceEvent::ServeRequestTiming { .. }
+        )
     }
 
     /// Renders the event as one byte-stable JSON line (no trailing
@@ -272,6 +362,29 @@ impl TraceEvent {
                     r#"{{"ev":"solver_stats","steps":{steps},"newton_iterations":{newton_iterations},"factorizations":{factorizations},"factor_reuses":{factor_reuses},"post_warmup_allocations":{post_warmup_allocations}}}"#
                 );
             }
+            TraceEvent::ServeRequest {
+                index,
+                kind,
+                digest,
+                status,
+            } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"serve_request","index":{index},"kind":"{}","digest":{digest},"status":"{}"}}"#,
+                    kind.label(),
+                    status.label()
+                );
+            }
+            TraceEvent::ServeRequestTiming {
+                index,
+                wall_ns,
+                queue_depth,
+            } => {
+                let _ = write!(
+                    s,
+                    r#"{{"ev":"serve_request_timing","index":{index},"wall_ns":{wall_ns},"queue_depth":{queue_depth}}}"#
+                );
+            }
         }
         s
     }
@@ -344,6 +457,12 @@ mod tests {
                 factor_reuses: 9,
                 post_warmup_allocations: 0,
             },
+            TraceEvent::ServeRequest {
+                index: 0,
+                kind: ServeKind::Scenario,
+                digest: 0xdead_beef,
+                status: ServeStatus::Ok,
+            },
         ];
         for ev in golden {
             assert!(ev.is_golden(), "{ev:?}");
@@ -353,6 +472,35 @@ mod tests {
             wall_ns: 1
         }
         .is_golden());
+        assert!(!TraceEvent::ServeRequestTiming {
+            index: 0,
+            wall_ns: 1,
+            queue_depth: 3
+        }
+        .is_golden());
+    }
+
+    #[test]
+    fn serve_request_renders_fixed_key_order() {
+        let ev = TraceEvent::ServeRequest {
+            index: 4,
+            kind: ServeKind::Transient,
+            digest: 1234567,
+            status: ServeStatus::Timeout,
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            r#"{"ev":"serve_request","index":4,"kind":"transient","digest":1234567,"status":"timeout"}"#
+        );
+        let timing = TraceEvent::ServeRequestTiming {
+            index: 4,
+            wall_ns: 987,
+            queue_depth: 2,
+        };
+        assert_eq!(
+            timing.to_jsonl(),
+            r#"{"ev":"serve_request_timing","index":4,"wall_ns":987,"queue_depth":2}"#
+        );
     }
 
     #[test]
@@ -392,6 +540,8 @@ mod tests {
             WindowClass::Inside.label(),
             DetectorId::MissingOscillation.label(),
             PhaseId::NvmLoaded.label(),
+            ServeKind::Transient.label(),
+            ServeStatus::BadRequest.label(),
         ] {
             assert!(l.chars().all(|c| c.is_ascii_lowercase() || c == '_'), "{l}");
         }

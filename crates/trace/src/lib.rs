@@ -53,7 +53,9 @@ mod event;
 mod metrics;
 mod sink;
 
-pub use event::{render_jsonl, DetectorId, PhaseId, StepAction, TraceEvent, WindowClass};
+pub use event::{
+    render_jsonl, DetectorId, PhaseId, ServeKind, ServeStatus, StepAction, TraceEvent, WindowClass,
+};
 pub use metrics::{Histogram, MetricsSink, TraceMetrics};
 pub use sink::{
     FanoutSink, JsonlSink, MemorySink, NullSink, RingSink, Trace, TraceLevel, TraceSink,

@@ -7,7 +7,7 @@
 //! the renderer splits the two accordingly: [`TraceMetrics::render_json`]
 //! is golden-safe, [`TraceMetrics::render_timing_json`] is not.
 
-use crate::event::{TraceEvent, WindowClass};
+use crate::event::{ServeStatus, TraceEvent, WindowClass};
 use crate::sink::TraceSink;
 use std::fmt::Write as _;
 use std::sync::Mutex;
@@ -126,9 +126,18 @@ pub struct TraceMetrics {
     /// Post-warm-up allocations across all reported solves (0 when every
     /// solve took the fast path).
     pub solver_post_warmup_allocations: u64,
+    /// Requests served by the batch service, by terminal status: ok,
+    /// bad_request, timeout, overloaded, shutting_down, error (in the
+    /// order of [`crate::event::ServeStatus`]).
+    pub serve_requests: [u64; 6],
     /// Per-job wall-clock, nanoseconds (**machine-dependent** — reported
     /// by [`TraceMetrics::render_timing_json`], never the golden stream).
     pub job_wall_ns: Histogram,
+    /// Per-request serve latency, nanoseconds (**machine-dependent**).
+    pub serve_wall_ns: Histogram,
+    /// Queue depth observed at request admission (**machine-dependent**:
+    /// depends on arrival timing, so quarantined with the wall-clocks).
+    pub serve_queue_depth: Histogram,
     dwell_state: Option<(WindowClass, u64)>,
 }
 
@@ -137,6 +146,17 @@ fn window_index(w: WindowClass) -> usize {
         WindowClass::Below => 0,
         WindowClass::Inside => 1,
         WindowClass::Above => 2,
+    }
+}
+
+fn serve_status_index(s: ServeStatus) -> usize {
+    match s {
+        ServeStatus::Ok => 0,
+        ServeStatus::BadRequest => 1,
+        ServeStatus::Timeout => 2,
+        ServeStatus::Overloaded => 3,
+        ServeStatus::ShuttingDown => 4,
+        ServeStatus::Error => 5,
     }
 }
 
@@ -187,6 +207,18 @@ impl TraceMetrics {
                 self.solver_factorizations += factorizations;
                 self.solver_factor_reuses += factor_reuses;
                 self.solver_post_warmup_allocations += post_warmup_allocations;
+            }
+            TraceEvent::ServeRequest { status, .. } => {
+                self.serve_requests[serve_status_index(*status)] += 1;
+            }
+            TraceEvent::ServeRequestTiming {
+                wall_ns,
+                queue_depth,
+                ..
+            } => {
+                self.serve_wall_ns
+                    .record(u64::try_from(*wall_ns).unwrap_or(u64::MAX));
+                self.serve_queue_depth.record(*queue_depth);
             }
         }
     }
@@ -242,14 +274,30 @@ impl TraceMetrics {
             self.solver_factor_reuses,
             self.solver_post_warmup_allocations
         );
+        let _ = write!(
+            s,
+            r#","serve_requests":{{"ok":{},"bad_request":{},"timeout":{},"overloaded":{},"shutting_down":{},"error":{}}}"#,
+            self.serve_requests[0],
+            self.serve_requests[1],
+            self.serve_requests[2],
+            self.serve_requests[3],
+            self.serve_requests[4],
+            self.serve_requests[5]
+        );
         s.push('}');
         s
     }
 
-    /// Renders the machine-dependent timing aggregates (per-job wall-clock
-    /// buckets) as a JSON object for the quarantined timing stream.
+    /// Renders the machine-dependent timing aggregates (per-job and
+    /// per-request wall-clock buckets, observed queue depths) as a JSON
+    /// object for the quarantined timing stream.
     pub fn render_timing_json(&self) -> String {
-        format!(r#"{{"job_wall_ns":{}}}"#, self.job_wall_ns.render_json())
+        format!(
+            r#"{{"job_wall_ns":{},"serve_wall_ns":{},"serve_queue_depth":{}}}"#,
+            self.job_wall_ns.render_json(),
+            self.serve_wall_ns.render_json(),
+            self.serve_queue_depth.render_json()
+        )
     }
 }
 
@@ -369,6 +417,39 @@ mod tests {
         assert!(!m.render_json().contains("wall"));
         assert!(m.render_timing_json().contains("job_wall_ns"));
         assert_eq!(m.job_wall_ns.count(), 1);
+    }
+
+    #[test]
+    fn serve_events_fold_into_status_counters_and_timing_histograms() {
+        use crate::event::ServeKind;
+        let mut m = TraceMetrics::default();
+        for (i, status) in [ServeStatus::Ok, ServeStatus::Ok, ServeStatus::Timeout]
+            .into_iter()
+            .enumerate()
+        {
+            m.fold(&TraceEvent::ServeRequest {
+                index: i as u64,
+                kind: ServeKind::Scenario,
+                digest: 42,
+                status,
+            });
+        }
+        m.fold(&TraceEvent::ServeRequestTiming {
+            index: 0,
+            wall_ns: 1500,
+            queue_depth: 3,
+        });
+        assert_eq!(m.serve_requests, [2, 0, 1, 0, 0, 0]);
+        assert!(m.render_json().contains(
+            r#""serve_requests":{"ok":2,"bad_request":0,"timeout":1,"overloaded":0,"shutting_down":0,"error":0}"#
+        ));
+        // Latency and queue depth are quarantined in the timing stream.
+        assert!(!m.render_json().contains("serve_wall_ns"));
+        let timing = m.render_timing_json();
+        assert!(timing.contains("serve_wall_ns"));
+        assert!(timing.contains("serve_queue_depth"));
+        assert_eq!(m.serve_wall_ns.count(), 1);
+        assert_eq!(m.serve_queue_depth.max(), 3);
     }
 
     #[test]

@@ -54,4 +54,5 @@ pub use lcosc_num as num;
 pub use lcosc_pad as pad;
 pub use lcosc_safety as safety;
 pub use lcosc_sensor as sensor;
+pub use lcosc_serve as serve;
 pub use lcosc_trace as trace;
