@@ -41,7 +41,7 @@
 
 use lcosc_bench::cli::{parse_args, Args, Cli, HELP};
 use lcosc_bench::csv::write_csv;
-use lcosc_bench::{ablation, figures, serve_bench};
+use lcosc_bench::{ablation, figures, prove_bench, serve_bench};
 use lcosc_campaign::{CampaignStats, Json};
 use lcosc_core::{ClosedLoopSim, OscillatorConfig};
 use lcosc_dac::{multiplication_factor, relative_step, Code, DacMismatchParams};
@@ -363,6 +363,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 s.warm.rps,
                 s.warm_speedup(),
                 100.0 * s.cache_hit_rate,
+            );
+        }
+    }
+
+    // Static safety prover: min-of-3 wall-clock per preset with the
+    // verdict byte-compared across laps.
+    if args.prove_bench {
+        let report = prove_bench::run_prove_bench()?;
+        write_text(&args.prove_bench_out, &report.to_json().render_pretty(2))?;
+        println!("prove bench -> {}", args.prove_bench_out.display());
+        for l in &report.laps {
+            println!(
+                "prove {}: {:.1} ms, {} obligations proved, {} reachable states / {} transitions",
+                l.preset,
+                l.wall.as_secs_f64() * 1e3,
+                l.obligations,
+                l.reach_states,
+                l.reach_transitions,
             );
         }
     }

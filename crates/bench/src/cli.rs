@@ -30,6 +30,10 @@ OPTIONS:
                          (cold vs cached throughput, determinism check)
     --serve-bench-out PATH
                          serve benchmark report path (default BENCH_PR5.json)
+    --prove-bench        run the static safety prover benchmark
+                         (min-of-3 laps per preset, verdict byte-compare)
+    --prove-bench-out PATH
+                         prover benchmark report path (default BENCH_PR6.json)
     --help               print this help
 ";
 
@@ -54,6 +58,10 @@ pub struct Args {
     pub serve_bench: bool,
     /// Serve benchmark report path.
     pub serve_bench_out: PathBuf,
+    /// Run the static safety prover benchmark.
+    pub prove_bench: bool,
+    /// Prover benchmark report path.
+    pub prove_bench_out: PathBuf,
 }
 
 impl Default for Args {
@@ -68,6 +76,8 @@ impl Default for Args {
             bench_out: None,
             serve_bench: false,
             serve_bench_out: PathBuf::from("BENCH_PR5.json"),
+            prove_bench: false,
+            prove_bench_out: PathBuf::from("BENCH_PR6.json"),
         }
     }
 }
@@ -134,6 +144,7 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, CliError> {
             "--campaigns-only" => parsed.campaigns_only = true,
             "--unchecked" => parsed.unchecked = true,
             "--serve-bench" => parsed.serve_bench = true,
+            "--prove-bench" => parsed.prove_bench = true,
             "--threads" => {
                 let v = next_value(&mut args, "--threads")?;
                 parsed.threads = v.parse().map_err(|_| CliError::BadValue {
@@ -159,6 +170,9 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, CliError> {
             }
             "--serve-bench-out" => {
                 parsed.serve_bench_out = PathBuf::from(next_value(&mut args, "--serve-bench-out")?);
+            }
+            "--prove-bench-out" => {
+                parsed.prove_bench_out = PathBuf::from(next_value(&mut args, "--prove-bench-out")?);
             }
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
@@ -230,6 +244,9 @@ mod tests {
             "--serve-bench",
             "--serve-bench-out",
             "s.json",
+            "--prove-bench",
+            "--prove-bench-out",
+            "p.json",
         ])
         .expect("all flags are valid");
         let Cli::Run(args) = cli else {
@@ -237,11 +254,13 @@ mod tests {
         };
         assert_eq!(args.threads, 4);
         assert!(args.campaigns_only && args.unchecked && args.serve_bench);
+        assert!(args.prove_bench);
         assert_eq!(args.results_out, PathBuf::from("r.json"));
         assert_eq!(args.trace_out, Some(PathBuf::from("t.jsonl")));
         assert_eq!(args.trace_level, TraceLevel::Metrics);
         assert_eq!(args.bench_out, Some(PathBuf::from("b.json")));
         assert_eq!(args.serve_bench_out, PathBuf::from("s.json"));
+        assert_eq!(args.prove_bench_out, PathBuf::from("p.json"));
     }
 
     #[test]
@@ -264,6 +283,8 @@ mod tests {
             "--bench-out",
             "--serve-bench",
             "--serve-bench-out",
+            "--prove-bench",
+            "--prove-bench-out",
             "--help",
         ] {
             assert!(HELP.contains(flag), "help text is missing {flag}");

@@ -10,6 +10,7 @@ pub mod ablation;
 pub mod cli;
 pub mod csv;
 pub mod figures;
+pub mod prove_bench;
 pub mod serve_bench;
 pub mod solver_bench;
 

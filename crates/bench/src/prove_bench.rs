@@ -1,0 +1,149 @@
+//! Benchmark of the `lcosc-check` static safety prover.
+//!
+//! Runs the full `A0xx` obligation set (abstract DAC interpretation over
+//! all 128 codes plus exhaustive product-automaton reachability) over
+//! every configuration preset, three laps each, and reports the
+//! min-of-3 wall-clock next to the proof's own size counters
+//! (reachable states, transitions, obligation tally). The run doubles
+//! as the prover's determinism regression: the rendered JSON verdict
+//! must be byte-identical across laps — a hard error, not a log line,
+//! when violated.
+
+use lcosc_campaign::Json;
+use lcosc_core::config::OscillatorConfig;
+use std::time::{Duration, Instant};
+
+/// Laps per preset; the report keeps the fastest.
+pub const LAPS: usize = 3;
+
+/// One preset's proof measurement.
+#[derive(Debug, Clone)]
+pub struct ProveLap {
+    /// Preset name (stable protocol token).
+    pub preset: &'static str,
+    /// Fastest of [`LAPS`] wall-clock laps.
+    pub wall: Duration,
+    /// Whether every obligation was discharged.
+    pub proved: bool,
+    /// Obligations checked.
+    pub obligations: usize,
+    /// Reachable product-automaton states.
+    pub reach_states: usize,
+    /// Explored transitions.
+    pub reach_transitions: usize,
+    /// Rendered verdict size, bytes.
+    pub verdict_bytes: usize,
+}
+
+/// The full prover benchmark report.
+#[derive(Debug, Clone)]
+pub struct ProveBenchReport {
+    /// One entry per preset.
+    pub laps: Vec<ProveLap>,
+}
+
+impl ProveBenchReport {
+    /// Renders the `BENCH_PR6.json` payload. Wall-clock fields are the
+    /// only machine-dependent values; everything else is deterministic.
+    pub fn to_json(&self) -> Json {
+        let laps: Vec<Json> = self
+            .laps
+            .iter()
+            .map(|l| {
+                Json::obj([
+                    ("preset", Json::from(l.preset)),
+                    ("wall_ms", Json::from(l.wall.as_secs_f64() * 1e3)),
+                    ("proved", Json::from(l.proved)),
+                    ("obligations", Json::from(l.obligations)),
+                    ("reach_states", Json::from(l.reach_states)),
+                    ("reach_transitions", Json::from(l.reach_transitions)),
+                    ("verdict_bytes", Json::from(l.verdict_bytes)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("bench", Json::from("lcosc-check static safety prover")),
+            ("laps_per_preset", Json::from(LAPS)),
+            ("presets", Json::Array(laps)),
+            ("verdicts_byte_identical_across_laps", Json::from(true)),
+        ])
+    }
+}
+
+/// The benchmarked presets, by stable token.
+fn presets() -> [(&'static str, OscillatorConfig); 3] {
+    [
+        ("fast_test", OscillatorConfig::fast_test()),
+        ("datasheet_3mhz", OscillatorConfig::datasheet_3mhz()),
+        ("low_q", OscillatorConfig::low_q()),
+    ]
+}
+
+/// Runs the prover benchmark.
+///
+/// # Errors
+///
+/// A verdict that changes between laps, or a preset whose proof fails,
+/// is an error (CI fails on it).
+pub fn run_prove_bench() -> Result<ProveBenchReport, String> {
+    let mut laps = Vec::new();
+    for (token, cfg) in presets() {
+        let facts = cfg.prove_facts();
+        let mut best: Option<Duration> = None;
+        let mut reference: Option<String> = None;
+        let mut outcome = None;
+        for _ in 0..LAPS {
+            let start = Instant::now();
+            let o = lcosc_check::prove(&facts);
+            let wall = start.elapsed();
+            let rendered = o.render_json();
+            match &reference {
+                None => reference = Some(rendered),
+                Some(first) if *first != rendered => {
+                    return Err(format!(
+                        "determinism violation: prover verdict for {token} changed between laps"
+                    ));
+                }
+                Some(_) => {}
+            }
+            best = Some(best.map_or(wall, |b| b.min(wall)));
+            outcome = Some(o);
+        }
+        let o = outcome.expect("LAPS > 0");
+        if !o.proved() {
+            return Err(format!(
+                "preset {token} fails its safety proof:\n{}",
+                o.render_human()
+            ));
+        }
+        laps.push(ProveLap {
+            preset: token,
+            wall: best.expect("LAPS > 0"),
+            proved: o.proved(),
+            obligations: o.obligations.len(),
+            reach_states: o.reach.states,
+            reach_transitions: o.reach.transitions,
+            verdict_bytes: reference.expect("LAPS > 0").len(),
+        });
+    }
+    Ok(ProveBenchReport { laps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prove_bench_runs_and_reports_every_preset() {
+        let report = run_prove_bench().expect("presets prove");
+        assert_eq!(report.laps.len(), 3);
+        for lap in &report.laps {
+            assert!(lap.proved, "{}", lap.preset);
+            assert_eq!(lap.obligations, 7, "{}", lap.preset);
+            assert!(lap.reach_states >= 128, "{}", lap.preset);
+            assert!(lap.reach_transitions > lap.reach_states, "{}", lap.preset);
+        }
+        let rendered = report.to_json().render();
+        assert!(rendered.contains("\"preset\":\"datasheet_3mhz\""));
+    }
+}

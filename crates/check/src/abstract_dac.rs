@@ -1,0 +1,346 @@
+//! Abstract interpretation of the Table 1 DAC over *all* mismatch draws.
+//!
+//! The concrete model (`lcosc_dac::MismatchedDac`) evaluates one sampled
+//! die; this module evaluates the **set** of every die whose device
+//! errors stay inside a `k·σ` box, using the outward-rounded
+//! [`Interval`] domain. A window-vs-step property proved here holds for
+//! every such die — the paper's §3/§4 argument ("the regulation window
+//! is wider than the worst step") turned from a spot check into a proof
+//! over the full tolerance region.
+//!
+//! # Why the step ratio needs correlation
+//!
+//! Naively dividing the abstract output at `code+1` by the abstract
+//! output at `code` treats the two as independent, but they share most
+//! of their devices: the prescaler stages below the new segment and
+//! every mirror leg enabled in both codes cancel *exactly* in the
+//! ratio. Ignoring that doubles the apparent worst-case step (≈34 %
+//! instead of ≈15 % at the worst boundary) and would spuriously fail
+//! the proof. The Table 1 buses are monotone across a code increment
+//! (`OscD` is a thermometer code, `OscE` only ever gains bits), so the
+//! ratio decomposes as
+//!
+//! ```text
+//! units(c+1) / units(c) = E · (S + A') / (S + A)
+//! ```
+//!
+//! with `E` the product of the *extra* prescaler stages, `S` the sum of
+//! legs shared by both codes, and `A`/`A'` the legs exclusive to
+//! `c`/`c+1` — all disjoint device sets, hence genuinely independent
+//! intervals. `(S + A')/(S + A)` is monotone in each variable (in `S`
+//! with the sign of `A − A'`), so its exact range is attained at box
+//! corners ([`frac_lo`]/[`frac_hi`]).
+//!
+//! # The two mirrors
+//!
+//! The effective current limit is `min(top, bottom)` of two
+//! independently sampled mirrors. For per-side ratios `t'/t` and
+//! `b'/b`, `min(t', b')/min(t, b)` always lies between `min(t'/t,
+//! b'/b)` and `max(t'/t, b'/b)`: whichever side realises the min at
+//! both codes gives the ratio exactly, and when the min switches sides
+//! the mixed ratio is bracketed by the two pure ones. Both sides have
+//! identical abstract structure (same nominals, same σ), so the hull of
+//! the two per-side intervals *is* the per-side interval — one
+//! evaluation covers the min.
+
+use crate::interval::{frac_hi, frac_lo, Interval};
+use lcosc_dac::{Code, ControlWord};
+
+/// Nominal fixed-mirror leg weights in units (Fig 6 / Table 1).
+const FIXED_NOMINAL: [f64; 4] = [16.0, 16.0, 32.0, 64.0];
+
+/// Mismatch box of the abstract DAC: the same σ magnitudes as
+/// `lcosc_dac::DacMismatchParams`, plus the `k` that turns a σ into a
+/// hard envelope (a device's relative error is assumed within `±k·σ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbstractDacParams {
+    /// Relative sigma of each ×2 prescaler stage.
+    pub sigma_prescale: f64,
+    /// Relative sigma of a unit device in the fixed mirror legs
+    /// (Pelgrom-scaled by leg area, as in the concrete sampler).
+    pub sigma_fixed: f64,
+    /// Relative sigma of a unit device in the binary bank.
+    pub sigma_unit: f64,
+    /// Envelope half-width in sigmas (4 ⇒ ±4σ covers ≈ 99.994 % of
+    /// dies per device).
+    pub k_sigma: f64,
+}
+
+impl Default for AbstractDacParams {
+    fn default() -> Self {
+        AbstractDacParams {
+            sigma_prescale: 0.01,
+            sigma_fixed: 0.008,
+            sigma_unit: 0.01,
+            k_sigma: 4.0,
+        }
+    }
+}
+
+/// Relative-step bound of one code increment, `units(c+1)/units(c) − 1`
+/// over every die in the mismatch box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepBound {
+    /// Starting code of the increment (`c → c+1`).
+    pub code: u8,
+    /// Sound enclosure of the relative step.
+    pub rel_step: Interval,
+    /// Whether the increment crosses a segment boundary (different
+    /// devices take over — where Fig 14's spikes live).
+    pub boundary: bool,
+}
+
+impl AbstractDacParams {
+    /// Abstract value of one ×2 prescaler stage.
+    fn stage(&self) -> Interval {
+        Interval::from_rel_tol(2.0, self.k_sigma * self.sigma_prescale)
+    }
+
+    /// Abstract value of fixed leg `bit` (16/16/32/64 units), with the
+    /// same Pelgrom `1/√area` scaling the concrete sampler applies.
+    fn fixed_leg(&self, bit: usize) -> Interval {
+        let nom = FIXED_NOMINAL[bit];
+        let sigma = self.sigma_fixed / (nom / 16.0).sqrt();
+        Interval::from_rel_tol(nom, self.k_sigma * sigma)
+    }
+
+    /// Abstract value of binary-bank leg `bit` (`2^bit` units).
+    fn bank_leg(&self, bit: usize) -> Interval {
+        Interval::from_rel_tol((1u32 << bit) as f64, self.k_sigma * self.sigma_unit)
+    }
+
+    /// Abstract output of one mirror side at `code`, in units — the
+    /// interval transfer of `MismatchedDac::side_units` over the box.
+    pub fn side_units(&self, code: Code) -> Interval {
+        let w = ControlWord::encode(code);
+        let mut prescale = Interval::point(1.0);
+        for bit in 0..3 {
+            if w.osc_d & (1 << bit) != 0 {
+                prescale = prescale * self.stage();
+            }
+        }
+        let mut inner = Interval::point(0.0);
+        for bit in 0..4 {
+            if w.osc_e & (1 << bit) != 0 {
+                inner = inner + self.fixed_leg(bit);
+            }
+        }
+        for bit in 0..7 {
+            if w.osc_f & (1 << bit) != 0 {
+                inner = inner + self.bank_leg(bit);
+            }
+        }
+        prescale * inner
+    }
+
+    /// Sound enclosure of the relative step `units(c+1)/units(c) − 1`
+    /// of the min-of-mirrors output, exploiting shared-device
+    /// cancellation (see the module docs). `None` at [`Code::MAX`] and
+    /// at code 0 (no current, the ratio is undefined) — matching the
+    /// concrete `relative_step`.
+    pub fn relative_step(&self, code: Code) -> Option<StepBound> {
+        if code == Code::MAX || code == Code::MIN {
+            return None;
+        }
+        let w = ControlWord::encode(code);
+        let w2 = ControlWord::encode(code.increment());
+        // Table 1 monotonicity across an increment: the prover's
+        // decomposition is only valid if devices are never *dropped*.
+        debug_assert_eq!(w.osc_d & w2.osc_d, w.osc_d, "OscD is a thermometer code");
+        debug_assert_eq!(w.osc_e & w2.osc_e, w.osc_e, "OscE only gains bits");
+
+        // E: the prescaler stages enabled at c+1 but not at c.
+        let mut extra = Interval::point(1.0);
+        for bit in 0..3 {
+            if w2.osc_d & !w.osc_d & (1 << bit) != 0 {
+                extra = extra * self.stage();
+            }
+        }
+        // S: shared legs; A / A': legs exclusive to c / c+1.
+        let mut shared = Interval::point(0.0);
+        let mut only_old = Interval::point(0.0);
+        let mut only_new = Interval::point(0.0);
+        for bit in 0..4 {
+            if w.osc_e & (1 << bit) != 0 {
+                shared = shared + self.fixed_leg(bit);
+            } else if w2.osc_e & (1 << bit) != 0 {
+                only_new = only_new + self.fixed_leg(bit);
+            }
+        }
+        for bit in 0..7 {
+            match (w.osc_f & (1 << bit) != 0, w2.osc_f & (1 << bit) != 0) {
+                (true, true) => shared = shared + self.bank_leg(bit),
+                (true, false) => only_old = only_old + self.bank_leg(bit),
+                (false, true) => only_new = only_new + self.bank_leg(bit),
+                (false, false) => {}
+            }
+        }
+        let ratio = Interval::new(
+            frac_lo(shared, only_new.lo, only_old.hi),
+            frac_hi(shared, only_new.hi, only_old.lo),
+        );
+        let rel_step = extra * ratio - Interval::point(1.0);
+        Some(StepBound {
+            code: code.value(),
+            rel_step,
+            boundary: code.lsbs() == 15,
+        })
+    }
+
+    /// Step bounds for every regulated code increment `c → c+1`,
+    /// `c ∈ 16..=126` — the range the paper's §3 window rule governs
+    /// (regulation keeps the code above 16; segment 0 steps are whole
+    /// multiples of the output and are not window-regulated).
+    pub fn regulated_steps(&self) -> Vec<StepBound> {
+        (16u32..=126)
+            .filter_map(|c| Code::new(c).ok())
+            .filter_map(|c| self.relative_step(c))
+            .collect()
+    }
+}
+
+/// One concrete mirror side with explicit device values — the
+/// proptest-facing twin of `MismatchedDac`'s private state. Containment
+/// soundness is checked against this model (draw devices inside the
+/// box, compare with the abstract value), and a conformance test pins
+/// its arithmetic to the concrete crate's, so the two cannot drift.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConcreteDie {
+    /// Actual ratios of the three cascaded ×2 prescaler stages.
+    pub prescale_stage: [f64; 3],
+    /// Actual fixed-mirror leg weights, in units.
+    pub fixed: [f64; 4],
+    /// Actual binary-bank leg weights (nominally 1, 2, 4, … 64 units).
+    pub bank: [f64; 7],
+}
+
+impl ConcreteDie {
+    /// The nominal die: every device exactly at its drawn value.
+    pub fn nominal() -> Self {
+        ConcreteDie {
+            prescale_stage: [2.0; 3],
+            fixed: FIXED_NOMINAL,
+            bank: [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+        }
+    }
+
+    /// Output in units at `code` — the same bus decoding and operation
+    /// order as `MismatchedDac::side_units`.
+    pub fn units(&self, code: Code) -> f64 {
+        let w = ControlWord::encode(code);
+        let mut prescale = 1.0;
+        for (bit, ratio) in self.prescale_stage.iter().enumerate() {
+            if w.osc_d & (1 << bit) != 0 {
+                prescale *= ratio;
+            }
+        }
+        let fixed_sum: f64 = (0..4)
+            .filter(|bit| w.osc_e & (1 << bit) != 0)
+            .map(|bit| self.fixed[bit])
+            .sum();
+        let bank_sum: f64 = (0..7)
+            .filter(|bit| w.osc_f & (1 << bit) != 0)
+            .map(|bit| self.bank[bit])
+            .sum();
+        prescale * (fixed_sum + bank_sum)
+    }
+
+    /// Concrete relative step `units(c+1)/units(c) − 1`, `None` where
+    /// the abstract counterpart is undefined.
+    pub fn relative_step(&self, code: Code) -> Option<f64> {
+        if code == Code::MAX || code == Code::MIN {
+            return None;
+        }
+        let i0 = self.units(code);
+        if i0 <= 0.0 {
+            return None;
+        }
+        Some(self.units(code.increment()) / i0 - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_codes() -> impl Iterator<Item = Code> {
+        Code::all()
+    }
+
+    #[test]
+    fn abstract_side_contains_the_nominal_staircase() {
+        let p = AbstractDacParams::default();
+        let die = ConcreteDie::nominal();
+        for code in all_codes() {
+            assert!(p.side_units(code).contains(die.units(code)), "code {code}");
+        }
+    }
+
+    #[test]
+    fn step_enclosure_contains_the_ideal_step() {
+        let p = AbstractDacParams::default();
+        let die = ConcreteDie::nominal();
+        for code in all_codes() {
+            let (Some(bound), Some(exact)) = (p.relative_step(code), die.relative_step(code))
+            else {
+                continue;
+            };
+            assert!(
+                bound.rel_step.contains(exact),
+                "code {code}: {exact} not in {:?}",
+                bound.rel_step
+            );
+        }
+    }
+
+    #[test]
+    fn worst_regulated_step_is_provably_under_the_paper_window() {
+        let p = AbstractDacParams::default();
+        let worst = p
+            .regulated_steps()
+            .iter()
+            .map(|b| b.rel_step.hi)
+            .fold(f64::NEG_INFINITY, f64::max);
+        // The chip's window is 15 % of the target; the ±4σ abstract
+        // worst step must come in below it (it sits near 11 %).
+        assert!(worst < 0.15, "worst abstract step {worst}");
+        assert!(worst > 0.0625, "must exceed the ideal 6.25 % step");
+    }
+
+    #[test]
+    fn correlation_beats_the_naive_quotient() {
+        let p = AbstractDacParams::default();
+        let code = Code::new(31).expect("31 is a valid code");
+        let naive = p.side_units(code.increment()) / p.side_units(code) - Interval::point(1.0);
+        let tight = p.relative_step(code).expect("step exists").rel_step;
+        assert!(
+            tight.hi < naive.hi,
+            "correlated {tight:?} vs naive {naive:?}"
+        );
+        assert!(naive.encloses(tight), "tight bound must still be inside");
+    }
+
+    #[test]
+    fn boundary_flags_mark_exactly_the_segment_handovers() {
+        let p = AbstractDacParams::default();
+        for b in p.regulated_steps() {
+            assert_eq!(b.boundary, b.code % 16 == 15, "code {}", b.code);
+        }
+    }
+
+    #[test]
+    fn zero_sigma_box_degenerates_to_the_ideal_die() {
+        let p = AbstractDacParams {
+            sigma_prescale: 0.0,
+            sigma_fixed: 0.0,
+            sigma_unit: 0.0,
+            k_sigma: 4.0,
+        };
+        let die = ConcreteDie::nominal();
+        for code in all_codes().skip(1) {
+            let i = p.side_units(code);
+            let exact = die.units(code);
+            assert!(i.contains(exact) && i.width() < 1e-9, "code {code}");
+        }
+    }
+}

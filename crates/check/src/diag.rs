@@ -175,12 +175,33 @@ impl Report {
         seen
     }
 
+    /// Diagnostics in rendering order: sorted by (code, provenance,
+    /// severity, message) so output is byte-stable regardless of the
+    /// order the rules happened to run in. Emission order (which
+    /// [`Report::diagnostics`] and [`Report::codes`] preserve) is an
+    /// evaluation detail; rendered reports are part of the golden
+    /// surface.
+    fn render_order(&self) -> Vec<&Diagnostic> {
+        let mut sorted: Vec<&Diagnostic> = self.diags.iter().collect();
+        sorted.sort_by(|a, b| {
+            let loc_a = a.provenance.as_ref().map(ToString::to_string);
+            let loc_b = b.provenance.as_ref().map(ToString::to_string);
+            a.code
+                .cmp(b.code)
+                .then_with(|| loc_a.cmp(&loc_b))
+                .then_with(|| a.severity.cmp(&b.severity))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+        sorted
+    }
+
     /// Renders the report for terminals: one `severity[code] message @
-    /// provenance` line per diagnostic plus a summary line.
+    /// provenance` line per diagnostic plus a summary line. Lines are
+    /// sorted by (code, provenance) for byte-stable output.
     pub fn render_human(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        for d in &self.diags {
+        for d in self.render_order() {
             let _ = write!(out, "{}[{}] {}", d.severity, d.code, d.message);
             if let Some(p) = &d.provenance {
                 let _ = write!(out, " @ {p}");
@@ -199,7 +220,8 @@ impl Report {
 
     /// Renders the report as a JSON object
     /// `{"errors": N, "warnings": N, "diagnostics": [...]}` (hand-rolled;
-    /// the workspace builds offline without serde).
+    /// the workspace builds offline without serde). Diagnostics are
+    /// sorted by (code, provenance) for byte-stable output.
     pub fn render_json(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -209,7 +231,7 @@ impl Report {
             self.error_count(),
             self.warning_count()
         );
-        for (k, d) in self.diags.iter().enumerate() {
+        for (k, d) in self.render_order().into_iter().enumerate() {
             if k > 0 {
                 out.push(',');
             }
@@ -317,6 +339,28 @@ pub const ALL_CODES: &[(&str, &str)] = &[
         "S007",
         "detector noise is large compared to the window width",
     ),
+    (
+        "A001",
+        "window not provably wider than the worst-case DAC step",
+    ),
+    (
+        "A002",
+        "non-monotonic DAC excursion not provably inside the window",
+    ),
+    (
+        "A003",
+        "oscillation condition not provable over the Q/tolerance box",
+    ),
+    ("A004", "safe state not reachable through a fitted detector"),
+    (
+        "A005",
+        "regulation automaton can livelock under a constant input",
+    ),
+    (
+        "A006",
+        "detector-trip latency exceeds its documented tick bound",
+    ),
+    ("A007", "an in-window hold can clear a saturation latch"),
 ];
 
 /// One-line description of a diagnostic code, if registered.
@@ -416,5 +460,33 @@ mod tests {
     fn severity_ordering_puts_error_on_top() {
         assert!(Severity::Error > Severity::Warning);
         assert!(Severity::Warning > Severity::Info);
+    }
+
+    /// Two reports with the same findings emitted in different rule
+    /// orders must render identically (human and JSON) — the byte
+    /// stability the golden fixtures pin.
+    #[test]
+    fn rendering_is_independent_of_emission_order() {
+        let forward = sample();
+        let mut reverse = Report::new();
+        for d in forward.diagnostics().iter().rev().cloned() {
+            reverse.push(d);
+        }
+        assert_ne!(
+            forward.diagnostics().first(),
+            reverse.diagnostics().first(),
+            "emission orders really differ"
+        );
+        assert_eq!(forward.render_human(), reverse.render_human());
+        assert_eq!(forward.render_json(), reverse.render_json());
+    }
+
+    #[test]
+    fn rendering_sorts_by_code_then_location() {
+        let text = sample().render_human();
+        let e002 = text.find("E002").expect("E002 rendered");
+        let e005 = text.find("E005").expect("E005 rendered");
+        let e010 = text.find("E010").expect("E010 rendered");
+        assert!(e002 < e005 && e005 < e010, "{text}");
     }
 }

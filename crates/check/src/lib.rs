@@ -21,6 +21,16 @@
 //!   threshold ordering, missing-clock timeout versus the LC period, and
 //!   detector threshold sanity.
 //!
+//! On top of the concrete-value rules sits the **static prover** (codes
+//! `A0xx`, [`prove()`]): sound outward-rounded interval arithmetic
+//! ([`interval`]) abstractly interprets the Table 1 DAC over its entire
+//! mismatch box ([`abstract_dac`]) to prove the window-vs-step and
+//! oscillation-condition properties for *every* die, and exhaustive
+//! reachability over the regulation × detector × safe-state product
+//! automaton ([`reach`]) proves safe-state reachability, livelock
+//! freedom, bounded trip latency and saturation-latch preservation —
+//! with `lcosc-trace`-compatible counterexample streams on refutation.
+//!
 //! Findings come back as a [`Report`] of [`Diagnostic`]s with stable codes
 //! (registered append-only in [`ALL_CODES`]), a [`Severity`], provenance
 //! down to the element/field, and both human-readable and JSON rendering.
@@ -29,15 +39,23 @@
 //! surface failures as typed errors, and the `lcosc-check` CLI binary
 //! lints decks ([`parse_deck`]) and presets from the command line.
 
+pub mod abstract_dac;
 pub mod config;
 pub mod diag;
+pub mod interval;
 pub mod netlist;
 pub mod parse;
+pub mod prove;
+pub mod reach;
 
+pub use abstract_dac::{AbstractDacParams, ConcreteDie, StepBound};
 pub use config::{
     check_config_facts, check_control_word, check_dac_monotonicity, check_safety_facts,
     check_segment_table, ideal_max_rel_step_above_16, ConfigFacts, SafetyFacts,
 };
 pub use diag::{describe, Diagnostic, Provenance, Report, Severity, ALL_CODES};
+pub use interval::Interval;
 pub use netlist::check_netlist;
 pub use parse::{parse_deck, ParseError};
+pub use prove::{prove, Counterexample, Obligation, ProveFacts, ProveOutcome};
+pub use reach::{analyze, ModelInput, ModelState, ReachFacts, ReachReport};

@@ -1,0 +1,675 @@
+//! The `--prove` pass: static safety proofs over the whole configuration
+//! space, reported as the stable `A0xx` diagnostic family.
+//!
+//! Two engines feed one [`ProveOutcome`]:
+//!
+//! * **Abstract interpretation** ([`crate::abstract_dac`], backed by the
+//!   outward-rounded [`crate::interval`] domain) proves the paper's §3/§4
+//!   window argument — the regulation window exceeds the worst-case DAC
+//!   step and the worst non-monotonic excursion for *every* die in the
+//!   mismatch box — and the §2 oscillation condition `gm > Rs·C/L` over
+//!   a `Q` range and element-tolerance boxes on L and C.
+//! * **Exhaustive reachability** ([`crate::reach`]) enumerates the
+//!   regulation × detector × safe-state product automaton and proves
+//!   safe-state reachability, livelock freedom, bounded detector-trip →
+//!   safe-state latency and saturation-latch preservation, rendering
+//!   `lcosc-trace` event streams as counterexamples when a proof fails.
+//!
+//! The outcome renders byte-stably: the JSON tree is built from the same
+//! deterministic [`Json`] values on every run and thread count, so a
+//! verdict can be cached, diffed and golden-pinned.
+
+use crate::abstract_dac::{AbstractDacParams, StepBound};
+use crate::diag::{Provenance, Report};
+use crate::interval::{next_down, Interval};
+use crate::reach::{analyze, ReachFacts, ReachReport};
+use lcosc_campaign::Json;
+use lcosc_trace::{render_jsonl, TraceEvent};
+
+/// The chip's missing-oscillation detector timeout, seconds (§5). Kept
+/// here as the prover's default so `check` does not need a dependency on
+/// the safety crate that owns the runtime constant of the same value.
+pub const DEFAULT_MISSING_CLOCK_TIMEOUT: f64 = 100e-6;
+/// Transconductance of one driver Gm stage, siemens (Fig 7).
+pub const DEFAULT_GM_PER_STAGE: f64 = 10e-3;
+/// Maximum simultaneously enabled Gm weight (1 + 1 + 1 + 2 + 4, Fig 7).
+pub const DEFAULT_MAX_GM_STAGES: u32 = 9;
+
+/// Everything the prover needs to know about one design point — a pure
+/// value, so identical facts always yield byte-identical verdicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProveFacts {
+    /// Mismatch box of the abstract DAC.
+    pub dac: AbstractDacParams,
+    /// Regulation window width relative to the target (total).
+    pub window_rel_width: f64,
+    /// Nominal tank inductance, henries.
+    pub l_henries: f64,
+    /// Nominal LC1-side capacitance, farads.
+    pub c1_farads: f64,
+    /// Nominal LC2-side capacitance, farads.
+    pub c2_farads: f64,
+    /// Relative tolerance box on L, C1 and C2 (±).
+    pub element_rel_tol: f64,
+    /// Lowest tank quality factor the proof covers.
+    pub q_min: f64,
+    /// Highest tank quality factor the proof covers.
+    pub q_max: f64,
+    /// Transconductance of one driver stage, siemens.
+    pub gm_per_stage: f64,
+    /// Maximum enabled Gm weight.
+    pub max_gm_stages: u32,
+    /// Relative derating on the available transconductance (process +
+    /// temperature).
+    pub gm_rel_tol: f64,
+    /// Regulation tick period, seconds.
+    pub tick_period: f64,
+    /// Missing-oscillation timeout, seconds.
+    pub missing_clock_timeout: f64,
+    /// Fitted detectors: `[missing, low-amplitude, asymmetry]`.
+    pub detectors_enabled: [bool; 3],
+    /// Model the pre-PR 3 hold-clears-saturation regulator bug (seeded
+    /// failure for counterexample tests).
+    pub legacy_hold_clears_saturation: bool,
+}
+
+impl ProveFacts {
+    /// Chip-default facts for a design point: default mismatch box, the
+    /// paper's two-decade `Q ∈ [0.5, 50]` coverage, ±10 % element and
+    /// Gm tolerances, all three detectors fitted.
+    pub fn chip(
+        window_rel_width: f64,
+        l_henries: f64,
+        c1_farads: f64,
+        c2_farads: f64,
+        tick_period: f64,
+    ) -> ProveFacts {
+        ProveFacts {
+            dac: AbstractDacParams::default(),
+            window_rel_width,
+            l_henries,
+            c1_farads,
+            c2_farads,
+            element_rel_tol: 0.10,
+            q_min: 0.5,
+            q_max: 50.0,
+            gm_per_stage: DEFAULT_GM_PER_STAGE,
+            max_gm_stages: DEFAULT_MAX_GM_STAGES,
+            gm_rel_tol: 0.10,
+            tick_period,
+            missing_clock_timeout: DEFAULT_MISSING_CLOCK_TIMEOUT,
+            detectors_enabled: [true; 3],
+            legacy_hold_clears_saturation: false,
+        }
+    }
+
+    /// Missing-clock timeout expressed in regulation ticks (≥ 1; the
+    /// reachability model caps the counter at 200 ticks).
+    pub fn timeout_ticks(&self) -> u8 {
+        if !(self.tick_period > 0.0) || !(self.missing_clock_timeout > 0.0) {
+            return 1;
+        }
+        let ticks = (self.missing_clock_timeout / self.tick_period).ceil();
+        if ticks < 1.0 {
+            1
+        } else if ticks > 200.0 {
+            200
+        } else {
+            ticks as u8
+        }
+    }
+}
+
+/// One proof obligation and its verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Obligation {
+    /// Stable diagnostic code of the obligation (`A001`…`A007`).
+    pub code: &'static str,
+    /// Short name of the property.
+    pub title: &'static str,
+    /// Whether the property was proved.
+    pub proved: bool,
+    /// Bound values the verdict rests on, human-readable.
+    pub detail: String,
+}
+
+/// A refuted obligation's witness: a concrete trajectory of the product
+/// automaton, as the event stream the real loop would trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Counterexample {
+    /// Obligation the trace refutes.
+    pub obligation: &'static str,
+    /// The trajectory.
+    pub events: Vec<TraceEvent>,
+}
+
+/// The complete verdict of one prove pass.
+#[derive(Debug, Clone)]
+pub struct ProveOutcome {
+    /// Facts the proof ran on (echoed for rendering).
+    pub facts: ProveFacts,
+    /// Every obligation with its verdict, in `A001`…`A007` order.
+    pub obligations: Vec<Obligation>,
+    /// `A0xx` diagnostics for the failed obligations.
+    pub report: Report,
+    /// Worst-case relative step over the regulated codes.
+    pub worst_step: StepBound,
+    /// Worst (most negative) step — the non-monotonicity excursion.
+    pub worst_excursion: StepBound,
+    /// Step enclosures at the segment boundaries.
+    pub boundaries: Vec<StepBound>,
+    /// Abstract critical transconductance over the Q/tolerance box.
+    pub critical_gm: Interval,
+    /// Guaranteed available transconductance (lower bound).
+    pub available_gm_lo: f64,
+    /// Reachability statistics and per-detector latencies.
+    pub reach: ReachReport,
+    /// Rendered counterexamples for the refuted automaton obligations.
+    pub counterexamples: Vec<Counterexample>,
+}
+
+impl ProveOutcome {
+    /// Whether every obligation was proved.
+    pub fn proved(&self) -> bool {
+        self.obligations.iter().all(|o| o.proved)
+    }
+
+    /// The verdict as a deterministic JSON tree (insertion-ordered
+    /// keys; every number a pure function of the facts).
+    pub fn to_json(&self) -> Json {
+        let obligations: Vec<Json> = self
+            .obligations
+            .iter()
+            .map(|o| {
+                Json::obj([
+                    ("code", Json::from(o.code)),
+                    ("title", Json::from(o.title)),
+                    ("proved", Json::from(o.proved)),
+                    ("detail", Json::from(o.detail.clone())),
+                ])
+            })
+            .collect();
+        let boundaries: Vec<Json> = self
+            .boundaries
+            .iter()
+            .map(|b| {
+                Json::obj([
+                    ("code", Json::from(b.code)),
+                    ("lo", Json::from(b.rel_step.lo)),
+                    ("hi", Json::from(b.rel_step.hi)),
+                ])
+            })
+            .collect();
+        let detectors = ["missing_oscillation", "low_amplitude", "asymmetry"];
+        let latency: Vec<Json> = (0..3)
+            .map(|d| {
+                Json::obj([
+                    ("detector", Json::from(detectors[d])),
+                    ("enabled", Json::from(self.facts.detectors_enabled[d])),
+                    (
+                        "latency_ticks",
+                        match self.reach.latency_ticks[d] {
+                            Some(t) => Json::from(i64::from(t)),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
+                        "latency_bound",
+                        Json::from(i64::from(self.reach.latency_bound[d])),
+                    ),
+                    ("safe_reachable", Json::from(self.reach.safe_reachable[d])),
+                ])
+            })
+            .collect();
+        let counterexamples: Vec<Json> = self
+            .counterexamples
+            .iter()
+            .map(|c| {
+                let events: Vec<Json> = c
+                    .events
+                    .iter()
+                    .map(|e| Json::parse(&e.to_jsonl()).expect("trace events render valid JSON"))
+                    .collect();
+                Json::obj([
+                    ("obligation", Json::from(c.obligation)),
+                    ("events", Json::Array(events)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("proved", Json::from(self.proved())),
+            ("obligations", Json::Array(obligations)),
+            (
+                "dac",
+                Json::obj([
+                    ("window_rel_width", Json::from(self.facts.window_rel_width)),
+                    ("k_sigma", Json::from(self.facts.dac.k_sigma)),
+                    ("worst_step_hi", Json::from(self.worst_step.rel_step.hi)),
+                    ("worst_step_code", Json::from(self.worst_step.code)),
+                    (
+                        "worst_excursion_lo",
+                        Json::from(self.worst_excursion.rel_step.lo),
+                    ),
+                    (
+                        "worst_excursion_code",
+                        Json::from(self.worst_excursion.code),
+                    ),
+                    ("boundaries", Json::Array(boundaries)),
+                ]),
+            ),
+            (
+                "oscillation",
+                Json::obj([
+                    ("q_min", Json::from(self.facts.q_min)),
+                    ("q_max", Json::from(self.facts.q_max)),
+                    ("element_rel_tol", Json::from(self.facts.element_rel_tol)),
+                    ("critical_gm_lo", Json::from(self.critical_gm.lo)),
+                    ("critical_gm_hi", Json::from(self.critical_gm.hi)),
+                    ("available_gm_lo", Json::from(self.available_gm_lo)),
+                ]),
+            ),
+            (
+                "reach",
+                Json::obj([
+                    ("states", Json::from(self.reach.states)),
+                    ("transitions", Json::from(self.reach.transitions)),
+                    (
+                        "timeout_ticks",
+                        Json::from(u32::from(self.facts.timeout_ticks())),
+                    ),
+                    ("latency", Json::Array(latency)),
+                ]),
+            ),
+            ("counterexamples", Json::Array(counterexamples)),
+        ])
+    }
+
+    /// Byte-stable compact JSON rendering of [`ProveOutcome::to_json`].
+    pub fn render_json(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Human-readable rendering: one line per obligation, bound values
+    /// inline, counterexample traces appended for refuted properties.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for o in &self.obligations {
+            let verdict = if o.proved { "proved" } else { "REFUTED" };
+            out.push_str(&format!(
+                "{} {:<7} {} — {}\n",
+                o.code, verdict, o.title, o.detail
+            ));
+        }
+        let proved = self.obligations.iter().filter(|o| o.proved).count();
+        out.push_str(&format!(
+            "prove: {} of {} obligations proved ({} states, {} transitions explored)\n",
+            proved,
+            self.obligations.len(),
+            self.reach.states,
+            self.reach.transitions
+        ));
+        for c in &self.counterexamples {
+            out.push_str(&format!("counterexample ({}):\n", c.obligation));
+            for line in render_jsonl(&c.events, |_| true).lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Runs both engines over `facts` and returns the full verdict.
+///
+/// Single-threaded and allocation-deterministic: the same facts always
+/// produce the same outcome, byte-for-byte, on every thread count.
+pub fn prove(facts: &ProveFacts) -> ProveOutcome {
+    let mut report = Report::new();
+    let mut obligations = Vec::new();
+
+    // ---- Engine 1a: window vs worst step (A001) and excursion (A002).
+    let steps = facts.dac.regulated_steps();
+    let worst_step = steps
+        .iter()
+        .copied()
+        .max_by(|a, b| {
+            a.rel_step
+                .hi
+                .partial_cmp(&b.rel_step.hi)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .unwrap_or(StepBound {
+            code: 0,
+            rel_step: Interval::point(0.0),
+            boundary: false,
+        });
+    let worst_excursion = steps
+        .iter()
+        .copied()
+        .min_by(|a, b| {
+            a.rel_step
+                .lo
+                .partial_cmp(&b.rel_step.lo)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .unwrap_or(worst_step);
+    let boundaries: Vec<StepBound> = steps.iter().copied().filter(|b| b.boundary).collect();
+
+    let window = facts.window_rel_width;
+    let a001 = worst_step.rel_step.hi < window;
+    obligations.push(Obligation {
+        code: "A001",
+        title: "window wider than worst-case DAC step",
+        proved: a001,
+        detail: format!(
+            "worst abstract step {:?} at code {} (k = {:?} sigma) vs window {:?}",
+            worst_step.rel_step.hi, worst_step.code, facts.dac.k_sigma, window
+        ),
+    });
+    if !a001 {
+        report.error(
+            "A001",
+            format!(
+                "regulation window {window:?} is not provably wider than the worst-case \
+                 DAC step {:?} at code {}",
+                worst_step.rel_step.hi, worst_step.code
+            ),
+            Some(Provenance::Field("window_rel_width")),
+        );
+    }
+
+    let excursion = (-worst_excursion.rel_step.lo).max(0.0);
+    let a002 = excursion < window;
+    obligations.push(Obligation {
+        code: "A002",
+        title: "non-monotonic excursion inside the window",
+        proved: a002,
+        detail: format!(
+            "worst negative step {:?} at code {} vs window {:?}",
+            worst_excursion.rel_step.lo, worst_excursion.code, window
+        ),
+    });
+    if !a002 {
+        report.error(
+            "A002",
+            format!(
+                "worst-case non-monotonic excursion {excursion:?} at code {} is not \
+                 provably inside the regulation window {window:?}",
+                worst_excursion.code
+            ),
+            Some(Provenance::Field("window_rel_width")),
+        );
+    }
+
+    // ---- Engine 1b: oscillation condition over Q and element boxes
+    // (A003). Critical transconductance gm_crit = Rs·C_avg/L, with Rs
+    // expressed through Q as ω0·L/Q: gm_crit = C_avg / (Q·√(L·C_ser)).
+    let tol = facts.element_rel_tol.max(0.0);
+    let (critical_gm, a003, avail_lo);
+    if facts.q_min > 0.0
+        && facts.q_max >= facts.q_min
+        && facts.l_henries > 0.0
+        && facts.c1_farads > 0.0
+        && facts.c2_farads > 0.0
+        && tol < 1.0
+    {
+        let l = Interval::from_rel_tol(facts.l_henries, tol);
+        let c1 = Interval::from_rel_tol(facts.c1_farads, tol);
+        let c2 = Interval::from_rel_tol(facts.c2_farads, tol);
+        let q = Interval::new(facts.q_min, facts.q_max);
+        let c_avg = (c1 + c2) * Interval::point(0.5);
+        let c_ser = c1 * c2 / (c1 + c2);
+        let crit = c_avg / (q * (l * c_ser).sqrt());
+        let avail = next_down(
+            f64::from(facts.max_gm_stages) * facts.gm_per_stage * (1.0 - facts.gm_rel_tol),
+        );
+        critical_gm = crit;
+        avail_lo = avail;
+        a003 = crit.hi < avail;
+    } else {
+        critical_gm = Interval::point(f64::MAX);
+        avail_lo = 0.0;
+        a003 = false;
+    }
+    obligations.push(Obligation {
+        code: "A003",
+        title: "oscillation condition over the Q/tolerance box",
+        proved: a003,
+        detail: format!(
+            "critical gm <= {:?} S over Q in [{:?}, {:?}] vs available >= {:?} S",
+            critical_gm.hi, facts.q_min, facts.q_max, avail_lo
+        ),
+    });
+    if !a003 {
+        report.error(
+            "A003",
+            format!(
+                "oscillation condition not provable: critical gm can reach {:?} S but \
+                 only {:?} S is guaranteed available",
+                critical_gm.hi, avail_lo
+            ),
+            Some(Provenance::Field("tank")),
+        );
+    }
+
+    // ---- Engine 2: exhaustive reachability (A004–A007).
+    let reach = analyze(&ReachFacts {
+        timeout_ticks: facts.timeout_ticks(),
+        detectors_enabled: facts.detectors_enabled,
+        legacy_hold_clears_saturation: facts.legacy_hold_clears_saturation,
+    });
+    let mut counterexamples = Vec::new();
+
+    let enabled: Vec<usize> = (0..3).filter(|&d| facts.detectors_enabled[d]).collect();
+    let a004 = !enabled.is_empty() && enabled.iter().all(|&d| reach.safe_reachable[d]);
+    obligations.push(Obligation {
+        code: "A004",
+        title: "safe state reachable through every fitted detector",
+        proved: a004,
+        detail: format!(
+            "fitted detectors: {}, safe-state latch reachable: {:?}",
+            enabled.len(),
+            reach.safe_reachable
+        ),
+    });
+    if !a004 {
+        report.error(
+            "A004",
+            if enabled.is_empty() {
+                "no failure detector is fitted: the safe state is unreachable".to_string()
+            } else {
+                format!(
+                    "the safe state is not reachable through every fitted detector \
+                     (reachable: {:?})",
+                    reach.safe_reachable
+                )
+            },
+            Some(Provenance::Field("detectors")),
+        );
+    }
+
+    let a005 = reach.livelock.is_none();
+    obligations.push(Obligation {
+        code: "A005",
+        title: "no livelock under any constant input",
+        proved: a005,
+        detail: format!(
+            "every reachable state settles under every constant input ({} states)",
+            reach.states
+        ),
+    });
+    if let Some(trace) = reach.livelock.clone() {
+        report.error(
+            "A005",
+            "the regulation automaton can livelock under a constant input".to_string(),
+            Some(Provenance::Field("regulation")),
+        );
+        counterexamples.push(Counterexample {
+            obligation: "A005",
+            events: trace,
+        });
+    }
+
+    let a006 = enabled
+        .iter()
+        .all(|&d| matches!(reach.latency_ticks[d], Some(t) if t <= reach.latency_bound[d]));
+    obligations.push(Obligation {
+        code: "A006",
+        title: "detector-trip latency within the documented bound",
+        proved: a006,
+        detail: format!(
+            "worst latencies {:?} ticks vs bounds {:?}",
+            reach.latency_ticks, reach.latency_bound
+        ),
+    });
+    if !a006 {
+        report.error(
+            "A006",
+            format!(
+                "detector-trip to safe-state latency exceeds its documented bound \
+                 (worst {:?} vs bounds {:?})",
+                reach.latency_ticks, reach.latency_bound
+            ),
+            Some(Provenance::Field("detectors")),
+        );
+    }
+
+    let a007 = reach.saturation_violation.is_none();
+    obligations.push(Obligation {
+        code: "A007",
+        title: "saturation latches survive in-window holds",
+        proved: a007,
+        detail: "an in-window hold preserves both saturation latches".to_string(),
+    });
+    if let Some(trace) = reach.saturation_violation.clone() {
+        report.error(
+            "A007",
+            "an in-window hold can clear a saturation latch before the low-amplitude \
+             detector reads it"
+                .to_string(),
+            Some(Provenance::Field("regulation")),
+        );
+        counterexamples.push(Counterexample {
+            obligation: "A007",
+            events: trace,
+        });
+    }
+
+    ProveOutcome {
+        facts: facts.clone(),
+        obligations,
+        report,
+        worst_step,
+        worst_excursion,
+        boundaries,
+        critical_gm,
+        available_gm_lo: avail_lo,
+        reach,
+        counterexamples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn datasheet_facts() -> ProveFacts {
+        // The datasheet_3mhz design point: 4.7 µH, 1.5 nF per side,
+        // 15 % window, 1 ms ticks.
+        ProveFacts::chip(0.15, 4.7e-6, 1.5e-9, 1.5e-9, 1e-3)
+    }
+
+    #[test]
+    fn datasheet_point_proves_every_obligation() {
+        let outcome = prove(&datasheet_facts());
+        assert!(outcome.proved(), "{}", outcome.render_human());
+        assert!(outcome.report.is_clean());
+        assert_eq!(outcome.obligations.len(), 7);
+    }
+
+    #[test]
+    fn narrow_window_refutes_a001() {
+        let facts = ProveFacts {
+            window_rel_width: 0.03,
+            ..datasheet_facts()
+        };
+        let outcome = prove(&facts);
+        assert!(!outcome.proved());
+        assert!(outcome.report.contains("A001"));
+        // A 3 % window is also narrower than the worst ≈4 % negative
+        // boundary excursion, so the monotonicity obligation fails too.
+        assert!(outcome.report.contains("A002"));
+    }
+
+    #[test]
+    fn five_percent_window_fails_steps_but_survives_excursions() {
+        let facts = ProveFacts {
+            window_rel_width: 0.05,
+            ..datasheet_facts()
+        };
+        let outcome = prove(&facts);
+        assert!(outcome.report.contains("A001"));
+        assert!(!outcome.report.contains("A002"));
+    }
+
+    #[test]
+    fn impossible_tank_refutes_a003() {
+        let facts = ProveFacts {
+            q_min: 0.01,
+            ..datasheet_facts()
+        };
+        let outcome = prove(&facts);
+        assert!(outcome.report.contains("A003"));
+    }
+
+    #[test]
+    fn unfitted_detectors_refute_a004() {
+        let facts = ProveFacts {
+            detectors_enabled: [false; 3],
+            ..datasheet_facts()
+        };
+        let outcome = prove(&facts);
+        assert!(outcome.report.contains("A004"));
+    }
+
+    #[test]
+    fn legacy_regulator_bug_refutes_a007_with_a_trace() {
+        let facts = ProveFacts {
+            legacy_hold_clears_saturation: true,
+            ..datasheet_facts()
+        };
+        let outcome = prove(&facts);
+        assert!(outcome.report.contains("A007"));
+        let ce = outcome
+            .counterexamples
+            .iter()
+            .find(|c| c.obligation == "A007")
+            .expect("counterexample rendered");
+        assert!(!ce.events.is_empty());
+        assert!(outcome.render_human().contains("counterexample (A007)"));
+    }
+
+    #[test]
+    fn verdict_json_is_byte_stable_and_parses_back() {
+        let outcome = prove(&datasheet_facts());
+        let a = outcome.render_json();
+        let b = prove(&datasheet_facts()).render_json();
+        assert_eq!(a, b);
+        let parsed = Json::parse(&a).expect("verdict is valid JSON");
+        assert_eq!(parsed.get("proved"), Some(&Json::Bool(true)));
+        assert_eq!(parsed.render(), a, "render/parse round-trip");
+    }
+
+    #[test]
+    fn timeout_ticks_rounds_up_and_clamps() {
+        let mut facts = datasheet_facts();
+        assert_eq!(facts.timeout_ticks(), 1); // 100 µs / 1 ms rounds up
+        facts.missing_clock_timeout = 2.5e-3;
+        assert_eq!(facts.timeout_ticks(), 3);
+        facts.missing_clock_timeout = 10.0;
+        assert_eq!(facts.timeout_ticks(), 200);
+        facts.tick_period = 0.0;
+        assert_eq!(facts.timeout_ticks(), 1);
+    }
+}

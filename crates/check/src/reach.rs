@@ -1,0 +1,594 @@
+//! Exhaustive reachability over the safety automaton — regulation FSM ×
+//! failure detectors × safe-state controller.
+//!
+//! The product automaton is small enough to enumerate outright: a state
+//! is `(code, sat_low, sat_high, latch, missing-clock counter)` and an
+//! input is `(window class, clock present, low amplitude, asymmetry)`,
+//! so the whole space is a few thousand states under the chip's
+//! one-tick missing-clock timeout. The model mirrors the workspace's
+//! concrete components tick-for-tick:
+//!
+//! * the regulation decision is `RegulationFsm::tick` verbatim (below →
+//!   increment or latch `sat_high` at the top, above → decrement or
+//!   latch `sat_low` at the bottom, inside → hold with latches kept);
+//! * detectors evaluate **before** the regulation decision, on the
+//!   saturation flags of the previous tick, matching the closed-loop
+//!   ordering (measure, react, regulate);
+//! * a trip latches the safe-state controller, which forces the code to
+//!   the maximum (`SafeStateController::react`) — an absorbing state;
+//! * the low-amplitude detector only fires once the code is saturated
+//!   high (its concrete `evaluate(vpp, saturated_high)` qualifier), and
+//!   a low amplitude forces the window comparator below the window —
+//!   the physical coupling that makes its trip latency finite.
+//!
+//! Proved properties (the `A004`–`A007` obligations):
+//! absence of unreachable-safe-state, absence of livelock under any
+//! constant input, a per-detector bound on the trip → safe-state
+//! latency, and preservation of the saturation latches across in-window
+//! holds. Failed proofs come with a concrete counterexample path
+//! rendered as an `lcosc-trace` event stream.
+
+use lcosc_trace::{DetectorId, StepAction, TraceEvent, WindowClass};
+
+/// Inputs the environment can apply during one regulation tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelInput {
+    /// Window-comparator classification of the measured amplitude.
+    pub window: WindowClass,
+    /// Whether the oscillation clock is present this tick.
+    pub clock_present: bool,
+    /// Whether the measured amplitude is below the low-amplitude
+    /// threshold.
+    pub low_amplitude: bool,
+    /// Whether the LC1/LC2 asymmetry exceeds the detector threshold.
+    pub asymmetric: bool,
+}
+
+impl ModelInput {
+    /// Every physically consistent input: a low amplitude implies the
+    /// comparator reads below the window (both compare the same
+    /// rectified `VDC`, and the low threshold sits under the window).
+    pub fn all() -> Vec<ModelInput> {
+        let mut inputs = Vec::new();
+        for window in [WindowClass::Below, WindowClass::Inside, WindowClass::Above] {
+            for clock_present in [true, false] {
+                for low_amplitude in [false, true] {
+                    if low_amplitude && window != WindowClass::Below {
+                        continue;
+                    }
+                    for asymmetric in [false, true] {
+                        inputs.push(ModelInput {
+                            window,
+                            clock_present,
+                            low_amplitude,
+                            asymmetric,
+                        });
+                    }
+                }
+            }
+        }
+        inputs
+    }
+}
+
+/// One state of the product automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelState {
+    /// Regulation code (0..=127).
+    pub code: u8,
+    /// Bottom-of-range saturation latch.
+    pub sat_low: bool,
+    /// Top-of-range saturation latch.
+    pub sat_high: bool,
+    /// Safe-state latch: 0 = regulating, 1..=3 = latched by detector
+    /// (missing oscillation / low amplitude / asymmetry).
+    pub latched: u8,
+    /// Consecutive ticks without the oscillation clock, saturating at
+    /// the timeout.
+    pub missing_ticks: u8,
+}
+
+impl ModelState {
+    /// A freshly regulating state at `code` (any NVM-loaded or
+    /// POR-preset value — reachability starts from all of them).
+    pub fn regulating(code: u8) -> ModelState {
+        ModelState {
+            code,
+            sat_low: false,
+            sat_high: false,
+            latched: 0,
+            missing_ticks: 0,
+        }
+    }
+}
+
+/// Model parameters of one reachability run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReachFacts {
+    /// Missing-clock timeout in regulation ticks
+    /// (`ceil(timeout / tick_period)`, ≥ 1).
+    pub timeout_ticks: u8,
+    /// Which detectors are fitted: `[missing, low-amplitude, asymmetry]`.
+    pub detectors_enabled: [bool; 3],
+    /// Reproduce the pre-PR 3 regulator bug where an in-window hold
+    /// cleared the saturation latches — the seeded-failure mode for the
+    /// `A007` counterexample machinery.
+    pub legacy_hold_clears_saturation: bool,
+}
+
+impl ReachFacts {
+    /// The chip automaton: all three detectors fitted, current
+    /// regulator semantics, timeout expressed in ticks.
+    pub fn chip(timeout_ticks: u8) -> ReachFacts {
+        ReachFacts {
+            timeout_ticks: timeout_ticks.max(1),
+            detectors_enabled: [true; 3],
+            legacy_hold_clears_saturation: false,
+        }
+    }
+
+    /// One transition of the product automaton.
+    pub fn tick(&self, s: ModelState, input: ModelInput) -> ModelState {
+        if s.latched != 0 {
+            return s; // safe state is absorbing
+        }
+        let t = self.timeout_ticks.max(1);
+        let mut next = s;
+        next.missing_ticks = if input.clock_present {
+            0
+        } else {
+            (s.missing_ticks + 1).min(t)
+        };
+        // Detector evaluation order matches the concrete controller:
+        // the first triggered detector wins the latch.
+        let trip = if self.detectors_enabled[0] && !input.clock_present && next.missing_ticks >= t {
+            Some(1)
+        } else if self.detectors_enabled[1] && input.low_amplitude && s.sat_high {
+            Some(2)
+        } else if self.detectors_enabled[2] && input.asymmetric {
+            Some(3)
+        } else {
+            None
+        };
+        if let Some(kind) = trip {
+            // SafeStateController::react: latch, force the top code.
+            // Forcing goes through set_code, which clears both
+            // saturation latches.
+            next.latched = kind;
+            next.code = 127;
+            next.sat_low = false;
+            next.sat_high = false;
+            return next;
+        }
+        // RegulationFsm::tick.
+        match input.window {
+            WindowClass::Below => {
+                next.sat_low = false;
+                if s.code == 127 {
+                    next.sat_high = true;
+                } else {
+                    next.code = s.code + 1;
+                }
+            }
+            WindowClass::Above => {
+                next.sat_high = false;
+                if s.code == 0 {
+                    next.sat_low = true;
+                } else {
+                    next.code = s.code - 1;
+                }
+            }
+            WindowClass::Inside => {
+                if self.legacy_hold_clears_saturation {
+                    next.sat_low = false;
+                    next.sat_high = false;
+                }
+            }
+        }
+        next
+    }
+}
+
+/// Which detector a latch value refers to.
+fn detector_of(latch: u8) -> Option<DetectorId> {
+    match latch {
+        1 => Some(DetectorId::MissingOscillation),
+        2 => Some(DetectorId::LowAmplitude),
+        3 => Some(DetectorId::Asymmetry),
+        _ => None,
+    }
+}
+
+/// Everything the exhaustive pass established.
+#[derive(Debug, Clone)]
+pub struct ReachReport {
+    /// Reachable product-automaton states.
+    pub states: usize,
+    /// Explored transitions (reachable states × valid inputs).
+    pub transitions: usize,
+    /// Per detector: whether a safe state latched by it is reachable.
+    pub safe_reachable: [bool; 3],
+    /// Per detector: proven worst-case trip → safe-state latency in
+    /// ticks (`None` when the detector is disabled or the latency is
+    /// unbounded — see [`ReachReport::latency_bounded`]).
+    pub latency_ticks: [Option<u32>; 3],
+    /// Per detector: whether the latency fixpoint converged at all.
+    pub latency_bounded: [bool; 3],
+    /// Documented per-detector latency bounds the proof compares
+    /// against.
+    pub latency_bound: [u32; 3],
+    /// A constant-input trajectory that never stabilises, when one
+    /// exists (livelock counterexample).
+    pub livelock: Option<Vec<TraceEvent>>,
+    /// A trajectory on which an in-window hold drops a saturation
+    /// latch, when one exists.
+    pub saturation_violation: Option<Vec<TraceEvent>>,
+}
+
+/// Dense state indexing for the visited/parent tables.
+struct Indexer {
+    timeout_ticks: u8,
+}
+
+impl Indexer {
+    fn size(&self) -> usize {
+        128 * 2 * 2 * 4 * (self.timeout_ticks as usize + 1)
+    }
+
+    fn index(&self, s: ModelState) -> usize {
+        let mut i = s.missing_ticks as usize;
+        i = i * 4 + s.latched as usize;
+        i = i * 2 + usize::from(s.sat_high);
+        i = i * 2 + usize::from(s.sat_low);
+        i * 128 + s.code as usize
+    }
+
+    fn state(&self, mut i: usize) -> ModelState {
+        let code = (i % 128) as u8;
+        i /= 128;
+        let sat_low = i % 2 == 1;
+        i /= 2;
+        let sat_high = i % 2 == 1;
+        i /= 2;
+        let latched = (i % 4) as u8;
+        i /= 4;
+        ModelState {
+            code,
+            sat_low,
+            sat_high,
+            latched,
+            missing_ticks: i as u8,
+        }
+    }
+}
+
+/// Renders a path of `(state, input, next)` transitions as the event
+/// stream the concrete loop would have traced.
+fn render_path(facts: &ReachFacts, path: &[(ModelState, ModelInput)]) -> Vec<TraceEvent> {
+    let mut events = Vec::new();
+    for (k, &(s, input)) in path.iter().enumerate() {
+        let tick = k as u64 + 1;
+        let next = facts.tick(s, input);
+        if next.latched != 0 && s.latched == 0 {
+            if let Some(detector) = detector_of(next.latched) {
+                events.push(TraceEvent::DetectorTrip {
+                    tick,
+                    detector,
+                    latency_ticks: tick,
+                });
+                events.push(TraceEvent::SafeStateEntry { tick, detector });
+            }
+            continue;
+        }
+        let action = match next.code.cmp(&s.code) {
+            std::cmp::Ordering::Greater => StepAction::Increment,
+            std::cmp::Ordering::Less => StepAction::Decrement,
+            std::cmp::Ordering::Equal => StepAction::Hold,
+        };
+        events.push(TraceEvent::CodeStep {
+            tick,
+            old: s.code,
+            new: next.code,
+            action,
+            window: input.window,
+        });
+        if next.sat_high && !s.sat_high {
+            events.push(TraceEvent::Saturated { tick, high: true });
+        }
+        if next.sat_low && !s.sat_low {
+            events.push(TraceEvent::Saturated { tick, high: false });
+        }
+    }
+    events
+}
+
+/// Exhaustively enumerates the reachable state space and proves (or
+/// refutes, with counterexamples) the `A004`–`A007` properties.
+pub fn analyze(facts: &ReachFacts) -> ReachReport {
+    let facts = ReachFacts {
+        timeout_ticks: facts.timeout_ticks.max(1),
+        ..*facts
+    };
+    let idx = Indexer {
+        timeout_ticks: facts.timeout_ticks,
+    };
+    let inputs = ModelInput::all();
+
+    // Breadth-first reachability with parent pointers for trace
+    // reconstruction. Initial states: every code, clean flags.
+    let mut visited = vec![false; idx.size()];
+    let mut parent: Vec<Option<(usize, ModelInput)>> = vec![None; idx.size()];
+    let mut queue = std::collections::VecDeque::new();
+    for code in 0..=127u8 {
+        let s = ModelState::regulating(code);
+        visited[idx.index(s)] = true;
+        queue.push_back(s);
+    }
+    let mut states = 0usize;
+    let mut transitions = 0usize;
+    let mut safe_reachable = [false; 3];
+    while let Some(s) = queue.pop_front() {
+        states += 1;
+        if let Some(d) = s.latched.checked_sub(1) {
+            safe_reachable[d as usize] = true;
+            continue; // absorbing
+        }
+        for &input in &inputs {
+            transitions += 1;
+            let next = facts.tick(s, input);
+            let ni = idx.index(next);
+            if !visited[ni] {
+                visited[ni] = true;
+                parent[ni] = Some((idx.index(s), input));
+                queue.push_back(next);
+            }
+        }
+    }
+
+    // Path from an initial state to `target`, as (state, input) edges.
+    let path_to = |target: usize| -> Vec<(ModelState, ModelInput)> {
+        let mut rev = Vec::new();
+        let mut cursor = target;
+        while let Some((prev, input)) = parent[cursor] {
+            rev.push((idx.state(prev), input));
+            cursor = prev;
+        }
+        rev.reverse();
+        rev
+    };
+
+    // A005 — livelock freedom: under every constant input, every
+    // reachable state must settle to a fixed point within the longest
+    // possible monotone excursion (full code sweep + latching slack).
+    let settle_bound = 128 + facts.timeout_ticks as usize + 4;
+    let mut livelock = None;
+    'livelock: for (i, &seen) in visited.iter().enumerate() {
+        if !seen || idx.state(i).latched != 0 {
+            continue;
+        }
+        for &input in &inputs {
+            let mut s = idx.state(i);
+            let mut settled = false;
+            let mut tail = Vec::new();
+            for _ in 0..settle_bound {
+                let next = facts.tick(s, input);
+                if next == s {
+                    settled = true;
+                    break;
+                }
+                tail.push((s, input));
+                s = next;
+            }
+            if !settled {
+                let mut path = path_to(i);
+                path.extend(tail);
+                livelock = Some(render_path(&facts, &path));
+                break 'livelock;
+            }
+        }
+    }
+
+    // A006 — trip latency: for each fitted detector, the worst number
+    // of ticks to reach the safe state from any reachable state, over
+    // every input sequence that keeps the detector's fault condition
+    // asserted. Computed as a longest-path fixpoint; a cycle means the
+    // latency is unbounded.
+    let latency_bound = [facts.timeout_ticks as u32, 127 + 2, 1];
+    let mut latency_ticks = [None; 3];
+    let mut latency_bounded = [true; 3];
+    for d in 0..3 {
+        if !facts.detectors_enabled[d] {
+            continue; // vacuously bounded: no obligation for absent hardware
+        }
+        let condition = |input: &ModelInput| match d {
+            0 => !input.clock_present,
+            1 => input.low_amplitude,
+            _ => input.asymmetric,
+        };
+        let held: Vec<ModelInput> = inputs.iter().copied().filter(condition).collect();
+        // memo: 0 = unvisited, 1 = on stack, 2 = done.
+        let mut mark = vec![0u8; idx.size()];
+        let mut lat = vec![0u32; idx.size()];
+        let mut worst = Some(0u32);
+        for i in 0..idx.size() {
+            if !visited[i] {
+                continue;
+            }
+            // Iterative DFS computing lat[i] = max over held inputs of
+            // 1 + lat[next]; latched states cost 0.
+            let mut stack = vec![(i, 0usize)];
+            while let Some(&mut (node, ref mut k)) = stack.last_mut() {
+                if idx.state(node).latched != 0 {
+                    mark[node] = 2;
+                    lat[node] = 0;
+                    stack.pop();
+                    continue;
+                }
+                if *k == 0 {
+                    if mark[node] == 2 {
+                        stack.pop();
+                        continue;
+                    }
+                    mark[node] = 1;
+                }
+                if *k < held.len() {
+                    let input = held[*k];
+                    *k += 1;
+                    let next = idx.index(facts.tick(idx.state(node), input));
+                    if next == node || mark[next] == 1 {
+                        // Cycle under a held fault condition: the
+                        // detector can be starved forever.
+                        worst = None;
+                        break;
+                    }
+                    if mark[next] != 2 {
+                        stack.push((next, 0));
+                    }
+                    continue;
+                }
+                let mut best = 0u32;
+                for &input in &held {
+                    let next = idx.index(facts.tick(idx.state(node), input));
+                    best = best.max(1 + lat[next]);
+                }
+                lat[node] = best;
+                mark[node] = 2;
+                stack.pop();
+            }
+            if worst.is_none() {
+                break;
+            }
+            worst = worst.map(|w| w.max(lat[i]));
+        }
+        latency_bounded[d] = worst.is_some();
+        latency_ticks[d] = worst;
+    }
+
+    // A007 — saturation-latch preservation: an in-window hold must keep
+    // both saturation latches.
+    let hold = ModelInput {
+        window: WindowClass::Inside,
+        clock_present: true,
+        low_amplitude: false,
+        asymmetric: false,
+    };
+    let mut saturation_violation = None;
+    for (i, &seen) in visited.iter().enumerate() {
+        if !seen {
+            continue;
+        }
+        let s = idx.state(i);
+        if s.latched != 0 || !(s.sat_low || s.sat_high) {
+            continue;
+        }
+        let next = facts.tick(s, hold);
+        if next.sat_low != s.sat_low || next.sat_high != s.sat_high {
+            let mut path = path_to(i);
+            path.push((s, hold));
+            saturation_violation = Some(render_path(&facts, &path));
+            break;
+        }
+    }
+
+    ReachReport {
+        states,
+        transitions,
+        safe_reachable,
+        latency_ticks,
+        latency_bounded,
+        latency_bound,
+        livelock,
+        saturation_violation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcosc_trace::render_jsonl;
+
+    #[test]
+    fn chip_automaton_is_fully_safe() {
+        let r = analyze(&ReachFacts::chip(1));
+        assert_eq!(r.safe_reachable, [true; 3]);
+        assert!(r.livelock.is_none());
+        assert!(r.saturation_violation.is_none());
+        for d in 0..3 {
+            assert!(r.latency_bounded[d], "detector {d}");
+            let lat = r.latency_ticks[d].expect("latency computed");
+            assert!(
+                lat <= r.latency_bound[d],
+                "detector {d}: {lat} > {}",
+                r.latency_bound[d]
+            );
+        }
+    }
+
+    #[test]
+    fn latencies_match_the_analytic_worst_cases() {
+        let r = analyze(&ReachFacts::chip(1));
+        // Missing clock: one tick of timeout.
+        assert_eq!(r.latency_ticks[0], Some(1));
+        // Low amplitude: climb 0 → 127, latch sat_high, trip.
+        assert_eq!(r.latency_ticks[1], Some(129));
+        // Asymmetry trips immediately.
+        assert_eq!(r.latency_ticks[2], Some(1));
+    }
+
+    #[test]
+    fn longer_timeout_stretches_the_missing_clock_latency() {
+        let r = analyze(&ReachFacts::chip(3));
+        assert_eq!(r.latency_ticks[0], Some(3));
+        assert_eq!(r.latency_bound[0], 3);
+    }
+
+    #[test]
+    fn all_detectors_disabled_makes_safe_state_unreachable() {
+        let facts = ReachFacts {
+            detectors_enabled: [false; 3],
+            ..ReachFacts::chip(1)
+        };
+        let r = analyze(&facts);
+        assert_eq!(r.safe_reachable, [false; 3]);
+        // Still no livelock: the loop parks at a saturation fixed point.
+        assert!(r.livelock.is_none());
+    }
+
+    #[test]
+    fn legacy_hold_bug_yields_a_rendered_counterexample() {
+        let facts = ReachFacts {
+            legacy_hold_clears_saturation: true,
+            ..ReachFacts::chip(1)
+        };
+        let r = analyze(&facts);
+        let trace = r.saturation_violation.expect("violation found");
+        let jsonl = render_jsonl(&trace, |_| true);
+        assert!(jsonl.contains("\"ev\":\"saturated\""), "{jsonl}");
+        assert!(jsonl.contains("\"window\":\"inside\""), "{jsonl}");
+    }
+
+    #[test]
+    fn reachable_space_is_the_expected_size() {
+        let r = analyze(&ReachFacts::chip(1));
+        // The reachable region is exactly: 128 clean regulating states,
+        // the two saturation states (sat_low only at code 0, sat_high
+        // only at code 127 — saturation clears on the first step away),
+        // and the three absorbing safe states (missing-clock latch
+        // carries its timed-out counter; the other two latch with the
+        // counter at zero). Exhaustive enumeration, not sampling.
+        assert_eq!(r.states, 128 + 2 + 3, "{}", r.states);
+        assert!(r.transitions > r.states, "{}", r.transitions);
+        // A longer timeout widens the counter dimension.
+        let r3 = analyze(&ReachFacts::chip(3));
+        assert!(r3.states > r.states, "{} vs {}", r3.states, r.states);
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let a = analyze(&ReachFacts::chip(1));
+        let b = analyze(&ReachFacts::chip(1));
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(a.latency_ticks, b.latency_ticks);
+    }
+}

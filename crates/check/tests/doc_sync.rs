@@ -1,0 +1,92 @@
+//! Registry/documentation sync lint: the stable diagnostic-code registry
+//! (`ALL_CODES`) and the human documentation must not drift apart. The
+//! README's code table is required to carry exactly one row per
+//! registered code with the registry's own description text, and the
+//! DESIGN chapter on the prover must mention every `A0xx` obligation.
+
+use lcosc_check::ALL_CODES;
+use std::path::PathBuf;
+
+fn repo_file(name: &str) -> String {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", name]
+        .iter()
+        .collect();
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// The `| CODE | description |` rows of every markdown table in `text`.
+fn table_code_rows(text: &str) -> Vec<(String, String)> {
+    text.lines()
+        .filter_map(|line| {
+            let mut cells = line.split('|').map(str::trim);
+            let _ = cells.next()?; // leading empty cell
+            let code = cells.next()?;
+            let description = cells.next()?;
+            let is_code = code.len() == 4
+                && code.starts_with(|c: char| c.is_ascii_uppercase())
+                && code[1..].chars().all(|c| c.is_ascii_digit());
+            is_code.then(|| (code.to_string(), description.to_string()))
+        })
+        .collect()
+}
+
+#[test]
+fn readme_code_table_matches_the_registry_exactly() {
+    let readme = repo_file("README.md");
+    let rows = table_code_rows(&readme);
+    // Every registered code has exactly one table row, with the
+    // registry's own description — not a paraphrase.
+    for (code, description) in ALL_CODES {
+        let matches: Vec<_> = rows.iter().filter(|(c, _)| c == code).collect();
+        assert_eq!(
+            matches.len(),
+            1,
+            "README code table must list {code} exactly once (found {})",
+            matches.len()
+        );
+        assert_eq!(
+            matches[0].1, *description,
+            "README row for {code} drifted from the registry text"
+        );
+    }
+    // And no row advertises a code the registry does not know.
+    for (code, _) in &rows {
+        assert!(
+            ALL_CODES.iter().any(|(c, _)| c == code),
+            "README table lists unregistered code {code}"
+        );
+    }
+}
+
+#[test]
+fn design_prover_chapter_mentions_every_obligation() {
+    let design = repo_file("DESIGN.md");
+    for (code, _) in ALL_CODES.iter().filter(|(c, _)| c.starts_with('A')) {
+        assert!(
+            design.contains(code),
+            "DESIGN.md never mentions proof obligation {code}"
+        );
+    }
+    assert!(
+        design.contains("## 11. Static safety proving"),
+        "DESIGN.md lost its prover chapter"
+    );
+}
+
+#[test]
+fn registry_is_ordered_and_append_only_by_family() {
+    // Within each code family the numeric suffix must be strictly
+    // increasing — appending is the only legal registry change.
+    for family in ["E", "C", "S", "A"] {
+        let nums: Vec<u32> = ALL_CODES
+            .iter()
+            .filter(|(c, _)| c.starts_with(family))
+            .map(|(c, _)| c[1..].parse().expect("registry code suffix"))
+            .collect();
+        assert!(!nums.is_empty(), "family {family} vanished");
+        assert!(
+            nums.windows(2).all(|w| w[1] == w[0] + 1) && nums[0] == 1,
+            "family {family} is not a dense 1..n sequence: {nums:?}"
+        );
+    }
+}

@@ -164,6 +164,29 @@ impl OscillatorConfig {
         lcosc_check::check_config_facts(&self.facts())
     }
 
+    /// Snapshot of this configuration for the static safety prover
+    /// (`lcosc-check`'s `A0xx` obligations): the nominal tank elements,
+    /// the regulation window and the tick period, with the prover's
+    /// default mismatch box, tolerance box and Q range on top.
+    pub fn prove_facts(&self) -> lcosc_check::ProveFacts {
+        lcosc_check::ProveFacts::chip(
+            self.window_rel_width,
+            self.tank.l().value(),
+            self.tank.c1().value(),
+            self.tank.c2().value(),
+            self.tick_period,
+        )
+    }
+
+    /// Runs the static safety prover on this configuration: abstract
+    /// interpretation of the DAC over its whole mismatch box plus
+    /// exhaustive reachability of the regulation/safety automaton. Far
+    /// stronger (and slower) than [`check`](Self::check) — every verdict
+    /// holds for *all* dies and inputs in the box, not one sample.
+    pub fn prove(&self) -> lcosc_check::ProveOutcome {
+        lcosc_check::prove(&self.prove_facts())
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors

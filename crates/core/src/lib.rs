@@ -55,7 +55,7 @@ pub use gm_driver::{DriverShape, GmDriver};
 pub use measure::{amplitude_pp, frequency_of, settling_tick};
 pub use oscillator::{OscillatorModel, OscillatorState, OscillatorWaveform};
 pub use regulator::RegulationFsm;
-pub use sim::{ClosedLoopSim, SettleReport, SimEvent, SimTrace};
+pub use sim::{CheckLevel, ClosedLoopSim, SettleReport, SimEvent, SimTrace};
 pub use startup::StartupSequencer;
 pub use tank::LcTank;
 pub use thresholds::ReferenceStyle;

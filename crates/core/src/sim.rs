@@ -35,6 +35,21 @@ fn step_action(a: RegulationAction) -> StepAction {
     }
 }
 
+/// How much static verification [`ClosedLoopSim::new_with_level`] runs
+/// before the first tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CheckLevel {
+    /// The concrete-value `lcosc-check` pass (what [`ClosedLoopSim::new`]
+    /// runs): lints this configuration's values.
+    #[default]
+    Standard,
+    /// The concrete pass plus the `A0xx` static prover: interval abstract
+    /// interpretation over the whole DAC mismatch box and exhaustive
+    /// reachability of the regulation/safety automaton. Slower, but the
+    /// verdict covers every die and input sequence, not just this one.
+    Prove,
+}
+
 /// Events logged by the simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SimEvent {
@@ -138,7 +153,24 @@ impl ClosedLoopSim {
     /// diagnostic report when the `lcosc-check` pass finds errors, or
     /// [`crate::CoreError::InvalidConfig`] when plain validation fails.
     pub fn new(cfg: OscillatorConfig) -> Result<Self> {
-        let report = cfg.check();
+        Self::new_with_level(cfg, CheckLevel::Standard)
+    }
+
+    /// Builds the loop with an explicit verification level: `Standard` is
+    /// [`ClosedLoopSim::new`]; `Prove` additionally discharges the `A0xx`
+    /// proof obligations and refuses to construct when any is refuted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::CheckFailed`] carrying the combined
+    /// diagnostic report when the static pass (or, at `Prove` level, the
+    /// prover) finds errors, or [`crate::CoreError::InvalidConfig`] when
+    /// plain validation fails.
+    pub fn new_with_level(cfg: OscillatorConfig, level: CheckLevel) -> Result<Self> {
+        let mut report = cfg.check();
+        if level == CheckLevel::Prove {
+            report.merge(cfg.prove().report);
+        }
         if report.has_errors() {
             return Err(crate::CoreError::CheckFailed(report));
         }
@@ -772,6 +804,34 @@ mod tests {
     #[test]
     fn unchecked_constructor_accepts_valid_configs() {
         assert!(ClosedLoopSim::new_unchecked(OscillatorConfig::fast_test()).is_ok());
+    }
+
+    #[test]
+    fn prove_level_accepts_the_presets() {
+        for cfg in [
+            OscillatorConfig::datasheet_3mhz(),
+            OscillatorConfig::low_q(),
+            OscillatorConfig::fast_test(),
+        ] {
+            let sim = ClosedLoopSim::new_with_level(cfg, CheckLevel::Prove);
+            assert!(sim.is_ok(), "{:?}", sim.err());
+        }
+    }
+
+    #[test]
+    fn prove_level_rejects_an_unprovable_window() {
+        // 8 % clears plain validation (> 6.25 % ideal max step) and the
+        // concrete S001 check, but is narrower than the ≈11 % worst-case
+        // step over the mismatch box — only the prover catches it.
+        let mut cfg = OscillatorConfig::fast_test();
+        cfg.window_rel_width = 0.08;
+        assert!(ClosedLoopSim::new(cfg.clone()).is_ok());
+        match ClosedLoopSim::new_with_level(cfg, CheckLevel::Prove) {
+            Err(crate::CoreError::CheckFailed(report)) => {
+                assert!(report.contains("A001"), "{}", report.render_human());
+            }
+            other => panic!("expected CheckFailed, got {other:?}"),
+        }
     }
 
     fn cycle_cfg() -> OscillatorConfig {

@@ -154,6 +154,11 @@ pub enum Request {
     },
     /// FMEA or yield campaign (runs serially inside one worker slot).
     Campaign(CampaignSpec),
+    /// Static safety proof (`A0xx` obligations) of a preset.
+    Prove {
+        /// Configuration preset whose facts are proved.
+        preset: Preset,
+    },
     /// Server counter dump (never cached).
     Stats,
     /// Graceful-drain trigger (never cached).
@@ -167,6 +172,7 @@ impl Request {
             Request::Transient { .. } => ServeKind::Transient,
             Request::Scenario { .. } => ServeKind::Scenario,
             Request::Campaign(_) => ServeKind::Campaign,
+            Request::Prove { .. } => ServeKind::Prove,
             Request::Stats => ServeKind::Stats,
             Request::Shutdown => ServeKind::Shutdown,
         }
@@ -178,7 +184,10 @@ impl Request {
     pub fn cacheable(&self) -> bool {
         matches!(
             self,
-            Request::Transient { .. } | Request::Scenario { .. } | Request::Campaign(_)
+            Request::Transient { .. }
+                | Request::Scenario { .. }
+                | Request::Campaign(_)
+                | Request::Prove { .. }
         )
     }
 }
@@ -290,6 +299,16 @@ pub fn parse_request(v: &Json) -> Result<Request, String> {
                 other => Err(format!("unknown campaign {other:?}")),
             }
         }
+        "prove" => {
+            let preset = match v.get("preset") {
+                None => Preset::FastTest,
+                Some(p) => Preset::parse(
+                    p.as_str()
+                        .ok_or_else(|| "\"preset\" must be a string".to_string())?,
+                )?,
+            };
+            Ok(Request::Prove { preset })
+        }
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown request kind {other:?}")),
@@ -386,6 +405,10 @@ mod tests {
                 r#"{"kind":"transient","deck":{"elements":[]},"dt":1e-6,"t_end":1e-3}"#,
                 ServeKind::Transient,
             ),
+            (
+                r#"{"kind":"prove","preset":"datasheet_3mhz"}"#,
+                ServeKind::Prove,
+            ),
         ];
         for (line, kind) in cases {
             let req = parse_request(&parse_line(line)).expect(line);
@@ -411,6 +434,7 @@ mod tests {
             ),
             (r#"{"kind":"campaign","campaign":"yield","dies":0}"#, "dies"),
             (r#"{"kind":"campaign","campaign":"sweep"}"#, "sweep"),
+            (r#"{"kind":"prove","preset":"warp_tank"}"#, "warp_tank"),
         ];
         for (line, needle) in cases {
             let err = parse_request(&parse_line(line)).expect_err(line);
@@ -460,6 +484,10 @@ mod tests {
                 .map(|r| r.cacheable())
                 .expect("parses")
         );
+        assert!(Request::Prove {
+            preset: Preset::FastTest
+        }
+        .cacheable());
         assert!(!Request::Stats.cacheable());
         assert!(!Request::Shutdown.cacheable());
     }

@@ -92,6 +92,13 @@ pub fn execute(request: &Request) -> Result<Json, String> {
                 yield_analysis_campaign(&DacMismatchParams::default(), *dies, *seed, *window, 1);
             Ok(run.report.to_json())
         }
+        Request::Prove { preset } => {
+            let outcome = lcosc_check::prove(&preset.config().prove_facts());
+            Ok(Json::obj([
+                ("preset", Json::from(preset.token())),
+                ("prove", outcome.to_json()),
+            ]))
+        }
         // Stats and shutdown are answered by the engine itself — they
         // read or mutate server state no worker can see.
         Request::Stats | Request::Shutdown => {
@@ -161,6 +168,25 @@ mod tests {
         let b = execute(&req).expect("runs").render();
         assert_eq!(a, b);
         assert!(a.contains("\"dies\":16"));
+    }
+
+    #[test]
+    fn prove_payload_is_deterministic_and_proved_for_presets() {
+        for preset in [Preset::FastTest, Preset::Datasheet3MHz, Preset::LowQ] {
+            let req = Request::Prove { preset };
+            let payload = execute(&req).expect("prover runs");
+            assert_eq!(
+                payload.get("preset").and_then(Json::as_str),
+                Some(preset.token())
+            );
+            assert_eq!(
+                payload.get("prove").and_then(|p| p.get("proved")).cloned(),
+                Some(Json::Bool(true)),
+                "{}",
+                preset.token()
+            );
+            assert_eq!(payload.render(), execute(&req).expect("rerun").render());
+        }
     }
 
     #[test]

@@ -107,6 +107,8 @@ pub enum ServeKind {
     Scenario,
     /// FMEA / yield campaign.
     Campaign,
+    /// Static safety proof (`A0xx` obligations) of a preset.
+    Prove,
     /// Server counter dump.
     Stats,
     /// Graceful-drain trigger.
@@ -122,6 +124,7 @@ impl ServeKind {
             ServeKind::Transient => "transient",
             ServeKind::Scenario => "scenario",
             ServeKind::Campaign => "campaign",
+            ServeKind::Prove => "prove",
             ServeKind::Stats => "stats",
             ServeKind::Shutdown => "shutdown",
             ServeKind::Invalid => "invalid",
@@ -541,6 +544,7 @@ mod tests {
             DetectorId::MissingOscillation.label(),
             PhaseId::NvmLoaded.label(),
             ServeKind::Transient.label(),
+            ServeKind::Prove.label(),
             ServeStatus::BadRequest.label(),
         ] {
             assert!(l.chars().all(|c| c.is_ascii_lowercase() || c == '_'), "{l}");

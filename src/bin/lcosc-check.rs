@@ -2,29 +2,54 @@
 //! configurations.
 //!
 //! ```text
-//! lcosc-check [--json] netlist <deck.cir>   lint a SPICE-style deck
-//! lcosc-check [--json] config <preset>      lint a configuration preset
-//! lcosc-check list-codes                    print the diagnostic registry
-//! lcosc-check explain <CODE>                describe one diagnostic code
+//! lcosc-check [--json] netlist <deck.cir>        lint a SPICE-style deck
+//! lcosc-check [--json] [--prove] config <preset> lint (and prove) a preset
+//! lcosc-check [--json] prove-faults <preset>     prove the 11-fault fitments
+//! lcosc-check list-codes                         print the diagnostic registry
+//! lcosc-check explain <CODE>                     describe one diagnostic code
 //! ```
 //!
+//! `--prove` runs the `A0xx` static safety prover on top of the concrete
+//! lint: interval abstract interpretation of the DAC over its whole
+//! mismatch box plus exhaustive reachability of the regulation/safety
+//! automaton. `prove-faults` re-proves safe-state reachability once per
+//! catalog fault with only that fault's fitted detectors enabled.
+//!
 //! Exit status: 0 when clean (warnings allowed), 1 when any error-severity
-//! diagnostic was found, 2 on usage or parse failures.
+//! diagnostic was found or a proof obligation was refuted, 2 on usage or
+//! parse failures.
 
 use lcosc::check::{describe, parse_deck, Report, ALL_CODES};
 use lcosc::core::OscillatorConfig;
+use lcosc::proving;
 use lcosc::safety::scenario::check_scenario;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: lcosc-check [--json] netlist <deck.cir>
-       lcosc-check [--json] config <datasheet_3mhz|low_q|fast_test>
+       lcosc-check [--json] [--prove] config <datasheet_3mhz|low_q|fast_test>
+       lcosc-check [--json] prove-faults <datasheet_3mhz|low_q|fast_test>
        lcosc-check list-codes
        lcosc-check explain <CODE>";
+
+fn preset_config(preset: &str) -> Option<OscillatorConfig> {
+    match preset {
+        "datasheet_3mhz" | "datasheet" => Some(OscillatorConfig::datasheet_3mhz()),
+        "low_q" => Some(OscillatorConfig::low_q()),
+        "fast_test" => Some(OscillatorConfig::fast_test()),
+        _ => None,
+    }
+}
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json = if let Some(pos) = args.iter().position(|a| a == "--json") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let prove = if let Some(pos) = args.iter().position(|a| a == "--prove") {
         args.remove(pos);
         true
     } else {
@@ -72,16 +97,50 @@ fn main() -> ExitCode {
             let Some(preset) = args.get(1) else {
                 return usage();
             };
-            let cfg = match preset.as_str() {
-                "datasheet_3mhz" | "datasheet" => OscillatorConfig::datasheet_3mhz(),
-                "low_q" => OscillatorConfig::low_q(),
-                "fast_test" => OscillatorConfig::fast_test(),
-                other => {
-                    eprintln!("unknown preset {other:?} (datasheet_3mhz, low_q, fast_test)");
-                    return ExitCode::from(2);
-                }
+            let Some(cfg) = preset_config(preset) else {
+                eprintln!("unknown preset {preset:?} (datasheet_3mhz, low_q, fast_test)");
+                return ExitCode::from(2);
             };
-            finish(&check_scenario(&cfg), json)
+            if prove {
+                let outcome = proving::prove_config(&cfg);
+                if json {
+                    println!("{}", outcome.render_json());
+                } else {
+                    let concrete = check_scenario(&cfg);
+                    print!("{}", concrete.render_human());
+                    print!("{}", outcome.render_human());
+                }
+                if outcome.proved() && !check_scenario(&cfg).has_errors() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            } else {
+                finish(&check_scenario(&cfg), json)
+            }
+        }
+        Some("prove-faults") => {
+            let Some(preset) = args.get(1) else {
+                return usage();
+            };
+            let Some(cfg) = preset_config(preset) else {
+                eprintln!("unknown preset {preset:?} (datasheet_3mhz, low_q, fast_test)");
+                return ExitCode::from(2);
+            };
+            let proofs = proving::prove_fault_responses(&cfg);
+            if json {
+                println!(
+                    "{}",
+                    proving::fault_responses_to_json(preset, &proofs).render()
+                );
+            } else {
+                print!("{}", proving::fault_responses_to_human(preset, &proofs));
+            }
+            if proofs.iter().all(|p| p.outcome.proved()) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         _ => usage(),
     }

@@ -28,6 +28,10 @@
 //! - [`safety`] — fault injection, FMEA matrix, redundant dual system.
 //! - [`sensor`] — the inductive position sensor application layer.
 //!
+//! On top of the re-exports, [`proving`] composes `check`'s static
+//! safety prover with the chip's presets and fault catalog (the
+//! `lcosc-check --prove` and `prove-faults` CLI paths).
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -43,6 +47,8 @@
 //! ```
 
 #![warn(missing_docs)]
+
+pub mod proving;
 
 pub use lcosc_campaign as campaign;
 pub use lcosc_check as check;

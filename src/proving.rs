@@ -1,0 +1,190 @@
+//! Chip-level composition of the `lcosc-check` static safety prover:
+//! glue shared by the `lcosc-check` CLI and the golden-fixture tests.
+//!
+//! The check crate proves properties of *facts* — a mismatch box, a
+//! window, a detector fitment. This module decides which facts the chip
+//! presents: the full prover run for a configuration preset
+//! ([`prove_config`]), and the per-fault fitment proof
+//! ([`prove_fault_responses`]) that walks the 11-fault FMEA catalog and
+//! proves, for each fault, that the detectors fitted to catch it still
+//! reach the safe state with a bounded trip latency — the static
+//! counterpart of the dynamic FMEA campaign in `lcosc-safety`.
+
+use lcosc_campaign::Json;
+use lcosc_check::{prove, ProveFacts, ProveOutcome};
+use lcosc_core::OscillatorConfig;
+use lcosc_safety::Fault;
+use lcosc_serve::protocol::fault_token;
+
+/// Which of the three detectors (missing-oscillation, low-amplitude,
+/// asymmetry) are fitted to catch `fault` — the paper's §5 detector
+/// assignment. A fault's proof obligation only credits these detectors:
+/// the safe state must be reachable *through them*, not through a
+/// detector the failure mode does not excite.
+pub fn fault_detectors(fault: Fault) -> [bool; 3] {
+    match fault {
+        // The tank stops oscillating outright: the missing-oscillation
+        // comparator is the primary witness.
+        Fault::OpenCoil | Fault::CoilShort | Fault::SupplyLoss | Fault::DriverDead => {
+            [true, false, false]
+        }
+        // A shorted pin kills the oscillation and unbalances LC1/LC2:
+        // both the missing-oscillation and asymmetry detectors see it.
+        Fault::PinShortToGround { .. } | Fault::PinShortToSupply { .. } => [true, false, true],
+        // One missing capacitor detunes a single pin: only the
+        // asymmetry comparison catches it.
+        Fault::MissingCapacitor { .. } => [false, false, true],
+        // Drifting series resistance starves the amplitude while the
+        // loop saturates high: the low-amplitude detector's case.
+        Fault::RsDrift { .. } => [false, true, false],
+    }
+}
+
+/// Proves the full obligation set for a configuration (all detectors
+/// fitted). Equivalent to [`OscillatorConfig::prove`], re-exported here
+/// so CLI and tests share one entry point.
+pub fn prove_config(cfg: &OscillatorConfig) -> ProveOutcome {
+    prove(&cfg.prove_facts())
+}
+
+/// One fault's fitment proof.
+#[derive(Debug, Clone)]
+pub struct FaultProof {
+    /// The fault, by stable protocol token.
+    pub fault: &'static str,
+    /// The fitted-detector mask the proof ran with.
+    pub detectors: [bool; 3],
+    /// The prover outcome under that fitment.
+    pub outcome: ProveOutcome,
+}
+
+/// Walks the 11-fault catalog and proves each fault's detector fitment
+/// on `cfg`: with only [`fault_detectors`] enabled, the safe state must
+/// stay reachable, livelock-free, latency-bounded and latch-preserving.
+pub fn prove_fault_responses(cfg: &OscillatorConfig) -> Vec<FaultProof> {
+    let base = cfg.prove_facts();
+    Fault::catalog()
+        .into_iter()
+        .map(|fault| {
+            let facts = ProveFacts {
+                detectors_enabled: fault_detectors(fault),
+                ..base.clone()
+            };
+            FaultProof {
+                fault: fault_token(fault),
+                detectors: fault_detectors(fault),
+                outcome: prove(&facts),
+            }
+        })
+        .collect()
+}
+
+const DETECTOR_NAMES: [&str; 3] = ["missing_oscillation", "low_amplitude", "asymmetry"];
+
+/// Byte-stable JSON document for a [`prove_fault_responses`] run.
+pub fn fault_responses_to_json(preset: &str, proofs: &[FaultProof]) -> Json {
+    let rows: Vec<Json> = proofs
+        .iter()
+        .map(|p| {
+            let fitted: Vec<Json> = DETECTOR_NAMES
+                .iter()
+                .zip(p.detectors)
+                .filter(|&(_, on)| on)
+                .map(|(name, _)| Json::from(*name))
+                .collect();
+            Json::obj([
+                ("fault", Json::from(p.fault)),
+                ("detectors", Json::Array(fitted)),
+                ("proved", Json::from(p.outcome.proved())),
+                ("prove", p.outcome.to_json()),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("preset", Json::from(preset.to_string())),
+        ("faults", Json::Array(rows)),
+        (
+            "all_proved",
+            Json::from(proofs.iter().all(|p| p.outcome.proved())),
+        ),
+    ])
+}
+
+/// Human-readable rendering of a [`prove_fault_responses`] run.
+pub fn fault_responses_to_human(preset: &str, proofs: &[FaultProof]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("fault fitment proofs for preset {preset}\n"));
+    for p in proofs {
+        let fitted: Vec<&str> = DETECTOR_NAMES
+            .iter()
+            .zip(p.detectors)
+            .filter(|&(_, on)| on)
+            .map(|(name, _)| *name)
+            .collect();
+        s.push_str(&format!(
+            "{} {:16} via {}\n",
+            if p.outcome.proved() {
+                "proved "
+            } else {
+                "REFUTED"
+            },
+            p.fault,
+            fitted.join("+"),
+        ));
+    }
+    let failed = proofs.iter().filter(|p| !p.outcome.proved()).count();
+    if failed == 0 {
+        s.push_str(&format!("all {} fault fitments proved\n", proofs.len()));
+    } else {
+        s.push_str(&format!(
+            "{failed} of {} fault fitments REFUTED\n",
+            proofs.len()
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_catalog_fault_has_at_least_one_detector() {
+        for fault in Fault::catalog() {
+            let mask = fault_detectors(fault);
+            assert!(mask.iter().any(|&d| d), "{fault:?} has no fitted detector");
+        }
+    }
+
+    #[test]
+    fn fast_test_fault_fitments_all_prove() {
+        let cfg = OscillatorConfig::fast_test();
+        let proofs = prove_fault_responses(&cfg);
+        assert_eq!(proofs.len(), 11);
+        for p in &proofs {
+            assert!(
+                p.outcome.proved(),
+                "{}:\n{}",
+                p.fault,
+                p.outcome.render_human()
+            );
+        }
+        let doc = fault_responses_to_json("fast_test", &proofs);
+        assert_eq!(doc.get("all_proved"), Some(&Json::Bool(true)));
+        // Round-trip: the rendering is parseable and canonical-stable.
+        let rendered = doc.render();
+        let reparsed = Json::parse(&rendered).expect("fault doc parses");
+        assert_eq!(reparsed.render(), rendered);
+    }
+
+    #[test]
+    fn human_rendering_names_every_fault() {
+        let cfg = OscillatorConfig::fast_test();
+        let proofs = prove_fault_responses(&cfg);
+        let text = fault_responses_to_human("fast_test", &proofs);
+        for p in &proofs {
+            assert!(text.contains(p.fault), "{}", p.fault);
+        }
+        assert!(text.contains("all 11 fault fitments proved"));
+    }
+}

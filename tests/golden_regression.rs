@@ -125,3 +125,97 @@ fn dac_transfer_staircase_is_stable() {
         &Json::obj([("codes", Json::Array(rows))]).render_pretty(2),
     );
 }
+
+/// The prover fixtures hold exactly what `lcosc-check --json --prove
+/// config <preset>` prints (compact JSON plus trailing newline), so the
+/// CI smoke job can `cmp` the CLI output against them directly.
+#[test]
+fn prover_verdicts_are_stable_for_every_preset() {
+    for (name, cfg) in [
+        ("prove_fast_test.json", OscillatorConfig::fast_test()),
+        (
+            "prove_datasheet_3mhz.json",
+            OscillatorConfig::datasheet_3mhz(),
+        ),
+        ("prove_low_q.json", OscillatorConfig::low_q()),
+    ] {
+        let outcome = lcosc::proving::prove_config(&cfg);
+        assert!(outcome.proved(), "{name}:\n{}", outcome.render_human());
+        golden(name, &format!("{}\n", outcome.render_json()));
+    }
+}
+
+/// Mirrors `lcosc-check --json prove-faults fast_test`: the 11-fault
+/// fitment proof document, byte-compared.
+#[test]
+fn fault_fitment_proofs_are_stable() {
+    let proofs = lcosc::proving::prove_fault_responses(&OscillatorConfig::fast_test());
+    let doc = lcosc::proving::fault_responses_to_json("fast_test", &proofs);
+    golden(
+        "prove_faults_fast_test.json",
+        &format!("{}\n", doc.render()),
+    );
+}
+
+/// A seeded failing configuration: the pre-quirk-fix regulation FSM
+/// cleared the saturation latches on an in-window hold, which silently
+/// disarms the low-amplitude detector. The prover refutes A007 and
+/// renders the offending tick sequence as an `lcosc-trace` event stream.
+#[test]
+fn legacy_hold_quirk_is_refuted_with_a_counterexample_trace() {
+    let mut facts = OscillatorConfig::fast_test().prove_facts();
+    facts.legacy_hold_clears_saturation = true;
+    let outcome = lcosc::check::prove(&facts);
+    assert!(!outcome.proved());
+    assert!(
+        outcome.report.contains("A007"),
+        "{}",
+        outcome.render_human()
+    );
+    let cex = outcome
+        .counterexamples
+        .iter()
+        .find(|c| c.obligation == "A007")
+        .expect("A007 carries a counterexample");
+    assert!(!cex.events.is_empty());
+    // The counterexample is a valid trace stream: every event renders to
+    // one parseable JSONL line.
+    for ev in &cex.events {
+        let line = ev.to_jsonl();
+        Json::parse(line.trim_end()).expect("counterexample event is valid JSON");
+    }
+    golden(
+        "prove_refuted_legacy_hold.json",
+        &format!("{}\n", outcome.render_json()),
+    );
+}
+
+/// Pins the satellite render-order contract: diagnostics render sorted
+/// by (code, location) regardless of emission order.
+#[test]
+fn report_rendering_orders_by_code_and_location() {
+    use lcosc::check::{Provenance, Report};
+    let mut report = Report::new();
+    // Emit deliberately out of order.
+    report.warning(
+        "S001",
+        "window vs step (emitted first)".to_string(),
+        Some(Provenance::Field("window_rel_width")),
+    );
+    report.error(
+        "A001",
+        "abstract step exceeds window".to_string(),
+        Some(Provenance::Field("window_rel_width")),
+    );
+    report.error(
+        "C001",
+        "bad supply rail".to_string(),
+        Some(Provenance::Field("vdd")),
+    );
+    golden("report_render_order.json", &report.render_json());
+    let human = report.render_human();
+    let a = human.find("A001").expect("A001 rendered");
+    let c = human.find("C001").expect("C001 rendered");
+    let s = human.find("S001").expect("S001 rendered");
+    assert!(a < c && c < s, "{human}");
+}
