@@ -1,0 +1,461 @@
+//! Deterministic benchmark harness for the PR 7 batched campaign solver.
+//!
+//! Runs two campaign shapes drawn from the paper's workloads — an
+//! FMEA-style fault-variant sweep and a Monte-Carlo yield die population,
+//! both value-only variants of the §2 tank so every deck shares one
+//! structural digest — through three executions of identical results:
+//!
+//! - **batched**: [`CampaignBatch`] groups the jobs by structural digest
+//!   and each unit is solved as one SoA batch by
+//!   [`lcosc_circuit::run_transient_batch`];
+//! - **per-job**: the same scheduler in solo mode, each deck solved alone
+//!   on the per-job fast path (informational ratio);
+//! - **reference**: each deck solved alone on
+//!   [`SolverPath::Reference`] — the pre-batching per-job baseline the
+//!   determinism contract is stated against, and the denominator of the
+//!   gated campaign-throughput ratio.
+//!
+//! Every lane of every campaign is byte-compared against the per-job
+//! reference waveforms; any bitwise divergence is a hard error — the bench
+//! refuses to report a throughput for a wrong answer. The ≥
+//! [`GATE_MIN_SPEEDUP`]× gate applies to the *minimum* batched-vs-reference
+//! ratio across campaigns at a fixed thread count, and is recorded in
+//! `BENCH_PR7.json` (`repro --batch-bench`).
+
+use crate::solver_bench::bits_equal;
+use lcosc_campaign::{job_seed, CampaignBatch, Json};
+use lcosc_circuit::{
+    run_transient, run_transient_batch, CircuitError, Netlist, SolverPath, SolverStats,
+    TransientOptions, TransientResult,
+};
+use lcosc_trace::{Trace, TraceEvent};
+use std::time::{Duration, Instant};
+
+/// Timing laps per (campaign, path); the minimum is reported.
+const LAPS: u32 = 3;
+
+/// Paper tank parameters (§2: L = 25 µH, C1 = C2 = 2 nF, Rs = 15 Ω).
+const TANK_L: f64 = 25e-6;
+const TANK_C: f64 = 2e-9;
+const TANK_RS: f64 = 15.0;
+
+/// Fault variants in the FMEA-shaped campaign.
+const FMEA_JOBS: usize = 24;
+
+/// Dies in the yield-shaped campaign.
+const YIELD_JOBS: usize = 64;
+
+/// Seed of the yield die population (mirrors the DAC yield campaign's
+/// default seed base).
+const YIELD_SEED: u64 = 1;
+
+/// The campaign-throughput gate: the minimum batched-vs-reference speedup
+/// every campaign must clear at the fixed thread count.
+pub const GATE_MIN_SPEEDUP: f64 = 4.0;
+
+/// Measured outcome of one campaign shape.
+pub struct BatchCampaignOutcome {
+    /// Campaign identifier (stable across PRs — the regression key).
+    pub name: &'static str,
+    /// Jobs in the campaign.
+    pub jobs: usize,
+    /// MNA unknowns per deck.
+    pub unknowns: usize,
+    /// Units the batch plan scheduled (groups chunked at the width cap).
+    pub units: usize,
+    /// Widest unit in the plan.
+    pub max_width: usize,
+    /// Batched execution, minimum wall-clock over the laps.
+    pub batched_wall: Duration,
+    /// Per-job fast-path execution, minimum wall-clock over the laps.
+    pub perjob_wall: Duration,
+    /// Per-job reference-path execution, minimum wall-clock over the laps.
+    pub reference_wall: Duration,
+    /// Solver counters of the first job's batched solve.
+    pub batched_stats: SolverStats,
+}
+
+impl BatchCampaignOutcome {
+    /// Reference-path campaign wall divided by batched wall — the gated
+    /// throughput ratio.
+    pub fn speedup_vs_reference(&self) -> f64 {
+        self.reference_wall.as_secs_f64() / self.batched_wall.as_secs_f64().max(1e-12)
+    }
+
+    /// Per-job fast-path campaign wall divided by batched wall
+    /// (informational: how much the batch wins over PR 4's cached-LU
+    /// per-job solver at baseline codegen).
+    pub fn speedup_vs_perjob(&self) -> f64 {
+        self.perjob_wall.as_secs_f64() / self.batched_wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// The full batched-campaign benchmark report.
+pub struct BatchBenchReport {
+    /// Per-campaign outcomes in declaration order.
+    pub campaigns: Vec<BatchCampaignOutcome>,
+    /// Worker threads used for every execution (the gate is defined at a
+    /// fixed thread count).
+    pub threads: usize,
+    /// Whether `LCOSC_SOLVER=reference` forced every path onto the
+    /// reference solver (the gate is meaningless then — the batch falls
+    /// back per-job by design).
+    pub solver_hatch: bool,
+}
+
+impl BatchBenchReport {
+    /// The headline number: the minimum batched-vs-reference speedup
+    /// across campaigns.
+    pub fn campaign_speedup(&self) -> f64 {
+        self.campaigns
+            .iter()
+            .map(BatchCampaignOutcome::speedup_vs_reference)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether every campaign clears [`GATE_MIN_SPEEDUP`].
+    pub fn gate_met(&self) -> bool {
+        self.campaigns
+            .iter()
+            .all(|c| c.speedup_vs_reference() >= GATE_MIN_SPEEDUP)
+    }
+
+    /// Renders the report as the `BENCH_PR7.json` document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("bench", Json::from("pr7_batched_campaign_solver")),
+            ("threads", Json::from(self.threads)),
+            ("solver_hatch", Json::from(self.solver_hatch)),
+            ("gate_min_speedup", Json::from(GATE_MIN_SPEEDUP)),
+            ("gate_met", Json::from(self.gate_met())),
+            ("campaign_speedup", Json::from(self.campaign_speedup())),
+            (
+                "campaigns",
+                Json::Array(self.campaigns.iter().map(campaign_json).collect()),
+            ),
+        ])
+    }
+}
+
+fn campaign_json(c: &BatchCampaignOutcome) -> Json {
+    let int = |v: u64| Json::from(i64::try_from(v).unwrap_or(i64::MAX));
+    Json::obj([
+        ("name", Json::from(c.name)),
+        ("jobs", Json::from(c.jobs)),
+        ("unknowns", Json::from(c.unknowns)),
+        ("units", Json::from(c.units)),
+        ("max_width", Json::from(c.max_width)),
+        ("bit_identical", Json::from(true)),
+        ("speedup_vs_reference", Json::from(c.speedup_vs_reference())),
+        ("speedup_vs_perjob", Json::from(c.speedup_vs_perjob())),
+        ("batched_wall_s", Json::from(c.batched_wall.as_secs_f64())),
+        ("perjob_wall_s", Json::from(c.perjob_wall.as_secs_f64())),
+        (
+            "reference_wall_s",
+            Json::from(c.reference_wall.as_secs_f64()),
+        ),
+        ("batched_lanes", int(c.batched_stats.batched_lanes)),
+        ("steps", int(c.batched_stats.steps)),
+        ("factorizations", int(c.batched_stats.factorizations)),
+        ("factor_reuses", int(c.batched_stats.factor_reuses)),
+    ])
+}
+
+/// The paper tank with per-deck value scalings (structure fixed, values
+/// free — exactly the shape the structural digest groups).
+fn scaled_tank(c1: f64, c2: f64, l: f64, rs: f64) -> Netlist {
+    let mut nl = Netlist::new();
+    let lc1 = nl.node("lc1");
+    let lc2 = nl.node("lc2");
+    let mid = nl.node("mid");
+    nl.capacitor_ic(lc1, Netlist::GROUND, TANK_C * c1, 1.0);
+    nl.capacitor_ic(lc2, Netlist::GROUND, TANK_C * c2, -1.0);
+    nl.inductor(lc1, mid, TANK_L * l);
+    nl.resistor(mid, lc2, TANK_RS * rs);
+    nl
+}
+
+/// Paper-tank resonance, series Ceff = C/2.
+fn tank_f0() -> f64 {
+    1.0 / (2.0 * std::f64::consts::PI * (TANK_L * TANK_C / 2.0).sqrt())
+}
+
+/// The FMEA-shaped campaign: the paper's §7 component fault modes as
+/// value-only scalings of the tank (capacitor drift, partial coil short,
+/// loop-resistance degradation, combinations), each at three severities.
+fn fmea_fault_decks() -> Vec<Netlist> {
+    const FAULTS: [(f64, f64, f64, f64); 8] = [
+        (1.0, 1.0, 1.0, 1.0),  // nominal
+        (0.6, 1.0, 1.0, 1.0),  // C1 drift low
+        (1.4, 1.0, 1.0, 1.0),  // C1 drift high
+        (1.0, 0.6, 1.0, 1.0),  // C2 drift low
+        (1.0, 1.4, 1.0, 1.0),  // C2 drift high
+        (1.0, 1.0, 0.5, 1.0),  // partial coil short
+        (1.0, 1.0, 1.0, 10.0), // high-ESR loop
+        (0.9, 1.1, 0.8, 3.0),  // combined degradation
+    ];
+    let mut decks = Vec::with_capacity(FMEA_JOBS);
+    for severity in [1.0, 0.5, 0.25] {
+        for (c1, c2, l, rs) in FAULTS {
+            let sev = |s: f64| 1.0 + (s - 1.0) * severity;
+            decks.push(scaled_tank(sev(c1), sev(c2), sev(l), sev(rs)));
+        }
+    }
+    decks
+}
+
+/// One mismatch factor (±5 %) from an 11-bit slice of the die seed.
+fn die_factor(seed: u64, slot: u32) -> f64 {
+    let bits = (seed >> (8 + 11 * slot)) & 0x7ff;
+    1.0 + 0.05 * (bits as f64 / 1023.5 - 1.0)
+}
+
+/// The yield-shaped campaign: a Monte-Carlo die population with per-die
+/// component mismatch drawn from the campaign engine's hoisted seed
+/// schedule `job_seed(YIELD_SEED, k)` — the same derivation the DAC yield
+/// campaign pins.
+fn yield_die_decks() -> Vec<Netlist> {
+    (0..YIELD_JOBS as u64)
+        .map(|k| {
+            let seed = job_seed(YIELD_SEED, k);
+            scaled_tank(
+                die_factor(seed, 0),
+                die_factor(seed, 1),
+                die_factor(seed, 2),
+                die_factor(seed, 3),
+            )
+        })
+        .collect()
+}
+
+/// Cycle-fidelity run options over `cycles` carrier cycles (200 steps per
+/// cycle, trapezoidal, stride 8 — the envelope-artifact deck shape).
+fn campaign_opts(cycles: f64) -> TransientOptions {
+    let f0 = tank_f0();
+    let mut opts = TransientOptions::new(1.0 / (f0 * 200.0), cycles / f0);
+    opts.record_stride = 8;
+    opts
+}
+
+/// Times `LAPS` campaign executions of `decks` with the given per-unit
+/// worker, returning the minimum wall and the (identical every lap)
+/// per-job results.
+fn time_campaign<F>(
+    name: &str,
+    decks: &[Netlist],
+    worker: F,
+    solo: bool,
+) -> Result<(Duration, Vec<TransientResult>), String>
+where
+    F: Fn(&[&Netlist]) -> Vec<Result<TransientResult, CircuitError>> + Sync,
+{
+    let mut best: Option<(Duration, Vec<TransientResult>)> = None;
+    for _ in 0..LAPS {
+        let campaign = CampaignBatch::new(name, decks.to_vec())
+            .threads(1)
+            .solo(solo);
+        let start = Instant::now();
+        let outcome = campaign
+            .try_run(Netlist::structural_digest, |_ctxs, unit| worker(unit))
+            .map_err(|e| format!("campaign {name}: {e}"))?;
+        let wall = start.elapsed();
+        best = match best {
+            Some((w, r)) if w <= wall => Some((w, r)),
+            _ => Some((wall, outcome.results)),
+        };
+    }
+    best.ok_or_else(|| "no laps run".to_string())
+}
+
+/// Runs one campaign shape through all three executions and byte-compares
+/// every job's waveforms.
+fn run_campaign(
+    name: &'static str,
+    decks: Vec<Netlist>,
+    opts: &TransientOptions,
+    tracer: &Trace,
+) -> Result<BatchCampaignOutcome, String> {
+    let plan = CampaignBatch::new(name, decks.clone()).plan(Netlist::structural_digest);
+    let mut ref_opts = *opts;
+    ref_opts.solver = SolverPath::Reference;
+
+    let (batched_wall, batched) =
+        time_campaign(name, &decks, |unit| run_transient_batch(unit, opts), false)?;
+    let (perjob_wall, perjob) = time_campaign(
+        name,
+        &decks,
+        |unit| unit.iter().map(|d| run_transient(d, opts)).collect(),
+        true,
+    )?;
+    let (reference_wall, reference) = time_campaign(
+        name,
+        &decks,
+        |unit| unit.iter().map(|d| run_transient(d, &ref_opts)).collect(),
+        true,
+    )?;
+
+    for (job, (b, r)) in batched.iter().zip(&reference).enumerate() {
+        if !bits_equal(b.times(), r.times())
+            || !bits_equal(b.voltages_flat(), r.voltages_flat())
+            || !bits_equal(b.currents_flat(), r.currents_flat())
+        {
+            return Err(format!(
+                "campaign {name} job {job}: batched waveforms diverged bitwise from the \
+                 per-job reference path"
+            ));
+        }
+    }
+    for (job, (p, r)) in perjob.iter().zip(&reference).enumerate() {
+        if !bits_equal(p.voltages_flat(), r.voltages_flat()) {
+            return Err(format!(
+                "campaign {name} job {job}: per-job fast path diverged bitwise from the \
+                 reference path"
+            ));
+        }
+    }
+
+    let s = batched[0].stats();
+    tracer.emit(|| TraceEvent::SolverStats {
+        steps: s.steps,
+        newton_iterations: s.newton_iterations,
+        factorizations: s.factorizations,
+        factor_reuses: s.factor_reuses,
+        post_warmup_allocations: s.post_warmup_allocations,
+        batched_lanes: s.batched_lanes,
+    });
+
+    Ok(BatchCampaignOutcome {
+        name,
+        jobs: decks.len(),
+        unknowns: decks[0].unknown_count(),
+        units: plan.units.len(),
+        max_width: plan.stats.max_width,
+        batched_wall,
+        perjob_wall,
+        reference_wall,
+        batched_stats: s,
+    })
+}
+
+/// Runs the full batched-campaign benchmark at the given cycle count.
+fn run_batch_bench_cycles(tracer: &Trace, cycles: f64) -> Result<BatchBenchReport, String> {
+    let opts = campaign_opts(cycles);
+    let campaigns = vec![
+        run_campaign("fmea_fault_variants", fmea_fault_decks(), &opts, tracer)?,
+        run_campaign("yield_die_population", yield_die_decks(), &opts, tracer)?,
+    ];
+    Ok(BatchBenchReport {
+        campaigns,
+        threads: 1,
+        solver_hatch: std::env::var_os("LCOSC_SOLVER").is_some_and(|v| v == "reference"),
+    })
+}
+
+/// Runs the full benchmark: both campaign shapes at cycle-fidelity step
+/// density, every lane byte-compared against the per-job reference path.
+/// Batched solver counters are emitted as [`TraceEvent::SolverStats`] on
+/// `tracer`.
+///
+/// # Errors
+///
+/// A transient failure or any bitwise divergence between the batched,
+/// per-job and reference executions, with the campaign and job index.
+pub fn run_batch_bench(tracer: &Trace) -> Result<BatchBenchReport, String> {
+    run_batch_bench_cycles(tracer, 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decks_are_uniform_value_variants() {
+        let fmea = fmea_fault_decks();
+        let dies = yield_die_decks();
+        assert_eq!(fmea.len(), FMEA_JOBS);
+        assert_eq!(dies.len(), YIELD_JOBS);
+        let digest = fmea[0].structural_digest();
+        assert!(fmea.iter().chain(&dies).all(|d| d.is_linear()));
+        assert!(fmea
+            .iter()
+            .chain(&dies)
+            .all(|d| d.structural_digest() == digest));
+        // Values must actually differ — a constant population would let a
+        // broken lane mapping pass the differential check by accident.
+        assert!((0..fmea.len() - 1).any(|i| fmea[i] != fmea[i + 1]));
+        assert!((0..dies.len() - 1).any(|i| dies[i] != dies[i + 1]));
+    }
+
+    #[test]
+    fn die_factors_stay_in_band() {
+        for k in 0..YIELD_JOBS as u64 {
+            let seed = job_seed(YIELD_SEED, k);
+            for slot in 0..4 {
+                let f = die_factor(seed, slot);
+                assert!((0.95..=1.0501).contains(&f), "factor {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_bench_is_bit_identical_and_reports() {
+        // A miniature of the real bench: same machinery, few cycles. The
+        // bitwise differential (batched vs per-job vs reference) is fully
+        // meaningful at any length; only the speedups need the long run.
+        let report = run_batch_bench_cycles(&Trace::off(), 3.0).expect("bench");
+        assert_eq!(report.campaigns.len(), 2);
+        assert_eq!(report.threads, 1);
+        let fmea = &report.campaigns[0];
+        assert_eq!(fmea.jobs, FMEA_JOBS);
+        assert_eq!(fmea.unknowns, 4);
+        if !report.solver_hatch {
+            // One digest group chunked at the default width cap.
+            assert_eq!(fmea.units, 1);
+            assert_eq!(fmea.max_width, FMEA_JOBS);
+            assert_eq!(fmea.batched_stats.batched_lanes, FMEA_JOBS as u64);
+            assert_eq!(report.campaigns[1].max_width, 64);
+            assert!(fmea.batched_stats.used_linear_fast_path);
+        }
+        let json = report.to_json().render_pretty(2);
+        for key in [
+            "pr7_batched_campaign_solver",
+            "gate_min_speedup",
+            "gate_met",
+            "campaign_speedup",
+            "speedup_vs_reference",
+            "speedup_vs_perjob",
+            "bit_identical",
+            "batched_lanes",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn gate_logic_tracks_the_minimum_campaign() {
+        let mk = |num: u64, den: u64| BatchCampaignOutcome {
+            name: "c",
+            jobs: 1,
+            unknowns: 4,
+            units: 1,
+            max_width: 1,
+            batched_wall: Duration::from_millis(den),
+            perjob_wall: Duration::from_millis(num),
+            reference_wall: Duration::from_millis(num),
+            batched_stats: SolverStats::default(),
+        };
+        let good = BatchBenchReport {
+            campaigns: vec![mk(50, 10), mk(41, 10)],
+            threads: 1,
+            solver_hatch: false,
+        };
+        assert!(good.gate_met());
+        assert!((good.campaign_speedup() - 4.1).abs() < 1e-12);
+        let bad = BatchBenchReport {
+            campaigns: vec![mk(50, 10), mk(39, 10)],
+            threads: 1,
+            solver_hatch: false,
+        };
+        assert!(!bad.gate_met());
+    }
+}

@@ -34,6 +34,11 @@ OPTIONS:
                          (min-of-3 laps per preset, verdict byte-compare)
     --prove-bench-out PATH
                          prover benchmark report path (default BENCH_PR6.json)
+    --batch-bench        run the batched campaign-solver benchmark
+                         (FMEA + yield deck campaigns, batched vs per-job,
+                         bitwise differential, >=4x throughput gate)
+    --batch-bench-out PATH
+                         batched benchmark report path (default BENCH_PR7.json)
     --help               print this help
 ";
 
@@ -62,6 +67,10 @@ pub struct Args {
     pub prove_bench: bool,
     /// Prover benchmark report path.
     pub prove_bench_out: PathBuf,
+    /// Run the batched campaign-solver benchmark.
+    pub batch_bench: bool,
+    /// Batched benchmark report path.
+    pub batch_bench_out: PathBuf,
 }
 
 impl Default for Args {
@@ -78,6 +87,8 @@ impl Default for Args {
             serve_bench_out: PathBuf::from("BENCH_PR5.json"),
             prove_bench: false,
             prove_bench_out: PathBuf::from("BENCH_PR6.json"),
+            batch_bench: false,
+            batch_bench_out: PathBuf::from("BENCH_PR7.json"),
         }
     }
 }
@@ -145,6 +156,7 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, CliError> {
             "--unchecked" => parsed.unchecked = true,
             "--serve-bench" => parsed.serve_bench = true,
             "--prove-bench" => parsed.prove_bench = true,
+            "--batch-bench" => parsed.batch_bench = true,
             "--threads" => {
                 let v = next_value(&mut args, "--threads")?;
                 parsed.threads = v.parse().map_err(|_| CliError::BadValue {
@@ -173,6 +185,9 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, CliError> {
             }
             "--prove-bench-out" => {
                 parsed.prove_bench_out = PathBuf::from(next_value(&mut args, "--prove-bench-out")?);
+            }
+            "--batch-bench-out" => {
+                parsed.batch_bench_out = PathBuf::from(next_value(&mut args, "--batch-bench-out")?);
             }
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
@@ -247,6 +262,9 @@ mod tests {
             "--prove-bench",
             "--prove-bench-out",
             "p.json",
+            "--batch-bench",
+            "--batch-bench-out",
+            "bb.json",
         ])
         .expect("all flags are valid");
         let Cli::Run(args) = cli else {
@@ -255,12 +273,14 @@ mod tests {
         assert_eq!(args.threads, 4);
         assert!(args.campaigns_only && args.unchecked && args.serve_bench);
         assert!(args.prove_bench);
+        assert!(args.batch_bench);
         assert_eq!(args.results_out, PathBuf::from("r.json"));
         assert_eq!(args.trace_out, Some(PathBuf::from("t.jsonl")));
         assert_eq!(args.trace_level, TraceLevel::Metrics);
         assert_eq!(args.bench_out, Some(PathBuf::from("b.json")));
         assert_eq!(args.serve_bench_out, PathBuf::from("s.json"));
         assert_eq!(args.prove_bench_out, PathBuf::from("p.json"));
+        assert_eq!(args.batch_bench_out, PathBuf::from("bb.json"));
     }
 
     #[test]
@@ -285,6 +305,8 @@ mod tests {
             "--serve-bench-out",
             "--prove-bench",
             "--prove-bench-out",
+            "--batch-bench",
+            "--batch-bench-out",
             "--help",
         ] {
             assert!(HELP.contains(flag), "help text is missing {flag}");

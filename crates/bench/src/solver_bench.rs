@@ -269,7 +269,7 @@ fn time_path(nl: &Netlist, opts: &TransientOptions) -> Result<(Duration, Transie
 
 /// Bitwise equality for f64 slices (NaN-safe, distinguishes signed zeros —
 /// stricter than `==`).
-fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+pub(crate) fn bits_equal(a: &[f64], b: &[f64]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
@@ -309,6 +309,7 @@ pub fn run_solver_bench(tracer: &Trace) -> Result<SolverBenchReport, String> {
             factorizations: s.factorizations,
             factor_reuses: s.factor_reuses,
             post_warmup_allocations: s.post_warmup_allocations,
+            batched_lanes: s.batched_lanes,
         });
 
         outcomes.push(CaseOutcome {

@@ -1,0 +1,624 @@
+//! Batched campaign scheduling: groups same-structure jobs so a worker can
+//! solve a whole batch together, while keeping the engine's determinism
+//! contract.
+//!
+//! [`CampaignBatch`] is the batching sibling of [`crate::Campaign`]. The
+//! caller supplies a **group key** (typically a structural digest of the
+//! job's deck); jobs sharing a key are scheduled as multi-job *units*
+//! handed to the worker in one call, and odd lots fall back to width-1
+//! units running the ordinary per-job path. The worker receives every
+//! job's [`JobCtx`] with seeds hoisted at **planning** time
+//! (`job_seed(campaign_seed, index)`), so batching can never reorder RNG
+//! draws: a job's seed depends only on its index, exactly as in the
+//! per-job engine.
+//!
+//! # Determinism contract
+//!
+//! For a fixed job list, campaign seed and group key, results are
+//! bit-identical for every thread count, every unit width and every
+//! scheduling order — provided the worker upholds its half: each job's
+//! result must depend only on `(ctx, job)` (batched workers such as the
+//! batched transient solver are bit-identical per lane by construction).
+//! Golden trace events ([`TraceEvent::CampaignJob`]) are emitted from the
+//! coordinator in job-index order, so the golden stream is byte-identical
+//! to the per-job engine's for any schedule.
+//!
+//! The `LCOSC_BATCH=off` environment hatch (or the [`CampaignBatch::solo`]
+//! builder, which tests prefer to avoid environment races) forces an
+//! all-solo plan: every job becomes a width-1 unit, pinning the per-job
+//! path while keeping scheduling, seeding and tracing identical.
+
+use crate::engine::{CampaignOutcome, CampaignStats, JobCtx};
+use crate::json::Json;
+use crate::seed::job_seed;
+use lcosc_trace::{Trace, TraceEvent};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Whether the `LCOSC_BATCH=off` hatch disables batched scheduling.
+fn batching_disabled() -> bool {
+    std::env::var_os("LCOSC_BATCH").is_some_and(|v| v == "off")
+}
+
+/// One schedulable unit: a slice of jobs sharing a group key, solved in a
+/// single worker call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchUnit {
+    /// Group key shared by every job in the unit.
+    pub key: u64,
+    /// Per-job contexts (index + seed hoisted at planning time), in job
+    /// index order.
+    pub ctxs: Vec<JobCtx>,
+}
+
+impl BatchUnit {
+    /// Number of jobs in the unit.
+    pub fn width(&self) -> usize {
+        self.ctxs.len()
+    }
+}
+
+/// Deterministic counters describing a batch plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// Distinct group keys observed.
+    pub groups: usize,
+    /// Jobs scheduled in units of width ≥ 2.
+    pub batched_jobs: usize,
+    /// Jobs scheduled as width-1 units (odd lots, solo mode).
+    pub solo_jobs: usize,
+    /// Widest unit in the plan.
+    pub max_width: usize,
+}
+
+/// An ordered schedule of [`BatchUnit`]s covering every job exactly once.
+///
+/// Units are ordered by their group's first appearance in the job list and
+/// chunked in index order, so the plan is a pure function of (jobs, key,
+/// seed, knobs) — stable across machines and runs, which is what the
+/// `batch_grouping` golden fixture pins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPlan {
+    /// Schedulable units in deterministic order.
+    pub units: Vec<BatchUnit>,
+    /// Plan-level counters.
+    pub stats: BatchStats,
+}
+
+impl BatchPlan {
+    /// Renders the plan as byte-stable JSON (keys as fixed-width hex so
+    /// 64-bit digests survive exactly; [`Json::Int`] is `i64`).
+    pub fn to_json(&self) -> Json {
+        let units: Vec<Json> = self
+            .units
+            .iter()
+            .map(|u| {
+                Json::obj([
+                    ("key", Json::from(format!("{:016x}", u.key))),
+                    (
+                        "indices",
+                        Json::Array(u.ctxs.iter().map(|c| Json::from(c.index)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("groups", Json::from(self.stats.groups)),
+            ("batched_jobs", Json::from(self.stats.batched_jobs)),
+            ("solo_jobs", Json::from(self.stats.solo_jobs)),
+            ("max_width", Json::from(self.stats.max_width)),
+            ("units", Json::Array(units)),
+        ])
+    }
+}
+
+/// Builder for a batched campaign over a list of jobs.
+///
+/// ```
+/// use lcosc_campaign::CampaignBatch;
+///
+/// // Jobs group by value parity; each unit is squared in one call.
+/// let out = CampaignBatch::new("squares", (0u64..10).collect())
+///     .threads(2)
+///     .run(|&x| x % 2, |_ctxs, jobs| jobs.iter().map(|&&x| x * x).collect());
+/// assert_eq!(out.results[7], 49);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CampaignBatch<J> {
+    name: String,
+    jobs: Vec<J>,
+    threads: usize,
+    seed: u64,
+    trace: Trace,
+    min_batch: usize,
+    max_width: usize,
+    solo: bool,
+}
+
+impl<J: Sync> CampaignBatch<J> {
+    /// Creates a batched campaign named `name` over `jobs`. Defaults:
+    /// 1 thread, seed 0, tracing off, minimum batch width 2, maximum unit
+    /// width 64, solo mode from the `LCOSC_BATCH=off` hatch.
+    pub fn new(name: impl Into<String>, jobs: Vec<J>) -> Self {
+        CampaignBatch {
+            name: name.into(),
+            jobs,
+            threads: 1,
+            seed: 0,
+            trace: Trace::off(),
+            min_batch: 2,
+            max_width: 64,
+            solo: batching_disabled(),
+        }
+    }
+
+    /// Attaches a trace handle (golden `CampaignJob` + timing events are
+    /// emitted from the coordinator in job-index order, as in
+    /// [`crate::Campaign`]).
+    #[must_use]
+    pub fn trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Sets the worker-thread count. `0` means "all available cores".
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// Sets the campaign seed from which every job seed is derived.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Groups smaller than `min` are scheduled as width-1 units (odd
+    /// lots). Minimum 2.
+    #[must_use]
+    pub fn min_batch(mut self, min: usize) -> Self {
+        self.min_batch = min.max(2);
+        self
+    }
+
+    /// Caps unit width; larger groups are chunked in index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[must_use]
+    pub fn max_width(mut self, width: usize) -> Self {
+        assert!(width > 0, "max_width must be nonzero");
+        self.max_width = width;
+        self
+    }
+
+    /// Forces (or un-forces) all-solo scheduling, overriding the
+    /// `LCOSC_BATCH` hatch. Tests use this to compare batched and per-job
+    /// scheduling in-process without racing on environment variables.
+    #[must_use]
+    pub fn solo(mut self, solo: bool) -> Self {
+        self.solo = solo;
+        self
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the campaign has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Builds the deterministic batch plan for `key` without running
+    /// anything: jobs group by key in first-appearance order; groups reach
+    /// the worker as units chunked at the width cap; undersized groups
+    /// (and everything, in solo mode) become width-1 units. Seeds are
+    /// derived here — at planning time — so execution cannot perturb them.
+    pub fn plan<K>(&self, key: K) -> BatchPlan
+    where
+        K: Fn(&J) -> u64,
+    {
+        let ctx = |i: usize| JobCtx {
+            index: i,
+            seed: job_seed(self.seed, i as u64),
+        };
+        // Group job indices by key, groups ordered by first appearance.
+        let mut order: Vec<u64> = Vec::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (i, job) in self.jobs.iter().enumerate() {
+            let k = key(job);
+            match order.iter().position(|&o| o == k) {
+                Some(g) => groups[g].push(i),
+                None => {
+                    order.push(k);
+                    groups.push(vec![i]);
+                }
+            }
+        }
+        let mut stats = BatchStats {
+            groups: order.len(),
+            ..BatchStats::default()
+        };
+        let mut units = Vec::new();
+        for (k, indices) in order.into_iter().zip(groups) {
+            if self.solo || indices.len() < self.min_batch {
+                stats.solo_jobs += indices.len();
+                stats.max_width = stats.max_width.max(1);
+                units.extend(indices.into_iter().map(|i| BatchUnit {
+                    key: k,
+                    ctxs: vec![ctx(i)],
+                }));
+            } else {
+                stats.batched_jobs += indices.len();
+                for chunk in indices.chunks(self.max_width) {
+                    stats.max_width = stats.max_width.max(chunk.len());
+                    units.push(BatchUnit {
+                        key: k,
+                        ctxs: chunk.iter().map(|&i| ctx(i)).collect(),
+                    });
+                }
+            }
+        }
+        BatchPlan { units, stats }
+    }
+
+    /// Executes the plan for `key`, calling `worker` once per unit with
+    /// the unit's contexts and jobs, and returns per-job results in job
+    /// index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker returns a result count different from the
+    /// unit width.
+    pub fn run<R, K, F>(self, key: K, worker: F) -> CampaignOutcome<R>
+    where
+        R: Send,
+        K: Fn(&J) -> u64,
+        F: Fn(&[JobCtx], &[&J]) -> Vec<R> + Sync,
+    {
+        let start = Instant::now();
+        let n = self.jobs.len();
+        let plan = self.plan(key);
+        let threads = self.threads.min(plan.units.len().max(1));
+        let (results, walls) = run_units(&self.jobs, &plan.units, threads, &worker);
+        for (i, wall_ns) in walls.into_iter().enumerate() {
+            let index = i as u64;
+            let seed = job_seed(self.seed, index);
+            self.trace.emit(|| TraceEvent::CampaignJob { index, seed });
+            self.trace
+                .emit(|| TraceEvent::CampaignJobTiming { index, wall_ns });
+        }
+        CampaignOutcome {
+            results,
+            stats: CampaignStats {
+                name: self.name,
+                jobs: n,
+                threads,
+                wall: start.elapsed(),
+            },
+        }
+    }
+
+    /// Executes the plan, then folds the results **in job-index order**
+    /// with `reduce` starting from `init` (non-commutative reductions stay
+    /// thread-count-invariant, as in [`crate::Campaign::run_reduce`]).
+    pub fn run_reduce<R, A, K, F, G>(
+        self,
+        key: K,
+        worker: F,
+        init: A,
+        mut reduce: G,
+    ) -> (A, CampaignStats)
+    where
+        R: Send,
+        K: Fn(&J) -> u64,
+        F: Fn(&[JobCtx], &[&J]) -> Vec<R> + Sync,
+        G: FnMut(A, R) -> A,
+    {
+        let outcome = self.run(key, worker);
+        let mut acc = init;
+        for r in outcome.results {
+            acc = reduce(acc, r);
+        }
+        (acc, outcome.stats)
+    }
+
+    /// Executes fallible units; on failure returns the error of the
+    /// *lowest-indexed* failing job, regardless of completion order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by job index) per-job error.
+    pub fn try_run<R, E, K, F>(self, key: K, worker: F) -> Result<CampaignOutcome<R>, E>
+    where
+        R: Send,
+        E: Send,
+        K: Fn(&J) -> u64,
+        F: Fn(&[JobCtx], &[&J]) -> Vec<Result<R, E>> + Sync,
+    {
+        let outcome = self.run(key, worker);
+        let stats = outcome.stats;
+        let mut results = Vec::with_capacity(outcome.results.len());
+        for r in outcome.results {
+            results.push(r?);
+        }
+        Ok(CampaignOutcome { results, stats })
+    }
+
+    /// Runs with a uniform group key (every job in one group): the whole
+    /// campaign batches by width cap alone. Used by workloads whose jobs
+    /// are structurally identical by construction.
+    pub fn run_uniform<R, F>(self, worker: F) -> CampaignOutcome<R>
+    where
+        R: Send,
+        F: Fn(&[JobCtx], &[&J]) -> Vec<R> + Sync,
+    {
+        self.run(|_| 0, worker)
+    }
+}
+
+/// Executes `units` over a worker pool (serial when `threads <= 1`),
+/// reassembling per-job results and wall-clock attributions in job-index
+/// order. Every job in a unit is attributed the unit's wall time.
+fn run_units<J, R, F>(
+    jobs: &[J],
+    units: &[BatchUnit],
+    threads: usize,
+    worker: &F,
+) -> (Vec<R>, Vec<u128>)
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&[JobCtx], &[&J]) -> Vec<R> + Sync,
+{
+    let n = jobs.len();
+    let run_unit = |unit: &BatchUnit| -> (Vec<R>, u128) {
+        let unit_jobs: Vec<&J> = unit.ctxs.iter().map(|c| &jobs[c.index]).collect();
+        let t0 = Instant::now();
+        let rs = worker(&unit.ctxs, &unit_jobs);
+        assert_eq!(
+            rs.len(),
+            unit.width(),
+            "batch worker must return one result per job"
+        );
+        (rs, t0.elapsed().as_nanos())
+    };
+    let mut slots: Vec<Option<(R, u128)>> = (0..n).map(|_| None).collect();
+    if threads <= 1 {
+        for unit in units {
+            let (rs, wall) = run_unit(unit);
+            for (ctx, r) in unit.ctxs.iter().zip(rs) {
+                slots[ctx.index] = Some((r, wall));
+            }
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Vec<R>, u128)>();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let next = &next;
+                let run_unit = &run_unit;
+                scope.spawn(move || loop {
+                    let u = next.fetch_add(1, Ordering::Relaxed);
+                    if u >= units.len() {
+                        break;
+                    }
+                    let (rs, wall) = run_unit(&units[u]);
+                    if tx.send((u, rs, wall)).is_err() {
+                        break; // receiver gone: abandon quietly
+                    }
+                });
+            }
+            drop(tx);
+            for (u, rs, wall) in rx {
+                for (ctx, r) in units[u].ctxs.iter().zip(rs) {
+                    slots[ctx.index] = Some((r, wall));
+                }
+            }
+        });
+    }
+    let mut results = Vec::with_capacity(n);
+    let mut walls = Vec::with_capacity(n);
+    for s in slots {
+        let (r, w) = s.expect("batch plan covered every job");
+        results.push(r);
+        walls.push(w);
+    }
+    (results, walls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Worker echoing `(index, seed, unit_width, job)` so tests can see
+    /// exactly how each job was scheduled and seeded.
+    fn echo(ctxs: &[JobCtx], jobs: &[&u64]) -> Vec<(usize, u64, usize, u64)> {
+        ctxs.iter()
+            .zip(jobs)
+            .map(|(c, &&j)| (c.index, c.seed, ctxs.len(), j))
+            .collect()
+    }
+
+    #[test]
+    fn plan_groups_by_first_appearance_and_chunks() {
+        let jobs: Vec<u64> = vec![3, 5, 3, 3, 5, 9, 3, 3];
+        let plan = CampaignBatch::new("t", jobs)
+            .solo(false)
+            .max_width(3)
+            .plan(|&j| j);
+        // Group 3: indices [0,2,3,6,7] chunked at 3; group 5: [1,4];
+        // group 9: [5] is an odd lot.
+        let widths: Vec<usize> = plan.units.iter().map(BatchUnit::width).collect();
+        assert_eq!(widths, vec![3, 2, 2, 1]);
+        assert_eq!(plan.units[0].key, 3);
+        assert_eq!(
+            plan.units[0]
+                .ctxs
+                .iter()
+                .map(|c| c.index)
+                .collect::<Vec<_>>(),
+            vec![0, 2, 3]
+        );
+        assert_eq!(plan.stats.groups, 3);
+        assert_eq!(plan.stats.batched_jobs, 7);
+        assert_eq!(plan.stats.solo_jobs, 1);
+        assert_eq!(plan.stats.max_width, 3);
+    }
+
+    #[test]
+    fn seeds_are_hoisted_at_plan_time_and_schedule_invariant() {
+        let jobs: Vec<u64> = (0..40).map(|i| i % 4).collect();
+        let solo = CampaignBatch::new("t", jobs.clone())
+            .seed(11)
+            .solo(true)
+            .run(|&j| j, echo);
+        for (threads, max_width) in [(1, 8), (4, 8), (4, 3), (8, 64)] {
+            let batched = CampaignBatch::new("t", jobs.clone())
+                .seed(11)
+                .solo(false)
+                .threads(threads)
+                .max_width(max_width)
+                .run(|&j| j, echo);
+            for (s, b) in solo.results.iter().zip(&batched.results) {
+                assert_eq!(s.0, b.0, "index");
+                assert_eq!(s.1, b.1, "seed must not depend on scheduling");
+                assert_eq!(s.3, b.3, "job payload");
+            }
+        }
+        // And the seeds are the engine's own schedule.
+        for r in &solo.results {
+            assert_eq!(r.1, job_seed(11, r.0 as u64));
+        }
+    }
+
+    #[test]
+    fn solo_mode_forces_width_one_units() {
+        let jobs: Vec<u64> = vec![1; 10];
+        let out = CampaignBatch::new("t", jobs).solo(true).run(|&j| j, echo);
+        assert!(out.results.iter().all(|r| r.2 == 1), "all units width 1");
+    }
+
+    #[test]
+    fn odd_lots_run_solo_and_everything_is_covered() {
+        let jobs: Vec<u64> = vec![7, 7, 8, 9, 9, 9];
+        let out = CampaignBatch::new("t", jobs)
+            .solo(false)
+            .min_batch(3)
+            .threads(3)
+            .run(|&j| j, echo);
+        let widths: Vec<usize> = out.results.iter().map(|r| r.2).collect();
+        // Group 7 (2 jobs) is under min_batch=3 → solo; 8 solo; 9 batched.
+        assert_eq!(widths, vec![1, 1, 1, 3, 3, 3]);
+        let indices: Vec<usize> = out.results.iter().map(|r| r.0).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn try_run_reports_lowest_indexed_error() {
+        let jobs: Vec<u64> = (0..30).collect();
+        let res: Result<CampaignOutcome<u64>, usize> = CampaignBatch::new("t", jobs)
+            .solo(false)
+            .threads(4)
+            .try_run(
+                |&j| j % 3,
+                |ctxs, jobs| {
+                    ctxs.iter()
+                        .zip(jobs)
+                        .map(|(c, &&j)| if j % 10 == 7 { Err(c.index) } else { Ok(j) })
+                        .collect()
+                },
+            );
+        assert_eq!(res.err(), Some(7));
+    }
+
+    #[test]
+    fn reduce_folds_in_job_order() {
+        let jobs: Vec<u64> = (0..20).collect();
+        let fold = |acc: String, s: String| acc + &s;
+        let (serial, _) = CampaignBatch::new("t", jobs.clone()).solo(true).run_reduce(
+            |&j| j % 2,
+            |_, jobs| jobs.iter().map(|j| format!("{j},")).collect(),
+            String::new(),
+            fold,
+        );
+        let (batched, _) = CampaignBatch::new("t", jobs)
+            .solo(false)
+            .threads(4)
+            .run_reduce(
+                |&j| j % 2,
+                |_, jobs| jobs.iter().map(|j| format!("{j},")).collect(),
+                String::new(),
+                fold,
+            );
+        assert_eq!(serial, batched);
+    }
+
+    #[test]
+    fn traced_golden_events_match_the_per_job_engine() {
+        use lcosc_trace::MemorySink;
+        use std::sync::Arc;
+        let jobs: Vec<u64> = (0..17).map(|i| i % 2).collect();
+        let run = |threads: usize, solo: bool| {
+            let sink = Arc::new(MemorySink::new());
+            CampaignBatch::new("t", jobs.clone())
+                .seed(5)
+                .solo(solo)
+                .threads(threads)
+                .trace(Trace::new(sink.clone()))
+                .run(|&j| j, echo);
+            sink.snapshot()
+                .into_iter()
+                .filter(TraceEvent::is_golden)
+                .collect::<Vec<_>>()
+        };
+        let reference = run(1, true);
+        assert_eq!(reference.len(), 17);
+        for (threads, solo) in [(1, false), (4, false), (4, true)] {
+            assert_eq!(
+                run(threads, solo),
+                reference,
+                "threads={threads} solo={solo}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_json_is_ordered_and_stable() {
+        let jobs: Vec<u64> = vec![2, 1, 2];
+        let plan = CampaignBatch::new("t", jobs).solo(false).plan(|&j| j);
+        let json = plan.to_json().render();
+        assert_eq!(
+            json,
+            r#"{"groups":2,"batched_jobs":2,"solo_jobs":1,"max_width":2,"units":[{"key":"0000000000000002","indices":[0,2]},{"key":"0000000000000001","indices":[1]}]}"#
+        );
+    }
+
+    #[test]
+    fn empty_campaign_is_fine() {
+        let out = CampaignBatch::new("t", Vec::<u64>::new())
+            .threads(8)
+            .run_uniform(|_, _| Vec::<u8>::new());
+        assert!(out.results.is_empty());
+        assert_eq!(out.stats.jobs, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one result per job")]
+    fn short_worker_output_panics() {
+        let _ = CampaignBatch::new("t", vec![1u64, 1])
+            .solo(false)
+            .run_uniform(|_, _| vec![0u8]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Differential harness for the batched campaign scheduler (PR 7).
+//!
+//! Every test here renders an ordered, bit-exact textual report of a
+//! campaign's results (floats via `f64::to_bits`, so `-0.0 != 0.0` and NaN
+//! payloads count) and byte-compares the rendering across every scheduling
+//! path that must not change results:
+//!
+//! * batched units vs. all-solo units (`.solo(true)`),
+//! * 1 thread vs. 4 threads,
+//! * the batched transient solver vs. the per-job reference solver.
+//!
+//! The deck-level test is hatch-aware: under `LCOSC_SOLVER=reference` the
+//! batched path falls back to per-job solves internally, so the comparison
+//! still holds (trivially) and the suite stays green in the escape-hatch CI
+//! leg.
+
+use lcosc_campaign::CampaignBatch;
+use lcosc_circuit::{run_transient, run_transient_batch, Netlist, TransientOptions};
+use lcosc_core::OscillatorConfig;
+use lcosc_dac::{yield_analysis_campaign, DacMismatchParams, LinearityReport, MismatchedDac};
+use lcosc_safety::{run_scenario, Fault, FmeaReport, ScenarioResult};
+
+/// Renders a scenario result with every float as its exact bit pattern.
+fn render_scenario(r: &ScenarioResult) -> String {
+    format!(
+        "{:?}|{:?}|{}|{}|{:016x}|{:016x}",
+        r.fault,
+        r.triggered,
+        r.detected,
+        r.code_saturated,
+        r.final_vpp.to_bits(),
+        r.vpp_before.to_bits()
+    )
+}
+
+/// Runs the full FMEA fault catalog through `CampaignBatch` with the given
+/// schedule knobs and renders the ordered results.
+fn fmea_rendering(threads: usize, solo: bool) -> String {
+    let base = OscillatorConfig::fast_test();
+    let outcome = CampaignBatch::new("fmea-differential", Fault::catalog())
+        .threads(threads)
+        .solo(solo)
+        .try_run(
+            |_| 0,
+            |_ctxs, unit| unit.iter().map(|f| run_scenario(**f, &base)).collect(),
+        )
+        .expect("every cataloged fault must simulate");
+    let lines: Vec<String> = outcome.results.iter().map(render_scenario).collect();
+    lines.join("\n")
+}
+
+#[test]
+fn fmea_catalog_is_schedule_invariant() {
+    let reference = fmea_rendering(1, true);
+    for (threads, solo) in [(1, false), (4, false), (4, true)] {
+        let got = fmea_rendering(threads, solo);
+        assert_eq!(
+            got, reference,
+            "FMEA results diverged at threads={threads} solo={solo}"
+        );
+    }
+    // The public entry point must agree with itself across thread counts.
+    let serial = FmeaReport::run_with_threads(&OscillatorConfig::fast_test(), 1)
+        .expect("serial FMEA run")
+        .report
+        .to_json()
+        .render();
+    let parallel = FmeaReport::run_with_threads(&OscillatorConfig::fast_test(), 4)
+        .expect("parallel FMEA run")
+        .report
+        .to_json()
+        .render();
+    assert_eq!(serial, parallel, "FmeaReport JSON diverged across threads");
+}
+
+/// Renders the sampled-die population for a seeded yield campaign, drawing
+/// each die from its `JobCtx` seed exactly as the production campaign does.
+fn die_population_rendering(threads: usize, solo: bool) -> String {
+    let params = DacMismatchParams::default();
+    let outcome = CampaignBatch::new("die-differential", (0..48u32).collect::<Vec<u32>>())
+        .seed(7)
+        .threads(threads)
+        .solo(solo)
+        .run(
+            |_| 0,
+            |ctxs, unit| {
+                ctxs.iter()
+                    .zip(unit.iter())
+                    .map(|(ctx, &&die)| {
+                        let dac = MismatchedDac::sampled(&params, ctx.seed);
+                        let lin = LinearityReport::analyze(&dac);
+                        format!(
+                            "die={die} seed={:016x} inl={:016x} dnl={:016x} nonmono={:?}",
+                            ctx.seed,
+                            lin.inl_worst_rel.to_bits(),
+                            lin.dnl_worst.to_bits(),
+                            lin.non_monotonic
+                        )
+                    })
+                    .collect()
+            },
+        );
+    outcome.results.join("\n")
+}
+
+#[test]
+fn seeded_yield_population_is_schedule_invariant() {
+    let reference = die_population_rendering(1, true);
+    for (threads, solo) in [(1, false), (4, false), (4, true)] {
+        let got = die_population_rendering(threads, solo);
+        assert_eq!(
+            got, reference,
+            "die population diverged at threads={threads} solo={solo}"
+        );
+    }
+    // The public yield campaign must agree with itself across thread counts.
+    let params = DacMismatchParams::default();
+    let serial = yield_analysis_campaign(&params, 64, 1, 0.15, 1)
+        .report
+        .to_json()
+        .render();
+    let parallel = yield_analysis_campaign(&params, 64, 1, 0.15, 4)
+        .report
+        .to_json()
+        .render();
+    assert_eq!(
+        serial, parallel,
+        "yield report JSON diverged across threads"
+    );
+}
+
+/// A parameterized LC tank ring-down deck; every `scale` shares one
+/// structural digest so the scheduler batches them together.
+fn tank_deck(scale: f64) -> Netlist {
+    let mut nl = Netlist::default();
+    let top = nl.node("top");
+    nl.capacitor_ic(top, Netlist::GROUND, 2e-9 * scale, 1.0);
+    nl.inductor(top, Netlist::GROUND, 25e-6 * scale);
+    nl.resistor(top, Netlist::GROUND, 5.0e3);
+    nl
+}
+
+/// Renders a transient result with every sample as its exact bit pattern.
+fn render_waveform(r: &lcosc_circuit::TransientResult) -> String {
+    let mut out = String::new();
+    for (label, series) in [
+        ("t", r.times()),
+        ("v", r.voltages_flat()),
+        ("i", r.currents_flat()),
+    ] {
+        out.push_str(label);
+        for x in series {
+            out.push_str(&format!(" {:016x}", x.to_bits()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn deck_campaign_batched_solver_matches_per_job_reference() {
+    let decks: Vec<Netlist> = (0..12).map(|k| tank_deck(1.0 + 0.03 * k as f64)).collect();
+    let opts = TransientOptions::new(5e-9, 2e-6);
+
+    let batched = CampaignBatch::new("decks-batched", decks.clone())
+        .try_run(Netlist::structural_digest, |_ctxs, unit| {
+            run_transient_batch(unit, &opts)
+        })
+        .expect("batched deck campaign");
+    let solo = CampaignBatch::new("decks-solo", decks)
+        .solo(true)
+        .try_run(Netlist::structural_digest, |_ctxs, unit| {
+            unit.iter().map(|deck| run_transient(deck, &opts)).collect()
+        })
+        .expect("per-job deck campaign");
+
+    assert_eq!(batched.results.len(), solo.results.len());
+    for (k, (b, s)) in batched.results.iter().zip(solo.results.iter()).enumerate() {
+        assert_eq!(
+            render_waveform(b),
+            render_waveform(s),
+            "lane {k}: batched waveform diverged from the per-job solve"
+        );
+    }
+}

@@ -1,6 +1,7 @@
-//! Analyses: DC operating point, DC sweep and transient.
+//! Analyses: DC operating point, DC sweep, transient and batched transient.
 
 pub mod ac;
+pub mod batch;
 pub mod dc;
 pub mod sweep;
 pub mod transient;

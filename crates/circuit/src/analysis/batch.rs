@@ -1,0 +1,839 @@
+//! Batched transient analysis: solves N same-structure linear decks as
+//! lanes of one structure-of-arrays system.
+//!
+//! The campaign workloads (FMEA fault sweeps, DAC-yield Monte Carlo) run
+//! thousands of decks that share one MNA sparsity structure and differ only
+//! in element values. [`run_transient_batch`] stamps all of them into a
+//! [`BatchedMatrix`] in one pass ([`stamp_linear_batch`]), LU-factors every
+//! lane at once through the runtime-selected kernel
+//! ([`lcosc_num::select_kernel`]), and then advances the whole batch per
+//! time step with every stage — RHS stamping, solve, Newton-update replay,
+//! sampling, history absorption — iterating lanes in the innermost loop
+//! over lane-contiguous storage, so the per-step work autovectorizes and
+//! the per-element dispatch is paid once per batch instead of once per
+//! lane.
+//!
+//! ## Determinism contract
+//!
+//! Every lane is **bit-identical** to what [`run_transient`] produces for
+//! that deck alone. The argument has three legs:
+//!
+//! 1. **Stamping and stepping arithmetic**: every stage walks elements (or
+//!    solution rows) in the same order as the per-job code and performs,
+//!    per lane, exactly the reference's floating-point expression — the
+//!    hoisted per-lane constants in [`ElemPlan`] are computed by the very
+//!    expressions the reference evaluates inline (`farads / dt`,
+//!    `2.0 * farads / dt`, `-henries / dt`, ...), so factoring them out of
+//!    the step loop changes *when* they are computed, never their bits.
+//!    Loop nesting moves between-lane order only; lanes never share an
+//!    accumulation cell.
+//! 2. **Factor/solve**: the batched kernels replay the reference
+//!    elimination per lane (the wide kernel is restricted to ops whose
+//!    lane math is IEEE-identical to the scalar order; see
+//!    `lcosc_num::batched`).
+//! 3. **Per-lane divergence is isolated**: a lane that fails to factor or
+//!    converge carries the per-job typed error; its SoA slots keep
+//!    receiving elementwise-per-lane arithmetic, which cannot leak into
+//!    siblings.
+//!
+//! Decks that do not qualify (nonlinear elements, DC-start transients,
+//! mixed structures, the `LCOSC_SOLVER=reference` hatch) fall back to
+//! per-job [`run_transient`] — the batch entry point never changes results,
+//! only how they are computed.
+
+use super::transient::{
+    reference_path_forced, run_transient, sample_count, SolverStats, TransientOptions,
+    TransientResult,
+};
+use crate::netlist::{Element, Netlist, NodeId, Waveform};
+use crate::stamp::{Integrator, Mode};
+use crate::{CircuitError, Result};
+use lcosc_num::batched::{select_kernel, BatchedLuFactors, BatchedMatrix, BatchedRhs};
+
+/// Runs a transient analysis on every deck, solving them together as one
+/// batched system when they qualify (all linear, same structural digest,
+/// initial-condition start) and falling back to per-job [`run_transient`]
+/// otherwise.
+///
+/// Results are positionally matched to `decks` and bit-identical to what
+/// [`run_transient`] returns for each deck, including typed errors: a lane
+/// whose matrix cannot be factored gets [`CircuitError::Singular`] at the
+/// first step, and a lane whose Newton replay diverges gets
+/// [`CircuitError::NoConvergence`] at its failing time point without
+/// disturbing sibling lanes.
+pub fn run_transient_batch(
+    decks: &[&Netlist],
+    opts: &TransientOptions,
+) -> Vec<Result<TransientResult>> {
+    if decks.is_empty() {
+        return Vec::new();
+    }
+    if !batchable(decks, opts) {
+        return decks.iter().map(|nl| run_transient(nl, opts)).collect();
+    }
+    batched_linear(decks, opts)
+}
+
+/// Whether the whole slice qualifies for the batched path.
+fn batchable(decks: &[&Netlist], opts: &TransientOptions) -> bool {
+    if reference_path_forced() || opts.validate().is_err() || !opts.use_initial_conditions {
+        return false;
+    }
+    let first = decks[0];
+    if first.unknown_count() == 0 {
+        return false;
+    }
+    let digest = first.structural_digest();
+    decks
+        .iter()
+        .all(|nl| nl.is_linear() && nl.structural_digest() == digest)
+}
+
+/// One element of the batched step program: shared wiring plus the per-lane
+/// constants every step-loop stage needs, hoisted out of the loop.
+///
+/// Each constant is produced by the exact reference expression (noted per
+/// variant), so using it instead of re-deriving from the netlist is a
+/// bitwise no-op.
+enum ElemPlan<'a> {
+    /// Resistor or switch: no RHS or history role; sampling computes
+    /// `(v(a) − v(b)) / r` with the per-lane resistance divisor (`ohms`,
+    /// or `r_on`/`r_off` by switch state).
+    Static {
+        a: Option<usize>,
+        b: Option<usize>,
+        r: Vec<f64>,
+    },
+    /// Capacitor with `g = farads / dt` (BE) or `g = 2.0 * farads / dt`
+    /// (trapezoidal) per lane — the shared factor of its companion stamp,
+    /// history current and sample current.
+    Cap {
+        a: Option<usize>,
+        b: Option<usize>,
+        g: Vec<f64>,
+    },
+    /// Inductor with its branch-equation row and
+    /// `m = -henries / dt` (BE) or `m = -2.0 * henries / dt` (trapezoidal)
+    /// per lane.
+    Ind {
+        a: Option<usize>,
+        b: Option<usize>,
+        row: usize,
+        m: Vec<f64>,
+    },
+    /// Voltage source: branch row plus per-lane waveforms.
+    Vsrc {
+        row: usize,
+        waves: Vec<&'a Waveform>,
+    },
+    /// Current source: injection nodes plus per-lane waveforms.
+    Isrc {
+        p: Option<usize>,
+        n: Option<usize>,
+        waves: Vec<&'a Waveform>,
+    },
+    /// VCCS: sampling computes `gm · (v(in_p) − v(in_n))` per lane.
+    Vccs {
+        in_p: Option<usize>,
+        in_n: Option<usize>,
+        gm: Vec<f64>,
+    },
+}
+
+/// Builds the step program. Precondition: all decks share the structure of
+/// `decks[0]` and are linear.
+fn build_plan<'a>(
+    decks: &[&'a Netlist],
+    opts: &TransientOptions,
+    branch: &[Option<usize>],
+    nn: usize,
+) -> Vec<ElemPlan<'a>> {
+    let dt = opts.dt;
+    let lane_vals = |f: &dyn Fn(&Element) -> f64, k: usize| -> Vec<f64> {
+        decks.iter().map(|nl| f(&nl.elements()[k])).collect()
+    };
+    branch
+        .iter()
+        .enumerate()
+        .map(|(k, br)| match &decks[0].elements()[k] {
+            Element::Resistor { a, b, .. } => ElemPlan::Static {
+                a: idx(*a),
+                b: idx(*b),
+                r: lane_vals(
+                    &|e| match e {
+                        Element::Resistor { ohms, .. } => *ohms,
+                        _ => unreachable!("structural digest fixes element kinds"),
+                    },
+                    k,
+                ),
+            },
+            Element::Switch { a, b, .. } => ElemPlan::Static {
+                a: idx(*a),
+                b: idx(*b),
+                r: lane_vals(
+                    &|e| match e {
+                        Element::Switch {
+                            closed,
+                            r_on,
+                            r_off,
+                            ..
+                        } => {
+                            if *closed {
+                                *r_on
+                            } else {
+                                *r_off
+                            }
+                        }
+                        _ => unreachable!("structural digest fixes element kinds"),
+                    },
+                    k,
+                ),
+            },
+            Element::Capacitor { a, b, .. } => ElemPlan::Cap {
+                a: idx(*a),
+                b: idx(*b),
+                g: lane_vals(
+                    &|e| match e {
+                        Element::Capacitor { farads, .. } => match opts.integrator {
+                            Integrator::BackwardEuler => farads / dt,
+                            Integrator::Trapezoidal => 2.0 * farads / dt,
+                        },
+                        _ => unreachable!("structural digest fixes element kinds"),
+                    },
+                    k,
+                ),
+            },
+            Element::Inductor { a, b, .. } => ElemPlan::Ind {
+                a: idx(*a),
+                b: idx(*b),
+                row: nn + br.expect("inductor has a branch index"),
+                m: lane_vals(
+                    &|e| match e {
+                        Element::Inductor { henries, .. } => match opts.integrator {
+                            Integrator::BackwardEuler => -henries / dt,
+                            Integrator::Trapezoidal => -2.0 * henries / dt,
+                        },
+                        _ => unreachable!("structural digest fixes element kinds"),
+                    },
+                    k,
+                ),
+            },
+            Element::VoltageSource { .. } => ElemPlan::Vsrc {
+                row: nn + br.expect("vsource has a branch index"),
+                waves: decks
+                    .iter()
+                    .map(|nl| match &nl.elements()[k] {
+                        Element::VoltageSource { wave, .. } => wave,
+                        _ => unreachable!("structural digest fixes element kinds"),
+                    })
+                    .collect(),
+            },
+            Element::CurrentSource { p, n, .. } => ElemPlan::Isrc {
+                p: idx(*p),
+                n: idx(*n),
+                waves: decks
+                    .iter()
+                    .map(|nl| match &nl.elements()[k] {
+                        Element::CurrentSource { wave, .. } => wave,
+                        _ => unreachable!("structural digest fixes element kinds"),
+                    })
+                    .collect(),
+            },
+            Element::Vccs { in_p, in_n, .. } => ElemPlan::Vccs {
+                in_p: idx(*in_p),
+                in_n: idx(*in_n),
+                gm: lane_vals(
+                    &|e| match e {
+                        Element::Vccs { gm, .. } => *gm,
+                        _ => unreachable!("structural digest fixes element kinds"),
+                    },
+                    k,
+                ),
+            },
+            Element::Diode { .. } | Element::Mosfet { .. } => {
+                unreachable!("nonlinear element in batched linear plan")
+            }
+        })
+        .collect()
+}
+
+/// Per-element reactive history for every lane, element-major with
+/// lane-contiguous rows (`[k * lanes + lane]`) — the SoA twin of the
+/// per-job `History`.
+struct BatchedHistory {
+    lanes: usize,
+    cap_v: Vec<f64>,
+    cap_i: Vec<f64>,
+    ind_i: Vec<f64>,
+    ind_v: Vec<f64>,
+}
+
+impl BatchedHistory {
+    fn from_initial_conditions(decks: &[&Netlist]) -> Self {
+        let lanes = decks.len();
+        let n = decks[0].elements().len();
+        let mut h = BatchedHistory {
+            lanes,
+            cap_v: vec![0.0; n * lanes],
+            cap_i: vec![0.0; n * lanes],
+            ind_i: vec![0.0; n * lanes],
+            ind_v: vec![0.0; n * lanes],
+        };
+        for (lane, nl) in decks.iter().enumerate() {
+            for (k, e) in nl.elements().iter().enumerate() {
+                match e {
+                    Element::Capacitor { v0, .. } => h.cap_v[k * lanes + lane] = *v0,
+                    Element::Inductor { i0, .. } => h.ind_i[k * lanes + lane] = *i0,
+                    _ => {}
+                }
+            }
+        }
+        h
+    }
+}
+
+/// The batched linear fast path proper. Precondition: [`batchable`] holds.
+fn batched_linear(decks: &[&Netlist], opts: &TransientOptions) -> Vec<Result<TransientResult>> {
+    let lanes = decks.len();
+    let nl0 = decks[0];
+    let n = nl0.unknown_count();
+    let nn = nl0.node_count() - 1;
+    let elems = nl0.elements().len();
+    let branch = nl0.branch_indices(); // identical across lanes; hoisted once
+    let steps = (opts.t_end / opts.dt).ceil() as usize;
+    let stride = opts.record_stride;
+    let samples = sample_count(steps, stride);
+    let trap = opts.integrator == Integrator::Trapezoidal;
+
+    let plan = build_plan(decks, opts, &branch, nn);
+    let mut hist = BatchedHistory::from_initial_conditions(decks);
+    // Allocation counters stay zero on the batch path: the storage here is
+    // shared batch infrastructure, not per-result stepping allocations, so
+    // accounting lives at the batch level (`batched_lanes` records the
+    // membership instead).
+    let mut results: Vec<TransientResult> = decks
+        .iter()
+        .map(|nl| {
+            TransientResult::with_capacity(
+                nl,
+                samples,
+                SolverStats {
+                    used_linear_fast_path: true,
+                    batched_lanes: lanes as u64,
+                    ..SolverStats::default()
+                },
+            )
+        })
+        .collect();
+    let mut dead: Vec<Option<CircuitError>> = vec![None; lanes];
+
+    // Record t = 0 under DC conventions (reactive currents are zero), as
+    // the per-job path does. All lanes start from the zero vector.
+    let mode0 = Mode::Dc {
+        gmin: 1e-12,
+        source_scale: 1.0,
+    };
+    let x0 = vec![0.0; n];
+    for (lane, r) in results.iter_mut().enumerate() {
+        r.push_sample(decks[lane], 0.0, &x0, &mode0);
+    }
+
+    // Stamp every lane's matrix in one pass and factor the batch once; the
+    // factorization is reused by every subsequent step, exactly like the
+    // per-job fast path.
+    let mut a = BatchedMatrix::zeros(n, lanes);
+    stamp_linear_batch(decks, opts, &branch, &mut a);
+    let kernel = select_kernel();
+    let mut factors = BatchedLuFactors::with_dims(n, lanes);
+    kernel.factor(&a, &mut factors);
+    for (lane, slot) in dead.iter_mut().enumerate() {
+        if !factors.status(lane).is_ok() {
+            // The per-job path hits its factor failure at the first step
+            // (t = 1·dt), so the lane carries the same typed error.
+            *slot = Some(CircuitError::Singular { at: opts.dt });
+        }
+    }
+
+    let mut b = BatchedRhs::zeros(n, lanes);
+    let mut xbatch = BatchedRhs::zeros(n, lanes);
+    let mut xs = BatchedRhs::zeros(n, lanes);
+    let zero_row = vec![0.0; lanes];
+    let mut newton_total = vec![0u64; lanes];
+    let mut iters = vec![0u64; lanes];
+    let mut diverged = vec![false; lanes];
+    let mut max_delta = vec![0.0f64; lanes];
+    let mut finite = vec![true; lanes];
+    let mut active = vec![false; lanes];
+    let mut cur = vec![0.0f64; elems * lanes];
+    for step in 1..=steps {
+        let t = step as f64 * opts.dt;
+        stamp_rhs_batch(&plan, t, trap, &hist, &mut b);
+        kernel.solve(&factors, &b, &mut xbatch);
+        apply_linear_update_batch(
+            &mut xs,
+            &xbatch,
+            nn,
+            opts,
+            &dead,
+            &mut iters,
+            &mut diverged,
+            &mut max_delta,
+            &mut finite,
+            &mut active,
+        );
+        for lane in 0..lanes {
+            if dead[lane].is_some() {
+                continue;
+            }
+            if diverged[lane] {
+                // A diverged lane dies with the per-job error; its SoA
+                // slots keep receiving elementwise-per-lane arithmetic,
+                // which cannot leak into siblings.
+                dead[lane] = Some(CircuitError::NoConvergence {
+                    analysis: "transient",
+                    at: t,
+                });
+            } else {
+                newton_total[lane] += iters[lane];
+            }
+        }
+        if step % stride == 0 || step == steps {
+            sample_batch(&plan, t, trap, &hist, &xs, &zero_row, &mut cur);
+            for (lane, r) in results.iter_mut().enumerate() {
+                if dead[lane].is_none() {
+                    r.push_sample_iters(
+                        t,
+                        (0..nn).map(|i| xs.row_lanes(i)[lane]),
+                        (0..elems).map(|k| cur[k * lanes + lane]),
+                    );
+                }
+            }
+        }
+        // Update history *after* recording so recorded currents use the
+        // pre-step history. Dead lanes keep absorbing harmless garbage.
+        absorb_batch(&plan, trap, &xs, &zero_row, &mut hist);
+    }
+
+    results
+        .into_iter()
+        .zip(dead)
+        .enumerate()
+        .map(|(lane, (mut r, died))| match died {
+            Some(e) => Err(e),
+            None => {
+                debug_assert_eq!(r.len(), samples, "lane {lane} sample_count mismatch");
+                let stats = r.stats_mut();
+                stats.steps = steps as u64;
+                stats.factorizations = 1;
+                stats.factor_reuses = steps as u64 - 1;
+                stats.newton_iterations = newton_total[lane];
+                Ok(r)
+            }
+        })
+        .collect()
+}
+
+/// Row/column index of a node (`None` for ground).
+fn idx(n: NodeId) -> Option<usize> {
+    (!n.is_ground()).then(|| n.index() - 1)
+}
+
+/// Stamps the RHS of every lane for the step ending at `t`: source values
+/// at the time point and per-lane reactive history currents, lanes inner.
+/// Per lane the arithmetic is verbatim `stamp_linear_rhs`.
+fn stamp_rhs_batch(
+    plan: &[ElemPlan<'_>],
+    t: f64,
+    trap: bool,
+    hist: &BatchedHistory,
+    b: &mut BatchedRhs,
+) {
+    b.clear();
+    let lanes = hist.lanes;
+    for (k, p) in plan.iter().enumerate() {
+        let hb = k * lanes;
+        match p {
+            ElemPlan::Static { .. } | ElemPlan::Vccs { .. } => {}
+            ElemPlan::Cap { a, b: nb, g } => {
+                let cv = &hist.cap_v[hb..hb + lanes];
+                let ci = &hist.cap_i[hb..hb + lanes];
+                for (node, sign) in [(*a, 1.0), (*nb, -1.0)] {
+                    let Some(node) = node else { continue };
+                    let row = b.row_lanes_mut(node);
+                    if trap {
+                        for (((r, &g), &cv), &ci) in row.iter_mut().zip(g).zip(cv).zip(ci) {
+                            *r += sign * (g * cv + ci);
+                        }
+                    } else {
+                        for ((r, &g), &cv) in row.iter_mut().zip(g).zip(cv) {
+                            *r += sign * (g * cv);
+                        }
+                    }
+                }
+            }
+            ElemPlan::Ind { row, m, .. } => {
+                let ii = &hist.ind_i[hb..hb + lanes];
+                let iv = &hist.ind_v[hb..hb + lanes];
+                let out = b.row_lanes_mut(*row);
+                if trap {
+                    for (((o, &m), &ii), &iv) in out.iter_mut().zip(m).zip(ii).zip(iv) {
+                        *o = m * ii - iv;
+                    }
+                } else {
+                    for ((o, &m), &ii) in out.iter_mut().zip(m).zip(ii) {
+                        *o = m * ii;
+                    }
+                }
+            }
+            ElemPlan::Vsrc { row, waves } => {
+                // src_scale is 1.0 in transient mode; ×1.0 is bitwise
+                // identity, so it is elided here.
+                let out = b.row_lanes_mut(*row);
+                for (lane, wave) in waves.iter().enumerate() {
+                    out[lane] = wave.eval(t);
+                }
+            }
+            ElemPlan::Isrc { p, n, waves } => {
+                for (node, sign) in [(*p, 1.0), (*n, -1.0)] {
+                    if let Some(node) = node {
+                        let row = b.row_lanes_mut(node);
+                        for (lane, wave) in waves.iter().enumerate() {
+                            row[lane] += sign * wave.eval(t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Replays the reference Newton update loop (`apply_linear_update`) for
+/// every lane at once, rows outer / lanes inner. Per lane the operation
+/// sequence is exactly the reference's: ascending-index clamped deltas,
+/// the same `max`-folded convergence metric, the same finiteness check.
+/// Lanes retire independently: a converged lane's solution is frozen at
+/// its converging iteration, a non-finite or non-converging lane is marked
+/// diverged.
+#[allow(clippy::too_many_arguments)] // internal: scratch buffers hoisted by the one caller
+fn apply_linear_update_batch(
+    xs: &mut BatchedRhs,
+    xn: &BatchedRhs,
+    nn: usize,
+    opts: &TransientOptions,
+    dead: &[Option<CircuitError>],
+    iters: &mut [u64],
+    diverged: &mut [bool],
+    max_delta: &mut [f64],
+    finite: &mut [bool],
+    active: &mut [bool],
+) {
+    let n = xs.dim();
+    let lanes = xs.lanes();
+    for lane in 0..lanes {
+        active[lane] = dead[lane].is_none();
+        diverged[lane] = false;
+        iters[lane] = 0;
+    }
+    for iter in 1..=opts.max_iter {
+        if active.iter().all(|a| !a) {
+            return;
+        }
+        for (m, &a) in max_delta.iter_mut().zip(active.iter()) {
+            *m = if a { 0.0 } else { *m };
+        }
+        for i in 0..n {
+            let xn_row = xn.row_lanes(i);
+            let x_row = xs.row_lanes_mut(i);
+            if i < nn {
+                // Limit node-voltage moves; branch currents are left free
+                // (verbatim reference update). The lane mask is applied as
+                // a branchless select — a retired lane keeps its exact old
+                // value — so the loop vectorizes.
+                for (((x, &xnv), m), &a) in x_row
+                    .iter_mut()
+                    .zip(xn_row)
+                    .zip(max_delta.iter_mut())
+                    .zip(active.iter())
+                {
+                    let delta = (xnv - *x).clamp(-2.0, 2.0);
+                    *m = if a { m.max(delta.abs()) } else { *m };
+                    *x = if a { *x + delta } else { *x };
+                }
+            } else {
+                for ((x, &xnv), &a) in x_row.iter_mut().zip(xn_row).zip(active.iter()) {
+                    *x = if a { *x + (xnv - *x) } else { *x };
+                }
+            }
+        }
+        finite.iter_mut().for_each(|f| *f = true);
+        for i in 0..n {
+            let x_row = xs.row_lanes(i);
+            for (f, &v) in finite.iter_mut().zip(x_row) {
+                *f = *f && v.is_finite();
+            }
+        }
+        for lane in 0..lanes {
+            if !active[lane] {
+                continue;
+            }
+            if !finite[lane] {
+                diverged[lane] = true;
+                active[lane] = false;
+            } else if max_delta[lane] < opts.v_tol {
+                iters[lane] = iter as u64;
+                active[lane] = false;
+            }
+        }
+    }
+    for (d, a) in diverged.iter_mut().zip(active.iter()) {
+        if *a {
+            *d = true;
+        }
+    }
+}
+
+/// Row of per-lane node voltages, with ground reading as the shared zero
+/// row (`volt`'s ground convention).
+fn volt_row<'a>(xs: &'a BatchedRhs, node: Option<usize>, zero_row: &'a [f64]) -> &'a [f64] {
+    match node {
+        Some(i) => xs.row_lanes(i),
+        None => zero_row,
+    }
+}
+
+/// Computes every element's current for every lane at the sampled time
+/// point into `cur` (`[k * lanes + lane]`), replicating `element_current`'s
+/// transient-mode arithmetic per lane.
+fn sample_batch(
+    plan: &[ElemPlan<'_>],
+    t: f64,
+    trap: bool,
+    hist: &BatchedHistory,
+    xs: &BatchedRhs,
+    zero_row: &[f64],
+    cur: &mut [f64],
+) {
+    let lanes = hist.lanes;
+    for (k, p) in plan.iter().enumerate() {
+        let out = &mut cur[k * lanes..(k + 1) * lanes];
+        let hb = k * lanes;
+        match p {
+            ElemPlan::Static { a, b, r } => {
+                let va = volt_row(xs, *a, zero_row);
+                let vb = volt_row(xs, *b, zero_row);
+                for (((o, &va), &vb), &r) in out.iter_mut().zip(va).zip(vb).zip(r) {
+                    *o = (va - vb) / r;
+                }
+            }
+            ElemPlan::Cap { a, b, g } => {
+                let va = volt_row(xs, *a, zero_row);
+                let vb = volt_row(xs, *b, zero_row);
+                let cv = &hist.cap_v[hb..hb + lanes];
+                if trap {
+                    let ci = &hist.cap_i[hb..hb + lanes];
+                    for (((((o, &va), &vb), &g), &cv), &ci) in
+                        out.iter_mut().zip(va).zip(vb).zip(g).zip(cv).zip(ci)
+                    {
+                        *o = g * (va - vb - cv) - ci;
+                    }
+                } else {
+                    for ((((o, &va), &vb), &g), &cv) in
+                        out.iter_mut().zip(va).zip(vb).zip(g).zip(cv)
+                    {
+                        *o = g * (va - vb - cv);
+                    }
+                }
+            }
+            ElemPlan::Ind { row, .. } | ElemPlan::Vsrc { row, .. } => {
+                out.copy_from_slice(xs.row_lanes(*row));
+            }
+            ElemPlan::Isrc { waves, .. } => {
+                for (lane, wave) in waves.iter().enumerate() {
+                    out[lane] = wave.eval(t);
+                }
+            }
+            ElemPlan::Vccs { in_p, in_n, gm } => {
+                let vp = volt_row(xs, *in_p, zero_row);
+                let vn = volt_row(xs, *in_n, zero_row);
+                for (((o, &vp), &vn), &gm) in out.iter_mut().zip(vp).zip(vn).zip(gm) {
+                    *o = gm * (vp - vn);
+                }
+            }
+        }
+    }
+}
+
+/// Updates every lane's reactive history from the accepted step solution,
+/// replicating `History::absorb`'s per-element arithmetic lanes-inner.
+fn absorb_batch(
+    plan: &[ElemPlan<'_>],
+    trap: bool,
+    xs: &BatchedRhs,
+    zero_row: &[f64],
+    hist: &mut BatchedHistory,
+) {
+    let lanes = hist.lanes;
+    for (k, p) in plan.iter().enumerate() {
+        let hb = k * lanes;
+        match p {
+            ElemPlan::Cap { a, b, g } => {
+                let va = volt_row(xs, *a, zero_row);
+                let vb = volt_row(xs, *b, zero_row);
+                let (cv, ci) = (
+                    &mut hist.cap_v[hb..hb + lanes],
+                    &mut hist.cap_i[hb..hb + lanes],
+                );
+                if trap {
+                    for ((((cv, ci), &va), &vb), &g) in
+                        cv.iter_mut().zip(ci.iter_mut()).zip(va).zip(vb).zip(g)
+                    {
+                        let v = va - vb;
+                        let i = g * (v - *cv) - *ci;
+                        *cv = v;
+                        *ci = i;
+                    }
+                } else {
+                    for ((((cv, ci), &va), &vb), &g) in
+                        cv.iter_mut().zip(ci.iter_mut()).zip(va).zip(vb).zip(g)
+                    {
+                        let v = va - vb;
+                        let i = g * (v - *cv);
+                        *cv = v;
+                        *ci = i;
+                    }
+                }
+            }
+            ElemPlan::Ind { a, b, row, .. } => {
+                hist.ind_i[hb..hb + lanes].copy_from_slice(xs.row_lanes(*row));
+                let va = volt_row(xs, *a, zero_row);
+                let vb = volt_row(xs, *b, zero_row);
+                for ((iv, &va), &vb) in hist.ind_v[hb..hb + lanes].iter_mut().zip(va).zip(vb) {
+                    *iv = va - vb;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Stamps the matrix half of N same-structure linear decks into SoA
+/// storage in one pass: elements outer, lanes inner.
+///
+/// Per lane this performs the same stamps in the same order as
+/// `stamp_linear_matrix`, so each lane's matrix is bit-identical to the
+/// per-job one — loop nesting moves *between-lane* order only, and lanes
+/// never share an accumulation cell.
+fn stamp_linear_batch(
+    decks: &[&Netlist],
+    opts: &TransientOptions,
+    branch: &[Option<usize>],
+    a: &mut BatchedMatrix,
+) {
+    a.clear();
+    let nl0 = decks[0];
+    let nn = nl0.node_count() - 1;
+    let stamp_g = |a: &mut BatchedMatrix, na: NodeId, nb: NodeId, lane: usize, g: f64| {
+        if let Some(i) = idx(na) {
+            a.add(i, i, lane, g);
+            if let Some(j) = idx(nb) {
+                a.add(i, j, lane, -g);
+            }
+        }
+        if let Some(i) = idx(nb) {
+            a.add(i, i, lane, g);
+            if let Some(j) = idx(na) {
+                a.add(i, j, lane, -g);
+            }
+        }
+    };
+    let dt = opts.dt;
+    for (k, br) in branch.iter().enumerate() {
+        for (lane, nl) in decks.iter().enumerate() {
+            match &nl.elements()[k] {
+                Element::Resistor { a: na, b: nb, ohms } => {
+                    stamp_g(a, *na, *nb, lane, 1.0 / ohms);
+                }
+                Element::Switch {
+                    a: na,
+                    b: nb,
+                    closed,
+                    r_on,
+                    r_off,
+                } => {
+                    let r = if *closed { *r_on } else { *r_off };
+                    stamp_g(a, *na, *nb, lane, 1.0 / r);
+                }
+                Element::Capacitor {
+                    a: na,
+                    b: nb,
+                    farads,
+                    ..
+                } => {
+                    let g = match opts.integrator {
+                        Integrator::BackwardEuler => farads / dt,
+                        Integrator::Trapezoidal => 2.0 * farads / dt,
+                    };
+                    stamp_g(a, *na, *nb, lane, g);
+                }
+                Element::Inductor {
+                    a: na,
+                    b: nb,
+                    henries,
+                    ..
+                } => {
+                    let j = nn + br.expect("inductor branch");
+                    if let Some(i) = idx(*na) {
+                        a.add(i, j, lane, 1.0);
+                        a.add(j, i, lane, 1.0);
+                    }
+                    if let Some(i) = idx(*nb) {
+                        a.add(i, j, lane, -1.0);
+                        a.add(j, i, lane, -1.0);
+                    }
+                    match opts.integrator {
+                        Integrator::BackwardEuler => a.add(j, j, lane, -henries / dt),
+                        Integrator::Trapezoidal => a.add(j, j, lane, -2.0 * henries / dt),
+                    }
+                }
+                Element::VoltageSource { p, n, .. } => {
+                    let j = nn + br.expect("vsource branch");
+                    if let Some(i) = idx(*p) {
+                        a.add(i, j, lane, 1.0);
+                        a.add(j, i, lane, 1.0);
+                    }
+                    if let Some(i) = idx(*n) {
+                        a.add(i, j, lane, -1.0);
+                        a.add(j, i, lane, -1.0);
+                    }
+                }
+                Element::CurrentSource { .. } => {}
+                Element::Vccs {
+                    out_p,
+                    out_n,
+                    in_p,
+                    in_n,
+                    gm,
+                } => {
+                    for (out, sign) in [(out_p, 1.0), (out_n, -1.0)] {
+                        if let Some(r) = idx(*out) {
+                            if let Some(c) = idx(*in_p) {
+                                a.add(r, c, lane, sign * gm);
+                            }
+                            if let Some(c) = idx(*in_n) {
+                                a.add(r, c, lane, -sign * gm);
+                            }
+                        }
+                    }
+                }
+                Element::Diode { .. } | Element::Mosfet { .. } => {
+                    debug_assert!(false, "nonlinear element in batched linear stamp");
+                }
+            }
+        }
+    }
+    for i in 0..nn {
+        for lane in 0..decks.len() {
+            a.add(i, i, lane, 1e-12);
+        }
+    }
+}

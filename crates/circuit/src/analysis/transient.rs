@@ -149,6 +149,12 @@ pub struct SolverStats {
     pub post_warmup_allocations: u64,
     /// Whether the run used the cached-factorization linear fast path.
     pub used_linear_fast_path: bool,
+    /// Number of lanes in the batched solve that produced this result, or
+    /// zero when the deck was solved on its own (reference or per-job fast
+    /// path). Lane membership does not affect any numeric output — batched
+    /// lanes are bit-identical to per-job solves — so this is purely a
+    /// work-accounting counter.
+    pub batched_lanes: u64,
 }
 
 /// Allocation bookkeeping for [`SolverStats`]: counts allocations at their
@@ -300,19 +306,55 @@ impl TransientResult {
             .collect()
     }
 
+    /// Creates an empty result with pre-sized storage for the batch path.
+    pub(crate) fn with_capacity(
+        nl: &Netlist,
+        samples: usize,
+        stats: SolverStats,
+    ) -> TransientResult {
+        let nn = nl.node_count() - 1;
+        TransientResult {
+            times: Vec::with_capacity(samples),
+            node_count: nl.node_count(),
+            element_count: nl.elements().len(),
+            voltages: Vec::with_capacity(samples * nn),
+            currents: Vec::with_capacity(samples * nl.elements().len()),
+            stats,
+        }
+    }
+
+    /// Mutable access to the work counters (batch path bookkeeping).
+    pub(crate) fn stats_mut(&mut self) -> &mut SolverStats {
+        &mut self.stats
+    }
+
     /// Appends one sample row.
-    fn push_sample(&mut self, nl: &Netlist, t: f64, x: &[f64], mode: &Mode<'_>) {
+    pub(crate) fn push_sample(&mut self, nl: &Netlist, t: f64, x: &[f64], mode: &Mode<'_>) {
         self.times.push(t);
         self.voltages.extend_from_slice(&x[..self.node_count - 1]);
         for k in 0..self.element_count {
             self.currents.push(element_current(nl, k, x, mode));
         }
     }
+
+    /// Appends one sample row from pre-computed per-node voltages and
+    /// per-element currents (the batch path gathers these lanes-inner and
+    /// hands over this lane's column).
+    pub(crate) fn push_sample_iters(
+        &mut self,
+        t: f64,
+        volts: impl Iterator<Item = f64>,
+        currs: impl Iterator<Item = f64>,
+    ) {
+        self.times.push(t);
+        self.voltages.extend(volts);
+        self.currents.extend(currs);
+    }
 }
 
 /// Number of samples `run_transient` records: `t = 0`, every `stride`-th
 /// step, and the final step.
-fn sample_count(steps: usize, stride: usize) -> usize {
+pub(crate) fn sample_count(steps: usize, stride: usize) -> usize {
     1 + steps / stride + usize::from(!steps.is_multiple_of(stride) && steps > 0)
 }
 
@@ -475,7 +517,7 @@ pub fn run_transient(nl: &Netlist, opts: &TransientOptions) -> Result<TransientR
 }
 
 /// Whether the `LCOSC_SOLVER=reference` escape hatch is active.
-fn reference_path_forced() -> bool {
+pub(crate) fn reference_path_forced() -> bool {
     std::env::var_os("LCOSC_SOLVER").is_some_and(|v| v == "reference")
 }
 
@@ -488,7 +530,7 @@ fn reference_path_forced() -> bool {
 /// Repeating exactly that update against the single cached solution
 /// therefore reproduces the reference iterates — including their final
 /// rounding — bit for bit.
-fn apply_linear_update(
+pub(crate) fn apply_linear_update(
     x: &mut [f64],
     xn: &[f64],
     nn: usize,

@@ -42,6 +42,7 @@ pub mod netlist;
 pub mod stamp;
 
 pub use analysis::ac::{ac_sweep, logspace, AcPoint};
+pub use analysis::batch::run_transient_batch;
 pub use analysis::dc::{solve_dc, solve_dc_with, DcOptions, DcSolution};
 pub use analysis::sweep::{dc_sweep, SweepPoint};
 pub use analysis::transient::{

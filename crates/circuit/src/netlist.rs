@@ -543,6 +543,56 @@ impl Netlist {
     pub fn unknown_count(&self) -> usize {
         (self.node_count() - 1) + self.branch_count()
     }
+
+    /// A 64-bit digest of the netlist *structure*: the node count plus each
+    /// element's kind and terminal wiring, in element order.
+    ///
+    /// Element **values** (resistance, capacitance, waveform parameters,
+    /// initial conditions, switch state, ...) are deliberately excluded:
+    /// two decks with equal digests stamp the same MNA sparsity pattern in
+    /// the same element order, which is exactly the precondition for
+    /// solving them as lanes of one batched system. FNV-1a over the
+    /// structural bytes, finished with a SplitMix64-style avalanche so
+    /// near-identical decks spread across the digest space.
+    pub fn structural_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(h: &mut u64, byte: u8) {
+            *h ^= u64::from(byte);
+            *h = h.wrapping_mul(FNV_PRIME);
+        }
+        fn eat_u64(h: &mut u64, v: u64) {
+            for byte in v.to_le_bytes() {
+                eat(h, byte);
+            }
+        }
+        let mut h = FNV_OFFSET;
+        eat_u64(&mut h, self.node_count() as u64);
+        for e in &self.elements {
+            let kind: u8 = match e {
+                Element::Resistor { .. } => 1,
+                Element::Capacitor { .. } => 2,
+                Element::Inductor { .. } => 3,
+                Element::Switch { .. } => 4,
+                Element::VoltageSource { .. } => 5,
+                Element::CurrentSource { .. } => 6,
+                Element::Vccs { .. } => 7,
+                Element::Diode { .. } => 8,
+                Element::Mosfet { .. } => 9,
+            };
+            eat(&mut h, kind);
+            for node in element_terminals(e) {
+                eat_u64(&mut h, node.index() as u64);
+            }
+        }
+        // SplitMix64 finalizer (same mixing constants the campaign seed
+        // schedule uses; reimplemented locally so `circuit` stays free of a
+        // `campaign` dependency).
+        let mut z = h;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
 }
 
 /// Terminal nodes of an element, in declaration order.

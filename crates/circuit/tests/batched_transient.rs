@@ -1,0 +1,293 @@
+//! Differential suite for the batched transient path: every lane of
+//! [`run_transient_batch`] must be bit-identical to a per-job
+//! [`run_transient`] of the same deck — waveforms, deterministic counters
+//! and typed errors alike — across batch widths, integrators and every
+//! linear element kind. Extends the PR4 fast-vs-reference harness to
+//! batches; hatch-aware via `LCOSC_SOLVER=reference` (which collapses both
+//! sides onto the reference path, keeping the comparisons meaningful).
+
+use lcosc_circuit::{
+    run_transient, run_transient_batch, CircuitError, Integrator, Netlist, TransientOptions,
+    TransientResult, Waveform,
+};
+
+/// Bitwise slice equality (stricter than `==`: distinguishes signed zeros,
+/// equates NaN payloads).
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Whether `LCOSC_SOLVER=reference` is forcing every run onto the
+/// reference path (the batch entry point then falls back per job).
+fn hatch_forced() -> bool {
+    std::env::var_os("LCOSC_SOLVER").is_some_and(|v| v == "reference")
+}
+
+/// Asserts one batched lane equals its per-job run: waveforms bitwise,
+/// plus every deterministic counter. `allocations` is excluded by design
+/// (batch storage is accounted at the batch level) and `batched_lanes`
+/// differs by definition — everything else must match exactly.
+fn assert_lane_identical(batched: &TransientResult, solo: &TransientResult, label: &str) {
+    assert!(
+        bits_equal(batched.times(), solo.times()),
+        "{label}: times diverged"
+    );
+    assert!(
+        bits_equal(batched.voltages_flat(), solo.voltages_flat()),
+        "{label}: voltages diverged"
+    );
+    assert!(
+        bits_equal(batched.currents_flat(), solo.currents_flat()),
+        "{label}: currents diverged"
+    );
+    let (b, s) = (batched.stats(), solo.stats());
+    assert_eq!(b.steps, s.steps, "{label}: steps");
+    assert_eq!(
+        b.newton_iterations, s.newton_iterations,
+        "{label}: newton_iterations"
+    );
+    assert_eq!(
+        b.factorizations, s.factorizations,
+        "{label}: factorizations"
+    );
+    assert_eq!(b.factor_reuses, s.factor_reuses, "{label}: factor_reuses");
+    assert_eq!(
+        b.used_linear_fast_path, s.used_linear_fast_path,
+        "{label}: fast-path flag"
+    );
+    if !hatch_forced() {
+        assert_eq!(
+            b.post_warmup_allocations, 0,
+            "{label}: steady-state stepping must stay allocation-free"
+        );
+    }
+}
+
+/// Paper-shaped series tank with per-lane value jitter: same structure,
+/// different element values and initial conditions.
+fn tank_variant(i: usize) -> Netlist {
+    let f = 1.0 + 0.03 * i as f64;
+    let mut nl = Netlist::new();
+    let lc1 = nl.node("lc1");
+    let lc2 = nl.node("lc2");
+    let mid = nl.node("mid");
+    nl.capacitor_ic(lc1, Netlist::GROUND, 2e-9 * f, 1.0 / f);
+    nl.capacitor_ic(lc2, Netlist::GROUND, 2e-9 / f, -1.0 * f);
+    nl.inductor_ic(lc1, mid, 25e-6 * f, 1e-3 * i as f64);
+    nl.resistor(mid, lc2, 15.0 * f);
+    nl
+}
+
+/// A deck touching every linear element kind the batched stamper handles:
+/// resistor, switch (both states), capacitor, inductor, sine voltage
+/// source, pulsed current source and a VCCS.
+fn full_linear_variant(i: usize) -> Netlist {
+    let f = 1.0 + 0.05 * i as f64;
+    let mut nl = Netlist::new();
+    let vin = nl.node("vin");
+    let mid = nl.node("mid");
+    let out = nl.node("out");
+    let sense = nl.node("sense");
+    nl.voltage_source(
+        vin,
+        Netlist::GROUND,
+        Waveform::Sine {
+            offset: 0.1 * f,
+            amplitude: 1.0 * f,
+            frequency: 1e6,
+            phase: 0.3 * i as f64,
+        },
+    );
+    nl.resistor(vin, mid, 15.0 * f);
+    nl.inductor(mid, out, 25e-6 / f);
+    nl.capacitor_ic(out, Netlist::GROUND, 1e-9 * f, 0.1);
+    nl.switch(out, sense, i % 2 == 0);
+    nl.resistor(sense, Netlist::GROUND, 1e3 * f);
+    nl.current_source(sense, Netlist::GROUND, Waveform::Dc(1e-4 * f));
+    nl.vccs(mid, Netlist::GROUND, out, Netlist::GROUND, 1e-4 * f);
+    nl
+}
+
+fn run_batch_and_solo(
+    decks: &[Netlist],
+    opts: &TransientOptions,
+) -> (
+    Vec<Result<TransientResult, CircuitError>>,
+    Vec<Result<TransientResult, CircuitError>>,
+) {
+    let refs: Vec<&Netlist> = decks.iter().collect();
+    let batched = run_transient_batch(&refs, opts);
+    let solo: Vec<_> = decks.iter().map(|nl| run_transient(nl, opts)).collect();
+    (batched, solo)
+}
+
+#[test]
+fn tank_batches_are_bit_identical_per_lane_for_every_width() {
+    for integrator in [Integrator::BackwardEuler, Integrator::Trapezoidal] {
+        for width in [1usize, 2, 5, 8, 17] {
+            let decks: Vec<Netlist> = (0..width).map(tank_variant).collect();
+            let mut opts = TransientOptions::new(5e-9, 5e-6);
+            opts.integrator = integrator;
+            let (batched, solo) = run_batch_and_solo(&decks, &opts);
+            for (lane, (b, s)) in batched.iter().zip(&solo).enumerate() {
+                let label = format!("tank/{integrator:?}/w{width}/lane{lane}");
+                let b = b.as_ref().expect("batched lane converges");
+                let s = s.as_ref().expect("solo run converges");
+                assert_lane_identical(b, s, &label);
+                if !hatch_forced() {
+                    assert_eq!(b.stats().batched_lanes, width as u64, "{label}");
+                    assert_eq!(s.stats().batched_lanes, 0, "{label}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_linear_element_kind_is_bit_identical_with_stride() {
+    for integrator in [Integrator::BackwardEuler, Integrator::Trapezoidal] {
+        let decks: Vec<Netlist> = (0..7).map(full_linear_variant).collect();
+        let mut opts = TransientOptions::new(2e-9, 2e-6);
+        opts.integrator = integrator;
+        opts.record_stride = 7;
+        let (batched, solo) = run_batch_and_solo(&decks, &opts);
+        for (lane, (b, s)) in batched.iter().zip(&solo).enumerate() {
+            assert_lane_identical(
+                b.as_ref().expect("batched lane converges"),
+                s.as_ref().expect("solo run converges"),
+                &format!("full/{integrator:?}/lane{lane}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn singular_lane_carries_the_per_job_error_without_corrupting_siblings() {
+    // A 1e300 F capacitor overflows its companion conductance to infinity,
+    // which the factor prescan rejects — per-job that surfaces as Singular
+    // at the first step.
+    let mut decks: Vec<Netlist> = (0..5).map(tank_variant).collect();
+    let mut bad = Netlist::new();
+    let lc1 = bad.node("lc1");
+    let lc2 = bad.node("lc2");
+    let mid = bad.node("mid");
+    bad.capacitor_ic(lc1, Netlist::GROUND, 1e300, 1.0);
+    bad.capacitor_ic(lc2, Netlist::GROUND, 2e-9, -1.0);
+    bad.inductor_ic(lc1, mid, 25e-6, 0.0);
+    bad.resistor(mid, lc2, 15.0);
+    decks[2] = bad;
+
+    let opts = TransientOptions::new(5e-9, 2e-6);
+    let (batched, solo) = run_batch_and_solo(&decks, &opts);
+    for (lane, (b, s)) in batched.iter().zip(&solo).enumerate() {
+        match (b, s) {
+            (Ok(b), Ok(s)) => {
+                assert_ne!(lane, 2);
+                assert_lane_identical(b, s, &format!("sibling lane {lane}"));
+            }
+            (Err(b), Err(s)) => {
+                assert_eq!(lane, 2, "only the engineered lane may fail");
+                assert_eq!(b, s, "lane error must match the per-job error");
+                assert_eq!(b, &CircuitError::Singular { at: opts.dt });
+            }
+            _ => panic!("lane {lane}: batched and per-job disagree on success"),
+        }
+    }
+}
+
+#[test]
+fn diverging_lane_fails_per_lane_with_the_per_job_error() {
+    // max_iter = 2 with a 10 V step: the ±2 V/iteration clamp cannot close
+    // the gap, so the Newton replay reports NoConvergence at t = dt.
+    // Sibling lanes at 0.5 V converge within the budget.
+    let mk = |volts: f64| {
+        let mut nl = Netlist::new();
+        let vin = nl.node("vin");
+        let out = nl.node("out");
+        nl.voltage_source(vin, Netlist::GROUND, Waveform::Dc(volts));
+        nl.resistor(vin, out, 1e3);
+        nl.capacitor(out, Netlist::GROUND, 1e-9);
+        nl
+    };
+    let decks = vec![mk(0.5), mk(10.0), mk(0.25)];
+    let mut opts = TransientOptions::new(1e-8, 1e-6);
+    opts.max_iter = 2;
+    let (batched, solo) = run_batch_and_solo(&decks, &opts);
+    for (lane, (b, s)) in batched.iter().zip(&solo).enumerate() {
+        match (b, s) {
+            (Ok(b), Ok(s)) => {
+                assert_ne!(lane, 1);
+                assert_lane_identical(b, s, &format!("converging lane {lane}"));
+            }
+            (Err(b), Err(s)) => {
+                assert_eq!(lane, 1, "only the 10 V lane may diverge");
+                assert_eq!(b, s, "lane error must match the per-job error");
+                assert!(matches!(b, CircuitError::NoConvergence { .. }));
+            }
+            _ => panic!("lane {lane}: batched and per-job disagree on success"),
+        }
+    }
+}
+
+#[test]
+fn mixed_structures_fall_back_to_per_job_results() {
+    let mut rc = Netlist::new();
+    let a = rc.node("a");
+    rc.resistor(a, Netlist::GROUND, 1e3);
+    rc.capacitor_ic(a, Netlist::GROUND, 1e-9, 1.0);
+    let decks = vec![tank_variant(0), rc, tank_variant(1)];
+    let opts = TransientOptions::new(5e-9, 1e-6);
+    let (batched, solo) = run_batch_and_solo(&decks, &opts);
+    for (lane, (b, s)) in batched.iter().zip(&solo).enumerate() {
+        let b = b.as_ref().expect("fallback lane converges");
+        let s = s.as_ref().expect("solo run converges");
+        assert_lane_identical(b, s, &format!("fallback lane {lane}"));
+        assert_eq!(
+            b.stats().batched_lanes,
+            0,
+            "mixed structures must not claim batch membership"
+        );
+    }
+}
+
+#[test]
+fn structural_digest_ignores_values_but_not_wiring() {
+    let a = tank_variant(0);
+    let b = tank_variant(9); // same wiring, different values/ICs
+    assert_eq!(a.structural_digest(), b.structural_digest());
+
+    let mut rewired = Netlist::new();
+    let lc1 = rewired.node("lc1");
+    let lc2 = rewired.node("lc2");
+    let mid = rewired.node("mid");
+    rewired.capacitor_ic(lc1, Netlist::GROUND, 2e-9, 1.0);
+    rewired.capacitor_ic(lc2, Netlist::GROUND, 2e-9, -1.0);
+    rewired.inductor_ic(lc1, mid, 25e-6, 0.0);
+    rewired.resistor(mid, lc1, 15.0); // resistor returns to lc1, not lc2
+    assert_ne!(a.structural_digest(), rewired.structural_digest());
+
+    // Swapping an element kind at the same terminals also changes it.
+    let mut rekinded = Netlist::new();
+    let lc1 = rekinded.node("lc1");
+    let lc2 = rekinded.node("lc2");
+    let mid = rekinded.node("mid");
+    rekinded.capacitor_ic(lc1, Netlist::GROUND, 2e-9, 1.0);
+    rekinded.capacitor_ic(lc2, Netlist::GROUND, 2e-9, -1.0);
+    rekinded.inductor_ic(lc1, mid, 25e-6, 0.0);
+    rekinded.switch(mid, lc2, true);
+    assert_ne!(a.structural_digest(), rekinded.structural_digest());
+}
+
+#[test]
+fn empty_batch_and_empty_deck_degenerate_cleanly() {
+    let opts = TransientOptions::new(1e-9, 1e-8);
+    assert!(run_transient_batch(&[], &opts).is_empty());
+
+    // An empty deck has no unknowns: the batch gate falls back per job,
+    // matching whatever run_transient does with it.
+    let empty = Netlist::new();
+    let batched = run_transient_batch(&[&empty], &opts);
+    let solo = run_transient(&empty, &opts);
+    assert_eq!(batched.len(), 1);
+    assert_eq!(batched[0].is_ok(), solo.is_ok());
+}

@@ -1,0 +1,898 @@
+//! Batched (structure-of-arrays) dense LU for same-structure sweeps.
+//!
+//! Campaign workloads solve thousands of MNA systems that share one sparsity
+//! structure and differ only in element values. This module stores `lanes`
+//! such systems interleaved — every matrix entry holds its `lanes` values
+//! contiguously — so one pass over the elimination control flow advances all
+//! lanes at once, and the inner loops are plain elementwise arithmetic the
+//! compiler can vectorize.
+//!
+//! ## Determinism contract
+//!
+//! Both kernels perform, for every lane, *exactly* the floating-point
+//! operation sequence of the per-system reference
+//! ([`LuFactors::factor_into`] / [`LuFactors::solve_into`]): the same pivot
+//! comparisons, the same row swaps, the same ascending-column elimination
+//! and substitution order. No dot products are reassociated and no
+//! fused-multiply-adds are introduced, so the factors and solutions are
+//! bit-for-bit identical to factoring each lane on its own — regardless of
+//! which kernel runs. The kernels differ only in loop nesting:
+//!
+//! - [`ScalarKernel`] walks lanes in the outer loop, replaying the reference
+//!   elimination verbatim per lane (strided access, no vectorization).
+//! - [`WideKernel`] walks lanes in the inner loop over the lane-contiguous
+//!   storage, which autovectorizes on AVX2 (and on any other target with
+//!   f64 SIMD). Only elementwise ops (`-`, `*`, `/`, compare, swap) appear
+//!   in the lane loops — the subset whose SIMD semantics are IEEE-identical
+//!   to scalar execution.
+//!
+//! [`select_kernel`] picks [`WideKernel`] when the CPU reports AVX2 and
+//! falls back to [`ScalarKernel`] otherwise; `LCOSC_FORCE_SCALAR=1` forces
+//! the fallback so CI can byte-compare both paths end to end.
+//!
+//! [`LuFactors::factor_into`]: crate::linalg::LuFactors::factor_into
+//! [`LuFactors::solve_into`]: crate::linalg::LuFactors::solve_into
+
+use crate::linalg::Matrix;
+use crate::NumError;
+use std::sync::OnceLock;
+
+/// Outcome of factorizing one lane of a [`BatchedMatrix`].
+///
+/// A failed lane carries exactly the [`NumError`] the per-system reference
+/// factorization would have returned for that lane's matrix; sibling lanes
+/// are unaffected. The factors, permutation and solve output of a failed
+/// lane are unspecified garbage and must not be read.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaneStatus {
+    /// The lane factorized successfully and can be solved.
+    Ok,
+    /// The lane failed; sibling lanes are untouched.
+    Failed(NumError),
+}
+
+impl LaneStatus {
+    /// `true` when the lane factorized successfully.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, LaneStatus::Ok)
+    }
+
+    /// The lane's error, when it failed.
+    pub fn error(&self) -> Option<&NumError> {
+        match self {
+            LaneStatus::Ok => None,
+            LaneStatus::Failed(e) => Some(e),
+        }
+    }
+}
+
+/// `lanes` dense `n × n` systems stored structure-of-arrays: entry `(r, c)`
+/// of lane `l` lives at `(r * n + c) * lanes + l`, so all lanes of one
+/// entry are contiguous.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchedMatrix {
+    n: usize,
+    lanes: usize,
+    data: Vec<f64>,
+}
+
+impl BatchedMatrix {
+    /// Creates a zero-filled batch of `lanes` square `n × n` systems.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `lanes` is zero.
+    pub fn zeros(n: usize, lanes: usize) -> Self {
+        assert!(n > 0 && lanes > 0, "batch dimensions must be non-zero");
+        BatchedMatrix {
+            n,
+            lanes,
+            data: vec![0.0; n * n * lanes],
+        }
+    }
+
+    /// System dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of lanes (systems) in the batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Sets every entry of every lane to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// The lane-contiguous values of entry `(row, col)`, mutable — the
+    /// batched MNA stamp target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn entry_lanes_mut(&mut self, row: usize, col: usize) -> &mut [f64] {
+        assert!(row < self.n && col < self.n, "batch index out of bounds");
+        let base = (row * self.n + col) * self.lanes;
+        &mut self.data[base..base + self.lanes]
+    }
+
+    /// The lane-contiguous values of entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn entry_lanes(&self, row: usize, col: usize) -> &[f64] {
+        assert!(row < self.n && col < self.n, "batch index out of bounds");
+        let base = (row * self.n + col) * self.lanes;
+        &self.data[base..base + self.lanes]
+    }
+
+    /// Adds `value` to entry `(row, col)` of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, lane: usize, value: f64) {
+        assert!(lane < self.lanes, "batch lane out of bounds");
+        self.entry_lanes_mut(row, col)[lane] += value;
+    }
+
+    /// Copies a dense matrix into one lane (gather-free scatter; used by
+    /// tests and by per-lane bridging code).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not `n × n` or `lane` is out of bounds.
+    pub fn set_lane(&mut self, lane: usize, m: &Matrix) {
+        assert!(lane < self.lanes, "batch lane out of bounds");
+        assert!(
+            m.rows() == self.n && m.cols() == self.n,
+            "lane matrix dimension mismatch"
+        );
+        for r in 0..self.n {
+            for c in 0..self.n {
+                self.data[(r * self.n + c) * self.lanes + lane] = m[(r, c)];
+            }
+        }
+    }
+
+    /// Extracts one lane as a dense [`Matrix`] (the reference-path view of
+    /// that lane's system).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of bounds.
+    pub fn lane_matrix(&self, lane: usize) -> Matrix {
+        assert!(lane < self.lanes, "batch lane out of bounds");
+        let mut m = Matrix::zeros(self.n, self.n);
+        for r in 0..self.n {
+            for c in 0..self.n {
+                m[(r, c)] = self.data[(r * self.n + c) * self.lanes + lane];
+            }
+        }
+        m
+    }
+}
+
+/// `lanes` right-hand-side (or solution) vectors of dimension `n`, stored
+/// lane-contiguous per row: entry `row` of lane `l` lives at
+/// `row * lanes + l`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchedRhs {
+    n: usize,
+    lanes: usize,
+    data: Vec<f64>,
+}
+
+impl BatchedRhs {
+    /// Creates a zero-filled batch of `lanes` vectors of dimension `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `lanes` is zero.
+    pub fn zeros(n: usize, lanes: usize) -> Self {
+        assert!(n > 0 && lanes > 0, "batch dimensions must be non-zero");
+        BatchedRhs {
+            n,
+            lanes,
+            data: vec![0.0; n * lanes],
+        }
+    }
+
+    /// Vector dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of lanes in the batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Sets every entry of every lane to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// The lane-contiguous values of `row`, mutable — the batched RHS stamp
+    /// target (`+=` accumulation and `=` assignment both happen here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row_lanes_mut(&mut self, row: usize) -> &mut [f64] {
+        assert!(row < self.n, "batch row out of bounds");
+        let base = row * self.lanes;
+        &mut self.data[base..base + self.lanes]
+    }
+
+    /// The lane-contiguous values of `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row_lanes(&self, row: usize) -> &[f64] {
+        assert!(row < self.n, "batch row out of bounds");
+        let base = row * self.lanes;
+        &self.data[base..base + self.lanes]
+    }
+
+    /// One entry of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn at(&self, row: usize, lane: usize) -> f64 {
+        assert!(lane < self.lanes, "batch lane out of bounds");
+        self.row_lanes(row)[lane]
+    }
+
+    /// Copies a dense vector into one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != n` or `lane` is out of bounds.
+    pub fn set_lane(&mut self, lane: usize, v: &[f64]) {
+        assert!(lane < self.lanes, "batch lane out of bounds");
+        assert!(v.len() == self.n, "lane vector dimension mismatch");
+        for (row, &value) in v.iter().enumerate() {
+            self.data[row * self.lanes + lane] = value;
+        }
+    }
+
+    /// Gathers one lane into a caller buffer (the per-lane solution view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != n` or `lane` is out of bounds.
+    pub fn lane_copy_into(&self, lane: usize, out: &mut [f64]) {
+        assert!(lane < self.lanes, "batch lane out of bounds");
+        assert!(out.len() == self.n, "lane vector dimension mismatch");
+        for (row, slot) in out.iter_mut().enumerate() {
+            *slot = self.data[row * self.lanes + lane];
+        }
+    }
+}
+
+/// Batched LU factors with per-lane permutation, sign and status, in the
+/// same lane-contiguous layout as [`BatchedMatrix`].
+#[derive(Debug, Clone)]
+pub struct BatchedLuFactors {
+    n: usize,
+    lanes: usize,
+    lu: Vec<f64>,
+    /// Row permutation per lane: `perm[k * lanes + lane]`.
+    perm: Vec<usize>,
+    /// Permutation sign per lane (`det` bookkeeping, mirrors `LuFactors`).
+    sign: Vec<f64>,
+    status: Vec<LaneStatus>,
+}
+
+impl BatchedLuFactors {
+    /// Creates empty factor storage pre-sized for `lanes` `n × n` systems.
+    ///
+    /// Not usable for solves until a kernel's
+    /// [`factor`](BatchedLuSolver::factor) has run; this only reserves the
+    /// buffers so factorization does not reallocate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `lanes` is zero.
+    pub fn with_dims(n: usize, lanes: usize) -> Self {
+        assert!(n > 0 && lanes > 0, "batch dimensions must be non-zero");
+        BatchedLuFactors {
+            n,
+            lanes,
+            lu: vec![0.0; n * n * lanes],
+            perm: vec![0; n * lanes],
+            sign: vec![1.0; lanes],
+            status: vec![LaneStatus::Ok; lanes],
+        }
+    }
+
+    /// System dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of lanes in the batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Factorization outcome of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of bounds.
+    pub fn status(&self, lane: usize) -> &LaneStatus {
+        &self.status[lane]
+    }
+
+    /// Per-lane factorization outcomes, lane order.
+    pub fn statuses(&self) -> &[LaneStatus] {
+        &self.status
+    }
+
+    /// `true` when every lane factorized successfully.
+    pub fn all_ok(&self) -> bool {
+        self.status.iter().all(LaneStatus::is_ok)
+    }
+
+    /// Determinant of one lane's factorized matrix (garbage for failed
+    /// lanes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of bounds.
+    pub fn lane_det(&self, lane: usize) -> f64 {
+        assert!(lane < self.lanes, "batch lane out of bounds");
+        let mut d = self.sign[lane];
+        for i in 0..self.n {
+            d *= self.lu[(i * self.n + i) * self.lanes + lane];
+        }
+        d
+    }
+}
+
+/// A batched LU backend: factor `lanes` same-structure systems at once and
+/// solve them against batched right-hand sides.
+///
+/// Implementations must uphold the module's determinism contract: per lane,
+/// results are bit-identical to the per-system reference path.
+pub trait BatchedLuSolver: Sync {
+    /// Kernel name for reports and traces (`"wide"` / `"scalar"`). Never
+    /// part of golden output — kernel choice must be observationally
+    /// invisible.
+    fn name(&self) -> &'static str;
+
+    /// Factorizes every lane of `a` into `out`, recording a per-lane
+    /// [`LaneStatus`]. A failing lane never corrupts its siblings.
+    fn factor(&self, a: &BatchedMatrix, out: &mut BatchedLuFactors);
+
+    /// Solves `A_l x_l = b_l` for every lane. Lanes whose factorization
+    /// failed produce unspecified garbage in `x` (check
+    /// [`BatchedLuFactors::status`]); sibling lanes are exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f`, `b` and `x` disagree on dimension or lane count.
+    fn solve(&self, f: &BatchedLuFactors, b: &BatchedRhs, x: &mut BatchedRhs);
+}
+
+/// Resets `out` from `a` and runs the per-lane non-finite entry scan — the
+/// exact precondition the reference `factor_into` enforces before touching
+/// any arithmetic. Shared by both kernels (the scan's outcome is
+/// order-independent).
+fn begin_factor(a: &BatchedMatrix, out: &mut BatchedLuFactors) {
+    let n = a.n;
+    let lanes = a.lanes;
+    out.n = n;
+    out.lanes = lanes;
+    out.lu.clear();
+    out.lu.extend_from_slice(&a.data);
+    out.perm.clear();
+    for i in 0..n {
+        for _ in 0..lanes {
+            out.perm.push(i);
+        }
+    }
+    out.sign.clear();
+    out.sign.resize(lanes, 1.0);
+    out.status.clear();
+    out.status.resize(lanes, LaneStatus::Ok);
+    for chunk in a.data.chunks_exact(lanes) {
+        for (st, &v) in out.status.iter_mut().zip(chunk) {
+            if !v.is_finite() {
+                *st = LaneStatus::Failed(NumError::InvalidInput("matrix has non-finite entries"));
+            }
+        }
+    }
+}
+
+/// The reference pivot-underflow test (verbatim from `factor_into`).
+fn pivot_fails(pmax: f64) -> bool {
+    pmax < f64::MIN_POSITIVE * 1e4 || !pmax.is_finite()
+}
+
+/// Lane-outer fallback kernel: replays the reference elimination verbatim
+/// for each lane over the strided SoA storage. Always available; selected
+/// when AVX2 is absent or `LCOSC_FORCE_SCALAR=1` is set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarKernel;
+
+impl BatchedLuSolver for ScalarKernel {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn factor(&self, a: &BatchedMatrix, out: &mut BatchedLuFactors) {
+        begin_factor(a, out);
+        let n = out.n;
+        let lanes = out.lanes;
+        for lane in 0..lanes {
+            if !out.status[lane].is_ok() {
+                continue;
+            }
+            'elim: for k in 0..n {
+                let mut p = k;
+                let mut pmax = out.lu[(k * n + k) * lanes + lane].abs();
+                for i in (k + 1)..n {
+                    let v = out.lu[(i * n + k) * lanes + lane].abs();
+                    if v > pmax {
+                        pmax = v;
+                        p = i;
+                    }
+                }
+                if pivot_fails(pmax) {
+                    out.status[lane] = LaneStatus::Failed(NumError::SingularMatrix { pivot: k });
+                    break 'elim;
+                }
+                if p != k {
+                    for j in 0..n {
+                        out.lu
+                            .swap((k * n + j) * lanes + lane, (p * n + j) * lanes + lane);
+                    }
+                    out.perm.swap(k * lanes + lane, p * lanes + lane);
+                    out.sign[lane] = -out.sign[lane];
+                }
+                let pivot = out.lu[(k * n + k) * lanes + lane];
+                for i in (k + 1)..n {
+                    let factor = out.lu[(i * n + k) * lanes + lane] / pivot;
+                    out.lu[(i * n + k) * lanes + lane] = factor;
+                    for j in (k + 1)..n {
+                        let sub = factor * out.lu[(k * n + j) * lanes + lane];
+                        out.lu[(i * n + j) * lanes + lane] -= sub;
+                    }
+                }
+            }
+        }
+    }
+
+    fn solve(&self, f: &BatchedLuFactors, b: &BatchedRhs, x: &mut BatchedRhs) {
+        assert_solve_dims(f, b, x);
+        let n = f.n;
+        let lanes = f.lanes;
+        for lane in 0..lanes {
+            for i in 0..n {
+                x.data[i * lanes + lane] = b.data[f.perm[i * lanes + lane] * lanes + lane];
+            }
+            for i in 1..n {
+                let mut s = x.data[i * lanes + lane];
+                for j in 0..i {
+                    s -= f.lu[(i * n + j) * lanes + lane] * x.data[j * lanes + lane];
+                }
+                x.data[i * lanes + lane] = s;
+            }
+            for i in (0..n).rev() {
+                let mut s = x.data[i * lanes + lane];
+                for j in (i + 1)..n {
+                    s -= f.lu[(i * n + j) * lanes + lane] * x.data[j * lanes + lane];
+                }
+                x.data[i * lanes + lane] = s / f.lu[(i * n + i) * lanes + lane];
+            }
+        }
+    }
+}
+
+/// Lane-inner kernel: identical per-lane operation sequence to
+/// [`ScalarKernel`], but with lanes in the innermost loops over contiguous
+/// storage so the elimination and substitution updates autovectorize
+/// (AVX2: 4 × f64 per instruction). Dead lanes keep computing harmless
+/// garbage to keep the loops uniform; their status records the real error.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WideKernel;
+
+impl BatchedLuSolver for WideKernel {
+    fn name(&self) -> &'static str {
+        "wide"
+    }
+
+    fn factor(&self, a: &BatchedMatrix, out: &mut BatchedLuFactors) {
+        begin_factor(a, out);
+        let n = out.n;
+        let lanes = out.lanes;
+        let mut pmax = vec![0.0f64; lanes];
+        let mut prow = vec![0usize; lanes];
+        let mut fac = vec![0.0f64; lanes];
+        for k in 0..n {
+            // Per-lane pivot search: same `v > pmax` comparison chain as the
+            // reference, so ties resolve to the same row in every lane.
+            let kk = (k * n + k) * lanes;
+            for (lane, (pm, pr)) in pmax.iter_mut().zip(prow.iter_mut()).enumerate() {
+                *pm = out.lu[kk + lane].abs();
+                *pr = k;
+            }
+            for i in (k + 1)..n {
+                let rb = (i * n + k) * lanes;
+                for (lane, (pm, pr)) in pmax.iter_mut().zip(prow.iter_mut()).enumerate() {
+                    let v = out.lu[rb + lane].abs();
+                    if v > *pm {
+                        *pm = v;
+                        *pr = i;
+                    }
+                }
+            }
+            for (st, &pm) in out.status.iter_mut().zip(&pmax) {
+                if st.is_ok() && pivot_fails(pm) {
+                    *st = LaneStatus::Failed(NumError::SingularMatrix { pivot: k });
+                }
+            }
+            // Per-lane row swap (a permutation even in dead lanes, so the
+            // later gather in `solve` stays in bounds).
+            for (lane, &p) in prow.iter().enumerate() {
+                if p != k {
+                    for j in 0..n {
+                        out.lu
+                            .swap((k * n + j) * lanes + lane, (p * n + j) * lanes + lane);
+                    }
+                    out.perm.swap(k * lanes + lane, p * lanes + lane);
+                    out.sign[lane] = -out.sign[lane];
+                }
+            }
+            // Elimination: lanes innermost over contiguous entry blocks.
+            for i in (k + 1)..n {
+                let fb = (i * n + k) * lanes;
+                for (lane, f_) in fac.iter_mut().enumerate() {
+                    let factor = out.lu[fb + lane] / out.lu[kk + lane];
+                    out.lu[fb + lane] = factor;
+                    *f_ = factor;
+                }
+                if k + 1 < n {
+                    let (head, tail) = out.lu.split_at_mut((i * n + k + 1) * lanes);
+                    let krow = &head[(k * n + k + 1) * lanes..(k * n + n) * lanes];
+                    let irow = &mut tail[..(n - k - 1) * lanes];
+                    for (ic, kc) in irow.chunks_exact_mut(lanes).zip(krow.chunks_exact(lanes)) {
+                        for ((o, &f_), &g) in ic.iter_mut().zip(&fac).zip(kc) {
+                            *o -= f_ * g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn solve(&self, f: &BatchedLuFactors, b: &BatchedRhs, x: &mut BatchedRhs) {
+        assert_solve_dims(f, b, x);
+        let n = f.n;
+        let lanes = f.lanes;
+        // Permutation apply (per-lane gather).
+        for i in 0..n {
+            let xb = i * lanes;
+            for lane in 0..lanes {
+                x.data[xb + lane] = b.data[f.perm[xb + lane] * lanes + lane];
+            }
+        }
+        // Forward substitution, ascending j per row; accumulating in the
+        // stored x entry performs the same op sequence as the reference's
+        // local accumulator.
+        for i in 1..n {
+            let (done, rest) = x.data.split_at_mut(i * lanes);
+            let xi = &mut rest[..lanes];
+            for j in 0..i {
+                let lb = (i * n + j) * lanes;
+                let xj = &done[j * lanes..(j + 1) * lanes];
+                for ((s, &l), &v) in xi.iter_mut().zip(&f.lu[lb..lb + lanes]).zip(xj) {
+                    *s -= l * v;
+                }
+            }
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let (head, tail) = x.data.split_at_mut((i + 1) * lanes);
+            let xi = &mut head[i * lanes..];
+            for j in (i + 1)..n {
+                let lb = (i * n + j) * lanes;
+                let xj = &tail[(j - i - 1) * lanes..(j - i) * lanes];
+                for ((s, &l), &v) in xi.iter_mut().zip(&f.lu[lb..lb + lanes]).zip(xj) {
+                    *s -= l * v;
+                }
+            }
+            let db = (i * n + i) * lanes;
+            for (s, &d) in xi.iter_mut().zip(&f.lu[db..db + lanes]) {
+                *s /= d;
+            }
+        }
+    }
+}
+
+fn assert_solve_dims(f: &BatchedLuFactors, b: &BatchedRhs, x: &BatchedRhs) {
+    assert!(
+        f.n == b.n && f.n == x.n && f.lanes == b.lanes && f.lanes == x.lanes,
+        "batched solve dimension mismatch: factors {}x{} lanes {}, b {} lanes {}, x {} lanes {}",
+        f.n,
+        f.n,
+        f.lanes,
+        b.n,
+        b.lanes,
+        x.n,
+        x.lanes
+    );
+}
+
+static SCALAR: ScalarKernel = ScalarKernel;
+static WIDE: WideKernel = WideKernel;
+
+/// `true` when `LCOSC_FORCE_SCALAR=1` is set (cached for the process).
+pub fn force_scalar_requested() -> bool {
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| std::env::var("LCOSC_FORCE_SCALAR").is_ok_and(|v| v == "1"))
+}
+
+#[cfg(target_arch = "x86_64")]
+fn wide_lanes_profitable() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn wide_lanes_profitable() -> bool {
+    // No x86 feature gate applies; the lanes-inner loops autovectorize on
+    // any target with f64 SIMD and degrade to scalar code elsewhere.
+    true
+}
+
+/// Selects the batched kernel for this process: [`WideKernel`] when the CPU
+/// reports AVX2 (or the target has no AVX2 notion), [`ScalarKernel`] when
+/// it does not or when `LCOSC_FORCE_SCALAR=1` forces the fallback.
+///
+/// Kernel choice never changes results — both uphold the bit-identity
+/// contract — only throughput.
+pub fn select_kernel() -> &'static dyn BatchedLuSolver {
+    if force_scalar_requested() {
+        &SCALAR
+    } else if wide_lanes_profitable() {
+        &WIDE
+    } else {
+        &SCALAR
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::LuFactors;
+
+    fn pseudo_random_matrix(n: usize, mut seed: u64) -> Matrix {
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            // Off-diagonal boost keeps pivoting non-trivial without making
+            // the system singular.
+            a[(i, (i + 1) % n)] += 3.0;
+        }
+        a
+    }
+
+    fn pseudo_random_rhs(n: usize, mut seed: u64) -> Vec<f64> {
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        (0..n).map(|_| next()).collect()
+    }
+
+    fn both_kernels() -> [&'static dyn BatchedLuSolver; 2] {
+        [&SCALAR, &WIDE]
+    }
+
+    #[test]
+    fn kernels_match_reference_bitwise() {
+        for (n, lanes) in [(1, 1), (3, 4), (7, 5), (9, 8)] {
+            let mats: Vec<Matrix> = (0..lanes)
+                .map(|l| pseudo_random_matrix(n, 1 + l as u64 * 17))
+                .collect();
+            let rhss: Vec<Vec<f64>> = (0..lanes)
+                .map(|l| pseudo_random_rhs(n, 100 + l as u64))
+                .collect();
+            let mut a = BatchedMatrix::zeros(n, lanes);
+            let mut b = BatchedRhs::zeros(n, lanes);
+            for (l, (m, r)) in mats.iter().zip(&rhss).enumerate() {
+                a.set_lane(l, m);
+                b.set_lane(l, r);
+            }
+            for kernel in both_kernels() {
+                let mut f = BatchedLuFactors::with_dims(n, lanes);
+                let mut x = BatchedRhs::zeros(n, lanes);
+                kernel.factor(&a, &mut f);
+                assert!(f.all_ok(), "{} kernel, n={n} lanes={lanes}", kernel.name());
+                kernel.solve(&f, &b, &mut x);
+                for l in 0..lanes {
+                    let mut reference = LuFactors::with_dim(n);
+                    reference.factor_into(&mats[l]).unwrap();
+                    let xref = reference.solve(&rhss[l]).unwrap();
+                    let mut xlane = vec![0.0; n];
+                    x.lane_copy_into(l, &mut xlane);
+                    for (p, q) in xref.iter().zip(&xlane) {
+                        assert_eq!(
+                            p.to_bits(),
+                            q.to_bits(),
+                            "{} kernel, n={n} lane {l}: {p} vs {q}",
+                            kernel.name()
+                        );
+                    }
+                    assert_eq!(
+                        reference.det().to_bits(),
+                        f.lane_det(l).to_bits(),
+                        "{} kernel determinant, lane {l}",
+                        kernel.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_match_each_other_bitwise() {
+        let n = 6;
+        let lanes = 7;
+        let mut a = BatchedMatrix::zeros(n, lanes);
+        let mut b = BatchedRhs::zeros(n, lanes);
+        for l in 0..lanes {
+            a.set_lane(l, &pseudo_random_matrix(n, 7 + l as u64));
+            b.set_lane(l, &pseudo_random_rhs(n, 70 + l as u64));
+        }
+        let mut fs = BatchedLuFactors::with_dims(n, lanes);
+        let mut fw = BatchedLuFactors::with_dims(n, lanes);
+        let mut xs = BatchedRhs::zeros(n, lanes);
+        let mut xw = BatchedRhs::zeros(n, lanes);
+        SCALAR.factor(&a, &mut fs);
+        WIDE.factor(&a, &mut fw);
+        SCALAR.solve(&fs, &b, &mut xs);
+        WIDE.solve(&fw, &b, &mut xw);
+        assert_eq!(fs.statuses(), fw.statuses());
+        for row in 0..n {
+            for l in 0..lanes {
+                assert_eq!(xs.at(row, l).to_bits(), xw.at(row, l).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn singular_lane_is_poisoned_without_corrupting_siblings() {
+        let n = 4;
+        let lanes = 5;
+        let bad_lane = 2;
+        let mut a = BatchedMatrix::zeros(n, lanes);
+        let mut b = BatchedRhs::zeros(n, lanes);
+        let mut mats = Vec::new();
+        for l in 0..lanes {
+            let mut m = pseudo_random_matrix(n, 31 + l as u64);
+            if l == bad_lane {
+                // Duplicate row 1 into row 2: rank deficient.
+                for c in 0..n {
+                    let v = m[(1, c)];
+                    m[(2, c)] = v;
+                }
+            }
+            a.set_lane(l, &m);
+            b.set_lane(l, &pseudo_random_rhs(n, 300 + l as u64));
+            mats.push(m);
+        }
+        for kernel in both_kernels() {
+            let mut f = BatchedLuFactors::with_dims(n, lanes);
+            let mut x = BatchedRhs::zeros(n, lanes);
+            kernel.factor(&a, &mut f);
+            kernel.solve(&f, &b, &mut x);
+            let expected = mats[bad_lane].lu().unwrap_err();
+            assert_eq!(
+                f.status(bad_lane),
+                &LaneStatus::Failed(expected),
+                "{} kernel",
+                kernel.name()
+            );
+            for (l, m) in mats.iter().enumerate() {
+                if l == bad_lane {
+                    continue;
+                }
+                assert!(f.status(l).is_ok());
+                let mut xlane = vec![0.0; n];
+                x.lane_copy_into(l, &mut xlane);
+                let mut rhs = vec![0.0; n];
+                b.lane_copy_into(l, &mut rhs);
+                let want = m.lu().unwrap().solve(&rhs).unwrap();
+                for (p, q) in want.iter().zip(&xlane) {
+                    assert_eq!(
+                        p.to_bits(),
+                        q.to_bits(),
+                        "{} kernel lane {l}",
+                        kernel.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_lane_reports_invalid_input() {
+        let n = 3;
+        let lanes = 3;
+        let mut a = BatchedMatrix::zeros(n, lanes);
+        for l in 0..lanes {
+            a.set_lane(l, &pseudo_random_matrix(n, 5 + l as u64));
+        }
+        a.entry_lanes_mut(0, 2)[1] = f64::NAN;
+        for kernel in both_kernels() {
+            let mut f = BatchedLuFactors::with_dims(n, lanes);
+            kernel.factor(&a, &mut f);
+            assert_eq!(
+                f.status(1),
+                &LaneStatus::Failed(NumError::InvalidInput("matrix has non-finite entries")),
+                "{} kernel",
+                kernel.name()
+            );
+            assert!(f.status(0).is_ok() && f.status(2).is_ok());
+        }
+    }
+
+    #[test]
+    fn stamping_accessors_accumulate_per_lane() {
+        let mut a = BatchedMatrix::zeros(2, 3);
+        a.add(0, 0, 1, 2.5);
+        a.add(0, 0, 1, 1.5);
+        for (lane, v) in a.entry_lanes_mut(1, 1).iter_mut().enumerate() {
+            *v += lane as f64;
+        }
+        assert_eq!(a.entry_lanes(0, 0), &[0.0, 4.0, 0.0]);
+        assert_eq!(a.entry_lanes(1, 1), &[0.0, 1.0, 2.0]);
+        let lane1 = a.lane_matrix(1);
+        assert_eq!(lane1[(0, 0)], 4.0);
+        assert_eq!(lane1[(1, 1)], 1.0);
+        a.clear();
+        assert_eq!(a.entry_lanes(0, 0), &[0.0, 0.0, 0.0]);
+
+        let mut b = BatchedRhs::zeros(2, 2);
+        b.row_lanes_mut(1)[0] = 7.0;
+        b.row_lanes_mut(1)[1] += 3.0;
+        assert_eq!(b.at(1, 0), 7.0);
+        assert_eq!(b.row_lanes(1), &[7.0, 3.0]);
+        b.clear();
+        assert_eq!(b.row_lanes(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn selected_kernel_is_one_of_the_two() {
+        let k = select_kernel();
+        assert!(k.name() == "wide" || k.name() == "scalar");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn solve_dimension_mismatch_panics() {
+        let f = BatchedLuFactors::with_dims(3, 2);
+        let b = BatchedRhs::zeros(3, 2);
+        let mut x = BatchedRhs::zeros(2, 2);
+        SCALAR.solve(&f, &b, &mut x);
+    }
+}

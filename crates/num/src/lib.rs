@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batched;
 pub mod fft;
 pub mod filter;
 pub mod interp;
@@ -41,6 +42,10 @@ pub mod roots;
 pub mod stats;
 pub mod units;
 
+pub use batched::{
+    select_kernel, BatchedLuFactors, BatchedLuSolver, BatchedMatrix, BatchedRhs, LaneStatus,
+    ScalarKernel, WideKernel,
+};
 pub use fft::{dominant_frequency, power_spectrum, Complex};
 pub use filter::{Biquad, EnvelopeFollower, MovingRms, OnePoleLowPass};
 pub use interp::PwlTable;

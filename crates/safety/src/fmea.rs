@@ -5,7 +5,7 @@
 use crate::detectors::DetectorKind;
 use crate::fault::Fault;
 use crate::scenario::{run_scenario, ScenarioResult};
-use lcosc_campaign::{Campaign, CampaignStats, Json};
+use lcosc_campaign::{CampaignBatch, CampaignStats, Json};
 use lcosc_core::config::OscillatorConfig;
 use lcosc_core::Result;
 
@@ -82,15 +82,29 @@ impl FmeaReport {
         threads: usize,
         tracer: &lcosc_trace::Trace,
     ) -> Result<FmeaRun> {
-        let outcome = Campaign::new("fmea", Fault::catalog())
+        // Scheduled through the batched campaign layer with a uniform
+        // group key: every fault scenario shares the catalog's structure,
+        // so the whole matrix forms one batch (chunked at the width cap).
+        // Workers still score one scenario per job, so the matrix and the
+        // golden `CampaignJob` stream are byte-identical to the per-job
+        // engine for every thread count and unit width.
+        let outcome = CampaignBatch::new("fmea", Fault::catalog())
             .threads(threads)
             .trace(tracer.clone())
-            .try_run(|_ctx, &fault| {
-                run_scenario(fault, base).map(|result| FmeaEntry {
-                    safe: result.is_safe(),
-                    result,
-                })
-            })?;
+            .try_run(
+                |_| 0,
+                |_ctxs, faults| {
+                    faults
+                        .iter()
+                        .map(|&&fault| {
+                            run_scenario(fault, base).map(|result| FmeaEntry {
+                                safe: result.is_safe(),
+                                result,
+                            })
+                        })
+                        .collect()
+                },
+            )?;
         Ok(FmeaRun {
             report: FmeaReport {
                 entries: outcome.results,

@@ -251,6 +251,10 @@ pub enum TraceEvent {
         /// Stepping-machinery heap allocations performed after the first
         /// time step (0 on the fast path).
         post_warmup_allocations: u64,
+        /// Lanes in the batched solve that produced this result (0 when
+        /// the deck was solved on its own). Work accounting only — lane
+        /// results are bit-identical to solo solves by contract.
+        batched_lanes: u64,
     },
     /// One request served by the batch simulation service, recorded in
     /// completion-index order. Deterministic: the payload is the request's
@@ -359,10 +363,11 @@ impl TraceEvent {
                 factorizations,
                 factor_reuses,
                 post_warmup_allocations,
+                batched_lanes,
             } => {
                 let _ = write!(
                     s,
-                    r#"{{"ev":"solver_stats","steps":{steps},"newton_iterations":{newton_iterations},"factorizations":{factorizations},"factor_reuses":{factor_reuses},"post_warmup_allocations":{post_warmup_allocations}}}"#
+                    r#"{{"ev":"solver_stats","steps":{steps},"newton_iterations":{newton_iterations},"factorizations":{factorizations},"factor_reuses":{factor_reuses},"post_warmup_allocations":{post_warmup_allocations},"batched_lanes":{batched_lanes}}}"#
                 );
             }
             TraceEvent::ServeRequest {
@@ -459,6 +464,7 @@ mod tests {
                 factorizations: 1,
                 factor_reuses: 9,
                 post_warmup_allocations: 0,
+                batched_lanes: 4,
             },
             TraceEvent::ServeRequest {
                 index: 0,

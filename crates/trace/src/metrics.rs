@@ -126,6 +126,9 @@ pub struct TraceMetrics {
     /// Post-warm-up allocations across all reported solves (0 when every
     /// solve took the fast path).
     pub solver_post_warmup_allocations: u64,
+    /// Batched-solve lanes across all reported solves (each solve reports
+    /// its own batch width; solo solves report 0).
+    pub solver_batched_lanes: u64,
     /// Requests served by the batch service, by terminal status: ok,
     /// bad_request, timeout, overloaded, shutting_down, error (in the
     /// order of [`crate::event::ServeStatus`]).
@@ -200,6 +203,7 @@ impl TraceMetrics {
                 factorizations,
                 factor_reuses,
                 post_warmup_allocations,
+                batched_lanes,
             } => {
                 self.solver_runs += 1;
                 self.solver_steps += steps;
@@ -207,6 +211,7 @@ impl TraceMetrics {
                 self.solver_factorizations += factorizations;
                 self.solver_factor_reuses += factor_reuses;
                 self.solver_post_warmup_allocations += post_warmup_allocations;
+                self.solver_batched_lanes += batched_lanes;
             }
             TraceEvent::ServeRequest { status, .. } => {
                 self.serve_requests[serve_status_index(*status)] += 1;
@@ -266,13 +271,14 @@ impl TraceMetrics {
         );
         let _ = write!(
             s,
-            r#","solver":{{"runs":{},"steps":{},"newton_iterations":{},"factorizations":{},"factor_reuses":{},"post_warmup_allocations":{}}}"#,
+            r#","solver":{{"runs":{},"steps":{},"newton_iterations":{},"factorizations":{},"factor_reuses":{},"post_warmup_allocations":{},"batched_lanes":{}}}"#,
             self.solver_runs,
             self.solver_steps,
             self.solver_newton_iterations,
             self.solver_factorizations,
             self.solver_factor_reuses,
-            self.solver_post_warmup_allocations
+            self.solver_post_warmup_allocations,
+            self.solver_batched_lanes
         );
         let _ = write!(
             s,
@@ -462,6 +468,7 @@ mod tests {
                 factorizations: 1,
                 factor_reuses: 99,
                 post_warmup_allocations: 0,
+                batched_lanes: 8,
             });
         }
         assert_eq!(m.solver_runs, 2);
@@ -470,8 +477,9 @@ mod tests {
         assert_eq!(m.solver_factorizations, 2);
         assert_eq!(m.solver_factor_reuses, 198);
         assert_eq!(m.solver_post_warmup_allocations, 0);
+        assert_eq!(m.solver_batched_lanes, 16);
         assert!(m.render_json().contains(
-            r#""solver":{"runs":2,"steps":200,"newton_iterations":220,"factorizations":2,"factor_reuses":198,"post_warmup_allocations":0}"#
+            r#""solver":{"runs":2,"steps":200,"newton_iterations":220,"factorizations":2,"factor_reuses":198,"post_warmup_allocations":0,"batched_lanes":16}"#
         ));
     }
 }
