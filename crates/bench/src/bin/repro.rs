@@ -41,7 +41,7 @@
 
 use lcosc_bench::cli::{parse_args, Args, Cli, HELP};
 use lcosc_bench::csv::write_csv;
-use lcosc_bench::{ablation, batch_bench, figures, prove_bench, serve_bench};
+use lcosc_bench::{ablation, batch_bench, figures, prove_bench, serve_bench, sparse_bench};
 use lcosc_campaign::{CampaignStats, Json};
 use lcosc_core::{ClosedLoopSim, OscillatorConfig};
 use lcosc_dac::{multiplication_factor, relative_step, Code, DacMismatchParams};
@@ -405,7 +405,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
         if report.solver_hatch {
-            println!("batch bench: LCOSC_SOLVER=reference hatch active, gate skipped");
+            println!("batch bench: LCOSC_SOLVER hatch active, gate skipped");
         } else if report.gate_met() {
             println!(
                 "batch bench: campaign speedup {:.2}x, gate >= {:.0}x met",
@@ -417,6 +417,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "batch bench: campaign speedup {:.2}x misses the {:.0}x gate",
                 report.campaign_speedup(),
                 batch_bench::GATE_MIN_SPEEDUP,
+            )
+            .into());
+        }
+    }
+
+    // Sparse MNA solver: 1000-node ladder dense-vs-sparse gate, crossover
+    // table with the Auto-policy proof, 1-vs-4-thread sparse campaign
+    // byte-compare and the dense/sparse differential.
+    if args.sparse_bench {
+        let report = sparse_bench::run_sparse_bench(&tracer)?;
+        write_text(&args.sparse_bench_out, &report.to_json().render_pretty(2))?;
+        println!("sparse bench -> {}", args.sparse_bench_out.display());
+        for p in &report.crossover {
+            println!(
+                "sparse crossover {} unknowns: dense {:.2} ms vs sparse {:.2} ms ({:.2}x, auto picked {})",
+                p.unknowns,
+                p.dense_wall.as_secs_f64() * 1e3,
+                p.sparse_wall.as_secs_f64() * 1e3,
+                p.speedup(),
+                if p.auto_used_sparse { "sparse" } else { "dense" },
+            );
+        }
+        println!(
+            "sparse fleet: {} jobs, {} unknowns, {} symbolic analysis(es) + {} reuse(s), bit-identical across 1 and 4 threads",
+            report.fleet.jobs,
+            report.fleet.unknowns,
+            report.fleet.symbolic_analyses,
+            report.fleet.symbolic_reuses,
+        );
+        if report.solver_hatch {
+            println!("sparse bench: LCOSC_SOLVER hatch active, gate skipped");
+        } else if report.gate_met() {
+            println!(
+                "sparse bench: ladder speedup {:.2}x ({} unknowns), gate >= {:.0}x met, auto policy proven",
+                report.ladder.speedup(),
+                report.ladder.unknowns,
+                sparse_bench::GATE_MIN_SPEEDUP,
+            );
+        } else {
+            return Err(format!(
+                "sparse bench: ladder speedup {:.2}x (policy ok: {}, cache ok: {}) misses the {:.0}x gate",
+                report.ladder.speedup(),
+                report.auto_policy_ok,
+                report.fleet.cache_effective(),
+                sparse_bench::GATE_MIN_SPEEDUP,
             )
             .into());
         }

@@ -39,6 +39,12 @@ OPTIONS:
                          bitwise differential, >=4x throughput gate)
     --batch-bench-out PATH
                          batched benchmark report path (default BENCH_PR7.json)
+    --sparse-bench       run the sparse MNA solver benchmark
+                         (1000-node ladder dense-vs-sparse >=5x gate,
+                         crossover table, Auto-policy proof, 1-vs-4-thread
+                         sparse campaign byte-compare)
+    --sparse-bench-out PATH
+                         sparse benchmark report path (default BENCH_PR8.json)
     --help               print this help
 ";
 
@@ -71,6 +77,10 @@ pub struct Args {
     pub batch_bench: bool,
     /// Batched benchmark report path.
     pub batch_bench_out: PathBuf,
+    /// Run the sparse MNA solver benchmark.
+    pub sparse_bench: bool,
+    /// Sparse benchmark report path.
+    pub sparse_bench_out: PathBuf,
 }
 
 impl Default for Args {
@@ -89,6 +99,8 @@ impl Default for Args {
             prove_bench_out: PathBuf::from("BENCH_PR6.json"),
             batch_bench: false,
             batch_bench_out: PathBuf::from("BENCH_PR7.json"),
+            sparse_bench: false,
+            sparse_bench_out: PathBuf::from("BENCH_PR8.json"),
         }
     }
 }
@@ -157,6 +169,7 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, CliError> {
             "--serve-bench" => parsed.serve_bench = true,
             "--prove-bench" => parsed.prove_bench = true,
             "--batch-bench" => parsed.batch_bench = true,
+            "--sparse-bench" => parsed.sparse_bench = true,
             "--threads" => {
                 let v = next_value(&mut args, "--threads")?;
                 parsed.threads = v.parse().map_err(|_| CliError::BadValue {
@@ -188,6 +201,10 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, CliError> {
             }
             "--batch-bench-out" => {
                 parsed.batch_bench_out = PathBuf::from(next_value(&mut args, "--batch-bench-out")?);
+            }
+            "--sparse-bench-out" => {
+                parsed.sparse_bench_out =
+                    PathBuf::from(next_value(&mut args, "--sparse-bench-out")?);
             }
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
@@ -265,6 +282,9 @@ mod tests {
             "--batch-bench",
             "--batch-bench-out",
             "bb.json",
+            "--sparse-bench",
+            "--sparse-bench-out",
+            "sp.json",
         ])
         .expect("all flags are valid");
         let Cli::Run(args) = cli else {
@@ -274,6 +294,7 @@ mod tests {
         assert!(args.campaigns_only && args.unchecked && args.serve_bench);
         assert!(args.prove_bench);
         assert!(args.batch_bench);
+        assert!(args.sparse_bench);
         assert_eq!(args.results_out, PathBuf::from("r.json"));
         assert_eq!(args.trace_out, Some(PathBuf::from("t.jsonl")));
         assert_eq!(args.trace_level, TraceLevel::Metrics);
@@ -281,6 +302,7 @@ mod tests {
         assert_eq!(args.serve_bench_out, PathBuf::from("s.json"));
         assert_eq!(args.prove_bench_out, PathBuf::from("p.json"));
         assert_eq!(args.batch_bench_out, PathBuf::from("bb.json"));
+        assert_eq!(args.sparse_bench_out, PathBuf::from("sp.json"));
     }
 
     #[test]
@@ -307,6 +329,8 @@ mod tests {
             "--prove-bench-out",
             "--batch-bench",
             "--batch-bench-out",
+            "--sparse-bench",
+            "--sparse-bench-out",
             "--help",
         ] {
             assert!(HELP.contains(flag), "help text is missing {flag}");

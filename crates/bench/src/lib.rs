@@ -14,5 +14,6 @@ pub mod figures;
 pub mod prove_bench;
 pub mod serve_bench;
 pub mod solver_bench;
+pub mod sparse_bench;
 
 pub use figures::*;

@@ -310,6 +310,8 @@ pub fn run_solver_bench(tracer: &Trace) -> Result<SolverBenchReport, String> {
             factor_reuses: s.factor_reuses,
             post_warmup_allocations: s.post_warmup_allocations,
             batched_lanes: s.batched_lanes,
+            symbolic_analyses: s.symbolic_analyses,
+            symbolic_reuses: s.symbolic_reuses,
         });
 
         outcomes.push(CaseOutcome {

@@ -249,9 +249,9 @@ fn solve_ac_point(
             }
         }
     }
-    // gmin for floating nodes.
+    // gmin for floating nodes (same constant as the transient stampers).
     for i in 0..nn {
-        a.add(i, i, real(1e-12));
+        a.add(i, i, real(crate::stamp::GMIN));
     }
 
     if n == 0 {

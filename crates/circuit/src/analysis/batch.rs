@@ -42,8 +42,8 @@
 //! only how they are computed.
 
 use super::transient::{
-    reference_path_forced, run_transient, sample_count, SolverStats, TransientOptions,
-    TransientResult,
+    resolve_solver_path, run_transient, sample_count, step_count, SolverPath, SolverStats,
+    TransientOptions, TransientResult,
 };
 use crate::netlist::{Element, Netlist, NodeId, Waveform};
 use crate::stamp::{Integrator, Mode};
@@ -76,11 +76,19 @@ pub fn run_transient_batch(
 
 /// Whether the whole slice qualifies for the batched path.
 fn batchable(decks: &[&Netlist], opts: &TransientOptions) -> bool {
-    if reference_path_forced() || opts.validate().is_err() || !opts.use_initial_conditions {
+    if opts.validate().is_err() || !opts.use_initial_conditions {
         return false;
     }
     let first = decks[0];
     if first.unknown_count() == 0 {
+        return false;
+    }
+    // The batched SoA kernels are the dense fast path across lanes; any
+    // other resolved path (the reference hatch, or decks the resolver
+    // routes to the sparse solver — big linear systems or an explicit
+    // `SolverPath::Sparse`) falls back to per-job `run_transient`, where
+    // the sparse path's shared symbolic cache amortizes per-job setup.
+    if resolve_solver_path(opts.solver, first) != SolverPath::Dense {
         return false;
     }
     let digest = first.structural_digest();
@@ -300,7 +308,7 @@ fn batched_linear(decks: &[&Netlist], opts: &TransientOptions) -> Vec<Result<Tra
     let nn = nl0.node_count() - 1;
     let elems = nl0.elements().len();
     let branch = nl0.branch_indices(); // identical across lanes; hoisted once
-    let steps = (opts.t_end / opts.dt).ceil() as usize;
+    let steps = step_count(opts.t_end, opts.dt);
     let stride = opts.record_stride;
     let samples = sample_count(steps, stride);
     let trap = opts.integrator == Integrator::Trapezoidal;
@@ -335,7 +343,7 @@ fn batched_linear(decks: &[&Netlist], opts: &TransientOptions) -> Vec<Result<Tra
     };
     let x0 = vec![0.0; n];
     for (lane, r) in results.iter_mut().enumerate() {
-        r.push_sample(decks[lane], 0.0, &x0, &mode0);
+        r.push_sample(decks[lane], &branch, 0.0, &x0, &mode0);
     }
 
     // Stamp every lane's matrix in one pass and factor the batch once; the

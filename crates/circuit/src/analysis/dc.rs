@@ -171,8 +171,9 @@ pub fn solve_dc_with(
         }
     };
 
+    let branch = nl.branch_indices();
     let currents = (0..nl.elements().len())
-        .map(|k| element_current(nl, k, &x, &mode_final))
+        .map(|k| element_current(nl, &branch, k, &x, &mode_final))
         .collect();
     Ok(DcSolution {
         x,

@@ -1,41 +1,72 @@
 //! Transient analysis: fixed-step backward-Euler or trapezoidal integration
 //! with a Newton solve at every time step.
 //!
-//! Two solver paths produce bit-identical results:
+//! Solver paths:
 //!
-//! - the **fast path** ([`SolverPath::Auto`], the default) reuses one
-//!   Newton workspace (matrix, RHS, LU factors) for the whole run, and on
-//!   fully linear decks
+//! - the **dense fast path** reuses one Newton workspace (matrix, RHS, LU
+//!   factors) for the whole run, and on fully linear decks
 //!   ([`Netlist::is_linear`]) stamps and LU-factors the MNA matrix exactly
-//!   once, forward/back-substituting per step;
+//!   once, forward/back-substituting per step. Bit-identical to the
+//!   reference path by construction;
+//! - the **sparse path** ([`SolverPath::Sparse`]) solves through a CSC
+//!   sparse LU whose symbolic analysis (ordering + elimination pattern) is
+//!   computed once per netlist structural digest and cached process-wide.
+//!   Its elimination order differs from dense partial pivoting, so results
+//!   agree with dense to solver tolerance, not bitwise — but the sparse
+//!   path itself is a pure function of (pattern, values) and therefore
+//!   bit-identical across runs and thread counts;
 //! - the **reference path** ([`SolverPath::Reference`], also selectable via
 //!   the environment variable `LCOSC_SOLVER=reference`) runs the
 //!   straightforward allocating Newton solve on every step.
 //!
-//! Bit-identity is by construction, not by tolerance — see `DESIGN.md` §9
-//! and the differential suite in `crates/circuit/tests/solver_differential.rs`.
+//! [`SolverPath::Auto`] (the default) picks dense below
+//! [`SPARSE_MIN_UNKNOWNS`] MNA unknowns and sparse at or above it (linear
+//! decks only); `LCOSC_SOLVER=dense|sparse` forces either choice. See
+//! `DESIGN.md` §9 and §13 and the differential suites in
+//! `crates/circuit/tests/solver_differential.rs` and
+//! `crates/circuit/tests/sparse_differential.rs`.
+
+use std::sync::Arc;
 
 use crate::analysis::dc::{solve_dc_with, DcOptions};
 use crate::analysis::{newton_solve_in, NewtonWorkspace};
 use crate::netlist::{ElementId, Netlist, NodeId};
 use crate::stamp::{
-    element_current, stamp_linear_matrix, stamp_linear_rhs, AbsorbRule, History, Mode,
+    build_system, element_current, stamp_linear_matrix, stamp_linear_rhs, transient_stamp_pattern,
+    AbsorbRule, History, Mode, SparseStamper,
 };
 use crate::{CircuitError, Result};
+use lcosc_num::sparse::{SparseLu, SparseMatrix, SparseSymbolic};
 
 pub use crate::stamp::Integrator;
+
+/// Unknown count at or above which [`SolverPath::Auto`] routes linear decks
+/// to the sparse solver. Below it the dense fast path wins (and keeps its
+/// bit-identity guarantee vs. the reference path); above it sparse wins by
+/// a growing margin — see the crossover table in `BENCH_PR8.json` and
+/// README's performance section.
+pub const SPARSE_MIN_UNKNOWNS: usize = 64;
 
 /// Which transient solver implementation to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SolverPath {
-    /// Pick the fastest correct path: cached-factorization stepping for
-    /// linear decks, workspace-reusing Newton otherwise. Overridden to
-    /// [`SolverPath::Reference`] when the environment variable
-    /// `LCOSC_SOLVER` is set to `reference`.
+    /// Pick the fastest correct path: the dense cached-factorization /
+    /// workspace-Newton solver below [`SPARSE_MIN_UNKNOWNS`] unknowns, the
+    /// sparse solver at or above it (linear decks only — nonlinear decks
+    /// stay dense, where partial pivoting is the safer default).
+    /// Overridden by the environment variable `LCOSC_SOLVER` when set to
+    /// `reference`, `dense` or `sparse`; unrecognized values are ignored.
     #[default]
     Auto,
+    /// Force the dense fast path regardless of deck size.
+    Dense,
+    /// Force the sparse path regardless of deck size. Results agree with
+    /// dense to solver tolerance (different elimination order), and are
+    /// bit-identical across runs and thread counts.
+    Sparse,
     /// The straightforward per-step Newton solve with per-step allocations.
-    /// Kept as the differential-testing oracle; bit-identical to `Auto`.
+    /// Kept as the differential-testing oracle; bit-identical to the dense
+    /// fast path.
     Reference,
 }
 
@@ -149,6 +180,14 @@ pub struct SolverStats {
     pub post_warmup_allocations: u64,
     /// Whether the run used the cached-factorization linear fast path.
     pub used_linear_fast_path: bool,
+    /// Whether the run solved through the sparse path.
+    pub used_sparse_path: bool,
+    /// Sparse symbolic analyses computed by this run (0 or 1: a cache miss
+    /// on the netlist's structural digest).
+    pub symbolic_analyses: u64,
+    /// Sparse symbolic analyses reused from the process-wide cache (0 or 1:
+    /// a cache hit on the netlist's structural digest).
+    pub symbolic_reuses: u64,
     /// Number of lanes in the batched solve that produced this result, or
     /// zero when the deck was solved on its own (reference or per-job fast
     /// path). Lane membership does not affect any numeric output — batched
@@ -328,12 +367,20 @@ impl TransientResult {
         &mut self.stats
     }
 
-    /// Appends one sample row.
-    pub(crate) fn push_sample(&mut self, nl: &Netlist, t: f64, x: &[f64], mode: &Mode<'_>) {
+    /// Appends one sample row. `branch` is the netlist's branch-index table,
+    /// hoisted once per run so recording stays linear in element count.
+    pub(crate) fn push_sample(
+        &mut self,
+        nl: &Netlist,
+        branch: &[Option<usize>],
+        t: f64,
+        x: &[f64],
+        mode: &Mode<'_>,
+    ) {
         self.times.push(t);
         self.voltages.extend_from_slice(&x[..self.node_count - 1]);
         for k in 0..self.element_count {
-            self.currents.push(element_current(nl, k, x, mode));
+            self.currents.push(element_current(nl, branch, k, x, mode));
         }
     }
 
@@ -358,6 +405,19 @@ pub(crate) fn sample_count(steps: usize, stride: usize) -> usize {
     1 + steps / stride + usize::from(!steps.is_multiple_of(stride) && steps > 0)
 }
 
+/// Number of fixed-size steps a run from 0 to `t_end` takes:
+/// `ceil(t_end / dt)`, so any fractional remainder — including one produced
+/// purely by floating-point rounding, e.g. `t_end / dt` landing a ulp above
+/// an integer — adds a final step past `t_end`.
+///
+/// This is the **single** definition of the step count: the solo transient
+/// path and the batched campaign path both call it, so an FP boundary case
+/// cannot give them different step counts (which would silently break their
+/// bit-equivalence).
+pub(crate) fn step_count(t_end: f64, dt: f64) -> usize {
+    (t_end / dt).ceil() as usize
+}
+
 /// Runs a transient analysis.
 ///
 /// # Errors
@@ -368,11 +428,14 @@ pub(crate) fn sample_count(steps: usize, stride: usize) -> usize {
 /// [`TransientOptions::validate`].
 pub fn run_transient(nl: &Netlist, opts: &TransientOptions) -> Result<TransientResult> {
     opts.validate()?;
-    let reference = opts.solver == SolverPath::Reference || reference_path_forced();
     let n = nl.unknown_count();
-    // `n > 0` keeps the degenerate empty deck off the factorization path
+    let path = resolve_solver_path(opts.solver, nl);
+    let reference = path == SolverPath::Reference;
+    // `n > 0` keeps the degenerate empty deck off the factorization paths
     // (nothing to factor; Newton's early return handles it).
-    let linear_fast = !reference && n > 0 && nl.is_linear();
+    let sparse = path == SolverPath::Sparse && n > 0;
+    let linear_fast = !reference && !sparse && n > 0 && nl.is_linear();
+    let sparse_linear = sparse && nl.is_linear();
     let nn = nl.node_count() - 1;
     let mut alloc = AllocCounter::new();
 
@@ -392,7 +455,7 @@ pub fn run_transient(nl: &Netlist, opts: &TransientOptions) -> Result<TransientR
     };
     alloc.note(1);
 
-    let steps = (opts.t_end / opts.dt).ceil() as usize;
+    let steps = step_count(opts.t_end, opts.dt);
     let stride = opts.record_stride;
     let samples = sample_count(steps, stride);
     let mut result = TransientResult {
@@ -403,10 +466,15 @@ pub fn run_transient(nl: &Netlist, opts: &TransientOptions) -> Result<TransientR
         currents: Vec::with_capacity(samples * nl.elements().len()),
         stats: SolverStats {
             used_linear_fast_path: linear_fast,
+            used_sparse_path: sparse,
             ..SolverStats::default()
         },
     };
     alloc.note(3); // times / voltages / currents storage
+
+    // Branch-index table for current recording, hoisted once per run.
+    let branch = nl.branch_indices();
+    alloc.note(1);
 
     // Record t = 0 under DC conventions (reactive currents are zero).
     {
@@ -414,16 +482,33 @@ pub fn run_transient(nl: &Netlist, opts: &TransientOptions) -> Result<TransientR
             gmin: 1e-12,
             source_scale: 1.0,
         };
-        result.push_sample(nl, 0.0, &x, &mode0);
+        result.push_sample(nl, &branch, 0.0, &x, &mode0);
     }
 
     // Persistent workspace for the fast paths. The reference path ignores it
     // and allocates per step, like the historical solver did.
-    let mut ws = if reference {
+    let mut ws = if reference || sparse {
         None
     } else {
         alloc.note(4); // matrix + rhs + solution + LU storage
         Some(NewtonWorkspace::new(n))
+    };
+    // Sparse workspace: pattern-fixed matrix plus the cached (or freshly
+    // computed) symbolic analysis for this netlist's structure.
+    let mut sws = if sparse {
+        let pattern = transient_stamp_pattern(nl);
+        let a = SparseMatrix::from_pattern(n, &pattern)
+            .map_err(|_| CircuitError::InvalidInput("sparse pattern construction failed"))?;
+        let (sym, reused) = cached_symbolic(nl, &a)?;
+        if reused {
+            result.stats.symbolic_reuses += 1;
+        } else {
+            result.stats.symbolic_analyses += 1;
+        }
+        alloc.note(6); // pattern + matrix + LU values/work + rhs/solution
+        Some(SparseWorkspace::new(a, sym))
+    } else {
+        None
     };
     let mut factored = false;
 
@@ -437,32 +522,20 @@ pub fn run_transient(nl: &Netlist, opts: &TransientOptions) -> Result<TransientR
         };
         result.stats.steps += 1;
 
-        match &mut ws {
-            None => {
-                // Reference: fresh buffers every step, full Newton.
-                let mut step_ws = NewtonWorkspace::new(n);
-                alloc.note(4);
-                let iters = newton_solve_in(
-                    nl,
-                    &mut x,
-                    &mode,
-                    opts.max_iter,
-                    opts.v_tol,
-                    2.0,
-                    "transient",
-                    t,
-                    &mut step_ws,
-                )?;
-                result.stats.newton_iterations += iters;
-                result.stats.factorizations += iters;
-            }
-            Some(ws) if linear_fast => {
-                // Linear deck: the MNA matrix depends only on (deck, dt,
-                // integrator), so stamp + factor exactly once and reuse the
-                // factorization for every step's substitution.
+        if let Some(sws) = &mut sws {
+            if sparse_linear {
+                // Linear deck through the sparse solver: symbolic analysis
+                // cached per structure, numeric factorization once per run,
+                // substitution per step.
                 if !factored {
-                    stamp_linear_matrix(nl, &mode, &mut ws.a);
-                    if ws.lu.factor_into(&ws.a).is_err() {
+                    let mut target = SparseStamper::new(&mut sws.a);
+                    stamp_linear_matrix(nl, &mode, &mut target);
+                    if target.missed {
+                        return Err(CircuitError::InvalidInput(
+                            "sparse pattern missed a linear stamp",
+                        ));
+                    }
+                    if sws.lu.factor_into(&sws.a).is_err() {
                         return Err(CircuitError::Singular { at: t });
                     }
                     factored = true;
@@ -470,32 +543,83 @@ pub fn run_transient(nl: &Netlist, opts: &TransientOptions) -> Result<TransientR
                 } else {
                     result.stats.factor_reuses += 1;
                 }
-                stamp_linear_rhs(nl, &mode, &mut ws.b);
-                if ws.lu.solve_into(&ws.b, &mut ws.xn).is_err() {
+                stamp_linear_rhs(nl, &mode, &mut sws.b);
+                if sws.lu.solve_with(&sws.b, &mut sws.xn, &mut sws.y).is_err() {
                     return Err(CircuitError::Singular { at: t });
                 }
-                result.stats.newton_iterations += apply_linear_update(&mut x, &ws.xn, nn, opts, t)?;
-            }
-            Some(ws) => {
-                // Nonlinear deck: full Newton, but on persistent buffers.
-                let iters = newton_solve_in(
-                    nl,
-                    &mut x,
-                    &mode,
-                    opts.max_iter,
-                    opts.v_tol,
-                    2.0,
-                    "transient",
-                    t,
-                    ws,
-                )?;
+                result.stats.newton_iterations +=
+                    apply_linear_update(&mut x, &sws.xn, nn, opts, t)?;
+            } else {
+                // Nonlinear deck forced onto the sparse path: full Newton
+                // with a numeric refactorization per iteration; the symbolic
+                // pattern is reused throughout.
+                let iters =
+                    newton_solve_sparse_in(nl, &mut x, &mode, opts.max_iter, opts.v_tol, t, sws)?;
                 result.stats.newton_iterations += iters;
                 result.stats.factorizations += iters;
+            }
+        } else {
+            match &mut ws {
+                None => {
+                    // Reference: fresh buffers every step, full Newton.
+                    let mut step_ws = NewtonWorkspace::new(n);
+                    alloc.note(4);
+                    let iters = newton_solve_in(
+                        nl,
+                        &mut x,
+                        &mode,
+                        opts.max_iter,
+                        opts.v_tol,
+                        2.0,
+                        "transient",
+                        t,
+                        &mut step_ws,
+                    )?;
+                    result.stats.newton_iterations += iters;
+                    result.stats.factorizations += iters;
+                }
+                Some(ws) if linear_fast => {
+                    // Linear deck: the MNA matrix depends only on (deck, dt,
+                    // integrator), so stamp + factor exactly once and reuse the
+                    // factorization for every step's substitution.
+                    if !factored {
+                        stamp_linear_matrix(nl, &mode, &mut ws.a);
+                        if ws.lu.factor_into(&ws.a).is_err() {
+                            return Err(CircuitError::Singular { at: t });
+                        }
+                        factored = true;
+                        result.stats.factorizations += 1;
+                    } else {
+                        result.stats.factor_reuses += 1;
+                    }
+                    stamp_linear_rhs(nl, &mode, &mut ws.b);
+                    if ws.lu.solve_into(&ws.b, &mut ws.xn).is_err() {
+                        return Err(CircuitError::Singular { at: t });
+                    }
+                    result.stats.newton_iterations +=
+                        apply_linear_update(&mut x, &ws.xn, nn, opts, t)?;
+                }
+                Some(ws) => {
+                    // Nonlinear deck: full Newton, but on persistent buffers.
+                    let iters = newton_solve_in(
+                        nl,
+                        &mut x,
+                        &mode,
+                        opts.max_iter,
+                        opts.v_tol,
+                        2.0,
+                        "transient",
+                        t,
+                        ws,
+                    )?;
+                    result.stats.newton_iterations += iters;
+                    result.stats.factorizations += iters;
+                }
             }
         }
 
         if step % stride == 0 || step == steps {
-            result.push_sample(nl, t, &x, &mode);
+            result.push_sample(nl, &branch, t, &x, &mode);
         }
         // Update history *after* recording so recorded currents use the
         // pre-step history (consistent companion model).
@@ -516,9 +640,156 @@ pub fn run_transient(nl: &Netlist, opts: &TransientOptions) -> Result<TransientR
     Ok(result)
 }
 
+/// The solver path forced by the `LCOSC_SOLVER` environment variable, if
+/// any. Recognized values: `reference`, `dense`, `sparse`. Anything else —
+/// including the historical typo-guard cases — is ignored, leaving the
+/// caller's configured path in charge.
+pub(crate) fn solver_path_forced() -> Option<SolverPath> {
+    let v = std::env::var_os("LCOSC_SOLVER")?;
+    if v == "reference" {
+        Some(SolverPath::Reference)
+    } else if v == "dense" {
+        Some(SolverPath::Dense)
+    } else if v == "sparse" {
+        Some(SolverPath::Sparse)
+    } else {
+        None
+    }
+}
+
 /// Whether the `LCOSC_SOLVER=reference` escape hatch is active.
+#[cfg(test)]
 pub(crate) fn reference_path_forced() -> bool {
-    std::env::var_os("LCOSC_SOLVER").is_some_and(|v| v == "reference")
+    matches!(solver_path_forced(), Some(SolverPath::Reference))
+}
+
+/// Resolves the effective solver path: the environment hatch wins over the
+/// configured path, then [`SolverPath::Auto`] picks dense below
+/// [`SPARSE_MIN_UNKNOWNS`] unknowns and sparse at or above it — linear
+/// decks only. Nonlinear decks stay dense under `Auto`: an off-state device
+/// can zero a conductance that the structure-only sparse pivot order relies
+/// on, where dense partial pivoting recovers.
+pub(crate) fn resolve_solver_path(configured: SolverPath, nl: &Netlist) -> SolverPath {
+    let requested = solver_path_forced().unwrap_or(configured);
+    match requested {
+        SolverPath::Auto => {
+            if nl.unknown_count() >= SPARSE_MIN_UNKNOWNS && nl.is_linear() {
+                SolverPath::Sparse
+            } else {
+                SolverPath::Dense
+            }
+        }
+        forced => forced,
+    }
+}
+
+/// Process-wide symbolic-analysis cache keyed by the netlist's structural
+/// digest. The symbolic result is a pure function of the structure, so a
+/// cache hit is observationally identical to recomputing — whichever thread
+/// populated the entry, factorization results are the same bits.
+fn cached_symbolic(nl: &Netlist, a: &SparseMatrix) -> Result<(Arc<SparseSymbolic>, bool)> {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<u64, Arc<SparseSymbolic>>>> = OnceLock::new();
+    let key = nl.structural_digest();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Ok(map) = cache.lock() {
+        if let Some(sym) = map.get(&key) {
+            // Digest collisions are astronomically unlikely; the dimension
+            // check (and the pattern check inside `factor_into`) turn one
+            // into a typed error instead of a wrong answer.
+            if sym.dim() == a.dim() {
+                return Ok((Arc::clone(sym), true));
+            }
+        }
+    }
+    let sym = Arc::new(SparseSymbolic::analyze(a).map_err(|_| CircuitError::Singular { at: 0.0 })?);
+    if let Ok(mut map) = cache.lock() {
+        map.insert(key, Arc::clone(&sym));
+    }
+    Ok((sym, false))
+}
+
+/// Persistent buffers for the sparse path: the pattern-fixed matrix, the
+/// numeric factorization (holding the shared symbolic analysis), RHS,
+/// solution and substitution scratch. Sized once; stepping is
+/// allocation-free.
+struct SparseWorkspace {
+    a: SparseMatrix,
+    lu: SparseLu,
+    b: Vec<f64>,
+    xn: Vec<f64>,
+    y: Vec<f64>,
+}
+
+impl SparseWorkspace {
+    fn new(a: SparseMatrix, sym: Arc<SparseSymbolic>) -> Self {
+        let n = a.dim();
+        SparseWorkspace {
+            a,
+            lu: SparseLu::new(sym),
+            b: vec![0.0; n],
+            xn: vec![0.0; n],
+            y: vec![0.0; n],
+        }
+    }
+}
+
+/// The sparse twin of `newton_solve_in`: identical Newton iteration
+/// (clamped node-voltage updates, branch currents free, same convergence
+/// test), but restamping into the pattern-fixed sparse matrix and running a
+/// numeric refactorization per iteration on the cached symbolic pattern.
+fn newton_solve_sparse_in(
+    nl: &Netlist,
+    x: &mut [f64],
+    mode: &Mode<'_>,
+    max_iter: usize,
+    v_tol: f64,
+    at: f64,
+    sws: &mut SparseWorkspace,
+) -> Result<u64> {
+    let nn = nl.node_count() - 1;
+    if x.is_empty() {
+        return Ok(0);
+    }
+    for iter in 1..=max_iter {
+        let mut target = SparseStamper::new(&mut sws.a);
+        build_system(nl, x, mode, &mut target, &mut sws.b);
+        if target.missed {
+            return Err(CircuitError::InvalidInput(
+                "sparse pattern missed a companion stamp",
+            ));
+        }
+        if sws.lu.factor_into(&sws.a).is_err() {
+            return Err(CircuitError::Singular { at });
+        }
+        if sws.lu.solve_with(&sws.b, &mut sws.xn, &mut sws.y).is_err() {
+            return Err(CircuitError::Singular { at });
+        }
+        let mut max_delta = 0.0f64;
+        for (i, xi) in x.iter_mut().enumerate() {
+            let mut delta = sws.xn[i] - *xi;
+            if i < nn {
+                // Limit node-voltage moves; branch currents are left free.
+                delta = delta.clamp(-2.0, 2.0);
+                max_delta = max_delta.max(delta.abs());
+            }
+            *xi += delta;
+        }
+        if !x.iter().all(|v| v.is_finite()) {
+            return Err(CircuitError::NoConvergence {
+                analysis: "transient",
+                at,
+            });
+        }
+        if max_delta < v_tol {
+            return Ok(iter as u64);
+        }
+    }
+    Err(CircuitError::NoConvergence {
+        analysis: "transient",
+        at,
+    })
 }
 
 /// Replays the reference Newton update loop against the (iterate-
@@ -839,6 +1110,111 @@ mod tests {
                     "steps {steps} stride {stride}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn step_count_pins_fp_boundary_semantics() {
+        // Exact quotients stay exact.
+        assert_eq!(step_count(1.0, 0.25), 4);
+        assert_eq!(step_count(1e-6, 1e-9), 1000);
+        // A quotient a hair above an integer rounds up to an extra step.
+        let t_end = 0.25 * (4.0 + f64::EPSILON * 8.0);
+        assert_eq!(step_count(t_end, 0.25), 5);
+        // The classic inexact-decimal case: 0.3 / 0.1 is slightly below 3
+        // in binary, so it must NOT round up to 4.
+        assert_eq!(step_count(0.3, 0.1), 3);
+        // Fractional remainders always add the final partial step.
+        assert_eq!(step_count(1.05, 0.25), 5);
+        // Degenerate but well-defined: zero duration takes zero steps.
+        assert_eq!(step_count(0.0, 0.25), 0);
+    }
+
+    #[test]
+    fn step_count_is_the_shared_solo_and_batch_definition() {
+        // The solo path records `step_count` steps; pin the observable
+        // count through a real run so a future divergence in either caller
+        // is caught here.
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.current_source(a, Netlist::GROUND, Waveform::Dc(1e-3));
+        nl.resistor(a, Netlist::GROUND, 1e3);
+        let res = run_transient(&nl, &TransientOptions::new(0.25e-9, 1.05e-9)).unwrap();
+        assert_eq!(res.stats().steps, step_count(1.05e-9, 0.25e-9) as u64);
+    }
+
+    #[test]
+    fn resolve_solver_path_auto_splits_on_size_and_linearity() {
+        if solver_path_forced().is_some() {
+            return;
+        }
+        let small = crate::workloads::rc_ladder(4);
+        assert_eq!(
+            resolve_solver_path(SolverPath::Auto, &small),
+            SolverPath::Dense
+        );
+        let large = crate::workloads::rc_ladder(200);
+        assert!(large.unknown_count() >= SPARSE_MIN_UNKNOWNS);
+        assert_eq!(
+            resolve_solver_path(SolverPath::Auto, &large),
+            SolverPath::Sparse
+        );
+        // Nonlinear decks stay dense under Auto regardless of size.
+        let mut nonlinear = crate::workloads::rc_ladder(200);
+        let a = nonlinear.node("d");
+        nonlinear.diode(
+            a,
+            Netlist::GROUND,
+            lcosc_device::diode::DiodeModel::default(),
+        );
+        assert_eq!(
+            resolve_solver_path(SolverPath::Auto, &nonlinear),
+            SolverPath::Dense
+        );
+        // Explicit configuration passes through untouched.
+        assert_eq!(
+            resolve_solver_path(SolverPath::Sparse, &small),
+            SolverPath::Sparse
+        );
+        assert_eq!(
+            resolve_solver_path(SolverPath::Dense, &large),
+            SolverPath::Dense
+        );
+    }
+
+    #[test]
+    fn forced_sparse_runs_nonlinear_newton() {
+        let mut nl = Netlist::new();
+        let vin = nl.node("vin");
+        let out = nl.node("out");
+        nl.voltage_source(vin, Netlist::GROUND, Waveform::Dc(1.0));
+        nl.resistor(vin, out, 100.0);
+        nl.diode(
+            out,
+            Netlist::GROUND,
+            lcosc_device::diode::DiodeModel::default(),
+        );
+        nl.capacitor(out, Netlist::GROUND, 1e-9);
+        let mut opts = TransientOptions::new(1e-9, 50e-9);
+        opts.solver = SolverPath::Sparse;
+        let mut dense_opts = TransientOptions::new(1e-9, 50e-9);
+        dense_opts.solver = SolverPath::Dense;
+        if solver_path_forced().is_some() {
+            return;
+        }
+        let sparse = run_transient(&nl, &opts).unwrap();
+        let dense = run_transient(&nl, &dense_opts).unwrap();
+        assert!(sparse.stats().used_sparse_path);
+        assert!(!dense.stats().used_sparse_path);
+        // Nonlinear sparse refactors every Newton iteration.
+        assert_eq!(sparse.stats().factor_reuses, 0);
+        assert!(sparse.stats().factorizations >= sparse.stats().steps);
+        for (s, d) in sparse
+            .voltages_flat()
+            .iter()
+            .zip(dense.voltages_flat().iter())
+        {
+            assert!((s - d).abs() < 1e-9, "sparse {s} vs dense {d}");
         }
     }
 }

@@ -40,6 +40,7 @@ pub mod analysis;
 pub mod deck;
 pub mod netlist;
 pub mod stamp;
+pub mod workloads;
 
 pub use analysis::ac::{ac_sweep, logspace, AcPoint};
 pub use analysis::batch::run_transient_batch;
@@ -47,6 +48,7 @@ pub use analysis::dc::{solve_dc, solve_dc_with, DcOptions, DcSolution};
 pub use analysis::sweep::{dc_sweep, SweepPoint};
 pub use analysis::transient::{
     run_transient, Integrator, SolverPath, SolverStats, TransientOptions, TransientResult,
+    SPARSE_MIN_UNKNOWNS,
 };
 pub use deck::{netlist_from_json, netlist_to_json, DeckError};
 pub use netlist::{element_terminals, Element, ElementId, Netlist, NodeId, Waveform};

@@ -7,6 +7,60 @@
 
 use crate::netlist::{Element, Netlist, NodeId};
 use lcosc_num::linalg::Matrix;
+use lcosc_num::sparse::SparseMatrix;
+
+/// Minimum conductance added from every node to ground outside DC gmin
+/// stepping. One shared constant keeps transient stamping (dense and
+/// sparse) and the AC stamper numerically identical.
+pub(crate) const GMIN: f64 = 1e-12;
+
+/// Destination of MNA matrix stamps. Implemented by the dense [`Matrix`]
+/// and by [`SparseStamper`], so one set of stamp formulas serves both
+/// solver paths — the sparse stamper cannot drift from the dense one.
+pub(crate) trait StampTarget {
+    /// Zeroes every value, keeping the storage.
+    fn clear(&mut self);
+    /// Accumulates `v` into `(i, j)`.
+    fn add(&mut self, i: usize, j: usize, v: f64);
+}
+
+impl StampTarget for Matrix {
+    fn clear(&mut self) {
+        Matrix::clear(self);
+    }
+    fn add(&mut self, i: usize, j: usize, v: f64) {
+        Matrix::add(self, i, j, v);
+    }
+}
+
+/// Adapter stamping into a [`SparseMatrix`] with a fixed pattern. A stamp
+/// landing outside the pattern records `missed = true` instead of
+/// panicking; callers check the flag after stamping and fall back or error
+/// out, keeping the solver free of stamp-time panics.
+pub(crate) struct SparseStamper<'a> {
+    /// The pattern-fixed destination matrix.
+    pub m: &'a mut SparseMatrix,
+    /// Set when any stamp fell outside the pattern.
+    pub missed: bool,
+}
+
+impl<'a> SparseStamper<'a> {
+    /// Wraps `m` with a clean miss flag.
+    pub fn new(m: &'a mut SparseMatrix) -> Self {
+        SparseStamper { m, missed: false }
+    }
+}
+
+impl StampTarget for SparseStamper<'_> {
+    fn clear(&mut self) {
+        self.m.clear();
+    }
+    fn add(&mut self, i: usize, j: usize, v: f64) {
+        if !self.m.add(i, j, v) {
+            self.missed = true;
+        }
+    }
+}
 
 /// Time-integration method for reactive elements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -131,11 +185,15 @@ pub(crate) fn volt(x: &[f64], n: NodeId) -> f64 {
 
 /// Builds the linearized MNA system `A·x_new = b` around the current
 /// iterate `x`.
-pub(crate) fn build_system(
+///
+/// Generic over the [`StampTarget`] so the dense and sparse solver paths
+/// share these stamp formulas verbatim; with `T = Matrix` the generated
+/// code performs exactly the historical dense stamping.
+pub(crate) fn build_system<T: StampTarget>(
     nl: &Netlist,
     x: &[f64],
     mode: &Mode<'_>,
-    a: &mut Matrix,
+    a: &mut T,
     b: &mut [f64],
 ) {
     a.clear();
@@ -147,7 +205,7 @@ pub(crate) fn build_system(
     let idx = |n: NodeId| -> Option<usize> { (!n.is_ground()).then(|| n.index() - 1) };
 
     // Conductance stamp between two nodes.
-    let stamp_g = |a: &mut Matrix, na: NodeId, nb: NodeId, g: f64| {
+    let stamp_g = |a: &mut T, na: NodeId, nb: NodeId, g: f64| {
         if let Some(i) = idx(na) {
             a.add(i, i, g);
             if let Some(j) = idx(nb) {
@@ -347,7 +405,7 @@ pub(crate) fn build_system(
     // implements gmin stepping in DC).
     let gmin = match mode {
         Mode::Dc { gmin, .. } => *gmin,
-        Mode::Transient { .. } => 1e-12,
+        Mode::Transient { .. } => GMIN,
     };
     for i in 0..nn {
         a.add(i, i, gmin);
@@ -375,13 +433,13 @@ pub(crate) fn build_system(
 /// # Panics
 ///
 /// Debug-asserts that the netlist is linear.
-pub(crate) fn stamp_linear_matrix(nl: &Netlist, mode: &Mode<'_>, a: &mut Matrix) {
+pub(crate) fn stamp_linear_matrix<T: StampTarget>(nl: &Netlist, mode: &Mode<'_>, a: &mut T) {
     debug_assert!(nl.is_linear(), "linear stamp on a nonlinear deck");
     a.clear();
     let nn = nl.node_count() - 1;
     let branch = nl.branch_indices();
     let idx = |n: NodeId| -> Option<usize> { (!n.is_ground()).then(|| n.index() - 1) };
-    let stamp_g = |a: &mut Matrix, na: NodeId, nb: NodeId, g: f64| {
+    let stamp_g = |a: &mut T, na: NodeId, nb: NodeId, g: f64| {
         if let Some(i) = idx(na) {
             a.add(i, i, g);
             if let Some(j) = idx(nb) {
@@ -485,7 +543,7 @@ pub(crate) fn stamp_linear_matrix(nl: &Netlist, mode: &Mode<'_>, a: &mut Matrix)
 
     let gmin = match mode {
         Mode::Dc { gmin, .. } => *gmin,
-        Mode::Transient { .. } => 1e-12,
+        Mode::Transient { .. } => GMIN,
     };
     for i in 0..nn {
         a.add(i, i, gmin);
@@ -736,13 +794,116 @@ pub fn dc_stamp_pattern(nl: &Netlist) -> StampPattern {
     StampPattern { size, rows }
 }
 
+/// Structural slot list `(row, col)` of every matrix entry the transient
+/// (and DC) stampers can touch, for building the sparse solver's fixed
+/// pattern.
+///
+/// Unlike [`dc_stamp_pattern`] this is a **superset** pattern: it includes
+/// the per-node `gmin` diagonals, the branch-diagonal companion slots of
+/// inductors, capacitor companion conductances, and the full nonlinear
+/// companion footprints (diode conductance, MOSFET d/s rows x g/d/s/b
+/// columns), so one symbolic analysis serves every Newton iteration and
+/// every time step of a transient run. Duplicates are fine — the sparse
+/// pattern constructor merges them.
+pub(crate) fn transient_stamp_pattern(nl: &Netlist) -> Vec<(usize, usize)> {
+    let nn = nl.node_count() - 1;
+    let branch = nl.branch_indices();
+    let mut entries: Vec<(usize, usize)> = Vec::new();
+    let idx = |n: NodeId| -> Option<usize> { (!n.is_ground()).then(|| n.index() - 1) };
+    let pattern_g = |entries: &mut Vec<(usize, usize)>, na: NodeId, nb: NodeId| {
+        if let Some(i) = idx(na) {
+            entries.push((i, i));
+            if let Some(j) = idx(nb) {
+                entries.push((i, j));
+            }
+        }
+        if let Some(i) = idx(nb) {
+            entries.push((i, i));
+            if let Some(j) = idx(na) {
+                entries.push((i, j));
+            }
+        }
+    };
+    for (k, e) in nl.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { a, b, .. }
+            | Element::Switch { a, b, .. }
+            | Element::Capacitor { a, b, .. } => pattern_g(&mut entries, *a, *b),
+            Element::CurrentSource { .. } => {}
+            Element::Inductor { a, b, .. } => {
+                let j = nn + branch[k].expect("inductor branch");
+                // Companion slot: DC series regularization or -L/dt term.
+                entries.push((j, j));
+                for n in [*a, *b] {
+                    if let Some(i) = idx(n) {
+                        entries.push((i, j));
+                        entries.push((j, i));
+                    }
+                }
+            }
+            Element::VoltageSource { p, n, .. } => {
+                let j = nn + branch[k].expect("vsource branch");
+                for node in [*p, *n] {
+                    if let Some(i) = idx(node) {
+                        entries.push((i, j));
+                        entries.push((j, i));
+                    }
+                }
+            }
+            Element::Vccs {
+                out_p,
+                out_n,
+                in_p,
+                in_n,
+                ..
+            } => {
+                for out in [*out_p, *out_n] {
+                    if let Some(r) = idx(out) {
+                        for inp in [*in_p, *in_n] {
+                            if let Some(c) = idx(inp) {
+                                entries.push((r, c));
+                            }
+                        }
+                    }
+                }
+            }
+            Element::Diode { anode, cathode, .. } => pattern_g(&mut entries, *anode, *cathode),
+            Element::Mosfet { d, g, s, b, .. } => {
+                for node in [*d, *s] {
+                    if let Some(r) = idx(node) {
+                        for c_node in [*g, *d, *s, *b] {
+                            if let Some(c) = idx(c_node) {
+                                entries.push((r, c));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // gmin to ground on every node voltage row.
+    for i in 0..nn {
+        entries.push((i, i));
+    }
+    entries
+}
+
 /// Current through an element given a converged solution `x`.
 ///
 /// Sign conventions: positive current flows from the first terminal to the
 /// second (for sources: from `p` through the element to `n`).
-pub(crate) fn element_current(nl: &Netlist, k: usize, x: &[f64], mode: &Mode<'_>) -> f64 {
+///
+/// `branch` is the netlist's [`Netlist::branch_indices`] table, hoisted by
+/// the caller: computing it here made every per-element call O(elements),
+/// turning per-sample current recording quadratic in circuit size.
+pub(crate) fn element_current(
+    nl: &Netlist,
+    branch: &[Option<usize>],
+    k: usize,
+    x: &[f64],
+    mode: &Mode<'_>,
+) -> f64 {
     let nn = nl.node_count() - 1;
-    let branch = nl.branch_indices();
     match &nl.elements()[k] {
         Element::Resistor { a, b, ohms } => (volt(x, *a) - volt(x, *b)) / ohms,
         Element::Switch {

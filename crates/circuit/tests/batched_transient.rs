@@ -72,7 +72,7 @@ fn tank_variant(i: usize) -> Netlist {
     let lc2 = nl.node("lc2");
     let mid = nl.node("mid");
     nl.capacitor_ic(lc1, Netlist::GROUND, 2e-9 * f, 1.0 / f);
-    nl.capacitor_ic(lc2, Netlist::GROUND, 2e-9 / f, -1.0 * f);
+    nl.capacitor_ic(lc2, Netlist::GROUND, 2e-9 / f, -f);
     nl.inductor_ic(lc1, mid, 25e-6 * f, 1e-3 * i as f64);
     nl.resistor(mid, lc2, 15.0 * f);
     nl
@@ -101,20 +101,16 @@ fn full_linear_variant(i: usize) -> Netlist {
     nl.resistor(vin, mid, 15.0 * f);
     nl.inductor(mid, out, 25e-6 / f);
     nl.capacitor_ic(out, Netlist::GROUND, 1e-9 * f, 0.1);
-    nl.switch(out, sense, i % 2 == 0);
+    nl.switch(out, sense, i.is_multiple_of(2));
     nl.resistor(sense, Netlist::GROUND, 1e3 * f);
     nl.current_source(sense, Netlist::GROUND, Waveform::Dc(1e-4 * f));
     nl.vccs(mid, Netlist::GROUND, out, Netlist::GROUND, 1e-4 * f);
     nl
 }
 
-fn run_batch_and_solo(
-    decks: &[Netlist],
-    opts: &TransientOptions,
-) -> (
-    Vec<Result<TransientResult, CircuitError>>,
-    Vec<Result<TransientResult, CircuitError>>,
-) {
+type RunResults = Vec<Result<TransientResult, CircuitError>>;
+
+fn run_batch_and_solo(decks: &[Netlist], opts: &TransientOptions) -> (RunResults, RunResults) {
     let refs: Vec<&Netlist> = decks.iter().collect();
     let batched = run_transient_batch(&refs, opts);
     let solo: Vec<_> = decks.iter().map(|nl| run_transient(nl, opts)).collect();

@@ -105,4 +105,41 @@ proptest! {
             prop_assert!(vn.abs() <= v.abs() + 1e-9, "node {vn} vs source {v}");
         }
     }
+
+    /// `structural_digest` keys the sparse symbolic cache, so it must be
+    /// invariant under element *values* while distinguishing element
+    /// *structure*: a terminal permutation or an extra node must change it.
+    #[test]
+    fn structural_digest_ignores_values_but_sees_structure(
+        r1 in 1.0f64..1e6,
+        r2 in 1.0f64..1e6,
+        c in 1e-12f64..1e-6,
+        v in -10.0f64..10.0,
+    ) {
+        let build = |r1: f64, r2: f64, c: f64, v: f64, flip: bool, extra: bool| {
+            let mut nl = Netlist::new();
+            let vin = nl.node("vin");
+            let out = nl.node("out");
+            nl.voltage_source(vin, Netlist::GROUND, Waveform::Dc(v));
+            if flip {
+                nl.resistor(out, vin, r1);
+            } else {
+                nl.resistor(vin, out, r1);
+            }
+            nl.resistor(out, Netlist::GROUND, r2);
+            nl.capacitor(out, Netlist::GROUND, c);
+            if extra {
+                let tail = nl.node("tail");
+                nl.resistor(out, tail, r2);
+            }
+            nl.structural_digest()
+        };
+        let base = build(r1, r2, c, v, false, false);
+        // Value-invariant: different values, same structure, same digest.
+        prop_assert_eq!(base, build(r1 * 2.0 + 1.0, r2 / 3.0 + 1.0, c * 10.0, -v, false, false));
+        // Terminal permutation changes the digest.
+        prop_assert_ne!(base, build(r1, r2, c, v, true, false));
+        // Node-count change changes the digest.
+        prop_assert_ne!(base, build(r1, r2, c, v, false, true));
+    }
 }

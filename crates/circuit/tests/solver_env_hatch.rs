@@ -1,9 +1,11 @@
-//! `LCOSC_SOLVER=reference` escape-hatch coverage.
+//! `LCOSC_SOLVER={reference,dense,sparse}` escape-hatch coverage.
 //!
 //! Lives in its own integration-test binary (= its own process) because it
 //! mutates the process environment; sharing a binary with the fast-path
-//! stats tests would race under the parallel test runner.
+//! stats tests would race under the parallel test runner. All assertions
+//! live in **one** `#[test]` for the same reason.
 
+use lcosc_circuit::workloads::rc_ladder;
 use lcosc_circuit::{run_transient, Netlist, SolverPath, TransientOptions};
 
 fn tank() -> Netlist {
@@ -48,6 +50,31 @@ fn env_hatch_forces_reference_path_with_identical_results() {
     assert!(bits_equal(fast.times(), forced.times()));
     assert!(bits_equal(fast.voltages_flat(), forced.voltages_flat()));
     assert!(bits_equal(fast.currents_flat(), forced.currents_flat()));
+
+    // `sparse` forces the sparse path even on a tiny deck, and `dense`
+    // forces the dense path even on a deck Auto would route sparse —
+    // overriding `opts.solver` in both directions.
+    let ladder = rc_ladder(200);
+    std::env::set_var("LCOSC_SOLVER", "sparse");
+    let forced_sparse = run_transient(&nl, &opts).expect("forced sparse run");
+    assert!(forced_sparse.stats().used_sparse_path);
+
+    std::env::set_var("LCOSC_SOLVER", "dense");
+    let mut sparse_opts = TransientOptions::new(2e-9, 200e-9);
+    sparse_opts.solver = SolverPath::Sparse;
+    let overridden = run_transient(&ladder, &sparse_opts).expect("forced dense run");
+    assert!(!overridden.stats().used_sparse_path);
+    assert!(overridden.stats().used_linear_fast_path);
+
+    // Forced-sparse on the tank agrees with the dense paths to tolerance
+    // (different elimination order, so bit-identity is not promised).
+    for (s, f) in forced_sparse
+        .voltages_flat()
+        .iter()
+        .zip(fast.voltages_flat().iter())
+    {
+        assert!((s - f).abs() <= 1e-9 + 1e-6 * f.abs(), "{s} vs {f}");
+    }
 
     std::env::remove_var("LCOSC_SOLVER");
 }

@@ -412,9 +412,11 @@ fn begin_factor(a: &BatchedMatrix, out: &mut BatchedLuFactors) {
     }
 }
 
-/// The reference pivot-underflow test (verbatim from `factor_into`).
+/// The reference pivot-underflow test (shared with `factor_into` via
+/// [`crate::linalg::pivot_is_singular`], so batched lanes and the dense
+/// solver agree byte-for-byte on which lane is singular).
 fn pivot_fails(pmax: f64) -> bool {
-    pmax < f64::MIN_POSITIVE * 1e4 || !pmax.is_finite()
+    crate::linalg::pivot_is_singular(pmax)
 }
 
 /// Lane-outer fallback kernel: replays the reference elimination verbatim

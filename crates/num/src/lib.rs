@@ -39,6 +39,7 @@ pub mod interp;
 pub mod linalg;
 pub mod ode;
 pub mod roots;
+pub mod sparse;
 pub mod stats;
 pub mod units;
 
@@ -49,9 +50,10 @@ pub use batched::{
 pub use fft::{dominant_frequency, power_spectrum, Complex};
 pub use filter::{Biquad, EnvelopeFollower, MovingRms, OnePoleLowPass};
 pub use interp::PwlTable;
-pub use linalg::Matrix;
+pub use linalg::{pivot_is_singular, Matrix, SINGULAR_PIVOT_THRESHOLD};
 pub use ode::{rk4_step, rkf45_adaptive, trapezoidal_step, OdeSystem};
 pub use roots::{bisect, brent, newton};
+pub use sparse::{SparseLu, SparseMatrix, SparseSymbolic};
 pub use units::{Amps, Farads, Henries, Hertz, Ohms, Seconds, Volts};
 
 /// Errors produced by numerical routines in this crate.

@@ -7,6 +7,23 @@
 
 use crate::{NumError, Result};
 
+/// Magnitude below which a pivot is declared singular.
+///
+/// Every solver in the workspace — dense [`LuFactors`], [`ComplexMatrix`],
+/// the batched SoA kernels and the sparse LU — tests its pivots against this
+/// one constant, so they cannot disagree on which system is "singular".
+pub const SINGULAR_PIVOT_THRESHOLD: f64 = f64::MIN_POSITIVE * 1e4;
+
+/// Shared singular-pivot predicate: true when `pmax` (the magnitude of the
+/// best available pivot) is below [`SINGULAR_PIVOT_THRESHOLD`] or non-finite.
+///
+/// Callers map a `true` result to [`NumError::SingularMatrix`] with the
+/// elimination step as the `pivot` index.
+#[inline]
+pub fn pivot_is_singular(pmax: f64) -> bool {
+    pmax < SINGULAR_PIVOT_THRESHOLD || !pmax.is_finite()
+}
+
 /// A dense, row-major `f64` matrix.
 ///
 /// # Example
@@ -274,7 +291,7 @@ impl LuFactors {
                     p = i;
                 }
             }
-            if pmax < f64::MIN_POSITIVE * 1e4 || !pmax.is_finite() {
+            if pivot_is_singular(pmax) {
                 return Err(NumError::SingularMatrix { pivot: k });
             }
             if p != k {
@@ -698,7 +715,7 @@ impl ComplexMatrix {
                     p = i;
                 }
             }
-            if pmax < f64::MIN_POSITIVE * 1e4 || !pmax.is_finite() {
+            if pivot_is_singular(pmax) {
                 return Err(NumError::SingularMatrix { pivot: k });
             }
             if p != k {

@@ -55,14 +55,20 @@ pub fn peak_to_peak(xs: &[f64]) -> Option<f64> {
 ///
 /// # Errors
 ///
-/// Returns [`NumError::InvalidInput`] for an empty slice or `p` outside
-/// `[0, 100]`.
+/// Returns [`NumError::InvalidInput`] for an empty slice, `p` outside
+/// `[0, 100]`, or any non-finite sample. Non-finite samples are rejected
+/// rather than sorted into place: `total_cmp` orders NaN above +inf, so a
+/// single NaN would otherwise make high percentiles silently return (or
+/// interpolate against) NaN instead of erroring.
 pub fn percentile(xs: &[f64], p: f64) -> Result<f64> {
     if xs.is_empty() {
         return Err(NumError::InvalidInput("percentile of empty slice"));
     }
     if !(0.0..=100.0).contains(&p) {
         return Err(NumError::InvalidInput("percentile must be in [0, 100]"));
+    }
+    if xs.iter().any(|x| !x.is_finite()) {
+        return Err(NumError::InvalidInput("percentile of non-finite sample"));
     }
     let mut sorted = xs.to_vec();
     sorted.sort_by(f64::total_cmp);
@@ -227,6 +233,33 @@ mod tests {
     fn percentile_rejects_bad_input() {
         assert!(percentile(&[], 50.0).is_err());
         assert!(percentile(&[1.0], 101.0).is_err());
+    }
+
+    #[test]
+    fn percentile_rejects_non_finite_samples() {
+        // A NaN sorts above +inf under total_cmp, so before the finiteness
+        // guard p=100 returned NaN instead of an error. Pin the typed error
+        // for NaN and both infinities, at low and high percentiles alike.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let xs = [1.0, 2.0, bad, 3.0];
+            for p in [0.0, 50.0, 99.0, 100.0] {
+                let e = percentile(&xs, p).unwrap_err();
+                assert!(matches!(e, NumError::InvalidInput(_)), "p={p} bad={bad}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_counts_infinities_as_outliers() {
+        // ±inf must land in the outlier bucket, not a bin: +inf fails the
+        // `x >= hi` range check and -inf fails `x < lo`, and the explicit
+        // finiteness clause keeps NaN out even if the range tests change.
+        let mut h = Histogram::new(0.0, 10.0, 4);
+        h.add(f64::INFINITY);
+        h.add(f64::NEG_INFINITY);
+        h.add(5.0);
+        assert_eq!(h.outliers(), 2);
+        assert_eq!(h.total(), 1);
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! Property-based tests for the numerical substrate.
 
+use std::sync::Arc;
+
 use lcosc_num::filter::{EnvelopeFollower, MovingRms, OnePoleLowPass};
 use lcosc_num::interp::PwlTable;
 use lcosc_num::linalg::Matrix;
 use lcosc_num::roots::{bisect, brent};
+use lcosc_num::sparse::{SparseLu, SparseMatrix, SparseSymbolic};
 use lcosc_num::stats::{mean, percentile, rms};
+use lcosc_num::NumError;
 use proptest::prelude::*;
 
 proptest! {
@@ -130,5 +134,82 @@ proptest! {
     fn engineering_format_never_empty(v in -1e12f64..1e12) {
         let s = lcosc_num::units::format_engineering(v);
         prop_assert!(!s.is_empty());
+    }
+
+    /// Cross-solver agreement: on random diagonally dominant systems the
+    /// sparse LU (fixed pivot order, fill-reducing permutation) and the
+    /// dense LU (partial pivoting) must both solve, and agree to tight
+    /// tolerance. Both share one singular-pivot threshold, so neither can
+    /// call a system singular that the other solves.
+    #[test]
+    fn sparse_and_dense_agree_on_dominant_systems(
+        vals in proptest::collection::vec(-1.0f64..1.0, 36),
+        x_true in proptest::collection::vec(-10.0f64..10.0, 6),
+        mask in proptest::collection::vec(0u8..2, 36),
+    ) {
+        let n = 6;
+        let mut dense = Matrix::zeros(n, n);
+        let mut entries = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                // Random sparsity: keep the diagonal, drop ~half the rest.
+                if i == j || mask[i * n + j] == 1 {
+                    dense[(i, j)] = vals[i * n + j];
+                    entries.push((i, j));
+                }
+            }
+            dense[(i, i)] += 6.0; // dominance -> invertible for both paths
+        }
+        let mut sp = SparseMatrix::from_pattern(n, &entries).unwrap();
+        for &(i, j) in &entries {
+            prop_assert!(sp.add(i, j, dense[(i, j)]));
+        }
+        let sym = Arc::new(SparseSymbolic::analyze(&sp).expect("diag present"));
+        let mut lu = SparseLu::new(sym);
+        lu.factor_into(&sp).expect("dominant system factors");
+        let b = dense.mul_vec(&x_true);
+        let xs = lu.solve(&b).expect("solve");
+        let xd = dense.solve(&b).expect("solve");
+        for ((s, d), t) in xs.iter().zip(&xd).zip(&x_true) {
+            prop_assert!((s - d).abs() < 1e-8, "sparse {s} vs dense {d}");
+            prop_assert!((s - t).abs() < 1e-8, "sparse {s} vs truth {t}");
+        }
+    }
+
+    /// Cross-solver singularity agreement: scaling a whole row toward zero
+    /// eventually trips the singular-pivot threshold; dense and sparse must
+    /// agree on whether each scaled system is singular, because they share
+    /// one threshold constant.
+    #[test]
+    fn sparse_and_dense_agree_on_singularity(scale_exp in 0u32..40) {
+        let n = 3;
+        // Row 2 shrinks by 16^-k: crosses the shared threshold around
+        // k == 77 in the fully degenerate limit; sweep the healthy range
+        // and the first decades of degradation.
+        let s = 16f64.powi(-(scale_exp as i32));
+        let rows = [[4.0, 1.0, 0.0], [1.0, 5.0, 1.0], [0.0, s, s * 2.0]];
+        let mut dense = Matrix::zeros(n, n);
+        let mut entries = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 || i == j {
+                    dense[(i, j)] = v;
+                    entries.push((i, j));
+                }
+            }
+        }
+        let mut sp = SparseMatrix::from_pattern(n, &entries).unwrap();
+        for &(i, j) in &entries {
+            prop_assert!(sp.add(i, j, dense[(i, j)]));
+        }
+        let sym = Arc::new(SparseSymbolic::analyze(&sp).unwrap());
+        let mut lu = SparseLu::new(sym);
+        let sparse_verdict = lu.factor_into(&sp);
+        let dense_verdict = dense.solve(&[1.0, 1.0, 1.0]);
+        match (&sparse_verdict, &dense_verdict) {
+            (Ok(()), Ok(_)) => {}
+            (Err(NumError::SingularMatrix { .. }), Err(NumError::SingularMatrix { .. })) => {}
+            other => prop_assert!(false, "solvers disagree on singularity: {other:?}"),
+        }
     }
 }

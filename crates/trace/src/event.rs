@@ -255,6 +255,11 @@ pub enum TraceEvent {
         /// the deck was solved on its own). Work accounting only — lane
         /// results are bit-identical to solo solves by contract.
         batched_lanes: u64,
+        /// Sparse symbolic analyses performed (0 on dense paths and on
+        /// sparse runs served by the symbolic cache).
+        symbolic_analyses: u64,
+        /// Sparse runs that reused a cached symbolic analysis.
+        symbolic_reuses: u64,
     },
     /// One request served by the batch simulation service, recorded in
     /// completion-index order. Deterministic: the payload is the request's
@@ -364,10 +369,12 @@ impl TraceEvent {
                 factor_reuses,
                 post_warmup_allocations,
                 batched_lanes,
+                symbolic_analyses,
+                symbolic_reuses,
             } => {
                 let _ = write!(
                     s,
-                    r#"{{"ev":"solver_stats","steps":{steps},"newton_iterations":{newton_iterations},"factorizations":{factorizations},"factor_reuses":{factor_reuses},"post_warmup_allocations":{post_warmup_allocations},"batched_lanes":{batched_lanes}}}"#
+                    r#"{{"ev":"solver_stats","steps":{steps},"newton_iterations":{newton_iterations},"factorizations":{factorizations},"factor_reuses":{factor_reuses},"post_warmup_allocations":{post_warmup_allocations},"batched_lanes":{batched_lanes},"symbolic_analyses":{symbolic_analyses},"symbolic_reuses":{symbolic_reuses}}}"#
                 );
             }
             TraceEvent::ServeRequest {
@@ -465,6 +472,8 @@ mod tests {
                 factor_reuses: 9,
                 post_warmup_allocations: 0,
                 batched_lanes: 4,
+                symbolic_analyses: 1,
+                symbolic_reuses: 0,
             },
             TraceEvent::ServeRequest {
                 index: 0,

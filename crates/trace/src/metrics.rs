@@ -129,6 +129,10 @@ pub struct TraceMetrics {
     /// Batched-solve lanes across all reported solves (each solve reports
     /// its own batch width; solo solves report 0).
     pub solver_batched_lanes: u64,
+    /// Sparse symbolic analyses performed across all reported solves.
+    pub solver_symbolic_analyses: u64,
+    /// Cached-symbolic-analysis reuses across all reported solves.
+    pub solver_symbolic_reuses: u64,
     /// Requests served by the batch service, by terminal status: ok,
     /// bad_request, timeout, overloaded, shutting_down, error (in the
     /// order of [`crate::event::ServeStatus`]).
@@ -204,6 +208,8 @@ impl TraceMetrics {
                 factor_reuses,
                 post_warmup_allocations,
                 batched_lanes,
+                symbolic_analyses,
+                symbolic_reuses,
             } => {
                 self.solver_runs += 1;
                 self.solver_steps += steps;
@@ -212,6 +218,8 @@ impl TraceMetrics {
                 self.solver_factor_reuses += factor_reuses;
                 self.solver_post_warmup_allocations += post_warmup_allocations;
                 self.solver_batched_lanes += batched_lanes;
+                self.solver_symbolic_analyses += symbolic_analyses;
+                self.solver_symbolic_reuses += symbolic_reuses;
             }
             TraceEvent::ServeRequest { status, .. } => {
                 self.serve_requests[serve_status_index(*status)] += 1;
@@ -271,14 +279,16 @@ impl TraceMetrics {
         );
         let _ = write!(
             s,
-            r#","solver":{{"runs":{},"steps":{},"newton_iterations":{},"factorizations":{},"factor_reuses":{},"post_warmup_allocations":{},"batched_lanes":{}}}"#,
+            r#","solver":{{"runs":{},"steps":{},"newton_iterations":{},"factorizations":{},"factor_reuses":{},"post_warmup_allocations":{},"batched_lanes":{},"symbolic_analyses":{},"symbolic_reuses":{}}}"#,
             self.solver_runs,
             self.solver_steps,
             self.solver_newton_iterations,
             self.solver_factorizations,
             self.solver_factor_reuses,
             self.solver_post_warmup_allocations,
-            self.solver_batched_lanes
+            self.solver_batched_lanes,
+            self.solver_symbolic_analyses,
+            self.solver_symbolic_reuses
         );
         let _ = write!(
             s,
@@ -469,6 +479,8 @@ mod tests {
                 factor_reuses: 99,
                 post_warmup_allocations: 0,
                 batched_lanes: 8,
+                symbolic_analyses: 1,
+                symbolic_reuses: 0,
             });
         }
         assert_eq!(m.solver_runs, 2);
@@ -478,8 +490,10 @@ mod tests {
         assert_eq!(m.solver_factor_reuses, 198);
         assert_eq!(m.solver_post_warmup_allocations, 0);
         assert_eq!(m.solver_batched_lanes, 16);
+        assert_eq!(m.solver_symbolic_analyses, 2);
+        assert_eq!(m.solver_symbolic_reuses, 0);
         assert!(m.render_json().contains(
-            r#""solver":{"runs":2,"steps":200,"newton_iterations":220,"factorizations":2,"factor_reuses":198,"post_warmup_allocations":0,"batched_lanes":16}"#
+            r#""solver":{"runs":2,"steps":200,"newton_iterations":220,"factorizations":2,"factor_reuses":198,"post_warmup_allocations":0,"batched_lanes":16,"symbolic_analyses":2,"symbolic_reuses":0}"#
         ));
     }
 }
