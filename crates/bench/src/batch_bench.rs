@@ -324,6 +324,10 @@ fn run_campaign(
         batched_lanes: s.batched_lanes,
         symbolic_analyses: s.symbolic_analyses,
         symbolic_reuses: s.symbolic_reuses,
+        steps_accepted: s.steps_accepted,
+        steps_rejected: s.steps_rejected,
+        mode_switches: s.mode_switches,
+        envelope_permille: s.envelope_permille,
     });
 
     Ok(BatchCampaignOutcome {

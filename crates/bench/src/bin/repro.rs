@@ -39,9 +39,11 @@
 //!   cache) and writes the report to `--serve-bench-out` (default
 //!   `BENCH_PR5.json`).
 
-use lcosc_bench::cli::{parse_args, Args, Cli, HELP};
+use lcosc_bench::cli::{parse_args, render_bench_list, Args, Cli, HELP};
 use lcosc_bench::csv::write_csv;
-use lcosc_bench::{ablation, batch_bench, figures, prove_bench, serve_bench, sparse_bench};
+use lcosc_bench::{
+    ablation, batch_bench, figures, multirate_bench, prove_bench, serve_bench, sparse_bench,
+};
 use lcosc_campaign::{CampaignStats, Json};
 use lcosc_core::{ClosedLoopSim, OscillatorConfig};
 use lcosc_dac::{multiplication_factor, relative_step, Code, DacMismatchParams};
@@ -237,7 +239,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             print!("{HELP}");
             return Ok(());
         }
-        Cli::Run(args) => args,
+        Cli::BenchList => {
+            print!("{}", render_bench_list());
+            return Ok(());
+        }
+        Cli::Run(args) => *args,
     };
     let capture = TraceCapture::from_args(&args);
     let tracer = capture
@@ -462,6 +468,66 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 report.auto_policy_ok,
                 report.fleet.cache_effective(),
                 sparse_bench::GATE_MIN_SPEEDUP,
+            )
+            .into());
+        }
+    }
+
+    // Multi-rate engine: the 11-fault mission catalog at cycle vs
+    // multi-rate fidelity, outcome identity enforced per fault, with the
+    // >= 10x mission-profile speedup gate (unless the fidelity hatch
+    // pinned both arms to one engine).
+    if args.multirate_bench {
+        let report = multirate_bench::run_multirate_bench(&tracer)?;
+        write_text(
+            &args.multirate_bench_out,
+            &report.to_json().render_pretty(2),
+        )?;
+        println!("multirate bench -> {}", args.multirate_bench_out.display());
+        for m in &report.missions {
+            println!(
+                "multirate {}: cycle {:.1} ms vs multi-rate {:.1} ms ({:.2}x), final code {}, {}",
+                m.name,
+                m.cycle_wall.as_secs_f64() * 1e3,
+                m.multirate_wall.as_secs_f64() * 1e3,
+                m.speedup(),
+                m.outcome.final_code,
+                if m.outcome.detected {
+                    "detected"
+                } else {
+                    "regulated"
+                },
+            );
+        }
+        println!(
+            "multirate hand-off: {} switches, {} envelope / {} cycle ticks ({:.1} % envelope), {} bisection(s)",
+            report.mode_stats.mode_switches,
+            report.mode_stats.envelope_ticks,
+            report.mode_stats.cycle_ticks,
+            report.mode_stats.envelope_permille() as f64 / 10.0,
+            report.mode_stats.bisections,
+        );
+        println!(
+            "multirate catalog: cycle {:.2} s vs multi-rate {:.2} s ({:.2}x, informational)",
+            report.cycle_total().as_secs_f64(),
+            report.multirate_total().as_secs_f64(),
+            report.catalog_speedup(),
+        );
+        if report.fidelity_hatch {
+            println!("multirate bench: LCOSC_FIDELITY hatch active, gate skipped");
+        } else if report.gate_met() {
+            println!(
+                "multirate bench: headline ({}) speedup {:.2}x, gate >= {:.0}x met, outcomes identical",
+                multirate_bench::HEADLINE_FAULT,
+                report.speedup(),
+                multirate_bench::GATE_MIN_SPEEDUP,
+            );
+        } else {
+            return Err(format!(
+                "multirate bench: headline ({}) speedup {:.2}x misses the {:.0}x gate",
+                multirate_bench::HEADLINE_FAULT,
+                report.speedup(),
+                multirate_bench::GATE_MIN_SPEEDUP,
             )
             .into());
         }

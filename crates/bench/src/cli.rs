@@ -6,6 +6,7 @@
 
 use lcosc_trace::TraceLevel;
 use std::fmt;
+use std::fmt::Write as _;
 use std::path::PathBuf;
 
 /// The `repro --help` text. Every accepted flag is listed here; the unit
@@ -45,8 +46,85 @@ OPTIONS:
                          sparse campaign byte-compare)
     --sparse-bench-out PATH
                          sparse benchmark report path (default BENCH_PR8.json)
+    --multirate-bench    run the multi-rate engine benchmark
+                         (11-fault mission catalog, cycle vs multi-rate
+                         wall-clock, >=10x gate at identical verdicts,
+                         trip latencies and final codes)
+    --multirate-bench-out PATH
+                         multi-rate benchmark report path
+                         (default BENCH_PR9.json)
+    --bench-list         list every benchmark, its flag and its report
+                         file, then exit
     --help               print this help
 ";
+
+/// One entry of the `repro` benchmark registry: the flag that enables the
+/// benchmark, the report file it produces and what it measures. Every
+/// `BENCH_PR*.json` producer must be listed here — `--bench-list` renders
+/// this table, and the unit tests fail on any drift between the registry,
+/// the parser and the help text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchInfo {
+    /// Short name of the benchmark.
+    pub name: &'static str,
+    /// The flag that enables it (`--bench-out` doubles as the report
+    /// path for the original solver bench; every later bench pairs a
+    /// boolean flag with a `*-out` path flag).
+    pub flag: &'static str,
+    /// The tracked report file.
+    pub report: &'static str,
+    /// One-line description.
+    pub what: &'static str,
+}
+
+/// Every benchmark `repro` can run, in PR order.
+pub const BENCHES: &[BenchInfo] = &[
+    BenchInfo {
+        name: "solver",
+        flag: "--bench-out",
+        report: "BENCH_PR4.json",
+        what: "transient solver fast vs reference path, bit-identity enforced",
+    },
+    BenchInfo {
+        name: "serve",
+        flag: "--serve-bench",
+        report: "BENCH_PR5.json",
+        what: "lcosc-serve loopback load driver, cold vs cached throughput",
+    },
+    BenchInfo {
+        name: "prove",
+        flag: "--prove-bench",
+        report: "BENCH_PR6.json",
+        what: "static safety prover laps, verdict byte-compare",
+    },
+    BenchInfo {
+        name: "batch",
+        flag: "--batch-bench",
+        report: "BENCH_PR7.json",
+        what: "batched campaign solver vs per-job, >=4x throughput gate",
+    },
+    BenchInfo {
+        name: "sparse",
+        flag: "--sparse-bench",
+        report: "BENCH_PR8.json",
+        what: "sparse MNA ladder vs dense, >=5x gate, Auto-policy proof",
+    },
+    BenchInfo {
+        name: "multirate",
+        flag: "--multirate-bench",
+        report: "BENCH_PR9.json",
+        what: "multi-rate mission catalog vs cycle fidelity, >=10x gate",
+    },
+];
+
+/// Renders the `--bench-list` table.
+pub fn render_bench_list() -> String {
+    let mut s = String::from("repro benchmarks (flag -> report):\n");
+    for b in BENCHES {
+        let _ = writeln!(s, "  {:<18} {:<16} {}", b.flag, b.report, b.what);
+    }
+    s
+}
 
 /// Parsed `repro` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,6 +159,10 @@ pub struct Args {
     pub sparse_bench: bool,
     /// Sparse benchmark report path.
     pub sparse_bench_out: PathBuf,
+    /// Run the multi-rate engine benchmark.
+    pub multirate_bench: bool,
+    /// Multi-rate benchmark report path.
+    pub multirate_bench_out: PathBuf,
 }
 
 impl Default for Args {
@@ -101,6 +183,8 @@ impl Default for Args {
             batch_bench_out: PathBuf::from("BENCH_PR7.json"),
             sparse_bench: false,
             sparse_bench_out: PathBuf::from("BENCH_PR8.json"),
+            multirate_bench: false,
+            multirate_bench_out: PathBuf::from("BENCH_PR9.json"),
         }
     }
 }
@@ -110,8 +194,10 @@ impl Default for Args {
 pub enum Cli {
     /// `--help` was requested.
     Help,
+    /// `--bench-list` was requested.
+    BenchList,
     /// Normal run.
-    Run(Args),
+    Run(Box<Args>),
 }
 
 /// A typed command-line error.
@@ -164,12 +250,14 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, CliError> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--help" | "-h" => return Ok(Cli::Help),
+            "--bench-list" => return Ok(Cli::BenchList),
             "--campaigns-only" => parsed.campaigns_only = true,
             "--unchecked" => parsed.unchecked = true,
             "--serve-bench" => parsed.serve_bench = true,
             "--prove-bench" => parsed.prove_bench = true,
             "--batch-bench" => parsed.batch_bench = true,
             "--sparse-bench" => parsed.sparse_bench = true,
+            "--multirate-bench" => parsed.multirate_bench = true,
             "--threads" => {
                 let v = next_value(&mut args, "--threads")?;
                 parsed.threads = v.parse().map_err(|_| CliError::BadValue {
@@ -206,10 +294,14 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, CliError> {
                 parsed.sparse_bench_out =
                     PathBuf::from(next_value(&mut args, "--sparse-bench-out")?);
             }
+            "--multirate-bench-out" => {
+                parsed.multirate_bench_out =
+                    PathBuf::from(next_value(&mut args, "--multirate-bench-out")?);
+            }
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
     }
-    Ok(Cli::Run(parsed))
+    Ok(Cli::Run(Box::new(parsed)))
 }
 
 #[cfg(test)]
@@ -222,7 +314,7 @@ mod tests {
 
     #[test]
     fn empty_argv_yields_defaults() {
-        assert_eq!(parse(&[]), Ok(Cli::Run(Args::default())));
+        assert_eq!(parse(&[]), Ok(Cli::Run(Box::default())));
     }
 
     #[test]
@@ -285,6 +377,9 @@ mod tests {
             "--sparse-bench",
             "--sparse-bench-out",
             "sp.json",
+            "--multirate-bench",
+            "--multirate-bench-out",
+            "mr.json",
         ])
         .expect("all flags are valid");
         let Cli::Run(args) = cli else {
@@ -295,6 +390,7 @@ mod tests {
         assert!(args.prove_bench);
         assert!(args.batch_bench);
         assert!(args.sparse_bench);
+        assert!(args.multirate_bench);
         assert_eq!(args.results_out, PathBuf::from("r.json"));
         assert_eq!(args.trace_out, Some(PathBuf::from("t.jsonl")));
         assert_eq!(args.trace_level, TraceLevel::Metrics);
@@ -303,6 +399,7 @@ mod tests {
         assert_eq!(args.prove_bench_out, PathBuf::from("p.json"));
         assert_eq!(args.batch_bench_out, PathBuf::from("bb.json"));
         assert_eq!(args.sparse_bench_out, PathBuf::from("sp.json"));
+        assert_eq!(args.multirate_bench_out, PathBuf::from("mr.json"));
     }
 
     #[test]
@@ -331,9 +428,86 @@ mod tests {
             "--batch-bench-out",
             "--sparse-bench",
             "--sparse-bench-out",
+            "--multirate-bench",
+            "--multirate-bench-out",
+            "--bench-list",
             "--help",
         ] {
             assert!(HELP.contains(flag), "help text is missing {flag}");
+        }
+    }
+
+    #[test]
+    fn bench_list_flag_short_circuits() {
+        assert_eq!(parse(&["--bench-list"]), Ok(Cli::BenchList));
+        assert_eq!(parse(&["--bench-list", "--warp-speed"]), Ok(Cli::BenchList));
+        let listing = render_bench_list();
+        for b in BENCHES {
+            assert!(listing.contains(b.flag), "listing is missing {}", b.flag);
+            assert!(
+                listing.contains(b.report),
+                "listing is missing {}",
+                b.report
+            );
+        }
+    }
+
+    #[test]
+    fn registry_covers_every_bench_producer() {
+        // Drift net for the growing `--*-bench` family. (a) Every
+        // registry flag is accepted by the parser and documented in HELP.
+        for b in BENCHES {
+            assert!(
+                parse(&[b.flag, "x.json"]).is_ok() || parse(&[b.flag]).is_ok(),
+                "parser rejects registry flag {}",
+                b.flag
+            );
+            assert!(
+                HELP.contains(b.flag),
+                "help is missing registry flag {}",
+                b.flag
+            );
+        }
+        // (b) Every boolean `--*-bench` flag the parser knows appears in
+        // the registry: harvest candidates from HELP, the single source
+        // the parser tests are already synced against.
+        let harvested: Vec<&str> = HELP
+            .split_whitespace()
+            .filter(|w| w.starts_with("--") && w.ends_with("-bench"))
+            .collect();
+        for flag in harvested {
+            assert!(
+                BENCHES.iter().any(|b| b.flag == flag),
+                "bench flag {flag} is not in the BENCHES registry"
+            );
+        }
+        // (c) Every BENCH_PR*.json report named anywhere in HELP belongs
+        // to a registered producer, and the registry stays in PR order
+        // with distinct reports.
+        for w in HELP.split(|c: char| c.is_whitespace() || c == '(' || c == ')') {
+            if w.starts_with("BENCH_PR") {
+                assert!(
+                    BENCHES.iter().any(|b| b.report == w),
+                    "report {w} in HELP has no registry entry"
+                );
+            }
+        }
+        let reports: Vec<&str> = BENCHES.iter().map(|b| b.report).collect();
+        let mut sorted = reports.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), reports.len(), "duplicate report in registry");
+        // (d) Registry defaults match the Args defaults.
+        let d = Args::default();
+        for (report, path) in [
+            ("BENCH_PR5.json", &d.serve_bench_out),
+            ("BENCH_PR6.json", &d.prove_bench_out),
+            ("BENCH_PR7.json", &d.batch_bench_out),
+            ("BENCH_PR8.json", &d.sparse_bench_out),
+            ("BENCH_PR9.json", &d.multirate_bench_out),
+        ] {
+            assert!(BENCHES.iter().any(|b| b.report == report));
+            assert_eq!(path, &PathBuf::from(report), "default drifted for {report}");
         }
     }
 }

@@ -11,6 +11,7 @@ pub mod batch_bench;
 pub mod cli;
 pub mod csv;
 pub mod figures;
+pub mod multirate_bench;
 pub mod prove_bench;
 pub mod serve_bench;
 pub mod solver_bench;

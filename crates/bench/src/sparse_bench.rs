@@ -353,6 +353,10 @@ fn run_sparse_bench_with(
         batched_lanes: ladder_stats.batched_lanes,
         symbolic_analyses: ladder_stats.symbolic_analyses,
         symbolic_reuses: ladder_stats.symbolic_reuses,
+        steps_accepted: ladder_stats.steps_accepted,
+        steps_rejected: ladder_stats.steps_rejected,
+        mode_switches: ladder_stats.mode_switches,
+        envelope_permille: ladder_stats.envelope_permille,
     });
 
     let mut crossover = Vec::with_capacity(crossover_sections.len());

@@ -1,7 +1,7 @@
 //! Analytic oscillation condition and steady-state amplitude (paper §2).
 //!
 //! The paper's scanned equations are typographically corrupted, so the
-//! constants are re-derived in `DESIGN.md` §15 for the classical two-stage
+//! constants are re-derived in `DESIGN.md` §16 for the classical two-stage
 //! cross-coupled topology of Fig 1 (each stage senses the opposite pin):
 //!
 //! - resonance: `ω₀² = 2/(L·C) − Rs²/L² ≈ 2/(L·C)` (symmetric C),

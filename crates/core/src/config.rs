@@ -2,6 +2,7 @@
 
 use crate::condition::OscillationCondition;
 use crate::gm_driver::DriverShape;
+use crate::multirate::MultiRateOptions;
 use crate::tank::LcTank;
 use crate::{CoreError, Result};
 use lcosc_dac::{Code, MismatchedDac};
@@ -16,6 +17,25 @@ pub enum Fidelity {
     /// matrices.
     #[default]
     Envelope,
+    /// Envelope by default, cycle fidelity in guard windows around events
+    /// (fault injections, segment-boundary code steps, window-state
+    /// changes); see [`crate::multirate`]. Long-horizon speed with
+    /// cycle-accurate discrete outcomes.
+    MultiRate,
+}
+
+/// Fidelity override requested through the `LCOSC_FIDELITY` environment
+/// variable: `full`/`cycle`, `envelope` or `multirate`. Any other value —
+/// including unset — returns `None` and leaves configurations untouched.
+/// The hatch mirrors `LCOSC_SOLVER`: an end-to-end escape valve to pin the
+/// whole process to one fidelity when triaging a multi-rate divergence.
+pub fn fidelity_forced() -> Option<Fidelity> {
+    match std::env::var("LCOSC_FIDELITY").ok()?.as_str() {
+        "full" | "cycle" => Some(Fidelity::Cycle),
+        "envelope" => Some(Fidelity::Envelope),
+        "multirate" => Some(Fidelity::MultiRate),
+        _ => None,
+    }
 }
 
 /// Full configuration of the regulated oscillator.
@@ -50,6 +70,8 @@ pub struct OscillatorConfig {
     pub steps_per_period: usize,
     /// Envelope mode: integrator substeps per tick.
     pub envelope_substeps: usize,
+    /// Multi-rate mode: hand-off guard window and re-entry tolerance.
+    pub multirate: MultiRateOptions,
     /// RMS measurement noise on the detector output `VDC1`, volts
     /// (comparator offset drift, coupled interference). 0 = noiseless.
     pub detector_noise_rms: f64,
@@ -78,6 +100,7 @@ impl OscillatorConfig {
             fidelity: Fidelity::Envelope,
             steps_per_period: 60,
             envelope_substeps: 256,
+            multirate: MultiRateOptions::default(),
             detector_noise_rms: 0.0,
             noise_seed: 1,
         };
@@ -235,6 +258,9 @@ impl OscillatorConfig {
                 "envelope substeps must be non-zero",
             ));
         }
+        if let Err(msg) = self.multirate.validate() {
+            return Err(CoreError::InvalidConfig(msg));
+        }
         if !(self.detector_noise_rms >= 0.0 && self.detector_noise_rms.is_finite()) {
             return Err(CoreError::InvalidConfig(
                 "detector noise must be finite and non-negative",
@@ -297,6 +323,16 @@ mod tests {
     fn validation_catches_slow_detector() {
         let mut cfg = OscillatorConfig::fast_test();
         cfg.detector_tau = cfg.tick_period; // detector slower than the loop
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_multirate_options() {
+        let mut cfg = OscillatorConfig::fast_test();
+        cfg.multirate.guard_ticks = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = OscillatorConfig::fast_test();
+        cfg.multirate.handoff_rel_tol = -0.1;
         assert!(cfg.validate().is_err());
     }
 

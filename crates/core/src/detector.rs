@@ -19,6 +19,7 @@ pub struct AmplitudeDetector {
     midpoint_lpf: OnePoleLowPass,
     amplitude_lpf: OnePoleLowPass,
     window: WindowComparator,
+    tau: f64,
 }
 
 impl AmplitudeDetector {
@@ -45,7 +46,26 @@ impl AmplitudeDetector {
             midpoint_lpf,
             amplitude_lpf: OnePoleLowPass::new(tau, dt),
             window: WindowComparator::centered(target_vdc, window_rel_width),
+            tau,
         }
+    }
+
+    /// Re-discretizes both low-pass filters for a new sample interval,
+    /// preserving their current outputs. The analog filter state (`VR1`,
+    /// `VDC1`) is continuous across the change — this is what lets the
+    /// multi-rate engine hand the *same* detector back and forth between
+    /// the envelope substep grid and the cycle ODE grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dt` is positive (the filter constructor's contract).
+    pub fn retime(&mut self, dt: f64) {
+        let vr1 = self.midpoint_lpf.output();
+        let vdc1 = self.amplitude_lpf.output();
+        self.midpoint_lpf = OnePoleLowPass::new(self.tau, dt);
+        self.midpoint_lpf.reset_to(vr1);
+        self.amplitude_lpf = OnePoleLowPass::new(self.tau, dt);
+        self.amplitude_lpf.reset_to(vdc1);
     }
 
     /// Processes one sample of the pin voltages; returns the current window
@@ -178,6 +198,28 @@ mod tests {
         // 6.25 % maximum step — the paper's anti-hunting requirement.
         let det = AmplitudeDetector::new(0.675, 0.15, 20e-6, DT, 1.65);
         assert!(det.window().relative_width() > 0.0625);
+    }
+
+    #[test]
+    fn retime_preserves_filter_state_and_time_constant() {
+        let mut det = AmplitudeDetector::new(0.5, 0.15, 20e-6, DT, 1.65);
+        feed_sine(&mut det, 0.5, 1.65, 200);
+        let (vr1, vdc1, state) = (det.vr1(), det.vdc1(), det.state());
+        // Hand-off to a 100× coarser grid: outputs carry over bit-exactly.
+        det.retime(DT * 100.0);
+        assert_eq!(det.vr1(), vr1);
+        assert_eq!(det.vdc1(), vdc1);
+        assert_eq!(det.state(), state);
+        // The retimed filter still settles to the same steady state with
+        // the same time constant: feeding the steady amplitude holds it.
+        for _ in 0..1000 {
+            det.update_from_amplitude(0.5);
+        }
+        assert!(
+            (det.vdc1() - RECTIFIER_GAIN * 0.5).abs() < 0.02,
+            "vdc1 {}",
+            det.vdc1()
+        );
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   amplitude dynamics for millisecond-scale sweeps,
 //! - [`detector::AmplitudeDetector`] — full-wave rectifier, low-pass filter
 //!   and window comparator (Fig 8),
+//! - [`multirate::MultiRateController`] — the envelope↔cycle fidelity
+//!   hand-off state machine for long-horizon multi-rate runs,
 //! - [`regulator::RegulationFsm`] — the 1 ms ±1/hold digital loop (§4),
 //! - [`startup::StartupSequencer`] — POR preset (code 105) and NVM hand-over,
 //! - [`sim::ClosedLoopSim`] — everything wired together.
@@ -39,6 +41,7 @@ pub mod emc;
 pub mod envelope;
 pub mod gm_driver;
 pub mod measure;
+pub mod multirate;
 pub mod oscillator;
 pub mod regulator;
 pub mod sim;
@@ -47,12 +50,15 @@ pub mod tank;
 pub mod thresholds;
 
 pub use condition::OscillationCondition;
-pub use config::{Fidelity, OscillatorConfig};
+pub use config::{fidelity_forced, Fidelity, OscillatorConfig};
 pub use detector::AmplitudeDetector;
 pub use emc::{analyze_emissions, EmissionReport};
 pub use envelope::EnvelopeModel;
 pub use gm_driver::{DriverShape, GmDriver};
 pub use measure::{amplitude_pp, frequency_of, settling_tick};
+pub use multirate::{
+    code_step_needs_guard, ModeStats, MultiRateController, MultiRateOptions, RateMode,
+};
 pub use oscillator::{OscillatorModel, OscillatorState, OscillatorWaveform};
 pub use regulator::RegulationFsm;
 pub use sim::{CheckLevel, ClosedLoopSim, SettleReport, SimEvent, SimTrace};

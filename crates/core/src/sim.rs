@@ -6,6 +6,7 @@ use crate::config::{Fidelity, OscillatorConfig};
 use crate::detector::{AmplitudeDetector, RECTIFIER_GAIN};
 use crate::envelope::EnvelopeModel;
 use crate::gm_driver::GmDriver;
+use crate::multirate::{ModeStats, MultiRateController, RateMode};
 use crate::oscillator::{OscillatorModel, OscillatorState};
 use crate::regulator::{RegulationAction, RegulationFsm};
 use crate::startup::StartupSequencer;
@@ -141,6 +142,16 @@ pub struct ClosedLoopSim {
     noise_rng: StdRng,
     tracer: Trace,
     regulating_logged: bool,
+    /// Multi-rate fidelity hand-off state machine.
+    rate: MultiRateController,
+    /// Multi-rate: which representation currently owns the dynamic state.
+    /// Trails [`MultiRateController::mode`] by at most the gap between an
+    /// externally armed event (fault injection between ticks) and the next
+    /// tick's hand-off.
+    live: RateMode,
+    /// Multi-rate: whether the previous tick stepped the code (the loop is
+    /// actively ramping, so threshold approaches get a cycle guard).
+    code_stepped_last_tick: bool,
 }
 
 impl ClosedLoopSim {
@@ -186,13 +197,23 @@ impl ClosedLoopSim {
     /// Returns [`crate::CoreError::InvalidConfig`] when the configuration
     /// fails validation.
     pub fn new_unchecked(cfg: OscillatorConfig) -> Result<Self> {
+        let mut cfg = cfg;
         cfg.validate()?;
+        // The LCOSC_FIDELITY hatch pins every simulation in the process to
+        // one fidelity — the triage lever for multi-rate divergences,
+        // mirroring LCOSC_SOLVER on the circuit side.
+        if let Some(forced) = crate::config::fidelity_forced() {
+            cfg.fidelity = forced;
+        }
         let driver = GmDriver::new(cfg.driver_shape, 0.0);
         let model = OscillatorModel::new(cfg.tank, driver, cfg.vref).with_rails(cfg.vdd);
         let envelope = EnvelopeModel::new(cfg.tank, driver).with_clamp(cfg.rail_clamp());
         let det_dt = match cfg.fidelity {
             Fidelity::Cycle => cfg.dt(),
-            Fidelity::Envelope => cfg.tick_period / cfg.envelope_substeps as f64,
+            // Multi-rate starts (and mostly lives) on the envelope grid.
+            Fidelity::Envelope | Fidelity::MultiRate => {
+                cfg.tick_period / cfg.envelope_substeps as f64
+            }
         };
         let detector = AmplitudeDetector::new(
             cfg.target_peak(),
@@ -220,6 +241,9 @@ impl ClosedLoopSim {
             noise_rng: StdRng::seed_from_u64(cfg.noise_seed),
             tracer: Trace::off(),
             regulating_logged: false,
+            rate: MultiRateController::new(cfg.multirate),
+            live: RateMode::Envelope,
+            code_stepped_last_tick: false,
             cfg,
         };
         sim.refresh_waveform_dt();
@@ -311,7 +335,17 @@ impl ClosedLoopSim {
         match self.cfg.fidelity {
             Fidelity::Envelope => self.amp,
             Fidelity::Cycle => self.detector.vdc1() / RECTIFIER_GAIN,
+            Fidelity::MultiRate => match self.live {
+                RateMode::Envelope => self.amp,
+                RateMode::Cycle => self.detector.vdc1() / RECTIFIER_GAIN,
+            },
         }
+    }
+
+    /// Multi-rate per-mode work statistics (all-zero in the single-fidelity
+    /// modes — no hand-offs ever happen there).
+    pub fn mode_stats(&self) -> ModeStats {
+        self.rate.stats()
     }
 
     /// Current differential peak-to-peak amplitude estimate.
@@ -356,6 +390,17 @@ impl ClosedLoopSim {
     pub fn force_code(&mut self, code: Code) {
         self.fsm.set_code(code);
         self.apply_code(code);
+        self.arm_guard();
+    }
+
+    /// Multi-rate only: reports a guard event to the hand-off controller.
+    /// The actual envelope→cycle hand-off is deferred to the next fidelity
+    /// decision point (tick start), so external events between ticks —
+    /// fault injections, forced codes — are safe to report from anywhere.
+    fn arm_guard(&mut self) {
+        if self.cfg.fidelity == Fidelity::MultiRate {
+            self.rate.arm();
+        }
     }
 
     /// Kills both driver stages (hard internal failure).
@@ -372,6 +417,7 @@ impl ClosedLoopSim {
     fn emit_fault_injected(&mut self) {
         let tick = self.fsm.ticks();
         self.tracer.emit(|| TraceEvent::FaultInjected { tick });
+        self.arm_guard();
     }
 
     /// Adds a leak conductance at a pin (0 = LC1, 1 = LC2); cycle mode only
@@ -460,6 +506,9 @@ impl ClosedLoopSim {
                     k += 1;
                 }
             }
+            Fidelity::MultiRate => {
+                window = self.multirate_dynamics(tick_end);
+            }
         }
 
         // Measurement noise perturbs the comparator decision (comparator
@@ -500,7 +549,11 @@ impl ClosedLoopSim {
                 to: after,
             });
             self.apply_code(after);
+            if self.cfg.fidelity == Fidelity::MultiRate {
+                self.rate.on_code_step(before, after);
+            }
         }
+        self.code_stepped_last_tick = after != before;
         // The SimEvent stream keeps its historical cadence (one event per
         // tick actively pinned at the top stop); the latched FSM flag is
         // what the safety path samples.
@@ -512,10 +565,15 @@ impl ClosedLoopSim {
         if self.fsm.saturated_high() && !sat_before.1 {
             self.tracer
                 .emit(|| TraceEvent::Saturated { tick, high: true });
+            self.arm_guard();
         }
         if self.fsm.saturated_low() && !sat_before.0 {
             self.tracer
                 .emit(|| TraceEvent::Saturated { tick, high: false });
+            self.arm_guard();
+        }
+        if self.cfg.fidelity == Fidelity::MultiRate {
+            self.close_multirate_tick();
         }
 
         self.trace.tick_times.push(self.t);
@@ -547,6 +605,173 @@ impl ClosedLoopSim {
                     }
                 }
             }
+        }
+    }
+
+    /// Multi-rate: runs one tick's dynamics, handing fidelity back and
+    /// forth around events. Envelope substeps by default; a window-state
+    /// crossing is localized by bisection inside its substep and the rest
+    /// of the tick runs cycle-accurately; a tick entered with the guard
+    /// armed runs cycle-accurately throughout.
+    fn multirate_dynamics(&mut self, tick_end: f64) -> WindowState {
+        // Perform a hand-off decided since the last fidelity decision
+        // point (fault injection between ticks, a segment-boundary code
+        // step at the previous tick boundary).
+        if self.rate.mode() == RateMode::Cycle && self.live == RateMode::Envelope {
+            self.enter_cycle_from_envelope();
+        }
+        // While the loop is actively ramping, don't let the envelope model
+        // decide a tick that starts close to a comparator threshold.
+        if self.live == RateMode::Envelope && self.code_stepped_last_tick && self.near_threshold() {
+            self.rate.arm();
+            self.enter_cycle_from_envelope();
+        }
+        if self.live == RateMode::Cycle {
+            let (window, class_changed) = self.run_cycle_span(tick_end);
+            if class_changed {
+                self.rate.arm();
+            }
+            return window;
+        }
+        // Envelope substeps with mid-tick event localization.
+        let substeps = self.cfg.envelope_substeps;
+        let h = self.cfg.tick_period / substeps as f64;
+        let mut window = self.detector.state();
+        for _ in 0..substeps {
+            let class_before = self.detector.state();
+            let a_before = self.amp;
+            let det_before = self.detector.clone();
+            self.advance_startup(self.t + h);
+            self.amp = self.envelope.step(self.amp, h);
+            window = self.detector.update_from_amplitude(self.amp);
+            self.t += h;
+            if window != class_before {
+                // The crossing is somewhere inside this substep: rewind,
+                // localize it by bisection, commit the partial substep and
+                // hand the rest of the tick to cycle fidelity.
+                self.amp = a_before;
+                self.detector = det_before;
+                self.t -= h;
+                let s = self.bisect_crossing(a_before, h, class_before);
+                self.detector.retime(s);
+                self.amp = self.envelope.step(a_before, s);
+                // Advance the filter over the partial substep; the tick's
+                // classification comes from the cycle span that follows.
+                self.detector.update_from_amplitude(self.amp);
+                self.t += s;
+                self.rate.note_bisection();
+                self.rate.arm();
+                self.enter_cycle_from_envelope();
+                let (w, _) = self.run_cycle_span(tick_end);
+                return w;
+            }
+        }
+        window
+    }
+
+    /// Whether the detector output starts this tick within the boundary
+    /// margin of either comparator threshold.
+    fn near_threshold(&self) -> bool {
+        let margin = self.cfg.multirate.boundary_margin;
+        if margin <= 0.0 {
+            return false;
+        }
+        let vdc1 = self.detector.vdc1();
+        let w = self.detector.window();
+        let band = margin * 0.5 * (w.low() + w.high());
+        (vdc1 - w.low()).abs() <= band || (vdc1 - w.high()).abs() <= band
+    }
+
+    /// Finds where inside an envelope substep of width `h` the window
+    /// classification first leaves `class0`, by bisection on the substep
+    /// fraction (`VDC1` moves one way through a substep, so 20 halvings
+    /// localize the crossing to h/10⁶). Returns the partial-step size to
+    /// commit — the earliest fraction known to have crossed.
+    fn bisect_crossing(&self, a0: f64, h: f64, class0: WindowState) -> f64 {
+        let mut lo = 0.0_f64;
+        let mut hi = h;
+        for _ in 0..20 {
+            let mid = 0.5 * (lo + hi);
+            if !(mid > lo && mid < hi) {
+                break;
+            }
+            let mut det = self.detector.clone();
+            det.retime(mid);
+            let class = det.update_from_amplitude(self.envelope.step(a0, mid));
+            if class == class0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        hi
+    }
+
+    /// Runs cycle-accurate dynamics up to `t_end`; returns the final window
+    /// classification and whether it changed inside the span. The envelope
+    /// amplitude keeps shadowing the span — envelope re-entry compares it
+    /// against the cycle-measured amplitude.
+    fn run_cycle_span(&mut self, t_end: f64) -> (WindowState, bool) {
+        let span = t_end - self.t;
+        let mut window = self.detector.state();
+        if span <= 0.0 {
+            return (window, false);
+        }
+        let entry_class = window;
+        let mut changed = false;
+        let dt = self.cfg.dt();
+        while self.t < t_end {
+            self.advance_startup(self.t + dt);
+            self.model.step(&mut self.state, dt, &mut self.scratch);
+            window = self.detector.update(self.state.v1, self.state.v2);
+            self.t += dt;
+            changed |= window != entry_class;
+        }
+        self.amp = self.envelope.step(self.amp, span);
+        (window, changed)
+    }
+
+    /// Envelope→cycle hand-off: seeds the oscillator at the peak of the
+    /// differential swing implied by the envelope amplitude (each pin's
+    /// share is inverse to its capacitance — the same series current flows
+    /// through both), and re-discretizes the detector onto the ODE grid.
+    fn enter_cycle_from_envelope(&mut self) {
+        let c1 = self.cfg.tank.c1().value();
+        let c2 = self.cfg.tank.c2().value();
+        let a = self.amp;
+        self.state = OscillatorState {
+            v1: self.cfg.vref + 2.0 * a * c2 / (c1 + c2),
+            v2: self.cfg.vref - 2.0 * a * c1 / (c1 + c2),
+            il: 0.0,
+        };
+        self.detector.retime(self.cfg.dt());
+        self.live = RateMode::Cycle;
+    }
+
+    /// Cycle→envelope hand-off: adopts the cycle-measured amplitude as the
+    /// envelope state (re-calibrating away any envelope model drift) and
+    /// re-discretizes the detector onto the envelope substep grid.
+    fn enter_envelope_from_cycle(&mut self) {
+        self.amp = (self.detector.vdc1() / RECTIFIER_GAIN).max(0.0);
+        self.detector
+            .retime(self.cfg.tick_period / self.cfg.envelope_substeps as f64);
+        self.live = RateMode::Envelope;
+    }
+
+    /// Multi-rate tick epilogue: computes the envelope-shadow agreement and
+    /// lets the controller decide envelope re-entry. The absolute floor on
+    /// the comparison scale keeps a dead oscillator (both amplitudes ≈ 0)
+    /// from failing a relative test against noise-level values.
+    fn close_multirate_tick(&mut self) {
+        let agree = if self.rate.mode() == RateMode::Cycle {
+            let meas = (self.detector.vdc1() / RECTIFIER_GAIN).max(0.0);
+            let floor = 0.02 * self.cfg.target_peak();
+            (self.amp - meas).abs() <= self.cfg.multirate.handoff_rel_tol * meas.max(floor)
+        } else {
+            true
+        };
+        if self.rate.finish_tick(agree) {
+            self.enter_envelope_from_cycle();
         }
     }
 
@@ -880,6 +1105,60 @@ mod tests {
     fn zero_stride_is_rejected() {
         let mut sim = ClosedLoopSim::new(cycle_cfg()).unwrap();
         sim.set_record_stride(0);
+    }
+
+    fn multirate_cfg() -> OscillatorConfig {
+        let mut cfg = cycle_cfg();
+        cfg.fidelity = Fidelity::MultiRate;
+        cfg
+    }
+
+    #[test]
+    fn multirate_reproduces_the_cycle_code_trajectory() {
+        // The whole point of the multi-rate engine: the discrete outcomes
+        // (per-tick codes) match a full cycle-fidelity run exactly.
+        let mut mr = ClosedLoopSim::new(multirate_cfg()).unwrap();
+        let mut cyc = ClosedLoopSim::new(cycle_cfg()).unwrap();
+        mr.run_ticks(40);
+        cyc.run_ticks(40);
+        assert_eq!(mr.trace().codes, cyc.trace().codes);
+    }
+
+    #[test]
+    fn multirate_spends_most_ticks_in_envelope_mode() {
+        let mut sim = ClosedLoopSim::new(multirate_cfg()).unwrap();
+        sim.run_ticks(60);
+        let stats = sim.mode_stats();
+        assert!(stats.mode_switches >= 2, "{stats:?}");
+        assert!(stats.envelope_permille() >= 600, "{stats:?}");
+        assert_eq!(stats.envelope_ticks + stats.cycle_ticks, 60);
+    }
+
+    #[test]
+    fn multirate_fault_collapse_matches_cycle_saturation_tick() {
+        let mut mr = ClosedLoopSim::new(multirate_cfg()).unwrap();
+        let mut cyc = ClosedLoopSim::new(cycle_cfg()).unwrap();
+        // 120 post-fault ticks: enough to ramp from the settled code
+        // (≈36 on the fast-test tank) all the way to the top stop.
+        for sim in [&mut mr, &mut cyc] {
+            sim.run_until_settled().unwrap();
+            sim.inject_driver_failure();
+            sim.run_ticks(120);
+        }
+        assert_eq!(mr.code(), Code::MAX);
+        assert_eq!(mr.code(), cyc.code());
+        assert_eq!(mr.saturated_high(), cyc.saturated_high());
+        // A fault run still spends the quiet saturated tail in envelope
+        // mode — that's where the long-horizon speedup comes from.
+        let stats = mr.mode_stats();
+        assert!(stats.envelope_permille() >= 500, "{stats:?}");
+    }
+
+    #[test]
+    fn single_fidelity_modes_report_zero_mode_stats() {
+        let mut sim = ClosedLoopSim::new(OscillatorConfig::fast_test()).unwrap();
+        sim.run_ticks(20);
+        assert_eq!(sim.mode_stats(), crate::multirate::ModeStats::default());
     }
 
     #[test]

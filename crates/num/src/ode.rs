@@ -61,6 +61,131 @@ pub fn rk4_step<S: OdeSystem + ?Sized>(
     }
 }
 
+/// Outcome of one attempted adaptive step, as judged by a
+/// [`StepController`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepDecision {
+    /// Error test passed: commit the step, then try `h_next`.
+    Accept {
+        /// Proposed size for the next step.
+        h_next: f64,
+    },
+    /// Error test failed: retry the same interval with `h_next`.
+    Reject {
+        /// Shrunken size for the retry.
+        h_next: f64,
+    },
+    /// The error test failed at the minimum permitted step — the
+    /// integration cannot proceed. Callers must surface this as
+    /// [`NumError::StepStall`] rather than silently clamping.
+    Stall,
+}
+
+/// Proportional embedded-pair step-size controller.
+///
+/// Shared by [`rkf45_adaptive`] and the MNA adaptive transient path: both
+/// produce a per-step local-truncation-error estimate and ask the
+/// controller to accept or reject the step and propose the next size.
+/// The accept boundary is exact (`err <= tol` in floating point); a step
+/// whose error test fails at `h <= h_min` is a [`StepDecision::Stall`],
+/// never a silent acceptance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepController {
+    tol: f64,
+    h_min: f64,
+    h_max: f64,
+    /// Exponent of the proportional update, `1 / (order + 1)` for an
+    /// embedded pair whose lower member has the given order.
+    exponent: f64,
+}
+
+/// Growth/shrink clamp of the proportional update (classic RKF values).
+const STEP_SCALE_MIN: f64 = 0.2;
+const STEP_SCALE_MAX: f64 = 4.0;
+/// Safety factor applied to the proportional step update.
+const STEP_SAFETY: f64 = 0.9;
+
+impl StepController {
+    /// Creates a controller for an embedded pair whose lower-order member
+    /// has order `order` (4 for RKF4(5), 1 for the TR/BE pair of the MNA
+    /// transient).
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::InvalidInput`] unless `tol > 0`, `0 < h_min <= h_max`
+    /// and `order >= 1`, all finite.
+    pub fn new(tol: f64, h_min: f64, h_max: f64, order: u32) -> Result<Self> {
+        if !(tol > 0.0) || !tol.is_finite() {
+            return Err(NumError::InvalidInput("tolerance must be positive"));
+        }
+        if !(h_min > 0.0) || !h_min.is_finite() {
+            return Err(NumError::InvalidInput("minimum step must be positive"));
+        }
+        if !(h_max >= h_min) || !h_max.is_finite() {
+            return Err(NumError::InvalidInput("maximum step must be >= minimum"));
+        }
+        if order == 0 {
+            return Err(NumError::InvalidInput("pair order must be >= 1"));
+        }
+        Ok(StepController {
+            tol,
+            h_min,
+            h_max,
+            exponent: 1.0 / (f64::from(order) + 1.0),
+        })
+    }
+
+    /// Error tolerance of the controller.
+    pub fn tol(&self) -> f64 {
+        self.tol
+    }
+
+    /// Minimum permitted step.
+    pub fn h_min(&self) -> f64 {
+        self.h_min
+    }
+
+    /// Maximum permitted step.
+    pub fn h_max(&self) -> f64 {
+        self.h_max
+    }
+
+    /// Clamps a proposed initial step into the controller's `[h_min,
+    /// h_max]` range.
+    pub fn clamp(&self, h: f64) -> f64 {
+        h.clamp(self.h_min, self.h_max)
+    }
+
+    /// Judges one attempted step of size `h` with local-error estimate
+    /// `err` (infinity norm). A non-finite `err` counts as a rejection
+    /// with a hard 5× shrink; a failing error test at `h <= h_min` is a
+    /// [`StepDecision::Stall`].
+    pub fn decide(&self, h: f64, err: f64) -> StepDecision {
+        if !err.is_finite() {
+            if h <= self.h_min {
+                return StepDecision::Stall;
+            }
+            return StepDecision::Reject {
+                h_next: (h * STEP_SCALE_MIN).max(self.h_min),
+            };
+        }
+        let scale = if err > 0.0 {
+            (STEP_SAFETY * (self.tol / err).powf(self.exponent))
+                .clamp(STEP_SCALE_MIN, STEP_SCALE_MAX)
+        } else {
+            STEP_SCALE_MAX
+        };
+        let h_next = (h * scale).clamp(self.h_min, self.h_max);
+        if err <= self.tol {
+            StepDecision::Accept { h_next }
+        } else if h <= self.h_min {
+            StepDecision::Stall
+        } else {
+            StepDecision::Reject { h_next }
+        }
+    }
+}
+
 /// Result of an adaptive integration run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AdaptiveRun {
@@ -83,8 +208,9 @@ pub struct AdaptiveRun {
 ///
 /// Returns [`NumError::InvalidInput`] if the time span, tolerance or initial
 /// state is degenerate (non-finite, `t1 <= t0`, `tol <= 0`), and
-/// [`NumError::NoConvergence`] if the step size underflows (stiff or
-/// discontinuous system, or derivatives that turn non-finite mid-run).
+/// [`NumError::StepStall`] if the error test still fails at the minimum
+/// step size (stiff or discontinuous system, or derivatives that turn
+/// non-finite mid-run).
 pub fn rkf45_adaptive<S: OdeSystem + ?Sized>(
     sys: &S,
     t0: f64,
@@ -143,23 +269,17 @@ pub fn rkf45_adaptive<S: OdeSystem + ?Sized>(
 
     let mut x = x0.to_vec();
     let mut t = t0;
-    let mut h = (t1 - t0) / 100.0;
-    let h_min = (t1 - t0) * 1e-14;
+    let controller = StepController::new(tol, (t1 - t0) * 1e-14, t1 - t0, 4)?;
+    let mut h = controller.clamp((t1 - t0) / 100.0);
     let mut k = vec![vec![0.0; n]; 6];
     let mut xt = vec![0.0; n];
     let mut accepted = 0usize;
     let mut rejected = 0usize;
 
     while t < t1 {
-        if h < h_min {
-            return Err(NumError::NoConvergence {
-                iterations: accepted + rejected,
-                residual: h,
-            });
-        }
-        if t + h > t1 {
-            h = t1 - t;
-        }
+        // The final step is shortened to land exactly on t1; the error
+        // test still applies to it (a short step only lowers the error).
+        let h_try = h.min(t1 - t);
         // Stage evaluations.
         sys.derivatives(t, &x, &mut k[0]);
         for s in 1..6 {
@@ -168,11 +288,11 @@ pub fn rkf45_adaptive<S: OdeSystem + ?Sized>(
                 for (j, kj) in k.iter().enumerate().take(s) {
                     acc += A[s - 1][j] * kj[i];
                 }
-                xt[i] = x[i] + h * acc;
+                xt[i] = x[i] + h_try * acc;
             }
             let (head, tail) = k.split_at_mut(s);
             let _ = head;
-            sys.derivatives(t + C[s] * h, &xt, &mut tail[0]);
+            sys.derivatives(t + C[s] * h_try, &xt, &mut tail[0]);
         }
         // Error estimate: |x5 - x4|.
         let mut err = 0.0f64;
@@ -183,37 +303,33 @@ pub fn rkf45_adaptive<S: OdeSystem + ?Sized>(
                 d4 += B4[s] * ks[i];
                 d5 += B5[s] * ks[i];
             }
-            err = err.max((h * (d5 - d4)).abs());
+            err = err.max((h_try * (d5 - d4)).abs());
         }
-        // A non-finite error estimate (NaN/Inf derivatives) must count as a
-        // rejection with a shrinking step; the old `err > 0.0` branch would
-        // otherwise *grow* the step forever and never terminate.
-        if !err.is_finite() {
-            rejected += 1;
-            h *= 0.2;
-            continue;
-        }
-        if err <= tol || h <= h_min * 2.0 {
-            // Accept with the 5th-order solution.
-            for i in 0..n {
-                let mut d5 = 0.0;
-                for (s, ks) in k.iter().enumerate() {
-                    d5 += B5[s] * ks[i];
+        match controller.decide(h_try, err) {
+            StepDecision::Accept { h_next } => {
+                // Accept with the 5th-order solution.
+                for i in 0..n {
+                    let mut d5 = 0.0;
+                    for (s, ks) in k.iter().enumerate() {
+                        d5 += B5[s] * ks[i];
+                    }
+                    x[i] += h_try * d5;
                 }
-                x[i] += h * d5;
+                t += h_try;
+                accepted += 1;
+                h = h_next;
             }
-            t += h;
-            accepted += 1;
-        } else {
-            rejected += 1;
+            StepDecision::Reject { h_next } => {
+                rejected += 1;
+                h = h_next;
+            }
+            StepDecision::Stall => {
+                return Err(NumError::StepStall {
+                    t,
+                    h_min: controller.h_min(),
+                });
+            }
         }
-        // Step-size update (clamped).
-        let scale = if err > 0.0 {
-            0.9 * (tol / err).powf(0.2)
-        } else {
-            4.0
-        };
-        h *= scale.clamp(0.2, 4.0);
     }
 
     Ok(AdaptiveRun {
@@ -388,12 +504,90 @@ mod tests {
     fn rkf45_terminates_with_error_when_derivatives_blow_up() {
         // Used to loop forever: a NaN error estimate fell into the
         // `err > 0.0 == false` branch, *growing* the step instead of
-        // shrinking it toward the h_min bail-out.
+        // shrinking it toward the h_min bail-out. Since the step-stall
+        // rework the failure is a typed `StepStall` at the pole (t = 1)
+        // rather than an untyped `NoConvergence`.
         let r = rkf45_adaptive(&FiniteTimeBlowup, 0.0, 2.0, &[1.0], 1e-9);
+        match r {
+            Err(NumError::StepStall { t, h_min }) => {
+                assert!((0.5..1.5).contains(&t), "stalled at t = {t}");
+                assert!(h_min > 0.0);
+            }
+            other => panic!("expected StepStall, got {other:?}"),
+        }
+    }
+
+    /// The next representable f64 above `v` (avoids relying on
+    /// `f64::next_up` stabilization).
+    fn next_up(v: f64) -> f64 {
+        f64::from_bits(v.to_bits() + 1)
+    }
+
+    #[test]
+    fn controller_accept_boundary_is_exact_in_floating_point() {
+        // Same style as the PR 8 `step_count` FP-boundary tests: the
+        // accept/reject boundary sits exactly at `err == tol`, with no
+        // epsilon slop in either direction.
+        let c = StepController::new(1e-9, 1e-15, 1.0, 4).unwrap();
         assert!(
-            matches!(r, Err(NumError::NoConvergence { .. })),
-            "expected NoConvergence, got {r:?}"
+            matches!(c.decide(1e-3, 1e-9), StepDecision::Accept { .. }),
+            "err == tol must accept"
         );
+        assert!(
+            matches!(c.decide(1e-3, next_up(1e-9)), StepDecision::Reject { .. }),
+            "one ulp above tol must reject"
+        );
+        // Zero error is the cleanest accept and proposes maximal growth.
+        match c.decide(1e-3, 0.0) {
+            StepDecision::Accept { h_next } => assert_eq!(h_next, 4e-3),
+            other => panic!("zero error must accept, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn controller_stalls_instead_of_silently_clamping() {
+        let c = StepController::new(1e-9, 1e-6, 1.0, 4).unwrap();
+        // A failing error test strictly above h_min shrinks toward it...
+        match c.decide(2e-6, 1.0) {
+            StepDecision::Reject { h_next } => {
+                assert!(h_next >= c.h_min(), "reject must respect h_min");
+                assert!(h_next < 2e-6, "reject must shrink");
+            }
+            other => panic!("expected Reject, got {other:?}"),
+        }
+        // ...and a failing error test *at* h_min is a stall, never an
+        // acceptance (the old controller accepted any step at h <= 2*h_min).
+        assert_eq!(c.decide(1e-6, 1.0), StepDecision::Stall);
+        assert_eq!(c.decide(1e-6, f64::NAN), StepDecision::Stall);
+        // Non-finite error above h_min is a hard 5x shrink, floored at h_min.
+        assert_eq!(
+            c.decide(3e-6, f64::NAN),
+            StepDecision::Reject { h_next: 1e-6 }
+        );
+    }
+
+    #[test]
+    fn controller_rejects_degenerate_construction() {
+        assert!(StepController::new(0.0, 1e-12, 1.0, 4).is_err());
+        assert!(StepController::new(1e-9, 0.0, 1.0, 4).is_err());
+        assert!(StepController::new(1e-9, 1.0, 0.5, 4).is_err());
+        assert!(StepController::new(1e-9, 1e-12, 1.0, 0).is_err());
+        assert!(StepController::new(f64::NAN, 1e-12, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn controller_growth_and_shrink_are_clamped() {
+        let c = StepController::new(1e-6, 1e-12, 1e-2, 1).unwrap();
+        // Tiny error: growth clamps at 4x, then at h_max.
+        match c.decide(5e-3, 1e-30) {
+            StepDecision::Accept { h_next } => assert_eq!(h_next, 1e-2),
+            other => panic!("expected clamped accept, got {other:?}"),
+        }
+        // Huge error: shrink clamps at 0.2x.
+        match c.decide(5e-3, 1e6) {
+            StepDecision::Reject { h_next } => assert_eq!(h_next, 1e-3),
+            other => panic!("expected clamped reject, got {other:?}"),
+        }
     }
 
     #[test]

@@ -4,9 +4,9 @@
 
 use crate::detectors::DetectorKind;
 use crate::fault::Fault;
-use crate::scenario::{run_scenario, ScenarioResult};
+use crate::scenario::{run_scenario_mission, ScenarioResult, SCENARIO_POST_FAULT_TICKS};
 use lcosc_campaign::{CampaignBatch, CampaignStats, Json};
-use lcosc_core::config::OscillatorConfig;
+use lcosc_core::config::{Fidelity, OscillatorConfig};
 use lcosc_core::Result;
 
 /// One row of the FMEA matrix.
@@ -47,6 +47,21 @@ impl FmeaReport {
         Self::run_with_threads(base, 1).map(|run| run.report)
     }
 
+    /// [`FmeaReport::run`] with the analysis fidelity pinned explicitly
+    /// instead of the multi-rate scenario default. The paper's sign-off
+    /// table is a describing-function result — [`Fidelity::Envelope`]
+    /// reproduces it — while [`Fidelity::Cycle`] / [`Fidelity::MultiRate`]
+    /// report cycle-truth verdicts, which differ on some operating points
+    /// (see `DESIGN.md` §14). The `LCOSC_FIDELITY` env hatch still
+    /// overrides whatever is passed here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation setup errors.
+    pub fn run_at(base: &OscillatorConfig, fidelity: Fidelity) -> Result<Self> {
+        Self::run_campaign(base, 1, &lcosc_trace::Trace::off(), fidelity).map(|run| run.report)
+    }
+
     /// Runs the full fault catalog as a parallel campaign on `threads`
     /// worker threads (`1` = serial in-line execution, `0` = all cores).
     ///
@@ -82,6 +97,24 @@ impl FmeaReport {
         threads: usize,
         tracer: &lcosc_trace::Trace,
     ) -> Result<FmeaRun> {
+        Self::run_campaign(base, threads, tracer, Fidelity::MultiRate)
+    }
+
+    /// The campaign body shared by every entry point: `fidelity` selects
+    /// the analysis level each fault scenario runs at.
+    fn run_campaign(
+        base: &OscillatorConfig,
+        threads: usize,
+        tracer: &lcosc_trace::Trace,
+        fidelity: Fidelity,
+    ) -> Result<FmeaRun> {
+        // One precheck for the whole matrix: every fault scenario shares
+        // `base`, so this is equivalent to the per-scenario check the
+        // serial `run_scenario` path performs.
+        let report = crate::scenario::check_scenario(base);
+        if report.has_errors() {
+            return Err(lcosc_core::CoreError::CheckFailed(report));
+        }
         // Scheduled through the batched campaign layer with a uniform
         // group key: every fault scenario shares the catalog's structure,
         // so the whole matrix forms one batch (chunked at the width cap).
@@ -97,7 +130,14 @@ impl FmeaReport {
                     faults
                         .iter()
                         .map(|&&fault| {
-                            run_scenario(fault, base).map(|result| FmeaEntry {
+                            run_scenario_mission(
+                                fault,
+                                base,
+                                &lcosc_trace::Trace::off(),
+                                fidelity,
+                                SCENARIO_POST_FAULT_TICKS,
+                            )
+                            .map(|result| FmeaEntry {
                                 safe: result.is_safe(),
                                 result,
                             })

@@ -79,10 +79,11 @@ pub fn check_scenario(cfg: &OscillatorConfig) -> lcosc_check::Report {
     report
 }
 
-/// Runs one fault scenario on the given base configuration (envelope
-/// fidelity is forced for speed; the waveform-level detector variants are
-/// validated separately in cycle-fidelity integration tests), after
-/// pre-checking the configuration and safety invariants.
+/// Runs one fault scenario on the given base configuration (multi-rate
+/// fidelity is forced for speed — envelope dynamics between events, cycle
+/// fidelity in guard windows around them; the `multirate_differential`
+/// integration test proves the discrete outcomes match full-fidelity
+/// runs), after pre-checking the configuration and safety invariants.
 ///
 /// # Errors
 ///
@@ -107,6 +108,11 @@ pub fn run_scenario_unchecked(fault: Fault, base: &OscillatorConfig) -> Result<S
     run_scenario_with_trace(fault, base, &Trace::off())
 }
 
+/// Regulation ticks a scenario observes after the fault injection (the
+/// missing-clock time-out is ~100 µs, the regulation saturation takes
+/// tens of ticks).
+pub const SCENARIO_POST_FAULT_TICKS: usize = 150;
+
 /// [`run_scenario_unchecked`] with full observability: the simulation's
 /// regulation loop emits its per-tick event stream into `tracer`, and each
 /// detector that fires adds a [`TraceEvent::DetectorTrip`] whose
@@ -121,8 +127,39 @@ pub fn run_scenario_with_trace(
     base: &OscillatorConfig,
     tracer: &Trace,
 ) -> Result<ScenarioResult> {
+    // Multi-rate by default: envelope fidelity between events, cycle
+    // fidelity inside guard windows around fault injection, detector
+    // threshold crossings and segment-boundary code steps. The
+    // `LCOSC_FIDELITY` hatch (resolved inside the sim constructor) pins
+    // the run to a single fidelity for divergence triage.
+    run_scenario_mission(
+        fault,
+        base,
+        tracer,
+        Fidelity::MultiRate,
+        SCENARIO_POST_FAULT_TICKS,
+    )
+}
+
+/// The fully explicit scenario runner: `fidelity` selects the simulation
+/// engine (the `LCOSC_FIDELITY` hatch still wins, as everywhere) and
+/// `post_fault_ticks` sets the observation horizon after the injection —
+/// the multi-rate benchmark stretches it into a long mission profile and
+/// runs the same fault once per fidelity to compare wall-clock at pinned
+/// discrete outcomes.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the simulation setup.
+pub fn run_scenario_mission(
+    fault: Fault,
+    base: &OscillatorConfig,
+    tracer: &Trace,
+    fidelity: Fidelity,
+    post_fault_ticks: usize,
+) -> Result<ScenarioResult> {
     let mut cfg = base.clone();
-    cfg.fidelity = Fidelity::Envelope;
+    cfg.fidelity = fidelity;
     let mut sim = ClosedLoopSim::new_unchecked(cfg.clone())?.with_trace(tracer.clone());
 
     // Settle at the healthy operating point.
@@ -149,9 +186,8 @@ pub fn run_scenario_with_trace(
         }
     }
 
-    // Let the loop react (the missing-clock time-out is ~100 µs, the
-    // regulation saturation takes tens of ticks).
-    sim.run_ticks(150);
+    // Let the loop react over the requested observation horizon.
+    sim.run_ticks(post_fault_ticks);
 
     // Evaluate the three on-chip detectors on the post-fault state.
     let vpp = sim.amplitude_vpp();
@@ -267,11 +303,18 @@ mod tests {
     }
 
     #[test]
-    fn coil_short_detected() {
+    fn coil_short_compensated_or_detected() {
+        // Collapsed inductance multiplies the critical gm ~12x. Under the
+        // envelope (describing-function) approximation the loop saturates
+        // and amplitude collapses; full cycle fidelity shows the
+        // current-limited driver instead sustains a relaxation-style
+        // oscillation on the overdamped tank that the loop regulates back
+        // into the amplitude window. Both outcomes are safe: a detection,
+        // or regulation within authority. The multi-rate runner is required
+        // to reproduce whichever the cycle-accurate model produces (see
+        // tests/multirate_differential.rs), so this test accepts either.
         let r = run_scenario(Fault::CoilShort, &base()).unwrap();
-        // Collapsed inductance multiplies the critical gm ~12x: the loop
-        // saturates and/or amplitude falls.
-        assert!(r.detected, "{r:?}");
+        assert!(r.is_safe(), "{r:?}");
     }
 
     #[test]

@@ -59,6 +59,13 @@ pub fn execute(request: &Request) -> Result<Json, String> {
                     Json::from(stats.symbolic_analyses as i64),
                 ),
                 ("symbolic_reuses", Json::from(stats.symbolic_reuses as i64)),
+                ("steps_accepted", Json::from(stats.steps_accepted as i64)),
+                ("steps_rejected", Json::from(stats.steps_rejected as i64)),
+                ("mode_switches", Json::from(stats.mode_switches as i64)),
+                (
+                    "envelope_permille",
+                    Json::from(stats.envelope_permille as i64),
+                ),
                 (
                     "final_time",
                     Json::from(result.times().last().copied().unwrap_or(0.0)),

@@ -37,9 +37,14 @@ fn deadline_overrun_times_out_and_frees_the_worker_slot() {
     let slow = engine.submit_line(&slow_request(1)).wait();
     assert!(slow.contains("\"status\":\"timeout\""), "{slow}");
     assert!(slow.contains("deadline exceeded"), "{slow}");
-    // The single worker slot must be free again: a quick request completes.
+    // The single worker slot must be free again: a quick request
+    // completes. A 10-step linear transient stays far under the 50 ms
+    // deadline (a fault scenario no longer does: multi-rate guard
+    // windows around the injection pay real cycle-fidelity work).
     let quick = engine
-        .submit_line(r#"{"id":2,"kind":"scenario","fault":"open_coil"}"#)
+        .submit_line(
+            r#"{"id":2,"kind":"transient","deck":{"elements":[{"kind":"vsource","p":"in","n":"gnd","wave":{"type":"dc","value":1.0}},{"kind":"resistor","a":"in","b":"gnd","ohms":50.0}]},"dt":1e-6,"t_end":1e-5}"#,
+        )
         .wait();
     assert!(quick.contains("\"status\":\"ok\""), "{quick}");
     let counters = engine.counters();

@@ -260,6 +260,19 @@ pub enum TraceEvent {
         symbolic_analyses: u64,
         /// Sparse runs that reused a cached symbolic analysis.
         symbolic_reuses: u64,
+        /// Adaptive steps accepted by the LTE controller (0 on fixed-grid
+        /// runs).
+        steps_accepted: u64,
+        /// Adaptive steps rejected by the LTE controller (0 on fixed-grid
+        /// runs).
+        steps_rejected: u64,
+        /// Envelope↔cycle fidelity hand-offs performed by the multi-rate
+        /// engine (0 on single-fidelity runs).
+        mode_switches: u64,
+        /// Fraction of simulated time spent in envelope fidelity, in
+        /// permille (integer so the stream stays byte-stable; 0 on
+        /// single-fidelity runs).
+        envelope_permille: u64,
     },
     /// One request served by the batch simulation service, recorded in
     /// completion-index order. Deterministic: the payload is the request's
@@ -371,10 +384,14 @@ impl TraceEvent {
                 batched_lanes,
                 symbolic_analyses,
                 symbolic_reuses,
+                steps_accepted,
+                steps_rejected,
+                mode_switches,
+                envelope_permille,
             } => {
                 let _ = write!(
                     s,
-                    r#"{{"ev":"solver_stats","steps":{steps},"newton_iterations":{newton_iterations},"factorizations":{factorizations},"factor_reuses":{factor_reuses},"post_warmup_allocations":{post_warmup_allocations},"batched_lanes":{batched_lanes},"symbolic_analyses":{symbolic_analyses},"symbolic_reuses":{symbolic_reuses}}}"#
+                    r#"{{"ev":"solver_stats","steps":{steps},"newton_iterations":{newton_iterations},"factorizations":{factorizations},"factor_reuses":{factor_reuses},"post_warmup_allocations":{post_warmup_allocations},"batched_lanes":{batched_lanes},"symbolic_analyses":{symbolic_analyses},"symbolic_reuses":{symbolic_reuses},"steps_accepted":{steps_accepted},"steps_rejected":{steps_rejected},"mode_switches":{mode_switches},"envelope_permille":{envelope_permille}}}"#
                 );
             }
             TraceEvent::ServeRequest {
@@ -474,6 +491,10 @@ mod tests {
                 batched_lanes: 4,
                 symbolic_analyses: 1,
                 symbolic_reuses: 0,
+                steps_accepted: 8,
+                steps_rejected: 2,
+                mode_switches: 4,
+                envelope_permille: 900,
             },
             TraceEvent::ServeRequest {
                 index: 0,

@@ -133,6 +133,16 @@ pub struct TraceMetrics {
     pub solver_symbolic_analyses: u64,
     /// Cached-symbolic-analysis reuses across all reported solves.
     pub solver_symbolic_reuses: u64,
+    /// Adaptive steps accepted across all reported solves (0 when every
+    /// solve ran on a fixed grid).
+    pub solver_steps_accepted: u64,
+    /// Adaptive steps rejected across all reported solves.
+    pub solver_steps_rejected: u64,
+    /// Envelope↔cycle fidelity hand-offs across all reported solves.
+    pub solver_mode_switches: u64,
+    /// Sum of per-solve envelope-time permille values (divide by
+    /// [`TraceMetrics::solver_runs`] for the mean envelope fraction).
+    pub solver_envelope_permille: u64,
     /// Requests served by the batch service, by terminal status: ok,
     /// bad_request, timeout, overloaded, shutting_down, error (in the
     /// order of [`crate::event::ServeStatus`]).
@@ -210,6 +220,10 @@ impl TraceMetrics {
                 batched_lanes,
                 symbolic_analyses,
                 symbolic_reuses,
+                steps_accepted,
+                steps_rejected,
+                mode_switches,
+                envelope_permille,
             } => {
                 self.solver_runs += 1;
                 self.solver_steps += steps;
@@ -220,6 +234,10 @@ impl TraceMetrics {
                 self.solver_batched_lanes += batched_lanes;
                 self.solver_symbolic_analyses += symbolic_analyses;
                 self.solver_symbolic_reuses += symbolic_reuses;
+                self.solver_steps_accepted += steps_accepted;
+                self.solver_steps_rejected += steps_rejected;
+                self.solver_mode_switches += mode_switches;
+                self.solver_envelope_permille += envelope_permille;
             }
             TraceEvent::ServeRequest { status, .. } => {
                 self.serve_requests[serve_status_index(*status)] += 1;
@@ -279,7 +297,7 @@ impl TraceMetrics {
         );
         let _ = write!(
             s,
-            r#","solver":{{"runs":{},"steps":{},"newton_iterations":{},"factorizations":{},"factor_reuses":{},"post_warmup_allocations":{},"batched_lanes":{},"symbolic_analyses":{},"symbolic_reuses":{}}}"#,
+            r#","solver":{{"runs":{},"steps":{},"newton_iterations":{},"factorizations":{},"factor_reuses":{},"post_warmup_allocations":{},"batched_lanes":{},"symbolic_analyses":{},"symbolic_reuses":{},"steps_accepted":{},"steps_rejected":{},"mode_switches":{},"envelope_permille":{}}}"#,
             self.solver_runs,
             self.solver_steps,
             self.solver_newton_iterations,
@@ -288,7 +306,11 @@ impl TraceMetrics {
             self.solver_post_warmup_allocations,
             self.solver_batched_lanes,
             self.solver_symbolic_analyses,
-            self.solver_symbolic_reuses
+            self.solver_symbolic_reuses,
+            self.solver_steps_accepted,
+            self.solver_steps_rejected,
+            self.solver_mode_switches,
+            self.solver_envelope_permille
         );
         let _ = write!(
             s,
@@ -481,6 +503,10 @@ mod tests {
                 batched_lanes: 8,
                 symbolic_analyses: 1,
                 symbolic_reuses: 0,
+                steps_accepted: 80,
+                steps_rejected: 5,
+                mode_switches: 6,
+                envelope_permille: 950,
             });
         }
         assert_eq!(m.solver_runs, 2);
@@ -492,8 +518,12 @@ mod tests {
         assert_eq!(m.solver_batched_lanes, 16);
         assert_eq!(m.solver_symbolic_analyses, 2);
         assert_eq!(m.solver_symbolic_reuses, 0);
+        assert_eq!(m.solver_steps_accepted, 160);
+        assert_eq!(m.solver_steps_rejected, 10);
+        assert_eq!(m.solver_mode_switches, 12);
+        assert_eq!(m.solver_envelope_permille, 1900);
         assert!(m.render_json().contains(
-            r#""solver":{"runs":2,"steps":200,"newton_iterations":220,"factorizations":2,"factor_reuses":198,"post_warmup_allocations":0,"batched_lanes":16,"symbolic_analyses":2,"symbolic_reuses":0}"#
+            r#""solver":{"runs":2,"steps":200,"newton_iterations":220,"factorizations":2,"factor_reuses":198,"post_warmup_allocations":0,"batched_lanes":16,"symbolic_analyses":2,"symbolic_reuses":0,"steps_accepted":160,"steps_rejected":10,"mode_switches":12,"envelope_permille":1900}"#
         ));
     }
 }
