@@ -43,6 +43,7 @@ use lcosc_bench::cli::{parse_args, render_bench_list, Args, Cli, HELP};
 use lcosc_bench::csv::write_csv;
 use lcosc_bench::{
     ablation, batch_bench, figures, multirate_bench, prove_bench, serve_bench, sparse_bench,
+    spice_smoke,
 };
 use lcosc_campaign::{CampaignStats, Json};
 use lcosc_core::{ClosedLoopSim, OscillatorConfig};
@@ -245,6 +246,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         Cli::Run(args) => *args,
     };
+    // The `.sp` early-exit modes run before any campaign machinery: they
+    // answer one focused question (does this deck lint? do the fixtures
+    // agree? does the fuzzer find anything?) and stop.
+    if args.deck.is_some() || args.spice_smoke.is_some() || args.fuzz_smoke {
+        return run_spice_modes(&args);
+    }
+
     let capture = TraceCapture::from_args(&args);
     let tracer = capture
         .as_ref()
@@ -656,6 +664,76 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nall figures regenerated; see EXPERIMENTS.md for paper-vs-measured notes");
+    Ok(())
+}
+
+/// The `.sp` early-exit modes: `--deck`, `--spice-smoke`, `--fuzz-smoke`.
+/// Any combination runs in that order; the first failure is fatal.
+fn run_spice_modes(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(path) = &args.deck {
+        let outcome = spice_smoke::run_deck_file(path)?;
+        print!("{}", outcome.report.render_human());
+        if let Some(summary) = &outcome.transient {
+            println!("{summary}");
+        }
+        if outcome.report.has_errors() {
+            return Err(format!(
+                "{}: {} error(s) from lcosc-check",
+                path.display(),
+                outcome.report.error_count()
+            )
+            .into());
+        }
+    }
+    if let Some(dir) = &args.spice_smoke {
+        let cases = spice_smoke::run_spice_smoke(dir)?;
+        for case in &cases {
+            println!(
+                "spice smoke {}: {}",
+                case.name,
+                if case.identical {
+                    "spice and deck spellings byte-identical"
+                } else {
+                    "DIVERGED"
+                }
+            );
+        }
+        if let Some(bad) = cases.iter().find(|c| !c.identical) {
+            return Err(format!("spice smoke: {} responses diverged", bad.name).into());
+        }
+    }
+    if args.fuzz_smoke {
+        let cfg = lcosc_spice::FuzzConfig {
+            seed: args.fuzz_seed,
+            cases_per_surface: args.fuzz_cases,
+            step_budget: lcosc_spice::FuzzConfig::default().step_budget,
+        };
+        let report = spice_smoke::run_fuzz_smoke(&cfg);
+        write_text(&args.fuzz_out, &report.to_json(&cfg).render_pretty(2))?;
+        println!(
+            "fuzz smoke: {} cases ({} per surface), {} accepted, {} typed errors, digest {:016x} -> {}",
+            report.cases,
+            cfg.cases_per_surface,
+            report.accepted,
+            report.typed_errors,
+            report.digest,
+            args.fuzz_out.display(),
+        );
+        if report.panics > 0 || !report.failures.is_empty() {
+            for f in &report.failures {
+                eprintln!(
+                    "fuzz failure [{} case {}] {}: minimized repro: {:?}",
+                    f.surface, f.case, f.what, f.minimized
+                );
+            }
+            return Err(format!(
+                "fuzz smoke: {} panic(s), {} failure(s)",
+                report.panics,
+                report.failures.len()
+            )
+            .into());
+        }
+    }
     Ok(())
 }
 

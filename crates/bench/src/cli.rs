@@ -55,6 +55,22 @@ OPTIONS:
                          (default BENCH_PR9.json)
     --bench-list         list every benchmark, its flag and its report
                          file, then exit
+    --fuzz-smoke         run the deterministic three-surface fuzz campaign
+                         (.sp text, deck JSON, serve protocol lines)
+                         against a live engine, then exit; any panic,
+                         hang or unminimized failure is fatal
+    --fuzz-seed S        fuzz campaign seed (default 470139102); one seed
+                         => one bit-identical report
+    --fuzz-cases N       fuzz cases per surface (default 3500, so the
+                         default campaign is 10500 cases)
+    --fuzz-out PATH      fuzz report JSON path
+                         (default target/repro/fuzz_report.json)
+    --deck PATH          parse PATH (.sp netlist or JSON deck), run
+                         lcosc-check and, when a .tran plan is present
+                         and the lint is clean, a transient; then exit
+    --spice-smoke DIR    run every .sp fixture in DIR through lcosc-serve
+                         as both the spice and the JSON-deck spelling,
+                         byte-compare the responses, then exit
     --help               print this help
 ";
 
@@ -163,6 +179,19 @@ pub struct Args {
     pub multirate_bench: bool,
     /// Multi-rate benchmark report path.
     pub multirate_bench_out: PathBuf,
+    /// Run the deterministic fuzz campaign and exit.
+    pub fuzz_smoke: bool,
+    /// Fuzz campaign seed.
+    pub fuzz_seed: u64,
+    /// Fuzz cases per input surface.
+    pub fuzz_cases: usize,
+    /// Fuzz report JSON path.
+    pub fuzz_out: PathBuf,
+    /// Lint (and simulate) one deck file, then exit.
+    pub deck: Option<PathBuf>,
+    /// Run the `.sp`-vs-deck serve smoke over a fixture directory, then
+    /// exit.
+    pub spice_smoke: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -185,6 +214,12 @@ impl Default for Args {
             sparse_bench_out: PathBuf::from("BENCH_PR8.json"),
             multirate_bench: false,
             multirate_bench_out: PathBuf::from("BENCH_PR9.json"),
+            fuzz_smoke: false,
+            fuzz_seed: 0x1c05_c0de,
+            fuzz_cases: 3500,
+            fuzz_out: PathBuf::from("target/repro/fuzz_report.json"),
+            deck: None,
+            spice_smoke: None,
         }
     }
 }
@@ -298,6 +333,30 @@ pub fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, CliError> {
                 parsed.multirate_bench_out =
                     PathBuf::from(next_value(&mut args, "--multirate-bench-out")?);
             }
+            "--fuzz-smoke" => parsed.fuzz_smoke = true,
+            "--fuzz-seed" => {
+                let v = next_value(&mut args, "--fuzz-seed")?;
+                parsed.fuzz_seed = v.parse().map_err(|_| CliError::BadValue {
+                    flag: "--fuzz-seed",
+                    message: format!("bad seed {v:?}"),
+                })?;
+            }
+            "--fuzz-cases" => {
+                let v = next_value(&mut args, "--fuzz-cases")?;
+                parsed.fuzz_cases = v.parse().map_err(|_| CliError::BadValue {
+                    flag: "--fuzz-cases",
+                    message: format!("bad case count {v:?}"),
+                })?;
+            }
+            "--fuzz-out" => {
+                parsed.fuzz_out = PathBuf::from(next_value(&mut args, "--fuzz-out")?);
+            }
+            "--deck" => {
+                parsed.deck = Some(PathBuf::from(next_value(&mut args, "--deck")?));
+            }
+            "--spice-smoke" => {
+                parsed.spice_smoke = Some(PathBuf::from(next_value(&mut args, "--spice-smoke")?));
+            }
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
     }
@@ -380,6 +439,17 @@ mod tests {
             "--multirate-bench",
             "--multirate-bench-out",
             "mr.json",
+            "--fuzz-smoke",
+            "--fuzz-seed",
+            "42",
+            "--fuzz-cases",
+            "100",
+            "--fuzz-out",
+            "f.json",
+            "--deck",
+            "tank.sp",
+            "--spice-smoke",
+            "fixtures",
         ])
         .expect("all flags are valid");
         let Cli::Run(args) = cli else {
@@ -400,6 +470,12 @@ mod tests {
         assert_eq!(args.batch_bench_out, PathBuf::from("bb.json"));
         assert_eq!(args.sparse_bench_out, PathBuf::from("sp.json"));
         assert_eq!(args.multirate_bench_out, PathBuf::from("mr.json"));
+        assert!(args.fuzz_smoke);
+        assert_eq!(args.fuzz_seed, 42);
+        assert_eq!(args.fuzz_cases, 100);
+        assert_eq!(args.fuzz_out, PathBuf::from("f.json"));
+        assert_eq!(args.deck, Some(PathBuf::from("tank.sp")));
+        assert_eq!(args.spice_smoke, Some(PathBuf::from("fixtures")));
     }
 
     #[test]
@@ -431,6 +507,12 @@ mod tests {
             "--multirate-bench",
             "--multirate-bench-out",
             "--bench-list",
+            "--fuzz-smoke",
+            "--fuzz-seed",
+            "--fuzz-cases",
+            "--fuzz-out",
+            "--deck",
+            "--spice-smoke",
             "--help",
         ] {
             assert!(HELP.contains(flag), "help text is missing {flag}");

@@ -16,5 +16,6 @@ pub mod prove_bench;
 pub mod serve_bench;
 pub mod solver_bench;
 pub mod sparse_bench;
+pub mod spice_smoke;
 
 pub use figures::*;

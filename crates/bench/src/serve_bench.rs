@@ -270,6 +270,7 @@ fn bench_server(threads: usize, lines: &[String]) -> Result<ServerRun, String> {
         queue_depth: 2 * BATCH,
         cache_entries: 2 * BATCH,
         deadline: Duration::from_secs(120),
+        max_line_bytes: 1 << 20,
         trace: Trace::off(),
     });
     let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;

@@ -1,0 +1,218 @@
+//! `.sp` smoke harnesses behind the `repro` early-exit flags.
+//!
+//! Three entry points, all deterministic:
+//!
+//! - [`run_fuzz_smoke`] drives [`lcosc_spice::fuzz::run_fuzz`] with a
+//!   *real* [`ServeEngine`] answering the protocol surface, so the fuzz
+//!   campaign exercises the full request path (desugar, canonicalize,
+//!   execute) rather than a stub.
+//! - [`run_spice_smoke`] feeds every `.sp` fixture in a directory through
+//!   a live engine twice — once as a `"spice"` request, once as its
+//!   JSON-deck spelling — and byte-compares the responses.
+//! - [`run_deck_file`] lints (and optionally simulates) one deck file,
+//!   dispatching on extension: `.sp` through the SPICE front end,
+//!   anything else through the JSON deck reader.
+
+use lcosc_campaign::Json;
+use lcosc_check::{check_netlist, Report};
+use lcosc_circuit::{netlist_to_json, run_transient, Netlist, TransientOptions};
+use lcosc_serve::{ServeConfig, ServeEngine};
+use lcosc_spice::{parse_spice, FuzzConfig, FuzzReport};
+use lcosc_trace::Trace;
+use std::path::Path;
+use std::time::Duration;
+
+/// A quiet engine sized for smoke traffic.
+fn smoke_engine() -> std::sync::Arc<ServeEngine> {
+    ServeEngine::start(&ServeConfig {
+        threads: 2,
+        queue_depth: 32,
+        cache_entries: 64,
+        deadline: Duration::from_secs(30),
+        max_line_bytes: 1 << 20,
+        trace: Trace::off(),
+    })
+}
+
+/// Runs the three-surface fuzz campaign against a live serve engine.
+///
+/// Bit-reproducible: the report (including its chained digest) is a pure
+/// function of `cfg`, because the engine's responses are themselves
+/// deterministic for a given request line.
+pub fn run_fuzz_smoke(cfg: &FuzzConfig) -> FuzzReport {
+    let engine = smoke_engine();
+    let protocol = |line: &str| engine.submit_line(line).wait();
+    let report = lcosc_spice::run_fuzz(cfg, &protocol);
+    engine.shutdown();
+    report
+}
+
+/// One fixture's outcome in the spice-vs-deck smoke run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmokeCase {
+    /// Fixture file stem.
+    pub name: String,
+    /// Whether the `"spice"` response was byte-identical (modulo the
+    /// echoed id) to the JSON-deck response.
+    pub identical: bool,
+}
+
+/// Feeds every `.sp` file under `dir` (sorted by name) through a live
+/// engine as both spellings and byte-compares the responses.
+///
+/// # Errors
+///
+/// Fails on IO problems, unparseable fixtures, or fixtures without a
+/// `.tran` card (the deck spelling needs `dt`/`t_end`).
+pub fn run_spice_smoke(dir: &Path) -> Result<Vec<SmokeCase>, String> {
+    let mut fixtures: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "sp"))
+        .collect();
+    fixtures.sort();
+    if fixtures.is_empty() {
+        return Err(format!("no .sp fixtures under {}", dir.display()));
+    }
+    let engine = smoke_engine();
+    let mut cases = Vec::new();
+    for (k, path) in fixtures.iter().enumerate() {
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let deck = parse_spice(&text).map_err(|e| format!("{name}: {e}"))?;
+        let opts = deck
+            .tran_options()
+            .ok_or_else(|| format!("{name}: fixture has no .tran card"))?;
+        let deck_line = Json::obj([
+            ("id", Json::from(format!("deck-{k}"))),
+            ("kind", Json::from("transient")),
+            ("deck", netlist_to_json(&deck.netlist)),
+            ("dt", Json::from(opts.dt)),
+            ("t_end", Json::from(opts.t_end)),
+        ])
+        .render();
+        let spice_line = Json::obj([
+            ("id", Json::from(format!("spice-{k}"))),
+            ("kind", Json::from("transient")),
+            ("spice", Json::from(text.as_str())),
+        ])
+        .render();
+        let from_deck = engine.submit_line(&deck_line).wait();
+        let from_spice = engine.submit_line(&spice_line).wait();
+        let identical = from_deck.replace(
+            &format!("\"id\":\"deck-{k}\""),
+            &format!("\"id\":\"spice-{k}\""),
+        ) == from_spice
+            && from_deck.contains("\"status\":\"ok\"");
+        cases.push(SmokeCase { name, identical });
+    }
+    engine.shutdown();
+    Ok(cases)
+}
+
+/// The outcome of linting one deck file with [`run_deck_file`].
+pub struct DeckOutcome {
+    /// The lcosc-check report (P0xx parse warnings folded in for `.sp`).
+    pub report: Report,
+    /// Transient summary line, when the deck carried an analysis plan and
+    /// the check found no errors.
+    pub transient: Option<String>,
+}
+
+/// Parses, lints and (when a `.tran` plan is present and the lint is
+/// clean) simulates one deck file. `.sp` files go through the SPICE front
+/// end; anything else is read as JSON deck text.
+///
+/// # Errors
+///
+/// Returns a rendered parse error when the file cannot be read or parsed
+/// at all (lint findings are *not* errors here — they are in the report).
+pub fn run_deck_file(path: &Path) -> Result<DeckOutcome, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let is_sp = path.extension().is_some_and(|x| x == "sp");
+    let (netlist, report, opts) = if is_sp {
+        let deck = parse_spice(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let report = deck.check();
+        let opts = deck.tran_options();
+        (deck.netlist, report, opts)
+    } else {
+        let json =
+            Json::parse(&text).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+        let nl = lcosc_circuit::netlist_from_json(&json)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let report = check_netlist(&nl);
+        (nl, report, None)
+    };
+    let transient = match (&opts, report.has_errors()) {
+        (Some(o), false) => Some(run_deck_transient(&netlist, o)),
+        _ => None,
+    };
+    Ok(DeckOutcome { report, transient })
+}
+
+fn run_deck_transient(nl: &Netlist, opts: &TransientOptions) -> String {
+    match run_transient(nl, opts) {
+        Ok(result) => {
+            let steps = result.len();
+            let last = result.times().last().copied().unwrap_or(0.0);
+            format!("transient: {steps} recorded points to t = {last:e} s")
+        }
+        Err(e) => format!("transient failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcosc_spice::FuzzConfig;
+
+    fn golden_dir() -> std::path::PathBuf {
+        [
+            env!("CARGO_MANIFEST_DIR"),
+            "..",
+            "..",
+            "tests",
+            "golden",
+            "spice",
+        ]
+        .iter()
+        .collect()
+    }
+
+    #[test]
+    fn fuzz_smoke_against_a_live_engine_is_reproducible() {
+        let cfg = FuzzConfig {
+            seed: 7,
+            cases_per_surface: 40,
+            step_budget: 64,
+        };
+        let a = run_fuzz_smoke(&cfg);
+        let b = run_fuzz_smoke(&cfg);
+        assert_eq!(a, b, "two runs with one seed diverged");
+        assert_eq!(a.panics, 0, "{:?}", a.failures);
+        assert!(a.failures.is_empty(), "{:?}", a.failures);
+    }
+
+    #[test]
+    fn spice_smoke_passes_on_the_golden_fixtures() {
+        let cases = run_spice_smoke(&golden_dir()).expect("smoke run");
+        assert_eq!(cases.len(), 4, "{cases:?}");
+        for case in &cases {
+            assert!(case.identical, "{} responses diverged", case.name);
+        }
+    }
+
+    #[test]
+    fn deck_file_runner_lints_and_simulates_sp_decks() {
+        let outcome = run_deck_file(&golden_dir().join("paper_tank.sp")).expect("runs");
+        assert_eq!(outcome.report.error_count(), 0);
+        let transient = outcome.transient.expect("fixture has .tran");
+        assert!(transient.starts_with("transient:"), "{transient}");
+    }
+}

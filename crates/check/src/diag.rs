@@ -289,6 +289,10 @@ pub const ALL_CODES: &[(&str, &str)] = &[
     ("E008", "element connects both terminals to the same node"),
     ("E009", "MNA matrix is structurally singular without gmin"),
     ("E010", "netlist contains no elements"),
+    (
+        "E011",
+        "source waveform violates a structural invariant (unsorted PWL, negative timing)",
+    ),
     ("C001", "target amplitude must be positive and finite"),
     ("C002", "vref must sit strictly between the supply rails"),
     ("C003", "target amplitude exceeds what the rails can swing"),
@@ -361,6 +365,21 @@ pub const ALL_CODES: &[(&str, &str)] = &[
         "detector-trip latency exceeds its documented tick bound",
     ),
     ("A007", "an in-window hold can clear a saturation latch"),
+    ("P001", "unknown element or dot-card in a SPICE deck"),
+    ("P002", "SPICE card has the wrong number of fields"),
+    (
+        "P003",
+        "malformed number or unknown engineering unit suffix",
+    ),
+    ("P004", "unknown or malformed SPICE source waveform"),
+    ("P005", "element references an undefined .model"),
+    ("P006", "unknown .model kind or model parameter"),
+    ("P007", "value references an undefined .param"),
+    ("P008", "duplicate element name in a SPICE deck"),
+    ("P009", "malformed .tran or .dc analysis card"),
+    ("P010", "SPICE deck never references the ground node"),
+    ("P011", "SPICE node appears on only one element terminal"),
+    ("P012", "SPICE element value is out of range for its card"),
 ];
 
 /// One-line description of a diagnostic code, if registered.

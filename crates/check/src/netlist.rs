@@ -7,7 +7,9 @@
 //! pre-check of the MNA stamp pattern.
 
 use crate::diag::{Provenance, Report};
-use lcosc_circuit::netlist::{element_terminals, Element, Netlist, NodeId, Waveform};
+use lcosc_circuit::netlist::{
+    element_terminals, Element, Netlist, NodeId, Waveform, WaveformError,
+};
 use lcosc_circuit::stamp::dc_stamp_pattern;
 
 /// Short kind name of an element, used for provenance.
@@ -134,6 +136,18 @@ fn check_values(nl: &Netlist, report: &mut Report) {
                     format!("{} pwl contains a non-finite point", kind(e)),
                     elem(k, e, "wave"),
                 );
+            }
+        }
+        // E011: structural waveform invariants beyond finiteness —
+        // `Waveform::eval` assumes time-sorted PWL points and
+        // non-negative pulse timings. (Non-finite parameters are E006
+        // above; skip them here to avoid double-reporting.)
+        if let Element::VoltageSource { wave, .. } | Element::CurrentSource { wave, .. } = e {
+            match wave.validate() {
+                Ok(()) | Err(WaveformError::NonFinite { .. }) => {}
+                Err(err) => {
+                    report.error("E011", format!("{} {err}", kind(e)), elem(k, e, "wave"));
+                }
             }
         }
     }
@@ -440,6 +454,21 @@ mod tests {
         });
         let r = check_netlist(&nl);
         assert!(r.contains("E006"), "{}", r.render_human());
+    }
+
+    #[test]
+    fn e011_unsorted_pwl_source() {
+        // Only `push_element` can smuggle an unsorted PWL past the
+        // panicking builders — the same unvalidated path deck loaders use.
+        let (mut nl, vin, _) = divider();
+        nl.push_element(Element::CurrentSource {
+            p: vin,
+            n: Netlist::GROUND,
+            wave: Waveform::Pwl(vec![(1e-6, 1.0), (0.0, 0.0)]),
+        });
+        let r = check_netlist(&nl);
+        assert!(r.contains("E011"), "{}", r.render_human());
+        assert!(r.has_errors());
     }
 
     #[test]

@@ -74,10 +74,39 @@ fn design_prover_chapter_mentions_every_obligation() {
 }
 
 #[test]
+fn spice_codes_are_documented_in_readme_and_design() {
+    // The P0xx parse family must be visible in both human documents:
+    // the README code table (checked verbatim by the table test above —
+    // here we additionally pin that the family exists at all) and the
+    // DESIGN chapter on the SPICE front end.
+    let readme = repo_file("README.md");
+    let design = repo_file("DESIGN.md");
+    let p_codes: Vec<_> = ALL_CODES
+        .iter()
+        .filter(|(c, _)| c.starts_with('P'))
+        .collect();
+    assert!(!p_codes.is_empty(), "P0xx family vanished from ALL_CODES");
+    for (code, _) in &p_codes {
+        assert!(
+            table_code_rows(&readme).iter().any(|(c, _)| c == code),
+            "README code table is missing SPICE parse code {code}"
+        );
+        assert!(
+            design.contains(code),
+            "DESIGN.md never mentions SPICE parse code {code}"
+        );
+    }
+    assert!(
+        design.contains("## 17. SPICE front end and fuzzing"),
+        "DESIGN.md lost its SPICE front-end chapter"
+    );
+}
+
+#[test]
 fn registry_is_ordered_and_append_only_by_family() {
     // Within each code family the numeric suffix must be strictly
     // increasing — appending is the only legal registry change.
-    for family in ["E", "C", "S", "A"] {
+    for family in ["E", "C", "S", "A", "P"] {
         let nums: Vec<u32> = ALL_CODES
             .iter()
             .filter(|(c, _)| c.starts_with(family))

@@ -100,6 +100,14 @@ fn positive(obj: &Json, key: &str, idx: usize) -> Result<f64, DeckError> {
     }
 }
 
+/// Reads an optional positive finite number field, with a default.
+fn positive_or(obj: &Json, key: &str, idx: usize, default: f64) -> Result<f64, DeckError> {
+    if obj.get(key).is_none() {
+        return Ok(default);
+    }
+    positive(obj, key, idx)
+}
+
 /// Node-name interning shared by every element of one deck.
 struct NodeTable<'nl> {
     nl: &'nl mut Netlist,
@@ -124,13 +132,16 @@ impl NodeTable<'_> {
 }
 
 /// Parses a waveform description (`{"type": "dc" | "sine" | "step" |
-/// "pwl", ...}`).
+/// "pwl" | "pulse", ...}`). Every parsed waveform passes
+/// [`Waveform::validate`] before it is returned, so unsorted PWL times
+/// and negative pulse timings are typed [`DeckError`]s here rather than
+/// misevaluations later.
 fn waveform_from_json(wave: &Json, idx: usize) -> Result<Waveform, DeckError> {
     let ty = wave
         .get("type")
         .and_then(Json::as_str)
         .ok_or_else(|| DeckError::at(idx, "waveform needs a \"type\" field"))?;
-    match ty {
+    let parsed = match ty {
         "dc" => Ok(Waveform::Dc(num(wave, "value", idx)?)),
         "sine" => Ok(Waveform::Sine {
             offset: num_or(wave, "offset", idx, 0.0)?,
@@ -164,16 +175,26 @@ fn waveform_from_json(wave: &Json, idx: usize) -> Result<Waveform, DeckError> {
                 }
                 points.push((t, v));
             }
-            if !points.windows(2).all(|w| w[0].0 <= w[1].0) {
-                return Err(DeckError::at(idx, "pwl times must be non-decreasing"));
-            }
             Ok(Waveform::Pwl(points))
         }
+        "pulse" => Ok(Waveform::Pulse {
+            v1: num(wave, "v1", idx)?,
+            v2: num(wave, "v2", idx)?,
+            td: num_or(wave, "td", idx, 0.0)?,
+            tr: num_or(wave, "tr", idx, 0.0)?,
+            tf: num_or(wave, "tf", idx, 0.0)?,
+            pw: num(wave, "pw", idx)?,
+            per: num_or(wave, "per", idx, 0.0)?,
+        }),
         other => Err(DeckError::at(
             idx,
             format!("unknown waveform type {other:?}"),
         )),
-    }
+    };
+    let wave = parsed?;
+    wave.validate()
+        .map_err(|e| DeckError::at(idx, e.to_string()))?;
+    Ok(wave)
 }
 
 fn waveform_to_json(w: &Waveform) -> Json {
@@ -214,6 +235,24 @@ fn waveform_to_json(w: &Waveform) -> Json {
                         .collect(),
                 ),
             ),
+        ]),
+        Waveform::Pulse {
+            v1,
+            v2,
+            td,
+            tr,
+            tf,
+            pw,
+            per,
+        } => Json::obj([
+            ("type", Json::from("pulse")),
+            ("v1", Json::from(*v1)),
+            ("v2", Json::from(*v2)),
+            ("td", Json::from(*td)),
+            ("tr", Json::from(*tr)),
+            ("tf", Json::from(*tf)),
+            ("pw", Json::from(*pw)),
+            ("per", Json::from(*per)),
         ]),
     }
 }
@@ -303,14 +342,21 @@ pub fn netlist_from_json(deck: &Json) -> Result<Netlist, DeckError> {
                 in_n: table.resolve(e, "in_n", idx)?,
                 gm: num(e, "gm", idx)?,
             },
-            "diode" => Element::Diode {
-                anode: table.resolve(e, "anode", idx)?,
-                cathode: table.resolve(e, "cathode", idx)?,
-                model: DiodeModel::default(),
-            },
+            "diode" => {
+                let defaults = DiodeModel::default();
+                Element::Diode {
+                    anode: table.resolve(e, "anode", idx)?,
+                    cathode: table.resolve(e, "cathode", idx)?,
+                    model: DiodeModel {
+                        is: positive_or(e, "is", idx, defaults.is)?,
+                        n: positive_or(e, "n", idx, defaults.n)?,
+                        temp_k: positive_or(e, "temp_k", idx, defaults.temp_k)?,
+                    },
+                }
+            }
             "mosfet" => {
                 let polarity = e.get("polarity").and_then(Json::as_str).unwrap_or("nmos");
-                let model = match polarity {
+                let builtin = match polarity {
                     "nmos" => MosModel::nmos_035um(),
                     "pmos" => MosModel::pmos_035um(),
                     other => {
@@ -320,12 +366,25 @@ pub fn netlist_from_json(deck: &Json) -> Result<Netlist, DeckError> {
                         ))
                     }
                 };
+                let kp = positive_or(e, "kp", idx, builtin.kp())?;
+                let vth = num_or(e, "vth", idx, builtin.vth())?;
+                let n = num_or(e, "n", idx, builtin.slope_factor())?;
+                let lambda = num_or(e, "lambda", idx, builtin.lambda())?;
+                if vth < 0.0 {
+                    return Err(DeckError::at(idx, "field \"vth\" must be non-negative"));
+                }
+                if n < 1.0 {
+                    return Err(DeckError::at(idx, "field \"n\" must be at least 1"));
+                }
+                if lambda < 0.0 {
+                    return Err(DeckError::at(idx, "field \"lambda\" must be non-negative"));
+                }
                 Element::Mosfet {
                     d: table.resolve(e, "d", idx)?,
                     g: table.resolve(e, "g", idx)?,
                     s: table.resolve(e, "s", idx)?,
                     b: table.resolve(e, "b", idx)?,
-                    model,
+                    model: MosModel::new(builtin.polarity(), kp, vth, n, lambda),
                 }
             }
             "switch" => Element::Switch {
@@ -362,8 +421,10 @@ pub fn netlist_from_json(deck: &Json) -> Result<Netlist, DeckError> {
 }
 
 /// Renders a netlist back into the JSON deck shape [`netlist_from_json`]
-/// reads. MOSFET and diode models render as their polarity / default kind
-/// only (the format carries topology, not full model cards).
+/// reads. Diode and MOSFET model parameters are emitted only when they
+/// differ from the defaults for the element's polarity, so decks built
+/// from builtin models keep their historical byte shape (and cache
+/// digest) while custom `.model` cards survive the round trip.
 pub fn netlist_to_json(nl: &Netlist) -> Json {
     let name = |n: NodeId| Json::from(nl.node_name(n));
     let nodes: Vec<Json> = nl
@@ -421,25 +482,44 @@ pub fn netlist_to_json(nl: &Netlist) -> Json {
                 ("in_n", name(*in_n)),
                 ("gm", Json::from(*gm)),
             ]),
-            Element::Diode { anode, cathode, .. } => Json::obj([
-                ("kind", Json::from("diode")),
-                ("anode", name(*anode)),
-                ("cathode", name(*cathode)),
-            ]),
-            Element::Mosfet { d, g, s, b, model } => Json::obj([
-                ("kind", Json::from("mosfet")),
-                ("d", name(*d)),
-                ("g", name(*g)),
-                ("s", name(*s)),
-                ("b", name(*b)),
-                (
-                    "polarity",
-                    Json::from(match model.polarity() {
-                        Polarity::N => "nmos",
-                        Polarity::P => "pmos",
-                    }),
-                ),
-            ]),
+            Element::Diode {
+                anode,
+                cathode,
+                model,
+            } => {
+                let mut fields = vec![
+                    ("kind", Json::from("diode")),
+                    ("anode", name(*anode)),
+                    ("cathode", name(*cathode)),
+                ];
+                if *model != DiodeModel::default() {
+                    fields.push(("is", Json::from(model.is)));
+                    fields.push(("n", Json::from(model.n)));
+                    fields.push(("temp_k", Json::from(model.temp_k)));
+                }
+                Json::obj(fields)
+            }
+            Element::Mosfet { d, g, s, b, model } => {
+                let (polarity, builtin) = match model.polarity() {
+                    Polarity::N => ("nmos", MosModel::nmos_035um()),
+                    Polarity::P => ("pmos", MosModel::pmos_035um()),
+                };
+                let mut fields = vec![
+                    ("kind", Json::from("mosfet")),
+                    ("d", name(*d)),
+                    ("g", name(*g)),
+                    ("s", name(*s)),
+                    ("b", name(*b)),
+                    ("polarity", Json::from(polarity)),
+                ];
+                if *model != builtin {
+                    fields.push(("kp", Json::from(model.kp())));
+                    fields.push(("vth", Json::from(model.vth())));
+                    fields.push(("n", Json::from(model.slope_factor())));
+                    fields.push(("lambda", Json::from(model.lambda())));
+                }
+                Json::obj(fields)
+            }
             Element::Switch {
                 a,
                 b,
@@ -530,6 +610,19 @@ mod tests {
             Netlist::GROUND,
             Waveform::Pwl(vec![(0.0, 0.0), (1e-6, 1e-3)]),
         );
+        nl.voltage_source(
+            b,
+            Netlist::GROUND,
+            Waveform::Pulse {
+                v1: 0.0,
+                v2: 3.3,
+                td: 1e-6,
+                tr: 1e-8,
+                tf: 2e-8,
+                pw: 5e-7,
+                per: 2e-6,
+            },
+        );
         nl.vccs(a, Netlist::GROUND, b, Netlist::GROUND, 1e-3);
         nl.diode(a, b, DiodeModel::default());
         nl.mosfet(
@@ -588,12 +681,77 @@ mod tests {
                     "wave": {"type": "pwl", "points": [[1.0, 0.0], [0.0, 1.0]]}}]}"#,
                 "non-decreasing",
             ),
+            (
+                r#"{"elements": [{"kind": "vsource", "p": "x", "n": "y",
+                    "wave": {"type": "pulse", "v1": 0.0, "v2": 1.0, "pw": 1e-6,
+                             "tr": -1e-9}}]}"#,
+                "negative",
+            ),
             (r#"{"nodes": "a", "elements": []}"#, "array of names"),
         ] {
             let parsed = Json::parse(deck).expect("test decks are valid JSON");
             let err = netlist_from_json(&parsed).expect_err(deck);
             assert!(err.to_string().contains(needle), "{deck} -> {err}");
         }
+    }
+
+    #[test]
+    fn pwl_duplicate_times_are_accepted_and_unsorted_rejected() {
+        // Equal adjacent times are a legal step discontinuity.
+        let step = Json::parse(
+            r#"{"elements": [{"kind": "vsource", "p": "x", "n": "gnd",
+                "wave": {"type": "pwl",
+                         "points": [[0.0, 0.0], [1e-6, 0.0], [1e-6, 1.0]]}}]}"#,
+        )
+        .unwrap();
+        let nl = netlist_from_json(&step).expect("duplicate-time pwl is legal");
+        match &nl.elements()[0] {
+            Element::VoltageSource { wave, .. } => {
+                assert_eq!(wave.eval(1e-6), 1.0);
+                assert_eq!(wave.eval(0.5e-6), 0.0);
+            }
+            other => panic!("unexpected element {other:?}"),
+        }
+        // Strictly decreasing times are a typed error, never a silent
+        // misevaluation.
+        let unsorted = Json::parse(
+            r#"{"elements": [{"kind": "isource", "p": "x", "n": "gnd",
+                "wave": {"type": "pwl",
+                         "points": [[0.0, 0.0], [2e-6, 1.0], [1e-6, 0.5]]}}]}"#,
+        )
+        .unwrap();
+        let err = netlist_from_json(&unsorted).unwrap_err();
+        assert!(err.to_string().contains("non-decreasing"), "{err}");
+        assert_eq!(err.element, Some(0));
+    }
+
+    #[test]
+    fn pulse_round_trips_and_defaults_apply() {
+        let deck = Json::parse(
+            r#"{"elements": [{"kind": "vsource", "p": "x", "n": "gnd",
+                "wave": {"type": "pulse", "v1": 0.0, "v2": 5.0, "pw": 1e-6}}]}"#,
+        )
+        .unwrap();
+        let nl = netlist_from_json(&deck).unwrap();
+        match &nl.elements()[0] {
+            Element::VoltageSource { wave, .. } => {
+                assert_eq!(
+                    wave,
+                    &Waveform::Pulse {
+                        v1: 0.0,
+                        v2: 5.0,
+                        td: 0.0,
+                        tr: 0.0,
+                        tf: 0.0,
+                        pw: 1e-6,
+                        per: 0.0,
+                    }
+                );
+            }
+            other => panic!("unexpected element {other:?}"),
+        }
+        let round = netlist_from_json(&netlist_to_json(&nl)).unwrap();
+        assert_eq!(round, nl);
     }
 
     #[test]

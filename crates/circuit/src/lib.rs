@@ -51,7 +51,9 @@ pub use analysis::transient::{
     TransientResult, SPARSE_MIN_UNKNOWNS,
 };
 pub use deck::{netlist_from_json, netlist_to_json, DeckError};
-pub use netlist::{element_terminals, Element, ElementId, Netlist, NodeId, Waveform};
+pub use netlist::{
+    element_terminals, Element, ElementId, Netlist, NodeId, Waveform, WaveformError,
+};
 pub use stamp::{dc_stamp_pattern, StampPattern};
 
 /// Errors produced by the circuit simulator.

@@ -70,7 +70,68 @@ pub enum Waveform {
     },
     /// Piece-wise-linear `(time, value)` points; clamped outside the range.
     Pwl(Vec<(f64, f64)>),
+    /// Standard SPICE `PULSE(V1 V2 TD TR TF PW PER)` train: `v1` until
+    /// `td`, linear rise to `v2` over `tr`, flat for `pw`, linear fall
+    /// back over `tf`, then `v1` until the period `per` repeats the
+    /// cycle. `per = 0` means a single, non-repeating pulse.
+    Pulse {
+        /// Initial (and between-pulse) value.
+        v1: f64,
+        /// Pulsed value.
+        v2: f64,
+        /// Delay before the first rise, in seconds.
+        td: f64,
+        /// Rise time in seconds.
+        tr: f64,
+        /// Fall time in seconds.
+        tf: f64,
+        /// Pulse width (time at `v2`) in seconds.
+        pw: f64,
+        /// Period in seconds (0 = no repetition).
+        per: f64,
+    },
 }
+
+/// A structurally invalid [`Waveform`], reported by [`Waveform::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WaveformError {
+    /// A parameter is NaN or infinite.
+    NonFinite {
+        /// Which parameter.
+        what: &'static str,
+    },
+    /// PWL point times decrease at `points[index]`; `eval` requires
+    /// monotonically non-decreasing times (equal adjacent times encode a
+    /// step discontinuity and are allowed).
+    PwlUnsorted {
+        /// Index of the first out-of-order point.
+        index: usize,
+    },
+    /// A duration parameter (rise/fall/width/period/delay) is negative.
+    NegativeTiming {
+        /// Which parameter.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for WaveformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaveformError::NonFinite { what } => {
+                write!(f, "waveform parameter {what} is not finite")
+            }
+            WaveformError::PwlUnsorted { index } => write!(
+                f,
+                "pwl times must be non-decreasing (point {index} goes backwards)"
+            ),
+            WaveformError::NegativeTiming { what } => {
+                write!(f, "waveform timing parameter {what} is negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WaveformError {}
 
 impl Waveform {
     /// Evaluates the waveform at time `t`.
@@ -112,12 +173,115 @@ impl Waveform {
                 let (t1, v1) = points[idx];
                 v0 + (v1 - v0) * (t - t0) / (t1 - t0)
             }
+            Waveform::Pulse {
+                v1,
+                v2,
+                td,
+                tr,
+                tf,
+                pw,
+                per,
+            } => {
+                if t < *td {
+                    return *v1;
+                }
+                let tau = if *per > 0.0 { (t - td) % per } else { t - td };
+                if tau < *tr {
+                    v1 + (v2 - v1) * tau / tr
+                } else if tau < tr + pw {
+                    *v2
+                } else if tau < tr + pw + tf {
+                    v2 + (v1 - v2) * (tau - tr - pw) / tf
+                } else {
+                    *v1
+                }
+            }
         }
     }
 
     /// Value used for DC operating-point analysis (the t = 0 value).
     pub fn dc_value(&self) -> f64 {
         self.eval(0.0)
+    }
+
+    /// Checks the waveform's structural invariants: every parameter
+    /// finite, PWL times monotonically non-decreasing (equal adjacent
+    /// times are a step discontinuity and are legal), pulse/step timing
+    /// parameters non-negative. [`Waveform::eval`] assumes these hold;
+    /// the deck and SPICE parsers reject violations with this typed
+    /// error before a waveform can reach the solver.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`WaveformError`].
+    pub fn validate(&self) -> Result<(), WaveformError> {
+        let finite = |v: f64, what: &'static str| {
+            if v.is_finite() {
+                Ok(())
+            } else {
+                Err(WaveformError::NonFinite { what })
+            }
+        };
+        let duration = |v: f64, what: &'static str| {
+            finite(v, what)?;
+            if v < 0.0 {
+                Err(WaveformError::NegativeTiming { what })
+            } else {
+                Ok(())
+            }
+        };
+        match self {
+            Waveform::Dc(v) => finite(*v, "value"),
+            Waveform::Sine {
+                offset,
+                amplitude,
+                frequency,
+                phase,
+            } => {
+                finite(*offset, "offset")?;
+                finite(*amplitude, "amplitude")?;
+                finite(*frequency, "frequency")?;
+                finite(*phase, "phase")
+            }
+            Waveform::Step {
+                v0,
+                v1,
+                t_step,
+                t_rise,
+            } => {
+                finite(*v0, "v0")?;
+                finite(*v1, "v1")?;
+                finite(*t_step, "t_step")?;
+                duration(*t_rise, "t_rise")
+            }
+            Waveform::Pwl(points) => {
+                for (i, (t, v)) in points.iter().enumerate() {
+                    finite(*t, "pwl time")?;
+                    finite(*v, "pwl value")?;
+                    if i > 0 && *t < points[i - 1].0 {
+                        return Err(WaveformError::PwlUnsorted { index: i });
+                    }
+                }
+                Ok(())
+            }
+            Waveform::Pulse {
+                v1,
+                v2,
+                td,
+                tr,
+                tf,
+                pw,
+                per,
+            } => {
+                finite(*v1, "v1")?;
+                finite(*v2, "v2")?;
+                duration(*td, "td")?;
+                duration(*tr, "tr")?;
+                duration(*tf, "tf")?;
+                duration(*pw, "pw")?;
+                duration(*per, "per")
+            }
+        }
     }
 }
 
@@ -373,10 +537,14 @@ impl Netlist {
     ///
     /// # Panics
     ///
-    /// Panics if a node is foreign.
+    /// Panics if a node is foreign or the waveform fails
+    /// [`Waveform::validate`] (e.g. unsorted PWL times).
     pub fn voltage_source(&mut self, p: NodeId, n: NodeId, wave: Waveform) -> ElementId {
         self.check_node(p);
         self.check_node(n);
+        if let Err(e) = wave.validate() {
+            panic!("invalid source waveform: {e}");
+        }
         self.push(Element::VoltageSource { p, n, wave })
     }
 
@@ -384,10 +552,14 @@ impl Netlist {
     ///
     /// # Panics
     ///
-    /// Panics if a node is foreign.
+    /// Panics if a node is foreign or the waveform fails
+    /// [`Waveform::validate`] (e.g. unsorted PWL times).
     pub fn current_source(&mut self, p: NodeId, n: NodeId, wave: Waveform) -> ElementId {
         self.check_node(p);
         self.check_node(n);
+        if let Err(e) = wave.validate() {
+            panic!("invalid source waveform: {e}");
+        }
         self.push(Element::CurrentSource { p, n, wave })
     }
 
@@ -680,6 +852,106 @@ mod tests {
         assert_eq!(w.eval(0.5), 0.5);
         assert_eq!(w.eval(2.0), 1.0);
         assert_eq!(Waveform::Pwl(vec![]).eval(0.0), 0.0);
+    }
+
+    #[test]
+    fn waveform_pulse_boundaries() {
+        let w = Waveform::Pulse {
+            v1: 0.0,
+            v2: 3.3,
+            td: 1e-6,
+            tr: 1e-7,
+            tf: 2e-7,
+            pw: 4e-7,
+            per: 1e-6,
+        };
+        // Before the delay and exactly at it: initial value.
+        assert_eq!(w.eval(0.0), 0.0);
+        assert_eq!(w.eval(1e-6), 0.0);
+        // Mid-rise, top, flat width, mid-fall, back down.
+        assert!((w.eval(1.05e-6) - 1.65).abs() < 1e-9);
+        assert_eq!(w.eval(1.3e-6), 3.3);
+        assert_eq!(w.eval(1.4e-6), 3.3);
+        assert!((w.eval(1.6e-6) - 1.65).abs() < 1e-9);
+        assert_eq!(w.eval(1.8e-6), 0.0);
+        // One period later the train repeats.
+        assert!((w.eval(2.05e-6) - 1.65).abs() < 1e-7);
+        assert_eq!(w.eval(2.3e-6), 3.3);
+    }
+
+    #[test]
+    fn waveform_pulse_degenerate_edges_and_single_shot() {
+        // Zero rise/fall: instant transitions, no division by zero.
+        let w = Waveform::Pulse {
+            v1: 1.0,
+            v2: 2.0,
+            td: 0.0,
+            tr: 0.0,
+            tf: 0.0,
+            pw: 1.0,
+            per: 0.0,
+        };
+        assert_eq!(w.eval(0.0), 2.0);
+        assert_eq!(w.eval(0.5), 2.0);
+        assert_eq!(w.eval(1.0), 1.0);
+        // per = 0: never repeats.
+        assert_eq!(w.eval(100.0), 1.0);
+        assert_eq!(w.dc_value(), 2.0);
+    }
+
+    #[test]
+    fn waveform_validate_accepts_the_good_and_rejects_the_bad() {
+        assert_eq!(Waveform::Dc(1.0).validate(), Ok(()));
+        assert_eq!(
+            Waveform::Dc(f64::NAN).validate(),
+            Err(WaveformError::NonFinite { what: "value" })
+        );
+        assert_eq!(
+            Waveform::Pwl(vec![(0.0, 0.0), (1.0, 1.0), (1.0, 5.0)]).validate(),
+            Ok(()),
+            "duplicate times are a legal step discontinuity"
+        );
+        assert_eq!(
+            Waveform::Pwl(vec![(0.0, 0.0), (2.0, 1.0), (1.0, 5.0)]).validate(),
+            Err(WaveformError::PwlUnsorted { index: 2 })
+        );
+        assert_eq!(
+            Waveform::Pulse {
+                v1: 0.0,
+                v2: 1.0,
+                td: 0.0,
+                tr: -1.0,
+                tf: 0.0,
+                pw: 1.0,
+                per: 0.0,
+            }
+            .validate(),
+            Err(WaveformError::NegativeTiming { what: "tr" })
+        );
+        let msg = WaveformError::PwlUnsorted { index: 2 }.to_string();
+        assert!(msg.contains("non-decreasing"), "{msg}");
+    }
+
+    #[test]
+    fn waveform_pwl_duplicate_time_is_a_step() {
+        // Equal adjacent times encode a discontinuity: just before the
+        // step the pre-value wins, at and after it the post-value wins.
+        let w = Waveform::Pwl(vec![(0.0, 0.0), (1.0, 1.0), (1.0, 5.0), (2.0, 5.0)]);
+        assert!((w.eval(0.999_999) - 0.999_999).abs() < 1e-9);
+        assert_eq!(w.eval(1.0), 5.0);
+        assert_eq!(w.eval(1.5), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn unsorted_pwl_panics_at_netlist_build() {
+        let mut nl = Netlist::new();
+        let a = nl.node("a");
+        nl.voltage_source(
+            a,
+            Netlist::GROUND,
+            Waveform::Pwl(vec![(1.0, 1.0), (0.0, 0.0)]),
+        );
     }
 
     #[test]

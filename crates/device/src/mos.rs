@@ -145,6 +145,16 @@ impl MosModel {
         self.kp
     }
 
+    /// Subthreshold slope factor.
+    pub fn slope_factor(&self) -> f64 {
+        self.n
+    }
+
+    /// Channel-length modulation in 1/V.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
     /// Specific current `2 n kp Vt²` of the EKV formulation.
     pub fn i_spec(&self) -> f64 {
         let vt = thermal_voltage(self.temp_k);

@@ -14,7 +14,9 @@
 //! completion indices) is scheduling-dependent.
 
 use crate::cache::ResultCache;
-use crate::protocol::{canonical_key, parse_request, request_id, response_line, Body, Request};
+use crate::protocol::{
+    canonical_key, desugar_spice, parse_request, request_id, response_line, Body, Request,
+};
 use crate::work::execute;
 use lcosc_campaign::{digest_bytes, Json};
 use lcosc_trace::{ServeKind, ServeStatus, Trace, TraceEvent};
@@ -35,6 +37,10 @@ pub struct ServeConfig {
     pub cache_entries: usize,
     /// Per-request compute deadline.
     pub deadline: Duration,
+    /// Maximum accepted request-line length in bytes; longer lines are
+    /// answered with a typed `line_too_long` error without buffering the
+    /// excess, and the connection stays alive.
+    pub max_line_bytes: usize,
     /// Trace handle receiving per-request events.
     pub trace: Trace,
 }
@@ -46,6 +52,7 @@ impl Default for ServeConfig {
             queue_depth: 64,
             cache_entries: 256,
             deadline: Duration::from_secs(30),
+            max_line_bytes: 1 << 20,
             trace: Trace::off(),
         }
     }
@@ -91,6 +98,7 @@ struct Shared {
     trace: Trace,
     threads: usize,
     queue_depth: usize,
+    max_line_bytes: usize,
 }
 
 impl Shared {
@@ -200,6 +208,7 @@ impl ServeEngine {
             trace: config.trace.clone(),
             threads,
             queue_depth,
+            max_line_bytes: config.max_line_bytes.max(1),
         });
         let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth);
         let rx = Arc::new(Mutex::new(rx));
@@ -226,6 +235,28 @@ impl ServeEngine {
             tx: Mutex::new(Some(tx)),
             workers: Mutex::new(workers),
         })
+    }
+
+    /// The configured request-line length cap in bytes.
+    pub fn max_line_bytes(&self) -> usize {
+        self.shared.max_line_bytes
+    }
+
+    /// Answers an over-long request line with the typed `line_too_long`
+    /// error, keeping the engine counters and trace stream consistent
+    /// with every other rejection path.
+    pub fn reject_oversized_line(&self) -> Response {
+        self.reject(
+            &Json::Null,
+            ServeKind::Invalid,
+            0,
+            ServeStatus::BadRequest,
+            &format!(
+                "line_too_long: request line exceeds {} bytes",
+                self.shared.max_line_bytes
+            ),
+            Instant::now(),
+        )
     }
 
     /// Whether the engine is draining (refusing new simulation work).
@@ -289,6 +320,22 @@ impl ServeEngine {
             }
         };
         let id = request_id(&decoded);
+        // `"spice"` bodies desugar to their JSON-deck equivalent *before*
+        // request parsing and canonicalization, so both spellings of a
+        // circuit share one cache digest and one response byte stream.
+        let decoded = match desugar_spice(&decoded) {
+            Ok(v) => v,
+            Err(e) => {
+                return self.reject(
+                    &id,
+                    ServeKind::Invalid,
+                    0,
+                    ServeStatus::BadRequest,
+                    &e,
+                    started,
+                );
+            }
+        };
         let request = match parse_request(&decoded) {
             Ok(r) => r,
             Err(e) => {
@@ -571,6 +618,7 @@ mod tests {
             queue_depth: 8,
             cache_entries: 32,
             deadline: Duration::from_secs(10),
+            max_line_bytes: 1 << 20,
             trace: Trace::off(),
         })
     }

@@ -46,7 +46,7 @@ pub mod work;
 pub use cache::ResultCache;
 pub use engine::{Response, ServeConfig, ServeCounters, ServeEngine};
 pub use protocol::{
-    canonical_key, parse_request, response_line, Body, CampaignSpec, Preset, Request,
+    canonical_key, desugar_spice, parse_request, response_line, Body, CampaignSpec, Preset, Request,
 };
 pub use server::{serve_stdio, serve_stream, serve_tcp};
 pub use work::execute;

@@ -23,6 +23,8 @@ OPTIONS:
     --queue-depth M    bounded queue depth; full queue => overloaded (default 64)
     --cache-entries K  content-addressed result cache capacity (default 256)
     --deadline-ms D    per-request compute deadline in ms (default 30000)
+    --max-line-bytes L request-line length cap; longer lines answer
+                       line_too_long without buffering (default 1048576)
     --addr HOST:PORT   serve the NDJSON protocol over TCP (loopback use)
     --stdio            serve stdin -> stdout instead of TCP
     --help             print this help
@@ -68,6 +70,11 @@ fn parse_options(args: impl Iterator<Item = String>) -> Result<Option<Options>, 
                     .parse()
                     .map_err(|e| format!("--deadline-ms: {e}"))?;
                 opts.config.deadline = Duration::from_millis(ms);
+            }
+            "--max-line-bytes" => {
+                opts.config.max_line_bytes = value("--max-line-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--max-line-bytes: {e}"))?;
             }
             "--addr" => opts.addr = Some(value("--addr")?),
             "--stdio" => opts.stdio = true,

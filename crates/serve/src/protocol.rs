@@ -192,6 +192,84 @@ impl Request {
     }
 }
 
+/// Desugars a `"spice"` request body into its `"deck"` equivalent.
+///
+/// A transient request may carry `"spice": "<.sp text>"` instead of a
+/// `"deck"` object. This rewrites the request *before* parsing and
+/// canonicalization: the `.sp` text is parsed ([`lcosc_spice::parse_spice`]),
+/// gated through `lcosc-check`, and replaced by the JSON deck it denotes;
+/// `dt` / `t_end` fall back to the deck's `.tran` card when absent. A
+/// request without a `"spice"` member passes through unchanged.
+///
+/// Because the rewrite happens ahead of [`canonical_key`], a spice request
+/// and its JSON-deck equivalent share one cache digest and one response
+/// byte stream — the protocol's determinism contract extends to `.sp`
+/// input verbatim.
+///
+/// # Errors
+///
+/// Returns a `bad_request` message for `.sp` parse failures (with the
+/// `P0xx` code and position), `lcosc-check` rejections (`E0xx` codes),
+/// a missing analysis plan, or a request carrying both bodies.
+pub fn desugar_spice(v: &Json) -> Result<Json, String> {
+    let Json::Object(pairs) = v else {
+        return Ok(v.clone());
+    };
+    let Some(Json::Str(text)) = v.get("spice") else {
+        return Ok(v.clone());
+    };
+    if v.get("deck").is_some() {
+        return Err("request carries both \"spice\" and \"deck\" bodies".to_string());
+    }
+    let deck = lcosc_spice::parse_spice(text).map_err(|e| format!("spice: {e}"))?;
+    let report = deck.check();
+    if report.error_count() > 0 {
+        let first = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.severity == lcosc_check::Severity::Error)
+            .map(|d| format!("{} {}", d.code, d.message))
+            .unwrap_or_default();
+        return Err(format!(
+            "spice deck rejected by lcosc-check ({} errors; first: {first})",
+            report.error_count()
+        ));
+    }
+    let tran = deck.tran_options();
+    let mut rewritten: Vec<(String, Json)> = Vec::with_capacity(pairs.len() + 1);
+    for (k, val) in pairs {
+        if k == "spice" {
+            rewritten.push((
+                "deck".to_string(),
+                lcosc_circuit::netlist_to_json(&deck.netlist),
+            ));
+        } else {
+            rewritten.push((k.clone(), val.clone()));
+        }
+    }
+    if v.get("dt").is_none() {
+        match &tran {
+            Some(opts) => rewritten.push(("dt".to_string(), Json::Float(opts.dt))),
+            None => {
+                return Err(
+                    "spice request needs a .tran card or explicit \"dt\"/\"t_end\"".to_string(),
+                )
+            }
+        }
+    }
+    if v.get("t_end").is_none() {
+        match &tran {
+            Some(opts) => rewritten.push(("t_end".to_string(), Json::Float(opts.t_end))),
+            None => {
+                return Err(
+                    "spice request needs a .tran card or explicit \"dt\"/\"t_end\"".to_string(),
+                )
+            }
+        }
+    }
+    Ok(Json::Object(rewritten))
+}
+
 fn f64_field(v: &Json, key: &str) -> Result<f64, String> {
     v.get(key)
         .and_then(Json::as_f64)

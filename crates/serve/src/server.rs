@@ -36,18 +36,88 @@ pub fn serve_stream(engine: &Arc<ServeEngine>, input: impl Read, output: impl Wr
                 }
             }
         });
-        let reader = BufReader::new(input);
-        for line in reader.lines() {
-            let Ok(line) = line else { break };
-            if line.trim().is_empty() {
-                continue;
-            }
-            if handle_tx.send(engine.submit_line(&line)).is_err() {
+        let max = engine.max_line_bytes();
+        let mut reader = BufReader::new(input);
+        while let Ok(Some(line)) = read_bounded_line(&mut reader, max) {
+            let response = match line {
+                BoundedLine::Ok(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    engine.submit_line(&line)
+                }
+                // The over-long line was consumed (not buffered); answer
+                // with the typed error and keep serving the connection.
+                BoundedLine::TooLong => engine.reject_oversized_line(),
+            };
+            if handle_tx.send(response).is_err() {
                 break;
             }
         }
         drop(handle_tx);
     });
+}
+
+/// One request line read under the length cap.
+enum BoundedLine {
+    /// A complete line of at most `max` bytes (newline stripped).
+    Ok(String),
+    /// The line exceeded the cap; its bytes were discarded up to the
+    /// next newline so the stream stays in sync.
+    TooLong,
+}
+
+/// Reads one newline-terminated line, buffering at most `max` bytes.
+///
+/// Unlike `BufRead::lines`, an over-long line cannot balloon memory: once
+/// the cap is crossed the remaining bytes are consumed and dropped, and
+/// the caller gets [`BoundedLine::TooLong`] instead of the contents.
+/// Returns `Ok(None)` at EOF.
+fn read_bounded_line(
+    reader: &mut impl BufRead,
+    max: usize,
+) -> std::io::Result<Option<BoundedLine>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflowed = false;
+    let mut saw_any = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF: a final unterminated line still counts.
+            if !saw_any {
+                return Ok(None);
+            }
+            break;
+        }
+        saw_any = true;
+        let (take, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (chunk.len(), false),
+        };
+        if !overflowed {
+            let line_bytes = if done { take - 1 } else { take };
+            if buf.len() + line_bytes > max {
+                overflowed = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(&chunk[..line_bytes]);
+            }
+        }
+        reader.consume(take);
+        if done {
+            break;
+        }
+    }
+    if overflowed {
+        return Ok(Some(BoundedLine::TooLong));
+    }
+    // CRLF tolerance, matching `BufRead::lines`.
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    Ok(Some(BoundedLine::Ok(
+        String::from_utf8_lossy(&buf).into_owned(),
+    )))
 }
 
 /// Accept loop for a TCP listener. Each connection gets its own serving

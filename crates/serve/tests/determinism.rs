@@ -13,6 +13,7 @@ fn engine(threads: usize, cache_entries: usize) -> Arc<ServeEngine> {
         queue_depth: 64,
         cache_entries,
         deadline: Duration::from_secs(60),
+        max_line_bytes: 1 << 20,
         trace: Trace::off(),
     })
 }
@@ -108,6 +109,7 @@ fn golden_trace_events_carry_completion_indices_in_stream_order() {
         queue_depth: 16,
         cache_entries: 16,
         deadline: Duration::from_secs(60),
+        max_line_bytes: 1 << 20,
         trace: Trace::new(sink.clone()),
     });
     let lines = [

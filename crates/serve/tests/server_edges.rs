@@ -14,6 +14,7 @@ fn engine_with(threads: usize, queue_depth: usize, deadline: Duration) -> Arc<Se
         queue_depth,
         cache_entries: 64,
         deadline,
+        max_line_bytes: 1 << 20,
         trace: Trace::off(),
     })
 }
@@ -166,4 +167,55 @@ fn graceful_shutdown_drains_in_flight_work_and_refuses_new_requests() {
         .submit_line(r#"{"kind":"scenario","fault":"open_coil"}"#)
         .wait();
     assert!(replayed.contains("\"status\":\"ok\""), "{replayed}");
+}
+
+#[test]
+fn oversized_line_answers_line_too_long_and_keeps_the_connection_alive() {
+    let engine = ServeEngine::start(&ServeConfig {
+        threads: 1,
+        queue_depth: 8,
+        cache_entries: 16,
+        deadline: Duration::from_secs(30),
+        max_line_bytes: 256,
+        trace: Trace::off(),
+    });
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let accept_engine = Arc::clone(&engine);
+    let accept = std::thread::spawn(move || serve_tcp(&accept_engine, &listener));
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    // A line well past the cap: the reader must not buffer it, must answer
+    // with the typed error, and must stay in sync with the stream.
+    let mut oversized = vec![b'x'; 4096];
+    oversized.push(b'\n');
+    writer.write_all(&oversized).expect("write oversized");
+    reader.read_line(&mut line).expect("read");
+    assert!(line.contains("\"status\":\"bad_request\""), "{line}");
+    assert!(line.contains("line_too_long"), "{line}");
+    assert!(line.contains("256"), "{line}");
+
+    // The same connection still serves a normal request afterwards.
+    line.clear();
+    writer
+        .write_all(b"{\"id\":1,\"kind\":\"stats\"}\n")
+        .expect("write");
+    reader.read_line(&mut line).expect("read");
+    assert!(line.starts_with("{\"id\":1,\"status\":\"ok\""), "{line}");
+    // The rejection went through the normal counter path.
+    assert!(line.contains("\"bad_request\":1"), "{line}");
+
+    line.clear();
+    writer
+        .write_all(b"{\"id\":2,\"kind\":\"shutdown\"}\n")
+        .expect("write");
+    reader.read_line(&mut line).expect("read");
+    assert!(line.contains("\"draining\":true"), "{line}");
+    drop(writer);
+    accept.join().expect("accept loop").expect("clean exit");
+    engine.shutdown();
 }

@@ -1,0 +1,117 @@
+//! Golden equivalence of `"spice"` and `"deck"` transient requests.
+//!
+//! The desugar runs before canonicalization, so a `.sp` request and its
+//! JSON-deck spelling must share one cache digest and one response byte
+//! stream. These tests pin both halves: the canonical-key/digest identity
+//! (no engine involved) and the live byte-identity through a real engine,
+//! where the second spelling must be answered from the cache.
+
+use lcosc_campaign::{digest_bytes, Json};
+use lcosc_circuit::netlist_to_json;
+use lcosc_serve::{canonical_key, desugar_spice, ServeConfig, ServeEngine};
+use lcosc_spice::parse_spice;
+use lcosc_trace::Trace;
+use std::time::Duration;
+
+/// The paper's LC tank as a `.sp` deck: damped ring-down from a charged
+/// capacitor, exactly the fixture `tests/golden/spice` carries.
+const TANK_SP: &str = "* paper tank ring-down\n\
+    L1 tank 0 10u ic=0\n\
+    C1 tank 0 2.2n ic=3.3\n\
+    R1 tank 0 1k\n\
+    .tran 1e-7 1e-5 uic\n\
+    .end\n";
+
+/// Builds the JSON-deck spelling of [`TANK_SP`] with the same id.
+fn deck_request(id: &str) -> String {
+    let deck = parse_spice(TANK_SP).expect("fixture parses");
+    let opts = deck.tran_options().expect("fixture has .tran");
+    Json::obj([
+        ("id", Json::Str(id.to_string())),
+        ("kind", Json::Str("transient".to_string())),
+        ("deck", netlist_to_json(&deck.netlist)),
+        ("dt", Json::Float(opts.dt)),
+        ("t_end", Json::Float(opts.t_end)),
+    ])
+    .render()
+}
+
+/// Builds the `.sp` spelling with the same id.
+fn spice_request(id: &str) -> String {
+    Json::obj([
+        ("id", Json::Str(id.to_string())),
+        ("kind", Json::Str("transient".to_string())),
+        ("spice", Json::Str(TANK_SP.to_string())),
+    ])
+    .render()
+}
+
+#[test]
+fn spice_and_deck_requests_share_canonical_key_and_digest() {
+    let spice = Json::parse(&spice_request("a")).expect("valid JSON");
+    let deck = Json::parse(&deck_request("b")).expect("valid JSON");
+    let desugared = desugar_spice(&spice).expect("desugar succeeds");
+    let key_spice = canonical_key(&desugared);
+    let key_deck = canonical_key(&deck);
+    assert_eq!(key_spice, key_deck);
+    assert_eq!(
+        digest_bytes(key_spice.as_bytes()),
+        digest_bytes(key_deck.as_bytes())
+    );
+}
+
+#[test]
+fn spice_request_is_answered_from_the_deck_requests_cache_slot() {
+    let engine = ServeEngine::start(&ServeConfig {
+        threads: 1,
+        queue_depth: 8,
+        cache_entries: 16,
+        deadline: Duration::from_secs(30),
+        max_line_bytes: 1 << 20,
+        trace: Trace::off(),
+    });
+    let from_deck = engine.submit_line(&deck_request("x")).wait();
+    assert!(
+        from_deck.starts_with("{\"id\":\"x\",\"status\":\"ok\""),
+        "{from_deck}"
+    );
+    let from_spice = engine.submit_line(&spice_request("y")).wait();
+    // Byte-identical modulo the echoed id…
+    assert_eq!(
+        from_deck.replace("\"id\":\"x\"", "\"id\":\"y\""),
+        from_spice
+    );
+    // …and served from the cache: same digest, no second computation.
+    let counters = engine.counters();
+    assert_eq!(counters.cache_misses, 1);
+    assert_eq!(counters.cache_hits, 1);
+    engine.shutdown();
+}
+
+#[test]
+fn bad_spice_bodies_answer_bad_request_with_p_codes() {
+    let engine = ServeEngine::start(&ServeConfig::default());
+    let cases = [
+        (
+            "{\"id\":1,\"kind\":\"transient\",\"spice\":\"R1 a 0 12zz\\n\"}",
+            "P003",
+        ),
+        (
+            "{\"id\":2,\"kind\":\"transient\",\"spice\":\"R1 a 0 1k\\n\"}",
+            ".tran",
+        ),
+        (
+            "{\"id\":3,\"kind\":\"transient\",\"spice\":\"R1 a 0 1k\\n\",\"deck\":{}}",
+            "both",
+        ),
+    ];
+    for (line, needle) in cases {
+        let response = engine.submit_line(line).wait();
+        assert!(
+            response.contains("\"status\":\"bad_request\""),
+            "{line} -> {response}"
+        );
+        assert!(response.contains(needle), "{line} -> {response}");
+    }
+    engine.shutdown();
+}

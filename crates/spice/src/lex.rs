@@ -1,0 +1,169 @@
+//! Lexing of `.sp` text into logical cards.
+//!
+//! SPICE input is line-oriented: one card per logical line, where a
+//! physical line starting with `+` continues the previous card. This
+//! module folds the physical lines into [`Card`]s and splits each card
+//! into position-tracked [`Token`]s, so every later diagnostic can point
+//! at the exact source line and column.
+//!
+//! Lexical rules of the dialect (documented in DESIGN §17):
+//!
+//! - a line whose first non-blank character is `*` is a comment;
+//! - `;` and `$` start a trailing comment anywhere in a line;
+//! - `+` in column 1 continues the previous card;
+//! - `(`, `)` and `,` are decorative separators (so `SIN(0 1V 1MEG)`
+//!   and `sin 0 1v 1meg` lex identically);
+//! - `=` is a token of its own (`ic=1n` lexes as `ic`, `=`, `1n`);
+//! - everything is case-insensitive; tokens are lowercased here once.
+
+/// One lexical token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lowercased token text.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: usize,
+    /// 1-based column the token starts at.
+    pub col: usize,
+}
+
+/// One logical card: a non-comment line plus its `+` continuations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Card {
+    /// 1-based source line the card starts on.
+    pub line: usize,
+    /// The card's tokens, in order.
+    pub tokens: Vec<Token>,
+}
+
+/// Strips a trailing `;` or `$` comment from one physical line.
+fn strip_trailing_comment(line: &str) -> &str {
+    match line.find([';', '$']) {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Splits one physical line into tokens, appending to `out`.
+fn tokenize_line(line: &str, line_no: usize, start_col: usize, out: &mut Vec<Token>) {
+    let mut token = String::new();
+    let mut token_col = 0usize;
+    let flush = |token: &mut String, token_col: usize, out: &mut Vec<Token>| {
+        if !token.is_empty() {
+            out.push(Token {
+                text: std::mem::take(token),
+                line: line_no,
+                col: token_col,
+            });
+        }
+    };
+    for (i, c) in line.chars().enumerate() {
+        let col = start_col + i;
+        match c {
+            c if c.is_whitespace() => flush(&mut token, token_col, out),
+            '(' | ')' | ',' => flush(&mut token, token_col, out),
+            '=' => {
+                flush(&mut token, token_col, out);
+                out.push(Token {
+                    text: "=".to_string(),
+                    line: line_no,
+                    col,
+                });
+            }
+            c => {
+                if token.is_empty() {
+                    token_col = col;
+                }
+                token.extend(c.to_lowercase());
+            }
+        }
+    }
+    flush(&mut token, token_col, out);
+}
+
+/// Lexes `.sp` text into logical cards.
+///
+/// Never fails: unknown characters become part of tokens and are
+/// rejected by the parser with a positioned diagnostic instead. A `+`
+/// continuation with no preceding card starts a fresh card (the parser
+/// then rejects its first token).
+pub fn lex(text: &str) -> Vec<Card> {
+    let mut cards: Vec<Card> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = strip_trailing_comment(raw);
+        let trimmed = line.trim_start();
+        if trimmed.is_empty() || trimmed.starts_with('*') {
+            continue;
+        }
+        let leading = line.len() - trimmed.len();
+        if let Some(rest) = trimmed.strip_prefix('+') {
+            // Continuation: append to the previous card, or start a new
+            // card if there is none to continue.
+            let card = match cards.last_mut() {
+                Some(card) => card,
+                None => {
+                    cards.push(Card {
+                        line: line_no,
+                        tokens: Vec::new(),
+                    });
+                    cards.last_mut().expect("card just pushed")
+                }
+            };
+            tokenize_line(rest, line_no, leading + 2, &mut card.tokens);
+        } else {
+            let mut tokens = Vec::new();
+            tokenize_line(trimmed, line_no, leading + 1, &mut tokens);
+            cards.push(Card {
+                line: line_no,
+                tokens,
+            });
+        }
+    }
+    cards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(card: &Card) -> Vec<&str> {
+        card.tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn cards_fold_continuations_and_skip_comments() {
+        let cards = lex("* a comment\nR1 a b 1k ; trailing\n+ 2k\n\nC1 a 0 1n\n");
+        assert_eq!(cards.len(), 2);
+        assert_eq!(texts(&cards[0]), ["r1", "a", "b", "1k", "2k"]);
+        assert_eq!(cards[0].line, 2);
+        assert_eq!(texts(&cards[1]), ["c1", "a", "0", "1n"]);
+    }
+
+    #[test]
+    fn parens_commas_and_equals_separate_tokens() {
+        let cards = lex("V1 in 0 SIN(0, 1V, 1MEG)\nC2 out 0 10p ic=0.5\n");
+        assert_eq!(
+            texts(&cards[0]),
+            ["v1", "in", "0", "sin", "0", "1v", "1meg"]
+        );
+        assert_eq!(
+            texts(&cards[1]),
+            ["c2", "out", "0", "10p", "ic", "=", "0.5"]
+        );
+    }
+
+    #[test]
+    fn token_positions_point_into_the_source() {
+        let cards = lex("R1 a b 1k\n");
+        assert_eq!(cards[0].tokens[3].line, 1);
+        assert_eq!(cards[0].tokens[3].col, 8);
+    }
+
+    #[test]
+    fn dollar_comment_and_lone_continuation() {
+        let cards = lex("$ all comment\n+ orphan 1 2\n");
+        assert_eq!(cards.len(), 1);
+        assert_eq!(texts(&cards[0]), ["orphan", "1", "2"]);
+    }
+}

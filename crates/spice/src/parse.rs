@@ -1,0 +1,1025 @@
+//! Parsing of lexed `.sp` cards into a [`Netlist`] plus analysis plan.
+//!
+//! Every rejection carries a stable `P0xx` code (registered in
+//! `lcosc_check::ALL_CODES`) and the source line/column of the offending
+//! token, so tooling can key on the code while humans get a position.
+//! The parser is two-pass: `.param` and `.model` cards are collected
+//! first (SPICE decks routinely use models before defining them), then
+//! element and analysis cards build the netlist in card order.
+
+use crate::lex::{lex, Card, Token};
+use lcosc_check::{check_netlist, Report};
+use lcosc_circuit::{Element, Netlist, NodeId, TransientOptions, Waveform};
+use lcosc_device::diode::DiodeModel;
+use lcosc_device::mos::{MosModel, Polarity};
+use std::collections::HashMap;
+
+/// A positioned, stable-coded SPICE parse diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpiceError {
+    /// Stable `P0xx` code (see `lcosc_check::ALL_CODES`).
+    pub code: &'static str,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl SpiceError {
+    fn at(code: &'static str, tok: &Token, message: impl Into<String>) -> Self {
+        SpiceError {
+            code,
+            line: tok.line,
+            col: tok.col,
+            message: message.into(),
+        }
+    }
+
+    fn on_card(code: &'static str, card: &Card, message: impl Into<String>) -> Self {
+        SpiceError {
+            code,
+            line: card.line,
+            col: 1,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at line {}, col {}: {}",
+            self.code, self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for SpiceError {}
+
+/// One analysis card of the deck.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Analysis {
+    /// `.tran tstep tstop [uic]`.
+    Tran {
+        /// Time step in seconds.
+        tstep: f64,
+        /// Stop time in seconds.
+        tstop: f64,
+        /// Start from element initial conditions (SPICE `UIC`).
+        uic: bool,
+    },
+    /// `.dc source start stop step` (a DC sweep plan; the source is
+    /// named by its card name, e.g. `v1`).
+    Dc {
+        /// Swept source name, lowercased.
+        source: String,
+        /// Sweep start value.
+        start: f64,
+        /// Sweep stop value.
+        stop: f64,
+        /// Sweep increment (non-zero).
+        step: f64,
+    },
+}
+
+/// A parsed SPICE deck: netlist, analysis plan and non-fatal warnings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpiceDeck {
+    /// `.title` text, if any.
+    pub title: Option<String>,
+    /// The parsed circuit.
+    pub netlist: Netlist,
+    /// Card name of each element, in element order (`r1`, `vdd`, …).
+    pub element_names: Vec<String>,
+    /// Analysis cards in deck order.
+    pub analyses: Vec<Analysis>,
+    /// Non-fatal parse diagnostics (P010 missing-ground, P011 dangling
+    /// node), still positioned and P-coded.
+    pub warnings: Vec<SpiceError>,
+}
+
+impl SpiceDeck {
+    /// Maps the first `.tran` card onto [`TransientOptions`], if present.
+    pub fn tran_options(&self) -> Option<TransientOptions> {
+        self.analyses.iter().find_map(|a| match a {
+            Analysis::Tran { tstep, tstop, uic } => {
+                let mut opts = TransientOptions::new(*tstep, *tstop);
+                opts.use_initial_conditions = *uic;
+                Some(opts)
+            }
+            Analysis::Dc { .. } => None,
+        })
+    }
+
+    /// Gates the parsed deck through `lcosc-check`, exactly like a JSON
+    /// deck: the full ERC report for the netlist, plus this parse's own
+    /// P-coded warnings (rendered with their source positions).
+    pub fn check(&self) -> Report {
+        let mut report = check_netlist(&self.netlist);
+        for w in &self.warnings {
+            report.warning(
+                w.code,
+                format!("line {}, col {}: {}", w.line, w.col, w.message),
+                None,
+            );
+        }
+        report
+    }
+}
+
+/// Parses a numeric token: engineering suffixes (`f p n u m k meg g t`),
+/// ignored trailing unit letters (`10pF`, `5V`) and `.param` references
+/// (bare name or `{name}`).
+fn parse_value(params: &HashMap<String, f64>, tok: &Token) -> Result<f64, SpiceError> {
+    let text = tok.text.as_str();
+    if let Some(name) = text.strip_prefix('{').and_then(|t| t.strip_suffix('}')) {
+        return params
+            .get(name)
+            .copied()
+            .ok_or_else(|| SpiceError::at("P007", tok, format!("undefined .param {name:?}")));
+    }
+    if text.starts_with(|c: char| c.is_ascii_alphabetic()) {
+        return params
+            .get(text)
+            .copied()
+            .ok_or_else(|| SpiceError::at("P007", tok, format!("undefined .param {text:?}")));
+    }
+    if let Ok(v) = text.parse::<f64>() {
+        return Ok(v);
+    }
+    // Longest numeric prefix + scale suffix + ignored unit letters.
+    for cut in (1..text.len()).rev() {
+        if !text.is_char_boundary(cut) {
+            continue;
+        }
+        let Ok(mantissa) = text[..cut].parse::<f64>() else {
+            continue;
+        };
+        let suffix = &text[cut..];
+        let (scale, units) = if let Some(rest) = suffix.strip_prefix("meg") {
+            (1e6, rest)
+        } else {
+            let mut chars = suffix.chars();
+            let first = chars.next().unwrap_or(' ');
+            let scale = match first {
+                'f' => 1e-15,
+                'p' => 1e-12,
+                'n' => 1e-9,
+                'u' => 1e-6,
+                'm' => 1e-3,
+                'k' => 1e3,
+                'g' => 1e9,
+                't' => 1e12,
+                _ => 1.0,
+            };
+            if scale == 1.0 {
+                (1.0, suffix)
+            } else {
+                (scale, chars.as_str())
+            }
+        };
+        // A physical-unit tail after the scale is decorative: `10pF`,
+        // `5V`, `1kOhm`. Anything else is a malformed suffix.
+        if matches!(units, "" | "f" | "h" | "v" | "a" | "s" | "hz" | "ohm") {
+            return Ok(mantissa * scale);
+        }
+        break;
+    }
+    Err(SpiceError::at(
+        "P003",
+        tok,
+        format!("malformed number or unknown unit suffix {text:?}"),
+    ))
+}
+
+/// Positional fields plus trailing `key=value` option pairs of a card.
+type Fields<'a> = (&'a [Token], Vec<(&'a Token, &'a Token)>);
+
+/// Splits a card's post-name tokens into positional fields and trailing
+/// `key=value` options.
+fn split_fields(tokens: &[Token]) -> Result<Fields<'_>, SpiceError> {
+    let first_key = tokens
+        .iter()
+        .position(|t| t.text == "=")
+        .map(|eq| eq.saturating_sub(1))
+        .unwrap_or(tokens.len());
+    let (positional, keyed) = tokens.split_at(first_key);
+    let mut pairs = Vec::new();
+    let mut i = 0;
+    while i < keyed.len() {
+        let key = &keyed[i];
+        if key.text == "=" {
+            return Err(SpiceError::at("P002", key, "stray '=' without a key"));
+        }
+        let Some(eq) = keyed.get(i + 1) else {
+            return Err(SpiceError::at("P002", key, "expected '=' after option key"));
+        };
+        if eq.text != "=" {
+            return Err(SpiceError::at("P002", eq, "expected '=' after option key"));
+        }
+        let Some(value) = keyed.get(i + 2) else {
+            return Err(SpiceError::at("P002", key, "option key is missing a value"));
+        };
+        pairs.push((key, value));
+        i += 3;
+    }
+    Ok((positional, pairs))
+}
+
+/// The parser's working state.
+struct Parser {
+    nl: Netlist,
+    nodes: HashMap<String, NodeId>,
+    /// Per node index: terminal reference count and first-reference span.
+    node_refs: Vec<(usize, usize, usize)>,
+    element_names: Vec<String>,
+    seen_names: HashMap<String, usize>,
+    params: HashMap<String, f64>,
+    diode_models: HashMap<String, DiodeModel>,
+    mos_models: HashMap<String, MosModel>,
+    analyses: Vec<Analysis>,
+    title: Option<String>,
+}
+
+impl Parser {
+    fn new() -> Self {
+        Parser {
+            nl: Netlist::new(),
+            nodes: HashMap::new(),
+            node_refs: vec![(0, 0, 0)],
+            element_names: Vec::new(),
+            seen_names: HashMap::new(),
+            params: HashMap::new(),
+            diode_models: HashMap::new(),
+            mos_models: HashMap::new(),
+            analyses: Vec::new(),
+            title: None,
+        }
+    }
+
+    fn node(&mut self, tok: &Token) -> NodeId {
+        let name = tok.text.as_str();
+        let id = if name == "0" || name == "gnd" {
+            Netlist::GROUND
+        } else if let Some(&id) = self.nodes.get(name) {
+            id
+        } else {
+            let id = self.nl.node(name);
+            self.nodes.insert(name.to_string(), id);
+            self.node_refs.push((0, tok.line, tok.col));
+            id
+        };
+        self.node_refs[id.index()].0 += 1;
+        id
+    }
+
+    fn value(&self, tok: &Token) -> Result<f64, SpiceError> {
+        parse_value(&self.params, tok)
+    }
+
+    /// A value required to be strictly positive (R/C/L, switch resistances).
+    fn positive(&self, tok: &Token, what: &str) -> Result<f64, SpiceError> {
+        let v = self.value(tok)?;
+        if v > 0.0 && v.is_finite() {
+            Ok(v)
+        } else {
+            Err(SpiceError::at(
+                "P012",
+                tok,
+                format!("{what} must be positive and finite, got {v:e}"),
+            ))
+        }
+    }
+
+    /// A value required to be finite.
+    fn finite(&self, tok: &Token, what: &str) -> Result<f64, SpiceError> {
+        let v = self.value(tok)?;
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(SpiceError::at(
+                "P012",
+                tok,
+                format!("{what} must be finite"),
+            ))
+        }
+    }
+
+    fn register_name(&mut self, tok: &Token) -> Result<(), SpiceError> {
+        if let Some(prev) = self.seen_names.insert(tok.text.clone(), tok.line) {
+            return Err(SpiceError::at(
+                "P008",
+                tok,
+                format!(
+                    "duplicate element name {:?} (first defined on line {prev})",
+                    tok.text
+                ),
+            ));
+        }
+        self.element_names.push(tok.text.clone());
+        Ok(())
+    }
+
+    /// `.param a=1k b=2.5 …`
+    fn dot_param(&mut self, card: &Card) -> Result<(), SpiceError> {
+        let (positional, pairs) = split_fields(&card.tokens[1..])?;
+        if !positional.is_empty() || pairs.is_empty() {
+            return Err(SpiceError::on_card(
+                "P002",
+                card,
+                ".param expects name=value assignments",
+            ));
+        }
+        for (key, value) in pairs {
+            let v = self.value(value)?;
+            self.params.insert(key.text.clone(), v);
+        }
+        Ok(())
+    }
+
+    /// `.model name d|nmos|pmos (key=value …)`
+    fn dot_model(&mut self, card: &Card) -> Result<(), SpiceError> {
+        let (positional, pairs) = split_fields(&card.tokens[1..])?;
+        let [name, kind] = positional else {
+            return Err(SpiceError::on_card(
+                "P002",
+                card,
+                ".model expects a name and a kind",
+            ));
+        };
+        match kind.text.as_str() {
+            "d" => {
+                let (mut is, mut n, mut temp) = (1e-14, 1.0, 300.0);
+                for (key, value) in pairs {
+                    let v = self.finite(value, &key.text)?;
+                    match key.text.as_str() {
+                        "is" => is = v,
+                        "n" => n = v,
+                        "temp" => temp = v,
+                        other => {
+                            return Err(SpiceError::at(
+                                "P006",
+                                key,
+                                format!("unknown diode model parameter {other:?}"),
+                            ))
+                        }
+                    }
+                }
+                if !(is > 0.0 && n > 0.0 && temp > 0.0) {
+                    return Err(SpiceError::on_card(
+                        "P006",
+                        card,
+                        "diode model parameters must be positive (is, n, temp)",
+                    ));
+                }
+                self.diode_models
+                    .insert(name.text.clone(), DiodeModel::new(is, n, temp));
+            }
+            polarity @ ("nmos" | "pmos") => {
+                let base = if polarity == "nmos" {
+                    MosModel::nmos_035um()
+                } else {
+                    MosModel::pmos_035um()
+                };
+                let (mut kp, mut vth, mut n, mut lambda) =
+                    (base.kp(), base.vth(), base.slope_factor(), base.lambda());
+                for (key, value) in pairs {
+                    let v = self.finite(value, &key.text)?;
+                    match key.text.as_str() {
+                        "kp" => kp = v,
+                        "vto" | "vth" => vth = v,
+                        "n" => n = v,
+                        "lambda" => lambda = v,
+                        "level" => {
+                            if v != 1.0 {
+                                return Err(SpiceError::at(
+                                    "P006",
+                                    key,
+                                    format!("only MOS level 1 is supported, got {v}"),
+                                ));
+                            }
+                        }
+                        other => {
+                            return Err(SpiceError::at(
+                                "P006",
+                                key,
+                                format!("unknown MOS model parameter {other:?}"),
+                            ))
+                        }
+                    }
+                }
+                if !(kp > 0.0 && vth >= 0.0 && n >= 1.0 && lambda >= 0.0) {
+                    return Err(SpiceError::on_card(
+                        "P006",
+                        card,
+                        "MOS model needs kp > 0, vto >= 0, n >= 1, lambda >= 0",
+                    ));
+                }
+                let polarity = if polarity == "nmos" {
+                    Polarity::N
+                } else {
+                    Polarity::P
+                };
+                self.mos_models.insert(
+                    name.text.clone(),
+                    MosModel::new(polarity, kp, vth, n, lambda),
+                );
+            }
+            other => {
+                return Err(SpiceError::at(
+                    "P006",
+                    kind,
+                    format!("unknown .model kind {other:?} (d, nmos, pmos)"),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Source waveform from the card tokens after the two node fields.
+    fn waveform(&self, card: &Card, tokens: &[Token]) -> Result<Waveform, SpiceError> {
+        let Some(head) = tokens.first() else {
+            return Err(SpiceError::on_card(
+                "P004",
+                card,
+                "source needs a waveform (DC, SIN, PULSE or PWL)",
+            ));
+        };
+        let values = |toks: &[Token]| -> Result<Vec<f64>, SpiceError> {
+            toks.iter()
+                .map(|t| self.finite(t, "waveform value"))
+                .collect()
+        };
+        let wave = match head.text.as_str() {
+            "dc" => match tokens {
+                [_, v] => Waveform::Dc(self.finite(v, "dc value")?),
+                _ => {
+                    return Err(SpiceError::at("P004", head, "DC expects exactly one value"));
+                }
+            },
+            "sin" => {
+                let args = values(&tokens[1..])?;
+                if !(3..=6).contains(&args.len()) {
+                    return Err(SpiceError::at(
+                        "P004",
+                        head,
+                        format!("SIN expects 3..6 arguments, got {}", args.len()),
+                    ));
+                }
+                if args.get(3).copied().unwrap_or(0.0) != 0.0
+                    || args.get(4).copied().unwrap_or(0.0) != 0.0
+                {
+                    return Err(SpiceError::at(
+                        "P004",
+                        head,
+                        "SIN delay/damping (td, theta) are not supported; use 0",
+                    ));
+                }
+                Waveform::Sine {
+                    offset: args[0],
+                    amplitude: args[1],
+                    frequency: args[2],
+                    phase: args.get(5).copied().unwrap_or(0.0).to_radians(),
+                }
+            }
+            "pulse" => {
+                let args = values(&tokens[1..])?;
+                if !(2..=7).contains(&args.len()) {
+                    return Err(SpiceError::at(
+                        "P004",
+                        head,
+                        format!("PULSE expects 2..7 arguments, got {}", args.len()),
+                    ));
+                }
+                let arg = |i: usize| args.get(i).copied().unwrap_or(0.0);
+                Waveform::Pulse {
+                    v1: args[0],
+                    v2: args[1],
+                    td: arg(2),
+                    tr: arg(3),
+                    tf: arg(4),
+                    pw: arg(5),
+                    per: arg(6),
+                }
+            }
+            "pwl" => {
+                let args = values(&tokens[1..])?;
+                if args.is_empty() || args.len() % 2 != 0 {
+                    return Err(SpiceError::at(
+                        "P004",
+                        head,
+                        "PWL expects an even, non-zero number of t v values",
+                    ));
+                }
+                Waveform::Pwl(args.chunks_exact(2).map(|p| (p[0], p[1])).collect())
+            }
+            _ if tokens.len() == 1 => Waveform::Dc(self.finite(head, "source value")?),
+            other => {
+                return Err(SpiceError::at(
+                    "P004",
+                    head,
+                    format!("unknown source waveform {other:?}"),
+                ))
+            }
+        };
+        wave.validate()
+            .map_err(|e| SpiceError::at("P004", head, e.to_string()))?;
+        Ok(wave)
+    }
+
+    fn element(&mut self, card: &Card) -> Result<(), SpiceError> {
+        let name = &card.tokens[0];
+        self.register_name(name)?;
+        let rest = &card.tokens[1..];
+        let (positional, pairs) = split_fields(rest)?;
+        let arity = |want: &str| SpiceError::on_card("P002", card, format!("expected {want}"));
+        let no_opts = |pairs: &[(&Token, &Token)]| -> Result<(), SpiceError> {
+            match pairs.first() {
+                Some((key, _)) => Err(SpiceError::at(
+                    "P002",
+                    key,
+                    format!("unexpected option {:?}", key.text),
+                )),
+                None => Ok(()),
+            }
+        };
+        let first = name.text.chars().next().unwrap_or(' ');
+        let element = match first {
+            'r' => {
+                let [a, b, val] = positional else {
+                    return Err(arity("Rname node node value"));
+                };
+                no_opts(&pairs)?;
+                Element::Resistor {
+                    a: self.node(a),
+                    b: self.node(b),
+                    ohms: self.positive(val, "resistance")?,
+                }
+            }
+            'c' => {
+                let [a, b, val] = positional else {
+                    return Err(arity("Cname node node value [ic=v0]"));
+                };
+                let mut v0 = 0.0;
+                for (key, value) in pairs {
+                    match key.text.as_str() {
+                        "ic" => v0 = self.finite(value, "ic")?,
+                        other => {
+                            return Err(SpiceError::at(
+                                "P002",
+                                key,
+                                format!("unexpected option {other:?}"),
+                            ))
+                        }
+                    }
+                }
+                Element::Capacitor {
+                    a: self.node(a),
+                    b: self.node(b),
+                    farads: self.positive(val, "capacitance")?,
+                    v0,
+                }
+            }
+            'l' => {
+                let [a, b, val] = positional else {
+                    return Err(arity("Lname node node value [ic=i0]"));
+                };
+                let mut i0 = 0.0;
+                for (key, value) in pairs {
+                    match key.text.as_str() {
+                        "ic" => i0 = self.finite(value, "ic")?,
+                        other => {
+                            return Err(SpiceError::at(
+                                "P002",
+                                key,
+                                format!("unexpected option {other:?}"),
+                            ))
+                        }
+                    }
+                }
+                Element::Inductor {
+                    a: self.node(a),
+                    b: self.node(b),
+                    henries: self.positive(val, "inductance")?,
+                    i0,
+                }
+            }
+            'v' | 'i' => {
+                no_opts(&pairs)?;
+                if positional.len() < 2 {
+                    return Err(arity("V/Iname node node waveform"));
+                }
+                let wave = self.waveform(card, &positional[2..])?;
+                let p = self.node(&positional[0]);
+                let n = self.node(&positional[1]);
+                if first == 'v' {
+                    Element::VoltageSource { p, n, wave }
+                } else {
+                    Element::CurrentSource { p, n, wave }
+                }
+            }
+            'g' => {
+                let [op, on, ip, inn, gm] = positional else {
+                    return Err(arity("Gname node node node node gm"));
+                };
+                no_opts(&pairs)?;
+                Element::Vccs {
+                    out_p: self.node(op),
+                    out_n: self.node(on),
+                    in_p: self.node(ip),
+                    in_n: self.node(inn),
+                    gm: self.finite(gm, "gm")?,
+                }
+            }
+            'd' => {
+                no_opts(&pairs)?;
+                let (nodes, model) = match positional {
+                    [a, c] => (([a, c]), None),
+                    [a, c, m] => (([a, c]), Some(m)),
+                    _ => return Err(arity("Dname anode cathode [model]")),
+                };
+                let model = match model {
+                    None => DiodeModel::default(),
+                    Some(m) => self.diode_models.get(&m.text).copied().ok_or_else(|| {
+                        SpiceError::at("P005", m, format!("undefined .model {:?}", m.text))
+                    })?,
+                };
+                Element::Diode {
+                    anode: self.node(nodes[0]),
+                    cathode: self.node(nodes[1]),
+                    model,
+                }
+            }
+            'm' => {
+                no_opts(&pairs)?;
+                let (nodes, model) = match positional {
+                    [d, g, s, b] => ([d, g, s, b], None),
+                    [d, g, s, b, m] => ([d, g, s, b], Some(m)),
+                    _ => return Err(arity("Mname drain gate source bulk [model]")),
+                };
+                let model = match model.map(|m| (m, m.text.as_str())) {
+                    None | Some((_, "nmos")) => MosModel::nmos_035um(),
+                    Some((_, "pmos")) => MosModel::pmos_035um(),
+                    Some((m, other)) => self.mos_models.get(other).copied().ok_or_else(|| {
+                        SpiceError::at("P005", m, format!("undefined .model {other:?}"))
+                    })?,
+                };
+                Element::Mosfet {
+                    d: self.node(nodes[0]),
+                    g: self.node(nodes[1]),
+                    s: self.node(nodes[2]),
+                    b: self.node(nodes[3]),
+                    model,
+                }
+            }
+            's' => {
+                let (nodes, state) = match positional {
+                    [a, b] => ([a, b], None),
+                    [a, b, st] => ([a, b], Some(st)),
+                    _ => return Err(arity("Sname node node [on|off] [ron=..] [roff=..]")),
+                };
+                let closed = match state.map(|s| (s, s.text.as_str())) {
+                    None | Some((_, "off")) => false,
+                    Some((_, "on")) => true,
+                    Some((s, other)) => {
+                        return Err(SpiceError::at(
+                            "P002",
+                            s,
+                            format!("switch state must be on or off, got {other:?}"),
+                        ))
+                    }
+                };
+                let (mut r_on, mut r_off) = (1.0, 1e9);
+                for (key, value) in pairs {
+                    match key.text.as_str() {
+                        "ron" => r_on = self.positive(value, "ron")?,
+                        "roff" => r_off = self.positive(value, "roff")?,
+                        other => {
+                            return Err(SpiceError::at(
+                                "P002",
+                                key,
+                                format!("unexpected option {other:?}"),
+                            ))
+                        }
+                    }
+                }
+                Element::Switch {
+                    a: self.node(nodes[0]),
+                    b: self.node(nodes[1]),
+                    closed,
+                    r_on,
+                    r_off,
+                }
+            }
+            other => {
+                return Err(SpiceError::at(
+                    "P001",
+                    name,
+                    format!("unknown element letter {other:?} (R C L V I G D M S)"),
+                ))
+            }
+        };
+        self.nl.push_element(element);
+        Ok(())
+    }
+
+    fn dot_tran(&mut self, card: &Card) -> Result<(), SpiceError> {
+        let rest = &card.tokens[1..];
+        let uic = rest.last().is_some_and(|t| t.text == "uic");
+        let args = &rest[..rest.len() - usize::from(uic)];
+        let [tstep, tstop] = args else {
+            return Err(SpiceError::on_card(
+                "P009",
+                card,
+                ".tran expects tstep tstop [uic]",
+            ));
+        };
+        let tstep_v = self
+            .finite(tstep, "tstep")
+            .map_err(|e| SpiceError { code: "P009", ..e })?;
+        let tstop_v = self
+            .finite(tstop, "tstop")
+            .map_err(|e| SpiceError { code: "P009", ..e })?;
+        if !(tstep_v > 0.0 && tstop_v > tstep_v) {
+            return Err(SpiceError::on_card(
+                "P009",
+                card,
+                format!(".tran needs 0 < tstep < tstop, got tstep={tstep_v:e} tstop={tstop_v:e}"),
+            ));
+        }
+        self.analyses.push(Analysis::Tran {
+            tstep: tstep_v,
+            tstop: tstop_v,
+            uic,
+        });
+        Ok(())
+    }
+
+    fn dot_dc(&mut self, card: &Card) -> Result<(), SpiceError> {
+        let [source, start, stop, step] = &card.tokens[1..] else {
+            return Err(SpiceError::on_card(
+                "P009",
+                card,
+                ".dc expects source start stop step",
+            ));
+        };
+        let to9 = |e: SpiceError| SpiceError { code: "P009", ..e };
+        let start_v = self.finite(start, "start").map_err(to9)?;
+        let stop_v = self.finite(stop, "stop").map_err(to9)?;
+        let step_v = self.finite(step, "step").map_err(to9)?;
+        if step_v == 0.0 {
+            return Err(SpiceError::on_card(
+                "P009",
+                card,
+                ".dc step must be non-zero",
+            ));
+        }
+        self.analyses.push(Analysis::Dc {
+            source: source.text.clone(),
+            start: start_v,
+            stop: stop_v,
+            step: step_v,
+        });
+        Ok(())
+    }
+
+    fn finish(mut self) -> SpiceDeck {
+        let mut warnings = Vec::new();
+        if !self.nl.elements().is_empty() && self.node_refs[0].0 == 0 {
+            warnings.push(SpiceError {
+                code: "P010",
+                line: 1,
+                col: 1,
+                message: "deck never references the ground node (0 or gnd)".to_string(),
+            });
+        }
+        for (idx, &(refs, line, col)) in self.node_refs.iter().enumerate().skip(1) {
+            if refs == 1 {
+                let name = self
+                    .nodes
+                    .iter()
+                    .find(|(_, id)| id.index() == idx)
+                    .map(|(n, _)| n.clone())
+                    .unwrap_or_default();
+                warnings.push(SpiceError {
+                    code: "P011",
+                    line,
+                    col,
+                    message: format!("node {name:?} dangles from a single element terminal"),
+                });
+            }
+        }
+        SpiceDeck {
+            title: self.title.take(),
+            netlist: self.nl,
+            element_names: self.element_names,
+            analyses: self.analyses,
+            warnings,
+        }
+    }
+}
+
+/// Parses `.sp` text into a [`SpiceDeck`].
+///
+/// # Errors
+///
+/// Fails fast on the first hard error with a positioned, P-coded
+/// [`SpiceError`]. Non-fatal findings (missing ground reference,
+/// dangling nodes) come back as [`SpiceDeck::warnings`] instead.
+pub fn parse_spice(text: &str) -> Result<SpiceDeck, SpiceError> {
+    let cards = lex(text);
+    let mut parser = Parser::new();
+    // Pass 1: .param and .model, so later cards can reference them
+    // regardless of ordering.
+    for card in &cards {
+        match card.tokens.first().map(|t| t.text.as_str()) {
+            Some(".param") => parser.dot_param(card)?,
+            Some(".model") => parser.dot_model(card)?,
+            Some(".end") => break,
+            _ => {}
+        }
+    }
+    // Pass 2: elements and analysis cards, in deck order.
+    for card in &cards {
+        let Some(head) = card.tokens.first() else {
+            continue;
+        };
+        match head.text.as_str() {
+            ".param" | ".model" => {}
+            ".end" => {
+                if card.tokens.len() > 1 {
+                    return Err(SpiceError::at(
+                        "P002",
+                        &card.tokens[1],
+                        "unexpected text after .end",
+                    ));
+                }
+                break;
+            }
+            ".title" => {
+                let words: Vec<&str> = card.tokens[1..].iter().map(|t| t.text.as_str()).collect();
+                parser.title = Some(words.join(" "));
+            }
+            ".tran" => parser.dot_tran(card)?,
+            ".dc" => parser.dot_dc(card)?,
+            other if other.starts_with('.') => {
+                return Err(SpiceError::at(
+                    "P001",
+                    head,
+                    format!("unknown card {other:?}"),
+                ));
+            }
+            _ => parser.element(card)?,
+        }
+    }
+    Ok(parser.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcosc_circuit::Waveform;
+
+    #[test]
+    fn parses_the_paper_tank_deck() {
+        let deck = parse_spice(
+            "* paper LC tank\n\
+             .title fig2 tank\n\
+             L1 tank 0 10u ic=0\n\
+             C1 tank 0 2.2n ic=3.3\n\
+             R1 tank 0 1k\n\
+             .tran 10n 2u uic\n\
+             .end\n",
+        )
+        .expect("clean deck");
+        assert_eq!(deck.title.as_deref(), Some("fig2 tank"));
+        assert_eq!(deck.element_names, ["l1", "c1", "r1"]);
+        assert_eq!(deck.netlist.elements().len(), 3);
+        assert!(deck.warnings.is_empty());
+        let opts = deck.tran_options().expect("tran card");
+        assert_eq!(opts.dt, 1e-8);
+        assert_eq!(opts.t_end, 2e-6);
+        assert!(opts.use_initial_conditions);
+        match &deck.netlist.elements()[1] {
+            Element::Capacitor { farads, v0, .. } => {
+                assert_eq!(*farads, 2.2 * 1e-9);
+                assert_eq!(*v0, 3.3);
+            }
+            other => panic!("expected capacitor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn params_models_and_waveforms_resolve() {
+        let deck = parse_spice(
+            ".param rload=2k cpar={rload}\n\
+             .model dd d is=2e-14 n=1.1\n\
+             .model mm pmos kp=60u vto=0.6\n\
+             R1 a 0 rload\n\
+             V1 a 0 SIN(0 1.65 1MEG 0 0 90)\n\
+             I1 a 0 pulse(0 1m 0 1n 1n 0.5u 1u)\n\
+             D1 a 0 dd\n\
+             M1 a a 0 0 mm\n\
+             S1 a 0 on ron=2 roff=1g\n\
+             G1 a 0 a 0 1m\n",
+        )
+        .expect("clean deck");
+        assert_eq!(deck.netlist.elements().len(), 7);
+        match &deck.netlist.elements()[1] {
+            Element::VoltageSource {
+                wave: Waveform::Sine { phase, .. },
+                ..
+            } => {
+                assert!((phase - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+            }
+            other => panic!("expected sine source, got {other:?}"),
+        }
+        match &deck.netlist.elements()[3] {
+            Element::Diode { model, .. } => assert_eq!(model.is, 2e-14),
+            other => panic!("expected diode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engineering_suffixes_and_unit_letters() {
+        let deck = parse_spice("C1 a 0 10pF\nR1 a 0 3meg\nL1 a 0 1m\n").expect("parses");
+        match deck.netlist.elements() {
+            [Element::Capacitor { farads, .. }, Element::Resistor { ohms, .. }, Element::Inductor { henries, .. }] =>
+            {
+                assert_eq!(*farads, 10e-12);
+                assert_eq!(*ohms, 3e6);
+                assert_eq!(*henries, 1e-3);
+            }
+            other => panic!("unexpected elements {other:?}"),
+        }
+    }
+
+    fn code_of(text: &str) -> &'static str {
+        parse_spice(text).expect_err("should fail").code
+    }
+
+    #[test]
+    fn every_error_code_fires_with_a_position() {
+        assert_eq!(code_of("Q1 a 0 1k\n"), "P001");
+        assert_eq!(code_of(".nodeset v(a)=0\n"), "P001");
+        assert_eq!(code_of("R1 a 0\n"), "P002");
+        assert_eq!(code_of("R1 a 0 1k extra\n"), "P002");
+        assert_eq!(code_of("R1 a 0 12zz\n"), "P003");
+        assert_eq!(code_of("V1 a 0 exp(0 1)\n"), "P004");
+        assert_eq!(code_of("V1 a 0 pwl(1u 0 0 1)\n"), "P004");
+        assert_eq!(code_of("D1 a 0 nosuch\n"), "P005");
+        assert_eq!(code_of(".model x q a=1\n"), "P006");
+        assert_eq!(code_of(".model x d is=-1\n"), "P006");
+        assert_eq!(code_of("R1 a 0 {w}\n"), "P007");
+        assert_eq!(code_of("R1 a 0 1k\nR1 a 0 2k\n"), "P008");
+        assert_eq!(code_of("R1 a 0 1k\n.tran 0 1u\n"), "P009");
+        assert_eq!(code_of("R1 a 0 1k\n.dc v1 0 1 0\n"), "P009");
+        assert_eq!(code_of("R1 a 0 -1k\n"), "P012");
+        let err = parse_spice("R1 a 0 12zz\n").expect_err("bad suffix");
+        assert_eq!((err.line, err.col), (1, 8));
+        assert!(err.to_string().starts_with("P003 at line 1, col 8:"));
+    }
+
+    #[test]
+    fn ground_and_dangling_warnings() {
+        let deck = parse_spice("R1 a b 1k\nC1 a b 1n\n").expect("parses");
+        assert_eq!(deck.warnings.len(), 1);
+        assert_eq!(deck.warnings[0].code, "P010");
+        let deck = parse_spice("R1 a 0 1k\nC1 b 0 1n\n").expect("parses");
+        let codes: Vec<_> = deck.warnings.iter().map(|w| w.code).collect();
+        assert_eq!(codes, ["P011", "P011"]);
+        let report = deck.check();
+        assert!(report.warning_count() >= 2);
+    }
+
+    #[test]
+    fn end_card_stops_parsing() {
+        let deck = parse_spice("R1 a 0 1k\n.end\ngarbage beyond end\n").expect("parses");
+        assert_eq!(deck.netlist.elements().len(), 1);
+    }
+
+    #[test]
+    fn dc_card_parses() {
+        let deck = parse_spice("V1 a 0 dc 0\nR1 a 0 1k\n.dc v1 0 3.3 0.1\n").expect("parses");
+        assert_eq!(
+            deck.analyses,
+            [Analysis::Dc {
+                source: "v1".to_string(),
+                start: 0.0,
+                stop: 3.3,
+                step: 0.1
+            }]
+        );
+        assert!(deck.tran_options().is_none());
+    }
+
+    #[test]
+    fn bare_value_and_keyword_dc_sources_agree() {
+        let a = parse_spice("V1 a 0 3.3\nR1 a 0 1k\n").expect("bare");
+        let b = parse_spice("V1 a 0 dc 3.3\nR1 a 0 1k\n").expect("keyword");
+        assert_eq!(a.netlist.elements(), b.netlist.elements());
+    }
+}

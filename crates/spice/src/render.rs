@@ -1,0 +1,205 @@
+//! Rendering a [`Netlist`] back to `.sp` text.
+//!
+//! The renderer is the inverse of [`crate::parse_spice`] up to naming:
+//! nodes render by index (`0` for ground, `n3` for node 3) and elements
+//! by kind letter plus element index, so `render → parse → render` is a
+//! fixed point whenever the original netlist wires nodes in
+//! first-reference order. Values render with `{:e}` — Rust's shortest
+//! round-trip exponent form — so numeric fidelity is bit-exact.
+
+use lcosc_circuit::{Element, Netlist, NodeId, TransientOptions, Waveform};
+use lcosc_device::mos::Polarity;
+use std::fmt::Write as _;
+
+fn node(n: NodeId) -> String {
+    if n.is_ground() {
+        "0".to_string()
+    } else {
+        format!("n{}", n.index())
+    }
+}
+
+fn waveform(wave: &Waveform) -> String {
+    match wave {
+        Waveform::Dc(v) => format!("dc {v:e}"),
+        Waveform::Sine {
+            offset,
+            amplitude,
+            frequency,
+            phase,
+        } => {
+            if *phase == 0.0 {
+                format!("sin({offset:e} {amplitude:e} {frequency:e})")
+            } else {
+                format!(
+                    "sin({offset:e} {amplitude:e} {frequency:e} 0 0 {:e})",
+                    phase.to_degrees()
+                )
+            }
+        }
+        // The dialect has no STEP card; a step is its 3-point PWL
+        // equivalent (clamped outside the range, exactly like eval()).
+        Waveform::Step {
+            v0,
+            v1,
+            t_step,
+            t_rise,
+        } => format!("pwl({t_step:e} {v0:e} {:e} {v1:e})", t_step + t_rise),
+        Waveform::Pwl(points) => {
+            let mut s = String::from("pwl(");
+            for (i, (t, v)) in points.iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                let _ = write!(s, "{t:e} {v:e}");
+            }
+            s.push(')');
+            s
+        }
+        Waveform::Pulse {
+            v1,
+            v2,
+            td,
+            tr,
+            tf,
+            pw,
+            per,
+        } => format!("pulse({v1:e} {v2:e} {td:e} {tr:e} {tf:e} {pw:e} {per:e})"),
+    }
+}
+
+/// Renders a netlist (plus an optional `.tran` plan) as `.sp` text.
+///
+/// Non-default diode and MOS models are emitted as numbered `.model`
+/// cards ahead of the element cards that reference them.
+pub fn render_netlist(nl: &Netlist, title: &str, tran: Option<&TransientOptions>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".title {title}");
+    // Model cards first, one per element that needs a non-builtin model.
+    for (k, e) in nl.elements().iter().enumerate() {
+        match e {
+            Element::Diode { model, .. }
+                if *model != lcosc_device::diode::DiodeModel::default() =>
+            {
+                let _ = writeln!(
+                    out,
+                    ".model dmod{k} d is={:e} n={:e} temp={:e}",
+                    model.is, model.n, model.temp_k
+                );
+            }
+            Element::Mosfet { model, .. }
+                if *model != lcosc_device::mos::MosModel::nmos_035um()
+                    && *model != lcosc_device::mos::MosModel::pmos_035um() =>
+            {
+                let kind = match model.polarity() {
+                    Polarity::N => "nmos",
+                    Polarity::P => "pmos",
+                };
+                let _ = writeln!(
+                    out,
+                    ".model mmod{k} {kind} kp={:e} vto={:e} n={:e} lambda={:e}",
+                    model.kp(),
+                    model.vth(),
+                    model.slope_factor(),
+                    model.lambda()
+                );
+            }
+            _ => {}
+        }
+    }
+    for (k, e) in nl.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { a, b, ohms } => {
+                let _ = writeln!(out, "r{k} {} {} {ohms:e}", node(*a), node(*b));
+            }
+            Element::Capacitor { a, b, farads, v0 } => {
+                let _ = write!(out, "c{k} {} {} {farads:e}", node(*a), node(*b));
+                if *v0 != 0.0 {
+                    let _ = write!(out, " ic={v0:e}");
+                }
+                out.push('\n');
+            }
+            Element::Inductor { a, b, henries, i0 } => {
+                let _ = write!(out, "l{k} {} {} {henries:e}", node(*a), node(*b));
+                if *i0 != 0.0 {
+                    let _ = write!(out, " ic={i0:e}");
+                }
+                out.push('\n');
+            }
+            Element::VoltageSource { p, n, wave } => {
+                let _ = writeln!(out, "v{k} {} {} {}", node(*p), node(*n), waveform(wave));
+            }
+            Element::CurrentSource { p, n, wave } => {
+                let _ = writeln!(out, "i{k} {} {} {}", node(*p), node(*n), waveform(wave));
+            }
+            Element::Vccs {
+                out_p,
+                out_n,
+                in_p,
+                in_n,
+                gm,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "g{k} {} {} {} {} {gm:e}",
+                    node(*out_p),
+                    node(*out_n),
+                    node(*in_p),
+                    node(*in_n)
+                );
+            }
+            Element::Diode {
+                anode,
+                cathode,
+                model,
+            } => {
+                let _ = write!(out, "d{k} {} {}", node(*anode), node(*cathode));
+                if *model != lcosc_device::diode::DiodeModel::default() {
+                    let _ = write!(out, " dmod{k}");
+                }
+                out.push('\n');
+            }
+            Element::Mosfet { d, g, s, b, model } => {
+                let name = if *model == lcosc_device::mos::MosModel::nmos_035um() {
+                    "nmos".to_string()
+                } else if *model == lcosc_device::mos::MosModel::pmos_035um() {
+                    "pmos".to_string()
+                } else {
+                    format!("mmod{k}")
+                };
+                let _ = writeln!(
+                    out,
+                    "m{k} {} {} {} {} {name}",
+                    node(*d),
+                    node(*g),
+                    node(*s),
+                    node(*b)
+                );
+            }
+            Element::Switch {
+                a,
+                b,
+                closed,
+                r_on,
+                r_off,
+            } => {
+                let state = if *closed { "on" } else { "off" };
+                let _ = writeln!(
+                    out,
+                    "s{k} {} {} {state} ron={r_on:e} roff={r_off:e}",
+                    node(*a),
+                    node(*b)
+                );
+            }
+        }
+    }
+    if let Some(opts) = tran {
+        let _ = write!(out, ".tran {:e} {:e}", opts.dt, opts.t_end);
+        if opts.use_initial_conditions {
+            out.push_str(" uic");
+        }
+        out.push('\n');
+    }
+    out.push_str(".end\n");
+    out
+}

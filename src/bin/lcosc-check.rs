@@ -2,12 +2,16 @@
 //! configurations.
 //!
 //! ```text
-//! lcosc-check [--json] netlist <deck.cir>        lint a SPICE-style deck
+//! lcosc-check [--json] netlist <deck.cir|deck.sp> lint a SPICE-style deck
 //! lcosc-check [--json] [--prove] config <preset> lint (and prove) a preset
 //! lcosc-check [--json] prove-faults <preset>     prove the 11-fault fitments
 //! lcosc-check list-codes                         print the diagnostic registry
 //! lcosc-check explain <CODE>                     describe one diagnostic code
 //! ```
+//!
+//! `.sp` files go through the `lcosc-spice` front end (`P0xx` parse
+//! diagnostics plus the netlist lint); any other extension uses the
+//! legacy line-oriented deck reader.
 //!
 //! `--prove` runs the `A0xx` static safety prover on top of the concrete
 //! lint: interval abstract interpretation of the DAC over its whole
@@ -26,7 +30,7 @@ use lcosc::safety::scenario::check_scenario;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: lcosc-check [--json] netlist <deck.cir>
+usage: lcosc-check [--json] netlist <deck.cir|deck.sp>
        lcosc-check [--json] [--prove] config <datasheet_3mhz|low_q|fast_test>
        lcosc-check [--json] prove-faults <datasheet_3mhz|low_q|fast_test>
        lcosc-check list-codes
@@ -85,11 +89,23 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            match parse_deck(&text) {
-                Ok(nl) => finish(&lcosc::check::check_netlist(&nl), json),
-                Err(e) => {
-                    eprintln!("{path}: {e}");
-                    ExitCode::from(2)
+            if path.ends_with(".sp") {
+                // SPICE dialect: the deck's check() folds the parser's
+                // P0xx warnings into the netlist lint.
+                match lcosc::spice::parse_spice(&text) {
+                    Ok(deck) => finish(&deck.check(), json),
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        ExitCode::from(2)
+                    }
+                }
+            } else {
+                match parse_deck(&text) {
+                    Ok(nl) => finish(&lcosc::check::check_netlist(&nl), json),
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        ExitCode::from(2)
+                    }
                 }
             }
         }

@@ -27,6 +27,9 @@
 //! - [`pad`] — output pad driver topologies and unsupplied-pin analysis.
 //! - [`safety`] — fault injection, FMEA matrix, redundant dual system.
 //! - [`sensor`] — the inductive position sensor application layer.
+//! - [`spice`] — `.sp` netlist front end (lexer, parser, renderer) and
+//!   the deterministic input-surface fuzzing harness.
+//! - [`serve`] — the deterministic batch simulation service.
 //!
 //! On top of the re-exports, [`proving`] composes `check`'s static
 //! safety prover with the chip's presets and fault catalog (the
@@ -61,4 +64,5 @@ pub use lcosc_pad as pad;
 pub use lcosc_safety as safety;
 pub use lcosc_sensor as sensor;
 pub use lcosc_serve as serve;
+pub use lcosc_spice as spice;
 pub use lcosc_trace as trace;

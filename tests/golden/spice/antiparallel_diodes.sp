@@ -1,0 +1,9 @@
+* anti-parallel diode clamp across the tank (ESD-style limiter)
+.model clamp d is=5e-15 n=1.05
+L1 tank 0 10u ic=1m
+C1 tank 0 2.2n
+D1 tank 0 clamp
+D2 0 tank clamp
+R1 tank 0 2.2k
+.tran 1e-7 1e-5 uic
+.end

@@ -1,0 +1,7 @@
+* paper LC tank ring-down (Horsky DATE'05, fig. 2 topology)
+.title paper tank ring-down
+L1 tank 0 10u ic=0
+C1 tank 0 2.2n ic=3.3
+R1 tank 0 1k
+.tran 1e-7 1e-5 uic
+.end

@@ -1,0 +1,8 @@
+* PULSE-driven gate charging a tank through a switch
+V1 drive 0 pulse(0 3.3 1u 10n 10n 4u 10u)
+S1 drive tank on ron=2 roff=1e9
+L1 tank 0 10u
+C1 tank 0 2.2n
+R1 tank 0 10k ; tank loss
+.tran 1e-8 2e-5 uic
+.end

@@ -1,0 +1,13 @@
+* four-stage RC ladder; values via .param, engineering suffixes
+.param rstage=4.7k cstage=100n
+V1 in 0 dc 3.3
+R1 in n1 rstage
+C1 n1 0 cstage
+R2 n1 n2 rstage
+C2 n2 0 cstage
+R3 n2 n3 rstage
+C3 n3 0 cstage
+R4 n3 out rstage
+C4 out 0 cstage
+.tran 1u 5m
+.end
